@@ -1,0 +1,140 @@
+package pcc
+
+// Tests for policy-published axiom schemas: the paper's workflow in
+// which the prover "requires intervention from the programmer, mainly
+// to learn new axioms about arithmetic", with the learned axioms
+// "remembered" — here, by making them part of the published policy so
+// the consumer's validator knows them too.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/policy"
+)
+
+// borAlign is a sound axiom the core set lacks: OR-combining two
+// m-aligned values stays m-aligned (for mask-shaped m).
+func borAlign() *logic.Schema {
+	a, b, m := logic.V("$a"), logic.V("$b"), logic.V("$m")
+	zero := logic.C(0)
+	return &logic.Schema{
+		Name:   "bor_align",
+		Params: []string{"$a", "$b", "$m"},
+		Prems: []logic.Pred{
+			logic.Eq(logic.And2(a, m), zero),
+			logic.Eq(logic.And2(b, m), zero),
+			logic.Eq(logic.And2(m, logic.Add(m, logic.C(1))), zero),
+		},
+		Concl:   logic.Eq(logic.And2(logic.Or2(a, b), m), zero),
+		Comment: "a,b ≡ 0 mod (m+1), m=2^k−1 ⇒ a|b ≡ 0",
+	}
+}
+
+// orOffsetSrc computes a load offset by OR-combining two aligned
+// pieces — certifiable only with bor_align in the rule set.
+const orOffsetSrc = `
+        CLR    r0
+        LDQ    r4, 0(r1)
+        AND    r4, 32, r4
+        BIS    r4, 8, r4       ; offset = (x & 32) | 8 — provably aligned only via bor_align
+        CMPULT r4, r2, r5
+        BEQ    r5, out
+        ADDQ   r1, r4, r6
+        LDQ    r0, 0(r6)
+out:    RET
+`
+
+func borPolicy() *policy.Policy {
+	base := policy.PacketFilter()
+	return &policy.Policy{
+		Name:       "packet-filter-bor/v1",
+		Pre:        base.Pre,
+		Post:       base.Post,
+		Convention: base.Convention,
+		Axioms:     []*logic.Schema{borAlign()},
+	}
+}
+
+func TestPolicyAxiomEnablesCertification(t *testing.T) {
+	// Without the published axiom, the alignment fact is out of reach.
+	if _, err := Certify(orOffsetSrc, PacketFilterPolicy(), nil); err == nil {
+		t.Fatal("or-combined offset certified without bor_align")
+	}
+
+	pol := borPolicy()
+	if err := VetAxioms(pol.Axioms, 20000); err != nil {
+		t.Fatalf("sound axiom failed vetting: %v", err)
+	}
+	cert, err := Certify(orOffsetSrc, pol, nil)
+	if err != nil {
+		t.Fatalf("certification with published axiom failed: %v", err)
+	}
+
+	// The proof validates against the SAME policy (whose signature
+	// includes the axiom)...
+	ext, _, err := Validate(cert.Binary, pol)
+	if err != nil {
+		t.Fatalf("validation failed: %v", err)
+	}
+	if len(ext.Prog) != 9 {
+		t.Fatalf("instructions = %d", len(ext.Prog))
+	}
+
+	// ...and is refused by a consumer publishing only the base rules:
+	// the signature fingerprints differ.
+	plain := PacketFilterPolicy()
+	plain.Name = pol.Name // same name, different rule set
+	_, _, err = Validate(cert.Binary, plain)
+	if err == nil || !strings.Contains(err.Error(), "rule set") {
+		t.Fatalf("rule-set mismatch not detected: %v", err)
+	}
+}
+
+func TestVetAxiomsRejectsBadSchemas(t *testing.T) {
+	a, b := logic.V("$a"), logic.V("$b")
+	cases := []struct {
+		name   string
+		schema *logic.Schema
+	}{
+		{"clash with core", &logic.Schema{
+			Name: "band_ub", Params: []string{"$a", "$b"},
+			Concl: logic.Ule(a, b)}},
+		{"unbound variable", &logic.Schema{
+			Name: "oops", Params: []string{"$a"},
+			Concl: logic.Ule(a, logic.V("$b"))}},
+		{"bad parameter name", &logic.Schema{
+			Name: "noprefix", Params: []string{"x"},
+			Concl: logic.Ule(logic.V("x"), logic.V("x"))}},
+		{"unsound", &logic.Schema{
+			Name: "lies", Params: []string{"$a", "$b"},
+			Concl: logic.Ult(a, b)}},
+		{"empty name", &logic.Schema{Params: nil, Concl: logic.True}},
+	}
+	for _, c := range cases {
+		if err := VetAxioms([]*logic.Schema{c.schema}, 20000); err == nil {
+			t.Errorf("%s: vetting passed", c.name)
+		}
+	}
+	// Duplicates across the list.
+	ok := borAlign()
+	if err := VetAxioms([]*logic.Schema{ok, ok}, 100); err == nil {
+		t.Error("duplicate axiom passed vetting")
+	}
+}
+
+func TestNonEvaluableAxiomVetsButIsFlaggedByConvention(t *testing.T) {
+	// Schemas over rd/wr cannot be fuzzed; vetting admits them (the
+	// consumer must justify them against its memory model) as long as
+	// they are well-formed.
+	rdPair := &logic.Schema{
+		Name:   "rd_pair",
+		Params: []string{"$e"},
+		Prems:  []logic.Pred{logic.RdP(logic.V("$e"))},
+		Concl:  logic.RdP(logic.V("$e")),
+	}
+	if err := VetAxioms([]*logic.Schema{rdPair}, 100); err != nil {
+		t.Fatalf("well-formed rd schema rejected: %v", err)
+	}
+}

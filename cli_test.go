@@ -1,0 +1,272 @@
+package pcc_test
+
+// End-to-end tests of the command-line tools: each binary is built
+// once and driven the way a user would drive it, covering the full
+// producer → binary-on-disk → consumer pipeline including policy
+// files, pcap replay, and rejection paths.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// tool builds all commands once and returns the path of the named one.
+func tool(t *testing.T, name string) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "pcc-tools-")
+		if buildErr != nil {
+			return
+		}
+		cmd := exec.Command("go", "build", "-o", buildDir+string(filepath.Separator), "./cmd/...")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = err
+			buildDir = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v\n%s", buildErr, buildDir)
+	}
+	return filepath.Join(buildDir, name)
+}
+
+func run(t *testing.T, name string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(tool(t, name), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func mustRun(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := run(t, name, args...)
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return out
+}
+
+func TestCLIAssembleLoadDump(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "f4.pcc")
+
+	out := mustRun(t, "pccasm", "-builtin", "filter4", "-v", "-o", bin)
+	if !strings.Contains(out, "wrote") || !strings.Contains(out, "proof") {
+		t.Fatalf("pccasm output:\n%s", out)
+	}
+
+	out = mustRun(t, "pccload", "-run", "-packets", "2000", bin)
+	if !strings.Contains(out, "VALIDATED") || !strings.Contains(out, "accepted") {
+		t.Fatalf("pccload output:\n%s", out)
+	}
+
+	out = mustRun(t, "pccdump", "-symbols", bin)
+	for _, frag := range []string{"policy:", "native code", "CMPULT", "foralle"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("pccdump missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCLIRejectsTamperedBinary(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "f1.pcc")
+	mustRun(t, "pccasm", "-builtin", "filter1", "-o", bin)
+
+	data, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff
+	bad := filepath.Join(dir, "bad.pcc")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "pccload", bad)
+	if err == nil {
+		t.Fatalf("tampered binary loaded:\n%s", out)
+	}
+	if !strings.Contains(out, "REJECTED") {
+		t.Fatalf("expected REJECTED, got:\n%s", out)
+	}
+}
+
+func TestCLIWrongPolicyRejected(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ra.pcc")
+	mustRun(t, "pccasm", "-builtin", "resource-access", "-o", bin)
+	out, err := run(t, "pccload", "-policy", "packet-filter/v1", bin)
+	if err == nil {
+		t.Fatalf("cross-policy load succeeded:\n%s", out)
+	}
+}
+
+func TestCLIChecksumWithInvariant(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ck.pcc")
+	mustRun(t, "pccasm", "-builtin", "checksum", "-o", bin)
+	out := mustRun(t, "pccdump", bin)
+	if !strings.Contains(out, "invariant table") {
+		t.Fatalf("invariant table missing:\n%s", out)
+	}
+	mustRun(t, "pccload", bin)
+}
+
+func TestCLIPolicyFileFlow(t *testing.T) {
+	dir := t.TempDir()
+	polFile := filepath.Join(dir, "pol.txt")
+	err := os.WriteFile(polFile, []byte(`
+name:       entry-reader/v1
+convention: r0 holds the entry
+pre:        rd(r0) /\ rd(r0 + 8)
+post:       true
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcFile := filepath.Join(dir, "prog.s")
+	if err := os.WriteFile(srcFile, []byte("LDQ r1, 0(r0)\nRET\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "prog.pcc")
+	mustRun(t, "pccasm", "-policy-file", polFile, "-o", bin, srcFile)
+	mustRun(t, "pccload", "-policy-file", polFile, bin)
+	mustRun(t, "pccpolicy", "check", polFile)
+
+	out := mustRun(t, "pccpolicy", "list")
+	if !strings.Contains(out, "packet-filter/v1") {
+		t.Fatalf("pccpolicy list:\n%s", out)
+	}
+}
+
+func TestCLINegotiate(t *testing.T) {
+	dir := t.TempDir()
+	weak := filepath.Join(dir, "weak.txt")
+	err := os.WriteFile(weak, []byte(
+		"name: weak/v1\npre: 64 <= r2 /\\ (ALL i. (i < r2 /\\ (i & 7) = 0) => rd(r1 + i))\n"), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := mustRun(t, "pccpolicy", "negotiate", "-base", "packet-filter/v1", weak)
+	if !strings.Contains(out, "ACCEPTED") {
+		t.Fatalf("negotiate:\n%s", out)
+	}
+
+	greedy := filepath.Join(dir, "greedy.txt")
+	if err := os.WriteFile(greedy, []byte("name: greedy/v1\npre: wr(r1)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotOut, err := run(t, "pccpolicy", "negotiate", "-base", "packet-filter/v1", greedy)
+	if err == nil || !strings.Contains(gotOut, "REJECTED") {
+		t.Fatalf("greedy negotiation: err=%v out:\n%s", err, gotOut)
+	}
+}
+
+func TestCLITracegenAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	pcap := filepath.Join(dir, "t.pcap")
+	mustRun(t, "tracegen", "-n", "300", "-o", pcap)
+	bin := filepath.Join(dir, "f1.pcc")
+	mustRun(t, "pccasm", "-builtin", "filter1", "-o", bin)
+	out := mustRun(t, "pccload", "-run", "-pcap", pcap, bin)
+	if !strings.Contains(out, "ran 300 packets") {
+		t.Fatalf("replay output:\n%s", out)
+	}
+}
+
+func TestCLIDumpModes(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "ra.pcc")
+	out := mustRun(t, "pccasm", "-builtin", "resource-access", "-dump-vc", "-dump-proof", "-o", bin)
+	for _, frag := range []string{"verification conditions", "obligations", "imp_i", "and_i"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("dump output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCLIPaperbenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paperbench is slow")
+	}
+	out := mustRun(t, "paperbench", "-fig7", "-table1")
+	for _, frag := range []string{"Figure 7", "Table 1", "Filter 4"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("paperbench output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCLIAxiomPolicyFile(t *testing.T) {
+	dir := t.TempDir()
+	polFile := filepath.Join(dir, "bor.pol")
+	err := os.WriteFile(polFile, []byte(`
+name:       packet-filter-bor/v1
+pre:        64 <= r2 /\ (ALL i. (i < r2 /\ (i & 7) = 0) => rd(r1 + i))
+post:       true
+axiom:      bor_align($a, $b, $m) : ($a & $m) = 0 ; ($b & $m) = 0 ;
+            ($m & ($m + 1)) = 0 |- (($a | $b) & $m) = 0
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcFile := filepath.Join(dir, "or.s")
+	err = os.WriteFile(srcFile, []byte(`
+        CLR    r0
+        LDQ    r4, 0(r1)
+        AND    r4, 32, r4
+        BIS    r4, 8, r4
+        CMPULT r4, r2, r5
+        BEQ    r5, out
+        ADDQ   r1, r4, r6
+        LDQ    r0, 0(r6)
+out:    RET
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "or.pcc")
+	mustRun(t, "pccasm", "-policy-file", polFile, "-o", bin, srcFile)
+	mustRun(t, "pccload", "-policy-file", polFile, bin)
+
+	// Without the axiom-bearing policy file, the loader refuses the
+	// rule set even under the same policy name.
+	plainFile := filepath.Join(dir, "plain.pol")
+	err = os.WriteFile(plainFile, []byte(`
+name:       packet-filter-bor/v1
+pre:        64 <= r2 /\ (ALL i. (i < r2 /\ (i & 7) = 0) => rd(r1 + i))
+post:       true
+`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "pccload", "-policy-file", plainFile, bin)
+	if err == nil || !strings.Contains(out, "rule set") {
+		t.Fatalf("rule-set mismatch not reported:\n%s", out)
+	}
+}
+
+func TestCLISFIHybrid(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "f1sfi.pcc")
+	out := mustRun(t, "pccasm", "-sfi", "-builtin", "filter1", "-o", bin)
+	if !strings.Contains(out, "sfi-segment/v1") {
+		t.Fatalf("sfi mode did not switch policy:\n%s", out)
+	}
+	mustRun(t, "pccload", "-policy", "sfi-segment/v1", "-run", "-packets", "500", bin)
+	// The rewritten binary does not validate under the plain policy.
+	if _, err := run(t, "pccload", bin); err == nil {
+		t.Fatal("SFI binary accepted under packet-filter policy")
+	}
+}

@@ -1,0 +1,212 @@
+// Command pccasm is the prototype certifying assembler of §3: it
+// assembles a DEC Alpha subset source file, computes its safety
+// predicate under a published policy, proves it, and writes a PCC
+// binary.
+//
+// Usage:
+//
+//	pccasm -policy packet-filter/v1 -o filter.pcc filter.s
+//	pccasm -builtin filter4 -o filter4.pcc
+//	pccasm -builtin checksum -o checksum.pcc   (includes the loop invariant)
+//
+// Loop invariants cannot be written in assembly source; the -builtin
+// programs carry theirs programmatically, exactly as the paper's PCC
+// binaries carried an invariant table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	pcc "repro"
+	"repro/internal/alpha"
+	"repro/internal/filters"
+	"repro/internal/logic"
+	"repro/internal/policy"
+	"repro/internal/prover"
+	"repro/internal/sfi"
+	"repro/internal/vcgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccasm: ")
+	polName := flag.String("policy", "packet-filter/v1", "safety policy name")
+	polFile := flag.String("policy-file", "", "load the safety policy from a file (overrides -policy)")
+	out := flag.String("o", "a.pcc", "output PCC binary")
+	builtin := flag.String("builtin", "", "certify a built-in program: filter1..filter4, checksum, resource-access")
+	verbose := flag.Bool("v", false, "print certification statistics")
+	dumpVC := flag.Bool("dump-vc", false, "print the per-instruction verification conditions")
+	dumpProof := flag.Bool("dump-proof", false, "print the safety proof as a Figure 6-style tree")
+	autoInv := flag.Bool("auto-inv", false, "infer loop invariants automatically (counted-loop idiom)")
+	sfiMode := flag.Bool("sfi", false, "apply SFI rewriting first and certify under sfi-segment/v1 (the §3.1 hybrid)")
+	invariants := map[string]logic.Pred{}
+	flag.Func("inv", "loop invariant as label=predicate (repeatable)", func(s string) error {
+		label, src, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("expected label=predicate")
+		}
+		p, err := logic.ParsePred(src)
+		if err != nil {
+			return err
+		}
+		invariants[strings.TrimSpace(label)] = p
+		return nil
+	})
+	flag.Parse()
+
+	var src string
+	switch {
+	case *builtin != "":
+		var err error
+		var builtinInv map[string]logic.Pred
+		src, builtinInv, err = builtinProgram(*builtin, polName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k, v := range builtinInv {
+			invariants[k] = v
+		}
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(data)
+	default:
+		log.Fatal("expected exactly one source file or -builtin")
+	}
+
+	var pol *policy.Policy
+	var err error
+	if *polFile != "" {
+		data, err := os.ReadFile(*polFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol, err = policy.Parse(string(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if pol, err = policy.ByName(*polName); err != nil {
+		log.Fatal(err)
+	}
+	if len(invariants) == 0 {
+		invariants = nil
+	}
+	if *dumpVC {
+		if err := dumpVCs(src, pol, invariants); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var cert *pcc.CertResult
+	switch {
+	case *sfiMode:
+		asm, aerr := alpha.Assemble(src)
+		if aerr != nil {
+			log.Fatal(aerr)
+		}
+		rw, rerr := sfi.Rewrite(asm.Prog)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		if verr := sfi.Validate(rw); verr != nil {
+			log.Fatalf("sfi self-check failed: %v", verr)
+		}
+		pol, err = policy.ByName("sfi-segment/v1")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cert, err = pcc.CertifyProgram(rw, pol, nil)
+	case *autoInv && len(invariants) == 0:
+		cert, err = pcc.CertifyAuto(src, pol)
+	default:
+		cert, err = pcc.Certify(src, pol, invariants)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dumpProof {
+		proof, err := prover.Prove(cert.SafetyPredicate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("safety proof (Figure 6 style):")
+		fmt.Print(prover.Format(prover.Simplify(proof)))
+		fmt.Println()
+	}
+	if err := os.WriteFile(*out, cert.Binary, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d bytes (%d instructions, policy %s)\n",
+		*out, len(cert.Binary), cert.Instructions, pol.Name)
+	if *verbose {
+		fmt.Printf("  layout:      %s\n", cert.Layout)
+		fmt.Printf("  proof:       %d nodes (%d LF nodes)\n", cert.ProofNodes, cert.LFNodes)
+		fmt.Printf("  prove time:  %s\n", cert.ProveTime)
+	}
+}
+
+// dumpVCs prints each instruction next to its Figure 4 verification
+// condition, the most direct window into how the safety predicate is
+// built.
+func dumpVCs(src string, pol *policy.Policy, invariants map[string]logic.Pred) error {
+	asm, err := alpha.Assemble(src)
+	if err != nil {
+		return err
+	}
+	invByPC := map[int]logic.Pred{}
+	for label, inv := range invariants {
+		pc, ok := asm.Labels[label]
+		if !ok {
+			return fmt.Errorf("invariant for unknown label %q", label)
+		}
+		invByPC[pc] = inv
+	}
+	res, err := vcgen.Gen(asm.Prog, pol.Pre, pol.Post, invByPC)
+	if err != nil {
+		return err
+	}
+	fmt.Println("verification conditions (Figure 4):")
+	for pc, ins := range asm.Prog {
+		fmt.Printf("%3d: %-24s VC = %s\n", pc, ins.String(), res.VCs[pc])
+	}
+	fmt.Println("\nobligations:")
+	for _, ob := range res.Obligations {
+		fmt.Printf("  at pc %d: %s\n        => %s\n", ob.PC, ob.Assume, ob.VC)
+	}
+	fmt.Println()
+	return nil
+}
+
+func builtinProgram(name string, polName *string) (string, map[string]logic.Pred, error) {
+	switch name {
+	case "filter1":
+		return filters.Source(filters.Filter1), nil, nil
+	case "filter2":
+		return filters.Source(filters.Filter2), nil, nil
+	case "filter3":
+		return filters.Source(filters.Filter3), nil, nil
+	case "filter4":
+		return filters.Source(filters.Filter4), nil, nil
+	case "checksum":
+		return filters.SrcChecksum,
+			map[string]logic.Pred{"loop": filters.ChecksumInvariant()}, nil
+	case "resource-access":
+		*polName = "resource-access/v1"
+		return `
+        ADDQ  r0, 8, r1
+        LDQ   r0, 8(r0)
+        LDQ   r2, -8(r1)
+        ADDQ  r0, 1, r0
+        BEQ   r2, L1
+        STQ   r0, 0(r1)
+L1:     RET
+`, nil, nil
+	}
+	return "", nil, fmt.Errorf("unknown builtin %q", name)
+}

@@ -1,0 +1,76 @@
+// Command pccdump inspects a PCC binary: sections and sizes (the
+// Figure 7 view), the disassembled native code, the relocation symbol
+// table, the invariant table, and proof statistics.
+//
+// Usage:
+//
+//	pccdump [-code] [-symbols] [-proof] filter.pcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/alpha"
+	"repro/internal/lf"
+	"repro/internal/pccbin"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccdump: ")
+	showCode := flag.Bool("code", true, "disassemble the native code section")
+	showSyms := flag.Bool("symbols", false, "print the relocation symbol table")
+	showProof := flag.Bool("proof", false, "print the LF proof term")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("expected exactly one PCC binary")
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := pccbin.Unmarshal(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("PCC binary %s (%d bytes)\n", flag.Arg(0), len(data))
+	fmt.Printf("  policy:      %s\n", bin.PolicyName)
+	fmt.Printf("  code:        %d bytes (%d instructions)\n", len(bin.Code), len(bin.Code)/4)
+	fmt.Printf("  symbols:     %d\n", len(bin.Symbols))
+	fmt.Printf("  invariants:  %d\n", len(bin.Invariants))
+	fmt.Printf("  proof:       %d LF nodes\n", lf.Size(bin.Proof))
+
+	if *showCode {
+		prog, err := alpha.Decode(bin.Code)
+		if err != nil {
+			log.Fatalf("native code does not decode: %v", err)
+		}
+		fmt.Println("\nnative code:")
+		fmt.Print(alpha.Program(prog))
+	}
+	if *showSyms {
+		fmt.Println("\nrelocation symbols:")
+		for i, s := range bin.Symbols {
+			fmt.Printf("  %3d %s\n", i, s)
+		}
+	}
+	if len(bin.Invariants) > 0 {
+		fmt.Println("\ninvariant table:")
+		for _, inv := range bin.Invariants {
+			p, err := lf.DecodePred(inv.Pred)
+			if err != nil {
+				log.Fatalf("invariant at pc %d does not decode: %v", inv.PC, err)
+			}
+			fmt.Printf("  pc %3d: %s\n", inv.PC, p)
+		}
+	}
+	if *showProof {
+		fmt.Println("\nproof term:")
+		fmt.Println(bin.Proof)
+	}
+}

@@ -1,0 +1,116 @@
+// Command pccmon is a network-monitoring application of the kind the
+// paper's introduction motivates ("packet filters have been used
+// successfully in network monitoring and diagnosis"): it boots the
+// simulated extensible kernel, certifies and installs all four paper
+// filters plus any user-supplied ones, runs a trace (synthetic or
+// pcap) through them, and reports per-filter traffic statistics with
+// the modeled per-packet cost — the whole PCC story as one tool.
+//
+// Usage:
+//
+//	pccmon [-packets N] [-pcap trace.pcap] [-filter name=file.pcc]...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/filters"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/pktgen"
+
+	pcc "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccmon: ")
+	packets := flag.Int("packets", 50000, "synthetic trace length")
+	pcapFile := flag.String("pcap", "", "replay a pcap capture instead of the generator")
+	seed := flag.Uint64("seed", 1996, "synthetic trace seed")
+	budget := flag.Int64("budget", 0, "per-packet worst-case cycle budget enforced at install (0 = off)")
+	extra := map[string]string{}
+	flag.Func("filter", "additional filter as name=file.pcc (repeatable)", func(s string) error {
+		name, file, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("expected name=file.pcc")
+		}
+		extra[name] = file
+		return nil
+	})
+	flag.Parse()
+
+	k := kernel.New()
+	if *budget > 0 {
+		k.SetCycleBudget(kernel.CycleBudget(*budget))
+		fmt.Printf("cycle budget: %d cycles/packet (static WCET enforced at install)\n", *budget)
+	}
+	for _, f := range filters.All {
+		cert, err := pcc.Certify(filters.Source(f), k.FilterPolicy(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := k.InstallFilter(f.String(), cert.Binary); err != nil {
+			fmt.Printf("%v\n", err)
+			continue
+		}
+	}
+	for name, file := range extra {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := k.InstallFilter(name, data); err != nil {
+			log.Fatalf("%v (the kernel refuses unproven filters)", err)
+		}
+	}
+	fmt.Printf("monitoring with %d validated filters: %s\n",
+		len(k.Owners()), strings.Join(k.Owners(), ", "))
+
+	var pkts []pktgen.Packet
+	if *pcapFile != "" {
+		f, err := os.Open(*pcapFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pkts, err = pktgen.ReadPcap(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		pkts = pktgen.Generate(*packets, pktgen.Config{Seed: *seed})
+	}
+
+	var bytes int
+	for _, p := range pkts {
+		bytes += p.Len()
+		if _, err := k.DeliverPacket(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := k.Stats()
+	fmt.Printf("\nprocessed %d packets (%d bytes)\n", st.Packets, bytes)
+	fmt.Printf("%-14s %10s %8s\n", "filter", "matches", "share")
+	accepts := k.Accepts()
+	names := make([]string, 0, len(accepts))
+	for n := range accepts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-14s %10d %7.1f%%\n", n, accepts[n],
+			100*float64(accepts[n])/float64(st.Packets))
+	}
+	perPkt := machine.Micros(st.ExtensionCycles) / float64(st.Packets) / float64(len(k.Owners()))
+	fmt.Printf("\nmodeled filtering cost: %.2f µs per packet per filter "+
+		"(%.1f ms total at 175 MHz)\n", perPkt, machine.Micros(st.ExtensionCycles)/1000)
+	fmt.Printf("one-time validation: %.2f ms for %d filters — no further run-time checks\n",
+		st.ValidationMicros/1000, st.Validations-st.Rejections)
+}

@@ -1,0 +1,107 @@
+// Command pccpolicy manages textual safety-policy files: it checks and
+// pretty-prints them, lists the built-in policies, and implements the
+// §4 policy-negotiation protocol (a consumer deciding whether a
+// producer-proposed policy implies its own).
+//
+// Usage:
+//
+//	pccpolicy list
+//	pccpolicy show packet-filter/v1
+//	pccpolicy check my-policy.txt
+//	pccpolicy negotiate -base packet-filter/v1 proposed.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	pcc "repro"
+	"repro/internal/lf"
+	"repro/internal/policy"
+)
+
+var builtins = []string{
+	"packet-filter/v1", "resource-access/v1", "sfi-segment/v1", "semaphore/v1",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccpolicy: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, name := range builtins {
+			p, err := policy.ByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-22s %s\n", p.Name, p.Convention)
+		}
+	case "show":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		p, err := loadPolicy(os.Args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(policy.Format(p))
+	case "check":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		p, err := loadPolicy(os.Args[2])
+		if err != nil {
+			log.Fatalf("INVALID: %v", err)
+		}
+		fmt.Printf("OK: %s\n", p.Name)
+	case "sig":
+		fmt.Print(lf.FormatSignature(lf.NewSignature()))
+	case "negotiate":
+		fs := flag.NewFlagSet("negotiate", flag.ExitOnError)
+		base := fs.String("base", "packet-filter/v1", "the consumer's own policy (name or file)")
+		if err := fs.Parse(os.Args[2:]); err != nil || fs.NArg() != 1 {
+			usage()
+		}
+		basePol, err := loadPolicy(*base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proposed, err := loadPolicy(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pcc.NegotiatePolicy(basePol, proposed); err != nil {
+			log.Fatalf("REJECTED: %v", err)
+		}
+		fmt.Printf("ACCEPTED: %q may be used in place of %q\n", proposed.Name, basePol.Name)
+	default:
+		usage()
+	}
+}
+
+// loadPolicy resolves a built-in name or reads a policy file.
+func loadPolicy(nameOrFile string) (*policy.Policy, error) {
+	if p, err := policy.ByName(nameOrFile); err == nil {
+		return p, nil
+	}
+	data, err := os.ReadFile(nameOrFile)
+	if err != nil {
+		return nil, err
+	}
+	return policy.Parse(string(data))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pccpolicy list
+  pccpolicy show <name-or-file>
+  pccpolicy check <file>
+  pccpolicy sig
+  pccpolicy negotiate -base <name-or-file> <proposed-file>`)
+	os.Exit(2)
+}

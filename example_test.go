@@ -1,0 +1,78 @@
+package pcc_test
+
+// Runnable godoc examples for the public API.
+
+import (
+	"fmt"
+
+	pcc "repro"
+	"repro/internal/machine"
+	"repro/internal/policy"
+)
+
+// Example demonstrates the full Figure 1 lifecycle: publish a policy,
+// certify an extension, validate the PCC binary, and execute with no
+// run-time checks.
+func Example() {
+	pol := pcc.ResourceAccessPolicy()
+
+	cert, err := pcc.Certify(`
+        LDQ   r1, 0(r0)     ; tag
+        BEQ   r1, skip      ; read-only entry?
+        LDQ   r2, 8(r0)
+        ADDQ  r2, 1, r2
+        STQ   r2, 8(r0)     ; increment the data word
+skip:   RET
+	`, pol, nil)
+	if err != nil {
+		fmt.Println("certification failed:", err)
+		return
+	}
+
+	ext, _, err := pcc.Validate(cert.Binary, pol)
+	if err != nil {
+		fmt.Println("validation failed:", err)
+		return
+	}
+
+	mem := machine.NewMemory()
+	entry := machine.NewRegion("table", 0x1000, 16, true)
+	entry.SetWord(0, 1)  // tag: writable
+	entry.SetWord(8, 41) // data
+	mem.MustAddRegion(entry)
+	state := &machine.State{Mem: mem}
+	state.R[0] = 0x1000
+
+	if _, err := ext.Run(state, 100); err != nil {
+		fmt.Println("fault:", err)
+		return
+	}
+	fmt.Println("data:", entry.Word(8))
+	// Output: data: 42
+}
+
+// ExampleCertify_rejected shows certification refusing an unsafe
+// program: the proof simply cannot be constructed.
+func ExampleCertify_rejected() {
+	_, err := pcc.Certify("STQ r1, 0(r0)\nRET", &policy.Policy{
+		Name: "read-only/v1",
+		Pre:  pcc.ResourceAccessPolicy().Pre, // no wr(r0) on offer
+		Post: pcc.ResourceAccessPolicy().Post,
+	}, nil)
+	fmt.Println(err != nil)
+	// Output: true
+}
+
+// ExampleNegotiatePolicy shows the §4 run-time policy negotiation: a
+// producer-proposed policy is accepted exactly when the consumer can
+// prove its own guarantees cover it.
+func ExampleNegotiatePolicy() {
+	base := pcc.PacketFilterPolicy()
+	weaker := &policy.Policy{
+		Name: "first-word-only/v1",
+		Pre:  pcc.PacketFilterPolicy().Pre, // same guarantees, fewer demands below
+		Post: base.Post,
+	}
+	fmt.Println(pcc.NegotiatePolicy(base, weaker) == nil)
+	// Output: true
+}

@@ -1,0 +1,74 @@
+// Checksum loop (§4): certify a program WITH a loop by shipping its
+// loop invariant in the PCC binary's invariant table, then show the
+// run-time payoff: the optimized 64-bit routine beats the
+// byte-order-style "standard C version" by about 2x — with a formal
+// safety guarantee and zero run-time checks.
+//
+// Run with: go run ./examples/checksum
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pcc "repro"
+	"repro/internal/alpha"
+	"repro/internal/filters"
+	"repro/internal/logic"
+	"repro/internal/machine"
+	"repro/internal/pktgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	pol := pcc.PacketFilterPolicy()
+
+	// The invariant: the loop offset stays aligned and in bounds, and
+	// the packet-read clause of the precondition is carried across
+	// iterations. The PCC binary maps the backward-branch target to
+	// this predicate, as §4 describes.
+	inv := filters.ChecksumInvariant()
+	fmt.Printf("loop invariant:\n  %s\n\n", logic.NormPred(inv))
+
+	cert, err := pcc.Certify(filters.SrcChecksum, pol,
+		map[string]logic.Pred{"loop": inv})
+	if err != nil {
+		log.Fatalf("certification failed: %v", err)
+	}
+	fmt.Printf("certified: %d instructions (8-instruction core loop), %d-byte binary\n",
+		cert.Instructions, len(cert.Binary))
+
+	ext, stats, err := pcc.Validate(cert.Binary, pol)
+	if err != nil {
+		log.Fatalf("validation failed: %v", err)
+	}
+	fmt.Printf("validated in %s (the paper's looping routine took 3.6 ms)\n\n", stats.Time)
+
+	// Race it against the 32-bit-at-a-time baseline.
+	baseline := alpha.MustAssemble(filters.SrcChecksumWord32).Prog
+	env := filters.Env{}
+	var fast, slow int64
+	pkts := pktgen.Generate(1000, pktgen.Config{Seed: 8})
+	for i, p := range pkts {
+		r1, c1, err := env.Exec(ext.Prog, p.Data, machine.Unchecked)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r2, c2, err := env.Exec(baseline, p.Data, machine.Unchecked)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r1 != r2 || uint16(r1) != filters.RefChecksum(p.Data) {
+			log.Fatalf("packet %d: checksum mismatch", i)
+		}
+		fast += c1
+		slow += c2
+	}
+	fmt.Printf("checksummed %d packets, all three implementations agree\n", len(pkts))
+	fmt.Printf("  optimized PCC routine: %.2f µs/packet\n",
+		machine.Micros(fast)/float64(len(pkts)))
+	fmt.Printf("  standard C-style loop: %.2f µs/packet\n",
+		machine.Micros(slow)/float64(len(pkts)))
+	fmt.Printf("  speedup: %.2fx (paper: 'beating the standard C version ... by a factor of two')\n",
+		float64(slow)/float64(fast))
+}

@@ -1,0 +1,105 @@
+// Custom rules: the §3 axiom-learning workflow. The prover gets stuck
+// on a program whose safety depends on an arithmetic fact outside the
+// core rule set ("when it gets stuck, it requires intervention from
+// the programmer, mainly to learn new axioms about arithmetic"). The
+// consumer vets the new axiom — fuzzing it against the 64-bit model —
+// and publishes it as part of the policy, so it is "remembered" by
+// both sides; the binary's rule-set fingerprint keeps everyone honest.
+//
+// Run with: go run ./examples/customrules
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pcc "repro"
+	"repro/internal/logic"
+	"repro/internal/policy"
+)
+
+// The filter computes a load offset by OR-combining two 8-aligned
+// pieces. Perfectly safe — but the core rule set cannot prove that
+// (a|b) stays aligned.
+const src = `
+        CLR    r0
+        LDQ    r4, 0(r1)
+        AND    r4, 32, r4
+        BIS    r4, 8, r4       ; offset = (x & 32) | 8
+        CMPULT r4, r2, r5
+        BEQ    r5, out
+        ADDQ   r1, r4, r6
+        LDQ    r0, 0(r6)
+out:    RET
+`
+
+func main() {
+	log.SetFlags(0)
+
+	base := pcc.PacketFilterPolicy()
+	if _, err := pcc.Certify(src, base, nil); err != nil {
+		fmt.Printf("under the core rules the prover gets stuck:\n  %v\n\n", err)
+	} else {
+		log.Fatal("expected the core rules to be insufficient")
+	}
+
+	// The programmer proposes the missing fact; the consumer vets it
+	// (20,000 random 64-bit models) and publishes it with the policy.
+	a, b, m := logic.V("$a"), logic.V("$b"), logic.V("$m")
+	zero := logic.C(0)
+	borAlign := &logic.Schema{
+		Name:   "bor_align",
+		Params: []string{"$a", "$b", "$m"},
+		Prems: []logic.Pred{
+			logic.Eq(logic.And2(a, m), zero),
+			logic.Eq(logic.And2(b, m), zero),
+			logic.Eq(logic.And2(m, logic.Add(m, logic.C(1))), zero),
+		},
+		Concl:   logic.Eq(logic.And2(logic.Or2(a, b), m), zero),
+		Comment: "a,b ≡ 0 mod (m+1), m=2^k−1 ⇒ a|b ≡ 0",
+	}
+	if err := pcc.VetAxioms([]*logic.Schema{borAlign}, 20000); err != nil {
+		log.Fatalf("axiom failed vetting: %v", err)
+	}
+	fmt.Println("proposed axiom vetted against 20,000 random 64-bit models:")
+	fmt.Printf("  %s: %s\n\n", borAlign.Name, borAlign.Comment)
+
+	pol := &policy.Policy{
+		Name:       "packet-filter-bor/v1",
+		Pre:        base.Pre,
+		Post:       base.Post,
+		Convention: base.Convention,
+		Axioms:     []*logic.Schema{borAlign},
+	}
+	cert, err := pcc.Certify(src, pol, nil)
+	if err != nil {
+		log.Fatalf("certification still failed: %v", err)
+	}
+	fmt.Printf("certified under %q: %d-byte binary\n", pol.Name, len(cert.Binary))
+
+	if _, _, err := pcc.Validate(cert.Binary, pol); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("validated: the proof uses bor_align and the consumer's extended signature accepts it")
+
+	// A consumer that never published the axiom refuses the binary
+	// before even looking at the proof.
+	plain := pcc.PacketFilterPolicy()
+	plain.Name = pol.Name
+	if _, _, err := pcc.Validate(cert.Binary, plain); err != nil {
+		fmt.Printf("\na consumer without the axiom: REJECTED\n  (%v)\n", err)
+	} else {
+		log.Fatal("rule-set mismatch went unnoticed!")
+	}
+
+	// And an unsound "axiom" never gets published in the first place.
+	lies := &logic.Schema{
+		Name: "wishful", Params: []string{"$a", "$b"},
+		Concl: logic.Ult(a, b),
+	}
+	if err := pcc.VetAxioms([]*logic.Schema{lies}, 20000); err != nil {
+		fmt.Printf("\nand an unsound proposal dies at vetting:\n  %v\n", err)
+	} else {
+		log.Fatal("unsound axiom passed vetting!")
+	}
+}

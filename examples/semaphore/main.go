@@ -1,0 +1,91 @@
+// Semaphore: the §2 discussion of safety policies beyond memory
+// protection — "we could change the tag word in the table entry to be
+// a semaphore that the user code must acquire before trying to write
+// the data word; furthermore, we could also require (via a simple
+// postcondition) that the code releases the semaphore before
+// returning."
+//
+// This example publishes exactly that policy and shows that a
+// well-behaved extension certifies while a lock-leaking one — which is
+// perfectly memory-safe! — is rejected at certification time, with no
+// run-time lock tracking anywhere.
+//
+// Run with: go run ./examples/semaphore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pcc "repro"
+	"repro/internal/machine"
+	"repro/internal/policy"
+)
+
+const goodClient = `
+        MOV   1, r4
+        STQ   r4, 0(r0)     ; acquire the semaphore
+        LDQ   r5, 8(r0)
+        ADDQ  r5, r5, r5    ; double the protected value
+        STQ   r5, 8(r0)
+        CLR   r4
+        STQ   r4, 0(r0)     ; release before returning
+        RET
+`
+
+const leakyClient = `
+        MOV   1, r4
+        STQ   r4, 0(r0)     ; acquire
+        LDQ   r5, 8(r0)
+        BEQ   r5, out       ; early return on zero payload: LOCK LEAK
+        ADDQ  r5, r5, r5
+        STQ   r5, 8(r0)
+        CLR   r4
+        STQ   r4, 0(r0)
+out:    RET
+`
+
+func main() {
+	log.SetFlags(0)
+	pol := policy.Semaphore()
+	fmt.Printf("policy %q\n  pre:  %s\n  post: %s\n\n", pol.Name, pol.Pre, pol.Post)
+
+	cert, err := pcc.Certify(goodClient, pol, nil)
+	if err != nil {
+		log.Fatalf("well-behaved client failed to certify: %v", err)
+	}
+	fmt.Printf("well-behaved client: CERTIFIED (%d-byte binary)\n", len(cert.Binary))
+
+	if _, err := pcc.Certify(leakyClient, pol, nil); err != nil {
+		fmt.Printf("lock-leaking client: REJECTED at certification\n  (%v)\n", err)
+	} else {
+		log.Fatal("lock leaker certified!")
+	}
+
+	// The leak is a liveness-of-the-lock property, not a memory-safety
+	// one: under the same precondition with a trivial postcondition,
+	// the leaky client certifies fine.
+	memOnly := &policy.Policy{Name: "semaphore-mem-only/v1", Pre: pol.Pre, Post: pcc.PacketFilterPolicy().Post}
+	if _, err := pcc.Certify(leakyClient, memOnly, nil); err != nil {
+		log.Fatalf("leaky client is memory-safe but failed: %v", err)
+	}
+	fmt.Println("\nthe same leaky client IS memory-safe: it certifies once the")
+	fmt.Println("release postcondition is dropped — the postcondition alone catches it")
+
+	// Run the good client.
+	ext, _, err := pcc.Validate(cert.Binary, pol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem := machine.NewMemory()
+	entry := machine.NewRegion("entry", 0x1000, 16, true)
+	entry.SetWord(8, 21)
+	mem.MustAddRegion(entry)
+	s := &machine.State{Mem: mem}
+	s.R[0] = 0x1000
+	if _, err := ext.Run(s, 100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nran the certified client: data 21 -> %d, semaphore = %d (released)\n",
+		entry.Word(8), entry.Word(0))
+}

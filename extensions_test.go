@@ -1,0 +1,362 @@
+package pcc
+
+// Tests for the §4 future-work features implemented beyond the paper's
+// evaluation: nontrivial postconditions (the semaphore-release policy),
+// run-time policy negotiation, and textual policy files.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/filters"
+	"repro/internal/logic"
+	"repro/internal/machine"
+	"repro/internal/pccbin"
+	"repro/internal/pktgen"
+	"repro/internal/policy"
+)
+
+// A well-behaved locking client: acquire, update, release.
+const lockOKSrc = `
+        MOV   1, r4
+        STQ   r4, 0(r0)     ; acquire the semaphore
+        LDQ   r5, 8(r0)
+        ADDQ  r5, 1, r5
+        STQ   r5, 8(r0)     ; update the protected data
+        CLR   r4
+        STQ   r4, 0(r0)     ; release before returning
+        RET
+`
+
+// A buggy client that forgets the release on one path.
+const lockLeakSrc = `
+        MOV   1, r4
+        STQ   r4, 0(r0)     ; acquire
+        LDQ   r5, 8(r0)
+        BEQ   r5, out       ; zero payload: early return WITH THE LOCK HELD
+        CLR   r4
+        STQ   r4, 0(r0)     ; release
+out:    RET
+`
+
+func TestSemaphorePolicyCertifiesCorrectClient(t *testing.T) {
+	pol := policy.Semaphore()
+	cert, err := Certify(lockOKSrc, pol, nil)
+	if err != nil {
+		t.Fatalf("correct locking client failed to certify: %v", err)
+	}
+	ext, _, err := Validate(cert.Binary, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := machine.NewMemory()
+	entry := machine.NewRegion("entry", 0x1000, 16, true)
+	entry.SetWord(8, 6)
+	mem.MustAddRegion(entry)
+	s := &machine.State{Mem: mem}
+	s.R[0] = 0x1000
+	if _, err := ext.RunChecked(s, 100); err != nil {
+		t.Fatal(err)
+	}
+	if entry.Word(0) != 0 {
+		t.Fatalf("semaphore held after return: %d", entry.Word(0))
+	}
+	if entry.Word(8) != 7 {
+		t.Fatalf("data = %d, want 7", entry.Word(8))
+	}
+}
+
+func TestSemaphorePolicyRejectsLockLeak(t *testing.T) {
+	if _, err := Certify(lockLeakSrc, policy.Semaphore(), nil); err == nil {
+		t.Fatal("lock-leaking client certified")
+	}
+	// The same program is perfectly memory-safe: it certifies under a
+	// policy without the release postcondition — the leak is caught by
+	// the postcondition alone.
+	memOnly := &policy.Policy{
+		Name: "semaphore-no-post/v1",
+		Pre:  policy.Semaphore().Pre,
+		Post: logic.True,
+	}
+	if _, err := Certify(lockLeakSrc, memOnly, nil); err != nil {
+		t.Fatalf("lock leaker is memory-safe yet failed: %v", err)
+	}
+}
+
+func TestNegotiateAcceptsWeakerPolicy(t *testing.T) {
+	// A producer proposes a policy that assumes strictly less than the
+	// packet-filter policy offers: read access to the first words only,
+	// no scratch, no aliasing clause.
+	base := PacketFilterPolicy()
+	proposed := &policy.Policy{
+		Name: "header-only/v1",
+		Pre: logic.MustParsePred(
+			"64 <= r2 /\\ (ALL i. (0 <= i /\\ i < r2 /\\ (i & 7) = 0) => rd(r1 + i))"),
+		Post: logic.True,
+	}
+	if err := NegotiatePolicy(base, proposed); err != nil {
+		t.Fatalf("weaker policy rejected: %v", err)
+	}
+
+	// And a binary certified under the negotiated policy validates.
+	cert, err := Certify(`
+        LDQ  r4, 8(r1)
+        SLL  r4, 16, r4
+        SRL  r4, 48, r4
+        CMPEQ r4, 8, r0
+        RET
+	`, proposed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Validate(cert.Binary, proposed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegotiateRejectsStrongerPolicy(t *testing.T) {
+	// A proposal demanding write access to the packet must be refused:
+	// the consumer cannot guarantee it.
+	base := PacketFilterPolicy()
+	greedy := &policy.Policy{
+		Name: "writable-packet/v1",
+		Pre:  logic.MustParsePred("wr(r1)"),
+		Post: logic.True,
+	}
+	err := NegotiatePolicy(base, greedy)
+	if err == nil {
+		t.Fatal("policy demanding packet writes accepted")
+	}
+	if !strings.Contains(err.Error(), "precondition") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestNegotiateRejectsWeakerPostcondition(t *testing.T) {
+	base := policy.Semaphore()
+	sloppy := &policy.Policy{
+		Name: "no-release/v1",
+		Pre:  policy.Semaphore().Pre,
+		Post: logic.True, // promises nothing about the lock
+	}
+	if err := NegotiatePolicy(base, sloppy); err == nil {
+		t.Fatal("policy dropping the release obligation accepted")
+	}
+	// The reflexive case must hold.
+	if err := NegotiatePolicy(base, base); err != nil {
+		t.Fatalf("policy does not negotiate with itself: %v", err)
+	}
+}
+
+func TestPolicyFileRoundTrip(t *testing.T) {
+	for _, pol := range []*policy.Policy{
+		PacketFilterPolicy(), ResourceAccessPolicy(), SFISegmentPolicy(), policy.Semaphore(),
+	} {
+		text := policy.Format(pol)
+		back, err := policy.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", pol.Name, err, text)
+		}
+		if back.Name != pol.Name {
+			t.Errorf("%s: name %q", pol.Name, back.Name)
+		}
+		if !logic.AlphaEqual(back.Pre, pol.Pre) {
+			t.Errorf("%s: precondition changed:\n  in:  %s\n  out: %s",
+				pol.Name, pol.Pre, back.Pre)
+		}
+		if !logic.AlphaEqual(back.Post, pol.Post) {
+			t.Errorf("%s: postcondition changed", pol.Name)
+		}
+	}
+}
+
+func TestPolicyParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                    // missing everything
+		"pre: rd(r0)",                         // missing name
+		"name: x/v1",                          // missing pre
+		"name: x/v1\npre: rd(",                // bad predicate
+		"name: x/v1\npre: rd(q9)",             // non-state variable
+		"name: x/v1\nname: y/v1\npre: rd(r0)", // duplicate key
+		"name: x/v1\nbogus: 3\npre: rd(r0)",   // unknown key
+		"nonsense line",
+	}
+	for _, src := range cases {
+		if _, err := policy.Parse(src); err == nil {
+			t.Errorf("%q: parsed successfully", src)
+		}
+	}
+}
+
+func TestPolicyFileDrivesCertification(t *testing.T) {
+	// A consumer publishing this file gets a working policy end to end.
+	const file = `
+# A read-only view of a single table entry.
+name:       read-entry/v1
+convention: r0 holds the entry address
+pre:        rd(r0) /\ rd(r0 + 8)
+post:       true
+`
+	pol, err := policy.Parse(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Certify("LDQ r1, 0(r0)\nLDQ r0, 8(r0)\nRET", pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Validate(cert.Binary, pol); err != nil {
+		t.Fatal(err)
+	}
+	// Writing is outside this policy.
+	if _, err := Certify("STQ r1, 0(r0)\nRET", pol, nil); err == nil {
+		t.Fatal("write certified under read-only policy")
+	}
+}
+
+func TestSignatureFingerprintMismatchRejected(t *testing.T) {
+	// A binary whose rule-set fingerprint differs from the consumer's
+	// must be rejected before any proof checking (the producer built
+	// its proof against different published rules).
+	cert, err := Certify(lockOKSrc, policy.Semaphore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := pccbin.Unmarshal(cert.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin.SigHash ^= 0xdeadbeef
+	data, _, err := bin.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Validate(data, policy.Semaphore())
+	if err == nil || !strings.Contains(err.Error(), "rule set") {
+		t.Fatalf("fingerprint mismatch accepted: %v", err)
+	}
+}
+
+func TestValidatedFiltersNeverTouchThePacket(t *testing.T) {
+	// End-to-end immutability: run every validated filter UNCHECKED
+	// over a trace and assert the packet region is bit-identical
+	// afterwards — the promise that makes zero-run-time-check kernel
+	// residency acceptable.
+	pol := PacketFilterPolicy()
+	pkts := pktgen.Generate(2000, pktgen.Config{Seed: 77})
+	for _, f := range filters.All {
+		cert, err := Certify(filters.Source(f), pol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ext, _, err := Validate(cert.Binary, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := filters.Env{}
+		for i, p := range pkts {
+			s := env.NewState(p.Data)
+			before := append([]byte(nil), s.Mem.Region("packet").Bytes()...)
+			if _, err := machine.Interp(ext.Prog, s, machine.Unchecked, nil, 1<<20); err != nil {
+				t.Fatalf("%v pkt %d: %v", f, i, err)
+			}
+			after := s.Mem.Region("packet").Bytes()
+			for j := range before {
+				if before[j] != after[j] {
+					t.Fatalf("%v pkt %d: packet byte %d mutated", f, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDisjunctivePolicyCertifiesBranchingClient(t *testing.T) {
+	// A §2-style policy with a disjunctive contract: the entry's data
+	// word is writable, OR the tag is zero (read-only entry, and the
+	// kernel promises nothing else). A client that only writes under a
+	// tag≠0 test certifies: in the tag=0 case the write is never
+	// reached, and the prover discharges the impossible branch by
+	// contradiction.
+	pol := &policy.Policy{
+		Name: "maybe-writable/v1",
+		Pre: logic.MustParsePred(
+			"rd(r0) /\\ rd(r0 + 8) /\\ (wr(r0 + 8) \\/ sel(rm, r0) = 0)"),
+		Post: logic.True,
+	}
+	good := `
+        LDQ   r1, 0(r0)     ; tag
+        BEQ   r1, skip      ; tag = 0: do not write
+        LDQ   r2, 8(r0)
+        ADDQ  r2, 1, r2
+        STQ   r2, 8(r0)     ; reached only when tag ≠ 0
+skip:   RET
+`
+	cert, err := Certify(good, pol, nil)
+	if err != nil {
+		t.Fatalf("guarded client failed under disjunctive policy: %v", err)
+	}
+	if _, _, err := Validate(cert.Binary, pol); err != nil {
+		t.Fatal(err)
+	}
+
+	// The unguarded write must not certify: in the sel=0 case nothing
+	// licenses it.
+	bad := "LDQ r2, 8(r0)\nSTQ r2, 8(r0)\nRET"
+	if _, err := Certify(bad, pol, nil); err == nil {
+		t.Fatal("unguarded write certified under disjunctive policy")
+	}
+}
+
+func TestPolicyFileWithAxioms(t *testing.T) {
+	const file = `
+name:       packet-filter-bor/v1
+convention: like packet-filter/v1, plus OR-alignment reasoning
+pre:        64 <= r2 /\ (ALL i. (i < r2 /\ (i & 7) = 0) => rd(r1 + i))
+post:       true
+axiom:      bor_align($a, $b, $m) : ($a & $m) = 0 ; ($b & $m) = 0 ;
+            ($m & ($m + 1)) = 0 |- (($a | $b) & $m) = 0
+`
+	pol, err := policy.Parse(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Axioms) != 1 || pol.Axioms[0].Name != "bor_align" {
+		t.Fatalf("axioms = %+v", pol.Axioms)
+	}
+	if len(pol.Axioms[0].Prems) != 3 {
+		t.Fatalf("premises = %d", len(pol.Axioms[0].Prems))
+	}
+	if err := VetAxioms(pol.Axioms, 20000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round trip through Format.
+	back, err := policy.Parse(policy.Format(pol))
+	if err != nil {
+		t.Fatalf("formatted policy does not re-parse: %v\n%s", err, policy.Format(pol))
+	}
+	if len(back.Axioms) != 1 || !logic.PredEqual(back.Axioms[0].Concl, pol.Axioms[0].Concl) {
+		t.Fatal("axiom changed in round trip")
+	}
+
+	// And it certifies the OR-combined offset program end to end.
+	src := `
+        CLR    r0
+        LDQ    r4, 0(r1)
+        AND    r4, 32, r4
+        BIS    r4, 8, r4
+        CMPULT r4, r2, r5
+        BEQ    r5, out
+        ADDQ   r1, r6, r6     ; no-op shuffle to keep r6 live
+        ADDQ   r1, r4, r6
+        LDQ    r0, 0(r6)
+out:    RET
+`
+	cert, err := Certify(src, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Validate(cert.Binary, pol); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+package alpha
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// resourceSrc is the Figure 5 program of the paper.
+const resourceSrc = `
+        ADDQ  r0, 8, r1     % Address of data in r1
+        LDQ   r0, 8(r0)     % Data in r0
+        LDQ   r2, -8(r1)    % Tag in r2
+        ADDQ  r0, 1, r0     % Increment data
+        BEQ   r2, L1        % Skip if tag == 0
+        STQ   r0, 0(r1)     % Write back data
+L1:     RET                 % Done
+`
+
+func TestAssembleFigure5(t *testing.T) {
+	a, err := Assemble(resourceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Prog) != 7 {
+		t.Fatalf("got %d instructions, want 7", len(a.Prog))
+	}
+	if a.Labels["L1"] != 6 {
+		t.Fatalf("L1 = %d, want 6", a.Labels["L1"])
+	}
+	want := []Op{ADDQ, LDQ, LDQ, ADDQ, BEQ, STQ, RET}
+	for i, op := range want {
+		if a.Prog[i].Op != op {
+			t.Errorf("instr %d: op %v, want %v", i, a.Prog[i].Op, op)
+		}
+	}
+	if a.Prog[2].Disp != -8 {
+		t.Errorf("LDQ disp = %d, want -8", a.Prog[2].Disp)
+	}
+	if a.Prog[4].Target != 6 {
+		t.Errorf("BEQ target = %d, want 6", a.Prog[4].Target)
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	for _, src := range []string{
+		"RET ; semicolon",
+		"RET # hash",
+		"RET % percent",
+	} {
+		a, err := Assemble(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if len(a.Prog) != 1 || a.Prog[0].Op != RET {
+			t.Errorf("%q: wrong program", src)
+		}
+	}
+}
+
+func TestAssemblePseudoOps(t *testing.T) {
+	a, err := Assemble(`
+		MOV   r1, r2
+		MOV   7, r3
+		CLR   r4
+		MOVI  2048, r5
+		RET
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.Prog
+	if p[0].Op != BIS || p[0].Ra != RegZero || p[0].Rb != 1 || p[0].Rc != 2 {
+		t.Errorf("MOV r1,r2 = %v", p[0])
+	}
+	if p[1].Op != BIS || !p[1].HasLit || p[1].Lit != 7 || p[1].Rc != 3 {
+		t.Errorf("MOV 7,r3 = %v", p[1])
+	}
+	if p[2].Op != BIS || !p[2].HasLit || p[2].Lit != 0 || p[2].Rc != 4 {
+		t.Errorf("CLR r4 = %v", p[2])
+	}
+	if p[3].Op != LDA || p[3].Ra != 5 || p[3].Rb != RegZero || p[3].Disp != 2048 {
+		t.Errorf("MOVI 2048,r5 = %v", p[3])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"FOO r0, r1, r2", "unknown mnemonic"},
+		{"ADDQ r0, r1", "3 operands"},
+		{"ADDQ r0, 999, r1", "8-bit range"},
+		{"ADDQ r0, r1, r31", "not writable"},
+		{"ADDQ r0, r1, r11", "out of range"},
+		{"BEQ r0, nowhere\nRET", "undefined label"},
+		{"L: RET\nL: RET", "duplicate label"},
+		{"LDQ r0, 8", "disp(reg)"},
+		{"LDQ r0, 40000(r1)", "16-bit range"},
+		{"MOVI 70000, r1", "16-bit range"},
+		{"BEQ r0, 5more", "bad branch target"},
+		{"1bad: RET", "bad label"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got nil", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestValidateBranchRange(t *testing.T) {
+	prog := []Instr{{Op: BEQ, Ra: 0, Target: 5}}
+	if err := Validate(prog); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+	prog[0].Target = 1 // one past the end is allowed (fallthrough exit)
+	if err := Validate(prog); err != nil {
+		t.Errorf("target just past end rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeFigure5(t *testing.T) {
+	a := MustAssemble(resourceSrc)
+	code, err := Encode(a.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(code) != 4*len(a.Prog) {
+		t.Fatalf("code size %d", len(code))
+	}
+	back, err := Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(a.Prog) {
+		t.Fatalf("decoded %d instrs", len(back))
+	}
+	for i := range back {
+		if back[i] != a.Prog[i] {
+			t.Errorf("instr %d: decode mismatch %v vs %v", i, back[i], a.Prog[i])
+		}
+	}
+}
+
+func TestDecodeRejectsUnknown(t *testing.T) {
+	// CALL_PAL 0 (opcode 0) is outside the subset.
+	if _, err := Decode([]byte{0, 0, 0, 0}); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+	// A jump that is not the canonical RET.
+	bad := EncRET ^ 1
+	code := []byte{byte(bad), byte(bad >> 8), byte(bad >> 16), byte(bad >> 24)}
+	if _, err := Decode(code); err == nil {
+		t.Error("non-canonical jump accepted")
+	}
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated code accepted")
+	}
+}
+
+func TestDecodeRejectsForeignRegisters(t *testing.T) {
+	// LDQ r16, 0(r0): register 16 is outside the paper's subset.
+	w := uint32(opcLDQ)<<26 | 16<<21
+	code := []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+	if _, err := Decode(code); err == nil {
+		t.Error("foreign register accepted")
+	}
+}
+
+// randInstr generates a random valid instruction for round-trip testing.
+func randInstr(r *rand.Rand, progLen, pc int) Instr {
+	reg := func() Reg {
+		if r.Intn(8) == 0 {
+			return RegZero
+		}
+		return Reg(r.Intn(NumRegs))
+	}
+	wreg := func() Reg { return Reg(r.Intn(NumRegs)) }
+	ops := []Op{LDQ, STQ, LDA, ADDQ, SUBQ, AND, BIS, XOR, SLL, SRL,
+		CMPEQ, CMPULT, CMPULE, BEQ, BNE, BGE, BLT, BR, RET}
+	op := ops[r.Intn(len(ops))]
+	switch op.Class() {
+	case ClassMem:
+		ra := wreg()
+		if op == STQ {
+			ra = reg()
+		}
+		return Instr{Op: op, Ra: ra, Rb: reg(), Disp: int16(r.Intn(1<<16) - 1<<15)}
+	case ClassOperate:
+		ins := Instr{Op: op, Ra: reg(), Rc: wreg()}
+		if r.Intn(2) == 0 {
+			ins.HasLit = true
+			ins.Lit = uint8(r.Intn(256))
+		} else {
+			ins.Rb = reg()
+		}
+		return ins
+	case ClassBranch:
+		ins := Instr{Op: op, Target: r.Intn(progLen + 1)}
+		if op != BR {
+			ins.Ra = reg()
+		}
+		return ins
+	default:
+		return Instr{Op: RET}
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + r.Intn(40)
+		prog := make([]Instr, n)
+		for pc := range prog {
+			prog[pc] = randInstr(r, n, pc)
+		}
+		code, err := Encode(prog)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		back, err := Decode(code)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v\n%s", trial, err, Program(prog))
+		}
+		for pc := range prog {
+			if back[pc] != prog[pc] {
+				t.Fatalf("trial %d pc %d: %v != %v", trial, pc, back[pc], prog[pc])
+			}
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	a := MustAssemble(resourceSrc)
+	s := Program(a.Prog)
+	for _, frag := range []string{"ADDQ", "LDQ", "-8(r1)", "BEQ", "@6", "RET"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("program listing missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if RegZero.String() != "r31" || Reg(3).String() != "r3" {
+		t.Error("Reg.String wrong")
+	}
+	if Reg(11).Valid() || Reg(30).Valid() {
+		t.Error("invalid registers accepted")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("BOGUS")
+}
+
+func TestListingReassembles(t *testing.T) {
+	// Assemble(Listing(p)) must reproduce p exactly — disassembler
+	// output is valid assembler input.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(30)
+		prog := make([]Instr, n)
+		for pc := range prog {
+			prog[pc] = randInstr(r, n, pc)
+		}
+		src := Listing(prog)
+		back, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("trial %d: listing does not re-assemble: %v\n%s", trial, err, src)
+		}
+		if len(back.Prog) != len(prog) {
+			t.Fatalf("trial %d: length changed", trial)
+		}
+		for pc := range prog {
+			if back.Prog[pc] != prog[pc] {
+				t.Fatalf("trial %d pc %d: %v != %v\n%s", trial, pc, back.Prog[pc], prog[pc], src)
+			}
+		}
+	}
+}
+
+func TestAbsoluteBranchTargets(t *testing.T) {
+	a, err := Assemble("BEQ r0, @2\nRET\nRET")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Prog[0].Target != 2 {
+		t.Fatalf("target = %d", a.Prog[0].Target)
+	}
+	if _, err := Assemble("BEQ r0, @-1"); err == nil {
+		t.Fatal("negative absolute target accepted")
+	}
+	if _, err := Assemble("BR @99"); err == nil {
+		t.Fatal("out-of-range absolute target accepted")
+	}
+}
+
+func TestMULQ(t *testing.T) {
+	a, err := Assemble("MULQ r0, 7, r1\nMULQ r1, r2, r3\nRET")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Encode(a.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range back {
+		if back[i] != a.Prog[i] {
+			t.Fatalf("instr %d round trip: %v != %v", i, back[i], a.Prog[i])
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package alpha
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements the prototype assembler's front end: a two-pass
+// assembler for a textual syntax close to DEC's, with labels, comments
+// (';', '#', or '%' to end of line), and a few convenience pseudo-ops:
+//
+//	MOV  src, rd        ->  BIS r31, src, rd
+//	CLR  rd             ->  BIS r31, 0, rd
+//	MOVI imm16, rd      ->  LDA rd, imm16(r31)
+//
+// Operate-format instructions accept a register or an 8-bit literal as
+// their second operand, exactly as the hardware does.
+
+// AsmError describes an assembly failure with its source line.
+type AsmError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *AsmError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Assembled is the result of assembling a source file.
+type Assembled struct {
+	Prog   []Instr
+	Labels map[string]int // label name -> instruction index
+}
+
+// Assemble translates assembly source into an instruction vector.
+func Assemble(src string) (*Assembled, error) {
+	type pending struct {
+		line  int
+		pc    int
+		label string
+	}
+	a := &Assembled{Labels: map[string]int{}}
+	var fixups []pending
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) at the start of the line.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, &AsmError{lineNo + 1, fmt.Sprintf("bad label %q", label)}
+			}
+			if _, dup := a.Labels[label]; dup {
+				return nil, &AsmError{lineNo + 1, fmt.Sprintf("duplicate label %q", label)}
+			}
+			a.Labels[label] = len(a.Prog)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		ins, targetLabel, err := parseInstr(line)
+		if err != nil {
+			return nil, &AsmError{lineNo + 1, err.Error()}
+		}
+		if targetLabel != "" {
+			fixups = append(fixups, pending{lineNo + 1, len(a.Prog), targetLabel})
+		}
+		a.Prog = append(a.Prog, ins)
+	}
+
+	for _, f := range fixups {
+		target, ok := a.Labels[f.label]
+		if !ok {
+			return nil, &AsmError{f.line, fmt.Sprintf("undefined label %q", f.label)}
+		}
+		a.Prog[f.pc].Target = target
+	}
+	if err := Validate(a.Prog); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// MustAssemble is Assemble for statically known-good sources (the
+// shipped filters); it panics on error.
+func MustAssemble(src string) *Assembled {
+	a, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func stripComment(line string) string {
+	for _, sep := range []string{";", "#", "%"} {
+		if i := strings.Index(line, sep); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+var mnemonics = map[string]Op{
+	"LDQ": LDQ, "STQ": STQ, "LDA": LDA,
+	"ADDQ": ADDQ, "SUBQ": SUBQ, "MULQ": MULQ, "AND": AND, "BIS": BIS, "OR": BIS, "XOR": XOR,
+	"SLL": SLL, "SRL": SRL,
+	"CMPEQ": CMPEQ, "CMPULT": CMPULT, "CMPULE": CMPULE,
+	"BEQ": BEQ, "BNE": BNE, "BGE": BGE, "BLT": BLT, "BR": BR,
+	"RET": RET,
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.Fields(line)
+	mnemonic := strings.ToUpper(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+	args := splitArgs(rest)
+
+	switch mnemonic {
+	case "MOV":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("MOV needs 2 operands, got %d", len(args))
+		}
+		ins := Instr{Op: BIS, Ra: RegZero}
+		if err := parseOperand(args[0], &ins); err != nil {
+			return Instr{}, "", err
+		}
+		rd, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ins.Rc = rd
+		return ins, "", nil
+	case "CLR":
+		if len(args) != 1 {
+			return Instr{}, "", fmt.Errorf("CLR needs 1 operand")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: BIS, Ra: RegZero, HasLit: true, Lit: 0, Rc: rd}, "", nil
+	case "MOVI":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("MOVI needs 2 operands")
+		}
+		imm, err := parseInt(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		if imm < -32768 || imm > 32767 {
+			return Instr{}, "", fmt.Errorf("MOVI immediate %d out of 16-bit range", imm)
+		}
+		rd, err := parseReg(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: LDA, Ra: rd, Rb: RegZero, Disp: int16(imm)}, "", nil
+	}
+
+	op, ok := mnemonics[mnemonic]
+	if !ok {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+
+	switch op.Class() {
+	case ClassMem:
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("%s needs 2 operands", op)
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		disp, rb, err := parseMemOperand(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, Ra: ra, Rb: rb, Disp: disp}, "", nil
+
+	case ClassOperate:
+		if len(args) != 3 {
+			return Instr{}, "", fmt.Errorf("%s needs 3 operands", op)
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ins := Instr{Op: op, Ra: ra}
+		if err := parseOperand(args[1], &ins); err != nil {
+			return Instr{}, "", err
+		}
+		rc, err := parseReg(args[2])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ins.Rc = rc
+		return ins, "", nil
+
+	case ClassBranch:
+		want := 2
+		if op == BR {
+			want = 1
+		}
+		if len(args) != want {
+			return Instr{}, "", fmt.Errorf("%s needs %d operand(s)", op, want)
+		}
+		ins := Instr{Op: op}
+		label := args[0]
+		if op != BR {
+			ra, err := parseReg(args[0])
+			if err != nil {
+				return Instr{}, "", err
+			}
+			ins.Ra = ra
+			label = args[1]
+		}
+		// "@N" targets an absolute instruction index, the syntax the
+		// disassembler emits — making disassembly re-assemblable.
+		if abs, ok := strings.CutPrefix(label, "@"); ok {
+			n, err := strconv.Atoi(abs)
+			if err != nil || n < 0 {
+				return Instr{}, "", fmt.Errorf("bad absolute target %q", label)
+			}
+			ins.Target = n
+			return ins, "", nil
+		}
+		if !isIdent(label) {
+			return Instr{}, "", fmt.Errorf("bad branch target %q", label)
+		}
+		return ins, label, nil
+
+	default: // RET
+		if len(args) != 0 {
+			return Instr{}, "", fmt.Errorf("RET takes no operands")
+		}
+		return Instr{Op: RET}, "", nil
+	}
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (Reg, error) {
+	ls := strings.ToLower(s)
+	if ls == "zero" || ls == "r31" {
+		return RegZero, nil
+	}
+	if !strings.HasPrefix(ls, "r") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(ls[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	r := Reg(n)
+	if !r.Valid() {
+		return 0, fmt.Errorf("register %q out of range (r0-r%d, r31)", s, NumRegs-1)
+	}
+	return r, nil
+}
+
+// parseOperand parses the second operand of an operate instruction:
+// a register or an 8-bit literal.
+func parseOperand(s string, ins *Instr) error {
+	if r, err := parseReg(s); err == nil {
+		ins.Rb = r
+		return nil
+	}
+	v, err := parseInt(s)
+	if err != nil {
+		return fmt.Errorf("expected register or literal, got %q", s)
+	}
+	if v < 0 || v > 255 {
+		return fmt.Errorf("literal %d out of 8-bit range", v)
+	}
+	ins.HasLit = true
+	ins.Lit = uint8(v)
+	return nil
+}
+
+// parseMemOperand parses "disp(rb)".
+func parseMemOperand(s string) (int16, Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected disp(reg), got %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	disp := int64(0)
+	if dispStr != "" {
+		var err error
+		disp, err = parseInt(dispStr)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if disp < -32768 || disp > 32767 {
+		return 0, 0, fmt.Errorf("displacement %d out of 16-bit range", disp)
+	}
+	rb, err := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return int16(disp), rb, nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}

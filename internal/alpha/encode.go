@@ -1,0 +1,214 @@
+package alpha
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file encodes programs to and from genuine Alpha AXP machine
+// words (Sites, "Alpha Architecture Reference Manual"), so that the
+// native-code section of a PCC binary contains real Alpha code "ready
+// to be mapped into memory and executed" (§2.3). The decoder accepts
+// exactly the subset of Figure 2; a consumer confronted with any other
+// instruction rejects the binary before VC generation.
+
+// Major opcodes.
+const (
+	opcLDA  = 0x08
+	opcLDQ  = 0x29
+	opcSTQ  = 0x2D
+	opcINTA = 0x10 // integer arithmetic operate group
+	opcINTL = 0x11 // integer logical operate group
+	opcINTS = 0x12 // integer shift operate group
+	opcINTM = 0x13 // integer multiply operate group
+	opcJSR  = 0x1A // jump group (RET lives here)
+	opcBR   = 0x30
+	opcBEQ  = 0x39
+	opcBLT  = 0x3A
+	opcBNE  = 0x3D
+	opcBGE  = 0x3E
+)
+
+// Operate-group function codes.
+const (
+	fnADDQ   = 0x20
+	fnSUBQ   = 0x29
+	fnCMPEQ  = 0x2D
+	fnCMPULT = 0x1D
+	fnCMPULE = 0x3D
+	fnAND    = 0x00
+	fnBIS    = 0x20
+	fnXOR    = 0x40
+	fnSLL    = 0x39
+	fnSRL    = 0x34
+	fnMULQ   = 0x20
+)
+
+// EncRET is the canonical encoding of RET R31, (R26), 1.
+const EncRET uint32 = uint32(opcJSR)<<26 | 31<<21 | 26<<16 | 2<<14 | 1
+
+type operateEnc struct {
+	opc uint32
+	fn  uint32
+}
+
+var operateEncs = map[Op]operateEnc{
+	ADDQ: {opcINTA, fnADDQ}, SUBQ: {opcINTA, fnSUBQ},
+	CMPEQ: {opcINTA, fnCMPEQ}, CMPULT: {opcINTA, fnCMPULT}, CMPULE: {opcINTA, fnCMPULE},
+	MULQ: {opcINTM, fnMULQ},
+	AND:  {opcINTL, fnAND}, BIS: {opcINTL, fnBIS}, XOR: {opcINTL, fnXOR},
+	SLL: {opcINTS, fnSLL}, SRL: {opcINTS, fnSRL},
+}
+
+var branchOpcs = map[Op]uint32{
+	BR: opcBR, BEQ: opcBEQ, BNE: opcBNE, BLT: opcBLT, BGE: opcBGE,
+}
+
+var memOpcs = map[Op]uint32{LDA: opcLDA, LDQ: opcLDQ, STQ: opcSTQ}
+
+// EncodeInstr encodes one instruction at address index pc (needed for
+// branch displacements, which are pc-relative).
+func EncodeInstr(ins Instr, pc int) (uint32, error) {
+	switch ins.Op.Class() {
+	case ClassMem:
+		opc := memOpcs[ins.Op]
+		return opc<<26 | uint32(ins.Ra)<<21 | uint32(ins.Rb)<<16 |
+			uint32(uint16(ins.Disp)), nil
+	case ClassOperate:
+		enc, ok := operateEncs[ins.Op]
+		if !ok {
+			return 0, fmt.Errorf("alpha: cannot encode %v", ins.Op)
+		}
+		w := enc.opc<<26 | uint32(ins.Ra)<<21 | enc.fn<<5 | uint32(ins.Rc)
+		if ins.HasLit {
+			w |= uint32(ins.Lit)<<13 | 1<<12
+		} else {
+			w |= uint32(ins.Rb) << 16
+		}
+		return w, nil
+	case ClassBranch:
+		disp := ins.Target - (pc + 1)
+		if disp < -(1<<20) || disp >= 1<<20 {
+			return 0, fmt.Errorf("alpha: branch displacement %d out of range", disp)
+		}
+		ra := uint32(ins.Ra)
+		if ins.Op == BR {
+			ra = 31 // BR writes the return address; r31 discards it
+		}
+		return branchOpcs[ins.Op]<<26 | ra<<21 | uint32(disp)&0x1FFFFF, nil
+	case ClassRet:
+		return EncRET, nil
+	}
+	return 0, fmt.Errorf("alpha: cannot encode %v", ins.Op)
+}
+
+// Encode encodes a whole program into little-endian machine words (the
+// Alpha is little-endian).
+func Encode(prog []Instr) ([]byte, error) {
+	out := make([]byte, 4*len(prog))
+	for pc, ins := range prog {
+		w, err := EncodeInstr(ins, pc)
+		if err != nil {
+			return nil, fmt.Errorf("pc %d: %w", pc, err)
+		}
+		binary.LittleEndian.PutUint32(out[4*pc:], w)
+	}
+	return out, nil
+}
+
+// DecodeInstr decodes the machine word at index pc. It fails on any
+// instruction outside the PCC subset.
+func DecodeInstr(w uint32, pc int) (Instr, error) {
+	opc := w >> 26
+	ra := Reg(w >> 21 & 31)
+	switch opc {
+	case opcLDA, opcLDQ, opcSTQ:
+		rb := Reg(w >> 16 & 31)
+		disp := int16(uint16(w))
+		var op Op
+		switch opc {
+		case opcLDA:
+			op = LDA
+		case opcLDQ:
+			op = LDQ
+		default:
+			op = STQ
+		}
+		return Instr{Op: op, Ra: ra, Rb: rb, Disp: disp}, nil
+
+	case opcINTA, opcINTL, opcINTS, opcINTM:
+		fn := w >> 5 & 0x7F
+		var op Op
+		for candidate, enc := range operateEncs {
+			if enc.opc == opc && enc.fn == fn {
+				op = candidate
+				break
+			}
+		}
+		if op == OpInvalid {
+			return Instr{}, fmt.Errorf("alpha: pc %d: unknown operate function %#x/%#x", pc, opc, fn)
+		}
+		ins := Instr{Op: op, Ra: ra, Rc: Reg(w & 31)}
+		if w>>12&1 == 1 {
+			ins.HasLit = true
+			ins.Lit = uint8(w >> 13)
+		} else {
+			if w>>13&7 != 0 {
+				return Instr{}, fmt.Errorf("alpha: pc %d: SBZ bits set", pc)
+			}
+			ins.Rb = Reg(w >> 16 & 31)
+		}
+		return ins, nil
+
+	case opcBR, opcBEQ, opcBNE, opcBLT, opcBGE:
+		var op Op
+		switch opc {
+		case opcBR:
+			op = BR
+		case opcBEQ:
+			op = BEQ
+		case opcBNE:
+			op = BNE
+		case opcBLT:
+			op = BLT
+		default:
+			op = BGE
+		}
+		disp := int32(w<<11) >> 11 // sign-extend 21 bits
+		ins := Instr{Op: op, Ra: ra, Target: pc + 1 + int(disp)}
+		if op == BR {
+			if ra != 31 {
+				return Instr{}, fmt.Errorf("alpha: pc %d: BR must discard its return address (ra=r31)", pc)
+			}
+			ins.Ra = 0
+		}
+		return ins, nil
+
+	case opcJSR:
+		if w == EncRET {
+			return Instr{Op: RET}, nil
+		}
+		return Instr{}, fmt.Errorf("alpha: pc %d: unsupported jump encoding %#x", pc, w)
+	}
+	return Instr{}, fmt.Errorf("alpha: pc %d: unsupported opcode %#x", pc, opc)
+}
+
+// Decode decodes a little-endian machine-code section into a program.
+func Decode(code []byte) ([]Instr, error) {
+	if len(code)%4 != 0 {
+		return nil, fmt.Errorf("alpha: code length %d not a multiple of 4", len(code))
+	}
+	prog := make([]Instr, len(code)/4)
+	for pc := range prog {
+		w := binary.LittleEndian.Uint32(code[4*pc:])
+		ins, err := DecodeInstr(w, pc)
+		if err != nil {
+			return nil, err
+		}
+		prog[pc] = ins
+	}
+	if err := Validate(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}

@@ -1,0 +1,243 @@
+// Package alpha implements the DEC Alpha subset of Necula & Lee (OSDI
+// '96, Figure 2): the integer operate instructions ADDQ, SUBQ, AND, BIS,
+// XOR, SLL, SRL, the compare instructions CMPEQ, CMPULT, CMPULE, the
+// quadword memory instructions LDQ, STQ (and LDA for constant
+// materialization), the conditional branches BEQ, BNE, BGE, BLT, the
+// unconditional BR, and RET.
+//
+// As in the paper, programs may use only the eleven temporary and
+// caller-save registers, renamed r0 through r10, so they are trivially
+// safe with respect to the reserved and callee-save registers. We
+// additionally expose the architectural zero register r31 (readable,
+// always zero, never writable), which the real Alpha provides and which
+// the assembler uses to materialize constants with LDA.
+//
+// The package contains the instruction representation, a two-pass
+// assembler for a textual syntax, and an encoder/decoder to and from
+// genuine Alpha AXP machine words (the native-code section of a PCC
+// binary holds real Alpha machine code).
+package alpha
+
+import "fmt"
+
+// Reg is an Alpha integer register number. Valid values are 0 through
+// NumRegs-1 (the paper's r0..r10) and RegZero (the architectural r31).
+type Reg uint8
+
+// NumRegs is the number of writable registers available to PCC
+// programs (the paper's r0 through r10).
+const NumRegs = 11
+
+// RegZero is the architectural zero register r31: reads yield 0 and
+// writes are discarded. The assembler forbids it as a destination.
+const RegZero Reg = 31
+
+// Valid reports whether r names a register PCC programs may mention.
+func (r Reg) Valid() bool { return r < NumRegs || r == RegZero }
+
+// String returns the assembly spelling of the register.
+func (r Reg) String() string {
+	if r == RegZero {
+		return "r31"
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Op identifies an instruction of the subset.
+type Op uint8
+
+// The instruction set. The comment gives the paper's Figure 2 grouping.
+const (
+	OpInvalid Op = iota
+
+	// Memory format.
+	LDQ // LDQ rd, disp(rs): rd := sel(mem, rs ⊕ disp)
+	STQ // STQ rs, disp(rd): mem := upd(mem, rd ⊕ disp, rs)
+	LDA // LDA rd, disp(rs): rd := rs ⊕ sext(disp)  (no memory access)
+
+	// Operate format ("al" in Figure 2), rc := ra OP (rb | literal).
+	ADDQ
+	SUBQ
+	MULQ
+	AND
+	BIS // the Alpha's OR
+	XOR
+	SLL
+	SRL
+	CMPEQ  // rc := 1 if ra = op, else 0
+	CMPULT // rc := 1 if ra <u op, else 0
+	CMPULE // rc := 1 if ra ≤u op, else 0
+
+	// Branch format ("br" in Figure 2).
+	BEQ // taken iff ra = 0
+	BNE // taken iff ra ≠ 0
+	BGE // taken iff ra ≥s 0
+	BLT // taken iff ra <s 0
+	BR  // unconditional
+
+	// Return.
+	RET
+)
+
+var opNames = [...]string{
+	OpInvalid: "<invalid>",
+	LDQ:       "LDQ", STQ: "STQ", LDA: "LDA",
+	ADDQ: "ADDQ", SUBQ: "SUBQ", MULQ: "MULQ", AND: "AND", BIS: "BIS", XOR: "XOR",
+	SLL: "SLL", SRL: "SRL",
+	CMPEQ: "CMPEQ", CMPULT: "CMPULT", CMPULE: "CMPULE",
+	BEQ: "BEQ", BNE: "BNE", BGE: "BGE", BLT: "BLT", BR: "BR",
+	RET: "RET",
+}
+
+// String returns the assembly mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Class describes an instruction's format.
+type Class uint8
+
+// Instruction format classes.
+const (
+	ClassMem     Class = iota // LDQ, STQ, LDA
+	ClassOperate              // ADDQ .. CMPULE
+	ClassBranch               // BEQ .. BR
+	ClassRet                  // RET
+)
+
+// Class returns op's format class.
+func (op Op) Class() Class {
+	switch op {
+	case LDQ, STQ, LDA:
+		return ClassMem
+	case BEQ, BNE, BGE, BLT, BR:
+		return ClassBranch
+	case RET:
+		return ClassRet
+	default:
+		return ClassOperate
+	}
+}
+
+// Instr is a single decoded instruction. Fields are used according to
+// the op's class:
+//
+//   - ClassMem: Ra is the data register (destination for LDQ/LDA,
+//     source for STQ), Rb the base register, Disp the signed 16-bit
+//     byte displacement.
+//   - ClassOperate: Ra is the first source; the second operand is
+//     register Rb or, when HasLit is set, the 8-bit literal Lit;
+//     Rc is the destination.
+//   - ClassBranch: Ra is the tested register (ignored for BR) and
+//     Target is the absolute instruction index of the branch target.
+//   - ClassRet: no operands.
+type Instr struct {
+	Op     Op
+	Ra     Reg
+	Rb     Reg
+	Rc     Reg
+	HasLit bool
+	Lit    uint8
+	Disp   int16
+	Target int
+}
+
+// String renders the instruction in assembler syntax (branch targets as
+// absolute instruction indexes).
+func (i Instr) String() string {
+	switch i.Op.Class() {
+	case ClassMem:
+		return fmt.Sprintf("%-6s %s, %d(%s)", i.Op, i.Ra, i.Disp, i.Rb)
+	case ClassOperate:
+		if i.HasLit {
+			return fmt.Sprintf("%-6s %s, %d, %s", i.Op, i.Ra, i.Lit, i.Rc)
+		}
+		return fmt.Sprintf("%-6s %s, %s, %s", i.Op, i.Ra, i.Rb, i.Rc)
+	case ClassBranch:
+		if i.Op == BR {
+			return fmt.Sprintf("%-6s @%d", i.Op, i.Target)
+		}
+		return fmt.Sprintf("%-6s %s, @%d", i.Op, i.Ra, i.Target)
+	default:
+		return "RET"
+	}
+}
+
+// Validate checks the static well-formedness rules the paper's loader
+// applies before VC generation: register numbers in range, r31 never
+// written, branch targets inside the program. (Forward-only branching
+// is not checked here — the VC generator enforces it, allowing backward
+// branches exactly at invariant points.)
+func Validate(prog []Instr) error {
+	for pc, ins := range prog {
+		bad := func(r Reg, roleWrite bool) error {
+			if !r.Valid() {
+				return fmt.Errorf("alpha: pc %d (%s): invalid register %d", pc, ins, r)
+			}
+			if roleWrite && r == RegZero {
+				return fmt.Errorf("alpha: pc %d (%s): r31 is not writable", pc, ins)
+			}
+			return nil
+		}
+		switch ins.Op.Class() {
+		case ClassMem:
+			writeRa := ins.Op == LDQ || ins.Op == LDA
+			if err := bad(ins.Ra, writeRa); err != nil {
+				return err
+			}
+			if err := bad(ins.Rb, false); err != nil {
+				return err
+			}
+		case ClassOperate:
+			if err := bad(ins.Ra, false); err != nil {
+				return err
+			}
+			if !ins.HasLit {
+				if err := bad(ins.Rb, false); err != nil {
+					return err
+				}
+			}
+			if err := bad(ins.Rc, true); err != nil {
+				return err
+			}
+		case ClassBranch:
+			if ins.Op != BR {
+				if err := bad(ins.Ra, false); err != nil {
+					return err
+				}
+			}
+			if ins.Target < 0 || ins.Target > len(prog) {
+				return fmt.Errorf("alpha: pc %d (%s): branch target %d out of range",
+					pc, ins, ins.Target)
+			}
+		case ClassRet:
+			// no operands
+		default:
+			return fmt.Errorf("alpha: pc %d: unknown op %v", pc, ins.Op)
+		}
+	}
+	return nil
+}
+
+// Program pretty-prints a whole program with instruction indexes.
+func Program(prog []Instr) string {
+	out := ""
+	for pc, ins := range prog {
+		out += fmt.Sprintf("%3d: %s\n", pc, ins)
+	}
+	return out
+}
+
+// Listing renders a program as re-assemblable source: one instruction
+// per line, branch targets in the absolute "@N" form the assembler
+// accepts. Assemble(Listing(p)) reproduces p exactly.
+func Listing(prog []Instr) string {
+	out := ""
+	for _, ins := range prog {
+		out += ins.String() + "\n"
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodingAblation(t *testing.T) {
+	rows, err := EncodingAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DAGBytes >= r.TreeBytes {
+			t.Errorf("%v: DAG (%d B) not smaller than tree (%d B)",
+				r.Filter, r.DAGBytes, r.TreeBytes)
+		}
+		// Sharing should buy at least 3x on these proofs.
+		if ratio := float64(r.TreeBytes) / float64(r.DAGBytes); ratio < 3 {
+			t.Errorf("%v: sharing only %.1fx", r.Filter, ratio)
+		}
+	}
+	out := FormatEncodingAblation(rows)
+	if !strings.Contains(out, "DAG") {
+		t.Errorf("bad format:\n%s", out)
+	}
+}
+
+func TestCostModelSensitivity(t *testing.T) {
+	rows, err := CostModelSensitivity(1500, []int{10, 18, 25, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.ShapeHolds {
+			t.Errorf("dispatch=%d: Figure 8 ordering broke", r.Dispatch)
+		}
+		// The BPF/PCC gap must grow with dispatch cost and stay an
+		// order of magnitude at the calibrated value.
+		if r.Dispatch >= 18 && r.BPFOverPCC[3] < 5 {
+			t.Errorf("dispatch=%d: BPF/PCC only %.1fx on Filter 4",
+				r.Dispatch, r.BPFOverPCC[3])
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		for f := 0; f < 4; f++ {
+			if rows[i].BPFOverPCC[f] <= rows[i-1].BPFOverPCC[f] {
+				t.Errorf("ratio not monotone in dispatch cost (filter %d)", f+1)
+			}
+		}
+	}
+	_ = FormatCostSensitivity(rows)
+}
+
+func TestM3CheckElimAblation(t *testing.T) {
+	rows, err := M3CheckElimAblation(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OptUS > r.NaiveUS {
+			t.Errorf("%v: check elimination slowed M3 down", r.Filter)
+		}
+		if r.OptUS <= r.PCCUS {
+			t.Errorf("%v: optimized M3 (%.2f) beat PCC (%.2f) — cost model broken",
+				r.Filter, r.OptUS, r.PCCUS)
+		}
+	}
+	_ = FormatM3CheckElim(rows)
+}

@@ -1,0 +1,354 @@
+// Package bpf implements the BSD Packet Filter baseline of §3.1: the
+// classic BPF virtual machine (McCanne & Jacobson, USENIX '93) — an
+// accumulator machine with per-instruction dispatch and per-access
+// bounds checks — together with its static validator ("a simple static
+// check ... that all instruction codes are valid and all branches are
+// forward and within code limits") and an interpreter.
+//
+// The interpreter can run in two modes: plain (wall-clock benchmarks)
+// and cycle-accounted, where each virtual instruction is charged the
+// cost a switch-threaded C interpreter of the era pays on the modeled
+// 175-MHz Alpha (see CostModel).
+package bpf
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction class, size, mode, op and source constants — the classic
+// BPF encoding.
+const (
+	ClsLD   = 0x00
+	ClsLDX  = 0x01
+	ClsST   = 0x02
+	ClsSTX  = 0x03
+	ClsALU  = 0x04
+	ClsJMP  = 0x05
+	ClsRET  = 0x06
+	ClsMISC = 0x07
+
+	SizeW = 0x00
+	SizeH = 0x08
+	SizeB = 0x10
+
+	ModeIMM = 0x00
+	ModeABS = 0x20
+	ModeIND = 0x40
+	ModeMEM = 0x60
+	ModeLEN = 0x80
+	ModeMSH = 0xa0
+
+	AluAdd = 0x00
+	AluSub = 0x10
+	AluMul = 0x20
+	AluDiv = 0x30
+	AluOr  = 0x40
+	AluAnd = 0x50
+	AluLsh = 0x60
+	AluRsh = 0x70
+	AluNeg = 0x80
+
+	JmpJA  = 0x00
+	JmpJEQ = 0x10
+	JmpJGT = 0x20
+	JmpJGE = 0x30
+	JmpSET = 0x40
+
+	SrcK = 0x00
+	SrcX = 0x08
+
+	RetK = 0x00
+	RetA = 0x10
+
+	MiscTAX = 0x00
+	MiscTXA = 0x80
+)
+
+// MemWords is the size of the BPF scratch memory store.
+const MemWords = 16
+
+// Insn is one BPF virtual instruction.
+type Insn struct {
+	Code   uint16
+	Jt, Jf uint8
+	K      uint32
+}
+
+// Helpers for building programs.
+
+// Stmt builds a non-branching instruction.
+func Stmt(code uint16, k uint32) Insn { return Insn{Code: code, K: k} }
+
+// Jump builds a conditional branch with taken/not-taken displacements.
+func Jump(code uint16, k uint32, jt, jf uint8) Insn {
+	return Insn{Code: code, Jt: jt, Jf: jf, K: k}
+}
+
+// Validate performs the load-time static check of the BPF
+// architecture: known opcodes, in-range forward branches, in-range
+// scratch indexes, no division by a zero constant, and a terminating
+// return.
+func Validate(prog []Insn) error {
+	if len(prog) == 0 {
+		return fmt.Errorf("bpf: empty program")
+	}
+	for pc, ins := range prog {
+		cls := ins.Code & 0x07
+		switch cls {
+		case ClsLD, ClsLDX:
+			mode := ins.Code & 0xe0
+			switch mode {
+			case ModeIMM, ModeABS, ModeIND, ModeLEN, ModeMSH:
+			case ModeMEM:
+				if ins.K >= MemWords {
+					return fmt.Errorf("bpf: pc %d: scratch index %d out of range", pc, ins.K)
+				}
+			default:
+				return fmt.Errorf("bpf: pc %d: bad load mode %#x", pc, ins.Code)
+			}
+		case ClsST, ClsSTX:
+			if ins.K >= MemWords {
+				return fmt.Errorf("bpf: pc %d: scratch index %d out of range", pc, ins.K)
+			}
+		case ClsALU:
+			op := ins.Code & 0xf0
+			if op > AluNeg {
+				return fmt.Errorf("bpf: pc %d: bad alu op %#x", pc, ins.Code)
+			}
+			if op == AluDiv && ins.Code&SrcX == 0 && ins.K == 0 {
+				return fmt.Errorf("bpf: pc %d: division by zero constant", pc)
+			}
+		case ClsJMP:
+			op := ins.Code & 0xf0
+			if op > JmpSET {
+				return fmt.Errorf("bpf: pc %d: bad jmp op %#x", pc, ins.Code)
+			}
+			if op == JmpJA {
+				if int(ins.K) < 0 || pc+1+int(ins.K) >= len(prog) {
+					return fmt.Errorf("bpf: pc %d: jump out of range", pc)
+				}
+			} else {
+				if pc+1+int(ins.Jt) >= len(prog) || pc+1+int(ins.Jf) >= len(prog) {
+					return fmt.Errorf("bpf: pc %d: branch out of range", pc)
+				}
+			}
+		case ClsRET:
+		case ClsMISC:
+			sub := ins.Code & 0xf8
+			if sub != MiscTAX && sub != MiscTXA {
+				return fmt.Errorf("bpf: pc %d: bad misc op %#x", pc, ins.Code)
+			}
+		default:
+			return fmt.Errorf("bpf: pc %d: bad class %#x", pc, ins.Code)
+		}
+	}
+	last := prog[len(prog)-1]
+	if last.Code&0x07 != ClsRET {
+		return fmt.Errorf("bpf: program does not end in RET")
+	}
+	return nil
+}
+
+// CostModel charges simulated DEC-Alpha cycles per interpreted virtual
+// instruction: a dispatch cost (fetch + switch) plus the cost of the
+// operation itself, with multi-byte packet loads paying per-byte
+// assembly as the OSF/1 interpreter did. Calibrated against Figure 8
+// (see EXPERIMENTS.md).
+type CostModel struct {
+	Dispatch int // fetch + decode + switch
+	LoadW    int // 4-byte load: bounds check + 4 byte loads + assembly
+	LoadH    int
+	LoadB    int
+	ALU      int
+	Jmp      int
+	Ret      int
+	Misc     int
+	Call     int // per-packet interpreter invocation overhead
+}
+
+// DefaultCost approximates the OSF/1 kernel BPF interpreter.
+var DefaultCost = CostModel{
+	Dispatch: 25,
+	LoadW:    14,
+	LoadH:    10,
+	LoadB:    6,
+	ALU:      2,
+	Jmp:      4,
+	Ret:      4,
+	Misc:     2,
+	Call:     35,
+}
+
+// Run interprets prog over pkt, returning the filter's accept value
+// (non-zero = accept) — the plain, wall-clock-benchmark variant.
+func Run(prog []Insn, pkt []byte) uint32 {
+	res, _ := run(prog, pkt, nil)
+	return res
+}
+
+// RunCycles interprets prog over pkt charging the cost model; it
+// returns the accept value and the simulated cycle count.
+func RunCycles(prog []Insn, pkt []byte, cm *CostModel) (uint32, int64) {
+	return run(prog, pkt, cm)
+}
+
+func run(prog []Insn, pkt []byte, cm *CostModel) (uint32, int64) {
+	var a, x uint32
+	var mem [MemWords]uint32
+	var cycles int64
+	if cm != nil {
+		cycles = int64(cm.Call)
+	}
+	charge := func(c int) {
+		if cm != nil {
+			cycles += int64(cm.Dispatch + c)
+		}
+	}
+
+	for pc := 0; pc < len(prog); pc++ {
+		ins := prog[pc]
+		cls := ins.Code & 0x07
+		switch cls {
+		case ClsLD:
+			switch ins.Code & 0xe0 {
+			case ModeIMM:
+				charge(cm0(cm).ALU)
+				a = ins.K
+			case ModeLEN:
+				charge(cm0(cm).ALU)
+				a = uint32(len(pkt))
+			case ModeMEM:
+				charge(cm0(cm).ALU)
+				a = mem[ins.K]
+			case ModeABS, ModeIND:
+				off := int64(ins.K)
+				if ins.Code&0xe0 == ModeIND {
+					off += int64(x)
+				}
+				switch ins.Code & 0x18 {
+				case SizeW:
+					charge(cm0(cm).LoadW)
+					if off < 0 || off+4 > int64(len(pkt)) {
+						return 0, cycles // out of range: drop (BPF semantics)
+					}
+					a = binary.BigEndian.Uint32(pkt[off:])
+				case SizeH:
+					charge(cm0(cm).LoadH)
+					if off < 0 || off+2 > int64(len(pkt)) {
+						return 0, cycles
+					}
+					a = uint32(binary.BigEndian.Uint16(pkt[off:]))
+				case SizeB:
+					charge(cm0(cm).LoadB)
+					if off < 0 || off+1 > int64(len(pkt)) {
+						return 0, cycles
+					}
+					a = uint32(pkt[off])
+				}
+			}
+		case ClsLDX:
+			switch ins.Code & 0xe0 {
+			case ModeIMM:
+				charge(cm0(cm).ALU)
+				x = ins.K
+			case ModeLEN:
+				charge(cm0(cm).ALU)
+				x = uint32(len(pkt))
+			case ModeMEM:
+				charge(cm0(cm).ALU)
+				x = mem[ins.K]
+			case ModeMSH:
+				charge(cm0(cm).LoadB + cm0(cm).ALU)
+				off := int64(ins.K)
+				if off < 0 || off+1 > int64(len(pkt)) {
+					return 0, cycles
+				}
+				x = uint32(pkt[off]&0x0f) * 4
+			}
+		case ClsST:
+			charge(cm0(cm).ALU)
+			mem[ins.K] = a
+		case ClsSTX:
+			charge(cm0(cm).ALU)
+			mem[ins.K] = x
+		case ClsALU:
+			charge(cm0(cm).ALU)
+			src := ins.K
+			if ins.Code&SrcX != 0 {
+				src = x
+			}
+			switch ins.Code & 0xf0 {
+			case AluAdd:
+				a += src
+			case AluSub:
+				a -= src
+			case AluMul:
+				a *= src
+			case AluDiv:
+				if src == 0 {
+					return 0, cycles
+				}
+				a /= src
+			case AluOr:
+				a |= src
+			case AluAnd:
+				a &= src
+			case AluLsh:
+				a <<= src & 31
+			case AluRsh:
+				a >>= src & 31
+			case AluNeg:
+				a = -a
+			}
+		case ClsJMP:
+			charge(cm0(cm).Jmp)
+			src := ins.K
+			if ins.Code&SrcX != 0 {
+				src = x
+			}
+			var taken bool
+			switch ins.Code & 0xf0 {
+			case JmpJA:
+				pc += int(ins.K)
+				continue
+			case JmpJEQ:
+				taken = a == src
+			case JmpJGT:
+				taken = a > src
+			case JmpJGE:
+				taken = a >= src
+			case JmpSET:
+				taken = a&src != 0
+			}
+			if taken {
+				pc += int(ins.Jt)
+			} else {
+				pc += int(ins.Jf)
+			}
+		case ClsRET:
+			charge(cm0(cm).Ret)
+			if ins.Code&0x18 == RetA {
+				return a, cycles
+			}
+			return ins.K, cycles
+		case ClsMISC:
+			charge(cm0(cm).Misc)
+			if ins.Code&0xf8 == MiscTAX {
+				x = a
+			} else {
+				a = x
+			}
+		}
+	}
+	return 0, cycles
+}
+
+var zeroCost CostModel
+
+func cm0(cm *CostModel) *CostModel {
+	if cm == nil {
+		return &zeroCost
+	}
+	return cm
+}

@@ -1,0 +1,205 @@
+package bpf
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func pkt(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestLoadSizes(t *testing.T) {
+	p := pkt(64)
+	cases := []struct {
+		prog []Insn
+		want uint32
+	}{
+		{[]Insn{Stmt(ClsLD|SizeB|ModeABS, 5), Stmt(ClsRET|RetA, 0)}, 5},
+		{[]Insn{Stmt(ClsLD|SizeH|ModeABS, 4), Stmt(ClsRET|RetA, 0)},
+			uint32(binary.BigEndian.Uint16(p[4:]))},
+		{[]Insn{Stmt(ClsLD|SizeW|ModeABS, 8), Stmt(ClsRET|RetA, 0)},
+			binary.BigEndian.Uint32(p[8:])},
+		{[]Insn{Stmt(ClsLD|ModeLEN, 0), Stmt(ClsRET|RetA, 0)}, 64},
+		{[]Insn{Stmt(ClsLD|ModeIMM, 77), Stmt(ClsRET|RetA, 0)}, 77},
+	}
+	for i, c := range cases {
+		if err := Validate(c.prog); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := Run(c.prog, p); got != c.want {
+			t.Errorf("case %d: got %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestOutOfRangeLoadRejectsPacket(t *testing.T) {
+	p := pkt(16)
+	prog := []Insn{
+		Stmt(ClsLD|SizeW|ModeABS, 14), // 14+4 > 16
+		Stmt(ClsRET|RetK, 1),
+	}
+	if got := Run(prog, p); got != 0 {
+		t.Fatalf("out-of-range load returned %d, want 0 (drop)", got)
+	}
+}
+
+func TestIndirectAndMSH(t *testing.T) {
+	p := pkt(64)
+	p[14] = 0x46 // IHL 6 -> X = 24
+	prog := []Insn{
+		Stmt(ClsLDX|SizeB|ModeMSH, 14),
+		Stmt(ClsLD|SizeB|ModeIND, 2), // p[24+2]
+		Stmt(ClsRET|RetA, 0),
+	}
+	if got := Run(prog, p); got != uint32(p[26]) {
+		t.Fatalf("got %d, want %d", got, p[26])
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	run1 := func(code uint16, a0, k uint32) uint32 {
+		prog := []Insn{
+			Stmt(ClsLD|ModeIMM, a0),
+			Stmt(code, k),
+			Stmt(ClsRET|RetA, 0),
+		}
+		return Run(prog, pkt(64))
+	}
+	cases := []struct {
+		code    uint16
+		a, k, w uint32
+	}{
+		{ClsALU | AluAdd | SrcK, 3, 4, 7},
+		{ClsALU | AluSub | SrcK, 9, 4, 5},
+		{ClsALU | AluMul | SrcK, 3, 5, 15},
+		{ClsALU | AluDiv | SrcK, 20, 4, 5},
+		{ClsALU | AluOr | SrcK, 0xf0, 0x0f, 0xff},
+		{ClsALU | AluAnd | SrcK, 0xff, 0x0f, 0x0f},
+		{ClsALU | AluLsh | SrcK, 1, 4, 16},
+		{ClsALU | AluRsh | SrcK, 16, 4, 1},
+		{ClsALU | AluNeg | SrcK, 1, 0, 0xffffffff},
+	}
+	for i, c := range cases {
+		if got := run1(c.code, c.a, c.k); got != c.w {
+			t.Errorf("case %d: got %#x, want %#x", i, got, c.w)
+		}
+	}
+}
+
+func TestScratchMemory(t *testing.T) {
+	prog := []Insn{
+		Stmt(ClsLD|ModeIMM, 42),
+		Stmt(ClsST, 3),
+		Stmt(ClsLD|ModeIMM, 0),
+		Stmt(ClsLD|ModeMEM, 3),
+		Stmt(ClsRET|RetA, 0),
+	}
+	if err := Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := Run(prog, pkt(64)); got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestJumps(t *testing.T) {
+	prog := []Insn{
+		Stmt(ClsLD|SizeB|ModeABS, 0),
+		Jump(ClsJMP|JmpJEQ|SrcK, 0, 1, 0),
+		Stmt(ClsRET|RetK, 7), // not taken path
+		Stmt(ClsRET|RetK, 9), // taken path
+	}
+	p := pkt(64)
+	p[0] = 0
+	if got := Run(prog, p); got != 9 {
+		t.Fatalf("taken: got %d", got)
+	}
+	p[0] = 1
+	if got := Run(prog, p); got != 7 {
+		t.Fatalf("not taken: got %d", got)
+	}
+}
+
+func TestMiscTXA(t *testing.T) {
+	prog := []Insn{
+		Stmt(ClsLDX|ModeIMM, 5),
+		Stmt(ClsMISC|MiscTXA, 0),
+		Stmt(ClsRET|RetA, 0),
+	}
+	if got := Run(prog, pkt(64)); got != 5 {
+		t.Fatalf("TXA: got %d", got)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []Insn
+	}{
+		{"empty", nil},
+		{"no ret", []Insn{Stmt(ClsLD|ModeIMM, 0)}},
+		{"branch out of range", []Insn{
+			Jump(ClsJMP|JmpJEQ|SrcK, 0, 10, 0), Stmt(ClsRET|RetK, 0)}},
+		{"ja out of range", []Insn{
+			Stmt(ClsJMP|JmpJA, 5), Stmt(ClsRET|RetK, 0)}},
+		{"scratch out of range", []Insn{
+			Stmt(ClsST, 99), Stmt(ClsRET|RetK, 0)}},
+		{"div by zero const", []Insn{
+			Stmt(ClsALU|AluDiv|SrcK, 0), Stmt(ClsRET|RetK, 0)}},
+		{"bad mode", []Insn{
+			Stmt(ClsLD|0xe0, 0), Stmt(ClsRET|RetK, 0)}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.prog); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestRunCyclesChargesDispatch(t *testing.T) {
+	prog := []Insn{Stmt(ClsRET|RetK, 1)}
+	_, cycles := RunCycles(prog, pkt(64), &DefaultCost)
+	want := int64(DefaultCost.Call + DefaultCost.Dispatch + DefaultCost.Ret)
+	if cycles != want {
+		t.Fatalf("cycles = %d, want %d", cycles, want)
+	}
+	// Plain Run charges nothing.
+	if got, c := RunCycles(prog, pkt(64), nil); got != 1 || c != 0 {
+		t.Fatalf("nil cost model: got %d cycles %d", got, c)
+	}
+}
+
+func TestDivByZeroRegisterDrops(t *testing.T) {
+	prog := []Insn{
+		Stmt(ClsLDX|ModeIMM, 0),
+		Stmt(ClsLD|ModeIMM, 10),
+		Stmt(ClsALU|AluDiv|SrcX, 0),
+		Stmt(ClsRET|RetK, 1),
+	}
+	if err := Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := Run(prog, pkt(64)); got != 0 {
+		t.Fatalf("div by zero X returned %d, want 0", got)
+	}
+}
+
+func TestJumpOverAccept(t *testing.T) {
+	// JA skips the accept.
+	prog := []Insn{
+		Stmt(ClsJMP|JmpJA, 1),
+		Stmt(ClsRET|RetK, 1),
+		Stmt(ClsRET|RetK, 0),
+	}
+	if err := Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := Run(prog, pkt(64)); got != 0 {
+		t.Fatalf("got %d", got)
+	}
+}

@@ -1,0 +1,17 @@
+// Package core documents where the paper's primary contribution lives.
+//
+// Proof-carrying code is not one algorithm but a contract between four
+// mechanisms, and this repository keeps each in its own package rather
+// than a monolith:
+//
+//   - internal/vcgen   — the Floyd-style verification-condition
+//     generator (Figure 4), the heart of the consumer's trusted base;
+//   - internal/prover  — the producer's automatic theorem prover and
+//     the published axiom schemas;
+//   - internal/lf      — the LF representation and the typechecking
+//     validator ("proof validation amounts to typechecking", §2.3);
+//   - internal/pccbin  — the PCC binary format of Figure 7.
+//
+// The package pcc at the repository root composes them into the
+// Figure 1 lifecycle (Certify / Validate / Run) and is the public API.
+package core

@@ -1,0 +1,91 @@
+package filters
+
+import (
+	"repro/internal/bpf"
+	"repro/internal/pktgen"
+)
+
+// BPF versions of the four filters, written the way a tcpdump-style
+// compiler emits them (big-endian field values, per-access bounds
+// checks performed by the interpreter).
+
+// beNetMask24 selects the /24 prefix of a big-endian IPv4 word.
+const beNetMask24 = 0xffffff00
+
+// BPFProg returns the BPF program for a filter.
+func BPFProg(f Filter) []bpf.Insn {
+	switch f {
+	case Filter1:
+		return []bpf.Insn{
+			bpf.Stmt(bpf.ClsLD|bpf.SizeH|bpf.ModeABS, 12),
+			bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, pktgen.EtherTypeIP, 0, 1),
+			bpf.Stmt(bpf.ClsRET|bpf.RetK, 0xffff),
+			bpf.Stmt(bpf.ClsRET|bpf.RetK, 0),
+		}
+	case Filter2:
+		return []bpf.Insn{
+			bpf.Stmt(bpf.ClsLD|bpf.SizeH|bpf.ModeABS, 12),
+			bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, pktgen.EtherTypeIP, 0, 3),
+			bpf.Stmt(bpf.ClsLD|bpf.SizeW|bpf.ModeABS, 26),
+			bpf.Stmt(bpf.ClsALU|bpf.AluAnd|bpf.SrcK, beNetMask24),
+			bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetA<<8, 1, 0),
+			bpf.Stmt(bpf.ClsRET|bpf.RetK, 0),
+			bpf.Stmt(bpf.ClsRET|bpf.RetK, 0xffff),
+		}
+	case Filter3:
+		// Layout:
+		//  0: ldh [12]
+		//  1: jeq IP  -> 2 else 12 (try ARP)
+		//  2: ld  [26]; 3: and; 4: jeq A -> 5 else 8
+		//  5: ld  [30]; 6: and; 7: jeq B -> accept else reject
+		//  8: and==B? (A reloaded)  ... symmetric direction
+		// 12: ARP path, same structure at offsets 28/38.
+		const acc, rej = 23, 24
+		j := func(target, pc int) uint8 { return uint8(target - pc - 1) }
+		return []bpf.Insn{
+			/* 0*/ bpf.Stmt(bpf.ClsLD|bpf.SizeH|bpf.ModeABS, 12),
+			/* 1*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, pktgen.EtherTypeIP, 0, j(12, 1)),
+			// IP, forward direction: src ∈ A and dst ∈ B.
+			/* 2*/ bpf.Stmt(bpf.ClsLD|bpf.SizeW|bpf.ModeABS, 26),
+			/* 3*/ bpf.Stmt(bpf.ClsALU|bpf.AluAnd|bpf.SrcK, beNetMask24),
+			/* 4*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetA<<8, 0, j(8, 4)),
+			/* 5*/ bpf.Stmt(bpf.ClsLD|bpf.SizeW|bpf.ModeABS, 30),
+			/* 6*/ bpf.Stmt(bpf.ClsALU|bpf.AluAnd|bpf.SrcK, beNetMask24),
+			/* 7*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetB<<8, j(acc, 7), j(rej, 7)),
+			// IP, reverse direction: src ∈ B and dst ∈ A.
+			/* 8*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetB<<8, 0, j(rej, 8)),
+			/* 9*/ bpf.Stmt(bpf.ClsLD|bpf.SizeW|bpf.ModeABS, 30),
+			/*10*/ bpf.Stmt(bpf.ClsALU|bpf.AluAnd|bpf.SrcK, beNetMask24),
+			/*11*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetA<<8, j(acc, 11), j(rej, 11)),
+			// ARP (sender/target at offsets 28/38).
+			/*12*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, pktgen.EtherTypeARP, 0, j(rej, 12)),
+			/*13*/ bpf.Stmt(bpf.ClsLD|bpf.SizeW|bpf.ModeABS, 28),
+			/*14*/ bpf.Stmt(bpf.ClsALU|bpf.AluAnd|bpf.SrcK, beNetMask24),
+			/*15*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetA<<8, 0, j(19, 15)),
+			/*16*/ bpf.Stmt(bpf.ClsLD|bpf.SizeW|bpf.ModeABS, 38),
+			/*17*/ bpf.Stmt(bpf.ClsALU|bpf.AluAnd|bpf.SrcK, beNetMask24),
+			/*18*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetB<<8, j(acc, 18), j(rej, 18)),
+			/*19*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetB<<8, 0, j(rej, 19)),
+			/*20*/ bpf.Stmt(bpf.ClsLD|bpf.SizeW|bpf.ModeABS, 38),
+			/*21*/ bpf.Stmt(bpf.ClsALU|bpf.AluAnd|bpf.SrcK, beNetMask24),
+			/*22*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, beNetA<<8, j(acc, 22), j(rej, 22)),
+			/*23*/ bpf.Stmt(bpf.ClsRET|bpf.RetK, 0xffff),
+			/*24*/ bpf.Stmt(bpf.ClsRET|bpf.RetK, 0),
+		}
+	case Filter4:
+		return []bpf.Insn{
+			/* 0*/ bpf.Stmt(bpf.ClsLD|bpf.SizeH|bpf.ModeABS, 12),
+			/* 1*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, pktgen.EtherTypeIP, 0, 8),
+			/* 2*/ bpf.Stmt(bpf.ClsLD|bpf.SizeB|bpf.ModeABS, 23),
+			/* 3*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, pktgen.ProtoTCP, 0, 6),
+			/* 4*/ bpf.Stmt(bpf.ClsLD|bpf.SizeH|bpf.ModeABS, 20),
+			/* 5*/ bpf.Jump(bpf.ClsJMP|bpf.JmpSET|bpf.SrcK, 0x1fff, 4, 0), // fragment: reject
+			/* 6*/ bpf.Stmt(bpf.ClsLDX|bpf.SizeB|bpf.ModeMSH, 14), // X = 4*IHL
+			/* 7*/ bpf.Stmt(bpf.ClsLD|bpf.SizeH|bpf.ModeIND, 16), // dst port
+			/* 8*/ bpf.Jump(bpf.ClsJMP|bpf.JmpJEQ|bpf.SrcK, pktgen.FilterPort, 0, 1),
+			/* 9*/ bpf.Stmt(bpf.ClsRET|bpf.RetK, 0xffff),
+			/*10*/ bpf.Stmt(bpf.ClsRET|bpf.RetK, 0),
+		}
+	}
+	panic("filters: unknown filter")
+}

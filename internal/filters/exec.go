@@ -1,0 +1,54 @@
+package filters
+
+import (
+	"repro/internal/alpha"
+	"repro/internal/machine"
+	"repro/internal/policy"
+)
+
+// Kernel memory layout used by the experiments. The packet buffer sits
+// on a 2048-byte boundary (the §3.1 SFI concession) and the scratch
+// memory on its own segment.
+const (
+	PacketBase  = 0x10000
+	ScratchBase = 0x20000
+)
+
+// Env describes how a filter execution environment is built.
+type Env struct {
+	// SFI sizes the packet and scratch regions as full 2048-byte
+	// segments, the accessibility model of the SFI experiment.
+	SFI bool
+}
+
+// NewState builds a machine state satisfying the packet-filter
+// precondition for the given packet.
+func (e Env) NewState(pkt []byte) *machine.State {
+	mem := machine.NewMemory()
+	pktSize := len(pkt)
+	scratchSize := policy.ScratchLen
+	if e.SFI {
+		pktSize = policy.SFISegmentSize
+		scratchSize = policy.SFISegmentSize
+	}
+	pr := machine.NewRegion("packet", PacketBase, pktSize, false)
+	pr.SetBytes(pkt)
+	mem.MustAddRegion(pr)
+	mem.MustAddRegion(machine.NewRegion("scratch", ScratchBase, scratchSize, true))
+	s := &machine.State{Mem: mem}
+	s.R[policy.RegPacket] = PacketBase
+	s.R[policy.RegLen] = uint64(len(pkt))
+	s.R[policy.RegScratch] = ScratchBase
+	return s
+}
+
+// Exec runs a filter program over one packet, returning its accept
+// value and the simulated cycle count.
+func (e Env) Exec(prog []alpha.Instr, pkt []byte, mode machine.Mode) (uint64, int64, error) {
+	s := e.NewState(pkt)
+	res, err := machine.Interp(prog, s, mode, &machine.DEC21064, 1<<20)
+	if err != nil {
+		return 0, res.Cycles, err
+	}
+	return res.Ret, res.Cycles, nil
+}

@@ -1,0 +1,276 @@
+// Package filters contains the paper's evaluation workloads: the four
+// network packet filters of §3 in hand-tuned Alpha-subset assembly
+// (with the paper's own optimizations: 64-bit loads plus byte
+// extraction, and Filter 4's ((p[8]>>46)&60)+16 TCP-offset trick), the
+// same filters as classic BPF programs, portable Go reference
+// implementations used as oracles, and the §4 IP-checksum loop with
+// its invariant.
+//
+// Register conventions (policy.PacketFilter): r1 packet, r2 length,
+// r3 scratch, result in r0. The PCC filters use only r0 and r3..r6 as
+// temporaries so that the SFI rewriter (internal/sfi) can reserve
+// r7..r10 for its sandbox registers.
+package filters
+
+import (
+	"encoding/binary"
+
+	"repro/internal/alpha"
+	"repro/internal/logic"
+	"repro/internal/pktgen"
+)
+
+// Filter identifies one of the paper's four packet filters.
+type Filter int
+
+// The four filters of §3.
+const (
+	// Filter1 accepts all IP packets (one 16-bit compare).
+	Filter1 Filter = 1
+	// Filter2 accepts IP packets originating from network 128.2.42/24
+	// (a 24-bit compare on top of Filter 1).
+	Filter2 Filter = 2
+	// Filter3 accepts IP or ARP packets exchanged between networks
+	// 128.2.42/24 and 192.12.33/24 (different header layouts).
+	Filter3 Filter = 3
+	// Filter4 accepts TCP packets with destination port 80 (the
+	// data-dependent header offset).
+	Filter4 Filter = 4
+)
+
+// All lists the four filters in order.
+var All = []Filter{Filter1, Filter2, Filter3, Filter4}
+
+func (f Filter) String() string {
+	return [...]string{"", "Filter 1", "Filter 2", "Filter 3", "Filter 4"}[f]
+}
+
+// The two /24 networks used by Filters 2 and 3, as little-endian
+// 24-bit values of the wire bytes (low byte = first octet).
+//
+//	netA = 128.2.42  -> 0x2A0280
+//	netB = 192.12.33 -> 0x210CC0
+const (
+	netALE = uint32(0x2A0280)
+	netBLE = uint32(0x210CC0)
+)
+
+// SrcFilter1 is Filter 1: accept all IP packets. The ethertype lives
+// at bytes 12..13 of the frame, i.e. bits 32..47 of the 64-bit word at
+// offset 8; IP (0x0800 big-endian) reads as 0x0008 little-endian.
+const SrcFilter1 = `
+        LDQ    r4, 8(r1)       ; bytes 8..15
+        SLL    r4, 16, r4
+        SRL    r4, 48, r4      ; ethertype (LE)
+        CMPEQ  r4, 8, r0       ; IP?
+        RET
+`
+
+// SrcFilter2 is Filter 2: accept IP packets from net 128.2.42/24. The
+// source IP occupies bytes 26..29; its /24 prefix is bits 16..39 of
+// the word at offset 24.
+const SrcFilter2 = `
+        CLR    r0
+        LDQ    r4, 8(r1)
+        SLL    r4, 16, r4
+        SRL    r4, 48, r4      ; ethertype
+        CMPEQ  r4, 8, r4
+        BEQ    r4, out         ; not IP
+        LDQ    r4, 24(r1)
+        SLL    r4, 24, r4
+        SRL    r4, 40, r4      ; source net (24-bit, LE)
+        MOVI   0x2A02, r5
+        SLL    r5, 8, r5
+        BIS    r5, 0x80, r5    ; 128.2.42 as LE 24-bit value
+        CMPEQ  r4, r5, r0
+out:    RET
+`
+
+// SrcFilter3 is Filter 3: accept IP or ARP packets exchanged (either
+// direction) between nets 128.2.42/24 and 192.12.33/24. IP carries the
+// addresses at offsets 26/30; ARP at 28/38 — the "extra complexity ...
+// because of different header layout" the paper describes. The IP
+// destination net and the ARP target net straddle 64-bit words.
+const SrcFilter3 = `
+        CLR    r0
+        LDQ    r4, 8(r1)
+        SLL    r4, 16, r4
+        SRL    r4, 48, r4      ; ethertype (LE)
+        MOVI   0x2A02, r6
+        SLL    r6, 8, r6
+        BIS    r6, 0x80, r6    ; A = 128.2.42
+        MOVI   0x210C, r3
+        SLL    r3, 8, r3
+        BIS    r3, 0xC0, r3    ; B = 192.12.33
+        CMPEQ  r4, 8, r5
+        BNE    r5, ip
+        MOVI   0x0608, r5      ; ARP ethertype (LE)
+        CMPEQ  r4, r5, r5
+        BNE    r5, arp
+        RET                    ; neither: reject
+ip:     LDQ    r4, 24(r1)      ; src IP bytes 26..29, dst IP bytes 30..33
+        SLL    r4, 24, r5
+        SRL    r5, 40, r5      ; src net
+        SRL    r4, 48, r4      ; dst net, low 16 bits (bytes 30,31)
+        LDQ    r0, 32(r1)
+        AND    r0, 255, r0     ; byte 32
+        SLL    r0, 16, r0
+        BIS    r4, r0, r4      ; dst net
+        CMPEQ  r5, r6, r0      ; src = A?
+        BEQ    r0, ip2
+        CMPEQ  r4, r3, r0      ; and dst = B
+        RET
+ip2:    CMPEQ  r5, r3, r0      ; src = B?
+        BEQ    r0, rej
+        CMPEQ  r4, r6, r0      ; and dst = A
+        RET
+rej:    CLR    r0
+        RET
+arp:    LDQ    r4, 24(r1)      ; sender IP bytes 28..31
+        SLL    r4, 8, r5
+        SRL    r5, 40, r5      ; sender net
+        LDQ    r4, 32(r1)      ; target IP bytes 38..41
+        SRL    r4, 48, r4      ; bytes 38,39
+        LDQ    r0, 40(r1)
+        AND    r0, 255, r0     ; byte 40
+        SLL    r0, 16, r0
+        BIS    r4, r0, r4      ; target net
+        CMPEQ  r5, r6, r0      ; sender = A?
+        BEQ    r0, arp2
+        CMPEQ  r4, r3, r0      ; and target = B
+        RET
+arp2:   CMPEQ  r5, r3, r0      ; sender = B?
+        BEQ    r0, rej2
+        CMPEQ  r4, r6, r0      ; and target = A
+        RET
+rej2:   CLR    r0
+        RET
+`
+
+// SrcFilter4 is Filter 4: accept TCP packets with destination port 80.
+// The port offset is computed from the IP header length with the
+// paper's simplification ((p[8]_64 >> 46) & 60) + 16, bounds-checked
+// against the packet length as part of the filter algorithm (exactly
+// what BPF's semantics require), which also makes the data-dependent
+// load certifiable.
+const SrcFilter4 = `
+        CLR    r0
+        LDQ    r4, 8(r1)       ; bytes 8..15 (ethertype, IP ver/IHL)
+        SLL    r4, 16, r5
+        SRL    r5, 48, r5      ; ethertype
+        CMPEQ  r5, 8, r5
+        BEQ    r5, out         ; not IP
+        LDQ    r5, 16(r1)      ; bytes 16..23 (protocol at byte 23)
+        SRL    r5, 56, r5
+        CMPEQ  r5, 6, r5
+        BEQ    r5, out         ; not TCP
+        SRL    r4, 46, r4
+        AND    r4, 60, r4      ; 4*IHL = (p[8] >> 46) & 60
+        ADDQ   r4, 16, r4      ; t = byte offset of TCP dst port
+        AND    r4, 0xF8, r5    ; u = aligned word offset
+        CMPULT r5, r2, r6
+        BEQ    r6, out         ; beyond packet: reject
+        ADDQ   r1, r5, r6
+        LDQ    r6, 0(r6)       ; word containing the port
+        AND    r4, 4, r4       ; t mod 8 (t is a multiple of 4)
+        SLL    r4, 3, r4       ; bit offset
+        SRL    r6, r4, r6
+        SLL    r6, 48, r6
+        SRL    r6, 48, r6      ; 16-bit port field (LE byte order)
+        MOVI   0x5000, r5      ; port 80 on the wire reads as LE 0x5000
+        CMPEQ  r6, r5, r0
+out:    RET
+`
+
+// Source returns the PCC assembly of a filter.
+func Source(f Filter) string {
+	switch f {
+	case Filter1:
+		return SrcFilter1
+	case Filter2:
+		return SrcFilter2
+	case Filter3:
+		return SrcFilter3
+	case Filter4:
+		return SrcFilter4
+	}
+	panic("filters: unknown filter")
+}
+
+// Prog assembles the PCC version of a filter.
+func Prog(f Filter) []alpha.Instr { return alpha.MustAssemble(Source(f)).Prog }
+
+// Invariants returns the loop-invariant table of a filter (empty: the
+// §3 filters are loop-free).
+func Invariants(Filter) map[string]logic.Pred { return nil }
+
+// --- Go reference implementations (oracles) ---------------------------
+
+func be16(p []byte, off int) (uint16, bool) {
+	if off < 0 || off+2 > len(p) {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(p[off:]), true
+}
+
+func net24(p []byte, off int) (uint32, bool) {
+	if off < 0 || off+3 > len(p) {
+		return 0, false
+	}
+	// Big-endian prefix value for readability.
+	return uint32(p[off])<<16 | uint32(p[off+1])<<8 | uint32(p[off+2]), true
+}
+
+// beNetA and beNetB are the big-endian views of the two networks.
+const (
+	beNetA = uint32(128)<<16 | 2<<8 | 42
+	beNetB = uint32(192)<<16 | 12<<8 | 33
+)
+
+// Reference evaluates a filter on a packet with BPF semantics
+// (out-of-range access rejects). It is the oracle the Alpha, BPF, SFI
+// and M3 variants are all tested against.
+func Reference(f Filter, p []byte) bool {
+	et, ok := be16(p, 12)
+	if !ok {
+		return false
+	}
+	switch f {
+	case Filter1:
+		return et == pktgen.EtherTypeIP
+	case Filter2:
+		if et != pktgen.EtherTypeIP {
+			return false
+		}
+		src, ok := net24(p, 26)
+		return ok && src == beNetA
+	case Filter3:
+		var srcOff, dstOff int
+		switch et {
+		case pktgen.EtherTypeIP:
+			srcOff, dstOff = 26, 30
+		case pktgen.EtherTypeARP:
+			srcOff, dstOff = 28, 38
+		default:
+			return false
+		}
+		src, ok1 := net24(p, srcOff)
+		dst, ok2 := net24(p, dstOff)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return (src == beNetA && dst == beNetB) || (src == beNetB && dst == beNetA)
+	case Filter4:
+		if et != pktgen.EtherTypeIP {
+			return false
+		}
+		if len(p) < 24 || p[23] != pktgen.ProtoTCP {
+			return false
+		}
+		ihl := int(p[14] & 0x0f)
+		off := 14 + 4*ihl + 2
+		port, ok := be16(p, off)
+		return ok && port == pktgen.FilterPort
+	}
+	panic("filters: unknown filter")
+}

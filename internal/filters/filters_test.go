@@ -1,0 +1,243 @@
+package filters
+
+import (
+	"testing"
+
+	"repro/internal/alpha"
+	"repro/internal/bpf"
+	"repro/internal/logic"
+	"repro/internal/machine"
+	"repro/internal/pktgen"
+	"repro/internal/policy"
+	"repro/internal/prover"
+	"repro/internal/vcgen"
+)
+
+func trace(n int) []pktgen.Packet {
+	return pktgen.Generate(n, pktgen.Config{Seed: 7})
+}
+
+func TestFiltersAssemble(t *testing.T) {
+	counts := map[Filter]int{}
+	for _, f := range All {
+		prog := Prog(f)
+		counts[f] = len(prog)
+		if err := alpha.Validate(prog); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+	// The paper's counts are 8/15/47/28; ours differ slightly (our
+	// assembler has no scheduling constraints) but must stay in the
+	// same ballpark and strictly increase F1 -> F3.
+	if counts[Filter1] > 10 || counts[Filter2] > 20 || counts[Filter3] > 55 || counts[Filter4] > 35 {
+		t.Errorf("instruction counts out of ballpark: %v", counts)
+	}
+	if !(counts[Filter1] < counts[Filter2] && counts[Filter2] < counts[Filter4]) {
+		t.Errorf("unexpected size ordering: %v", counts)
+	}
+}
+
+func TestBPFProgramsValidate(t *testing.T) {
+	for _, f := range All {
+		if err := bpf.Validate(BPFProg(f)); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+// TestTrivariantEquivalence is the workhorse: on a 20k-packet trace,
+// the PCC Alpha code, the BPF program, and the Go reference must agree
+// packet-for-packet for every filter.
+func TestTrivariantEquivalence(t *testing.T) {
+	pkts := trace(20000)
+	env := Env{}
+	for _, f := range All {
+		prog := Prog(f)
+		bprog := BPFProg(f)
+		accepts := 0
+		for i, p := range pkts {
+			want := Reference(f, p.Data)
+			ret, _, err := env.Exec(prog, p.Data, machine.Checked)
+			if err != nil {
+				t.Fatalf("%v pkt %d: %v", f, i, err)
+			}
+			if (ret != 0) != want {
+				t.Fatalf("%v pkt %d (len %d): PCC=%d want %v", f, i, p.Len(), ret, want)
+			}
+			if got := bpf.Run(bprog, p.Data) != 0; got != want {
+				t.Fatalf("%v pkt %d: BPF=%v want %v", f, i, got, want)
+			}
+			if want {
+				accepts++
+			}
+		}
+		if accepts == 0 {
+			t.Errorf("%v: filter never accepted on the trace (degenerate workload)", f)
+		}
+		if accepts == len(pkts) {
+			t.Errorf("%v: filter accepted everything", f)
+		}
+	}
+}
+
+func TestFiltersCertify(t *testing.T) {
+	pol := policy.PacketFilter()
+	for _, f := range All {
+		res, err := vcgen.Gen(Prog(f), pol.Pre, pol.Post, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		proof, err := prover.Prove(res.SP)
+		if err != nil {
+			t.Fatalf("%v: certification failed: %v", f, err)
+		}
+		if err := prover.Check(proof, res.SP); err != nil {
+			t.Fatalf("%v: proof does not check: %v", f, err)
+		}
+	}
+}
+
+func TestFilter4VariableIHL(t *testing.T) {
+	// Packets with IP options move the TCP port; both variants must
+	// track it.
+	pkts := pktgen.Generate(30000, pktgen.Config{Seed: 9, OptionsPerMille: 500})
+	env := Env{}
+	prog := Prog(Filter4)
+	optionAccepts := 0
+	for i, p := range pkts {
+		want := Reference(Filter4, p.Data)
+		ret, _, err := env.Exec(prog, p.Data, machine.Checked)
+		if err != nil {
+			t.Fatalf("pkt %d: %v", i, err)
+		}
+		if (ret != 0) != want {
+			t.Fatalf("pkt %d: PCC=%d want %v (ihl=%d len=%d)",
+				i, ret, want, p.Data[14]&15, p.Len())
+		}
+		if want && p.Data[14]&15 > 5 {
+			optionAccepts++
+		}
+	}
+	if optionAccepts == 0 {
+		t.Error("no accepted packets with IP options; variable-IHL path untested")
+	}
+}
+
+func TestChecksumMatchesReference(t *testing.T) {
+	a := alpha.MustAssemble(SrcChecksum)
+	env := Env{}
+	pkts := trace(500)
+	for i, p := range pkts {
+		ret, _, err := env.Exec(a.Prog, p.Data, machine.Checked)
+		if err != nil {
+			t.Fatalf("pkt %d: %v", i, err)
+		}
+		if uint16(ret) != RefChecksum(p.Data) {
+			t.Fatalf("pkt %d: checksum %#x, want %#x", i, ret, RefChecksum(p.Data))
+		}
+	}
+}
+
+func TestChecksumWord32MatchesOptimized(t *testing.T) {
+	fast := alpha.MustAssemble(SrcChecksum)
+	slow := alpha.MustAssemble(SrcChecksumWord32)
+	env := Env{}
+	var fastCycles, slowCycles int64
+	for i, p := range trace(300) {
+		rf, cf, err := env.Exec(fast.Prog, p.Data, machine.Checked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, cs, err := env.Exec(slow.Prog, p.Data, machine.Checked)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rf != rs {
+			t.Fatalf("pkt %d: optimized %#x vs word32 %#x", i, rf, rs)
+		}
+		fastCycles += cf
+		slowCycles += cs
+	}
+	// §4: the optimized routine beats the standard C version "by a
+	// factor of two".
+	ratio := float64(slowCycles) / float64(fastCycles)
+	if ratio < 1.5 || ratio > 3.5 {
+		t.Errorf("word32/optimized cycle ratio = %.2f, expected ~2x", ratio)
+	}
+}
+
+func TestChecksumCertifies(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		inv  logic.Pred
+	}{
+		{"optimized", SrcChecksum, ChecksumInvariant()},
+		{"word32", SrcChecksumWord32, ChecksumWord32Invariant()},
+	} {
+		a := alpha.MustAssemble(tc.src)
+		pol := policy.PacketFilter()
+		loopPC := a.Labels["loop"]
+		res, err := vcgen.Gen(a.Prog, pol.Pre, pol.Post,
+			map[int]logic.Pred{loopPC: tc.inv})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		proof, err := prover.Prove(res.SP)
+		if err != nil {
+			t.Fatalf("%s: certification failed: %v\nSP:\n%s", tc.name, err, logic.Pretty(res.SP))
+		}
+		if err := prover.Check(proof, res.SP); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+	}
+}
+
+func TestChecksumLoopShape(t *testing.T) {
+	// The paper's core loop is 8 instructions; ours must match.
+	a := alpha.MustAssemble(SrcChecksum)
+	loop, fold := a.Labels["loop"], a.Labels["fold"]
+	if fold-loop != 8 {
+		t.Errorf("core loop is %d instructions, want 8", fold-loop)
+	}
+}
+
+func TestRefChecksumProperties(t *testing.T) {
+	// One's-complement sum is invariant under word permutation.
+	buf := make([]byte, 64)
+	for i := range buf {
+		buf[i] = byte(i*7 + 3)
+	}
+	orig := RefChecksum(buf)
+	perm := make([]byte, 64)
+	copy(perm, buf[32:])
+	copy(perm[32:], buf[:32])
+	if RefChecksum(perm) != orig {
+		t.Error("checksum not permutation-invariant over words")
+	}
+	if RefChecksum(nil) != 0 {
+		t.Error("empty checksum not 0")
+	}
+}
+
+func TestReferenceRejectsShortPackets(t *testing.T) {
+	for _, f := range All {
+		if Reference(f, []byte{1, 2, 3}) {
+			t.Errorf("%v accepted a 3-byte packet", f)
+		}
+	}
+}
+
+func TestSourceAccessors(t *testing.T) {
+	for _, f := range All {
+		if Source(f) == "" {
+			t.Errorf("%v: empty source", f)
+		}
+		if Invariants(f) != nil {
+			t.Errorf("%v: unexpected invariants", f)
+		}
+		if f.String() == "" {
+			t.Errorf("%v: empty name", f)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package inferinv implements heuristic loop-invariant inference for
+// the counted-loop idiom that packet-processing code overwhelmingly
+// uses: an offset register initialized to an aligned constant, bumped
+// by a constant stride, and guarded by an unsigned compare against a
+// bound.
+//
+// The paper (§4) identifies invariant generation as "the main obstacle
+// in automating the generation of proofs" and resigns itself to
+// hand-written invariants. The key observation exploited here is that
+// inference may be *unsound without risk*: whatever this package
+// guesses is handed to the certifier, which proves it or rejects the
+// program — a wrong guess can never produce an unsafe binary, only a
+// failed certification. That license makes a simple syntactic
+// heuristic genuinely useful.
+//
+// For each backward-branch target the inferred invariant conjoins:
+//
+//  1. every conjunct of the (normalized) precondition whose registers
+//     the program never writes — the policy's quantified rd/wr clauses
+//     and length bounds survive verbatim;
+//  2. the loop's continuation guard, recovered from the compare
+//     instruction feeding the backward branch (e.g.
+//     cmpult(r4, r2) ≠ 0);
+//  3. an alignment fact (r & 2^k−1 = 0) for every register whose
+//     writes are, globally, aligned constant initializations and
+//     aligned constant self-increments — the "counter" registers.
+package inferinv
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/alpha"
+	"repro/internal/logic"
+)
+
+// Infer returns a loop-invariant table (instruction index of each
+// backward-branch target ↦ inferred invariant) for prog under the
+// given precondition. Programs without backward branches get an empty
+// table. Inference never fails — but certification of a bad guess
+// will.
+func Infer(prog []alpha.Instr, pre logic.Pred) map[int]logic.Pred {
+	targets := backwardTargets(prog)
+	if len(targets) == 0 {
+		return nil
+	}
+
+	written := writtenRegisters(prog)
+	stable := stablePreConjuncts(pre, written)
+	counters := counterAlignments(prog)
+
+	invs := make(map[int]logic.Pred, len(targets))
+	for _, t := range targets {
+		conjs := append([]logic.Pred(nil), stable...)
+		conjs = append(conjs, loopGuards(prog, t)...)
+		for _, c := range counters {
+			// An alignment fact is plausible at this loop head only if
+			// the counter has an aligned initialization somewhere
+			// before it (otherwise the first entry arrives with an
+			// arbitrary register value and certification would fail).
+			if c.initPC < t.target {
+				conjs = append(conjs, c.pred)
+			}
+		}
+		invs[t.target] = logic.Conj(conjs...)
+	}
+	return invs
+}
+
+type loop struct {
+	target int   // loop head
+	branch []int // pcs of backward branches to it
+}
+
+func backwardTargets(prog []alpha.Instr) []loop {
+	byTarget := map[int]*loop{}
+	var order []int
+	for pc, ins := range prog {
+		if ins.Op.Class() == alpha.ClassBranch && ins.Target <= pc {
+			l, ok := byTarget[ins.Target]
+			if !ok {
+				l = &loop{target: ins.Target}
+				byTarget[ins.Target] = l
+				order = append(order, ins.Target)
+			}
+			l.branch = append(l.branch, pc)
+		}
+	}
+	out := make([]loop, 0, len(order))
+	for _, t := range order {
+		out = append(out, *byTarget[t])
+	}
+	return out
+}
+
+// writtenRegisters returns the set of register names the program ever
+// writes.
+func writtenRegisters(prog []alpha.Instr) map[string]bool {
+	out := map[string]bool{}
+	for _, ins := range prog {
+		switch ins.Op.Class() {
+		case alpha.ClassMem:
+			if ins.Op == alpha.LDQ || ins.Op == alpha.LDA {
+				out[regName(ins.Ra)] = true
+			}
+			if ins.Op == alpha.STQ {
+				out["rm"] = true
+			}
+		case alpha.ClassOperate:
+			out[regName(ins.Rc)] = true
+		}
+	}
+	return out
+}
+
+func regName(r alpha.Reg) string { return fmt.Sprintf("r%d", r) }
+
+// stablePreConjuncts keeps the precondition conjuncts whose free
+// variables the program never writes.
+func stablePreConjuncts(pre logic.Pred, written map[string]bool) []logic.Pred {
+	var out []logic.Pred
+	for _, c := range logic.Conjuncts(logic.NormPred(pre)) {
+		ok := true
+		for v := range logic.FreeVars(c) {
+			if written[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// loopGuards recovers continuation guards: for each backward branch,
+// the fact its taken-condition asserts about the compare feeding it.
+func loopGuards(prog []alpha.Instr, l loop) []logic.Pred {
+	var out []logic.Pred
+	for _, bpc := range l.branch {
+		br := prog[bpc]
+		if br.Op != alpha.BNE && br.Op != alpha.BEQ {
+			continue
+		}
+		// Find the compare defining the tested register, scanning
+		// backward within the loop body; its operand registers must
+		// not be redefined between the compare and the branch.
+		for pc := bpc - 1; pc >= l.target; pc-- {
+			ins := prog[pc]
+			if ins.Op.Class() != alpha.ClassOperate || ins.Rc != br.Ra {
+				continue
+			}
+			var op logic.BinOp
+			switch ins.Op {
+			case alpha.CMPULT:
+				op = logic.OpCmpUlt
+			case alpha.CMPULE:
+				op = logic.OpCmpUle
+			case alpha.CMPEQ:
+				op = logic.OpCmpEq
+			default:
+				// The tested register holds data, not a compare
+				// result: no guard to learn from this branch.
+				pc = l.target // stop scanning
+				continue
+			}
+			if redefinedBetween(prog, pc+1, bpc, ins.Ra) ||
+				(!ins.HasLit && redefinedBetween(prog, pc+1, bpc, ins.Rb)) {
+				break
+			}
+			var rhs logic.Expr
+			if ins.HasLit {
+				rhs = logic.C(uint64(ins.Lit))
+			} else {
+				rhs = regVar(ins.Rb)
+			}
+			cmp := logic.Bin{Op: op, L: regVar(ins.Ra), R: rhs}
+			if br.Op == alpha.BNE {
+				out = append(out, logic.Ne(cmp, logic.C(0)))
+			} else {
+				out = append(out, logic.Eq(cmp, logic.C(0)))
+			}
+			break
+		}
+	}
+	return out
+}
+
+func regVar(r alpha.Reg) logic.Expr {
+	if r == alpha.RegZero {
+		return logic.C(0)
+	}
+	return logic.V(regName(r))
+}
+
+func redefinedBetween(prog []alpha.Instr, from, to int, r alpha.Reg) bool {
+	if r == alpha.RegZero {
+		return false
+	}
+	for pc := from; pc < to; pc++ {
+		ins := prog[pc]
+		switch ins.Op.Class() {
+		case alpha.ClassMem:
+			if (ins.Op == alpha.LDQ || ins.Op == alpha.LDA) && ins.Ra == r {
+				return true
+			}
+		case alpha.ClassOperate:
+			if ins.Rc == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// counterFact is an inferred alignment fact together with the pc of
+// the counter's first aligned initialization.
+type counterFact struct {
+	pred   logic.Pred
+	initPC int
+}
+
+// counterAlignments finds registers whose every write is an aligned
+// constant load or an aligned constant self-increment, and emits
+// (r & 2^k−1) = 0 for the largest k all writes respect.
+func counterAlignments(prog []alpha.Instr) []counterFact {
+	// trailing-zero bound per register; -1 = disqualified.
+	tz := map[alpha.Reg]int{}
+	init := map[alpha.Reg]int{}
+	bound := func(r alpha.Reg, k int) {
+		cur, seen := tz[r]
+		if !seen {
+			tz[r] = k
+			return
+		}
+		if cur >= 0 && k < cur {
+			tz[r] = k
+		}
+	}
+	disqualify := func(r alpha.Reg) { tz[r] = -1 }
+	recordInit := func(r alpha.Reg, pc, k int) {
+		bound(r, k)
+		if _, seen := init[r]; !seen {
+			init[r] = pc
+		}
+	}
+
+	for pc, ins := range prog {
+		switch ins.Op.Class() {
+		case alpha.ClassMem:
+			if ins.Op == alpha.LDA {
+				if ins.Rb == alpha.RegZero { // constant materialization
+					recordInit(ins.Ra, pc, bits.TrailingZeros64(uint64(int64(ins.Disp))))
+				} else {
+					disqualify(ins.Ra)
+				}
+			}
+			if ins.Op == alpha.LDQ {
+				disqualify(ins.Ra)
+			}
+		case alpha.ClassOperate:
+			r := ins.Rc
+			switch {
+			case ins.Op == alpha.BIS && ins.Ra == alpha.RegZero && ins.HasLit:
+				// CLR r / MOV lit, r.
+				recordInit(r, pc, bits.TrailingZeros64(uint64(ins.Lit)))
+			case ins.Op == alpha.ADDQ && ins.Ra == r && ins.HasLit:
+				// r := r + stride (not an initialization).
+				bound(r, bits.TrailingZeros64(uint64(ins.Lit)))
+			default:
+				disqualify(r)
+			}
+		}
+	}
+
+	var out []counterFact
+	for r := alpha.Reg(0); r < alpha.NumRegs; r++ {
+		k, seen := tz[r]
+		initPC, initialized := init[r]
+		if !seen || !initialized || k <= 0 {
+			continue
+		}
+		if k > 3 {
+			k = 3 // 8-byte alignment is all the policies ever need
+		}
+		mask := uint64(1)<<k - 1
+		out = append(out, counterFact{
+			pred:   logic.Eq(logic.And2(regVar(r), logic.C(mask)), logic.C(0)),
+			initPC: initPC,
+		})
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+// Package kernel simulates the code consumer of Figure 1 as a running
+// system: a SPIN-style extensible kernel that publishes safety
+// policies, validates and installs PCC binaries from untrusted
+// processes, and dispatches events — network packets to installed
+// filters, resource-table invocations to installed handlers — all with
+// zero run-time checking of the extensions.
+//
+// It is the glue the paper's two services (§2 resource access, §3
+// packet filtering) would live in, and exists so the examples and
+// tests can exercise realistic install/dispatch/uninstall lifecycles,
+// including the accounting (validation cost, per-extension cycles)
+// that Figure 9 is about.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	pcc "repro"
+	"repro/internal/machine"
+	"repro/internal/pktgen"
+	"repro/internal/policy"
+)
+
+// Stats aggregates kernel accounting.
+type Stats struct {
+	// Validations and Rejections count install attempts.
+	Validations int
+	Rejections  int
+	// ValidationCycles converts validation wall-clock to modeled
+	// cycles at the 175-MHz clock, so startup and per-packet costs are
+	// in one currency (how Figure 9 plots them).
+	ValidationMicros float64
+	// Packets delivered and per-owner accepts.
+	Packets int
+	// ExtensionCycles is total simulated time spent inside extensions.
+	ExtensionCycles int64
+}
+
+// Kernel is a simulated extensible kernel.
+type Kernel struct {
+	mu sync.Mutex
+
+	filterPolicy   *policy.Policy
+	resourcePolicy *policy.Policy
+
+	filters    map[string]*pcc.Extension // owner -> installed packet filter
+	accepts    map[string]int
+	handlers   map[int]*pcc.Extension // pid -> resource-access handler
+	tables     map[int]*machine.Region
+	budget     CycleBudget
+	negotiated map[string]*policy.Policy
+
+	stats Stats
+}
+
+// New creates a kernel publishing the standard policies.
+func New() *Kernel {
+	return &Kernel{
+		filterPolicy:   policy.PacketFilter(),
+		resourcePolicy: policy.ResourceAccess(),
+		filters:        map[string]*pcc.Extension{},
+		accepts:        map[string]int{},
+		handlers:       map[int]*pcc.Extension{},
+		tables:         map[int]*machine.Region{},
+	}
+}
+
+// FilterPolicy returns the published packet-filter policy (Figure 1:
+// the consumer "defines and publicizes a safety policy").
+func (k *Kernel) FilterPolicy() *policy.Policy { return k.filterPolicy }
+
+// ResourcePolicy returns the published resource-access policy.
+func (k *Kernel) ResourcePolicy() *policy.Policy { return k.resourcePolicy }
+
+// CycleBudget is the per-packet worst-case cycle budget the kernel
+// enforces at install time (the §2.1 "control over resource usage"
+// policy dimension). Zero disables the check.
+type CycleBudget int64
+
+// SetCycleBudget configures the per-packet budget for subsequently
+// installed filters.
+func (k *Kernel) SetCycleBudget(b CycleBudget) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.budget = b
+}
+
+// NegotiateFilterPolicy implements the §4 protocol at the kernel
+// boundary: a producer proposes a policy; the kernel accepts it —
+// and from then on validates binaries naming it — only after proving
+// that its own packet-filter guarantees cover the proposal.
+func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
+	k.mu.Lock()
+	base := k.filterPolicy
+	k.mu.Unlock()
+	if err := pcc.NegotiatePolicy(base, proposed); err != nil {
+		return err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.negotiated == nil {
+		k.negotiated = map[string]*policy.Policy{}
+	}
+	k.negotiated[proposed.Name] = proposed
+	return nil
+}
+
+// InstallFilter validates a PCC binary against the packet-filter
+// policy and installs it for the owner. Invalid binaries — and, when a
+// cycle budget is configured, binaries whose static worst-case cost
+// exceeds it — are rejected and counted.
+func (k *Kernel) InstallFilter(owner string, binary []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Validations++
+	ext, stats, err := pcc.Validate(binary, k.filterPolicy)
+	if err != nil {
+		// Fall back to any negotiated policy the binary names.
+		ext, stats, err = k.validateNegotiated(binary)
+	}
+	if err != nil {
+		k.stats.Rejections++
+		return fmt.Errorf("kernel: filter for %q rejected: %w", owner, err)
+	}
+	if k.budget > 0 {
+		wcet, err := machine.DEC21064.MaxCost(ext.Prog)
+		if err != nil {
+			k.stats.Rejections++
+			return fmt.Errorf("kernel: filter for %q has no static cost bound: %w", owner, err)
+		}
+		if wcet > int64(k.budget) {
+			k.stats.Rejections++
+			return fmt.Errorf("kernel: filter for %q exceeds the cycle budget: %d > %d",
+				owner, wcet, k.budget)
+		}
+	}
+	k.stats.ValidationMicros += float64(stats.Time.Microseconds())
+	k.filters[owner] = ext
+	return nil
+}
+
+// validateNegotiated tries the negotiated policies (k.mu held).
+func (k *Kernel) validateNegotiated(binary []byte) (*pcc.Extension, *pcc.ValidationStats, error) {
+	var lastErr error = fmt.Errorf("kernel: no negotiated policy matches")
+	for _, pol := range k.negotiated {
+		ext, stats, err := pcc.Validate(binary, pol)
+		if err == nil {
+			return ext, stats, nil
+		}
+		lastErr = err
+	}
+	return nil, nil, lastErr
+}
+
+// UninstallFilter removes an owner's filter.
+func (k *Kernel) UninstallFilter(owner string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.filters, owner)
+}
+
+// Owners lists owners with installed filters, sorted.
+func (k *Kernel) Owners() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]string, 0, len(k.filters))
+	for o := range k.filters {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeliverPacket runs every installed filter over the packet (with no
+// run-time checks — they are validated) and returns the owners that
+// accepted it.
+func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Packets++
+	var accepted []string
+	for owner, ext := range k.filters {
+		state := k.packetState(pkt)
+		res, err := machine.Interp(ext.Prog, state, machine.Unchecked, &machine.DEC21064, 1<<20)
+		if err != nil {
+			// A validated extension cannot fault when the kernel meets
+			// the precondition; if it does, the kernel is broken.
+			return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", owner, err)
+		}
+		k.stats.ExtensionCycles += res.Cycles
+		if res.Ret != 0 {
+			accepted = append(accepted, owner)
+			k.accepts[owner]++
+		}
+	}
+	sort.Strings(accepted)
+	return accepted, nil
+}
+
+// packetState builds the precondition-satisfying machine state for one
+// delivery. (A real kernel reuses buffers; allocation noise is not
+// part of the modeled cycle costs.)
+func (k *Kernel) packetState(pkt pktgen.Packet) *machine.State {
+	mem := machine.NewMemory()
+	pr := machine.NewRegion("packet", 0x10000, len(pkt.Data), false)
+	pr.SetBytes(pkt.Data)
+	mem.MustAddRegion(pr)
+	mem.MustAddRegion(machine.NewRegion("scratch", 0x20000, policy.ScratchLen, true))
+	s := &machine.State{Mem: mem}
+	s.R[policy.RegPacket] = 0x10000
+	s.R[policy.RegLen] = uint64(len(pkt.Data))
+	s.R[policy.RegScratch] = 0x20000
+	return s
+}
+
+// Accepts returns the per-owner accept counters.
+func (k *Kernel) Accepts() map[string]int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make(map[string]int, len(k.accepts))
+	for o, n := range k.accepts {
+		out[o] = n
+	}
+	return out
+}
+
+// CreateTable creates the §2 {tag, data} entry for a process.
+func (k *Kernel) CreateTable(pid int, tag, data uint64) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	base := uint64(0x40000 + pid*16)
+	r := machine.NewRegion(fmt.Sprintf("table-%d", pid), base, 16, true)
+	r.SetWord(0, tag)
+	r.SetWord(8, data)
+	k.tables[pid] = r
+}
+
+// InstallHandler validates and installs a resource-access handler for
+// a process.
+func (k *Kernel) InstallHandler(pid int, binary []byte) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.stats.Validations++
+	ext, stats, err := pcc.Validate(binary, k.resourcePolicy)
+	if err != nil {
+		k.stats.Rejections++
+		return fmt.Errorf("kernel: handler for pid %d rejected: %w", pid, err)
+	}
+	k.stats.ValidationMicros += float64(stats.Time.Microseconds())
+	k.handlers[pid] = ext
+	return nil
+}
+
+// InvokeHandler runs a process's installed handler on its own table
+// entry, per the §2 calling convention (entry address in r0).
+func (k *Kernel) InvokeHandler(pid int) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ext, ok := k.handlers[pid]
+	if !ok {
+		return fmt.Errorf("kernel: pid %d has no handler", pid)
+	}
+	table, ok := k.tables[pid]
+	if !ok {
+		return fmt.Errorf("kernel: pid %d has no table entry", pid)
+	}
+	mem := machine.NewMemory()
+	mem.MustAddRegion(table)
+	s := &machine.State{Mem: mem}
+	s.R[0] = table.Base
+	res, err := machine.Interp(ext.Prog, s, machine.Unchecked, &machine.DEC21064, 10000)
+	if err != nil {
+		return fmt.Errorf("kernel: validated handler for pid %d faulted: %w", pid, err)
+	}
+	k.stats.ExtensionCycles += res.Cycles
+	return nil
+}
+
+// Table returns a process's {tag, data} entry.
+func (k *Kernel) Table(pid int) (tag, data uint64, ok bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	r, found := k.tables[pid]
+	if !found {
+		return 0, 0, false
+	}
+	return r.Word(0), r.Word(8), true
+}
+
+// Stats returns a copy of the kernel accounting.
+func (k *Kernel) Stats() Stats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.stats
+}

@@ -1,0 +1,241 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/logic"
+	"repro/internal/pktgen"
+	"repro/internal/policy"
+)
+
+func certFilter(t *testing.T, k *Kernel, f filters.Filter) []byte {
+	t.Helper()
+	cert, err := pcc.Certify(filters.Source(f), k.FilterPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert.Binary
+}
+
+func TestInstallAndDispatch(t *testing.T) {
+	k := New()
+	for _, f := range filters.All {
+		owner := fmt.Sprintf("proc-%d", f)
+		if err := k.InstallFilter(owner, certFilter(t, k, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := k.Owners(); len(got) != 4 {
+		t.Fatalf("owners = %v", got)
+	}
+
+	pkts := pktgen.Generate(5000, pktgen.Config{Seed: 41})
+	wantAccepts := map[string]int{}
+	for _, p := range pkts {
+		accepted, err := k.DeliverPacket(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, o := range accepted {
+			got[o] = true
+		}
+		for _, f := range filters.All {
+			owner := fmt.Sprintf("proc-%d", f)
+			want := filters.Reference(f, p.Data)
+			if got[owner] != want {
+				t.Fatalf("owner %s: accept=%v want %v", owner, got[owner], want)
+			}
+			if want {
+				wantAccepts[owner]++
+			}
+		}
+	}
+	accepts := k.Accepts()
+	for o, n := range wantAccepts {
+		if accepts[o] != n {
+			t.Errorf("accepts[%s] = %d, want %d", o, accepts[o], n)
+		}
+	}
+	st := k.Stats()
+	if st.Packets != len(pkts) || st.Validations != 4 || st.Rejections != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.ExtensionCycles == 0 || st.ValidationMicros == 0 {
+		t.Errorf("missing accounting: %+v", st)
+	}
+}
+
+func TestKernelRejectsBadBinaries(t *testing.T) {
+	k := New()
+	if err := k.InstallFilter("evil", []byte("not a pcc binary")); err == nil {
+		t.Fatal("garbage installed")
+	}
+	// A well-formed binary certified for a different policy.
+	cert, err := pcc.Certify(`
+        ADDQ  r0, 8, r1
+        LDQ   r0, 8(r0)
+        LDQ   r2, -8(r1)
+        ADDQ  r0, 1, r0
+        BEQ   r2, L1
+        STQ   r0, 0(r1)
+L1:     RET
+	`, pcc.ResourceAccessPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = k.InstallFilter("confused", cert.Binary)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("cross-policy binary installed: %v", err)
+	}
+	if st := k.Stats(); st.Rejections != 2 {
+		t.Errorf("rejections = %d, want 2", st.Rejections)
+	}
+	if len(k.Owners()) != 0 {
+		t.Error("rejected binaries left installed filters behind")
+	}
+}
+
+func TestUninstall(t *testing.T) {
+	k := New()
+	if err := k.InstallFilter("a", certFilter(t, k, filters.Filter1)); err != nil {
+		t.Fatal(err)
+	}
+	k.UninstallFilter("a")
+	if len(k.Owners()) != 0 {
+		t.Fatal("filter still installed")
+	}
+	accepted, err := k.DeliverPacket(pktgen.Generate(1, pktgen.Config{Seed: 1})[0])
+	if err != nil || len(accepted) != 0 {
+		t.Fatalf("accepted=%v err=%v", accepted, err)
+	}
+}
+
+func TestResourceHandlers(t *testing.T) {
+	k := New()
+	cert, err := pcc.Certify(`
+        ADDQ  r0, 8, r1
+        LDQ   r0, 8(r0)
+        LDQ   r2, -8(r1)
+        ADDQ  r0, 1, r0
+        BEQ   r2, L1
+        STQ   r0, 0(r1)
+L1:     RET
+	`, k.ResourcePolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k.CreateTable(1, 1, 10) // writable entry
+	k.CreateTable(2, 0, 20) // read-only entry
+	for pid := 1; pid <= 2; pid++ {
+		if err := k.InstallHandler(pid, cert.Binary); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.InvokeHandler(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, data, _ := k.Table(1); data != 11 {
+		t.Errorf("pid 1 data = %d, want 11", data)
+	}
+	if _, data, _ := k.Table(2); data != 20 {
+		t.Errorf("pid 2 data = %d, want 20 (read-only)", data)
+	}
+
+	if err := k.InvokeHandler(99); err == nil {
+		t.Error("invoking a missing handler succeeded")
+	}
+	if _, _, ok := k.Table(99); ok {
+		t.Error("phantom table")
+	}
+}
+
+func TestConcurrentDelivery(t *testing.T) {
+	k := New()
+	if err := k.InstallFilter("p", certFilter(t, k, filters.Filter1)); err != nil {
+		t.Fatal(err)
+	}
+	pkts := pktgen.Generate(200, pktgen.Config{Seed: 43})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, p := range pkts {
+				if _, err := k.DeliverPacket(p); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := k.Stats(); st.Packets != 8*len(pkts) {
+		t.Errorf("packets = %d", st.Packets)
+	}
+}
+
+func TestCycleBudgetEnforced(t *testing.T) {
+	k := New()
+	k.SetCycleBudget(40)
+	// Filter 1 is tiny and fits.
+	if err := k.InstallFilter("small", certFilter(t, k, filters.Filter1)); err != nil {
+		t.Fatalf("small filter rejected: %v", err)
+	}
+	// Filter 3 is far over a 40-cycle budget.
+	err := k.InstallFilter("big", certFilter(t, k, filters.Filter3))
+	if err == nil || !strings.Contains(err.Error(), "cycle budget") {
+		t.Fatalf("expensive filter installed: %v", err)
+	}
+	if st := k.Stats(); st.Rejections != 1 {
+		t.Errorf("rejections = %d", st.Rejections)
+	}
+	// Without a budget it installs fine.
+	k.SetCycleBudget(0)
+	if err := k.InstallFilter("big", certFilter(t, k, filters.Filter3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegotiatedPolicyInstall(t *testing.T) {
+	k := New()
+	weak := &policy.Policy{
+		Name: "header-only/v1",
+		Pre: logic.MustParsePred(
+			"64 <= r2 /\\ (ALL i. (i < r2 /\\ (i & 7) = 0) => rd(r1 + i))"),
+		Post: logic.True,
+	}
+	// A binary certified under the weak policy is refused before
+	// negotiation...
+	cert, err := pcc.Certify(filters.Source(filters.Filter1), weak, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InstallFilter("early", cert.Binary); err == nil {
+		t.Fatal("un-negotiated policy accepted")
+	}
+	// ...and accepted after the kernel proves the proposal is covered.
+	if err := k.NegotiateFilterPolicy(weak); err != nil {
+		t.Fatalf("negotiation failed: %v", err)
+	}
+	if err := k.InstallFilter("late", cert.Binary); err != nil {
+		t.Fatalf("negotiated install failed: %v", err)
+	}
+	// A greedy proposal is refused outright.
+	greedy := &policy.Policy{Name: "greedy/v1",
+		Pre: logic.MustParsePred("wr(r1)"), Post: logic.True}
+	if err := k.NegotiateFilterPolicy(greedy); err == nil {
+		t.Fatal("greedy policy negotiated")
+	}
+}

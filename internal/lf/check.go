@@ -1,0 +1,344 @@
+package lf
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// TypeError reports an LF typechecking failure — i.e., an invalid
+// safety proof.
+type TypeError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *TypeError) Error() string { return "lf: " + e.Msg }
+
+func typeErr(format string, args ...interface{}) error {
+	return &TypeError{fmt.Sprintf(format, args...)}
+}
+
+// Checker validates LF objects against the published signature. It is
+// the trusted validator of §2.3: small, simple, and independent of the
+// prover.
+type Checker struct {
+	Sig *Signature
+	// Steps counts inference steps, reported for the validation-cost
+	// experiments.
+	Steps int
+}
+
+// NewChecker returns a checker over the given signature.
+func NewChecker(sig *Signature) *Checker { return &Checker{Sig: sig} }
+
+// Check verifies that term has the given type (both closed). It
+// implements "proof validation amounts to typechecking".
+func (c *Checker) Check(term, want Term) error {
+	got, err := c.infer(term, nil)
+	if err != nil {
+		return err
+	}
+	if !Equal(Normalize(got), Normalize(want)) {
+		return typeErr("type mismatch:\n  inferred %s\n  expected %s", got, want)
+	}
+	return nil
+}
+
+// Infer returns the type of a closed term.
+func (c *Checker) Infer(term Term) (Term, error) { return c.infer(term, nil) }
+
+// infer computes the type/kind of t under the de Bruijn environment
+// env (env[0] is the innermost binder's type, already shifted to its
+// own binder's depth: lookup shifts by idx+1).
+func (c *Checker) infer(t Term, env []Term) (Term, error) {
+	c.Steps++
+	switch t := t.(type) {
+	case Sort:
+		if t == SType {
+			return SKind, nil
+		}
+		return nil, typeErr("the sort 'kind' has no classifier")
+	case Konst:
+		ty, ok := c.Sig.Lookup(t.Name)
+		if !ok {
+			return nil, typeErr("unknown constant %q", t.Name)
+		}
+		return ty, nil
+	case Bound:
+		if t.Idx < 0 || t.Idx >= len(env) {
+			return nil, typeErr("unbound variable #%d", t.Idx)
+		}
+		return shift(env[t.Idx], t.Idx+1, 0), nil
+	case Lit:
+		return Konst{CWord}, nil
+	case Pi:
+		if err := c.checkIsType(t.A, env); err != nil {
+			return nil, err
+		}
+		s, err := c.infer(t.B, push(env, t.A))
+		if err != nil {
+			return nil, err
+		}
+		srt, ok := Normalize(s).(Sort)
+		if !ok {
+			return nil, typeErr("Pi body is not a type or kind: %s", t.B)
+		}
+		return srt, nil
+	case Lam:
+		if err := c.checkIsType(t.A, env); err != nil {
+			return nil, err
+		}
+		b, err := c.infer(t.M, push(env, t.A))
+		if err != nil {
+			return nil, err
+		}
+		return Pi{t.A, b}, nil
+	case App:
+		fTy, err := c.infer(t.F, env)
+		if err != nil {
+			return nil, err
+		}
+		pi, ok := Normalize(fTy).(Pi)
+		if !ok {
+			return nil, typeErr("application of non-function: %s : %s", t.F, fTy)
+		}
+		aTy, err := c.infer(t.X, env)
+		if err != nil {
+			return nil, err
+		}
+		if !Equal(Normalize(aTy), Normalize(pi.A)) {
+			return nil, typeErr("argument type mismatch:\n  got %s\n  want %s", aTy, pi.A)
+		}
+		if err := c.checkPrimitive(t); err != nil {
+			return nil, err
+		}
+		return Instantiate(pi.B, t.X), nil
+	}
+	return nil, typeErr("unknown term %T", t)
+}
+
+// checkIsType verifies that A is a well-formed type (family of kind
+// `type`) or kind.
+func (c *Checker) checkIsType(a Term, env []Term) error {
+	s, err := c.infer(a, env)
+	if err != nil {
+		return err
+	}
+	if srt, ok := Normalize(s).(Sort); ok && (srt == SType || srt == SKind) {
+		return nil
+	}
+	return typeErr("not a type: %s", a)
+}
+
+func push(env []Term, a Term) []Term {
+	out := make([]Term, 0, len(env)+1)
+	out = append(out, a)
+	return append(out, env...)
+}
+
+// checkPrimitive enforces the side conditions of the primitive
+// judgments: a fully applied `gr P` requires P to be closed and to
+// evaluate to true; a fully applied `nrm P Q` requires P and Q to share
+// a normal form under the trusted normalizer.
+func (c *Checker) checkPrimitive(app App) error {
+	head, args := Spine(app)
+	k, ok := head.(Konst)
+	if !ok {
+		return nil
+	}
+	switch {
+	case k.Name == CGr && len(args) == 1:
+		p, err := DecodePred(args[0])
+		if err != nil {
+			return typeErr("gr: %v", err)
+		}
+		v, ground := logic.EvalPred(p, map[string]uint64{})
+		if !ground {
+			return typeErr("gr applied to non-ground predicate %s", p)
+		}
+		if !v {
+			return typeErr("gr applied to false predicate %s", p)
+		}
+	case k.Name == CNrm && len(args) == 2:
+		p, err := DecodePred(args[0])
+		if err != nil {
+			return typeErr("nrm: %v", err)
+		}
+		q, err := DecodePred(args[1])
+		if err != nil {
+			return typeErr("nrm: %v", err)
+		}
+		if !logic.AlphaEqual(logic.NormPred(p), logic.NormPred(q)) {
+			return typeErr("nrm applied to non-convertible predicates:\n  %s\n  %s", p, q)
+		}
+	}
+	return nil
+}
+
+// DecodePred converts an (object-level) LF predicate back to its logic
+// representation. Bound variables are named positionally, so decoded
+// predicates compare correctly under AlphaEqual.
+func DecodePred(t Term) (logic.Pred, error) { return decodePred(Normalize(t), 0) }
+
+// DecodeExpr converts an LF expression term back to logic form.
+func DecodeExpr(t Term) (logic.Expr, error) { return decodeExpr(Normalize(t), 0) }
+
+var binOpByConst = func() map[string]logic.BinOp {
+	m := map[string]logic.BinOp{}
+	for _, op := range binOps {
+		m[BinOpConst(op)] = op
+	}
+	return m
+}()
+
+var cmpOpByConst = func() map[string]logic.CmpOp {
+	m := map[string]logic.CmpOp{}
+	for _, op := range cmpOps {
+		m[CmpOpConst(op)] = op
+	}
+	return m
+}()
+
+// levelName names a decoded variable by binder level. Negative levels
+// denote binders outside the decoded term (possible in the side
+// conditions of nrm, which may occur under hypothesis λs); they get
+// stable names so that the two operands of nrm decode consistently.
+func levelName(level int) string {
+	if level < 0 {
+		return fmt.Sprintf("!^%d", -level)
+	}
+	return fmt.Sprintf("!%d", level)
+}
+
+func decodeExpr(t Term, depth int) (logic.Expr, error) {
+	if b, ok := t.(Bound); ok {
+		return logic.V(levelName(depth - b.Idx - 1)), nil
+	}
+	if k, ok := t.(Konst); ok {
+		if name, isReg := strings.CutPrefix(k.Name, "reg_"); isReg && stateVarSet[name] {
+			return logic.V(name), nil
+		}
+	}
+	head, args := Spine(t)
+	k, ok := head.(Konst)
+	if !ok {
+		return nil, fmt.Errorf("lf: decode: bad expression head %s", head)
+	}
+	sub := func(i int) (logic.Expr, error) { return decodeExpr(args[i], depth) }
+	switch {
+	case k.Name == CCst && len(args) == 1:
+		lit, ok := args[0].(Lit)
+		if !ok {
+			return nil, fmt.Errorf("lf: decode: cst of non-literal")
+		}
+		return logic.C(lit.V), nil
+	case k.Name == CSel && len(args) == 2:
+		m, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		a, err := sub(1)
+		if err != nil {
+			return nil, err
+		}
+		return logic.SelE(m, a), nil
+	case k.Name == CUpd && len(args) == 3:
+		m, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		a, err := sub(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := sub(2)
+		if err != nil {
+			return nil, err
+		}
+		return logic.UpdE(m, a, v), nil
+	}
+	if op, isBin := binOpByConst[k.Name]; isBin && len(args) == 2 {
+		l, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sub(1)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Bin{Op: op, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("lf: decode: unknown expression form %s", t)
+}
+
+func decodePred(t Term, depth int) (logic.Pred, error) {
+	head, args := Spine(t)
+	k, ok := head.(Konst)
+	if !ok {
+		return nil, fmt.Errorf("lf: decode: bad predicate head %s", head)
+	}
+	switch {
+	case k.Name == CTT && len(args) == 0:
+		return logic.True, nil
+	case k.Name == CFF && len(args) == 0:
+		return logic.False, nil
+	case (k.Name == CRd || k.Name == CWr) && len(args) == 1:
+		a, err := decodeExpr(args[0], depth)
+		if err != nil {
+			return nil, err
+		}
+		if k.Name == CRd {
+			return logic.RdP(a), nil
+		}
+		return logic.WrP(a), nil
+	case (k.Name == CAnd || k.Name == COr || k.Name == CImp) && len(args) == 2:
+		l, err := decodePred(args[0], depth)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodePred(args[1], depth)
+		if err != nil {
+			return nil, err
+		}
+		switch k.Name {
+		case CAnd:
+			return logic.And{L: l, R: r}, nil
+		case COr:
+			return logic.Or{L: l, R: r}, nil
+		default:
+			return logic.Imp{L: l, R: r}, nil
+		}
+	case k.Name == CForall && len(args) == 1:
+		lam, ok := args[0].(Lam)
+		if !ok {
+			return nil, fmt.Errorf("lf: decode: forall of non-abstraction")
+		}
+		body, err := decodePred(lam.M, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Forall{Var: levelName(depth), Body: body}, nil
+	}
+	if op, isCmp := cmpOpByConst[k.Name]; isCmp && len(args) == 2 {
+		l, err := decodeExpr(args[0], depth)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeExpr(args[1], depth)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Cmp{Op: op, L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("lf: decode: unknown predicate form %s", t)
+}
+
+// ValidateProof is the consumer's validation entry point: it checks
+// that proofTerm is a valid LF proof of the safety predicate sp.
+func ValidateProof(sig *Signature, proofTerm Term, sp logic.Pred) error {
+	spT, err := EncodePred(sp)
+	if err != nil {
+		return err
+	}
+	return NewChecker(sig).Check(proofTerm, App{Konst{CPf}, spT})
+}

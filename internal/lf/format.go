@@ -1,0 +1,100 @@
+package lf
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/prover"
+)
+
+// FormatSignature renders the published signature in a λProlog-style
+// concrete syntax, one declaration per line — the form in which a code
+// consumer "defines and publicizes" its proof-formation rules. The
+// axiom schemas carry their documentation comments.
+func FormatSignature(s *Signature) string {
+	var b strings.Builder
+	b.WriteString("%% PCC object logic and proof rules (published signature)\n")
+	for _, name := range s.Names() {
+		ty, _ := s.Lookup(name)
+		if sc, ok := prover.Axioms[name]; ok && sc.Comment != "" {
+			fmt.Fprintf(&b, "%% %s\n", sc.Comment)
+		}
+		fmt.Fprintf(&b, "%-16s : %s.\n", name, formatTy(ty, 0))
+	}
+	return b.String()
+}
+
+// formatTy renders a type with named binders (x0, x1, …) instead of de
+// Bruijn indexes, for readability.
+func formatTy(t Term, depth int) string {
+	switch t := t.(type) {
+	case Sort:
+		return t.String()
+	case Konst:
+		return t.Name
+	case Bound:
+		return fmt.Sprintf("x%d", depth-t.Idx-1)
+	case Lit:
+		return fmt.Sprintf("%d", t.V)
+	case Pi:
+		// Non-dependent products print as arrows.
+		if !mentionsBound0(t.B) {
+			return fmt.Sprintf("%s -> %s", formatTyAtom(t.A, depth), formatTy(shiftDown(t.B), depth))
+		}
+		return fmt.Sprintf("{x%d:%s} %s", depth, formatTy(t.A, depth), formatTy(t.B, depth+1))
+	case Lam:
+		return fmt.Sprintf("[x%d:%s] %s", depth, formatTy(t.A, depth), formatTy(t.M, depth+1))
+	case App:
+		head, args := Spine(t)
+		parts := []string{formatTyAtom(head, depth)}
+		for _, a := range args {
+			parts = append(parts, formatTyAtom(a, depth))
+		}
+		return strings.Join(parts, " ")
+	}
+	return "?"
+}
+
+func formatTyAtom(t Term, depth int) string {
+	switch t.(type) {
+	case App, Pi, Lam:
+		return "(" + formatTy(t, depth) + ")"
+	}
+	return formatTy(t, depth)
+}
+
+func mentionsBound0(t Term) bool {
+	switch t := t.(type) {
+	case Bound:
+		return t.Idx == 0
+	case Pi:
+		return mentionsBound0Shifted(t.A, 0) || mentionsBound0Shifted(t.B, 1)
+	case Lam:
+		return mentionsBound0Shifted(t.A, 0) || mentionsBound0Shifted(t.M, 1)
+	case App:
+		return mentionsBound0(t.F) || mentionsBound0(t.X)
+	}
+	return false
+}
+
+func mentionsBound0Shifted(t Term, extra int) bool {
+	return mentionsIdx(t, extra)
+}
+
+func mentionsIdx(t Term, idx int) bool {
+	switch t := t.(type) {
+	case Bound:
+		return t.Idx == idx
+	case Pi:
+		return mentionsIdx(t.A, idx) || mentionsIdx(t.B, idx+1)
+	case Lam:
+		return mentionsIdx(t.A, idx) || mentionsIdx(t.M, idx+1)
+	case App:
+		return mentionsIdx(t.F, idx) || mentionsIdx(t.X, idx)
+	}
+	return false
+}
+
+// shiftDown removes one unused binder level (only valid when Bound{0}
+// does not occur, which the arrow case guarantees).
+func shiftDown(t Term) Term { return substIdx(t, 0, Konst{"_"}) }

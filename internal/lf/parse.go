@@ -1,0 +1,180 @@
+package lf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseTerm reads the concrete syntax produced by Term.String, so LF
+// objects — proofs included — can be exchanged in text as well as in
+// the binary encoding:
+//
+//	term ::= name | #N | NUMBER
+//	       | '(' term term+ ')'          application spine
+//	       | '(' '[' term ']' term ')'   abstraction [A] M
+//	       | '(' '{' term '}' term ')'   product {A} B
+//	       | 'type' | 'kind'
+//
+// ParseTerm(t.String()) reproduces t exactly (a property the tests
+// enforce).
+func ParseTerm(src string) (Term, error) {
+	p := &termParser{src: src}
+	t, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
+	}
+	return t, nil
+}
+
+type termParser struct {
+	src string
+	pos int
+}
+
+func (p *termParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("lf: parse at %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *termParser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *termParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *termParser) term() (Term, error) {
+	p.ws()
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		p.ws()
+		switch p.peek() {
+		case '[':
+			p.pos++
+			a, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if !p.expect(']') {
+				return nil, p.errf("expected ']'")
+			}
+			m, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if !p.expect(')') {
+				return nil, p.errf("expected ')'")
+			}
+			return Lam{a, m}, nil
+		case '{':
+			p.pos++
+			a, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if !p.expect('}') {
+				return nil, p.errf("expected '}'")
+			}
+			b, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			if !p.expect(')') {
+				return nil, p.errf("expected ')'")
+			}
+			return Pi{a, b}, nil
+		default:
+			head, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			args := 0
+			for {
+				p.ws()
+				if p.peek() == ')' {
+					p.pos++
+					if args == 0 {
+						return nil, p.errf("empty application")
+					}
+					return head, nil
+				}
+				if p.peek() == 0 {
+					return nil, p.errf("unclosed '('")
+				}
+				arg, err := p.term()
+				if err != nil {
+					return nil, err
+				}
+				head = App{head, arg}
+				args++
+			}
+		}
+	case c == '#':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.Atoi(p.src[start:p.pos])
+		if err != nil {
+			return nil, p.errf("bad de Bruijn index")
+		}
+		return Bound{n}, nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		v, err := strconv.ParseUint(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return nil, p.errf("bad literal")
+		}
+		return Lit{v}, nil
+	default:
+		start := p.pos
+		for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, p.errf("expected term, found %q", string(c))
+		}
+		name := p.src[start:p.pos]
+		switch name {
+		case "type":
+			return SType, nil
+		case "kind":
+			return SKind, nil
+		}
+		return Konst{name}, nil
+	}
+}
+
+func (p *termParser) expect(c byte) bool {
+	p.ws()
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || strings.IndexByte("'$^!", c) >= 0
+}

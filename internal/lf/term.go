@@ -1,0 +1,223 @@
+// Package lf implements the Edinburgh Logical Framework core used to
+// represent and validate safety proofs, following §2.3 of Necula & Lee:
+// predicates and proofs are encoded as LF objects over a published
+// signature, and "proof validation amounts to typechecking".
+//
+// The implementation is a standard dependently-typed λ-calculus with
+// Π-types, de Bruijn representation, β-normalization, and a
+// bidirectional-style checker, extended — as documented in DESIGN.md —
+// with two small primitives that stand in for the paper's "predicate
+// calculus extended with two's-complement integer arithmetic":
+//
+//   - 64-bit literals of the primitive type `word`;
+//   - the decidable judgments `ground p` (p is closed and evaluates to
+//     true) and `norm_eq p q` (p and q have the same normal form under
+//     the trusted normalizer), inhabited by the primitive constants
+//     `gr` and `nrm` whose applications are verified by evaluation
+//     during typechecking.
+package lf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is an LF term. A single syntactic category covers objects,
+// families, and kinds; the checker keeps the levels straight.
+type Term interface {
+	isTerm()
+	String() string
+}
+
+// Sort is a classifier: the kind `type` or the superkind classifying
+// kinds.
+type Sort uint8
+
+// The two sorts.
+const (
+	SType Sort = iota // the kind "type"
+	SKind             // classifies kinds; never written by encoders
+)
+
+// Konst references a signature constant by name.
+type Konst struct{ Name string }
+
+// Bound is a de Bruijn variable (0 = innermost binder).
+type Bound struct{ Idx int }
+
+// Pi is the dependent product Πx:A. B (B lives under the binder).
+type Pi struct{ A, B Term }
+
+// Lam is the annotated abstraction λx:A. M.
+type Lam struct{ A, M Term }
+
+// App is application.
+type App struct{ F, X Term }
+
+// Lit is a 64-bit literal of the primitive type `word`.
+type Lit struct{ V uint64 }
+
+func (Sort) isTerm()  {}
+func (Konst) isTerm() {}
+func (Bound) isTerm() {}
+func (Pi) isTerm()    {}
+func (Lam) isTerm()   {}
+func (App) isTerm()   {}
+func (Lit) isTerm()   {}
+
+func (s Sort) String() string {
+	if s == SType {
+		return "type"
+	}
+	return "kind"
+}
+func (k Konst) String() string { return k.Name }
+func (b Bound) String() string { return fmt.Sprintf("#%d", b.Idx) }
+func (p Pi) String() string    { return fmt.Sprintf("({%s} %s)", p.A, p.B) }
+func (l Lam) String() string   { return fmt.Sprintf("([%s] %s)", l.A, l.M) }
+func (l Lit) String() string   { return fmt.Sprintf("%d", l.V) }
+
+func (a App) String() string {
+	head, args := Spine(a)
+	parts := make([]string, 0, len(args)+1)
+	parts = append(parts, head.String())
+	for _, x := range args {
+		parts = append(parts, x.String())
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Spine decomposes nested applications into a head and argument list.
+func Spine(t Term) (head Term, args []Term) {
+	for {
+		a, ok := t.(App)
+		if !ok {
+			return t, args
+		}
+		args = append([]Term{a.X}, args...)
+		t = a.F
+	}
+}
+
+// Apply folds a head and arguments back into nested applications.
+func Apply(head Term, args ...Term) Term {
+	t := head
+	for _, a := range args {
+		t = App{t, a}
+	}
+	return t
+}
+
+// shift adds d to every de Bruijn index ≥ cutoff in t.
+func shift(t Term, d, cutoff int) Term {
+	switch t := t.(type) {
+	case Sort, Konst, Lit:
+		return t
+	case Bound:
+		if t.Idx >= cutoff {
+			return Bound{t.Idx + d}
+		}
+		return t
+	case Pi:
+		return Pi{shift(t.A, d, cutoff), shift(t.B, d, cutoff+1)}
+	case Lam:
+		return Lam{shift(t.A, d, cutoff), shift(t.M, d, cutoff+1)}
+	case App:
+		return App{shift(t.F, d, cutoff), shift(t.X, d, cutoff)}
+	}
+	panic(fmt.Sprintf("lf: unknown term %T", t))
+}
+
+// substIdx replaces Bound{j} in t with s (itself shifted appropriately)
+// and renumbers the indexes above j.
+func substIdx(t Term, j int, s Term) Term {
+	switch t := t.(type) {
+	case Sort, Konst, Lit:
+		return t
+	case Bound:
+		switch {
+		case t.Idx == j:
+			return shift(s, j, 0)
+		case t.Idx > j:
+			return Bound{t.Idx - 1}
+		default:
+			return t
+		}
+	case Pi:
+		return Pi{substIdx(t.A, j, s), substIdx(t.B, j+1, s)}
+	case Lam:
+		return Lam{substIdx(t.A, j, s), substIdx(t.M, j+1, s)}
+	case App:
+		return App{substIdx(t.F, j, s), substIdx(t.X, j, s)}
+	}
+	panic(fmt.Sprintf("lf: unknown term %T", t))
+}
+
+// Instantiate β-reduces a binder body with the given argument.
+func Instantiate(body Term, arg Term) Term { return substIdx(body, 0, arg) }
+
+// Normalize fully β-normalizes t (normal order). LF terms arising from
+// PCC proofs are small, so naive normalization is adequate and easy to
+// trust — the paper's criterion for the validator.
+func Normalize(t Term) Term {
+	switch t := t.(type) {
+	case Sort, Konst, Bound, Lit:
+		return t
+	case Pi:
+		return Pi{Normalize(t.A), Normalize(t.B)}
+	case Lam:
+		return Lam{Normalize(t.A), Normalize(t.M)}
+	case App:
+		f := Normalize(t.F)
+		x := Normalize(t.X)
+		if lam, ok := f.(Lam); ok {
+			return Normalize(Instantiate(lam.M, x))
+		}
+		return App{f, x}
+	}
+	panic(fmt.Sprintf("lf: unknown term %T", t))
+}
+
+// Equal reports syntactic equality (α-equality is free under de
+// Bruijn). Callers normalize first for β-equality.
+func Equal(a, b Term) bool {
+	switch a := a.(type) {
+	case Sort:
+		b, ok := b.(Sort)
+		return ok && a == b
+	case Konst:
+		b, ok := b.(Konst)
+		return ok && a.Name == b.Name
+	case Bound:
+		b, ok := b.(Bound)
+		return ok && a.Idx == b.Idx
+	case Lit:
+		b, ok := b.(Lit)
+		return ok && a.V == b.V
+	case Pi:
+		b, ok := b.(Pi)
+		return ok && Equal(a.A, b.A) && Equal(a.B, b.B)
+	case Lam:
+		b, ok := b.(Lam)
+		return ok && Equal(a.A, b.A) && Equal(a.M, b.M)
+	case App:
+		b, ok := b.(App)
+		return ok && Equal(a.F, b.F) && Equal(a.X, b.X)
+	}
+	panic(fmt.Sprintf("lf: unknown term %T", a))
+}
+
+// Size returns the number of nodes in t.
+func Size(t Term) int {
+	switch t := t.(type) {
+	case Sort, Konst, Bound, Lit:
+		return 1
+	case Pi:
+		return 1 + Size(t.A) + Size(t.B)
+	case Lam:
+		return 1 + Size(t.A) + Size(t.M)
+	case App:
+		return 1 + Size(t.F) + Size(t.X)
+	}
+	panic(fmt.Sprintf("lf: unknown term %T", t))
+}

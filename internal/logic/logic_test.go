@@ -1,0 +1,391 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- generators for property tests -----------------------------------
+
+var testVarNames = []string{"r0", "r1", "r2", "i"}
+
+// randExpr produces a random memory-free expression of bounded depth
+// over testVarNames.
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			// Bias toward small constants: offsets like these dominate
+			// real safety predicates.
+			if r.Intn(2) == 0 {
+				return Const{uint64(r.Intn(128))}
+			}
+			return Const{r.Uint64()}
+		}
+		return Var{testVarNames[r.Intn(len(testVarNames))]}
+	}
+	op := BinOp(r.Intn(int(OpCmpSlt) + 1))
+	return Bin{op, randExpr(r, depth-1), randExpr(r, depth-1)}
+}
+
+func randEnv(r *rand.Rand) map[string]uint64 {
+	env := map[string]uint64{}
+	for _, n := range testVarNames {
+		env[n] = r.Uint64()
+	}
+	return env
+}
+
+func randPred(r *rand.Rand, depth int) Pred {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return True
+		case 1:
+			return False
+		default:
+			return Cmp{CmpOp(r.Intn(int(CmpSle) + 1)), randExpr(r, 2), randExpr(r, 2)}
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return And{randPred(r, depth-1), randPred(r, depth-1)}
+	case 1:
+		return Or{randPred(r, depth-1), randPred(r, depth-1)}
+	default:
+		return Imp{randPred(r, depth-1), randPred(r, depth-1)}
+	}
+}
+
+// --- unit tests -------------------------------------------------------
+
+func TestBinOpEval(t *testing.T) {
+	cases := []struct {
+		op      BinOp
+		a, b, w uint64
+	}{
+		{OpAdd, ^uint64(0), 1, 0}, // wraparound
+		{OpAdd, 3, 4, 7},
+		{OpSub, 0, 1, ^uint64(0)},
+		{OpMul, 1 << 63, 2, 0},
+		{OpAnd, 0xff00, 0x0ff0, 0x0f00},
+		{OpOr, 0xf0, 0x0f, 0xff},
+		{OpXor, 0xff, 0x0f, 0xf0},
+		{OpShl, 1, 63, 1 << 63},
+		{OpShl, 1, 64, 1}, // shift counts are mod 64 (Alpha semantics)
+		{OpShr, 1 << 63, 63, 1},
+		{OpCmpEq, 5, 5, 1},
+		{OpCmpEq, 5, 6, 0},
+		{OpCmpUlt, 5, 6, 1},
+		{OpCmpUlt, ^uint64(0), 0, 0},
+		{OpCmpUle, 6, 6, 1},
+		{OpCmpSlt, ^uint64(0), 0, 1}, // -1 <s 0
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.w {
+			t.Errorf("%v.Eval(%d, %d) = %d, want %d", c.op, c.a, c.b, got, c.w)
+		}
+	}
+}
+
+func TestCmpOpEval(t *testing.T) {
+	if !CmpSlt.Eval(^uint64(0), 0) {
+		t.Error("-1 <s 0 should hold")
+	}
+	if CmpUlt.Eval(^uint64(0), 0) {
+		t.Error("max <u 0 should not hold")
+	}
+	if !CmpNe.Eval(1, 2) || CmpNe.Eval(2, 2) {
+		t.Error("CmpNe misbehaves")
+	}
+}
+
+func TestNegateCmp(t *testing.T) {
+	f := func(op8 uint8, a, b uint64) bool {
+		op := CmpOp(op8 % 6)
+		c := Cmp{op, Const{a}, Const{b}}
+		n := NegateCmp(c)
+		env := map[string]uint64{}
+		v1, ok1 := EvalPred(c, env)
+		v2, ok2 := EvalPred(n, env)
+		return ok1 && ok2 && v1 == !v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstString(t *testing.T) {
+	if got := (Const{8}).String(); got != "8" {
+		t.Errorf("Const{8} = %q", got)
+	}
+	if got := CI(-8).String(); got != "-8" {
+		t.Errorf("CI(-8) = %q", got)
+	}
+}
+
+func TestConjAndConjuncts(t *testing.T) {
+	p := Conj(Eq(V("r0"), C(1)), RdP(V("r1")), WrP(V("r2")))
+	cs := Conjuncts(p)
+	if len(cs) != 3 {
+		t.Fatalf("Conjuncts = %d, want 3", len(cs))
+	}
+	if Conj() != True {
+		t.Error("empty Conj should be True")
+	}
+	single := Conj(RdP(V("r0")))
+	if !PredEqual(single, RdP(V("r0"))) {
+		t.Error("singleton Conj should be identity")
+	}
+}
+
+func TestSubstCaptureAvoidance(t *testing.T) {
+	// p = ∀i. i ≠ r0;  substituting r0 := i must rename the binder.
+	p := All("i", Ne(V("i"), V("r0")))
+	q := Subst(p, "r0", V("i"))
+	fa, ok := q.(Forall)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if fa.Var == "i" {
+		t.Fatalf("binder not renamed: %s", q)
+	}
+	body := fa.Body.(Cmp)
+	if !ExprEqual(body.L, V(fa.Var)) || !ExprEqual(body.R, V("i")) {
+		t.Fatalf("wrong body after capture-avoiding subst: %s", q)
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	// Substituting for a shadowed variable must be a no-op inside the
+	// binder.
+	p := All("i", Eq(V("i"), C(0)))
+	q := Subst(p, "i", C(7))
+	if !PredEqual(p, q) {
+		t.Fatalf("shadowed subst changed predicate: %s", q)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	p := All("i", Implies(Ult(V("i"), V("r2")), RdP(Add(V("r1"), V("i")))))
+	fv := FreeVars(p)
+	if fv["i"] {
+		t.Error("bound variable reported free")
+	}
+	if !fv["r1"] || !fv["r2"] {
+		t.Errorf("missing free vars: %v", fv)
+	}
+	sorted := SortedFreeVars(p)
+	if len(sorted) != 2 || sorted[0] != "r1" || sorted[1] != "r2" {
+		t.Errorf("SortedFreeVars = %v", sorted)
+	}
+}
+
+func TestAlphaEqual(t *testing.T) {
+	p := All("i", RdP(Add(V("r1"), V("i"))))
+	q := All("j", RdP(Add(V("r1"), V("j"))))
+	if !AlphaEqual(p, q) {
+		t.Error("alpha-equivalent predicates not recognized")
+	}
+	r := All("j", RdP(Add(V("r2"), V("j"))))
+	if AlphaEqual(p, r) {
+		t.Error("different predicates reported alpha-equal")
+	}
+	// Nested binders with the same name.
+	p2 := All("i", All("i", Eq(V("i"), C(0))))
+	q2 := All("x", All("y", Eq(V("y"), C(0))))
+	if !AlphaEqual(p2, q2) {
+		t.Error("shadowed binders not handled")
+	}
+	q3 := All("x", All("y", Eq(V("x"), C(0))))
+	if AlphaEqual(p2, q3) {
+		t.Error("wrong binder accepted")
+	}
+}
+
+func TestNormExprBasics(t *testing.T) {
+	cases := []struct {
+		in   Expr
+		want Expr
+	}{
+		{Add(C(3), C(4)), C(7)},
+		{Add(V("r0"), C(0)), V("r0")},
+		{Sub(Add(V("r0"), C(8)), C(8)), V("r0")},
+		{Add(Add(V("r0"), C(8)), CI(-8)), V("r0")},
+		{Sub(Add(V("r0"), V("r1")), V("r1")), V("r0")},
+		{And2(V("r0"), C(0)), C(0)},
+		{And2(And2(V("r0"), C(0xff)), C(0x0f)), And2(V("r0"), C(0x0f))},
+		{Shr(Shr(V("r0"), C(16)), C(30)), Shr(V("r0"), C(46))},
+		{Shl(V("r0"), C(0)), V("r0")},
+		{Or2(C(0), V("r0")), V("r0")},
+		{SelE(UpdE(V("rm"), V("r0"), C(5)), V("r0")), C(5)},
+		{Add(C(5), V("r0")), Add(V("r0"), C(5))},
+	}
+	for _, c := range cases {
+		got := NormExpr(c.in)
+		if !ExprEqual(got, c.want) {
+			t.Errorf("NormExpr(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormExprPaperExample(t *testing.T) {
+	// The §2.2 resource-access program reads at (r0 ⊕ 8) ⊕ (-8); the
+	// paper proves r0 = r0⊕8⊖8 with an explicit arithmetic rule. Our
+	// trusted normalizer folds it away.
+	e := Add(Add(V("r0"), C(8)), CI(-8))
+	if !ExprEqual(NormExpr(e), V("r0")) {
+		t.Fatalf("NormExpr((r0+8)-8) = %s", NormExpr(e))
+	}
+}
+
+func TestNormPredBasics(t *testing.T) {
+	cases := []struct {
+		in   Pred
+		want Pred
+	}{
+		{Eq(C(3), C(3)), True},
+		{Eq(C(3), C(4)), False},
+		{And{True, RdP(V("r0"))}, RdP(V("r0"))},
+		{And{RdP(V("r0")), False}, False},
+		{Or{False, RdP(V("r0"))}, RdP(V("r0"))},
+		{Imp{False, RdP(V("r0"))}, True},
+		{Imp{RdP(V("r0")), True}, True},
+		{All("i", True), True},
+		{Ule(C(0), V("i")), True},
+		{Ult(C(0), V("i")), Ult(C(0), V("i"))},
+		{Eq(C(4), V("r0")), Eq(V("r0"), C(4))},
+		{Ult(V("r0"), V("r0")), False},
+		{Ule(V("r0"), V("r0")), True},
+	}
+	for _, c := range cases {
+		got := NormPred(c.in)
+		if !PredEqual(got, c.want) {
+			t.Errorf("NormPred(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// --- property tests ---------------------------------------------------
+
+func TestNormExprPreservesMeaning(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		e := randExpr(r, 4)
+		env := randEnv(r)
+		v1, ok1 := EvalExpr(e, env)
+		v2, ok2 := EvalExpr(NormExpr(e), env)
+		if !ok1 || !ok2 {
+			t.Fatalf("memory-free expr failed to evaluate: %s", e)
+		}
+		if v1 != v2 {
+			t.Fatalf("NormExpr changed meaning: %s -> %s (%d vs %d)",
+				e, NormExpr(e), v1, v2)
+		}
+	}
+}
+
+func TestNormExprIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3000; trial++ {
+		e := randExpr(r, 4)
+		n1 := NormExpr(e)
+		n2 := NormExpr(n1)
+		if !ExprEqual(n1, n2) {
+			t.Fatalf("NormExpr not idempotent on %s:\n  1: %s\n  2: %s", e, n1, n2)
+		}
+	}
+}
+
+func TestNormPredPreservesMeaning(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 3000; trial++ {
+		p := randPred(r, 3)
+		env := randEnv(r)
+		v1, ok1 := EvalPred(p, env)
+		v2, ok2 := EvalPred(NormPred(p), env)
+		if !ok1 || !ok2 {
+			t.Fatalf("pred failed to evaluate: %s", p)
+		}
+		if v1 != v2 {
+			t.Fatalf("NormPred changed meaning: %s -> %s", p, NormPred(p))
+		}
+	}
+}
+
+func TestNormPredIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 3000; trial++ {
+		p := randPred(r, 3)
+		n1 := NormPred(p)
+		n2 := NormPred(n1)
+		if !PredEqual(n1, n2) {
+			t.Fatalf("NormPred not idempotent on %s:\n  1: %s\n  2: %s", p, n1, n2)
+		}
+	}
+}
+
+func TestSubstExprSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		e := randExpr(r, 3)
+		repl := randExpr(r, 2)
+		env := randEnv(r)
+		rv, _ := EvalExpr(repl, env)
+		env2 := map[string]uint64{}
+		for k, v := range env {
+			env2[k] = v
+		}
+		env2["r0"] = rv
+		v1, _ := EvalExpr(SubstExpr(e, "r0", repl), env)
+		v2, _ := EvalExpr(e, env2)
+		if v1 != v2 {
+			t.Fatalf("SubstExpr wrong on %s [r0 := %s]", e, repl)
+		}
+	}
+}
+
+func TestExprEqualReflexiveAndSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 1000; trial++ {
+		a := randExpr(r, 3)
+		b := randExpr(r, 3)
+		if !ExprEqual(a, a) {
+			t.Fatalf("ExprEqual not reflexive on %s", a)
+		}
+		if ExprEqual(a, b) != ExprEqual(b, a) {
+			t.Fatalf("ExprEqual not symmetric on %s, %s", a, b)
+		}
+	}
+}
+
+func TestPredSizePositive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		p := randPred(r, 3)
+		if PredSize(p) <= 0 {
+			t.Fatalf("PredSize(%s) <= 0", p)
+		}
+	}
+}
+
+func TestEvalPredNonGround(t *testing.T) {
+	if _, ok := EvalPred(RdP(V("r0")), map[string]uint64{"r0": 1}); ok {
+		t.Error("rd() must not be ground-decidable")
+	}
+	if _, ok := EvalPred(All("i", True), nil); ok {
+		t.Error("quantifiers must not be ground-decidable")
+	}
+	if _, ok := EvalExpr(SelE(V("rm"), C(0)), map[string]uint64{"rm": 0}); ok {
+		t.Error("sel() must not be ground-evaluable")
+	}
+}
+
+func TestPrettyRuns(t *testing.T) {
+	p := AllOf([]string{"r0", "rm"},
+		Implies(Conj(RdP(V("r0")), Ne(SelE(V("rm"), V("r0")), C(0))), WrP(Add(V("r0"), C(8)))))
+	s := Pretty(p)
+	if len(s) == 0 {
+		t.Fatal("empty pretty print")
+	}
+}

@@ -1,0 +1,147 @@
+package logic
+
+import "fmt"
+
+// MemEnv is a concrete interpretation for expressions involving the
+// memory sort: word variables map to values, memory variables map to
+// functional stores. It exists to model-check the trusted normalizer —
+// including its sel/upd folding — against brute-force evaluation.
+type MemEnv struct {
+	Words map[string]uint64
+	Mems  map[string]map[uint64]uint64
+}
+
+// value is either a machine word or a store.
+type value struct {
+	word uint64
+	mem  map[uint64]uint64 // nil for word values
+}
+
+// EvalExprMem evaluates an expression that may mention sel/upd under a
+// concrete memory environment. Word-sorted expressions return their
+// value; memory-sorted expressions return ok=false (callers compare
+// words).
+func EvalExprMem(e Expr, env *MemEnv) (uint64, bool) {
+	v, err := evalValue(e, env)
+	if err != nil || v.mem != nil {
+		return 0, false
+	}
+	return v.word, true
+}
+
+func evalValue(e Expr, env *MemEnv) (value, error) {
+	switch e := e.(type) {
+	case Const:
+		return value{word: e.Val}, nil
+	case Var:
+		if m, ok := env.Mems[e.Name]; ok {
+			return value{mem: m}, nil
+		}
+		if w, ok := env.Words[e.Name]; ok {
+			return value{word: w}, nil
+		}
+		return value{}, fmt.Errorf("logic: unbound variable %q", e.Name)
+	case Bin:
+		l, err := evalValue(e.L, env)
+		if err != nil {
+			return value{}, err
+		}
+		r, err := evalValue(e.R, env)
+		if err != nil {
+			return value{}, err
+		}
+		if l.mem != nil || r.mem != nil {
+			return value{}, fmt.Errorf("logic: arithmetic on memory sort")
+		}
+		return value{word: e.Op.Eval(l.word, r.word)}, nil
+	case Sel:
+		m, err := evalValue(e.Mem, env)
+		if err != nil {
+			return value{}, err
+		}
+		a, err := evalValue(e.Addr, env)
+		if err != nil {
+			return value{}, err
+		}
+		if m.mem == nil || a.mem != nil {
+			return value{}, fmt.Errorf("logic: ill-sorted sel")
+		}
+		return value{word: m.mem[a.word]}, nil
+	case Upd:
+		m, err := evalValue(e.Mem, env)
+		if err != nil {
+			return value{}, err
+		}
+		a, err := evalValue(e.Addr, env)
+		if err != nil {
+			return value{}, err
+		}
+		v, err := evalValue(e.Val, env)
+		if err != nil {
+			return value{}, err
+		}
+		if m.mem == nil || a.mem != nil || v.mem != nil {
+			return value{}, fmt.Errorf("logic: ill-sorted upd")
+		}
+		out := make(map[uint64]uint64, len(m.mem)+1)
+		for k, w := range m.mem {
+			out[k] = w
+		}
+		out[a.word] = v.word
+		return value{mem: out}, nil
+	}
+	return value{}, fmt.Errorf("logic: unknown expr %T", e)
+}
+
+// EvalPredMem evaluates a quantifier-free, rd/wr-free predicate under
+// a concrete memory environment.
+func EvalPredMem(p Pred, env *MemEnv) (bool, bool) {
+	switch p := p.(type) {
+	case TruePred:
+		return true, true
+	case FalsePred:
+		return false, true
+	case Cmp:
+		l, ok := EvalExprMem(p.L, env)
+		if !ok {
+			return false, false
+		}
+		r, ok := EvalExprMem(p.R, env)
+		if !ok {
+			return false, false
+		}
+		return p.Op.Eval(l, r), true
+	case And:
+		l, ok := EvalPredMem(p.L, env)
+		if !ok {
+			return false, false
+		}
+		r, ok := EvalPredMem(p.R, env)
+		if !ok {
+			return false, false
+		}
+		return l && r, true
+	case Or:
+		l, ok := EvalPredMem(p.L, env)
+		if !ok {
+			return false, false
+		}
+		r, ok := EvalPredMem(p.R, env)
+		if !ok {
+			return false, false
+		}
+		return l || r, true
+	case Imp:
+		l, ok := EvalPredMem(p.L, env)
+		if !ok {
+			return false, false
+		}
+		r, ok := EvalPredMem(p.R, env)
+		if !ok {
+			return false, false
+		}
+		return !l || r, true
+	default:
+		return false, false
+	}
+}

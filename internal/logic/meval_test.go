@@ -1,0 +1,144 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Model checking of the normalizer over expressions with memory terms:
+// the sel/upd folding (including the distinct-address rule backing the
+// semaphore postcondition) must preserve meaning under every concrete
+// store.
+
+// randMemExpr generates word-sorted expressions over sel/upd chains.
+// Addresses are drawn from a small aligned pool plus base+offset forms
+// so the definitelyDistinct folding actually fires.
+func randMemExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return C(uint64(8 * r.Intn(6)))
+		case 1:
+			return V("r0")
+		default:
+			return V("r1")
+		}
+	}
+	switch r.Intn(5) {
+	case 0, 1:
+		return SelE(randMem(r, depth-1), randAddr(r))
+	default:
+		ops := []BinOp{OpAdd, OpSub, OpAnd, OpOr, OpXor}
+		return Bin{ops[r.Intn(len(ops))], randMemExpr(r, depth-1), randMemExpr(r, depth-1)}
+	}
+}
+
+// randMem generates a memory-sorted expression (rm under upd chains).
+func randMem(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return V("rm")
+	}
+	return UpdE(randMem(r, depth-1), randAddr(r), randMemExpr(r, depth-1))
+}
+
+// randAddr produces addresses of the shapes the normalizer reasons
+// about: constants, bases, and base+constant.
+func randAddr(r *rand.Rand) Expr {
+	switch r.Intn(4) {
+	case 0:
+		return C(uint64(8 * r.Intn(4)))
+	case 1:
+		return V("r0")
+	case 2:
+		return V("r1")
+	default:
+		return Add(V("r0"), C(uint64(8*r.Intn(4))))
+	}
+}
+
+func randMemEnv(r *rand.Rand) *MemEnv {
+	mem := map[uint64]uint64{}
+	for i := 0; i < 8; i++ {
+		mem[uint64(8*i)] = r.Uint64()
+		mem[r.Uint64()&^7] = r.Uint64()
+	}
+	return &MemEnv{
+		Words: map[string]uint64{
+			// Aligned bases make base+offset collisions with the
+			// constant pool possible, exercising both folding branches.
+			"r0": uint64(8 * r.Intn(6)),
+			"r1": r.Uint64(),
+		},
+		Mems: map[string]map[uint64]uint64{"rm": mem},
+	}
+}
+
+func TestNormExprPreservesMeaningWithMemory(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 5000; trial++ {
+		e := randMemExpr(r, 4)
+		env := randMemEnv(r)
+		v1, ok1 := EvalExprMem(e, env)
+		if !ok1 {
+			t.Fatalf("unevaluable expression generated: %s", e)
+		}
+		n := NormExpr(e)
+		v2, ok2 := EvalExprMem(n, env)
+		if !ok2 {
+			t.Fatalf("normalized form unevaluable: %s -> %s", e, n)
+		}
+		if v1 != v2 {
+			t.Fatalf("NormExpr changed meaning under memory:\n  in:  %s = %d\n  out: %s = %d\n  env: %+v",
+				e, v1, n, v2, env.Words)
+		}
+	}
+}
+
+func TestSelUpdFoldingExamples(t *testing.T) {
+	rm := V("rm")
+	r0 := V("r0")
+	cases := []struct {
+		in   Expr
+		want Expr
+	}{
+		// Exact match: sel(upd(m,a,v),a) = v.
+		{SelE(UpdE(rm, r0, C(7)), r0), C(7)},
+		// Distinct constant offsets from the same base skip the update.
+		{SelE(UpdE(rm, Add(r0, C(8)), C(7)), r0), SelE(rm, r0)},
+		{SelE(UpdE(rm, r0, C(7)), Add(r0, C(16))), SelE(rm, Add(r0, C(16)))},
+		// Two updates, inner one matches.
+		{
+			SelE(UpdE(UpdE(rm, r0, C(1)), Add(r0, C(8)), C(2)), r0),
+			C(1),
+		},
+		// Unknown relation (different bases): no folding.
+		{
+			SelE(UpdE(rm, V("r1"), C(7)), r0),
+			SelE(UpdE(rm, V("r1"), C(7)), r0),
+		},
+		// Distinct constants.
+		{SelE(UpdE(rm, C(8), C(7)), C(16)), SelE(rm, C(16))},
+	}
+	for _, c := range cases {
+		got := NormExpr(c.in)
+		if !ExprEqual(got, c.want) {
+			t.Errorf("NormExpr(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalPredMem(t *testing.T) {
+	env := &MemEnv{
+		Words: map[string]uint64{"r0": 8},
+		Mems:  map[string]map[uint64]uint64{"rm": {8: 5}},
+	}
+	p := Eq(SelE(UpdE(V("rm"), V("r0"), C(0)), V("r0")), C(0))
+	v, ok := EvalPredMem(p, env)
+	if !ok || !v {
+		t.Fatalf("EvalPredMem = %v/%v", v, ok)
+	}
+	// rd() atoms are not evaluable.
+	if _, ok := EvalPredMem(RdP(V("r0")), env); ok {
+		t.Fatal("rd evaluated")
+	}
+}

@@ -1,0 +1,354 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the trusted normalizer shared by the producer and
+// the consumer (see DESIGN.md). Normalization performs constant folding
+// in two's-complement arithmetic, flattens ⊕/⊖ chains into a canonical
+// "sum of terms plus constant" form, and applies a handful of
+// word-algebra identities. Because the code consumer recomputes the
+// verification condition with this same normalizer, safety proofs match
+// hypotheses syntactically and never need to justify these steps — they
+// play the role of the paper's built-in "two's-complement integer
+// arithmetic" extension of the predicate calculus.
+
+// NormExpr returns the canonical form of e.
+func NormExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case Const, Var:
+		return e
+	case Bin:
+		l := NormExpr(e.L)
+		r := NormExpr(e.R)
+		lc, lIsC := l.(Const)
+		rc, rIsC := r.(Const)
+		if lIsC && rIsC {
+			return Const{e.Op.Eval(lc.Val, rc.Val)}
+		}
+		// Canonical orientation for the commutative bit operations:
+		// constant operand on the right.
+		if lIsC && !rIsC && (e.Op == OpAnd || e.Op == OpOr || e.Op == OpXor) {
+			l, r = r, l
+			lc, rc = rc, lc
+			lIsC, rIsC = rIsC, lIsC
+		}
+		_ = lc
+		switch e.Op {
+		case OpAdd, OpSub:
+			return normSum(Bin{e.Op, l, r})
+		case OpAnd:
+			if rIsC && rc.Val == 0 {
+				return Const{0}
+			}
+			if rIsC && rc.Val == ^uint64(0) {
+				return l
+			}
+			// Combine nested constant masks: (x & c1) & c2 = x & (c1&c2).
+			if rIsC {
+				if lb, ok := l.(Bin); ok && lb.Op == OpAnd {
+					if ic, ok := lb.R.(Const); ok {
+						return NormExpr(Bin{OpAnd, lb.L, Const{ic.Val & rc.Val}})
+					}
+				}
+				// (x << c) & m = 0 when every set bit of m lies below
+				// bit c (the low c bits of a left shift are zero).
+				if lb, ok := l.(Bin); ok && lb.Op == OpShl {
+					if sc, ok := lb.R.(Const); ok && sc.Val&63 != 0 && rc.Val>>(sc.Val&63) == 0 {
+						return Const{0}
+					}
+				}
+			}
+			return Bin{OpAnd, l, r}
+		case OpOr, OpXor:
+			if rIsC && rc.Val == 0 {
+				return l
+			}
+			return Bin{e.Op, l, r}
+		case OpShl, OpShr:
+			if rIsC && rc.Val&63 == 0 {
+				return l
+			}
+			// Combine nested constant shifts in the same direction.
+			if rIsC {
+				if lb, ok := l.(Bin); ok && lb.Op == e.Op {
+					if ic, ok := lb.R.(Const); ok {
+						total := (ic.Val & 63) + (rc.Val & 63)
+						if total < 64 {
+							return Bin{e.Op, lb.L, Const{total}}
+						}
+						return Const{0}
+					}
+				}
+			}
+			return Bin{e.Op, l, r}
+		default:
+			return Bin{e.Op, l, r}
+		}
+	case Sel:
+		mem := NormExpr(e.Mem)
+		addr := NormExpr(e.Addr)
+		// sel(upd(m, a, v), b): yields v when a and b are syntactically
+		// identical after normalization, and skips the update entirely
+		// when the two addresses provably differ (same base, different
+		// constant offset) — McCarthy's axioms, folded by the trusted
+		// normalizer.
+		for {
+			u, ok := mem.(Upd)
+			if !ok {
+				break
+			}
+			if ExprEqual(u.Addr, addr) {
+				return u.Val
+			}
+			if !definitelyDistinct(u.Addr, addr) {
+				break
+			}
+			mem = u.Mem
+		}
+		return Sel{mem, addr}
+	case Upd:
+		return Upd{NormExpr(e.Mem), NormExpr(e.Addr), NormExpr(e.Val)}
+	}
+	panic(fmt.Sprintf("logic: unknown expr %T", e))
+}
+
+// normSum flattens an ⊕/⊖ tree into a sorted sum of non-constant terms
+// plus a folded constant offset. Terms that are not themselves ⊕/⊖
+// nodes are treated as opaque.
+func normSum(e Expr) Expr {
+	var terms []Expr
+	var offset uint64
+	var walk func(Expr, bool)
+	walk = func(x Expr, negate bool) {
+		switch x := x.(type) {
+		case Const:
+			if negate {
+				offset -= x.Val
+			} else {
+				offset += x.Val
+			}
+		case Bin:
+			if x.Op == OpAdd {
+				walk(x.L, negate)
+				walk(x.R, negate)
+				return
+			}
+			if x.Op == OpSub {
+				walk(x.L, negate)
+				walk(x.R, !negate)
+				return
+			}
+			appendTerm(&terms, x, negate)
+		default:
+			appendTerm(&terms, x, negate)
+		}
+	}
+	walk(e, false)
+
+	// Cancel syntactically equal positive/negative term pairs
+	// (the paper's e1 ⊕ e2 ⊖ e2 = e1, valid because every value is
+	// already a machine word in our representation).
+	terms = cancelTerms(terms)
+
+	// Deterministic order for the positive terms, negatives afterwards.
+	sort.SliceStable(terms, func(i, j int) bool {
+		ni, nj := isNeg(terms[i]), isNeg(terms[j])
+		if ni != nj {
+			return !ni
+		}
+		return terms[i].String() < terms[j].String()
+	})
+
+	var out Expr
+	for _, t := range terms {
+		n, neg := stripNeg(t)
+		switch {
+		case out == nil && neg:
+			out = Bin{OpSub, Const{0}, n}
+		case out == nil:
+			out = n
+		case neg:
+			out = Bin{OpSub, out, n}
+		default:
+			out = Bin{OpAdd, out, n}
+		}
+	}
+	if out == nil {
+		return Const{offset}
+	}
+	if offset != 0 {
+		out = Bin{OpAdd, out, Const{offset}}
+	}
+	return out
+}
+
+// negTerm marks a negated opaque term inside normSum's worklist. It is
+// never exposed outside this file.
+type negTerm struct{ X Expr }
+
+func (negTerm) isExpr()          {}
+func (n negTerm) String() string { return "(- " + n.X.String() + ")" }
+
+func appendTerm(terms *[]Expr, x Expr, negate bool) {
+	if negate {
+		*terms = append(*terms, negTerm{x})
+	} else {
+		*terms = append(*terms, x)
+	}
+}
+
+func isNeg(e Expr) bool { _, ok := e.(negTerm); return ok }
+
+func stripNeg(e Expr) (Expr, bool) {
+	if n, ok := e.(negTerm); ok {
+		return n.X, true
+	}
+	return e, false
+}
+
+func cancelTerms(terms []Expr) []Expr {
+	out := terms[:0:0]
+	used := make([]bool, len(terms))
+	for i, t := range terms {
+		if used[i] {
+			continue
+		}
+		ti, negI := stripNeg(t)
+		cancelled := false
+		for j := i + 1; j < len(terms); j++ {
+			if used[j] {
+				continue
+			}
+			tj, negJ := stripNeg(terms[j])
+			if negI != negJ && ExprEqual(ti, tj) {
+				used[i], used[j] = true, true
+				cancelled = true
+				break
+			}
+		}
+		if !cancelled {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// definitelyDistinct reports whether two normalized address
+// expressions denote different machine words for every variable
+// assignment: they decompose as the same base plus different constant
+// offsets (wraparound preserves disequality: b⊕c1 = b⊕c2 iff c1 = c2).
+func definitelyDistinct(a, b Expr) bool {
+	baseOff := func(e Expr) (Expr, uint64) {
+		if bin, ok := e.(Bin); ok && bin.Op == OpAdd {
+			if c, ok := bin.R.(Const); ok {
+				return bin.L, c.Val
+			}
+		}
+		if c, ok := e.(Const); ok {
+			return nil, c.Val
+		}
+		return e, 0
+	}
+	ab, ao := baseOff(a)
+	bb, bo := baseOff(b)
+	if ab == nil && bb == nil {
+		return ao != bo
+	}
+	if ab == nil || bb == nil {
+		return false
+	}
+	return ExprEqual(ab, bb) && ao != bo
+}
+
+// NormPred returns the canonical form of p: all expressions normalized,
+// ground atoms decided, and trivial connectives collapsed.
+func NormPred(p Pred) Pred {
+	switch p := p.(type) {
+	case TruePred, FalsePred:
+		return p
+	case Cmp:
+		l := NormExpr(p.L)
+		r := NormExpr(p.R)
+		if lc, ok := l.(Const); ok {
+			if rc, ok := r.(Const); ok {
+				if p.Op.Eval(lc.Val, rc.Val) {
+					return True
+				}
+				return False
+			}
+		}
+		// Canonical orientation for the symmetric atoms: constant on
+		// the right.
+		if p.Op == CmpEq || p.Op == CmpNe {
+			if _, ok := l.(Const); ok {
+				l, r = r, l
+			}
+		}
+		// x ≤u y with x = 0 is vacuously true.
+		if lc, ok := l.(Const); ok && lc.Val == 0 && p.Op == CmpUle {
+			return True
+		}
+		if ExprEqual(l, r) {
+			switch p.Op {
+			case CmpEq, CmpUle, CmpSle:
+				return True
+			case CmpNe, CmpUlt, CmpSlt:
+				return False
+			}
+		}
+		return Cmp{p.Op, l, r}
+	case Rd:
+		return Rd{NormExpr(p.Addr)}
+	case Wr:
+		return Wr{NormExpr(p.Addr)}
+	case And:
+		l := NormPred(p.L)
+		r := NormPred(p.R)
+		switch {
+		case PredEqual(l, True):
+			return r
+		case PredEqual(r, True):
+			return l
+		case PredEqual(l, False) || PredEqual(r, False):
+			return False
+		}
+		return And{l, r}
+	case Or:
+		l := NormPred(p.L)
+		r := NormPred(p.R)
+		switch {
+		case PredEqual(l, False):
+			return r
+		case PredEqual(r, False):
+			return l
+		case PredEqual(l, True) || PredEqual(r, True):
+			return True
+		}
+		return Or{l, r}
+	case Imp:
+		l := NormPred(p.L)
+		r := NormPred(p.R)
+		switch {
+		case PredEqual(l, True):
+			return r
+		case PredEqual(l, False):
+			return True
+		case PredEqual(r, True):
+			return True
+		}
+		return Imp{l, r}
+	case Forall:
+		body := NormPred(p.Body)
+		if PredEqual(body, True) {
+			return True
+		}
+		if PredEqual(body, False) {
+			return False // machine words are a non-empty domain
+		}
+		return Forall{p.Var, body}
+	}
+	panic(fmt.Sprintf("logic: unknown pred %T", p))
+}

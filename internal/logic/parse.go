@@ -1,0 +1,459 @@
+package logic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// This file implements a parser for the textual predicate syntax
+// produced by the String methods, so that safety policies and loop
+// invariants can be written in files and passed to the command-line
+// tools. The grammar (loosest binding first):
+//
+//	pred  ::= 'ALL' ident '.' pred
+//	        | or-pred [ '=>' pred ]                    (right assoc)
+//	or    ::= and-pred { '\/' and-pred }
+//	and   ::= atom { '/\' atom }
+//	atom  ::= 'true' | 'false'
+//	        | 'rd' '(' expr ')' | 'wr' '(' expr ')'
+//	        | '(' pred ')'
+//	        | expr cmp expr
+//	cmp   ::= '=' | '<>' | '!=' | '<=s' | '<s' | '<=' | '<'
+//	expr  ::= bitor  { ('+'|'-') ... }   with C-like precedence:
+//	          '|' < '^' < '&' < ('<<'|'>>') < ('+'|'-') < primary
+//	prim  ::= number | ident | '-' prim | '(' expr ')'
+//	        | 'sel' '(' expr ',' expr ')'
+//	        | 'upd' '(' expr ',' expr ',' expr ')'
+//	        | ('cmpeq'|'cmpult'|'cmpule'|'cmpslt') '(' expr ',' expr ')'
+//
+// Numbers may be decimal, hex (0x…), or negative (two's complement).
+// ParsePred(p.String()) returns a predicate equal to p (a property the
+// tests enforce).
+
+// ParseError reports a syntax error with its byte offset.
+type ParseError struct {
+	Off int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("logic: parse at %d: %s", e.Off, e.Msg) }
+
+type parser struct {
+	src string
+	pos int
+}
+
+// ParsePred parses a predicate.
+func ParsePred(src string) (Pred, error) {
+	p := &parser{src: src}
+	pred, err := p.pred()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
+	}
+	return pred, nil
+}
+
+// ParseExpr parses an expression.
+func ParseExpr(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParsePred is ParsePred for statically known-good sources.
+func MustParsePred(src string) Pred {
+	p, err := ParsePred(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{p.pos, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+// lit consumes the exact literal s (after whitespace).
+func (p *parser) lit(s string) bool {
+	p.ws()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+// keyword consumes s only when not followed by an identifier character.
+func (p *parser) keyword(s string) bool {
+	p.ws()
+	rest := p.src[p.pos:]
+	if !strings.HasPrefix(rest, s) {
+		return false
+	}
+	if len(rest) > len(s) && isIdentChar(rune(rest[len(s)])) {
+		return false
+	}
+	p.pos += len(s)
+	return true
+}
+
+func isIdentChar(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '\'' ||
+		c == '!' || c == '$' || c == '^'
+}
+
+func (p *parser) ident() (string, bool) {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", false
+	}
+	return p.src[start:p.pos], true
+}
+
+func (p *parser) number() (uint64, bool, error) {
+	p.ws()
+	start := p.pos
+	if p.pos >= len(p.src) || p.src[p.pos] < '0' || p.src[p.pos] > '9' {
+		return 0, false, nil
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' ||
+			c == 'x' || c == 'X' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return 0, false, nil
+	}
+	v, err := strconv.ParseUint(p.src[start:p.pos], 0, 64)
+	if err != nil {
+		p.pos = start
+		return 0, false, p.errf("bad number %q", p.src[start:p.pos])
+	}
+	return v, true, nil
+}
+
+// --- predicates --------------------------------------------------------
+
+func (p *parser) pred() (Pred, error) {
+	if p.keyword("ALL") || p.keyword("forall") {
+		name, ok := p.ident()
+		if !ok {
+			return nil, p.errf("expected variable after ALL")
+		}
+		if !p.lit(".") {
+			return nil, p.errf("expected '.' after ALL %s", name)
+		}
+		body, err := p.pred()
+		if err != nil {
+			return nil, err
+		}
+		return Forall{name, body}, nil
+	}
+	l, err := p.orPred()
+	if err != nil {
+		return nil, err
+	}
+	if p.lit("=>") {
+		r, err := p.pred()
+		if err != nil {
+			return nil, err
+		}
+		return Imp{l, r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) orPred() (Pred, error) {
+	l, err := p.andPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.lit("\\/") {
+		r, err := p.andPred()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) andPred() (Pred, error) {
+	l, err := p.atomPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.lit("/\\") {
+		r, err := p.atomPred()
+		if err != nil {
+			return nil, err
+		}
+		l = And{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) atomPred() (Pred, error) {
+	switch {
+	case p.keyword("true"):
+		return True, nil
+	case p.keyword("false"):
+		return False, nil
+	case p.keyword("rd"):
+		e, err := p.parenExpr1()
+		if err != nil {
+			return nil, err
+		}
+		return Rd{e}, nil
+	case p.keyword("wr"):
+		e, err := p.parenExpr1()
+		if err != nil {
+			return nil, err
+		}
+		return Wr{e}, nil
+	}
+
+	// '(' could open a parenthesized predicate or an expression; try
+	// the predicate first and backtrack.
+	if save := p.pos; p.lit("(") {
+		if inner, err := p.pred(); err == nil && p.lit(")") {
+			// Could still be the left operand of a comparison if the
+			// "predicate" was really an expression — but expressions
+			// and predicates are syntactically disjoint here except
+			// for this parenthesized case; peek for a comparison
+			// operator.
+			if op, ok := p.peekCmp(); ok && isExprPred(inner) {
+				p.pos = save
+				_ = op
+			} else {
+				return inner, nil
+			}
+		} else {
+			p.pos = save
+		}
+	}
+
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	op, ok := p.cmpOp()
+	if !ok {
+		return nil, p.errf("expected comparison operator")
+	}
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{op, l, r}, nil
+}
+
+// isExprPred reports whether a parsed "predicate" could only have been
+// an expression misread (never true: expressions are not predicates in
+// this grammar), kept for clarity of the backtracking above.
+func isExprPred(Pred) bool { return false }
+
+func (p *parser) peekCmp() (CmpOp, bool) {
+	save := p.pos
+	op, ok := p.cmpOp()
+	p.pos = save
+	return op, ok
+}
+
+func (p *parser) cmpOp() (CmpOp, bool) {
+	switch {
+	case p.lit("<>"), p.lit("!="):
+		return CmpNe, true
+	case p.lit("<=s"):
+		return CmpSle, true
+	case p.lit("<s"):
+		return CmpSlt, true
+	case p.lit("<="):
+		return CmpUle, true
+	case p.lit("<"):
+		return CmpUlt, true
+	case p.lit("="):
+		return CmpEq, true
+	}
+	return 0, false
+}
+
+// --- expressions --------------------------------------------------------
+
+func (p *parser) expr() (Expr, error) { return p.binLevel(0) }
+
+// Precedence levels, loosest first.
+var exprLevels = [][]struct {
+	tok string
+	op  BinOp
+}{
+	{{"|", OpOr}},
+	{{"^", OpXor}},
+	{{"&", OpAnd}},
+	{{"<<", OpShl}, {">>", OpShr}},
+	{{"+", OpAdd}, {"-", OpSub}},
+	{{"*", OpMul}},
+}
+
+func (p *parser) binLevel(level int) (Expr, error) {
+	if level == len(exprLevels) {
+		return p.primary()
+	}
+	l, err := p.binLevel(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, cand := range exprLevels[level] {
+			p.ws()
+			// '<' of a comparison must not be eaten by '<<'.
+			if cand.tok == "<<" && strings.HasPrefix(p.src[p.pos:], "<=") {
+				continue
+			}
+			if p.lit(cand.tok) {
+				r, err := p.binLevel(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = Bin{cand.op, l, r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+var cmpExprNames = map[string]BinOp{
+	"cmpeq": OpCmpEq, "cmpult": OpCmpUlt, "cmpule": OpCmpUle, "cmpslt": OpCmpSlt,
+}
+
+func (p *parser) primary() (Expr, error) {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of input")
+	}
+
+	// Negative literal (two's complement).
+	if p.src[p.pos] == '-' {
+		p.pos++
+		e, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		c, ok := e.(Const)
+		if !ok {
+			return nil, p.errf("'-' only applies to numeric literals")
+		}
+		return Const{-c.Val}, nil
+	}
+
+	if v, ok, err := p.number(); err != nil {
+		return nil, err
+	} else if ok {
+		return Const{v}, nil
+	}
+
+	if p.lit("(") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.lit(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return e, nil
+	}
+
+	name, ok := p.ident()
+	if !ok {
+		return nil, p.errf("expected expression")
+	}
+	switch name {
+	case "sel":
+		args, err := p.args(2)
+		if err != nil {
+			return nil, err
+		}
+		return Sel{args[0], args[1]}, nil
+	case "upd":
+		args, err := p.args(3)
+		if err != nil {
+			return nil, err
+		}
+		return Upd{args[0], args[1], args[2]}, nil
+	}
+	if op, isCmp := cmpExprNames[name]; isCmp {
+		args, err := p.args(2)
+		if err != nil {
+			return nil, err
+		}
+		return Bin{op, args[0], args[1]}, nil
+	}
+	return Var{name}, nil
+}
+
+func (p *parser) parenExpr1() (Expr, error) {
+	args, err := p.args(1)
+	if err != nil {
+		return nil, err
+	}
+	return args[0], nil
+}
+
+func (p *parser) args(n int) ([]Expr, error) {
+	if !p.lit("(") {
+		return nil, p.errf("expected '('")
+	}
+	out := make([]Expr, 0, n)
+	for i := 0; i < n; i++ {
+		if i > 0 && !p.lit(",") {
+			return nil, p.errf("expected ','")
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if !p.lit(")") {
+		return nil, p.errf("expected ')'")
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseExprBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Expr
+	}{
+		{"42", C(42)},
+		{"0x2A", C(42)},
+		{"-8", CI(-8)},
+		{"r0", V("r0")},
+		{"(r1 + 8)", Add(V("r1"), C(8))},
+		{"r1 + 8 - r2", Sub(Add(V("r1"), C(8)), V("r2"))},
+		{"r0 & 7", And2(V("r0"), C(7))},
+		{"r0 | r1 ^ r2", Or2(V("r0"), Xor2(V("r1"), V("r2")))},
+		{"r0 << 3", Shl(V("r0"), C(3))},
+		{"sel(rm, r0)", SelE(V("rm"), V("r0"))},
+		{"upd(rm, r0, 5)", UpdE(V("rm"), V("r0"), C(5))},
+		{"cmpult(r4, r2)", Bin{OpCmpUlt, V("r4"), V("r2")}},
+		{"(r0 + 1) & 7", And2(Add(V("r0"), C(1)), C(7))},
+	}
+	for _, c := range cases {
+		got, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if !ExprEqual(got, c.want) {
+			t.Errorf("%q: got %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseExprShiftBinding(t *testing.T) {
+	// (r0 >> 46) & 60: shifts bind tighter than '&'.
+	got, err := ParseExpr("r0 >> 46 & 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := And2(Shr(V("r0"), C(46)), C(60))
+	if !ExprEqual(got, want) {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestParsePredBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Pred
+	}{
+		{"true", True},
+		{"false", False},
+		{"rd(r0)", RdP(V("r0"))},
+		{"wr((r3 + 8))", WrP(Add(V("r3"), C(8)))},
+		{"r0 = 5", Eq(V("r0"), C(5))},
+		{"r0 <> 0", Ne(V("r0"), C(0))},
+		{"r0 != 0", Ne(V("r0"), C(0))},
+		{"r0 < r2", Ult(V("r0"), V("r2"))},
+		{"r0 <= r2", Ule(V("r0"), V("r2"))},
+		{"r0 <s r2", Slt(V("r0"), V("r2"))},
+		{"r0 <=s r2", Sle(V("r0"), V("r2"))},
+		{"rd(r0) /\\ wr(r1)", And{RdP(V("r0")), WrP(V("r1"))}},
+		{"rd(r0) \\/ wr(r1)", Or{RdP(V("r0")), WrP(V("r1"))}},
+		{"r0 = 0 => rd(r1)", Imp{Eq(V("r0"), C(0)), RdP(V("r1"))}},
+		{"ALL i. rd(r1 + i)", All("i", RdP(Add(V("r1"), V("i"))))},
+		{
+			"ALL i. (i < r2 /\\ (i & 7) = 0) => rd((r1 + i))",
+			All("i", Implies(
+				And{Ult(V("i"), V("r2")), Eq(And2(V("i"), C(7)), C(0))},
+				RdP(Add(V("r1"), V("i"))))),
+		},
+		{"sel(rm, r0) <> 0 => wr(r0 + 8)",
+			Implies(Ne(SelE(V("rm"), V("r0")), C(0)), WrP(Add(V("r0"), C(8))))},
+		{"(rd(r0))", RdP(V("r0"))},
+		{"cmpult(r4, r2) <> 0", Ne(Bin{OpCmpUlt, V("r4"), V("r2")}, C(0))},
+	}
+	for _, c := range cases {
+		got, err := ParsePred(c.src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if !PredEqual(got, c.want) {
+			t.Errorf("%q: got %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "rd(", "rd(r0", "r0 <", "r0 5", "ALL . rd(r0)",
+		"ALL i rd(r0)", "rd(r0) /\\", "sel(rm)", "upd(rm, r0)",
+		"r0 = 5 trailing", "((r0) = 1", "-r0",
+	}
+	for _, src := range bad {
+		if _, err := ParsePred(src); err == nil {
+			t.Errorf("%q: parsed successfully", src)
+		}
+	}
+}
+
+// TestStringParseRoundTripPred is the headline property: the parser
+// accepts exactly what the printers produce.
+func TestStringParseRoundTripPred(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4000; trial++ {
+		p := randPred(r, 3)
+		got, err := ParsePred(p.String())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !PredEqual(got, p) {
+			t.Fatalf("round trip changed predicate:\n  in:  %s\n  out: %s", p, got)
+		}
+	}
+}
+
+func TestStringParseRoundTripExpr(t *testing.T) {
+	r := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 4000; trial++ {
+		e := randExpr(r, 4)
+		got, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if !ExprEqual(got, e) {
+			t.Fatalf("round trip changed expression:\n  in:  %s\n  out: %s", e, got)
+		}
+	}
+}
+
+func TestStringParseRoundTripQuantified(t *testing.T) {
+	// randPred does not generate quantifiers or memory terms; cover
+	// them explicitly.
+	preds := []Pred{
+		All("i", All("j", Implies(
+			And{Ult(V("i"), V("r2")), Ult(V("j"), C(16))},
+			Ne(Add(V("r1"), V("i")), Add(V("r3"), V("j")))))),
+		Implies(Ne(SelE(V("rm"), V("r0")), C(0)),
+			WrP(Add(V("r0"), C(8)))),
+		Eq(SelE(UpdE(V("rm"), V("r0"), C(7)), V("r0")), C(7)),
+	}
+	for _, p := range preds {
+		got, err := ParsePred(p.String())
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !PredEqual(got, p) {
+			t.Fatalf("round trip changed predicate:\n  in:  %s\n  out: %s", p, got)
+		}
+	}
+}
+
+func TestMustParsePredPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParsePred did not panic")
+		}
+	}()
+	MustParsePred("((")
+}

@@ -1,0 +1,26 @@
+package logic
+
+// Schema is an axiom schema of a proof system: named parameters
+// (conventionally "$a", "$b", … — names no machine program can
+// mention), premises, and a conclusion, the latter two given as
+// predicates over the parameters. The core rule set lives in
+// internal/prover; policies may publish additional schemas
+// (policy.Policy.Axioms), realizing the paper's workflow in which the
+// prover "learns new axioms about arithmetic" that are "remembered for
+// future sessions" — here, remembered by being part of the published
+// policy, so producer and consumer agree on them by construction.
+type Schema struct {
+	Name    string
+	Params  []string
+	Prems   []Pred
+	Concl   Pred
+	Comment string
+}
+
+// Instantiate substitutes args for the schema's parameters in p.
+func (s *Schema) Instantiate(p Pred, args []Expr) Pred {
+	for i, param := range s.Params {
+		p = Subst(p, param, args[i])
+	}
+	return p
+}

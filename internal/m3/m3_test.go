@@ -1,0 +1,236 @@
+package m3
+
+import (
+	"testing"
+
+	"repro/internal/filters"
+	"repro/internal/machine"
+	"repro/internal/pktgen"
+	"repro/internal/policy"
+	"repro/internal/prover"
+	"repro/internal/vcgen"
+)
+
+func TestCompileAllFilters(t *testing.T) {
+	for _, f := range filters.All {
+		for _, d := range []Dialect{Plain, View} {
+			prog, err := Compile(Prog(f, d), d)
+			if err != nil {
+				t.Fatalf("%v dialect %d: %v", f, d, err)
+			}
+			if len(prog) < 10 {
+				t.Errorf("%v dialect %d: suspiciously small (%d instrs)", f, d, len(prog))
+			}
+		}
+	}
+}
+
+func TestM3FiltersEquivalent(t *testing.T) {
+	pkts := pktgen.Generate(10000, pktgen.Config{Seed: 21})
+	env := filters.Env{}
+	for _, f := range filters.All {
+		for _, d := range []Dialect{Plain, View} {
+			prog, err := Compile(Prog(f, d), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range pkts {
+				want := filters.Reference(f, p.Data)
+				got, _, err := env.Exec(prog, p.Data, machine.Checked)
+				if err != nil {
+					t.Fatalf("%v dialect %d pkt %d: %v", f, d, i, err)
+				}
+				if (got != 0) != want {
+					t.Fatalf("%v dialect %d pkt %d (len %d): got %d want %v",
+						f, d, i, p.Len(), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestViewFasterThanPlain(t *testing.T) {
+	// §3.1: "We measured a 20% improvement in the Modula-3 packet
+	// filter performance when using VIEW."
+	pkts := pktgen.Generate(3000, pktgen.Config{Seed: 23})
+	env := filters.Env{}
+	var plainTotal, viewTotal int64
+	for _, f := range filters.All {
+		pp, err := Compile(Prog(f, Plain), Plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vp, err := Compile(Prog(f, View), View)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pkts {
+			_, c1, err := env.Exec(pp, p.Data, machine.Checked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, c2, err := env.Exec(vp, p.Data, machine.Checked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainTotal += c1
+			viewTotal += c2
+		}
+	}
+	if viewTotal >= plainTotal {
+		t.Errorf("VIEW (%d cycles) not faster than plain (%d cycles)", viewTotal, plainTotal)
+	}
+	improvement := 1 - float64(viewTotal)/float64(plainTotal)
+	if improvement < 0.05 || improvement > 0.60 {
+		t.Errorf("VIEW improvement = %.0f%%, expected roughly the paper's 20%%", improvement*100)
+	}
+}
+
+// TestM3OutputCertifies is the §6 "certifying compiler" experiment:
+// because the emitted code carries its own bounds checks, it certifies
+// under the packet-filter PCC policy with the standard prover — no
+// extra run-time checks needed.
+func TestM3OutputCertifies(t *testing.T) {
+	pol := policy.PacketFilter()
+	for _, f := range filters.All {
+		for _, d := range []Dialect{Plain, View} {
+			prog, err := Compile(Prog(f, d), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := vcgen.Gen(prog, pol.Pre, pol.Post, nil)
+			if err != nil {
+				t.Fatalf("%v dialect %d: %v", f, d, err)
+			}
+			proof, err := prover.Prove(res.SP)
+			if err != nil {
+				t.Fatalf("%v dialect %d: certification failed: %v", f, d, err)
+			}
+			if err := prover.Check(proof, res.SP); err != nil {
+				t.Fatalf("%v dialect %d: %v", f, d, err)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *Func
+		d    Dialect
+	}{
+		{"byte in view", &Func{Body: []Stmt{Ret{ByteAt{Lit(0)}}}}, View},
+		{"word in plain", &Func{Body: []Stmt{Ret{WordAt{Lit(0)}}}}, Plain},
+		{"huge constant", &Func{Body: []Stmt{Ret{Lit(1 << 40)}}}, Plain},
+		{"too deep", &Func{Body: []Stmt{Ret{
+			// Wide literals cannot use the 8-bit operand form, so each
+			// nesting level consumes a stack register.
+			Bin{Add, Lit(1000), Bin{Add, Lit(1000), Bin{Add, Lit(1000),
+				Bin{Add, Lit(1000), Lit(1000)}}}},
+		}}}, Plain},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.f, c.d); err == nil {
+			t.Errorf("%s: compile succeeded unexpectedly", c.name)
+		}
+	}
+}
+
+func TestFailedBoundsCheckRejects(t *testing.T) {
+	// A filter reading beyond any packet must reject every packet
+	// (the raise handler path), not fault.
+	f := &Func{Body: []Stmt{Ret{ByteAt{Lit(100000)}}}}
+	prog, err := Compile(f, Plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := filters.Env{}
+	pkt := make([]byte, 64)
+	got, _, err := env.Exec(prog, pkt, machine.Checked)
+	if err != nil {
+		t.Fatalf("bounds-check failure faulted: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("out-of-range read accepted the packet: %d", got)
+	}
+}
+
+func TestPrologueUsesScratchAsFrame(t *testing.T) {
+	// The compiled code must save/restore its frame in the scratch
+	// area and leave the packet untouched.
+	prog, err := Compile(Prog(filters.Filter1, View), View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := filters.Env{}
+	s := env.NewState(make([]byte, 64))
+	if _, err := machine.Interp(prog, s, machine.Checked, nil, 10000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckEliminationPreservesBehaviour(t *testing.T) {
+	pkts := pktgen.Generate(5000, pktgen.Config{Seed: 31})
+	env := filters.Env{}
+	for _, f := range filters.All {
+		for _, d := range []Dialect{Plain, View} {
+			naive, err := Compile(Prog(f, d), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := CompileOptimized(Prog(f, d), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(opt) >= len(naive) && f == filters.Filter3 {
+				t.Errorf("%v dialect %d: check elimination removed nothing (%d vs %d instrs)",
+					f, d, len(opt), len(naive))
+			}
+			var naiveCycles, optCycles int64
+			for i, p := range pkts {
+				w, c1, err := env.Exec(naive, p.Data, machine.Checked)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, c2, err := env.Exec(opt, p.Data, machine.Checked)
+				if err != nil {
+					t.Fatalf("%v dialect %d pkt %d: optimized faulted: %v", f, d, i, err)
+				}
+				if (g != 0) != (w != 0) {
+					t.Fatalf("%v dialect %d pkt %d: optimized disagrees", f, d, i)
+				}
+				naiveCycles += c1
+				optCycles += c2
+			}
+			if optCycles > naiveCycles {
+				t.Errorf("%v dialect %d: optimization made it slower", f, d)
+			}
+		}
+	}
+}
+
+func TestCheckEliminationOutputCertifies(t *testing.T) {
+	// The elided checks are justified by dominating hypotheses, so the
+	// optimized code still certifies — no run-time check is needed
+	// where the VC already knows the bound.
+	pol := policy.PacketFilter()
+	for _, f := range filters.All {
+		for _, d := range []Dialect{Plain, View} {
+			prog, err := CompileOptimized(Prog(f, d), d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := vcgen.Gen(prog, pol.Pre, pol.Post, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			proof, err := prover.Prove(res.SP)
+			if err != nil {
+				t.Fatalf("%v dialect %d: optimized output failed to certify: %v", f, d, err)
+			}
+			if err := prover.Check(proof, res.SP); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

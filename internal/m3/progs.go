@@ -1,0 +1,187 @@
+package m3
+
+import "repro/internal/filters"
+
+// The four packet filters written in the safe language, once per
+// dialect — exactly the §3.1 experiment: "we wrote the four packet
+// filters in the safe subset of Modula-3 and compiled them with ...
+// the VIEW operation".
+
+// Big-endian field values used by the plain dialect.
+const (
+	ipBE       = 0x0800
+	arpBE      = 0x0806
+	netABE     = uint64(128)<<16 | 2<<8 | 42
+	netBBE     = uint64(192)<<16 | 12<<8 | 33
+	tcpProto   = 6
+	filterPort = 80
+)
+
+// Little-endian (wire-order word) field values used by the VIEW
+// dialect, matching the layout of aligned 64-bit loads.
+const (
+	ipLE   = 0x0008
+	arpLE  = 0x0608
+	netALE = uint64(0x2A0280)
+	netBLE = uint64(0x210CC0)
+	portLE = 0x5000
+)
+
+func lit(v uint64) Expr   { return Lit(v) }
+func b(off Expr) Expr     { return ByteAt{off} }
+func w(idx uint64) Expr   { return WordAt{Lit(idx)} }
+func add(l, r Expr) Expr  { return Bin{Add, l, r} }
+func band(l, r Expr) Expr { return Bin{BAnd, l, r} }
+func bor(l, r Expr) Expr  { return Bin{BOr, l, r} }
+func shl(l, r Expr) Expr  { return Bin{Shl, l, r} }
+func shr(l, r Expr) Expr  { return Bin{Shr, l, r} }
+func eq(l, r Expr) Expr   { return Bin{CmpEq, l, r} }
+
+// --- plain dialect helpers --------------------------------------------
+
+// be16p loads a big-endian 16-bit field byte by byte.
+func be16p(off uint64) Expr {
+	return bor(shl(b(lit(off)), lit(8)), b(lit(off+1)))
+}
+
+// net24p loads a 24-bit network prefix byte by byte (big-endian).
+func net24p(off Expr) Expr {
+	return bor(bor(shl(b(off), lit(16)), shl(b(add(off, lit(1))), lit(8))), b(add(off, lit(2))))
+}
+
+// --- view dialect helpers ---------------------------------------------
+
+// low16 masks an expression to its low 16 bits without needing a wide
+// literal.
+func low16(e Expr) Expr { return shr(shl(e, lit(48)), lit(48)) }
+
+// le16v extracts the 16-bit field at constant byte offset off from the
+// word view (value in wire/LE order).
+func le16v(off uint64) Expr {
+	return low16(shr(w(off/8), lit((off%8)*8)))
+}
+
+// srcNetV is the IP source /24 prefix (bytes 26..28) from word 3.
+func srcNetV() Expr { return shr(shl(w(3), lit(24)), lit(40)) }
+
+// dstNetV is the IP destination /24 prefix (bytes 30..32), which
+// straddles words 3 and 4.
+func dstNetV() Expr {
+	return bor(shr(w(3), lit(48)), shl(band(w(4), lit(255)), lit(16)))
+}
+
+// arpSndV is the ARP sender /24 prefix (bytes 28..30) from word 3.
+func arpSndV() Expr { return shr(shl(w(3), lit(8)), lit(40)) }
+
+// arpTgtV is the ARP target /24 prefix (bytes 38..40), straddling
+// words 4 and 5.
+func arpTgtV() Expr {
+	return bor(shr(w(4), lit(48)), shl(band(w(5), lit(255)), lit(16)))
+}
+
+// pairCheck accepts when (src=a ∧ dst=b) ∨ (src=b ∧ dst=a), with each
+// operand expression re-evaluated per use, as a non-optimizing
+// compiler leaves it.
+func pairCheck(src, dst func() Expr, a, b uint64) []Stmt {
+	return []Stmt{
+		If{Cond: eq(src(), lit(a)),
+			Then: []Stmt{Ret{eq(dst(), lit(b))}},
+			Else: []Stmt{
+				If{Cond: eq(src(), lit(b)),
+					Then: []Stmt{Ret{eq(dst(), lit(a))}},
+					Else: []Stmt{Ret{lit(0)}},
+				},
+			}},
+	}
+}
+
+// Prog returns the filter in the given dialect.
+func Prog(f filters.Filter, d Dialect) *Func {
+	if d == Plain {
+		return plainProg(f)
+	}
+	return viewProg(f)
+}
+
+func plainProg(f filters.Filter) *Func {
+	switch f {
+	case filters.Filter1:
+		return &Func{Body: []Stmt{Ret{eq(be16p(12), lit(ipBE))}}}
+	case filters.Filter2:
+		return &Func{Body: []Stmt{
+			If{Cond: eq(be16p(12), lit(ipBE)),
+				Then: []Stmt{Ret{eq(net24p(lit(26)), lit(netABE))}},
+				Else: []Stmt{Ret{lit(0)}}},
+		}}
+	case filters.Filter3:
+		ipSrc := func() Expr { return net24p(lit(26)) }
+		ipDst := func() Expr { return net24p(lit(30)) }
+		arpSnd := func() Expr { return net24p(lit(28)) }
+		arpTgt := func() Expr { return net24p(lit(38)) }
+		return &Func{Body: []Stmt{
+			If{Cond: eq(be16p(12), lit(ipBE)),
+				Then: pairCheck(ipSrc, ipDst, netABE, netBBE),
+				Else: []Stmt{
+					If{Cond: eq(be16p(12), lit(arpBE)),
+						Then: pairCheck(arpSnd, arpTgt, netABE, netBBE),
+						Else: []Stmt{Ret{lit(0)}}},
+				}},
+		}}
+	case filters.Filter4:
+		// Destination-port offset, recomputed where used.
+		portOff := func() Expr {
+			return add(shl(band(b(lit(14)), lit(15)), lit(2)), lit(16))
+		}
+		port := bor(shl(b(portOff()), lit(8)), b(add(portOff(), lit(1))))
+		return &Func{Body: []Stmt{
+			If{Cond: eq(be16p(12), lit(ipBE)),
+				Then: []Stmt{
+					If{Cond: eq(b(lit(23)), lit(tcpProto)),
+						Then: []Stmt{Ret{eq(port, lit(filterPort))}},
+						Else: []Stmt{Ret{lit(0)}}},
+				},
+				Else: []Stmt{Ret{lit(0)}}},
+		}}
+	}
+	panic("m3: unknown filter")
+}
+
+func viewProg(f filters.Filter) *Func {
+	switch f {
+	case filters.Filter1:
+		return &Func{Body: []Stmt{Ret{eq(le16v(12), lit(ipLE))}}}
+	case filters.Filter2:
+		return &Func{Body: []Stmt{
+			If{Cond: eq(le16v(12), lit(ipLE)),
+				Then: []Stmt{Ret{eq(srcNetV(), lit(netALE))}},
+				Else: []Stmt{Ret{lit(0)}}},
+		}}
+	case filters.Filter3:
+		return &Func{Body: []Stmt{
+			If{Cond: eq(le16v(12), lit(ipLE)),
+				Then: pairCheck(srcNetV, dstNetV, netALE, netBLE),
+				Else: []Stmt{
+					If{Cond: eq(le16v(12), lit(arpLE)),
+						Then: pairCheck(arpSndV, arpTgtV, netALE, netBLE),
+						Else: []Stmt{Ret{lit(0)}}},
+				}},
+		}}
+	case filters.Filter4:
+		// t = 4*IHL + 16, recomputed per use; the port is extracted
+		// from word t>>3 at bit offset 8*(t&7).
+		t := func() Expr {
+			return add(shl(band(shr(w(1), lit(48)), lit(15)), lit(2)), lit(16))
+		}
+		port := low16(shr(WordAt{shr(t(), lit(3))}, shl(band(t(), lit(7)), lit(3))))
+		return &Func{Body: []Stmt{
+			If{Cond: eq(le16v(12), lit(ipLE)),
+				Then: []Stmt{
+					If{Cond: eq(shr(w(2), lit(56)), lit(tcpProto)),
+						Then: []Stmt{Ret{eq(port, lit(portLE))}},
+						Else: []Stmt{Ret{lit(0)}}},
+				},
+				Else: []Stmt{Ret{lit(0)}}},
+		}}
+	}
+	panic("m3: unknown filter")
+}

@@ -1,0 +1,64 @@
+package machine
+
+import "repro/internal/alpha"
+
+// CostModel assigns cycle costs to retired instructions. The default
+// model approximates the in-order dual-issue DEC 21064 of the paper's
+// 175-MHz Alpha 3000/600 testbed at the granularity the experiments
+// need: loads pay Dcache latency, taken branches pay a bubble, and
+// everything else single-issues. The model is calibrated so the PCC
+// packet filters land near the paper's per-packet figures (see
+// EXPERIMENTS.md for the calibration check).
+type CostModel struct {
+	ALU            int // operate instructions and LDA
+	Load           int // LDQ
+	Store          int // STQ
+	BranchTaken    int // conditional or unconditional branch, taken
+	BranchNotTaken int // conditional branch, not taken
+	Ret            int // RET
+}
+
+// DEC21064 is the default cost model.
+var DEC21064 = CostModel{
+	ALU:            1,
+	Load:           3,
+	Store:          3,
+	BranchTaken:    2,
+	BranchNotTaken: 1,
+	Ret:            2,
+}
+
+// ClockMHz is the clock rate of the paper's DEC Alpha 3000/600.
+const ClockMHz = 175
+
+// Micros converts a cycle count to microseconds on the modeled machine.
+func Micros(cycles int64) float64 { return float64(cycles) / ClockMHz }
+
+func (cm *CostModel) cost(ins alpha.Instr, taken bool) int {
+	switch ins.Op {
+	case alpha.LDQ:
+		return cm.Load
+	case alpha.STQ:
+		return cm.Store
+	case alpha.BEQ, alpha.BNE, alpha.BGE, alpha.BLT, alpha.BR:
+		if taken {
+			return cm.BranchTaken
+		}
+		return cm.BranchNotTaken
+	case alpha.RET:
+		return cm.Ret
+	default:
+		return cm.ALU
+	}
+}
+
+// StaticCost returns the cycle cost of a straight-line execution of
+// prog assuming no branch is taken — a quick upper-bound helper used in
+// tests and table generation.
+func (cm *CostModel) StaticCost(prog []alpha.Instr) int64 {
+	var total int64
+	for _, ins := range prog {
+		total += int64(cm.cost(ins, false))
+	}
+	return total
+}

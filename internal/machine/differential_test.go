@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alpha"
+)
+
+// Differential property: for programs whose memory accesses stay
+// inside mapped regions, Checked and Unchecked executions are
+// indistinguishable — the abstract machine's safety checks change
+// nothing but the blocked cases. This is the operational face of the
+// paper's "we can safely execute it on a real DEC Alpha and get the
+// same behavior as on our abstract machine".
+
+func randConfinedProgram(r *rand.Rand) []alpha.Instr {
+	var prog []alpha.Instr
+	n := 2 + r.Intn(20)
+	for i := 0; i < n; i++ {
+		switch r.Intn(7) {
+		case 0:
+			prog = append(prog, alpha.Instr{
+				Op: alpha.LDQ, Ra: alpha.Reg(r.Intn(alpha.NumRegs)),
+				Rb: 1, Disp: int16(8 * r.Intn(16)),
+			})
+		case 1:
+			prog = append(prog, alpha.Instr{
+				Op: alpha.STQ, Ra: alpha.Reg(r.Intn(alpha.NumRegs)),
+				Rb: 1, Disp: int16(8 * r.Intn(16)),
+			})
+		case 2:
+			prog = append(prog, alpha.Instr{
+				Op: alpha.BEQ, Ra: alpha.Reg(r.Intn(alpha.NumRegs)), Target: -1,
+			})
+		case 3:
+			prog = append(prog, alpha.Instr{
+				Op: alpha.LDA, Ra: alpha.Reg(r.Intn(4) + 4),
+				Rb: alpha.RegZero, Disp: int16(r.Intn(4096) - 2048),
+			})
+		default:
+			ops := []alpha.Op{alpha.ADDQ, alpha.SUBQ, alpha.AND, alpha.BIS,
+				alpha.XOR, alpha.SLL, alpha.SRL, alpha.CMPEQ, alpha.CMPULT, alpha.CMPULE}
+			ins := alpha.Instr{
+				Op: ops[r.Intn(len(ops))], Ra: alpha.Reg(r.Intn(alpha.NumRegs)),
+				Rc: alpha.Reg(r.Intn(alpha.NumRegs)),
+			}
+			if r.Intn(2) == 0 {
+				ins.HasLit = true
+				ins.Lit = uint8(r.Intn(256))
+			} else {
+				ins.Rb = alpha.Reg(r.Intn(alpha.NumRegs))
+			}
+			prog = append(prog, ins)
+		}
+	}
+	prog = append(prog, alpha.Instr{Op: alpha.RET})
+	for pc := range prog {
+		if prog[pc].Op == alpha.BEQ && prog[pc].Target == -1 {
+			prog[pc].Target = pc + 1 + r.Intn(len(prog)-pc-1)
+		}
+	}
+	return prog
+}
+
+func confinedState(r *rand.Rand) *State {
+	mem := NewMemory()
+	region := NewRegion("buf", 0x8000, 16*8, true)
+	for i := 0; i < 16; i++ {
+		region.SetWord(i*8, r.Uint64())
+	}
+	mem.MustAddRegion(region)
+	s := &State{Mem: mem}
+	for i := range s.R {
+		s.R[i] = r.Uint64()
+	}
+	s.R[1] = 0x8000 // base register used by the generated loads/stores
+	return s
+}
+
+func TestCheckedUncheckedAgreeOnConfinedPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 2000; trial++ {
+		prog := randConfinedProgram(r)
+		seed := r.Int63()
+
+		s1 := confinedState(rand.New(rand.NewSource(seed)))
+		res1, err1 := Interp(prog, s1, Checked, &DEC21064, 10000)
+		s2 := confinedState(rand.New(rand.NewSource(seed)))
+		res2, err2 := Interp(prog, s2, Unchecked, &DEC21064, 10000)
+
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: modes disagree on success: %v vs %v\n%s",
+				trial, err1, err2, alpha.Program(prog))
+		}
+		if err1 != nil {
+			continue
+		}
+		if res1 != res2 {
+			t.Fatalf("trial %d: results differ: %+v vs %+v", trial, res1, res2)
+		}
+		if s1.R != s2.R {
+			t.Fatalf("trial %d: register files differ", trial)
+		}
+		b1 := s1.Mem.Region("buf").Bytes()
+		b2 := s2.Mem.Region("buf").Bytes()
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("trial %d: memory differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestInterpreterDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 500; trial++ {
+		prog := randConfinedProgram(r)
+		seed := r.Int63()
+		s1 := confinedState(rand.New(rand.NewSource(seed)))
+		s2 := confinedState(rand.New(rand.NewSource(seed)))
+		r1, e1 := Interp(prog, s1, Checked, &DEC21064, 10000)
+		r2, e2 := Interp(prog, s2, Checked, &DEC21064, 10000)
+		if r1 != r2 || (e1 == nil) != (e2 == nil) {
+			t.Fatalf("trial %d: nondeterministic execution", trial)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package machine
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/alpha"
+)
+
+func run(t *testing.T, src string, setup func(*State)) (Result, error) {
+	t.Helper()
+	a, err := alpha.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &State{Mem: NewMemory()}
+	if setup != nil {
+		setup(s)
+	}
+	return Interp(a.Prog, s, Checked, &DEC21064, 10000)
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"MOV 7, r0\nADDQ r0, 3, r0\nRET", 10},
+		{"MOV 7, r0\nSUBQ r0, 9, r0\nRET", ^uint64(1)}, // -2
+		{"MOV 0xf0, r0\nAND r0, 0x3c, r0\nRET", 0x30},
+		{"MOV 0xf0, r0\nBIS r0, 0x0f, r0\nRET", 0xff},
+		{"MOV 0xff, r0\nXOR r0, 0x0f, r0\nRET", 0xf0},
+		{"MOV 1, r0\nSLL r0, 11, r0\nRET", 2048},
+		{"MOV 128, r0\nSRL r0, 3, r0\nRET", 16},
+		{"MOV 5, r0\nCMPEQ r0, 5, r0\nRET", 1},
+		{"MOV 5, r0\nCMPEQ r0, 6, r0\nRET", 0},
+		{"MOV 5, r0\nCMPULT r0, 6, r0\nRET", 1},
+		{"MOV 6, r0\nCMPULE r0, 6, r0\nRET", 1},
+		{"MOVI 2048, r0\nRET", 2048},
+		{"MOVI -16, r0\nRET", ^uint64(15)},
+		{"CLR r0\nRET", 0},
+	}
+	for _, c := range cases {
+		res, err := run(t, c.src, nil)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if res.Ret != c.want {
+			t.Errorf("%q: got %d, want %d", c.src, res.Ret, c.want)
+		}
+	}
+}
+
+func TestBranches(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"CLR r1\nCLR r0\nBEQ r1, yes\nRET\nyes: MOV 1, r0\nRET", 1},
+		{"MOV 5, r1\nCLR r0\nBEQ r1, yes\nRET\nyes: MOV 1, r0\nRET", 0},
+		{"MOV 5, r1\nCLR r0\nBNE r1, yes\nRET\nyes: MOV 1, r0\nRET", 1},
+		{"MOVI -1, r1\nCLR r0\nBLT r1, yes\nRET\nyes: MOV 1, r0\nRET", 1},
+		{"MOVI -1, r1\nCLR r0\nBGE r1, yes\nRET\nyes: MOV 1, r0\nRET", 0},
+		{"CLR r1\nCLR r0\nBGE r1, yes\nRET\nyes: MOV 1, r0\nRET", 1},
+		{"CLR r0\nBR yes\nMOV 9, r0\nyes: RET", 0},
+	}
+	for _, c := range cases {
+		res, err := run(t, c.src, nil)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		if res.Ret != c.want {
+			t.Errorf("%q: got %d, want %d", c.src, res.Ret, c.want)
+		}
+	}
+}
+
+func TestZeroRegister(t *testing.T) {
+	// r31 always reads as zero; writes are discarded by SetReg.
+	s := &State{Mem: NewMemory()}
+	s.SetReg(alpha.RegZero, 99)
+	if s.Reg(alpha.RegZero) != 0 {
+		t.Error("r31 not zero after write")
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	res, err := run(t, `
+		LDQ  r1, 0(r0)     ; load word
+		ADDQ r1, 1, r1
+		STQ  r1, 8(r0)     ; store incremented
+		LDQ  r0, 8(r0)     ; reload
+		RET
+	`, func(s *State) {
+		r := NewRegion("buf", 0x1000, 16, true)
+		r.SetWord(0, 41)
+		s.Mem.MustAddRegion(r)
+		s.R[0] = 0x1000
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 42 {
+		t.Fatalf("got %d, want 42", res.Ret)
+	}
+}
+
+func TestNegativeDisplacement(t *testing.T) {
+	res, err := run(t, "LDQ r0, -8(r1)\nRET", func(s *State) {
+		r := NewRegion("buf", 0x1000, 16, false)
+		r.SetWord(0, 7)
+		s.Mem.MustAddRegion(r)
+		s.R[1] = 0x1008
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 7 {
+		t.Fatalf("got %d, want 7", res.Ret)
+	}
+}
+
+func TestCheckedModeBlocks(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		setup func(*State)
+		kind  FaultKind
+	}{
+		{
+			"unmapped read", "LDQ r0, 0(r1)\nRET",
+			func(s *State) { s.R[1] = 0xdead000 }, FaultUnmapped,
+		},
+		{
+			"unaligned read", "LDQ r0, 4(r1)\nRET",
+			func(s *State) {
+				s.Mem.MustAddRegion(NewRegion("buf", 0x1000, 16, true))
+				s.R[1] = 0x1000
+			}, FaultUnaligned,
+		},
+		{
+			"read-only write", "STQ r0, 0(r1)\nRET",
+			func(s *State) {
+				s.Mem.MustAddRegion(NewRegion("buf", 0x1000, 16, false))
+				s.R[1] = 0x1000
+			}, FaultReadOnly,
+		},
+	}
+	for _, c := range cases {
+		_, err := run(t, c.src, c.setup)
+		var ee *ExecError
+		if !errors.As(err, &ee) {
+			t.Errorf("%s: got %v, want ExecError", c.name, err)
+			continue
+		}
+		var mf *MemFault
+		if !errors.As(err, &mf) || mf.Kind != c.kind {
+			t.Errorf("%s: fault = %v, want %v", c.name, err, c.kind)
+		}
+		if ee.Wild {
+			t.Errorf("%s: checked-mode fault marked wild", c.name)
+		}
+	}
+}
+
+func TestUncheckedModeWildAccess(t *testing.T) {
+	a, err := alpha.Assemble("STQ r0, 0(r1)\nRET")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &State{Mem: NewMemory()}
+	s.R[1] = 0xbad0000
+	_, err = Interp(a.Prog, s, Unchecked, nil, 100)
+	var ee *ExecError
+	if !errors.As(err, &ee) || !ee.Wild {
+		t.Fatalf("expected wild-access fault, got %v", err)
+	}
+	if !strings.Contains(ee.Error(), "WILD") {
+		t.Errorf("error message should flag wild access: %v", ee)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	// An infinite loop must hit the step budget, not hang.
+	a, err := alpha.Assemble("loop: BR loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &State{Mem: NewMemory()}
+	_, err = Interp(a.Prog, s, Checked, nil, 50)
+	if err != ErrFuel {
+		t.Fatalf("got %v, want ErrFuel", err)
+	}
+}
+
+func TestFallOffEndIsReturn(t *testing.T) {
+	a, err := alpha.Assemble("MOV 3, r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &State{Mem: NewMemory()}
+	res, err := Interp(a.Prog, s, Checked, nil, 10)
+	if err != nil || res.Ret != 3 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	res, err := run(t, "LDQ r0, 0(r1)\nADDQ r0, 1, r0\nRET", func(s *State) {
+		s.Mem.MustAddRegion(NewRegion("buf", 0x1000, 8, false))
+		s.R[1] = 0x1000
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(DEC21064.Load + DEC21064.ALU + DEC21064.Ret)
+	if res.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.Steps != 3 {
+		t.Fatalf("steps = %d, want 3", res.Steps)
+	}
+}
+
+func TestTakenBranchCost(t *testing.T) {
+	res, err := run(t, "CLR r1\nBEQ r1, out\nout: RET", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(DEC21064.ALU + DEC21064.BranchTaken + DEC21064.Ret)
+	if res.Cycles != want {
+		t.Fatalf("cycles = %d, want %d", res.Cycles, want)
+	}
+}
+
+func TestMicros(t *testing.T) {
+	if got := Micros(175); got != 1.0 {
+		t.Fatalf("Micros(175) = %v, want 1.0", got)
+	}
+}
+
+func TestStaticCost(t *testing.T) {
+	a := alpha.MustAssemble("LDQ r0, 0(r1)\nADDQ r0, 1, r0\nBEQ r0, out\nout: RET")
+	got := DEC21064.StaticCost(a.Prog)
+	want := int64(DEC21064.Load + DEC21064.ALU + DEC21064.BranchNotTaken + DEC21064.Ret)
+	if got != want {
+		t.Fatalf("StaticCost = %d, want %d", got, want)
+	}
+}
+
+func TestRegionOverlapRejected(t *testing.T) {
+	m := NewMemory()
+	m.MustAddRegion(NewRegion("a", 0x1000, 64, false))
+	if err := m.AddRegion(NewRegion("b", 0x1020, 64, false)); err == nil {
+		t.Error("overlapping region accepted")
+	}
+	if err := m.AddRegion(NewRegion("c", 0x1040, 64, false)); err != nil {
+		t.Errorf("adjacent region rejected: %v", err)
+	}
+}
+
+func TestRegionPadding(t *testing.T) {
+	r := NewRegion("pkt", 0x2000, 60, false)
+	if r.Size() != 64 {
+		t.Fatalf("size = %d, want 64 (padded)", r.Size())
+	}
+	r.SetBytes(make([]byte, 60))
+	r.SetBytes([]byte{1, 2, 3})
+	if r.Bytes()[0] != 1 || r.Bytes()[3] != 0 {
+		t.Error("SetBytes did not reset trailing bytes")
+	}
+}
+
+func TestRegionLookupByName(t *testing.T) {
+	m := NewMemory()
+	m.MustAddRegion(NewRegion("pkt", 0x2000, 64, false))
+	if m.Region("pkt") == nil || m.Region("nope") != nil {
+		t.Error("Region lookup broken")
+	}
+}
+
+func TestUnalignedBaseRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned base accepted")
+		}
+	}()
+	NewRegion("bad", 0x1004, 8, false)
+}
+
+func TestMULQExecution(t *testing.T) {
+	res, err := run(t, "MOV 6, r0\nMULQ r0, 7, r0\nRET", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 42 {
+		t.Fatalf("6*7 = %d", res.Ret)
+	}
+}
+
+func TestMaxCost(t *testing.T) {
+	a := alpha.MustAssemble(`
+        LDQ    r4, 0(r1)
+        BEQ    r4, cheap
+        LDQ    r5, 8(r1)   ; expensive path
+        LDQ    r6, 16(r1)
+cheap:  RET
+	`)
+	wcet, err := DEC21064.MaxCost(a.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest path: load + branch-not-taken + 2 loads + ret.
+	want := int64(DEC21064.Load + DEC21064.BranchNotTaken + 2*DEC21064.Load + DEC21064.Ret)
+	if wcet != want {
+		t.Fatalf("MaxCost = %d, want %d", wcet, want)
+	}
+
+	// The bound is sound: no execution can exceed it.
+	for _, first := range []uint64{0, 7} {
+		s := &State{Mem: NewMemory()}
+		r := NewRegion("pkt", 0x1000, 64, false)
+		r.SetWord(0, first)
+		s.Mem.MustAddRegion(r)
+		s.R[1] = 0x1000
+		res, err := Interp(a.Prog, s, Checked, &DEC21064, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles > wcet {
+			t.Fatalf("execution cost %d exceeds WCET %d", res.Cycles, wcet)
+		}
+	}
+}
+
+func TestMaxCostRejectsLoops(t *testing.T) {
+	a := alpha.MustAssemble("loop: SUBQ r0, 1, r0\nBNE r0, loop\nRET")
+	if _, err := DEC21064.MaxCost(a.Prog); err == nil {
+		t.Fatal("looping program got a static bound")
+	}
+}
+
+func TestMaxCostSoundOnRandomPrograms(t *testing.T) {
+	// Property: for random loop-free programs, every execution's cycle
+	// count is bounded by MaxCost.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		prog := randConfinedProgram(r)
+		wcet, err := DEC21064.MaxCost(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 4; run++ {
+			s := confinedState(rand.New(rand.NewSource(r.Int63())))
+			res, err := Interp(prog, s, Checked, &DEC21064, 10000)
+			if err != nil {
+				continue
+			}
+			if res.Cycles > wcet {
+				t.Fatalf("trial %d: cost %d > WCET %d\n%s",
+					trial, res.Cycles, wcet, alpha.Program(prog))
+			}
+		}
+	}
+}
+
+func TestTracerObservesEveryInstruction(t *testing.T) {
+	a := alpha.MustAssemble("MOV 1, r0\nADDQ r0, 2, r0\nRET")
+	s := &State{Mem: NewMemory()}
+	var pcs []int
+	res, err := InterpTraced(a.Prog, s, Checked, nil, 100,
+		func(pc int, ins alpha.Instr, st *State) { pcs = append(pcs, pc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != res.Steps || len(pcs) != 3 {
+		t.Fatalf("traced %d pcs, steps %d", len(pcs), res.Steps)
+	}
+	for i, pc := range pcs {
+		if pc != i {
+			t.Fatalf("trace out of order: %v", pcs)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package machine implements the abstract machine of Necula & Lee
+// (OSDI '96, Figure 3): a state-transition function over eleven
+// registers, a program counter, and a memory pseudo-register, with the
+// rd/wr safety checks shown boxed in the paper. It doubles as the
+// "real DEC Alpha" of the experiments: run in Unchecked mode the boxed
+// checks are skipped, which is exactly how validated PCC binaries
+// execute with zero run-time overhead. A calibrated cycle cost model
+// (see cost.go) converts executions into DEC 3000/600 microseconds for
+// the Figure 8/9 reproductions.
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Region is a contiguous span of memory the kernel has handed to an
+// extension: a network packet, the scratch area, a table entry. Backing
+// storage is rounded up to a multiple of 8 bytes (kernels allocate
+// word-aligned buffers; this also matches the paper's 64-bit load +
+// byte extraction idiom on packets of arbitrary byte length).
+type Region struct {
+	Name     string
+	Base     uint64
+	Writable bool
+	data     []byte
+}
+
+// NewRegion creates a region at base covering the given bytes. The base
+// must be 8-byte aligned.
+func NewRegion(name string, base uint64, size int, writable bool) *Region {
+	if base%8 != 0 {
+		panic(fmt.Sprintf("machine: region %q base %#x not 8-byte aligned", name, base))
+	}
+	if size < 0 {
+		panic("machine: negative region size")
+	}
+	padded := (size + 7) &^ 7
+	return &Region{Name: name, Base: base, Writable: writable, data: make([]byte, padded)}
+}
+
+// Size returns the padded size of the region in bytes.
+func (r *Region) Size() int { return len(r.data) }
+
+// Bytes exposes the region's backing storage (e.g. to copy in a packet).
+func (r *Region) Bytes() []byte { return r.data }
+
+// SetBytes copies b into the start of the region.
+func (r *Region) SetBytes(b []byte) {
+	if len(b) > len(r.data) {
+		panic(fmt.Sprintf("machine: %d bytes exceed region %q size %d", len(b), r.Name, len(r.data)))
+	}
+	copy(r.data, b)
+	for i := len(b); i < len(r.data); i++ {
+		r.data[i] = 0
+	}
+}
+
+func (r *Region) contains(addr uint64) bool {
+	return addr >= r.Base && addr-r.Base < uint64(len(r.data))
+}
+
+// Word returns the 64-bit little-endian word at the given byte offset.
+func (r *Region) Word(off int) uint64 {
+	return binary.LittleEndian.Uint64(r.data[off:])
+}
+
+// SetWord stores a 64-bit little-endian word at the given byte offset.
+func (r *Region) SetWord(off int, v uint64) {
+	binary.LittleEndian.PutUint64(r.data[off:], v)
+}
+
+// Memory is the machine's memory: a set of non-overlapping regions.
+type Memory struct {
+	regions []*Region
+}
+
+// NewMemory creates an empty memory.
+func NewMemory() *Memory { return &Memory{} }
+
+// AddRegion installs a region, rejecting overlap with existing regions.
+func (m *Memory) AddRegion(r *Region) error {
+	for _, prev := range m.regions {
+		if r.Base < prev.Base+uint64(len(prev.data)) && prev.Base < r.Base+uint64(len(r.data)) {
+			return fmt.Errorf("machine: region %q overlaps %q", r.Name, prev.Name)
+		}
+	}
+	m.regions = append(m.regions, r)
+	return nil
+}
+
+// MustAddRegion is AddRegion that panics on error (for test fixtures).
+func (m *Memory) MustAddRegion(r *Region) {
+	if err := m.AddRegion(r); err != nil {
+		panic(err)
+	}
+}
+
+// Region returns the named region, or nil.
+func (m *Memory) Region(name string) *Region {
+	for _, r := range m.regions {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+func (m *Memory) find(addr uint64) *Region {
+	for _, r := range m.regions {
+		if r.contains(addr) {
+			return r
+		}
+	}
+	return nil
+}
+
+// FaultKind classifies a memory fault.
+type FaultKind uint8
+
+// Fault kinds. In Checked mode (the abstract machine) any fault means
+// the machine "blocks": there is no transition rule covering it. In
+// Unchecked mode (the real CPU) an Unmapped or ReadOnly fault models a
+// wild access into the kernel — the very thing PCC certification rules
+// out — while Unaligned still traps, as on real Alpha hardware.
+const (
+	FaultUnaligned FaultKind = iota
+	FaultUnmapped
+	FaultReadOnly
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnaligned:
+		return "unaligned access"
+	case FaultUnmapped:
+		return "unmapped address"
+	case FaultReadOnly:
+		return "write to read-only region"
+	}
+	return "unknown fault"
+}
+
+// MemFault reports a failed rd/wr safety check.
+type MemFault struct {
+	Kind  FaultKind
+	Addr  uint64
+	Write bool
+}
+
+// Error implements the error interface.
+func (f *MemFault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("machine: %s at %#x: %s", op, f.Addr, f.Kind)
+}
+
+// ReadQ loads the 64-bit word at addr, enforcing the rd() check.
+func (m *Memory) ReadQ(addr uint64) (uint64, error) {
+	if addr%8 != 0 {
+		return 0, &MemFault{FaultUnaligned, addr, false}
+	}
+	r := m.find(addr)
+	if r == nil {
+		return 0, &MemFault{FaultUnmapped, addr, false}
+	}
+	return r.Word(int(addr - r.Base)), nil
+}
+
+// WriteQ stores the 64-bit word at addr, enforcing the wr() check.
+func (m *Memory) WriteQ(addr uint64, v uint64) error {
+	if addr%8 != 0 {
+		return &MemFault{FaultUnaligned, addr, true}
+	}
+	r := m.find(addr)
+	if r == nil {
+		return &MemFault{FaultUnmapped, addr, true}
+	}
+	if !r.Writable {
+		return &MemFault{FaultReadOnly, addr, true}
+	}
+	r.SetWord(int(addr-r.Base), v)
+	return nil
+}

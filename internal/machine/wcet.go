@@ -1,0 +1,45 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/alpha"
+)
+
+// MaxCost computes the worst-case execution cost of a loop-free
+// program in cycles under the cost model: the longest path through the
+// control-flow DAG. Programs whose backward branches make the CFG
+// cyclic have no static bound and return an error.
+//
+// This realizes the §2.1 remark that policies can cover "control over
+// resource usage": the BPF-style forward-branch restriction gives
+// termination, and this analysis turns it into a concrete per-packet
+// cycle budget a kernel can enforce at install time (see
+// internal/kernel).
+func (cm *CostModel) MaxCost(prog []alpha.Instr) (int64, error) {
+	// worst[pc] is the maximal cost from pc to exit; computed backward
+	// (every branch goes forward, so successors are already resolved).
+	worst := make([]int64, len(prog)+1)
+	for pc := len(prog) - 1; pc >= 0; pc-- {
+		ins := prog[pc]
+		switch ins.Op.Class() {
+		case alpha.ClassBranch:
+			if ins.Target <= pc {
+				return 0, fmt.Errorf("machine: pc %d: backward branch; no static cost bound", pc)
+			}
+			taken := int64(cm.BranchTaken) + worst[ins.Target]
+			cost := taken
+			if ins.Op != alpha.BR {
+				if nt := int64(cm.BranchNotTaken) + worst[pc+1]; nt > cost {
+					cost = nt
+				}
+			}
+			worst[pc] = cost
+		case alpha.ClassRet:
+			worst[pc] = int64(cm.Ret)
+		default:
+			worst[pc] = int64(cm.cost(ins, false)) + worst[pc+1]
+		}
+	}
+	return worst[0], nil
+}

@@ -1,0 +1,48 @@
+package pccbin
+
+import (
+	"testing"
+
+	"repro/internal/lf"
+)
+
+// Native fuzz target for the untrusted-input parser: Unmarshal must
+// never panic, and anything it accepts must re-marshal and re-parse to
+// an equal binary.
+func FuzzUnmarshal(f *testing.F) {
+	b := &Binary{
+		PolicyName: "packet-filter/v1",
+		Code:       []byte{1, 2, 3, 4},
+		Proof: lf.Apply(lf.Konst{Name: lf.CAndI},
+			lf.Konst{Name: lf.CTT}, lf.Konst{Name: lf.CTT},
+			lf.Konst{Name: lf.CTrueI}, lf.Konst{Name: lf.CTrueI}),
+	}
+	data, _, err := b.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte("PCC1"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), data...)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		bin, err := Unmarshal(in)
+		if err != nil {
+			return
+		}
+		out, _, err := bin.Marshal()
+		if err != nil {
+			t.Fatalf("accepted binary does not re-marshal: %v", err)
+		}
+		again, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-marshaled binary does not parse: %v", err)
+		}
+		if again.PolicyName != bin.PolicyName || len(again.Code) != len(bin.Code) {
+			t.Fatal("re-marshal changed the binary")
+		}
+	})
+}

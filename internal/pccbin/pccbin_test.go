@@ -1,0 +1,211 @@
+package pccbin
+
+import (
+	"testing"
+
+	"repro/internal/lf"
+	"repro/internal/logic"
+)
+
+func sampleBinary(t *testing.T) *Binary {
+	t.Helper()
+	proof := lf.Apply(lf.Konst{Name: lf.CAndI},
+		lf.Konst{Name: lf.CTT}, lf.Konst{Name: lf.CTT},
+		lf.Konst{Name: lf.CTrueI}, lf.Konst{Name: lf.CTrueI})
+	inv, err := lf.EncodePred(logic.All("i", logic.Implies(
+		logic.Ult(logic.V("i"), logic.C(64)),
+		logic.RdP(logic.V("i")))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Binary{
+		PolicyName: "packet-filter/v1",
+		Code:       []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Invariants: []Invariant{{PC: 1, Pred: inv}},
+		Proof:      proof,
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	b := sampleBinary(t)
+	data, layout, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.Total != len(data) {
+		t.Fatalf("layout total %d != len %d", layout.Total, len(data))
+	}
+	if layout.CodeLen == 0 || layout.RelocLen == 0 || layout.ProofLen == 0 {
+		t.Fatalf("degenerate layout: %s", layout)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PolicyName != b.PolicyName {
+		t.Errorf("policy %q", got.PolicyName)
+	}
+	if string(got.Code) != string(b.Code) {
+		t.Errorf("code mismatch")
+	}
+	if !lf.Equal(got.Proof, b.Proof) {
+		t.Errorf("proof mismatch: %s vs %s", got.Proof, b.Proof)
+	}
+	if len(got.Invariants) != 1 || got.Invariants[0].PC != 1 {
+		t.Fatalf("invariants mismatch: %+v", got.Invariants)
+	}
+	if !lf.Equal(got.Invariants[0].Pred, b.Invariants[0].Pred) {
+		t.Errorf("invariant pred mismatch")
+	}
+}
+
+func TestDecodeInvariants(t *testing.T) {
+	b := sampleBinary(t)
+	m, err := b.DecodeInvariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := m[1]
+	if !ok {
+		t.Fatal("missing invariant")
+	}
+	want := logic.All("x", logic.Implies(
+		logic.Ult(logic.V("x"), logic.C(64)),
+		logic.RdP(logic.V("x"))))
+	if !logic.AlphaEqual(p, want) {
+		t.Fatalf("decoded invariant %s", p)
+	}
+	empty := &Binary{}
+	if m, err := empty.DecodeInvariants(); err != nil || m != nil {
+		t.Fatal("empty invariant table mishandled")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	b := sampleBinary(t)
+	data, _, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header corruption.
+	for _, mut := range [][]byte{
+		nil,
+		{},
+		[]byte("XXXX"),
+		data[:3],
+		data[:len(data)-1],
+		append(append([]byte(nil), data...), 0),
+	} {
+		if _, err := Unmarshal(mut); err == nil {
+			t.Errorf("corrupt binary accepted (len %d)", len(mut))
+		}
+	}
+}
+
+func TestUnmarshalFuzzsBytes(t *testing.T) {
+	// Single-byte mutations must never panic; they either parse into a
+	// different (to-be-revalidated) binary or fail cleanly.
+	b := sampleBinary(t)
+	data, _, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		for _, delta := range []byte{1, 0x80, 0xff} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= delta
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutation at byte %d: %v", i, r)
+					}
+				}()
+				_, _ = Unmarshal(mut)
+			}()
+		}
+	}
+}
+
+func TestSymbolTableDeterministic(t *testing.T) {
+	b := sampleBinary(t)
+	d1, _, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Fatal("marshaling is not deterministic")
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	b := sampleBinary(t)
+	_, layout, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.String() == "" {
+		t.Fatal("empty layout string")
+	}
+}
+
+func TestRejectsUnknownSymbolInProof(t *testing.T) {
+	b := sampleBinary(t)
+	data, _, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An out-of-range symbol index must be rejected at parse time; here
+	// we simulate by re-marshaling with a truncated symbol table.
+	got.Proof = lf.Konst{Name: "zzz_not_in_sig"}
+	data2, _, err := got.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parsing succeeds (the name is in the table), but downstream LF
+	// checking will reject it; here just confirm parse round-trip.
+	if _, err := Unmarshal(data2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepTermBombRejected(t *testing.T) {
+	// A malicious producer can hand-craft a right-leaning App spine far
+	// deeper than any legitimate proof; the depth guard must reject it
+	// before it threatens the consumer's stack. The bomb is spliced in
+	// as raw bytes — a real attacker does not use our encoder.
+	base := &Binary{PolicyName: "bomb", Proof: lf.Konst{Name: lf.CTT}}
+	data, lay, err := base.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb := append([]byte(nil), data[:lay.ProofOff]...)
+	for i := 0; i < 1_000_000; i++ {
+		bomb = append(bomb, tagApp, tagKonst, 0)
+	}
+	bomb = append(bomb, tagKonst, 0)
+	if _, err := Unmarshal(bomb); err == nil {
+		t.Fatal("term bomb accepted")
+	}
+
+	// A legitimately deep proof (hundreds of levels) still parses.
+	ok := lf.Term(lf.Konst{Name: lf.CTT})
+	for i := 0; i < 500; i++ {
+		ok = lf.App{F: lf.Konst{Name: lf.CPf}, X: ok}
+	}
+	b2 := &Binary{PolicyName: "fine", Proof: ok}
+	data2, _, err := b2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data2); err != nil {
+		t.Fatalf("legitimate depth rejected: %v", err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package pktgen generates the synthetic Ethernet trace that stands in
+// for the paper's 200,000-packet capture from a busy Carnegie Mellon
+// network (see DESIGN.md, "Substitutions"). The generator is seeded
+// and deterministic, so every number in EXPERIMENTS.md reproduces
+// exactly. The traffic mix is modeled on mid-90s campus Ethernet:
+// mostly IPv4 (dominated by TCP), some ARP, and a residue of other
+// ethertypes.
+package pktgen
+
+import "encoding/binary"
+
+// Ethernet and IP constants used by the filters.
+const (
+	EtherTypeIP  = 0x0800
+	EtherTypeARP = 0x0806
+	ProtoTCP     = 6
+	ProtoUDP     = 17
+
+	// EthHeaderLen is the length of an Ethernet header.
+	EthHeaderLen = 14
+	// MinFrame is the minimum Ethernet frame length the kernel
+	// guarantees (the packet-filter precondition's 64).
+	MinFrame = 64
+	// MaxFrame is the Ethernet MTU frame length.
+	MaxFrame = 1518
+)
+
+// Packet is one captured frame.
+type Packet struct {
+	Data []byte
+}
+
+// Len returns the frame length in bytes.
+func (p Packet) Len() int { return len(p.Data) }
+
+// Config controls the traffic mix (per-mille proportions; the rest is
+// "other" ethertypes).
+type Config struct {
+	Seed uint64
+	// IPPerMille is the share of IPv4 frames (default 800).
+	IPPerMille int
+	// ARPPerMille is the share of ARP frames (default 80).
+	ARPPerMille int
+	// TCPPerMille is the share of TCP within IPv4 (default 700).
+	TCPPerMille int
+	// OptionsPerMille is the share of IPv4 packets carrying IP options
+	// (IHL > 5), which exercise Filter 4's variable header offset
+	// (default 50).
+	OptionsPerMille int
+}
+
+func (c *Config) defaults() {
+	if c.IPPerMille == 0 {
+		c.IPPerMille = 800
+	}
+	if c.ARPPerMille == 0 {
+		c.ARPPerMille = 80
+	}
+	if c.TCPPerMille == 0 {
+		c.TCPPerMille = 700
+	}
+	if c.OptionsPerMille == 0 {
+		c.OptionsPerMille = 50
+	}
+}
+
+// Networks used by the generator; Filters 2 and 3 match on these.
+var (
+	// NetCMU is the "local" /24 network: 128.2.42.0.
+	NetCMU = [3]byte{128, 2, 42}
+	// NetRemote is the "remote" /24 network: 192.12.33.0.
+	NetRemote = [3]byte{192, 12, 33}
+	// NetOther is an unrelated network seen in background traffic.
+	NetOther = [3]byte{10, 1, 7}
+)
+
+// Ports seen in the trace; Filter 4 matches FilterPort.
+const (
+	FilterPort = 80 // the TCP destination port Filter 4 accepts
+)
+
+var commonPorts = []uint16{80, 23, 25, 119, 513, 6000}
+
+// rng is a small deterministic generator (splitmix64), so traces do
+// not depend on Go's math/rand evolution.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generator produces packets one at a time.
+type Generator struct {
+	cfg Config
+	r   rng
+}
+
+// New creates a generator with the given configuration.
+func New(cfg Config) *Generator {
+	cfg.defaults()
+	return &Generator{cfg: cfg, r: rng{cfg.Seed ^ 0x5ca1ab1e}}
+}
+
+// Generate produces a full trace of n packets.
+func Generate(n int, cfg Config) []Packet {
+	g := New(cfg)
+	out := make([]Packet, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Next returns the next packet of the trace.
+func (g *Generator) Next() Packet {
+	roll := g.r.intn(1000)
+	switch {
+	case roll < g.cfg.IPPerMille:
+		return g.ipPacket()
+	case roll < g.cfg.IPPerMille+g.cfg.ARPPerMille:
+		return g.arpPacket()
+	default:
+		return g.otherPacket()
+	}
+}
+
+func (g *Generator) frame(n int) []byte {
+	if n < MinFrame {
+		n = MinFrame
+	}
+	b := make([]byte, n)
+	for i := 0; i < 12; i++ {
+		b[i] = byte(g.r.next()) // random MACs
+	}
+	return b
+}
+
+func (g *Generator) pickNet() [3]byte {
+	switch g.r.intn(3) {
+	case 0:
+		return NetCMU
+	case 1:
+		return NetRemote
+	default:
+		return NetOther
+	}
+}
+
+func (g *Generator) ipPacket() Packet {
+	size := MinFrame + g.r.intn(MaxFrame-MinFrame)
+	b := g.frame(size)
+	binary.BigEndian.PutUint16(b[12:], EtherTypeIP)
+
+	ihl := 5
+	if g.r.intn(1000) < g.cfg.OptionsPerMille {
+		ihl = 6 + g.r.intn(10) // 6..15, exercising Filter 4's offset math
+	}
+	b[14] = 0x40 | byte(ihl) // version 4, IHL
+	binary.BigEndian.PutUint16(b[16:], uint16(size-EthHeaderLen))
+	b[22] = 64 // TTL
+	proto := byte(ProtoUDP)
+	isTCP := g.r.intn(1000) < g.cfg.TCPPerMille
+	if isTCP {
+		proto = ProtoTCP
+	} else if g.r.intn(4) == 0 {
+		proto = byte(1 + g.r.intn(100)) // other IP protocols
+	}
+	b[23] = proto
+
+	src := g.pickNet()
+	dst := g.pickNet()
+	copy(b[26:], src[:])
+	b[29] = byte(g.r.next())
+	copy(b[30:], dst[:])
+	b[33] = byte(g.r.next())
+
+	tcpOff := EthHeaderLen + 4*ihl
+	if proto == ProtoTCP && tcpOff+4 <= len(b) {
+		binary.BigEndian.PutUint16(b[tcpOff:], uint16(1024+g.r.intn(60000)))
+		dstPort := commonPorts[g.r.intn(len(commonPorts))]
+		binary.BigEndian.PutUint16(b[tcpOff+2:], dstPort)
+	}
+	return Packet{Data: b}
+}
+
+func (g *Generator) arpPacket() Packet {
+	b := g.frame(MinFrame)
+	binary.BigEndian.PutUint16(b[12:], EtherTypeARP)
+	binary.BigEndian.PutUint16(b[14:], 1)      // htype ethernet
+	binary.BigEndian.PutUint16(b[16:], 0x0800) // ptype IPv4
+	b[18], b[19] = 6, 4
+	binary.BigEndian.PutUint16(b[20:], uint16(1+g.r.intn(2))) // op
+	src := g.pickNet()
+	dst := g.pickNet()
+	copy(b[28:], src[:]) // sender IP
+	b[31] = byte(g.r.next())
+	copy(b[38:], dst[:]) // target IP
+	b[41] = byte(g.r.next())
+	return Packet{Data: b}
+}
+
+func (g *Generator) otherPacket() Packet {
+	b := g.frame(MinFrame + g.r.intn(200))
+	ethertypes := []uint16{0x0806 + 1, 0x6003 /* DECnet */, 0x809B /* AppleTalk */, 0x8137 /* IPX */}
+	binary.BigEndian.PutUint16(b[12:], ethertypes[g.r.intn(len(ethertypes))])
+	for i := EthHeaderLen; i < len(b); i++ {
+		b[i] = byte(g.r.next())
+	}
+	return Packet{Data: b}
+}

@@ -1,0 +1,203 @@
+package pktgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(1000, Config{Seed: 5})
+	b := Generate(1000, Config{Seed: 5})
+	for i := range a {
+		if string(a[i].Data) != string(b[i].Data) {
+			t.Fatalf("packet %d differs across runs", i)
+		}
+	}
+	c := Generate(1000, Config{Seed: 6})
+	same := 0
+	for i := range a {
+		if string(a[i].Data) == string(c[i].Data) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestFrameInvariants(t *testing.T) {
+	for i, p := range Generate(20000, Config{Seed: 7}) {
+		if p.Len() < MinFrame {
+			t.Fatalf("packet %d: %d bytes < minimum %d", i, p.Len(), MinFrame)
+		}
+		if p.Len() > MaxFrame {
+			t.Fatalf("packet %d: %d bytes > MTU frame %d", i, p.Len(), MaxFrame)
+		}
+	}
+}
+
+func TestTrafficMix(t *testing.T) {
+	const n = 50000
+	pkts := Generate(n, Config{Seed: 9})
+	var ip, arp, tcp, options int
+	for _, p := range pkts {
+		et := binary.BigEndian.Uint16(p.Data[12:])
+		switch et {
+		case EtherTypeIP:
+			ip++
+			if p.Data[23] == ProtoTCP {
+				tcp++
+			}
+			if p.Data[14]&0x0f > 5 {
+				options++
+			}
+			if p.Data[14]>>4 != 4 {
+				t.Fatal("IPv4 packet without version 4")
+			}
+		case EtherTypeARP:
+			arp++
+		}
+	}
+	frac := func(x int) float64 { return float64(x) / n }
+	if f := frac(ip); f < 0.75 || f > 0.85 {
+		t.Errorf("IP fraction %.2f outside [0.75, 0.85]", f)
+	}
+	if f := frac(arp); f < 0.05 || f > 0.12 {
+		t.Errorf("ARP fraction %.2f outside [0.05, 0.12]", f)
+	}
+	if f := float64(tcp) / float64(ip); f < 0.6 || f > 0.8 {
+		t.Errorf("TCP fraction of IP %.2f outside [0.6, 0.8]", f)
+	}
+	if options == 0 {
+		t.Error("no packets with IP options: Filter 4's variable path untested")
+	}
+}
+
+func TestNetworksAppear(t *testing.T) {
+	pkts := Generate(20000, Config{Seed: 11})
+	seenA, seenPair := false, false
+	for _, p := range pkts {
+		if binary.BigEndian.Uint16(p.Data[12:]) != EtherTypeIP {
+			continue
+		}
+		src := [3]byte{p.Data[26], p.Data[27], p.Data[28]}
+		dst := [3]byte{p.Data[30], p.Data[31], p.Data[32]}
+		if src == NetCMU {
+			seenA = true
+		}
+		if (src == NetCMU && dst == NetRemote) || (src == NetRemote && dst == NetCMU) {
+			seenPair = true
+		}
+	}
+	if !seenA || !seenPair {
+		t.Errorf("trace does not exercise Filters 2/3: seenA=%v seenPair=%v", seenA, seenPair)
+	}
+}
+
+func TestTCPPortsIncludeFilterPort(t *testing.T) {
+	pkts := Generate(20000, Config{Seed: 13})
+	hits := 0
+	for _, p := range pkts {
+		if binary.BigEndian.Uint16(p.Data[12:]) != EtherTypeIP || p.Data[23] != ProtoTCP {
+			continue
+		}
+		ihl := int(p.Data[14] & 0x0f)
+		off := EthHeaderLen + 4*ihl + 2
+		if off+2 <= p.Len() && binary.BigEndian.Uint16(p.Data[off:]) == FilterPort {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no TCP packets to the filter port; Filter 4 accepts nothing")
+	}
+}
+
+func TestARPLayout(t *testing.T) {
+	g := New(Config{Seed: 15})
+	for i := 0; i < 1000; i++ {
+		p := g.Next()
+		if binary.BigEndian.Uint16(p.Data[12:]) != EtherTypeARP {
+			continue
+		}
+		if binary.BigEndian.Uint16(p.Data[16:]) != 0x0800 {
+			t.Fatal("ARP ptype not IPv4")
+		}
+		if p.Data[18] != 6 || p.Data[19] != 4 {
+			t.Fatal("ARP hlen/plen wrong")
+		}
+		return
+	}
+	t.Fatal("no ARP packet in 1000")
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.defaults()
+	if c.IPPerMille == 0 || c.TCPPerMille == 0 || c.ARPPerMille == 0 || c.OptionsPerMille == 0 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	pkts := Generate(500, Config{Seed: 17})
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pkts) {
+		t.Fatalf("got %d packets, want %d", len(back), len(pkts))
+	}
+	for i := range pkts {
+		if string(back[i].Data) != string(pkts[i].Data) {
+			t.Fatalf("packet %d changed", i)
+		}
+	}
+}
+
+func TestPcapRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		make([]byte, 24), // zero magic
+	}
+	for i, data := range cases {
+		if _, err := ReadPcap(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Valid header, truncated record.
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, Generate(1, Config{Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadPcap(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("truncated capture accepted")
+	}
+}
+
+func TestPcapPadsShortFrames(t *testing.T) {
+	// External captures may contain runts; the reader pads them to the
+	// kernel's minimum so the packet-filter precondition holds.
+	var buf bytes.Buffer
+	short := Packet{Data: make([]byte, 20)}
+	short.Data[12] = 0x08
+	if err := WritePcap(&buf, []Packet{short}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Len() != MinFrame {
+		t.Fatalf("len = %d, want %d", back[0].Len(), MinFrame)
+	}
+	if back[0].Data[12] != 0x08 {
+		t.Fatal("payload lost in padding")
+	}
+}

@@ -1,0 +1,181 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Parse reads a safety policy from its textual form, so consumers can
+// publish policies as plain files and the tools can load them:
+//
+//	name:       capability-table/v2
+//	convention: r0 holds the entry address
+//	pre:        rd(r0) /\ rd(r0 + 8)
+//	post:       true
+//
+// Lines starting with '#' are comments. A multi-line predicate
+// continues on indented lines.
+func Parse(src string) (*Policy, error) {
+	fields := map[string]string{}
+	var axiomLines []string
+	var current string
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimRight(raw, " \t")
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if line != trimmed && current != "" {
+			// Indented continuation line.
+			if current == "axiom" {
+				axiomLines[len(axiomLines)-1] += " " + trimmed
+			} else {
+				fields[current] += " " + trimmed
+			}
+			continue
+		}
+		key, val, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			return nil, fmt.Errorf("policy: line %d: expected 'key: value'", lineNo+1)
+		}
+		key = strings.TrimSpace(key)
+		switch key {
+		case "name", "convention", "pre", "post":
+		case "axiom":
+			axiomLines = append(axiomLines, strings.TrimSpace(val))
+			current = key
+			continue
+		default:
+			return nil, fmt.Errorf("policy: line %d: unknown key %q", lineNo+1, key)
+		}
+		if _, dup := fields[key]; dup {
+			return nil, fmt.Errorf("policy: line %d: duplicate key %q", lineNo+1, key)
+		}
+		fields[key] = strings.TrimSpace(val)
+		current = key
+	}
+
+	if fields["name"] == "" {
+		return nil, fmt.Errorf("policy: missing 'name'")
+	}
+	if fields["pre"] == "" {
+		return nil, fmt.Errorf("policy: missing 'pre'")
+	}
+	pre, err := logic.ParsePred(fields["pre"])
+	if err != nil {
+		return nil, fmt.Errorf("policy: pre: %w", err)
+	}
+	post := logic.Pred(logic.True)
+	if p, ok := fields["post"]; ok && p != "" {
+		post, err = logic.ParsePred(p)
+		if err != nil {
+			return nil, fmt.Errorf("policy: post: %w", err)
+		}
+	}
+	if err := checkStateVars(pre, "pre"); err != nil {
+		return nil, err
+	}
+	if err := checkStateVars(post, "post"); err != nil {
+		return nil, err
+	}
+	var axioms []*logic.Schema
+	for _, line := range axiomLines {
+		sc, err := parseAxiom(line)
+		if err != nil {
+			return nil, err
+		}
+		axioms = append(axioms, sc)
+	}
+	return &Policy{
+		Name:       fields["name"],
+		Pre:        pre,
+		Post:       post,
+		Convention: fields["convention"],
+		Axioms:     axioms,
+	}, nil
+}
+
+// parseAxiom reads one published schema in the form
+//
+//	name($a, $b) : prem1 ; prem2 |- concl
+//
+// with an empty premise list written as `|- concl` directly after the
+// colon.
+func parseAxiom(line string) (*logic.Schema, error) {
+	head, body, ok := strings.Cut(line, ":")
+	if !ok {
+		return nil, fmt.Errorf("policy: axiom %q: expected 'name(params) : ... |- concl'", line)
+	}
+	head = strings.TrimSpace(head)
+	name, paramPart, ok := strings.Cut(head, "(")
+	if !ok || !strings.HasSuffix(paramPart, ")") {
+		return nil, fmt.Errorf("policy: axiom %q: expected parameter list", line)
+	}
+	name = strings.TrimSpace(name)
+	var params []string
+	if inner := strings.TrimSpace(strings.TrimSuffix(paramPart, ")")); inner != "" {
+		for _, p := range strings.Split(inner, ",") {
+			params = append(params, strings.TrimSpace(p))
+		}
+	}
+	premPart, conclPart, ok := strings.Cut(body, "|-")
+	if !ok {
+		return nil, fmt.Errorf("policy: axiom %q: missing '|-'", name)
+	}
+	var prems []logic.Pred
+	if pp := strings.TrimSpace(premPart); pp != "" {
+		for _, ps := range strings.Split(pp, ";") {
+			prem, err := logic.ParsePred(strings.TrimSpace(ps))
+			if err != nil {
+				return nil, fmt.Errorf("policy: axiom %q premise: %w", name, err)
+			}
+			prems = append(prems, prem)
+		}
+	}
+	concl, err := logic.ParsePred(strings.TrimSpace(conclPart))
+	if err != nil {
+		return nil, fmt.Errorf("policy: axiom %q conclusion: %w", name, err)
+	}
+	return &logic.Schema{Name: name, Params: params, Prems: prems, Concl: concl}, nil
+}
+
+// stateVars are the names a policy predicate may mention free.
+var stateVars = func() map[string]bool {
+	m := map[string]bool{"rm": true}
+	for i := 0; i < 11; i++ {
+		m[fmt.Sprintf("r%d", i)] = true
+	}
+	return m
+}()
+
+func checkStateVars(p logic.Pred, which string) error {
+	for v := range logic.FreeVars(p) {
+		if !stateVars[v] {
+			return fmt.Errorf("policy: %s: free variable %q is not a machine-state variable", which, v)
+		}
+	}
+	return nil
+}
+
+// Format renders a policy in the file syntax Parse accepts.
+func Format(p *Policy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name:       %s\n", p.Name)
+	if p.Convention != "" {
+		fmt.Fprintf(&b, "convention: %s\n", p.Convention)
+	}
+	fmt.Fprintf(&b, "pre:        %s\n", p.Pre)
+	fmt.Fprintf(&b, "post:       %s\n", p.Post)
+	for _, sc := range p.Axioms {
+		prems := make([]string, len(sc.Prems))
+		for i, prem := range sc.Prems {
+			prems[i] = prem.String()
+		}
+		fmt.Fprintf(&b, "axiom:      %s(%s) : %s |- %s\n",
+			sc.Name, strings.Join(sc.Params, ", "),
+			strings.Join(prems, " ; "), sc.Concl)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"packet-filter/v1", "resource-access/v1", "sfi-segment/v1"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("%s: got %q", name, p.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestPreconditionFreeVars checks each precondition only mentions the
+// machine-state variables its convention documents.
+func TestPreconditionFreeVars(t *testing.T) {
+	cases := []struct {
+		pol  *Policy
+		want map[string]bool
+	}{
+		{PacketFilter(), map[string]bool{"r1": true, "r2": true, "r3": true}},
+		{ResourceAccess(), map[string]bool{"r0": true, "rm": true}},
+		{SFISegment(), map[string]bool{"r1": true, "r3": true}},
+	}
+	for _, c := range cases {
+		got := logic.FreeVars(c.pol.Pre)
+		for v := range got {
+			if !c.want[v] {
+				t.Errorf("%s: unexpected free variable %q", c.pol.Name, v)
+			}
+		}
+		for v := range c.want {
+			if !got[v] {
+				t.Errorf("%s: missing variable %q", c.pol.Name, v)
+			}
+		}
+	}
+}
+
+// TestPreconditionsSatisfiable evaluates the quantifier-free part of
+// each precondition in a model of the intended calling convention, as
+// a sanity check that the predicates are not vacuously false.
+func TestPacketFilterPreconditionShape(t *testing.T) {
+	pre := logic.NormPred(PacketFilter().Pre)
+	conjs := logic.Conjuncts(pre)
+	if len(conjs) < 4 {
+		t.Fatalf("precondition collapsed: %s", pre)
+	}
+	// The length bound must survive normalization.
+	found := false
+	for _, c := range conjs {
+		if logic.PredEqual(c, logic.Ule(logic.C(MinPacket), logic.V("r2"))) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing 64 ≤ r2 conjunct in %s", pre)
+	}
+}
+
+func TestResourceAccessPreMatchesPaper(t *testing.T) {
+	// Pre_r = rd(r0) ∧ rd(r0⊕8) ∧ (sel(rm,r0) ≠ 0 ⇒ wr(r0⊕8))
+	pre := ResourceAccess().Pre
+	conjs := logic.Conjuncts(logic.NormPred(pre))
+	if len(conjs) != 3 {
+		t.Fatalf("Pre_r has %d conjuncts, want 3: %s", len(conjs), pre)
+	}
+	if !logic.PredEqual(conjs[0], logic.RdP(logic.V("r0"))) {
+		t.Errorf("first conjunct: %s", conjs[0])
+	}
+	if _, ok := conjs[2].(logic.Imp); !ok {
+		t.Errorf("third conjunct not conditional: %s", conjs[2])
+	}
+}
+
+func TestPoliciesPostTrue(t *testing.T) {
+	for _, p := range []*Policy{PacketFilter(), ResourceAccess(), SFISegment()} {
+		if !logic.PredEqual(p.Post, logic.True) {
+			t.Errorf("%s: Post = %s, the paper uses true", p.Name, p.Post)
+		}
+		if p.Convention == "" {
+			t.Errorf("%s: missing convention", p.Name)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package prover
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Format renders a proof as an indented natural-deduction tree in the
+// style of the paper's Figure 6: each node shows its rule and the
+// predicate it concludes. It is used by pccasm -dump-proof and the
+// documentation examples.
+func Format(p Proof) string {
+	var b strings.Builder
+	formatNode(&b, p, map[string]logic.Pred{}, 0)
+	return b.String()
+}
+
+func formatNode(b *strings.Builder, p Proof, ctx map[string]logic.Pred, depth int) {
+	indent := strings.Repeat("  ", depth)
+	concl, err := infer(p, ctx, nil)
+	conclStr := "<ill-formed>"
+	if err == nil {
+		conclStr = concl.String()
+	}
+	switch p := p.(type) {
+	case Hyp:
+		fmt.Fprintf(b, "%s[%s] %s\n", indent, p.Name, conclStr)
+	case TrueI:
+		fmt.Fprintf(b, "%strue_i: %s\n", indent, conclStr)
+	case AndI:
+		fmt.Fprintf(b, "%sand_i: %s\n", indent, conclStr)
+		formatNode(b, p.P, ctx, depth+1)
+		formatNode(b, p.Q, ctx, depth+1)
+	case AndEL:
+		fmt.Fprintf(b, "%sand_el: %s\n", indent, conclStr)
+		formatNode(b, p.P, ctx, depth+1)
+	case AndER:
+		fmt.Fprintf(b, "%sand_er: %s\n", indent, conclStr)
+		formatNode(b, p.P, ctx, depth+1)
+	case ImpI:
+		fmt.Fprintf(b, "%simp_i [%s: %s]: %s\n", indent, p.Name, p.Ante, conclStr)
+		inner := make(map[string]logic.Pred, len(ctx)+1)
+		for k, v := range ctx {
+			inner[k] = v
+		}
+		inner[p.Name] = p.Ante
+		formatNode(b, p.Body, inner, depth+1)
+	case ImpE:
+		fmt.Fprintf(b, "%simp_e: %s\n", indent, conclStr)
+		formatNode(b, p.PQ, ctx, depth+1)
+		formatNode(b, p.P, ctx, depth+1)
+	case AllI:
+		fmt.Fprintf(b, "%sall_i %s: %s\n", indent, p.Var, conclStr)
+		formatNode(b, p.Body, ctx, depth+1)
+	case AllE:
+		fmt.Fprintf(b, "%sall_e [%s]: %s\n", indent, p.Inst, conclStr)
+		formatNode(b, p.All, ctx, depth+1)
+	case Ground:
+		fmt.Fprintf(b, "%sarith: %s\n", indent, conclStr)
+	case Conv:
+		fmt.Fprintf(b, "%sconv: %s\n", indent, conclStr)
+		formatNode(b, p.P, ctx, depth+1)
+	case OrIL:
+		fmt.Fprintf(b, "%sor_il: %s\n", indent, conclStr)
+		formatNode(b, p.P, ctx, depth+1)
+	case OrIR:
+		fmt.Fprintf(b, "%sor_ir: %s\n", indent, conclStr)
+		formatNode(b, p.P, ctx, depth+1)
+	case OrE:
+		fmt.Fprintf(b, "%sor_e [%s]: %s\n", indent, p.Name, conclStr)
+		formatNode(b, p.Disj, ctx, depth+1)
+		if d, err := infer(p.Disj, ctx, nil); err == nil {
+			if or, ok := d.(logic.Or); ok {
+				inner := make(map[string]logic.Pred, len(ctx)+1)
+				for k, v := range ctx {
+					inner[k] = v
+				}
+				inner[p.Name] = or.L
+				formatNode(b, p.Left, inner, depth+1)
+				inner[p.Name] = or.R
+				formatNode(b, p.Right, inner, depth+1)
+			}
+		}
+	case FalseE:
+		fmt.Fprintf(b, "%sfalse_e: %s\n", indent, conclStr)
+		formatNode(b, p.P, ctx, depth+1)
+	case Axiom:
+		fmt.Fprintf(b, "%s%s: %s\n", indent, p.Name, conclStr)
+		for _, prem := range p.Prems {
+			formatNode(b, prem, ctx, depth+1)
+		}
+	default:
+		fmt.Fprintf(b, "%s<unknown %T>\n", indent, p)
+	}
+}
+
+// Simplify removes proof noise without changing what is proved:
+// identity conversions (Conv to the predicate already proved), nested
+// conversions, and projections of explicit pairs. The result checks
+// against the same goal. This is a producer-side optimization — one of
+// the §2.3 "optimizations in the representation of the proofs" — and
+// the ablation benchmarks report what it saves.
+func Simplify(p Proof) Proof { return simplify(p, map[string]logic.Pred{}) }
+
+func simplify(p Proof, ctx map[string]logic.Pred) Proof {
+	switch p := p.(type) {
+	case Hyp, TrueI, Ground:
+		return p
+	case AndI:
+		return AndI{simplify(p.P, ctx), simplify(p.Q, ctx)}
+	case AndEL:
+		inner := simplify(p.P, ctx)
+		if pair, ok := inner.(AndI); ok {
+			return pair.P
+		}
+		return AndEL{inner}
+	case AndER:
+		inner := simplify(p.P, ctx)
+		if pair, ok := inner.(AndI); ok {
+			return pair.Q
+		}
+		return AndER{inner}
+	case ImpI:
+		inner := make(map[string]logic.Pred, len(ctx)+1)
+		for k, v := range ctx {
+			inner[k] = v
+		}
+		inner[p.Name] = p.Ante
+		return ImpI{p.Name, p.Ante, simplify(p.Body, inner)}
+	case ImpE:
+		return ImpE{simplify(p.PQ, ctx), simplify(p.P, ctx)}
+	case AllI:
+		return AllI{p.Var, simplify(p.Body, ctx)}
+	case AllE:
+		return AllE{simplify(p.All, ctx), p.Inst}
+	case Conv:
+		inner := simplify(p.P, ctx)
+		// Collapse nested conversions: conv only needs the outermost
+		// target.
+		if c, ok := inner.(Conv); ok {
+			inner = c.P
+		}
+		// Drop the conversion entirely when the inner proof already
+		// proves the target predicate syntactically.
+		if got, err := infer(inner, ctx, nil); err == nil && logic.PredEqual(got, p.To) {
+			return inner
+		}
+		return Conv{p.To, inner}
+	case OrIL:
+		return OrIL{p.Right, simplify(p.P, ctx)}
+	case OrIR:
+		return OrIR{p.Left, simplify(p.P, ctx)}
+	case OrE:
+		d := simplify(p.Disj, ctx)
+		dPred, err := infer(d, ctx, nil)
+		if err != nil {
+			return p
+		}
+		or, ok := dPred.(logic.Or)
+		if !ok {
+			return p
+		}
+		inner := make(map[string]logic.Pred, len(ctx)+1)
+		for k, v := range ctx {
+			inner[k] = v
+		}
+		inner[p.Name] = or.L
+		l := simplify(p.Left, inner)
+		inner[p.Name] = or.R
+		r := simplify(p.Right, inner)
+		return OrE{d, p.Name, l, r}
+	case FalseE:
+		return FalseE{p.Goal, simplify(p.P, ctx)}
+	case Axiom:
+		prems := make([]Proof, len(p.Prems))
+		for i, q := range p.Prems {
+			prems[i] = simplify(q, ctx)
+		}
+		return Axiom{p.Name, p.Args, prems}
+	}
+	return p
+}

@@ -1,0 +1,556 @@
+// Package prover implements the certification side of PCC: natural-
+// deduction proof terms for the safety-predicate logic, the axiom
+// schemas of the proof system ℒ (published as part of the safety
+// policy), an independent proof checker used as a testing oracle, and
+// the automatic theorem prover that certifies the paper's programs.
+//
+// The deliverable proofs are later *encoded into LF* (internal/lf) and
+// validated by LF type checking, exactly as in §2.3; the checker here
+// exists so the repository has two independent validators to test
+// against each other.
+package prover
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Proof is a natural-deduction proof term.
+type Proof interface {
+	isProof()
+	// Size returns the number of proof nodes (used for Table 1's
+	// proof-size accounting and growth tests).
+	Size() int
+}
+
+// Hyp references a hypothesis in scope, introduced by ImpI.
+type Hyp struct{ Name string }
+
+// TrueI proves true.
+type TrueI struct{}
+
+// AndI proves P ∧ Q from proofs of P and Q.
+type AndI struct{ P, Q Proof }
+
+// AndEL extracts the left conjunct.
+type AndEL struct{ P Proof }
+
+// AndER extracts the right conjunct.
+type AndER struct{ P Proof }
+
+// ImpI proves A ⇒ B by deriving B under hypothesis Name : A.
+type ImpI struct {
+	Name string
+	Ante logic.Pred
+	Body Proof
+}
+
+// ImpE is modus ponens: from A ⇒ B and A, conclude B.
+type ImpE struct{ PQ, P Proof }
+
+// AllI proves ∀v. P by proving P for a fresh v.
+type AllI struct {
+	Var  string
+	Body Proof
+}
+
+// AllE instantiates ∀v. P at the expression Inst.
+type AllE struct {
+	All  Proof
+	Inst logic.Expr
+}
+
+// Ground proves a closed predicate by two's-complement evaluation —
+// the paper's "predicate calculus extended with two's-complement
+// integer arithmetic". The checker re-evaluates the predicate.
+type Ground struct{ Goal logic.Pred }
+
+// Conv re-types a proof of P as a proof of Q when P and Q have the same
+// normal form under the trusted normalizer (see DESIGN.md); this is the
+// proof-level face of the paper's built-in arithmetic simplification.
+type Conv struct {
+	To logic.Pred
+	P  Proof
+}
+
+// OrIL proves P ∨ Q from a proof of P (the right disjunct is recorded
+// for type inference).
+type OrIL struct {
+	Right logic.Pred
+	P     Proof
+}
+
+// OrIR proves P ∨ Q from a proof of Q.
+type OrIR struct {
+	Left logic.Pred
+	P    Proof
+}
+
+// OrE is case analysis: from P ∨ Q, a proof of R under hypothesis
+// Name : P, and a proof of R under Name : Q, conclude R.
+type OrE struct {
+	Disj  Proof
+	Name  string
+	Left  Proof
+	Right Proof
+}
+
+// FalseE is ex falso quodlibet: from a proof of false, conclude Goal.
+type FalseE struct {
+	Goal logic.Pred
+	P    Proof
+}
+
+// Axiom instantiates a named axiom schema from the published rule set
+// with the given parameter expressions and premise proofs.
+type Axiom struct {
+	Name  string
+	Args  []logic.Expr
+	Prems []Proof
+}
+
+func (Hyp) isProof()    {}
+func (TrueI) isProof()  {}
+func (AndI) isProof()   {}
+func (AndEL) isProof()  {}
+func (AndER) isProof()  {}
+func (ImpI) isProof()   {}
+func (ImpE) isProof()   {}
+func (AllI) isProof()   {}
+func (AllE) isProof()   {}
+func (Ground) isProof() {}
+func (Conv) isProof()   {}
+func (OrIL) isProof()   {}
+func (OrIR) isProof()   {}
+func (OrE) isProof()    {}
+func (FalseE) isProof() {}
+func (Axiom) isProof()  {}
+
+func (Hyp) Size() int      { return 1 }
+func (TrueI) Size() int    { return 1 }
+func (p AndI) Size() int   { return 1 + p.P.Size() + p.Q.Size() }
+func (p AndEL) Size() int  { return 1 + p.P.Size() }
+func (p AndER) Size() int  { return 1 + p.P.Size() }
+func (p ImpI) Size() int   { return 1 + p.Body.Size() }
+func (p ImpE) Size() int   { return 1 + p.PQ.Size() + p.P.Size() }
+func (p AllI) Size() int   { return 1 + p.Body.Size() }
+func (p AllE) Size() int   { return 1 + p.All.Size() }
+func (Ground) Size() int   { return 1 }
+func (p Conv) Size() int   { return 1 + p.P.Size() }
+func (p OrIL) Size() int   { return 1 + p.P.Size() }
+func (p OrIR) Size() int   { return 1 + p.P.Size() }
+func (p OrE) Size() int    { return 1 + p.Disj.Size() + p.Left.Size() + p.Right.Size() }
+func (p FalseE) Size() int { return 1 + p.P.Size() }
+func (p Axiom) Size() int {
+	n := 1
+	for _, q := range p.Prems {
+		n += q.Size()
+	}
+	return n
+}
+
+// Schema is an axiom schema of the proof system (see logic.Schema).
+type Schema = logic.Schema
+
+// Schema parameters use names no machine program can mention.
+var (
+	pa = logic.V("$a")
+	pb = logic.V("$b")
+	pc = logic.V("$c")
+	pe = logic.V("$e")
+	pm = logic.V("$m")
+	pv = logic.V("$v")
+)
+
+// Axioms is the published rule set ℒ beyond the core natural-deduction
+// rules: ordering, compare-instruction, bit-masking and memory axioms,
+// each a theorem of 64-bit two's-complement arithmetic.
+var Axioms = map[string]*Schema{}
+
+func def(name string, params []string, prems []logic.Pred, concl logic.Pred, comment string) {
+	Axioms[name] = &Schema{
+		Name: name, Params: params, Prems: prems, Concl: concl, Comment: comment,
+	}
+}
+
+func init() {
+	ab := []string{"$a", "$b"}
+	abc := []string{"$a", "$b", "$c"}
+
+	def("lt_le_trans", abc,
+		[]logic.Pred{logic.Ult(pa, pb), logic.Ule(pb, pc)},
+		logic.Ult(pa, pc), "a<b ∧ b≤c ⇒ a<c")
+	def("le_lt_trans", abc,
+		[]logic.Pred{logic.Ule(pa, pb), logic.Ult(pb, pc)},
+		logic.Ult(pa, pc), "a≤b ∧ b<c ⇒ a<c")
+	def("le_trans", abc,
+		[]logic.Pred{logic.Ule(pa, pb), logic.Ule(pb, pc)},
+		logic.Ule(pa, pc), "a≤b ∧ b≤c ⇒ a≤c")
+	def("lt_imp_le", ab,
+		[]logic.Pred{logic.Ult(pa, pb)},
+		logic.Ule(pa, pb), "a<b ⇒ a≤b")
+	def("eq_sym", ab,
+		[]logic.Pred{logic.Eq(pa, pb)},
+		logic.Eq(pb, pa), "symmetry of =")
+	def("ne_sym", ab,
+		[]logic.Pred{logic.Ne(pa, pb)},
+		logic.Ne(pb, pa), "symmetry of ≠")
+
+	// The Alpha compare instructions, as expressions, related to the
+	// predicates they decide.
+	cmp := func(op logic.BinOp) logic.Expr { return logic.Bin{Op: op, L: pa, R: pb} }
+	def("cmpeq_true", ab,
+		[]logic.Pred{logic.Ne(cmp(logic.OpCmpEq), logic.C(0))},
+		logic.Eq(pa, pb), "cmpeq(a,b)≠0 ⇒ a=b")
+	def("cmpeq_false", ab,
+		[]logic.Pred{logic.Eq(cmp(logic.OpCmpEq), logic.C(0))},
+		logic.Ne(pa, pb), "cmpeq(a,b)=0 ⇒ a≠b")
+	def("cmpult_true", ab,
+		[]logic.Pred{logic.Ne(cmp(logic.OpCmpUlt), logic.C(0))},
+		logic.Ult(pa, pb), "cmpult(a,b)≠0 ⇒ a<b")
+	def("cmpult_false", ab,
+		[]logic.Pred{logic.Eq(cmp(logic.OpCmpUlt), logic.C(0))},
+		logic.Ule(pb, pa), "cmpult(a,b)=0 ⇒ b≤a")
+	def("cmpule_true", ab,
+		[]logic.Pred{logic.Ne(cmp(logic.OpCmpUle), logic.C(0))},
+		logic.Ule(pa, pb), "cmpule(a,b)≠0 ⇒ a≤b")
+	def("cmpule_false", ab,
+		[]logic.Pred{logic.Eq(cmp(logic.OpCmpUle), logic.C(0))},
+		logic.Ult(pb, pa), "cmpule(a,b)=0 ⇒ b<a")
+
+	// Bit-masking bounds, the workhorses of the data-dependent offset
+	// proof in Filter 4.
+	def("band_ub", []string{"$e", "$c"}, nil,
+		logic.Ule(logic.And2(pe, pc), pc), "e&c ≤ c")
+	def("band_le_self", []string{"$e", "$c"}, nil,
+		logic.Ule(logic.And2(pe, pc), pe), "e&c ≤ e")
+
+	// Rounding down to a multiple of 2^c never increases a value.
+	def("shr_shl_le", []string{"$e", "$c"}, nil,
+		logic.Ule(logic.Shl(logic.Shr(pe, pc), pc), pe),
+		"(e>>c)<<c ≤ e")
+
+	// Non-wrapping subtraction bound.
+	def("sub_le", []string{"$e", "$c"},
+		[]logic.Pred{logic.Ule(pc, pe)},
+		logic.Ule(logic.Sub(pe, pc), pe), "c≤e ⇒ e-c ≤ e")
+
+	// Monotonic addition without overflow: e≤a ∧ a ≤ MAX-b ⇒ e+b ≤ a+b.
+	def("add_le_mono", []string{"$e", "$a", "$b"},
+		[]logic.Pred{
+			logic.Ule(pe, pa),
+			logic.Ule(pa, logic.Sub(logic.C(^uint64(0)), pb)),
+		},
+		logic.Ule(logic.Add(pe, pb), logic.Add(pa, pb)),
+		"e≤a ∧ a≤MAX−b ⇒ e+b ≤ a+b")
+
+	// Alignment propagation through sums: when m has the form 2^k−1
+	// (expressed by the ground side condition m & (m+1) = 0), values
+	// divisible by 2^k stay divisible under ⊕ and ⊖. These discharge
+	// the "offset stays 8-byte aligned" obligations of loop bodies.
+	zero := logic.C(0)
+	alignPrems := func(l, r logic.Expr) []logic.Pred {
+		return []logic.Pred{
+			logic.Eq(logic.And2(l, pm), zero),
+			logic.Eq(logic.And2(r, pm), zero),
+			logic.Eq(logic.And2(pm, logic.Add(pm, logic.C(1))), zero),
+		}
+	}
+	def("align_add", []string{"$a", "$b", "$m"},
+		alignPrems(pa, pb),
+		logic.Eq(logic.And2(logic.Add(pa, pb), pm), zero),
+		"a,b ≡ 0 mod (m+1), m=2^k−1 ⇒ a⊕b ≡ 0")
+	def("align_sub", []string{"$a", "$b", "$m"},
+		alignPrems(pa, pb),
+		logic.Eq(logic.And2(logic.Sub(pa, pb), pm), zero),
+		"a,b ≡ 0 mod (m+1), m=2^k−1 ⇒ a⊖b ≡ 0")
+
+	// Contradictory orderings: used by the ex-falso search when a case
+	// split lands in an impossible branch.
+	def("eq_ne_absurd", ab,
+		[]logic.Pred{logic.Eq(pa, pb), logic.Ne(pa, pb)},
+		logic.False, "a=b ∧ a≠b ⇒ false")
+	def("lt_lt_absurd", ab,
+		[]logic.Pred{logic.Ult(pa, pb), logic.Ult(pb, pa)},
+		logic.False, "a<b ∧ b<a ⇒ false")
+
+	// Writable implies readable: the paper defines wr(a) as "an aligned
+	// location that can be safely read or written".
+	def("wr_rd", []string{"$e"},
+		[]logic.Pred{logic.WrP(pe)},
+		logic.RdP(pe), "wr(e) ⇒ rd(e)")
+
+	// Word-index bound: i < ⌈n/8⌉ ∧ n ≤ 2^63 ⇒ 8i < n. Discharges the
+	// VIEW-style subrange checks a safe-language compiler emits.
+	def("word_index_bound", []string{"$a", "$b"},
+		[]logic.Pred{
+			logic.Ult(pa, logic.Shr(logic.Add(pb, logic.C(7)), logic.C(3))),
+			logic.Ule(pb, logic.C(1<<63)),
+		},
+		logic.Ult(logic.Shl(pa, logic.C(3)), pb),
+		"i < (n+7)>>3 ∧ n ≤ 2^63 ⇒ i<<3 < n")
+
+	// McCarthy memory axioms. sel_upd_eq is folded by the normalizer;
+	// it is published anyway so hand-written proofs may use it.
+	def("sel_upd_eq", []string{"$m", "$a", "$v"}, nil,
+		logic.Eq(logic.SelE(logic.UpdE(pm, pa, pv), pa), pv),
+		"sel(upd(m,a,v),a) = v")
+	def("sel_upd_ne", []string{"$m", "$a", "$b", "$v"},
+		[]logic.Pred{logic.Ne(pa, pb)},
+		logic.Eq(logic.SelE(logic.UpdE(pm, pa, pv), pb), logic.SelE(pm, pb)),
+		"a≠b ⇒ sel(upd(m,a,v),b) = sel(m,b)")
+}
+
+// CheckError reports a proof that fails to check.
+type CheckError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *CheckError) Error() string { return "prover: " + e.Msg }
+
+func checkErr(format string, args ...interface{}) error {
+	return &CheckError{fmt.Sprintf(format, args...)}
+}
+
+// Check verifies that proof establishes goal (up to normalization),
+// using the base rule set. It is used in tests as an oracle
+// independent of the LF checker.
+func Check(proof Proof, goal logic.Pred) error { return CheckWith(proof, goal, nil) }
+
+// CheckWith is Check with additional (policy-published) axiom schemas
+// in scope.
+func CheckWith(proof Proof, goal logic.Pred, extra map[string]*Schema) error {
+	got, err := infer(proof, map[string]logic.Pred{}, extra)
+	if err != nil {
+		return err
+	}
+	if !normAlphaEq(got, goal) {
+		return checkErr("proved %s, wanted %s", got, goal)
+	}
+	return nil
+}
+
+// LookupAxiom resolves an axiom name against the base rule set plus an
+// optional extra set (extra wins on clash, which policy vetting
+// forbids anyway).
+func LookupAxiom(name string, extra map[string]*Schema) (*Schema, bool) {
+	if extra != nil {
+		if s, ok := extra[name]; ok {
+			return s, true
+		}
+	}
+	s, ok := Axioms[name]
+	return s, ok
+}
+
+func normAlphaEq(a, b logic.Pred) bool {
+	return logic.AlphaEqual(logic.NormPred(a), logic.NormPred(b))
+}
+
+// infer computes the predicate proved by a proof term under the
+// hypothesis context and axiom set.
+func infer(p Proof, ctx map[string]logic.Pred, extra map[string]*Schema) (logic.Pred, error) {
+	switch p := p.(type) {
+	case Hyp:
+		h, ok := ctx[p.Name]
+		if !ok {
+			return nil, checkErr("unbound hypothesis %q", p.Name)
+		}
+		return h, nil
+	case TrueI:
+		return logic.True, nil
+	case AndI:
+		l, err := infer(p.P, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		r, err := infer(p.Q, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		return logic.And{L: l, R: r}, nil
+	case AndEL:
+		q, err := infer(p.P, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		and, ok := q.(logic.And)
+		if !ok {
+			return nil, checkErr("and_el on non-conjunction %s", q)
+		}
+		return and.L, nil
+	case AndER:
+		q, err := infer(p.P, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		and, ok := q.(logic.And)
+		if !ok {
+			return nil, checkErr("and_er on non-conjunction %s", q)
+		}
+		return and.R, nil
+	case ImpI:
+		if _, dup := ctx[p.Name]; dup {
+			return nil, checkErr("hypothesis %q shadows an existing one", p.Name)
+		}
+		inner := make(map[string]logic.Pred, len(ctx)+1)
+		for k, v := range ctx {
+			inner[k] = v
+		}
+		inner[p.Name] = p.Ante
+		body, err := infer(p.Body, inner, extra)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Imp{L: p.Ante, R: body}, nil
+	case ImpE:
+		q, err := infer(p.PQ, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		imp, ok := q.(logic.Imp)
+		if !ok {
+			return nil, checkErr("imp_e on non-implication %s", q)
+		}
+		arg, err := infer(p.P, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		if !logic.PredEqual(arg, imp.L) {
+			return nil, checkErr("imp_e argument %s does not match antecedent %s", arg, imp.L)
+		}
+		return imp.R, nil
+	case AllI:
+		// Eigenvariable condition: the bound variable must not occur
+		// free in any hypothesis in scope.
+		for name, h := range ctx {
+			if logic.FreeVars(h)[p.Var] {
+				return nil, checkErr("all_i violates freshness: %s free in hypothesis %q", p.Var, name)
+			}
+		}
+		body, err := infer(p.Body, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Forall{Var: p.Var, Body: body}, nil
+	case AllE:
+		q, err := infer(p.All, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		fa, ok := q.(logic.Forall)
+		if !ok {
+			return nil, checkErr("all_e on non-universal %s", q)
+		}
+		return logic.Subst(fa.Body, fa.Var, p.Inst), nil
+	case Ground:
+		v, ok := logic.EvalPred(p.Goal, map[string]uint64{})
+		if !ok {
+			return nil, checkErr("ground proof of non-ground predicate %s", p.Goal)
+		}
+		if !v {
+			return nil, checkErr("ground predicate %s is false", p.Goal)
+		}
+		return p.Goal, nil
+	case Conv:
+		from, err := infer(p.P, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		if !normAlphaEq(from, p.To) {
+			return nil, checkErr("conv between non-convertible %s and %s", from, p.To)
+		}
+		return p.To, nil
+	case OrIL:
+		l, err := infer(p.P, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Or{L: l, R: p.Right}, nil
+	case OrIR:
+		r, err := infer(p.P, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Or{L: p.Left, R: r}, nil
+	case OrE:
+		d, err := infer(p.Disj, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		or, ok := d.(logic.Or)
+		if !ok {
+			return nil, checkErr("or_e on non-disjunction %s", d)
+		}
+		if _, dup := ctx[p.Name]; dup {
+			return nil, checkErr("hypothesis %q shadows an existing one", p.Name)
+		}
+		withHyp := func(h logic.Pred, body Proof) (logic.Pred, error) {
+			inner := make(map[string]logic.Pred, len(ctx)+1)
+			for k, v := range ctx {
+				inner[k] = v
+			}
+			inner[p.Name] = h
+			return infer(body, inner, extra)
+		}
+		l, err := withHyp(or.L, p.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := withHyp(or.R, p.Right)
+		if err != nil {
+			return nil, err
+		}
+		if !logic.PredEqual(l, r) {
+			return nil, checkErr("or_e branches prove different predicates: %s vs %s", l, r)
+		}
+		return l, nil
+	case FalseE:
+		q, err := infer(p.P, ctx, extra)
+		if err != nil {
+			return nil, err
+		}
+		if !logic.PredEqual(q, logic.False) {
+			return nil, checkErr("false_e over non-false %s", q)
+		}
+		return p.Goal, nil
+	case Axiom:
+		s, ok := LookupAxiom(p.Name, extra)
+		if !ok {
+			return nil, checkErr("unknown axiom %q", p.Name)
+		}
+		if len(p.Args) != len(s.Params) {
+			return nil, checkErr("axiom %q wants %d args, got %d", p.Name, len(s.Params), len(p.Args))
+		}
+		if len(p.Prems) != len(s.Prems) {
+			return nil, checkErr("axiom %q wants %d premises, got %d", p.Name, len(s.Prems), len(p.Prems))
+		}
+		for i, want := range s.Prems {
+			wantInst := s.Instantiate(want, p.Args)
+			got, err := infer(p.Prems[i], ctx, extra)
+			if err != nil {
+				return nil, err
+			}
+			if !logic.PredEqual(got, wantInst) {
+				return nil, checkErr("axiom %q premise %d: got %s, want %s", p.Name, i, got, wantInst)
+			}
+		}
+		return s.Instantiate(s.Concl, p.Args), nil
+	}
+	return nil, checkErr("unknown proof node %T", p)
+}
+
+// Infer exposes type inference over closed proofs (used by the LF
+// encoder and by tests).
+func Infer(p Proof) (logic.Pred, error) { return infer(p, map[string]logic.Pred{}, nil) }
+
+// InferWith is Infer under an explicit hypothesis context; the LF
+// encoder uses it to annotate sub-proofs with their predicates.
+func InferWith(p Proof, hyps map[string]logic.Pred) (logic.Pred, error) {
+	return infer(p, hyps, nil)
+}
+
+// InferWithAxioms is InferWith with additional axiom schemas in scope.
+func InferWithAxioms(p Proof, hyps map[string]logic.Pred, extra map[string]*Schema) (logic.Pred, error) {
+	return infer(p, hyps, extra)
+}

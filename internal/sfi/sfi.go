@@ -1,0 +1,186 @@
+// Package sfi implements the Software Fault Isolation baseline of
+// §3.1 (Wahbe et al., SOSP '93): a binary rewriter that inserts
+// sandboxing instructions before every memory operation, and the
+// load-time validator that checks a binary was rewritten correctly.
+//
+// The experiment follows the paper's concessions exactly: packets are
+// allocated on a 2048-byte boundary and the filter may access the
+// entire 2048-byte segment; loads are sandboxed into the packet
+// segment and stores into the scratch segment. Sandboxing computes
+//
+//	addr' = segment_base + (addr & 2040)
+//
+// which both confines the access and forces 8-byte alignment (2040 =
+// 0x7F8). Addition is used instead of the classic OR — equivalent
+// here because the masked offset cannot carry into the segment bits —
+// which also makes the rewritten code certifiable under the
+// sfi-segment PCC policy (the §3.1 "PCC for SFI" experiment).
+package sfi
+
+import (
+	"fmt"
+
+	"repro/internal/alpha"
+	"repro/internal/policy"
+)
+
+// Reserved registers. Input programs must not use them.
+const (
+	RegOffMask     = alpha.Reg(7)  // holds 2040
+	RegPktBase     = alpha.Reg(8)  // packet segment base
+	RegScratchBase = alpha.Reg(9)  // scratch segment base
+	RegTemp        = alpha.Reg(10) // sandboxed address
+)
+
+// offsetMask keeps an in-segment, 8-byte-aligned offset.
+const offsetMask = policy.SFISegmentSize - 8 // 2040
+
+// Prologue is the canonical sandbox setup sequence.
+func Prologue() []alpha.Instr {
+	return []alpha.Instr{
+		{Op: alpha.LDA, Ra: RegOffMask, Rb: alpha.RegZero, Disp: offsetMask},
+		{Op: alpha.LDA, Ra: RegTemp, Rb: alpha.RegZero, Disp: -policy.SFISegmentSize},
+		{Op: alpha.AND, Ra: policy.RegPacket, Rb: RegTemp, Rc: RegPktBase},
+		{Op: alpha.AND, Ra: policy.RegScratch, Rb: RegTemp, Rc: RegScratchBase},
+	}
+}
+
+// Rewrite sandboxes every load and store of prog. It fails if the
+// program already uses the reserved registers.
+func Rewrite(prog []alpha.Instr) ([]alpha.Instr, error) {
+	for pc, ins := range prog {
+		if usesReserved(ins) {
+			return nil, fmt.Errorf("sfi: pc %d (%s): program uses a reserved register", pc, ins)
+		}
+	}
+
+	out := Prologue()
+	// newPC[i] is the rewritten index of original instruction i;
+	// newPC[len] maps the one-past-end target.
+	newPC := make([]int, len(prog)+1)
+	for pc, ins := range prog {
+		newPC[pc] = len(out)
+		switch ins.Op {
+		case alpha.LDQ:
+			out = append(out, sandbox(ins.Rb, ins.Disp, RegPktBase)...)
+			out = append(out, alpha.Instr{Op: alpha.LDQ, Ra: ins.Ra, Rb: RegTemp})
+		case alpha.STQ:
+			out = append(out, sandbox(ins.Rb, ins.Disp, RegScratchBase)...)
+			out = append(out, alpha.Instr{Op: alpha.STQ, Ra: ins.Ra, Rb: RegTemp})
+		default:
+			out = append(out, ins)
+		}
+	}
+	newPC[len(prog)] = len(out)
+
+	// Retarget branches.
+	for pc := range out {
+		ins := &out[pc]
+		if ins.Op.Class() == alpha.ClassBranch {
+			ins.Target = newPC[ins.Target]
+		}
+	}
+	return out, nil
+}
+
+// sandbox emits the three-instruction confinement sequence leaving the
+// safe address in RegTemp.
+func sandbox(base alpha.Reg, disp int16, segBase alpha.Reg) []alpha.Instr {
+	return []alpha.Instr{
+		{Op: alpha.LDA, Ra: RegTemp, Rb: base, Disp: disp},        // addr
+		{Op: alpha.AND, Ra: RegTemp, Rb: RegOffMask, Rc: RegTemp}, // aligned in-segment offset
+		{Op: alpha.ADDQ, Ra: RegTemp, Rb: segBase, Rc: RegTemp},   // segment base + offset
+	}
+}
+
+func usesReserved(ins alpha.Instr) bool {
+	reserved := func(r alpha.Reg) bool {
+		return r == RegOffMask || r == RegPktBase || r == RegScratchBase || r == RegTemp
+	}
+	switch ins.Op.Class() {
+	case alpha.ClassMem:
+		return reserved(ins.Ra) || reserved(ins.Rb)
+	case alpha.ClassOperate:
+		if reserved(ins.Ra) || reserved(ins.Rc) {
+			return true
+		}
+		return !ins.HasLit && reserved(ins.Rb)
+	case alpha.ClassBranch:
+		return ins.Op != alpha.BR && reserved(ins.Ra)
+	}
+	return false
+}
+
+// Validate is the load-time SFI check ("reportedly simple if it must
+// deal only with binaries for which run-time checks have been inserted
+// on every potentially dangerous memory operation"): the prologue must
+// be canonical, the sandbox registers must never be redefined, and
+// every memory operation must be the final instruction of a canonical
+// sandbox sequence. Branches may not jump into the middle of a
+// sequence.
+func Validate(prog []alpha.Instr) error {
+	pro := Prologue()
+	if len(prog) < len(pro) {
+		return fmt.Errorf("sfi: program shorter than the prologue")
+	}
+	for i, want := range pro {
+		if prog[i] != want {
+			return fmt.Errorf("sfi: pc %d: prologue mismatch (%s)", i, prog[i])
+		}
+	}
+
+	guarded := map[int]bool{} // pcs that are part of a sandbox sequence
+	for pc := len(pro); pc < len(prog); pc++ {
+		ins := prog[pc]
+		switch ins.Op {
+		case alpha.LDQ, alpha.STQ:
+			segBase := RegPktBase
+			if ins.Op == alpha.STQ {
+				segBase = RegScratchBase
+			}
+			if ins.Rb != RegTemp || ins.Disp != 0 {
+				return fmt.Errorf("sfi: pc %d (%s): memory op not through the sandbox register", pc, ins)
+			}
+			if pc < len(pro)+3 {
+				return fmt.Errorf("sfi: pc %d: memory op without sandbox sequence", pc)
+			}
+			want := sandbox(prog[pc-3].Rb, prog[pc-3].Disp, segBase)
+			for k := 0; k < 3; k++ {
+				if prog[pc-3+k] != want[k] {
+					return fmt.Errorf("sfi: pc %d (%s): non-canonical sandbox sequence", pc, ins)
+				}
+			}
+			guarded[pc-1] = true
+			guarded[pc-2] = true
+			guarded[pc] = true
+		default:
+			if writesReservedState(ins) {
+				return fmt.Errorf("sfi: pc %d (%s): redefines a sandbox register", pc, ins)
+			}
+		}
+	}
+
+	// No branch may enter a sandbox sequence after its LDA: that could
+	// reach the memory operation with a stale sandbox register.
+	for pc, ins := range prog {
+		if ins.Op.Class() == alpha.ClassBranch && guarded[ins.Target] {
+			return fmt.Errorf("sfi: pc %d: branch into a sandbox sequence", pc)
+		}
+	}
+	return nil
+}
+
+// writesReservedState reports whether ins redefines r7/r8/r9 (r10 is
+// the scratch temp and is rewritten freely by sandbox sequences).
+func writesReservedState(ins alpha.Instr) bool {
+	fixed := func(r alpha.Reg) bool {
+		return r == RegOffMask || r == RegPktBase || r == RegScratchBase
+	}
+	switch ins.Op.Class() {
+	case alpha.ClassMem:
+		return (ins.Op == alpha.LDQ || ins.Op == alpha.LDA) && fixed(ins.Ra)
+	case alpha.ClassOperate:
+		return fixed(ins.Rc)
+	}
+	return false
+}

@@ -1,0 +1,207 @@
+package pcc
+
+// Tests for looping programs beyond the single checksum loop: nested
+// loops with one invariant per backward-branch target, and tampering
+// with the invariant table of a shipped binary.
+
+import (
+	"testing"
+
+	"repro/internal/filters"
+	"repro/internal/lf"
+	"repro/internal/logic"
+	"repro/internal/machine"
+	"repro/internal/pccbin"
+	"repro/internal/pktgen"
+	"repro/internal/policy"
+)
+
+// nestedSrc: for each packet word (outer), add it into each of the two
+// scratch words (inner) — pointless as a filter, rich as a VC test:
+// two backward branches, two invariants, loads and stores in the
+// inner body.
+const nestedSrc = `
+        CLR    r4              ; outer byte offset
+        CMPULT r4, r2, r6
+        BEQ    r6, done
+outer:  ADDQ   r1, r4, r7
+        LDQ    r8, 0(r7)       ; packet word
+        CLR    r5              ; inner byte offset
+inner:  ADDQ   r3, r5, r7
+        LDQ    r9, 0(r7)
+        ADDQ   r9, r8, r9
+        STQ    r9, 0(r7)       ; scratch[j] += packet[i]
+        ADDQ   r5, 8, r5
+        CMPULT r5, 16, r6
+        BNE    r6, inner
+        ADDQ   r4, 8, r4
+        CMPULT r4, r2, r6
+        BNE    r6, outer
+done:   CLR    r0
+        RET
+`
+
+func nestedInvariants() map[string]logic.Pred {
+	pktClause := logic.MustParsePred(
+		"ALL i. (i < r2 /\\ (i & 7) = 0) => rd(r1 + i)")
+	scratchClause := logic.MustParsePred(
+		"ALL j. (j < 16 /\\ (j & 7) = 0) => wr(r3 + j)")
+	outer := logic.Conj(
+		pktClause, scratchClause,
+		logic.MustParsePred("cmpult(r4, r2) <> 0"),
+		logic.MustParsePred("(r4 & 7) = 0"),
+	)
+	inner := logic.Conj(
+		pktClause, scratchClause,
+		logic.MustParsePred("cmpult(r4, r2) <> 0"),
+		logic.MustParsePred("(r4 & 7) = 0"),
+		logic.MustParsePred("cmpult(r5, 16) <> 0"),
+		logic.MustParsePred("(r5 & 7) = 0"),
+	)
+	return map[string]logic.Pred{"outer": outer, "inner": inner}
+}
+
+func TestNestedLoopsCertify(t *testing.T) {
+	pol := PacketFilterPolicy()
+	cert, err := Certify(nestedSrc, pol, nestedInvariants())
+	if err != nil {
+		t.Fatalf("nested loops failed to certify: %v", err)
+	}
+	ext, _, err := Validate(cert.Binary, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Execute on the abstract machine and cross-check the scratch
+	// contents against a direct computation.
+	mem := machine.NewMemory()
+	pkt := machine.NewRegion("packet", 0x10000, 64, false)
+	var sum uint64
+	for i := 0; i < 8; i++ {
+		pkt.SetWord(i*8, uint64(i)*3+1)
+		sum += uint64(i)*3 + 1
+	}
+	mem.MustAddRegion(pkt)
+	scratch := machine.NewRegion("scratch", 0x20000, policy.ScratchLen, true)
+	mem.MustAddRegion(scratch)
+	s := &machine.State{Mem: mem}
+	s.R[policy.RegPacket] = 0x10000
+	s.R[policy.RegLen] = 64
+	s.R[policy.RegScratch] = 0x20000
+	if _, err := ext.RunChecked(s, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if scratch.Word(0) != sum || scratch.Word(8) != sum {
+		t.Fatalf("scratch = {%d, %d}, want {%d, %d}",
+			scratch.Word(0), scratch.Word(8), sum, sum)
+	}
+}
+
+func TestNestedLoopsNeedBothInvariants(t *testing.T) {
+	pol := PacketFilterPolicy()
+	invs := nestedInvariants()
+	for _, drop := range []string{"outer", "inner"} {
+		partial := map[string]logic.Pred{}
+		for k, v := range invs {
+			if k != drop {
+				partial[k] = v
+			}
+		}
+		if _, err := Certify(nestedSrc, pol, partial); err == nil {
+			t.Errorf("certified without the %q invariant", drop)
+		}
+	}
+}
+
+func TestWeakenedInvariantRejected(t *testing.T) {
+	// Ship a binary whose invariant table was weakened after
+	// certification: the consumer recomputes the VC from the shipped
+	// table, so the proof no longer matches.
+	pol := PacketFilterPolicy()
+	cert, err := Certify(nestedSrc, pol, nestedInvariants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := pccbin.Unmarshal(cert.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Invariants) != 2 {
+		t.Fatalf("invariants = %d", len(bin.Invariants))
+	}
+
+	// Replace the first invariant with `true` — the classic "claim
+	// nothing, prove nothing" weakening.
+	bin.Invariants[0].Pred = lf.Konst{Name: lf.CTT}
+	data, _, err := bin.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Validate(data, pol); err == nil {
+		t.Fatal("weakened invariant accepted")
+	}
+
+	// Moving an invariant to a different pc must also fail (the
+	// backward branch loses its cut point).
+	bin2, err := pccbin.Unmarshal(cert.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin2.Invariants[0].PC++
+	data2, _, err := bin2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Validate(data2, pol); err == nil {
+		t.Fatal("relocated invariant accepted")
+	}
+}
+
+func TestCertifyAutoChecksumEndToEnd(t *testing.T) {
+	// The looping checksum certifies WITHOUT a hand-written invariant,
+	// validates, and computes correctly — fully automatic loop
+	// certification for the counted-loop idiom.
+	pol := PacketFilterPolicy()
+	cert, err := CertifyAuto(filters.SrcChecksum, pol)
+	if err != nil {
+		t.Fatalf("automatic certification failed: %v", err)
+	}
+	ext, _, err := Validate(cert.Binary, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := filters.Env{}
+	for i, p := range pktgen.Generate(200, pktgen.Config{Seed: 5}) {
+		s := env.NewState(p.Data)
+		res, err := machine.Interp(ext.Prog, s, machine.Checked, nil, 1<<20)
+		if err != nil {
+			t.Fatalf("pkt %d: %v", i, err)
+		}
+		if uint16(res.Ret) != filters.RefChecksum(p.Data) {
+			t.Fatalf("pkt %d: wrong checksum", i)
+		}
+	}
+}
+
+func TestCertifyAutoNestedLoops(t *testing.T) {
+	if _, err := CertifyAuto(nestedSrc, PacketFilterPolicy()); err != nil {
+		t.Fatalf("nested loops failed automatic certification: %v", err)
+	}
+}
+
+func TestCertifyAutoRejectsUnboundedLoop(t *testing.T) {
+	// A loop reading at an unguarded, unbounded offset must still be
+	// rejected: inference guesses, certification decides.
+	src := `
+        CLR    r4
+loop:   ADDQ   r1, r4, r7
+        LDQ    r8, 0(r7)
+        ADDQ   r4, 8, r4
+        BNE    r8, loop       ; data-driven, no bound on r4
+        CLR    r0
+        RET
+	`
+	if _, err := CertifyAuto(src, PacketFilterPolicy()); err == nil {
+		t.Fatal("unbounded loop certified")
+	}
+}

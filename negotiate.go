@@ -1,0 +1,87 @@
+package pcc
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/policy"
+	"repro/internal/prover"
+	"repro/internal/vcgen"
+)
+
+// NegotiatePolicy implements the §4 "negotiate a safety policy at run
+// time" direction: a code producer proposes a policy of its own (for
+// instance, one with a weaker precondition tailored to a new language
+// it wants to ship code in), and the consumer accepts it only after
+// determining that the proposed policy implies its own basic notion of
+// safety.
+//
+// Soundness argument: a binary certified under `proposed` is
+// guaranteed safe whenever started in a state satisfying proposed.Pre
+// and, on termination, establishes proposed.Post. The consumer only
+// ever starts extensions in states satisfying base.Pre and relies on
+// base.Post afterwards. It is therefore sufficient to prove, with the
+// consumer's own prover over the published rules,
+//
+//	∀state. base.Pre ⇒ proposed.Pre      (the producer may assume less)
+//	∀state. proposed.Post ⇒ base.Post    (and must guarantee no less)
+//
+// On success the consumer may validate binaries against the proposed
+// policy; rejection returns the sub-goal the prover got stuck on.
+func NegotiatePolicy(base, proposed *policy.Policy) error {
+	// Proposed proof rules must be machine-checkable: every schema is
+	// vetted against the 64-bit model before the consumer will publish
+	// it. Schemas over the uninterpreted rd/wr/sel symbols cannot be
+	// machine-vetted and are refused in negotiation (the consumer may
+	// still adopt such rules deliberately, outside this protocol).
+	if len(proposed.Axioms) > 0 {
+		if err := VetAxioms(proposed.Axioms, 20000); err != nil {
+			return fmt.Errorf("pcc: negotiation: %w", err)
+		}
+		for _, sc := range proposed.Axioms {
+			if !schemaEvaluable(sc) {
+				return fmt.Errorf(
+					"pcc: negotiation: axiom %q is not machine-checkable (uninterpreted symbols)",
+					sc.Name)
+			}
+		}
+	}
+	if err := negotiateImp(base.Pre, proposed.Pre); err != nil {
+		return fmt.Errorf("pcc: negotiation: proposed precondition not implied by %q's: %w",
+			base.Name, err)
+	}
+	if err := negotiateImp(proposed.Post, base.Post); err != nil {
+		return fmt.Errorf("pcc: negotiation: proposed postcondition does not imply %q's: %w",
+			base.Name, err)
+	}
+	return nil
+}
+
+// schemaEvaluable reports whether every part of the schema is
+// ground-evaluable (so vetting actually exercised it).
+func schemaEvaluable(s *logic.Schema) bool {
+	env := map[string]uint64{}
+	for _, p := range s.Params {
+		env[p] = 1
+	}
+	if _, ok := logic.EvalPred(s.Concl, env); !ok {
+		return false
+	}
+	for _, prem := range s.Prems {
+		if _, ok := logic.EvalPred(prem, env); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func negotiateImp(from, to logic.Pred) error {
+	goal := logic.NormPred(logic.AllOf(vcgen.RegNames(), logic.Implies(from, to)))
+	proof, err := prover.Prove(goal)
+	if err != nil {
+		return err
+	}
+	// Belt and braces: re-check the implication proof before trusting
+	// the negotiation.
+	return prover.Check(proof, goal)
+}

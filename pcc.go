@@ -1,0 +1,354 @@
+// Package pcc is a from-scratch reproduction of proof-carrying code as
+// described in Necula & Lee, "Safe Kernel Extensions Without Run-Time
+// Checking" (OSDI '96). It implements the full Figure 1 lifecycle:
+//
+//	policy    := policy.PacketFilter()            // consumer publishes
+//	bin, _, _ := pcc.Certify(src, policy, nil)    // producer certifies
+//	ext, _, _ := pcc.Validate(bin.Bytes, policy)  // consumer validates
+//	res, _    := ext.Run(state)                   // zero-check execution
+//
+// Certification assembles the program, computes its Floyd-style safety
+// predicate (internal/vcgen), proves it automatically
+// (internal/prover), and packages native code + LF proof into a PCC
+// binary (internal/pccbin). Validation re-derives the safety predicate
+// from the shipped machine code alone and typechecks the enclosed LF
+// proof against it (internal/lf) — no cryptography, no trusted
+// producer, and no run-time checks afterwards.
+package pcc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/alpha"
+	"repro/internal/inferinv"
+	"repro/internal/lf"
+	"repro/internal/logic"
+	"repro/internal/machine"
+	"repro/internal/pccbin"
+	"repro/internal/policy"
+	"repro/internal/prover"
+	"repro/internal/vcgen"
+)
+
+// Re-exported policy constructors, so that typical consumers only
+// import this package.
+var (
+	// PacketFilterPolicy is the §3 packet-filter safety policy.
+	PacketFilterPolicy = policy.PacketFilter
+	// ResourceAccessPolicy is the §2 resource-access safety policy.
+	ResourceAccessPolicy = policy.ResourceAccess
+	// SFISegmentPolicy is the §3.1 SFI-segment safety policy.
+	SFISegmentPolicy = policy.SFISegment
+)
+
+// CertResult is the producer-side output: the PCC binary and
+// certification statistics.
+type CertResult struct {
+	// Binary is the marshaled PCC binary.
+	Binary []byte
+	// Layout is the Figure 7 section layout.
+	Layout pccbin.Layout
+	// Instructions is the native instruction count.
+	Instructions int
+	// ProofNodes is the size of the natural-deduction proof.
+	ProofNodes int
+	// LFNodes is the size of the encoded LF proof term.
+	LFNodes int
+	// ProveTime is the theorem-proving time.
+	ProveTime time.Duration
+	// SafetyPredicate is the certified predicate (for inspection).
+	SafetyPredicate logic.Pred
+}
+
+// Certify assembles source code, proves it safe under the policy, and
+// produces a PCC binary. Programs with loops must supply an invariant
+// for each backward-branch target, keyed by label.
+func Certify(src string, pol *policy.Policy, invariants map[string]logic.Pred) (*CertResult, error) {
+	asm, err := alpha.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	invByPC := map[int]logic.Pred{}
+	for label, inv := range invariants {
+		pc, ok := asm.Labels[label]
+		if !ok {
+			return nil, fmt.Errorf("pcc: invariant for unknown label %q", label)
+		}
+		invByPC[pc] = inv
+	}
+	return CertifyProgram(asm.Prog, pol, invByPC)
+}
+
+// CertifyAuto is Certify with automatic loop-invariant inference for
+// the counted-loop idiom (internal/inferinv): the producer does not
+// supply invariants; heuristically inferred ones are tried instead.
+// Inference cannot compromise safety — a wrong guess fails
+// certification, never validation — so this closes, for the common
+// idiom, the gap §4 calls "the main obstacle in automating the
+// generation of proofs".
+func CertifyAuto(src string, pol *policy.Policy) (*CertResult, error) {
+	asm, err := alpha.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	invs := inferinv.Infer(asm.Prog, pol.Pre)
+	return CertifyProgram(asm.Prog, pol, invs)
+}
+
+// CertifyProgram is Certify over an already-assembled program with
+// invariants keyed by instruction index.
+func CertifyProgram(prog []alpha.Instr, pol *policy.Policy, invariants map[int]logic.Pred) (*CertResult, error) {
+	gen, err := vcgen.Gen(prog, pol.Pre, pol.Post, invariants)
+	if err != nil {
+		return nil, err
+	}
+	extra := pol.ExtraAxioms()
+	start := time.Now()
+	proof, err := prover.ProveWith(gen.SP, extra)
+	if err != nil {
+		return nil, fmt.Errorf("pcc: certification failed: %w", err)
+	}
+	proof = prover.Simplify(proof)
+	proveTime := time.Since(start)
+
+	term, err := lf.EncodeProofWith(proof, extra)
+	if err != nil {
+		return nil, err
+	}
+	code, err := alpha.Encode(prog)
+	if err != nil {
+		return nil, err
+	}
+	bin := &pccbin.Binary{
+		PolicyName: pol.Name,
+		SigHash:    signatureFor(pol).Fingerprint(),
+		Code:       code,
+		Proof:      term,
+	}
+	for pc, inv := range invariants {
+		t, err := lf.EncodeStatePred(logic.NormPred(inv))
+		if err != nil {
+			return nil, fmt.Errorf("pcc: invariant at pc %d: %w", pc, err)
+		}
+		bin.Invariants = append(bin.Invariants, pccbin.Invariant{PC: pc, Pred: t})
+	}
+	data, layout, err := bin.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return &CertResult{
+		Binary:          data,
+		Layout:          layout,
+		Instructions:    len(prog),
+		ProofNodes:      proof.Size(),
+		LFNodes:         lf.Size(term),
+		ProveTime:       proveTime,
+		SafetyPredicate: gen.SP,
+	}, nil
+}
+
+// ValidationStats reports the one-time cost of validating a PCC binary
+// (Table 1 of the paper).
+type ValidationStats struct {
+	// Time is the wall-clock validation time (parse + VC generation +
+	// LF typechecking).
+	Time time.Duration
+	// CheckSteps counts LF inference steps.
+	CheckSteps int
+	// HeapBytes approximates the heap cost of validation.
+	HeapBytes uint64
+	// BinarySize is the total PCC binary size in bytes.
+	BinarySize int
+}
+
+// Extension is a validated kernel extension: native code the consumer
+// may now run with no run-time checks.
+type Extension struct {
+	// Prog is the decoded native code.
+	Prog []alpha.Instr
+	// Policy is the policy the extension was validated against.
+	Policy *policy.Policy
+}
+
+// Validate parses a PCC binary, recomputes the safety predicate of the
+// enclosed native code under the published policy, and typechecks the
+// enclosed proof. On success the returned Extension is safe to execute
+// in the kernel's address space.
+func Validate(binary []byte, pol *policy.Policy) (*Extension, *ValidationStats, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	bin, err := pccbin.Unmarshal(binary)
+	if err != nil {
+		return nil, nil, err
+	}
+	if bin.PolicyName != pol.Name {
+		return nil, nil, fmt.Errorf("pcc: binary certifies policy %q, consumer published %q",
+			bin.PolicyName, pol.Name)
+	}
+	if got, want := bin.SigHash, signatureFor(pol).Fingerprint(); got != want {
+		return nil, nil, fmt.Errorf(
+			"pcc: binary built against rule set %#x, consumer publishes %#x", got, want)
+	}
+	prog, err := alpha.Decode(bin.Code)
+	if err != nil {
+		return nil, nil, err
+	}
+	invariants, err := bin.DecodeInvariants()
+	if err != nil {
+		return nil, nil, err
+	}
+	gen, err := vcgen.Gen(prog, pol.Pre, pol.Post, invariants)
+	if err != nil {
+		return nil, nil, err
+	}
+	checker := lf.NewChecker(signatureFor(pol))
+	spT, err := lf.EncodePred(gen.SP)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := checker.Check(bin.Proof, lf.App{F: lf.Konst{Name: lf.CPf}, X: spT}); err != nil {
+		return nil, nil, fmt.Errorf("pcc: proof validation failed: %w", err)
+	}
+
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	heap := after.TotalAlloc - before.TotalAlloc
+	return &Extension{Prog: prog, Policy: pol},
+		&ValidationStats{
+			Time:       elapsed,
+			CheckSteps: checker.Steps,
+			HeapBytes:  heap,
+			BinarySize: len(binary),
+		}, nil
+}
+
+// consumerSignature returns the consumer's base LF signature, built
+// once — the signature is part of the published policy and a kernel
+// constructs it at boot, not per binary.
+var consumerSignature = sync.OnceValue(lf.NewSignature)
+
+// signatureFor returns the signature a policy publishes: the base one,
+// extended with the policy's own axiom schemas when it has any.
+func signatureFor(pol *policy.Policy) *lf.Signature {
+	extra := pol.ExtraAxioms()
+	if extra == nil {
+		return consumerSignature()
+	}
+	return lf.NewSignatureWith(extra)
+}
+
+// VetAxioms sanity-checks the schemas a policy wants to publish:
+// names must not clash with the core rule set, parameters must be
+// "$"-prefixed and bind every free variable, and every
+// ground-evaluable schema is fuzzed for soundness in the 64-bit model.
+// Vetting cannot prove soundness of schemas over the uninterpreted
+// rd/wr/sel symbols — those the consumer must justify against its
+// memory model, which is exactly the paper's division of labor for the
+// published rule set.
+func VetAxioms(axioms []*logic.Schema, trials int) error {
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	seen := map[string]bool{}
+	for _, s := range axioms {
+		if s.Name == "" {
+			return fmt.Errorf("pcc: axiom with empty name")
+		}
+		if _, clash := prover.Axioms[s.Name]; clash {
+			return fmt.Errorf("pcc: axiom %q clashes with the core rule set", s.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("pcc: duplicate axiom %q", s.Name)
+		}
+		seen[s.Name] = true
+		params := map[string]bool{}
+		for _, p := range s.Params {
+			if len(p) == 0 || p[0] != '$' {
+				return fmt.Errorf("pcc: axiom %q: parameter %q must start with '$'", s.Name, p)
+			}
+			params[p] = true
+		}
+		check := func(pred logic.Pred) error {
+			for v := range logic.FreeVars(pred) {
+				if !params[v] {
+					return fmt.Errorf("pcc: axiom %q: unbound variable %q", s.Name, v)
+				}
+			}
+			return nil
+		}
+		if err := check(s.Concl); err != nil {
+			return err
+		}
+		evaluable := true
+		env := map[string]uint64{}
+		for _, p := range s.Params {
+			env[p] = 1
+		}
+		if _, ok := logic.EvalPred(s.Concl, env); !ok {
+			evaluable = false
+		}
+		for _, prem := range s.Prems {
+			if err := check(prem); err != nil {
+				return err
+			}
+			if _, ok := logic.EvalPred(prem, env); !ok {
+				evaluable = false
+			}
+		}
+		if !evaluable {
+			continue // rd/wr/sel schemas: consumer's responsibility
+		}
+		for trial := 0; trial < trials; trial++ {
+			for _, p := range s.Params {
+				switch next() % 4 {
+				case 0:
+					env[p] = next() % 16
+				case 1:
+					env[p] = ^uint64(0) - next()%16
+				default:
+					env[p] = next()
+				}
+			}
+			hold := true
+			for _, prem := range s.Prems {
+				v, _ := logic.EvalPred(prem, env)
+				if !v {
+					hold = false
+					break
+				}
+			}
+			if !hold {
+				continue
+			}
+			if v, _ := logic.EvalPred(s.Concl, env); !v {
+				return fmt.Errorf("pcc: axiom %q is UNSOUND at %v", s.Name, env)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the validated extension on the real (unchecked) machine
+// with the given initial state — the zero-run-time-overhead execution
+// the paper's title promises. fuel bounds the instruction count (loops
+// certified with invariants still terminate on packet data, but the
+// kernel is entitled to a budget).
+func (e *Extension) Run(s *machine.State, fuel int) (machine.Result, error) {
+	return machine.Interp(e.Prog, s, machine.Unchecked, &machine.DEC21064, fuel)
+}
+
+// RunChecked executes on the abstract machine (every rd/wr checked) —
+// used by tests to confirm that validated extensions never trip a
+// check, per the Safety Theorem.
+func (e *Extension) RunChecked(s *machine.State, fuel int) (machine.Result, error) {
+	return machine.Interp(e.Prog, s, machine.Checked, &machine.DEC21064, fuel)
+}

@@ -1,0 +1,278 @@
+package pcc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/filters"
+	"repro/internal/logic"
+	"repro/internal/machine"
+	"repro/internal/policy"
+)
+
+const resourceSrc = `
+        ADDQ  r0, 8, r1     % Address of data in r1
+        LDQ   r0, 8(r0)     % Data in r0
+        LDQ   r2, -8(r1)    % Tag in r2
+        ADDQ  r0, 1, r0     % Increment data
+        BEQ   r2, L1        % Skip if tag == 0
+        STQ   r0, 0(r1)     % Write back data
+L1:     RET
+`
+
+// tableState builds the §2 kernel table: a {tag, data} entry at 0x1000.
+func tableState(tag, data uint64) *machine.State {
+	mem := machine.NewMemory()
+	r := machine.NewRegion("table", 0x1000, 16, true)
+	r.SetWord(0, tag)
+	r.SetWord(8, data)
+	mem.MustAddRegion(r)
+	s := &machine.State{Mem: mem}
+	s.R[0] = 0x1000
+	return s
+}
+
+func TestLifecycleResourceAccess(t *testing.T) {
+	pol := ResourceAccessPolicy()
+	cert, err := Certify(resourceSrc, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Instructions != 7 {
+		t.Errorf("instructions = %d, want 7", cert.Instructions)
+	}
+	ext, stats, err := Validate(cert.Binary, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Time <= 0 || stats.CheckSteps == 0 || stats.BinarySize != len(cert.Binary) {
+		t.Errorf("bogus stats: %+v", stats)
+	}
+
+	// Writable entry: data increments.
+	s := tableState(1, 41)
+	if _, err := ext.Run(s, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem.Region("table").Word(8); got != 42 {
+		t.Errorf("data = %d, want 42", got)
+	}
+
+	// Read-only entry (tag 0): data untouched.
+	s = tableState(0, 41)
+	if _, err := ext.Run(s, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Mem.Region("table").Word(8); got != 41 {
+		t.Errorf("data = %d, want 41 (unchanged)", got)
+	}
+}
+
+func TestValidatedExtensionNeverTripsChecks(t *testing.T) {
+	// Safety Theorem 2.1: a certified program never blocks on the
+	// abstract machine when started in a Pre-satisfying state.
+	pol := ResourceAccessPolicy()
+	cert, err := Certify(resourceSrc, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, _, err := Validate(cert.Binary, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tag := range []uint64{0, 1, 7, ^uint64(0)} {
+		s := tableState(tag, 5)
+		if _, err := ext.RunChecked(s, 100); err != nil {
+			t.Errorf("tag %d: abstract machine blocked: %v", tag, err)
+		}
+	}
+}
+
+func TestTamperedCodeRejected(t *testing.T) {
+	pol := ResourceAccessPolicy()
+	cert, err := Certify(resourceSrc, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte of the native-code section in turn; each mutant
+	// must be rejected (decode failure or proof/VC mismatch) OR still
+	// certify a safe program (paper: "tampering can go undetected only
+	// if the adulterated code still respects the policy").
+	lay := cert.Layout
+	accepted := 0
+	for off := lay.CodeOff; off < lay.CodeOff+lay.CodeLen; off++ {
+		mut := append([]byte(nil), cert.Binary...)
+		mut[off] ^= 0x04
+		if mut[off] == cert.Binary[off] {
+			continue
+		}
+		ext, _, err := Validate(mut, pol)
+		if err != nil {
+			continue
+		}
+		accepted++
+		// Accepted mutant: it must still be safe — run it on the
+		// abstract machine under the precondition.
+		s := tableState(1, 10)
+		if _, err := ext.RunChecked(s, 1000); err != nil {
+			t.Fatalf("tampered code at offset %d validated yet unsafe: %v", off, err)
+		}
+	}
+	if accepted > 3 {
+		t.Errorf("suspiciously many accepted mutants: %d", accepted)
+	}
+}
+
+func TestTamperedProofRejected(t *testing.T) {
+	pol := ResourceAccessPolicy()
+	cert, err := Certify(resourceSrc, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := cert.Layout
+	rejected, total := 0, 0
+	for off := lay.ProofOff; off < lay.ProofOff+lay.ProofLen; off += 3 {
+		mut := append([]byte(nil), cert.Binary...)
+		mut[off] ^= 0xff
+		total++
+		if _, _, err := Validate(mut, pol); err != nil {
+			rejected++
+		}
+	}
+	if rejected != total {
+		t.Errorf("only %d/%d proof mutations rejected", rejected, total)
+	}
+}
+
+func TestWrongPolicyRejected(t *testing.T) {
+	cert, err := Certify(resourceSrc, ResourceAccessPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Validate(cert.Binary, PacketFilterPolicy()); err == nil {
+		t.Fatal("binary accepted under a different policy")
+	}
+	if _, _, err := Validate(cert.Binary, ResourceAccessPolicy()); err != nil {
+		t.Fatalf("binary rejected under its own policy: %v", err)
+	}
+}
+
+func TestCertifyRejectsUnsafeSource(t *testing.T) {
+	unsafe := `
+        LDQ  r1, 16(r0)
+        RET
+	`
+	if _, err := Certify(unsafe, ResourceAccessPolicy(), nil); err == nil {
+		t.Fatal("unsafe program certified")
+	}
+}
+
+func TestCertifyRejectsUnknownInvariantLabel(t *testing.T) {
+	_, err := Certify("RET", ResourceAccessPolicy(),
+		map[string]logic.Pred{"nowhere": logic.True})
+	if err == nil || !strings.Contains(err.Error(), "unknown label") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCertifyLoopThroughBinary(t *testing.T) {
+	// A looping program: the invariant rides inside the PCC binary and
+	// the consumer uses it to regenerate the VC.
+	src := `
+        CLR    r4
+        CLR    r5
+        CMPULT r4, r2, r6
+        BEQ    r6, done
+loop:   ADDQ   r1, r4, r7
+        LDQ    r8, 0(r7)
+        ADDQ   r5, r8, r5
+        ADDQ   r4, 8, r4
+        CMPULT r4, r2, r6
+        BNE    r6, loop
+done:   MOV    r5, r0
+        RET
+	`
+	inv := logic.Conj(
+		logic.All("i", logic.Implies(
+			logic.Conj(
+				logic.Ult(logic.V("i"), logic.V("r2")),
+				logic.Eq(logic.And2(logic.V("i"), logic.C(7)), logic.C(0)),
+			),
+			logic.RdP(logic.Add(logic.V("r1"), logic.V("i"))),
+		)),
+		logic.Ne(logic.Bin{Op: logic.OpCmpUlt, L: logic.V("r4"), R: logic.V("r2")}, logic.C(0)),
+		logic.Eq(logic.And2(logic.V("r4"), logic.C(7)), logic.C(0)),
+	)
+	pol := PacketFilterPolicy()
+	cert, err := Certify(src, pol, map[string]logic.Pred{"loop": inv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, _, err := Validate(cert.Binary, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Execute over a small packet and compare with a direct sum.
+	mem := machine.NewMemory()
+	pkt := machine.NewRegion("pkt", 0x2000, 64, false)
+	var want uint64
+	for i := 0; i < 8; i++ {
+		pkt.SetWord(i*8, uint64(i*3+1))
+		want += uint64(i*3 + 1)
+	}
+	mem.MustAddRegion(pkt)
+	mem.MustAddRegion(machine.NewRegion("scratch", 0x4000, policy.ScratchLen, true))
+	s := &machine.State{Mem: mem}
+	s.R[policy.RegPacket] = 0x2000
+	s.R[policy.RegLen] = 64
+	s.R[policy.RegScratch] = 0x4000
+	res, err := ext.RunChecked(s, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != want {
+		t.Fatalf("sum = %d, want %d", res.Ret, want)
+	}
+}
+
+func TestUncertifiedCodeWouldCrashKernel(t *testing.T) {
+	// The motivation check: run an unsafe program unchecked and observe
+	// the wild access the PCC pipeline would have prevented.
+	cert, err := Certify(resourceSrc, ResourceAccessPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, _, err := Validate(cert.Binary, ResourceAccessPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tableState(1, 5)
+	s.R[0] = 0xdead0000 // violate the precondition: bogus table pointer
+	_, err = ext.Run(s, 100)
+	if err == nil {
+		t.Fatal("expected a wild access")
+	}
+	if !strings.Contains(err.Error(), "WILD") {
+		t.Fatalf("expected wild access, got: %v", err)
+	}
+}
+
+func TestCertifyDeterministic(t *testing.T) {
+	// Identical inputs must yield byte-identical binaries (so the
+	// fingerprinted artifact is reproducible).
+	pol := PacketFilterPolicy()
+	first, err := Certify(filters.Source(filters.Filter4), pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Certify(filters.Source(filters.Filter4), pol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again.Binary) != string(first.Binary) {
+			t.Fatalf("run %d produced a different binary", i)
+		}
+	}
+}
