@@ -1,0 +1,24 @@
+# Tier-1 gate plus the race/fuzz hardening layer. `make verify` is the
+# single entry point CI and future PRs use.
+
+GO ?= go
+
+.PHONY: build test race verify bench paperbench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./internal/kernel/ ./...
+
+paperbench:
+	$(GO) run ./cmd/paperbench

@@ -37,9 +37,10 @@ func main() {
 	checksum := flag.Bool("checksum", false, "§4 checksum-loop experiment")
 	sfipcc := flag.Bool("sfipcc", false, "§3.1 PCC-for-SFI hybrid experiment")
 	ablation := flag.Bool("ablation", false, "design-choice ablations (proof encoding, cost-model sensitivity)")
+	pipeline := flag.Bool("pipeline", false, "validation pipeline: proof cache + concurrent batch install")
 	flag.Parse()
 
-	all := !(*fig7 || *table1 || *fig8 || *fig9 || *checksum || *sfipcc || *ablation)
+	all := !(*fig7 || *table1 || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline)
 
 	if all || *fig7 {
 		cert, err := bench.Fig7()
@@ -93,6 +94,13 @@ func main() {
 	}
 	if all || *sfipcc {
 		runSFIPCC()
+	}
+	if all || *pipeline {
+		res, err := bench.Pipeline(5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatPipeline(res))
 	}
 	if all || *ablation {
 		rows, err := bench.EncodingAblation()

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	pccload [-policy packet-filter/v1] [-run] [-packets N] filter.pcc
+//	pccload [-policy packet-filter/v1] [-run] [-packets N] filter.pcc...
 //
 // With -run and the packet-filter policy, the extension is executed
 // over a synthetic trace and the accept rate reported; with the
 // resource-access policy, it is invoked on a sample kernel table
 // entry.
+//
+// Given several binaries (packet-filter policy only), pccload boots
+// the simulated kernel and installs them all through its concurrent
+// validation pipeline, then installs them a second time to show the
+// proof cache: the warm pass skips VC generation and LF checking
+// entirely.
 package main
 
 import (
@@ -17,10 +23,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"time"
 
 	pcc "repro"
 	"repro/internal/alpha"
 	"repro/internal/filters"
+	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/pktgen"
 	"repro/internal/policy"
@@ -36,8 +45,15 @@ func main() {
 	pcapFile := flag.String("pcap", "", "replay packets from a pcap capture instead of the generator")
 	trace := flag.Bool("trace", false, "print an instruction trace of the first packet's execution")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("expected exactly one PCC binary")
+	if flag.NArg() < 1 {
+		log.Fatal("expected at least one PCC binary")
+	}
+	if flag.NArg() > 1 {
+		if *polFile != "" || *polName != "packet-filter/v1" {
+			log.Fatal("batch mode installs against the kernel's packet-filter policy only")
+		}
+		batchInstall(flag.Args())
+		return
 	}
 
 	data, err := os.ReadFile(flag.Arg(0))
@@ -131,4 +147,44 @@ func main() {
 	default:
 		fmt.Println("  (no runner for this policy)")
 	}
+}
+
+// batchInstall pushes every binary through the kernel's concurrent
+// validation pipeline twice: a cold pass that proof-checks each one,
+// and a warm pass served from the content-addressed proof cache.
+func batchInstall(files []string) {
+	k := kernel.New()
+	var reqs []kernel.InstallRequest
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reqs = append(reqs, kernel.InstallRequest{Owner: file, Binary: data})
+	}
+	start := time.Now()
+	rejected := 0
+	for i, err := range k.InstallFilterBatch(reqs) {
+		if err != nil {
+			rejected++
+			fmt.Printf("REJECTED %s: %v\n", reqs[i].Owner, err)
+		} else {
+			fmt.Printf("VALIDATED %s\n", reqs[i].Owner)
+		}
+	}
+	cold := time.Since(start)
+
+	start = time.Now()
+	for _, err := range k.InstallFilterBatch(reqs) {
+		_ = err // same verdicts; rejected binaries re-validate and re-fail
+	}
+	warm := time.Since(start)
+
+	st := k.Stats()
+	fmt.Printf("installed %d/%d binaries on %d validator(s)\n",
+		len(reqs)-rejected, len(reqs), runtime.GOMAXPROCS(0))
+	fmt.Printf("  cold batch: %v (%.2f ms proof checking, queue wait %.0f µs)\n",
+		cold, st.ValidationMicros/1000, st.QueueWaitMicros)
+	fmt.Printf("  warm batch: %v — proof cache: %d hits / %d misses\n",
+		warm, st.CacheHits, st.CacheMisses)
 }

@@ -1,0 +1,143 @@
+// Validation-pipeline experiment: the Figure-9 story at consumer
+// scale. Figure 9 amortizes ONE filter's validation over a packet
+// stream; a kernel serving many users amortizes it over REPEATED
+// installs (proof cache) and over CORES (concurrent batch
+// validation). This experiment reports both levers: cold vs. warm
+// install cost, and serial vs. worker-pool batch wall-clock for the
+// four paper filters.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/kernel"
+	"repro/internal/policy"
+)
+
+// PipelineResult reports the validation-pipeline experiment.
+type PipelineResult struct {
+	// Filters is the batch size (the four paper filters).
+	Filters int
+	// ColdMicros / WarmMicros are per-install averages: full
+	// validation vs. proof-cache hit.
+	ColdMicros float64
+	WarmMicros float64
+	// CacheSpeedup = ColdMicros / WarmMicros.
+	CacheSpeedup float64
+	// SerialMS / ParallelMS are all-cold batch wall-clock times:
+	// one-at-a-time InstallFilter vs. InstallFilterBatch across
+	// Workers validators (best of the measurement rounds).
+	SerialMS   float64
+	ParallelMS float64
+	// ParallelSpeedup = SerialMS / ParallelMS; bounded by
+	// min(Workers, Filters) and ~1.0 on a single core.
+	ParallelSpeedup float64
+	// Workers is GOMAXPROCS at measurement time.
+	Workers int
+	// Stats is the warm kernel's final accounting (cache hits etc.).
+	Stats kernel.Stats
+}
+
+// Pipeline certifies the four paper filters and measures the
+// validation pipeline over `rounds` measurement rounds (best-of, as
+// for the paper's one-time costs on a multiprogrammed host).
+func Pipeline(rounds int) (*PipelineResult, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	pol := policy.PacketFilter()
+	var reqs []kernel.InstallRequest
+	for _, f := range filters.All {
+		cert, err := pcc.Certify(filters.Source(f), pol, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", f, err)
+		}
+		reqs = append(reqs, kernel.InstallRequest{Owner: f.String(), Binary: cert.Binary})
+	}
+	res := &PipelineResult{Filters: len(reqs), Workers: runtime.GOMAXPROCS(0)}
+
+	// Cold vs. warm on one long-lived kernel.
+	k := kernel.New()
+	start := time.Now()
+	for _, r := range reqs {
+		if err := k.InstallFilter(r.Owner, r.Binary); err != nil {
+			return nil, err
+		}
+	}
+	res.ColdMicros = float64(time.Since(start).Microseconds()) / float64(len(reqs))
+	warmBest := time.Duration(1 << 62)
+	for round := 0; round < rounds; round++ {
+		start = time.Now()
+		for _, r := range reqs {
+			if err := k.InstallFilter(r.Owner, r.Binary); err != nil {
+				return nil, err
+			}
+		}
+		if d := time.Since(start); d < warmBest {
+			warmBest = d
+		}
+	}
+	// One warm batch too, so Stats shows batch accounting as well.
+	for _, err := range k.InstallFilterBatch(reqs) {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.WarmMicros = float64(warmBest.Microseconds()) / float64(len(reqs))
+	if res.WarmMicros > 0 {
+		res.CacheSpeedup = res.ColdMicros / res.WarmMicros
+	}
+	res.Stats = k.Stats()
+
+	// Serial vs. parallel all-cold batches on cache-disabled kernels.
+	serialBest, parallelBest := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < rounds; round++ {
+		ks := kernel.NewWithCacheSize(0)
+		start = time.Now()
+		for _, r := range reqs {
+			if err := ks.InstallFilter(r.Owner, r.Binary); err != nil {
+				return nil, err
+			}
+		}
+		if d := time.Since(start); d < serialBest {
+			serialBest = d
+		}
+
+		kp := kernel.NewWithCacheSize(0)
+		start = time.Now()
+		for _, err := range kp.InstallFilterBatch(reqs) {
+			if err != nil {
+				return nil, err
+			}
+		}
+		if d := time.Since(start); d < parallelBest {
+			parallelBest = d
+		}
+	}
+	res.SerialMS = serialBest.Seconds() * 1000
+	res.ParallelMS = parallelBest.Seconds() * 1000
+	if res.ParallelMS > 0 {
+		res.ParallelSpeedup = res.SerialMS / res.ParallelMS
+	}
+	return res, nil
+}
+
+// FormatPipeline renders the experiment like the other paperbench
+// sections.
+func FormatPipeline(r *PipelineResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Validation pipeline (proof cache + concurrent batch install)\n")
+	fmt.Fprintf(&b, "  cold install:  %8.0f µs/filter (full VC generation + LF check)\n", r.ColdMicros)
+	fmt.Fprintf(&b, "  warm install:  %8.1f µs/filter (content-addressed cache hit)\n", r.WarmMicros)
+	fmt.Fprintf(&b, "  cache speedup: %8.0fx\n", r.CacheSpeedup)
+	fmt.Fprintf(&b, "  all-cold batch of %d: serial %.2f ms, concurrent %.2f ms on %d worker(s) — %.2fx\n",
+		r.Filters, r.SerialMS, r.ParallelMS, r.Workers, r.ParallelSpeedup)
+	fmt.Fprintf(&b, "  cache: %d hits / %d misses / %d evictions; queue wait %.0f µs total\n",
+		r.Stats.CacheHits, r.Stats.CacheMisses, r.Stats.CacheEvictions, r.Stats.QueueWaitMicros)
+	return b.String()
+}

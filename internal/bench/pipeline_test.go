@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPipelineExperiment runs the validation-pipeline experiment and
+// enforces the acceptance bars: warm-cache re-install >= 10x faster
+// than cold validation, and — when enough cores are available — a
+// >= 2x wall-clock win for batch-installing the four paper filters
+// concurrently.
+func TestPipelineExperiment(t *testing.T) {
+	res, err := Pipeline(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatPipeline(res))
+
+	if res.CacheSpeedup < 10 {
+		t.Errorf("warm install speedup = %.1fx, want >= 10x (cold %.0f µs, warm %.1f µs)",
+			res.CacheSpeedup, res.ColdMicros, res.WarmMicros)
+	}
+	if res.Stats.CacheHits == 0 {
+		t.Error("warm rounds produced no cache hits")
+	}
+	if res.Stats.Rejections != 0 {
+		t.Errorf("pipeline experiment rejected %d valid installs", res.Stats.Rejections)
+	}
+
+	if runtime.GOMAXPROCS(0) >= 4 {
+		if res.ParallelSpeedup < 2 {
+			t.Errorf("parallel batch speedup = %.2fx on %d cores, want >= 2x (serial %.2f ms, parallel %.2f ms)",
+				res.ParallelSpeedup, res.Workers, res.SerialMS, res.ParallelMS)
+		}
+	} else {
+		t.Logf("only %d core(s): parallel-speedup bar (>= 2x on >= 4 cores) not applicable; measured %.2fx",
+			runtime.GOMAXPROCS(0), res.ParallelSpeedup)
+	}
+}

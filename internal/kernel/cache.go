@@ -1,0 +1,138 @@
+// Proof cache: content-addressed memoization of successful
+// validations. The paper's Figure 9 argument is that proof checking is
+// a one-time cost; at consumer scale the same extension binary is
+// installed over and over (many users shipping the same filter), so
+// the kernel memoizes Validate by SHA-256 of (binary bytes, policy
+// fingerprint) — see pcc.ValidationKey — and a re-install of an
+// already-verified extension skips VC generation and LF checking
+// entirely.
+//
+// Only *successful* validations are cached: a rejected binary is never
+// remembered, so tampered or truncated blobs re-validate (and re-fail)
+// every time and cannot poison the cache. Because the policy
+// fingerprint is part of the key, an entry cached under one policy is
+// invisible to validation under any other.
+package kernel
+
+import (
+	"container/list"
+	"sync"
+
+	pcc "repro"
+)
+
+// cacheKey is pcc.ValidationKey's output: SHA-256 of binary + policy
+// fingerprints.
+type cacheKey [32]byte
+
+// DefaultCacheSize is the proof-cache capacity (entries) of kernels
+// built with New.
+const DefaultCacheSize = 256
+
+// proofCache is a thread-safe LRU of validated extensions. Its lock is
+// held only for map/list maintenance — never across a validation — so
+// the validation stage of the pipeline stays effectively lock-free.
+type proofCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, evictions int64
+}
+
+type cacheSlot struct {
+	key cacheKey
+	ext *pcc.Extension
+	// wcet is the static worst-case cost bound, memoized on the first
+	// budget check (-1 = not yet computed).
+	wcet int64
+}
+
+func newProofCache(max int) *proofCache {
+	return &proofCache{
+		max:     max,
+		entries: map[cacheKey]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+// get returns the cached slot for key, counting a hit or a miss.
+func (c *proofCache) get(key cacheKey) *cacheSlot {
+	if c == nil || c.max <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheSlot)
+}
+
+// put records a successful validation, evicting the least recently
+// used entry when over capacity.
+func (c *proofCache) put(key cacheKey, ext *pcc.Extension) *cacheSlot {
+	slot := &cacheSlot{key: key, ext: ext, wcet: -1}
+	if c == nil || c.max <= 0 {
+		return slot
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheSlot)
+	}
+	c.entries[key] = c.order.PushFront(slot)
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(*cacheSlot).key)
+		c.order.Remove(back)
+		c.evictions++
+	}
+	return slot
+}
+
+// setWCET memoizes the budget-check bound on a slot.
+func (c *proofCache) setWCET(slot *cacheSlot, bound int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot.wcet = bound
+}
+
+// getWCET reads a slot's memoized bound under the cache lock.
+func (c *proofCache) getWCET(slot *cacheSlot) int64 {
+	if c == nil {
+		return -1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return slot.wcet
+}
+
+// counters snapshots the accounting.
+func (c *proofCache) counters() (hits, misses, evictions int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// len reports the live entry count (tests).
+func (c *proofCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -10,12 +10,20 @@
 // tests can exercise realistic install/dispatch/uninstall lifecycles,
 // including the accounting (validation cost, per-extension cycles)
 // that Figure 9 is about.
+//
+// Installation is a two-stage pipeline (pipeline.go): an expensive
+// validation stage that runs lock-free (memoized by the proof cache,
+// cache.go) and a short commit section under the kernel lock. Dispatch
+// takes the lock in read mode, so packet delivery proceeds in parallel
+// with other deliveries and is never blocked behind a proof check.
 package kernel
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	pcc "repro"
 	"repro/internal/machine"
@@ -28,43 +36,95 @@ type Stats struct {
 	// Validations and Rejections count install attempts.
 	Validations int
 	Rejections  int
-	// ValidationCycles converts validation wall-clock to modeled
-	// cycles at the 175-MHz clock, so startup and per-packet costs are
-	// in one currency (how Figure 9 plots them).
+	// ValidationMicros is wall-clock spent in actual proof checking
+	// (cache hits contribute nothing — that is the point), so startup
+	// and per-packet costs are in one currency (how Figure 9 plots
+	// them).
 	ValidationMicros float64
 	// Packets delivered and per-owner accepts.
 	Packets int
 	// ExtensionCycles is total simulated time spent inside extensions.
 	ExtensionCycles int64
+
+	// Proof-cache accounting: a hit means an install skipped VC
+	// generation and LF checking entirely.
+	CacheHits      int
+	CacheMisses    int
+	CacheEvictions int
+	// BatchInstalls counts InstallFilterBatch calls; QueueWaitMicros is
+	// the cumulative time batch requests waited for a validator worker.
+	BatchInstalls   int
+	QueueWaitMicros float64
+}
+
+// counters is the lock-free backing store for Stats (cache counters
+// live in the proofCache).
+type counters struct {
+	validations     atomic.Int64
+	rejections      atomic.Int64
+	validationNanos atomic.Int64
+	packets         atomic.Int64
+	extensionCycles atomic.Int64
+	batchInstalls   atomic.Int64
+	queueWaitNanos  atomic.Int64
+}
+
+// installed is one live packet filter. The accepts counter is shared
+// with the kernel's persistent per-owner table so dispatch can bump it
+// under the read lock.
+type installed struct {
+	ext     *pcc.Extension
+	accepts *atomic.Int64
 }
 
 // Kernel is a simulated extensible kernel.
 type Kernel struct {
-	mu sync.Mutex
+	// mu guards the installation tables below. Writers (install
+	// commits, uninstalls, negotiation) hold it briefly; dispatch and
+	// introspection take it in read mode. Validation itself never
+	// holds it.
+	mu sync.RWMutex
 
 	filterPolicy   *policy.Policy
 	resourcePolicy *policy.Policy
+	// Cache keyers memoize the policy-side fingerprints, so keying a
+	// binary costs one SHA-256 over its bytes.
+	filterKeyer   *pcc.Keyer
+	resourceKeyer *pcc.Keyer
 
-	filters    map[string]*pcc.Extension // owner -> installed packet filter
-	accepts    map[string]int
-	handlers   map[int]*pcc.Extension // pid -> resource-access handler
-	tables     map[int]*machine.Region
-	budget     CycleBudget
-	negotiated map[string]*policy.Policy
+	filters          map[string]*installed
+	accepts          map[string]*atomic.Int64 // persists across uninstall
+	handlers         map[int]*pcc.Extension   // pid -> resource-access handler
+	tables           map[int]*machine.Region
+	budget           CycleBudget
+	negotiated       map[string]*policy.Policy
+	negotiatedKeyers map[string]*pcc.Keyer
 
-	stats Stats
+	cache *proofCache
+	stats counters
 }
 
-// New creates a kernel publishing the standard policies.
-func New() *Kernel {
-	return &Kernel{
+// New creates a kernel publishing the standard policies, with a proof
+// cache of DefaultCacheSize entries.
+func New() *Kernel { return NewWithCacheSize(DefaultCacheSize) }
+
+// NewWithCacheSize creates a kernel whose proof cache holds up to size
+// validated extensions; size <= 0 disables memoization (every install
+// re-validates), which the latency benchmarks use to model an
+// all-cold workload.
+func NewWithCacheSize(size int) *Kernel {
+	k := &Kernel{
 		filterPolicy:   policy.PacketFilter(),
 		resourcePolicy: policy.ResourceAccess(),
-		filters:        map[string]*pcc.Extension{},
-		accepts:        map[string]int{},
+		filters:        map[string]*installed{},
+		accepts:        map[string]*atomic.Int64{},
 		handlers:       map[int]*pcc.Extension{},
 		tables:         map[int]*machine.Region{},
+		cache:          newProofCache(size),
 	}
+	k.filterKeyer = pcc.NewKeyer(k.filterPolicy)
+	k.resourceKeyer = pcc.NewKeyer(k.resourcePolicy)
+	return k
 }
 
 // FilterPolicy returns the published packet-filter policy (Figure 1:
@@ -92,9 +152,9 @@ func (k *Kernel) SetCycleBudget(b CycleBudget) {
 // and from then on validates binaries naming it — only after proving
 // that its own packet-filter guarantees cover the proposal.
 func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
-	k.mu.Lock()
+	k.mu.RLock()
 	base := k.filterPolicy
-	k.mu.Unlock()
+	k.mu.RUnlock()
 	if err := pcc.NegotiatePolicy(base, proposed); err != nil {
 		return err
 	}
@@ -102,56 +162,93 @@ func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
 	defer k.mu.Unlock()
 	if k.negotiated == nil {
 		k.negotiated = map[string]*policy.Policy{}
+		k.negotiatedKeyers = map[string]*pcc.Keyer{}
 	}
 	k.negotiated[proposed.Name] = proposed
+	k.negotiatedKeyers[proposed.Name] = pcc.NewKeyer(proposed)
 	return nil
 }
 
 // InstallFilter validates a PCC binary against the packet-filter
 // policy and installs it for the owner. Invalid binaries — and, when a
 // cycle budget is configured, binaries whose static worst-case cost
-// exceeds it — are rejected and counted.
+// exceeds it — are rejected and counted. Validation runs without the
+// kernel lock (and is skipped entirely on a proof-cache hit); only the
+// final commit of the validated extension is serialized.
 func (k *Kernel) InstallFilter(owner string, binary []byte) error {
+	slot, err := k.validateFilter(binary)
+	return k.commitFilter(owner, slot, err)
+}
+
+// validateFilter is the lock-free validation stage: proof-cache
+// lookup, then full PCC validation against the published packet-filter
+// policy with fallback to any negotiated policy the binary names.
+func (k *Kernel) validateFilter(binary []byte) (*cacheSlot, error) {
+	k.stats.validations.Add(1)
+	type candidate struct {
+		pol   *policy.Policy
+		keyer *pcc.Keyer
+	}
+	k.mu.RLock()
+	cands := make([]candidate, 0, 1+len(k.negotiated))
+	cands = append(cands, candidate{k.filterPolicy, k.filterKeyer})
+	for name, p := range k.negotiated {
+		cands = append(cands, candidate{p, k.negotiatedKeyers[name]})
+	}
+	k.mu.RUnlock()
+
+	lastErr := fmt.Errorf("kernel: no policy matches")
+	for i, c := range cands {
+		key := c.keyer.Key(binary)
+		if slot := k.cache.get(key); slot != nil {
+			return slot, nil
+		}
+		ext, stats, err := pcc.Validate(binary, c.pol)
+		if err != nil {
+			if i == 0 {
+				lastErr = err // the published policy's verdict leads
+			}
+			continue
+		}
+		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
+		return k.cache.put(key, ext), nil
+	}
+	return nil, lastErr
+}
+
+// commitFilter is the short serial section of an install: budget
+// check and table update.
+func (k *Kernel) commitFilter(owner string, slot *cacheSlot, verr error) error {
+	if verr != nil {
+		k.stats.rejections.Add(1)
+		return fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	k.stats.Validations++
-	ext, stats, err := pcc.Validate(binary, k.filterPolicy)
-	if err != nil {
-		// Fall back to any negotiated policy the binary names.
-		ext, stats, err = k.validateNegotiated(binary)
-	}
-	if err != nil {
-		k.stats.Rejections++
-		return fmt.Errorf("kernel: filter for %q rejected: %w", owner, err)
-	}
 	if k.budget > 0 {
-		wcet, err := machine.DEC21064.MaxCost(ext.Prog)
-		if err != nil {
-			k.stats.Rejections++
-			return fmt.Errorf("kernel: filter for %q has no static cost bound: %w", owner, err)
+		wcet := k.cache.getWCET(slot)
+		if wcet < 0 {
+			w, err := machine.DEC21064.MaxCost(slot.ext.Prog)
+			if err != nil {
+				k.stats.rejections.Add(1)
+				return fmt.Errorf("kernel: filter for %q has no static cost bound: %w", owner, err)
+			}
+			wcet = w
+			k.cache.setWCET(slot, w)
 		}
 		if wcet > int64(k.budget) {
-			k.stats.Rejections++
+			k.stats.rejections.Add(1)
 			return fmt.Errorf("kernel: filter for %q exceeds the cycle budget: %d > %d",
 				owner, wcet, k.budget)
 		}
 	}
-	k.stats.ValidationMicros += float64(stats.Time.Microseconds())
-	k.filters[owner] = ext
-	return nil
-}
-
-// validateNegotiated tries the negotiated policies (k.mu held).
-func (k *Kernel) validateNegotiated(binary []byte) (*pcc.Extension, *pcc.ValidationStats, error) {
-	var lastErr error = fmt.Errorf("kernel: no negotiated policy matches")
-	for _, pol := range k.negotiated {
-		ext, stats, err := pcc.Validate(binary, pol)
-		if err == nil {
-			return ext, stats, nil
-		}
-		lastErr = err
+	ctr := k.accepts[owner]
+	if ctr == nil {
+		ctr = new(atomic.Int64)
+		k.accepts[owner] = ctr
 	}
-	return nil, nil, lastErr
+	k.filters[owner] = &installed{ext: slot.ext, accepts: ctr}
+	return nil
 }
 
 // UninstallFilter removes an owner's filter.
@@ -163,8 +260,8 @@ func (k *Kernel) UninstallFilter(owner string) {
 
 // Owners lists owners with installed filters, sorted.
 func (k *Kernel) Owners() []string {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.mu.RLock()
+	defer k.mu.RUnlock()
 	out := make([]string, 0, len(k.filters))
 	for o := range k.filters {
 		out = append(out, o)
@@ -175,24 +272,26 @@ func (k *Kernel) Owners() []string {
 
 // DeliverPacket runs every installed filter over the packet (with no
 // run-time checks — they are validated) and returns the owners that
-// accepted it.
+// accepted it. It holds the kernel lock only in read mode, so
+// deliveries proceed concurrently with each other and wait at most for
+// an install's short commit section — never for a validation.
 func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.stats.Packets++
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	k.stats.packets.Add(1)
 	var accepted []string
-	for owner, ext := range k.filters {
+	for owner, f := range k.filters {
 		state := k.packetState(pkt)
-		res, err := machine.Interp(ext.Prog, state, machine.Unchecked, &machine.DEC21064, 1<<20)
+		res, err := machine.Interp(f.ext.Prog, state, machine.Unchecked, &machine.DEC21064, 1<<20)
 		if err != nil {
 			// A validated extension cannot fault when the kernel meets
 			// the precondition; if it does, the kernel is broken.
 			return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", owner, err)
 		}
-		k.stats.ExtensionCycles += res.Cycles
+		k.stats.extensionCycles.Add(res.Cycles)
 		if res.Ret != 0 {
 			accepted = append(accepted, owner)
-			k.accepts[owner]++
+			f.accepts.Add(1)
 		}
 	}
 	sort.Strings(accepted)
@@ -217,11 +316,11 @@ func (k *Kernel) packetState(pkt pktgen.Packet) *machine.State {
 
 // Accepts returns the per-owner accept counters.
 func (k *Kernel) Accepts() map[string]int {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.mu.RLock()
+	defer k.mu.RUnlock()
 	out := make(map[string]int, len(k.accepts))
 	for o, n := range k.accepts {
-		out[o] = n
+		out[o] = int(n.Load())
 	}
 	return out
 }
@@ -238,23 +337,30 @@ func (k *Kernel) CreateTable(pid int, tag, data uint64) {
 }
 
 // InstallHandler validates and installs a resource-access handler for
-// a process.
+// a process. Like InstallFilter, validation runs lock-free and is
+// memoized by the proof cache.
 func (k *Kernel) InstallHandler(pid int, binary []byte) error {
+	k.stats.validations.Add(1)
+	key := k.resourceKeyer.Key(binary)
+	slot := k.cache.get(key)
+	if slot == nil {
+		ext, stats, err := pcc.Validate(binary, k.resourcePolicy)
+		if err != nil {
+			k.stats.rejections.Add(1)
+			return fmt.Errorf("kernel: handler for pid %d rejected: %w", pid, err)
+		}
+		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
+		slot = k.cache.put(key, ext)
+	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	k.stats.Validations++
-	ext, stats, err := pcc.Validate(binary, k.resourcePolicy)
-	if err != nil {
-		k.stats.Rejections++
-		return fmt.Errorf("kernel: handler for pid %d rejected: %w", pid, err)
-	}
-	k.stats.ValidationMicros += float64(stats.Time.Microseconds())
-	k.handlers[pid] = ext
+	k.handlers[pid] = slot.ext
 	return nil
 }
 
 // InvokeHandler runs a process's installed handler on its own table
-// entry, per the §2 calling convention (entry address in r0).
+// entry, per the §2 calling convention (entry address in r0). It holds
+// the write lock: handlers mutate their table entry in place.
 func (k *Kernel) InvokeHandler(pid int) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -274,14 +380,14 @@ func (k *Kernel) InvokeHandler(pid int) error {
 	if err != nil {
 		return fmt.Errorf("kernel: validated handler for pid %d faulted: %w", pid, err)
 	}
-	k.stats.ExtensionCycles += res.Cycles
+	k.stats.extensionCycles.Add(res.Cycles)
 	return nil
 }
 
 // Table returns a process's {tag, data} entry.
 func (k *Kernel) Table(pid int) (tag, data uint64, ok bool) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
+	k.mu.RLock()
+	defer k.mu.RUnlock()
 	r, found := k.tables[pid]
 	if !found {
 		return 0, 0, false
@@ -289,9 +395,19 @@ func (k *Kernel) Table(pid int) (tag, data uint64, ok bool) {
 	return r.Word(0), r.Word(8), true
 }
 
-// Stats returns a copy of the kernel accounting.
+// Stats returns a snapshot of the kernel accounting.
 func (k *Kernel) Stats() Stats {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.stats
+	hits, misses, evictions := k.cache.counters()
+	return Stats{
+		Validations:      int(k.stats.validations.Load()),
+		Rejections:       int(k.stats.rejections.Load()),
+		ValidationMicros: float64(k.stats.validationNanos.Load()) / float64(time.Microsecond),
+		Packets:          int(k.stats.packets.Load()),
+		ExtensionCycles:  k.stats.extensionCycles.Load(),
+		CacheHits:        int(hits),
+		CacheMisses:      int(misses),
+		CacheEvictions:   int(evictions),
+		BatchInstalls:    int(k.stats.batchInstalls.Load()),
+		QueueWaitMicros:  float64(k.stats.queueWaitNanos.Load()) / float64(time.Microsecond),
+	}
 }

@@ -1,0 +1,80 @@
+// Batch installation pipeline. The paper's consumer validates one
+// binary at a time; a consumer serving millions of users sees bursts
+// of install requests (boot-time filter sets, fleet-wide rollouts) and
+// proof checking is CPU-bound and embarrassingly parallel — each
+// validation reads only the published policy and its own binary. The
+// pipeline fans validations across GOMAXPROCS workers and serializes
+// only the short commit sections, so a batch costs max(validation)
+// instead of sum(validation) while installs stay linearizable: commits
+// are applied in request order, and a dispatch observes each install
+// atomically.
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// InstallRequest names one binary to install for an owner.
+type InstallRequest struct {
+	Owner  string
+	Binary []byte
+}
+
+// InstallFilterBatch validates the requests concurrently and commits
+// them in request order; errs[i] is the outcome of reqs[i], exactly
+// what InstallFilter would have returned for it. When two requests
+// name the same owner, the later one wins, as it would installing
+// serially.
+func (k *Kernel) InstallFilterBatch(reqs []InstallRequest) []error {
+	n := len(reqs)
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	k.stats.batchInstalls.Add(1)
+
+	slots := make([]*cacheSlot, n)
+	verrs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Queue wait: how long the request sat before a
+				// validator picked it up.
+				k.stats.queueWaitNanos.Add(time.Since(start).Nanoseconds())
+				slots[i], verrs[i] = k.validateFilter(reqs[i].Binary)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i := range reqs {
+		errs[i] = k.commitFilter(reqs[i].Owner, slots[i], verrs[i])
+	}
+	return errs
+}
+
+// ValidateAsync validates and installs a filter in the background,
+// delivering InstallFilter's result on the returned channel. The
+// channel is buffered: the caller may drop it and let the install
+// complete unobserved.
+func (k *Kernel) ValidateAsync(owner string, binary []byte) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- k.InstallFilter(owner, binary) }()
+	return ch
+}

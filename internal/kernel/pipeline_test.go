@@ -1,0 +1,331 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/pktgen"
+	"repro/internal/policy"
+)
+
+// certAll certifies the four paper filters once per test binary run
+// (certification is producer-side and pure; sharing it keeps the test
+// suite fast without coupling test cases).
+func certAll(t testing.TB) map[filters.Filter][]byte {
+	t.Helper()
+	pol := policy.PacketFilter()
+	out := map[filters.Filter][]byte{}
+	for _, f := range filters.All {
+		cert, err := pcc.Certify(filters.Source(f), pol, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[f] = cert.Binary
+	}
+	return out
+}
+
+// TestSerialVsBatchDifferential is the differential harness: for every
+// paper filter (plus a garbage blob and a cross-policy binary), the
+// serial InstallFilter path and the concurrent InstallFilterBatch path
+// must make identical accept/reject decisions, produce identical
+// Validations/Rejections accounting, and dispatch identically — and a
+// second install of the same binaries must be pure cache hits with
+// unchanged extension behavior.
+func TestSerialVsBatchDifferential(t *testing.T) {
+	bins := certAll(t)
+	crossPolicy, err := pcc.Certify(`
+        ADDQ  r0, 8, r1
+        LDQ   r0, 8(r0)
+L1:     RET
+	`, pcc.ResourceAccessPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []InstallRequest
+	for _, f := range filters.All {
+		reqs = append(reqs, InstallRequest{fmt.Sprintf("proc-%d", f), bins[f]})
+	}
+	reqs = append(reqs,
+		InstallRequest{"garbage", []byte("not a pcc binary")},
+		InstallRequest{"cross", crossPolicy.Binary},
+	)
+
+	serial := New()
+	var serialErrs []error
+	for _, r := range reqs {
+		serialErrs = append(serialErrs, serial.InstallFilter(r.Owner, r.Binary))
+	}
+	batch := New()
+	batchErrs := batch.InstallFilterBatch(reqs)
+
+	for i := range reqs {
+		if (serialErrs[i] == nil) != (batchErrs[i] == nil) {
+			t.Fatalf("request %q: serial err=%v, batch err=%v",
+				reqs[i].Owner, serialErrs[i], batchErrs[i])
+		}
+	}
+	ss, bs := serial.Stats(), batch.Stats()
+	if ss.Validations != bs.Validations || ss.Rejections != bs.Rejections {
+		t.Fatalf("accounting diverged: serial %d/%d, batch %d/%d",
+			ss.Validations, ss.Rejections, bs.Validations, bs.Rejections)
+	}
+	if got, want := fmt.Sprint(batch.Owners()), fmt.Sprint(serial.Owners()); got != want {
+		t.Fatalf("owners diverged: %s vs %s", got, want)
+	}
+
+	pkts := pktgen.Generate(500, pktgen.Config{Seed: 7})
+	for _, p := range pkts {
+		a1, err1 := serial.DeliverPacket(p)
+		a2, err2 := batch.DeliverPacket(p)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if fmt.Sprint(a1) != fmt.Sprint(a2) {
+			t.Fatalf("dispatch diverged: %v vs %v", a1, a2)
+		}
+		for _, f := range filters.All {
+			want := filters.Reference(f, p.Data)
+			got := false
+			for _, o := range a2 {
+				if o == fmt.Sprintf("proc-%d", f) {
+					got = true
+				}
+			}
+			if got != want {
+				t.Fatalf("%v: accept=%v, reference=%v", f, got, want)
+			}
+		}
+	}
+	if got, want := fmt.Sprint(batch.Accepts()), fmt.Sprint(serial.Accepts()); got != want {
+		t.Fatalf("accepts diverged: %s vs %s", got, want)
+	}
+
+	// Re-installing the same binaries must be pure cache hits...
+	preHits := batch.Stats().CacheHits
+	for _, errs := range [][]error{batch.InstallFilterBatch(reqs[:4])} {
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("warm re-install %d failed: %v", i, err)
+			}
+		}
+	}
+	if got := batch.Stats().CacheHits - preHits; got != 4 {
+		t.Fatalf("warm batch produced %d cache hits, want 4", got)
+	}
+	// ...with identical extension behavior.
+	for _, p := range pkts[:100] {
+		a1, _ := serial.DeliverPacket(p)
+		a2, err := batch.DeliverPacket(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a1) != fmt.Sprint(a2) {
+			t.Fatalf("post-warm dispatch diverged: %v vs %v", a1, a2)
+		}
+	}
+}
+
+// TestCacheNotPoisoned: tampered proofs, truncated blobs, and
+// rejected binaries must never enter the cache — each re-presentation
+// re-validates and re-fails — and a cached entry must never be
+// returned for a different policy.
+func TestCacheNotPoisoned(t *testing.T) {
+	pol := policy.PacketFilter()
+	cert, err := pcc.Certify(filters.SrcFilter1, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New()
+
+	tampered := bytes.Clone(cert.Binary)
+	tampered[cert.Layout.ProofOff+2] ^= 0x55
+	truncated := bytes.Clone(cert.Binary[:len(cert.Binary)/2])
+
+	for round := 0; round < 2; round++ {
+		if err := k.InstallFilter("evil", tampered); err == nil {
+			t.Fatalf("round %d: tampered proof installed", round)
+		}
+		if err := k.InstallFilter("evil", truncated); err == nil {
+			t.Fatalf("round %d: truncated binary installed", round)
+		}
+	}
+	st := k.Stats()
+	if st.CacheHits != 0 {
+		t.Fatalf("rejected binaries produced %d cache hits — cache poisoned", st.CacheHits)
+	}
+	if st.Rejections != 4 || k.cache.len() != 0 {
+		t.Fatalf("rejections=%d cacheEntries=%d, want 4 and 0", st.Rejections, k.cache.len())
+	}
+
+	// The genuine binary validates (miss) then hits.
+	if err := k.InstallFilter("good", cert.Binary); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InstallFilter("good", cert.Binary); err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Stats(); st.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", st.CacheHits)
+	}
+
+	// A cached packet-filter entry is invisible under another policy:
+	// the same bytes presented as a resource handler must be rejected,
+	// without touching the cached entry.
+	if err := k.InstallHandler(9, cert.Binary); err == nil {
+		t.Fatal("filter binary accepted as a resource handler")
+	}
+	if st := k.Stats(); st.CacheHits != 1 {
+		t.Fatalf("cross-policy lookup hit the cache: %d hits", st.CacheHits)
+	}
+}
+
+// TestValidationKeySeparation pins the cache-key contract: any change
+// to the binary or to the policy's semantic content (even under the
+// same name) changes the key.
+func TestValidationKeySeparation(t *testing.T) {
+	pol := policy.PacketFilter()
+	cert, err := pcc.Certify(filters.SrcFilter1, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pcc.ValidationKey(cert.Binary, pol)
+
+	tampered := bytes.Clone(cert.Binary)
+	tampered[len(tampered)-1] ^= 1
+	if pcc.ValidationKey(tampered, pol) == base {
+		t.Fatal("tampered binary has the same validation key")
+	}
+
+	weaker := policy.PacketFilter()
+	weaker.Post = pol.Pre // same name, different contract
+	if pcc.ValidationKey(cert.Binary, weaker) == base {
+		t.Fatal("semantically different policy has the same validation key")
+	}
+	if pcc.ValidationKey(cert.Binary, policy.PacketFilter()) != base {
+		t.Fatal("validation key is not deterministic")
+	}
+	if pcc.ValidationKey(cert.Binary, policy.ResourceAccess()) == base {
+		t.Fatal("distinct policies share a validation key")
+	}
+}
+
+// TestCacheEviction: the LRU bound holds and evicted entries simply
+// re-validate.
+func TestCacheEviction(t *testing.T) {
+	bins := certAll(t)
+	k := NewWithCacheSize(2)
+	for _, f := range filters.All {
+		if err := k.InstallFilter(f.String(), bins[f]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := k.cache.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+	st := k.Stats()
+	if st.CacheEvictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.CacheEvictions)
+	}
+	// The most recent two hit; an evicted one re-validates as a miss.
+	preMisses := st.CacheMisses
+	if err := k.InstallFilter("again", bins[filters.Filter4]); err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Stats(); st.CacheHits == 0 {
+		t.Fatal("recently used entry missed")
+	}
+	if err := k.InstallFilter("cold", bins[filters.Filter1]); err != nil {
+		t.Fatal(err)
+	}
+	if st := k.Stats(); st.CacheMisses != preMisses+1 {
+		t.Fatalf("evicted entry did not re-validate: misses %d -> %d",
+			preMisses, st.CacheMisses)
+	}
+}
+
+// TestWarmInstallSpeedup is the acceptance gate: a warm-cache
+// re-install of an already-verified filter must be at least 10x
+// faster than its cold validation. (In practice the gap is three
+// orders of magnitude — a SHA-256 and a map lookup versus VC
+// generation plus LF proof checking.)
+func TestWarmInstallSpeedup(t *testing.T) {
+	pol := policy.PacketFilter()
+	cert, err := pcc.Certify(filters.SrcFilter3, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New()
+	start := time.Now()
+	if err := k.InstallFilter("cold", cert.Binary); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+
+	warm := time.Duration(1 << 62)
+	for i := 0; i < 5; i++ {
+		start = time.Now()
+		if err := k.InstallFilter("warm", cert.Binary); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+	}
+	if st := k.Stats(); st.CacheHits != 5 {
+		t.Fatalf("cache hits = %d, want 5", st.CacheHits)
+	}
+	if cold < 10*warm {
+		t.Fatalf("warm install is only %.1fx faster than cold (%v vs %v), want >= 10x",
+			float64(cold)/float64(warm), cold, warm)
+	}
+	t.Logf("cold %v, warm %v (%.0fx)", cold, warm, float64(cold)/float64(warm))
+}
+
+// TestValidateAsync: the async install path reports the same verdicts
+// as the serial one.
+func TestValidateAsync(t *testing.T) {
+	bins := certAll(t)
+	k := New()
+	okCh := k.ValidateAsync("a", bins[filters.Filter1])
+	badCh := k.ValidateAsync("b", []byte("garbage"))
+	if err := <-okCh; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-badCh; err == nil {
+		t.Fatal("garbage installed asynchronously")
+	}
+	if got := k.Owners(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("owners = %v", got)
+	}
+}
+
+// TestBatchDuplicateOwners: later requests for the same owner win,
+// matching serial semantics.
+func TestBatchDuplicateOwners(t *testing.T) {
+	bins := certAll(t)
+	k := New()
+	errs := k.InstallFilterBatch([]InstallRequest{
+		{"dup", bins[filters.Filter1]},
+		{"dup", bins[filters.Filter2]},
+	})
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Filter 2 rejects a non-128.2.42 IP packet that Filter 1 accepts.
+	pkt := pktgen.Packet{Data: make([]byte, 64)}
+	pkt.Data[12], pkt.Data[13] = 0x08, 0x00
+	accepted, err := k.DeliverPacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accepted) != 0 {
+		t.Fatalf("accepted=%v: first request won, want last", accepted)
+	}
+}

@@ -14,6 +14,9 @@ package policy
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
 
 	"repro/internal/logic"
 )
@@ -50,6 +53,45 @@ func (p *Policy) ExtraAxioms() map[string]*logic.Schema {
 		out[s.Name] = s
 	}
 	return out
+}
+
+// Fingerprint returns a stable 64-bit digest of the policy's semantic
+// content: its name, precondition, postcondition, and published axiom
+// schemas. (Convention is human-readable documentation and excluded.)
+// Two policies with equal fingerprints accept exactly the same set of
+// PCC binaries, so consumers may use the fingerprint — together with a
+// content hash of the binary — to memoize validation results; see the
+// proof cache in internal/kernel.
+func (p *Policy) Fingerprint() uint64 {
+	h := fnv.New64a()
+	writePred := func(pred logic.Pred) {
+		if pred == nil {
+			io.WriteString(h, "<nil>")
+		} else {
+			io.WriteString(h, pred.String())
+		}
+		io.WriteString(h, "\x00")
+	}
+	io.WriteString(h, p.Name)
+	io.WriteString(h, "\x00")
+	writePred(p.Pre)
+	writePred(p.Post)
+	axioms := append([]*logic.Schema(nil), p.Axioms...)
+	sort.Slice(axioms, func(i, j int) bool { return axioms[i].Name < axioms[j].Name })
+	for _, s := range axioms {
+		io.WriteString(h, s.Name)
+		io.WriteString(h, "(")
+		for _, prm := range s.Params {
+			io.WriteString(h, prm)
+			io.WriteString(h, ",")
+		}
+		io.WriteString(h, ")")
+		for _, prem := range s.Prems {
+			writePred(prem)
+		}
+		writePred(s.Concl)
+	}
+	return h.Sum64()
 }
 
 // Packet-filter calling convention (§3): the kernel passes the aligned

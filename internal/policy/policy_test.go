@@ -93,3 +93,53 @@ func TestPoliciesPostTrue(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	base := PacketFilter().Fingerprint()
+	if base != PacketFilter().Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	fps := map[uint64]string{}
+	for _, p := range []*Policy{PacketFilter(), ResourceAccess(), SFISegment(), Semaphore()} {
+		fp := p.Fingerprint()
+		if prev, dup := fps[fp]; dup {
+			t.Errorf("%s and %s share fingerprint %#x", p.Name, prev, fp)
+		}
+		fps[fp] = p.Name
+	}
+
+	// Same name, different contract: distinct fingerprints.
+	weak := PacketFilter()
+	weak.Pre = logic.True
+	if weak.Fingerprint() == base {
+		t.Error("weakened precondition kept the fingerprint")
+	}
+	renamed := PacketFilter()
+	renamed.Name = "packet-filter/v2"
+	if renamed.Fingerprint() == base {
+		t.Error("renamed policy kept the fingerprint")
+	}
+
+	// Convention is documentation: it must NOT affect the fingerprint.
+	doc := PacketFilter()
+	doc.Convention = "different prose"
+	if doc.Fingerprint() != base {
+		t.Error("convention text changed the fingerprint")
+	}
+
+	// Axioms are contract: order-independent, content-sensitive.
+	ax1 := &logic.Schema{Name: "a1", Params: []string{"$x"},
+		Concl: logic.Eq(logic.V("$x"), logic.V("$x"))}
+	ax2 := &logic.Schema{Name: "a2", Params: []string{"$x"},
+		Concl: logic.Ule(logic.V("$x"), logic.V("$x"))}
+	pa := PacketFilter()
+	pa.Axioms = []*logic.Schema{ax1, ax2}
+	pb := PacketFilter()
+	pb.Axioms = []*logic.Schema{ax2, ax1}
+	if pa.Fingerprint() != pb.Fingerprint() {
+		t.Error("axiom order changed the fingerprint")
+	}
+	if pa.Fingerprint() == base {
+		t.Error("published axioms did not change the fingerprint")
+	}
+}

@@ -17,6 +17,8 @@
 package pcc
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
@@ -225,6 +227,49 @@ func Validate(binary []byte, pol *policy.Policy) (*Extension, *ValidationStats, 
 			HeapBytes:  heap,
 			BinarySize: len(binary),
 		}, nil
+}
+
+// ValidationKey returns the content-addressed memoization key for
+// "Validate(bin, pol)": SHA-256 over the binary bytes, the policy
+// fingerprint, and the fingerprint of the rule set the policy
+// publishes. Validation is a pure function of exactly these inputs, so
+// a consumer may cache a successful validation under this key and skip
+// VC generation and LF checking when the same binary is presented
+// again — the kernel's proof cache (internal/kernel) does. Any change
+// to the binary (tampered proof, truncated blob) or to the policy
+// (different pre/post, different axioms) changes the key, so a cached
+// entry can never be replayed against a policy it was not checked
+// under.
+func ValidationKey(bin []byte, pol *policy.Policy) [sha256.Size]byte {
+	return NewKeyer(pol).Key(bin)
+}
+
+// Keyer computes ValidationKey with the policy-side fingerprints
+// precomputed, so the per-binary cost is one SHA-256 over the binary
+// bytes. A consumer builds one Keyer per published policy (the
+// fingerprints summarize the policy's semantic content; they are fixed
+// once the policy is published).
+type Keyer struct {
+	prefix [16]byte
+}
+
+// NewKeyer fingerprints the policy and its published rule set once.
+func NewKeyer(pol *policy.Policy) *Keyer {
+	ky := &Keyer{}
+	binary.LittleEndian.PutUint64(ky.prefix[:8], pol.Fingerprint())
+	binary.LittleEndian.PutUint64(ky.prefix[8:], signatureFor(pol).Fingerprint())
+	return ky
+}
+
+// Key returns the memoization key for validating bin under the keyer's
+// policy.
+func (ky *Keyer) Key(bin []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(ky.prefix[:])
+	h.Write(bin)
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
 }
 
 // consumerSignature returns the consumer's base LF signature, built

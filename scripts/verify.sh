@@ -1,0 +1,21 @@
+#!/bin/sh
+# verify.sh — the one entry point future PRs run before shipping:
+# build, vet, the full test suite under the race detector (the
+# concurrent validation pipeline must stay -race clean), and a smoke
+# pass over the seed fuzz corpora.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go test -race ./...'
+go test -race ./...
+
+echo '== fuzz corpora smoke (go test -run=Fuzz -fuzztime=10s)'
+go test -run=Fuzz -fuzztime=10s ./...
+
+echo 'verify: OK'
