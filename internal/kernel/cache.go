@@ -3,15 +3,16 @@
 // a one-time cost; at consumer scale the same extension binary is
 // installed over and over (many users shipping the same filter), so
 // the kernel memoizes Validate by SHA-256 of (binary bytes, policy
-// fingerprint) — see pcc.ValidationKey — and a re-install of an
+// content digest) — see pcc.ValidationKey — and a re-install of an
 // already-verified extension skips VC generation and LF checking
 // entirely.
 //
 // Only *successful* validations are cached: a rejected binary is never
 // remembered, so tampered or truncated blobs re-validate (and re-fail)
-// every time and cannot poison the cache. Because the policy
-// fingerprint is part of the key, an entry cached under one policy is
-// invisible to validation under any other.
+// every time and cannot poison the cache. Because the policy's full
+// SHA-256 content digest is part of the key (a truncated fingerprint
+// would admit engineered cross-policy collisions), an entry cached
+// under one policy is invisible to validation under any other.
 package kernel
 
 import (
@@ -41,12 +42,17 @@ type proofCache struct {
 	hits, misses, evictions int64
 }
 
+// cacheSlot is one validated extension plus everything derived purely
+// from it. Slots are immutable after construction (newCacheSlot in
+// kernel.go), so readers need no lock.
 type cacheSlot struct {
 	key cacheKey
 	ext *pcc.Extension
-	// wcet is the static worst-case cost bound, memoized on the first
-	// budget check (-1 = not yet computed).
-	wcet int64
+	// wcet is the static worst-case cost bound of ext.Prog, computed
+	// lock-free at validation time; wcetErr records why no bound
+	// exists (e.g. a loop), in which case budgeted installs reject.
+	wcet    int64
+	wcetErr error
 }
 
 func newProofCache(max int) *proofCache {
@@ -57,8 +63,12 @@ func newProofCache(max int) *proofCache {
 	}
 }
 
-// get returns the cached slot for key, counting a hit or a miss.
-func (c *proofCache) get(key cacheKey) *cacheSlot {
+// lookup returns the cached slot for key, or nil. It does no hit/miss
+// accounting: an install attempt may probe several candidate policies,
+// and the kernel records at most one hit or one miss per attempt
+// (recordHit/recordMiss), so the hit rate reflects installs, not
+// probes.
+func (c *proofCache) lookup(key cacheKey) *cacheSlot {
 	if c == nil || c.max <= 0 {
 		return nil
 	}
@@ -66,28 +76,45 @@ func (c *proofCache) get(key cacheKey) *cacheSlot {
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses++
 		return nil
 	}
-	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheSlot)
 }
 
+// recordHit counts one install attempt served from the cache.
+func (c *proofCache) recordHit() {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+}
+
+// recordMiss counts one install attempt that found no cached candidate.
+func (c *proofCache) recordMiss() {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.misses++
+}
+
 // put records a successful validation, evicting the least recently
 // used entry when over capacity.
-func (c *proofCache) put(key cacheKey, ext *pcc.Extension) *cacheSlot {
-	slot := &cacheSlot{key: key, ext: ext, wcet: -1}
+func (c *proofCache) put(slot *cacheSlot) *cacheSlot {
 	if c == nil || c.max <= 0 {
 		return slot
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
+	if el, ok := c.entries[slot.key]; ok {
 		c.order.MoveToFront(el)
 		return el.Value.(*cacheSlot)
 	}
-	c.entries[key] = c.order.PushFront(slot)
+	c.entries[slot.key] = c.order.PushFront(slot)
 	for c.order.Len() > c.max {
 		back := c.order.Back()
 		delete(c.entries, back.Value.(*cacheSlot).key)
@@ -95,26 +122,6 @@ func (c *proofCache) put(key cacheKey, ext *pcc.Extension) *cacheSlot {
 		c.evictions++
 	}
 	return slot
-}
-
-// setWCET memoizes the budget-check bound on a slot.
-func (c *proofCache) setWCET(slot *cacheSlot, bound int64) {
-	if c == nil {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	slot.wcet = bound
-}
-
-// getWCET reads a slot's memoized bound under the cache lock.
-func (c *proofCache) getWCET(slot *cacheSlot) int64 {
-	if c == nil {
-		return -1
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return slot.wcet
 }
 
 // counters snapshots the accounting.

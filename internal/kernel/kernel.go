@@ -180,29 +180,45 @@ func (k *Kernel) InstallFilter(owner string, binary []byte) error {
 	return k.commitFilter(owner, slot, err)
 }
 
+// newCacheSlot derives everything an install commit will need from a
+// freshly validated extension — today the static worst-case cost
+// bound — so the commit section never does per-extension analysis
+// under the kernel write lock. Slots are immutable once built.
+func newCacheSlot(key cacheKey, ext *pcc.Extension) *cacheSlot {
+	slot := &cacheSlot{key: key, ext: ext}
+	slot.wcet, slot.wcetErr = machine.DEC21064.MaxCost(ext.Prog)
+	return slot
+}
+
 // validateFilter is the lock-free validation stage: proof-cache
 // lookup, then full PCC validation against the published packet-filter
-// policy with fallback to any negotiated policy the binary names.
+// policy with fallback to any negotiated policy the binary names. At
+// most one cache hit or miss is recorded per install attempt, however
+// many candidate policies are probed.
 func (k *Kernel) validateFilter(binary []byte) (*cacheSlot, error) {
 	k.stats.validations.Add(1)
 	type candidate struct {
-		pol   *policy.Policy
-		keyer *pcc.Keyer
+		pol *policy.Policy
+		key cacheKey
 	}
 	k.mu.RLock()
 	cands := make([]candidate, 0, 1+len(k.negotiated))
-	cands = append(cands, candidate{k.filterPolicy, k.filterKeyer})
+	cands = append(cands, candidate{k.filterPolicy, k.filterKeyer.Key(binary)})
 	for name, p := range k.negotiated {
-		cands = append(cands, candidate{p, k.negotiatedKeyers[name]})
+		cands = append(cands, candidate{p, k.negotiatedKeyers[name].Key(binary)})
 	}
 	k.mu.RUnlock()
 
-	lastErr := fmt.Errorf("kernel: no policy matches")
-	for i, c := range cands {
-		key := c.keyer.Key(binary)
-		if slot := k.cache.get(key); slot != nil {
+	for _, c := range cands {
+		if slot := k.cache.lookup(c.key); slot != nil {
+			k.cache.recordHit()
 			return slot, nil
 		}
+	}
+	k.cache.recordMiss()
+
+	lastErr := fmt.Errorf("kernel: no policy matches")
+	for i, c := range cands {
 		ext, stats, err := pcc.Validate(binary, c.pol)
 		if err != nil {
 			if i == 0 {
@@ -211,13 +227,14 @@ func (k *Kernel) validateFilter(binary []byte) (*cacheSlot, error) {
 			continue
 		}
 		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
-		return k.cache.put(key, ext), nil
+		return k.cache.put(newCacheSlot(c.key, ext)), nil
 	}
 	return nil, lastErr
 }
 
 // commitFilter is the short serial section of an install: budget
-// check and table update.
+// comparison (the WCET itself was computed lock-free at validation
+// time) and table update.
 func (k *Kernel) commitFilter(owner string, slot *cacheSlot, verr error) error {
 	if verr != nil {
 		k.stats.rejections.Add(1)
@@ -226,20 +243,14 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, verr error) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if k.budget > 0 {
-		wcet := k.cache.getWCET(slot)
-		if wcet < 0 {
-			w, err := machine.DEC21064.MaxCost(slot.ext.Prog)
-			if err != nil {
-				k.stats.rejections.Add(1)
-				return fmt.Errorf("kernel: filter for %q has no static cost bound: %w", owner, err)
-			}
-			wcet = w
-			k.cache.setWCET(slot, w)
+		if slot.wcetErr != nil {
+			k.stats.rejections.Add(1)
+			return fmt.Errorf("kernel: filter for %q has no static cost bound: %w", owner, slot.wcetErr)
 		}
-		if wcet > int64(k.budget) {
+		if slot.wcet > int64(k.budget) {
 			k.stats.rejections.Add(1)
 			return fmt.Errorf("kernel: filter for %q exceeds the cycle budget: %d > %d",
-				owner, wcet, k.budget)
+				owner, slot.wcet, k.budget)
 		}
 	}
 	ctr := k.accepts[owner]
@@ -342,15 +353,18 @@ func (k *Kernel) CreateTable(pid int, tag, data uint64) {
 func (k *Kernel) InstallHandler(pid int, binary []byte) error {
 	k.stats.validations.Add(1)
 	key := k.resourceKeyer.Key(binary)
-	slot := k.cache.get(key)
-	if slot == nil {
+	slot := k.cache.lookup(key)
+	if slot != nil {
+		k.cache.recordHit()
+	} else {
+		k.cache.recordMiss()
 		ext, stats, err := pcc.Validate(binary, k.resourcePolicy)
 		if err != nil {
 			k.stats.rejections.Add(1)
 			return fmt.Errorf("kernel: handler for pid %d rejected: %w", pid, err)
 		}
 		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
-		slot = k.cache.put(key, ext)
+		slot = k.cache.put(newCacheSlot(key, ext))
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -395,7 +409,13 @@ func (k *Kernel) Table(pid int) (tag, data uint64, ok bool) {
 	return r.Word(0), r.Word(8), true
 }
 
-// Stats returns a snapshot of the kernel accounting.
+// Stats returns a snapshot of the kernel accounting. Each counter is
+// read atomically, but the snapshot as a whole takes no global lock:
+// while installs are in flight, counters that move together at rest
+// may be momentarily inconsistent (e.g. a Validation counted whose
+// hit, miss, or rejection is not yet recorded). Callers wanting exact
+// cross-counter invariants must quiesce the kernel first, as the tests
+// do; monitoring readers should treat the snapshot as approximate.
 func (k *Kernel) Stats() Stats {
 	hits, misses, evictions := k.cache.counters()
 	return Stats{

@@ -329,3 +329,77 @@ func TestBatchDuplicateOwners(t *testing.T) {
 		t.Fatalf("accepted=%v: first request won, want last", accepted)
 	}
 }
+
+// TestNegotiatedCacheAccounting covers the install path with a
+// negotiated policy present: exactly one cache miss is recorded per
+// install attempt (not one per candidate policy probed), a warm
+// re-install that hits on the negotiated candidate records one hit and
+// no extra misses, and the cached negotiated-policy entry is invisible
+// to the resource-handler path — a producer cannot launder a filter
+// binary into a handler through the shared cache.
+func TestNegotiatedCacheAccounting(t *testing.T) {
+	k := New()
+	weak := policy.PacketFilter()
+	weak.Name = "producer/v1"
+	if err := k.NegotiateFilterPolicy(weak); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := pcc.Certify(filters.SrcFilter1, weak, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InstallFilter("p", cert.Binary); err != nil {
+		t.Fatal(err)
+	}
+	st := k.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 0 {
+		t.Fatalf("cold install with 2 candidate policies: hits=%d misses=%d, want 0/1",
+			st.CacheHits, st.CacheMisses)
+	}
+	if err := k.InstallFilter("q", cert.Binary); err != nil {
+		t.Fatal(err)
+	}
+	st = k.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 {
+		t.Fatalf("warm install on negotiated candidate: hits=%d misses=%d, want 1/1",
+			st.CacheHits, st.CacheMisses)
+	}
+	// The same bytes presented as a resource handler must re-validate
+	// (its own single miss) and be rejected without touching the cache.
+	if err := k.InstallHandler(7, cert.Binary); err == nil {
+		t.Fatal("negotiated filter binary accepted as a resource handler")
+	}
+	st = k.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("cross-policy handler attempt: hits=%d misses=%d, want 1/2",
+			st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestWCETComputedAtValidation: the static cost bound is derived in
+// the lock-free validation stage and memoized on the slot, so the
+// commit section under the write lock only compares it to the budget —
+// WCET analysis never stalls dispatch.
+func TestWCETComputedAtValidation(t *testing.T) {
+	pol := policy.PacketFilter()
+	cert, err := pcc.Certify(filters.SrcFilter1, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := New() // no budget configured, yet the bound is precomputed
+	slot, verr := k.validateFilter(cert.Binary)
+	if verr != nil {
+		t.Fatal(verr)
+	}
+	if slot.wcetErr != nil || slot.wcet <= 0 {
+		t.Fatalf("wcet not precomputed at validation: wcet=%d err=%v", slot.wcet, slot.wcetErr)
+	}
+	k.SetCycleBudget(CycleBudget(slot.wcet))
+	if err := k.commitFilter("fits", slot, nil); err != nil {
+		t.Fatalf("filter at exactly the budget rejected: %v", err)
+	}
+	k.SetCycleBudget(CycleBudget(slot.wcet - 1))
+	if err := k.commitFilter("over", slot, nil); err == nil {
+		t.Fatal("over-budget filter committed")
+	}
+}

@@ -1,8 +1,9 @@
 package lf
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"sort"
 
@@ -18,19 +19,37 @@ type Signature struct {
 	order []string        // deterministic ordering for the binary codec
 }
 
-// Fingerprint returns a stable 64-bit digest of the signature: the
-// constants, their order, and their types. Producer and consumer embed
-// and check it in PCC binaries, so a rule-set mismatch (say, a consumer
-// that dropped an axiom) is detected before any type checking.
-func (s *Signature) Fingerprint() uint64 {
-	h := fnv.New64a()
-	for _, name := range s.order {
-		io.WriteString(h, name)
-		io.WriteString(h, ":")
-		io.WriteString(h, s.types[name].String())
-		io.WriteString(h, ";")
+// Digest returns a SHA-256 digest of the signature's content: the
+// constants, their order, and their types, length-framed so distinct
+// signatures never share a serialization. Safety-relevant identity —
+// the proof-cache key in internal/kernel keys on it via pcc.Keyer —
+// must use this full digest.
+func (s *Signature) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	writeStr := func(str string) {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(str)))
+		h.Write(buf[:])
+		io.WriteString(h, str)
 	}
-	return h.Sum64()
+	for _, name := range s.order {
+		writeStr(name)
+		writeStr(s.types[name].String())
+	}
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// Fingerprint returns the first 64 bits of Digest. Producer and
+// consumer embed and check it in PCC binaries, so a rule-set mismatch
+// (say, a consumer that dropped an axiom) is detected with a precise
+// error before any type checking. It is a diagnostic only: validation
+// re-checks the whole proof against the consumer's own signature, so
+// nothing safety-relevant rests on this 64-bit value.
+func (s *Signature) Fingerprint() uint64 {
+	d := s.Digest()
+	return binary.LittleEndian.Uint64(d[:8])
 }
 
 // Lookup returns the type of a signature constant.

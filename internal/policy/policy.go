@@ -13,8 +13,10 @@
 package policy
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
-	"hash/fnv"
+	"hash"
 	"io"
 	"sort"
 
@@ -55,43 +57,72 @@ func (p *Policy) ExtraAxioms() map[string]*logic.Schema {
 	return out
 }
 
-// Fingerprint returns a stable 64-bit digest of the policy's semantic
-// content: its name, precondition, postcondition, and published axiom
-// schemas. (Convention is human-readable documentation and excluded.)
-// Two policies with equal fingerprints accept exactly the same set of
-// PCC binaries, so consumers may use the fingerprint — together with a
-// content hash of the binary — to memoize validation results; see the
-// proof cache in internal/kernel.
-func (p *Policy) Fingerprint() uint64 {
-	h := fnv.New64a()
-	writePred := func(pred logic.Pred) {
-		if pred == nil {
-			io.WriteString(h, "<nil>")
-		} else {
-			io.WriteString(h, pred.String())
-		}
-		io.WriteString(h, "\x00")
-	}
-	io.WriteString(h, p.Name)
-	io.WriteString(h, "\x00")
-	writePred(p.Pre)
-	writePred(p.Post)
+// Digest returns a SHA-256 digest of the policy's semantic content:
+// its name, precondition, postcondition, and published axiom schemas.
+// (Convention is human-readable documentation and excluded.) The
+// serialization is length-framed, so no two distinct policies — even
+// ones with adversarially chosen names — share a serialization, and
+// equal digests mean (up to SHA-256 collision resistance) semantically
+// identical policies that accept exactly the same set of PCC binaries.
+// Safety-relevant identity, such as the proof-cache key in
+// internal/kernel, must be derived from this full digest; see
+// pcc.ValidationKey.
+func (p *Policy) Digest() [sha256.Size]byte {
+	h := sha256.New()
+	writeString(h, p.Name)
+	writePred(h, p.Pre)
+	writePred(h, p.Post)
 	axioms := append([]*logic.Schema(nil), p.Axioms...)
 	sort.Slice(axioms, func(i, j int) bool { return axioms[i].Name < axioms[j].Name })
+	writeLen(h, len(axioms))
 	for _, s := range axioms {
-		io.WriteString(h, s.Name)
-		io.WriteString(h, "(")
+		writeString(h, s.Name)
+		writeLen(h, len(s.Params))
 		for _, prm := range s.Params {
-			io.WriteString(h, prm)
-			io.WriteString(h, ",")
+			writeString(h, prm)
 		}
-		io.WriteString(h, ")")
+		writeLen(h, len(s.Prems))
 		for _, prem := range s.Prems {
-			writePred(prem)
+			writePred(h, prem)
 		}
-		writePred(s.Concl)
+		writePred(h, s.Concl)
 	}
-	return h.Sum64()
+	var d [sha256.Size]byte
+	h.Sum(d[:0])
+	return d
+}
+
+// Fingerprint returns the first 64 bits of Digest, for compact display
+// and mismatch diagnostics. A 64-bit value admits brute-forced
+// collisions, so it must never stand in for policy identity in a
+// safety-relevant decision — use Digest there.
+func (p *Policy) Fingerprint() uint64 {
+	d := p.Digest()
+	return binary.LittleEndian.Uint64(d[:8])
+}
+
+// writeLen frames a count or byte length into a digest.
+func writeLen(h hash.Hash, n int) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+}
+
+// writeString frames a length-prefixed string into a digest.
+func writeString(h hash.Hash, s string) {
+	writeLen(h, len(s))
+	io.WriteString(h, s)
+}
+
+// writePred frames a predicate into a digest, distinguishing nil from
+// any printed form.
+func writePred(h hash.Hash, pred logic.Pred) {
+	if pred == nil {
+		h.Write([]byte{0})
+		return
+	}
+	h.Write([]byte{1})
+	writeString(h, pred.String())
 }
 
 // Packet-filter calling convention (§3): the kernel passes the aligned

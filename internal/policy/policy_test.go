@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"testing"
 
 	"repro/internal/logic"
@@ -141,5 +143,46 @@ func TestFingerprintStableAndDiscriminating(t *testing.T) {
 	}
 	if pa.Fingerprint() == base {
 		t.Error("published axioms did not change the fingerprint")
+	}
+}
+
+// TestDigestFullWidthAndFramed pins the properties the proof cache's
+// safety rests on: policy identity is the full SHA-256 content digest
+// (Fingerprint is only its 64-bit truncation, for display), and the
+// serialization is length-framed so field boundaries cannot be forged
+// by adversarially chosen names.
+func TestDigestFullWidthAndFramed(t *testing.T) {
+	base := PacketFilter().Digest()
+	if base != PacketFilter().Digest() {
+		t.Fatal("digest is not deterministic")
+	}
+	if got, want := PacketFilter().Fingerprint(), binary.LittleEndian.Uint64(base[:8]); got != want {
+		t.Errorf("Fingerprint %#x is not the truncation of Digest (%#x)", got, want)
+	}
+	seen := map[[sha256.Size]byte]string{}
+	for _, p := range []*Policy{PacketFilter(), ResourceAccess(), SFISegment(), Semaphore()} {
+		d := p.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Errorf("%s and %s share a digest", p.Name, prev)
+		}
+		seen[d] = p.Name
+	}
+
+	// Length framing: moving a byte across a field boundary must change
+	// the digest even though the concatenated content is identical.
+	s1 := &logic.Schema{Name: "ax", Params: []string{"$ab", "$c"},
+		Concl: logic.True}
+	s2 := &logic.Schema{Name: "ax", Params: []string{"$a", "$bc"},
+		Concl: logic.True}
+	pa, pb := PacketFilter(), PacketFilter()
+	pa.Axioms = []*logic.Schema{s1}
+	pb.Axioms = []*logic.Schema{s2}
+	if pa.Digest() == pb.Digest() {
+		t.Error("shifting bytes across a param boundary kept the digest")
+	}
+	n1, n2 := PacketFilter(), PacketFilter()
+	n1.Name, n2.Name = "x", "xy"
+	if n1.Digest() == n2.Digest() {
+		t.Error("name boundary is not framed")
 	}
 }

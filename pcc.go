@@ -18,7 +18,6 @@ package pcc
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
@@ -230,34 +229,39 @@ func Validate(binary []byte, pol *policy.Policy) (*Extension, *ValidationStats, 
 }
 
 // ValidationKey returns the content-addressed memoization key for
-// "Validate(bin, pol)": SHA-256 over the binary bytes, the policy
-// fingerprint, and the fingerprint of the rule set the policy
-// publishes. Validation is a pure function of exactly these inputs, so
-// a consumer may cache a successful validation under this key and skip
-// VC generation and LF checking when the same binary is presented
-// again — the kernel's proof cache (internal/kernel) does. Any change
-// to the binary (tampered proof, truncated blob) or to the policy
-// (different pre/post, different axioms) changes the key, so a cached
-// entry can never be replayed against a policy it was not checked
-// under.
+// "Validate(bin, pol)": SHA-256 over the binary bytes, the policy's
+// full SHA-256 content digest, and the full digest of the rule set the
+// policy publishes. Validation is a pure function of exactly these
+// inputs, so a consumer may cache a successful validation under this
+// key and skip VC generation and LF checking when the same binary is
+// presented again — the kernel's proof cache (internal/kernel) does.
+// Any change to the binary (tampered proof, truncated blob) or to the
+// policy (different pre/post, different axioms) changes the key, so a
+// cached entry can never be replayed against a policy it was not
+// checked under. The policy side enters the key as full cryptographic
+// digests — never a truncated fingerprint — so a producer cannot
+// negotiate a colliding policy to smuggle a binary past validation
+// under another policy.
 func ValidationKey(bin []byte, pol *policy.Policy) [sha256.Size]byte {
 	return NewKeyer(pol).Key(bin)
 }
 
-// Keyer computes ValidationKey with the policy-side fingerprints
+// Keyer computes ValidationKey with the policy-side digests
 // precomputed, so the per-binary cost is one SHA-256 over the binary
-// bytes. A consumer builds one Keyer per published policy (the
-// fingerprints summarize the policy's semantic content; they are fixed
-// once the policy is published).
+// bytes. A consumer builds one Keyer per published policy (the digests
+// summarize the policy's semantic content; they are fixed once the
+// policy is published).
 type Keyer struct {
-	prefix [16]byte
+	prefix [2 * sha256.Size]byte
 }
 
-// NewKeyer fingerprints the policy and its published rule set once.
+// NewKeyer digests the policy and its published rule set once.
 func NewKeyer(pol *policy.Policy) *Keyer {
 	ky := &Keyer{}
-	binary.LittleEndian.PutUint64(ky.prefix[:8], pol.Fingerprint())
-	binary.LittleEndian.PutUint64(ky.prefix[8:], signatureFor(pol).Fingerprint())
+	pd := pol.Digest()
+	sd := signatureFor(pol).Digest()
+	copy(ky.prefix[:sha256.Size], pd[:])
+	copy(ky.prefix[sha256.Size:], sd[:])
 	return ky
 }
 
