@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	paperbench [-packets N] [-fig7] [-table1] [-fig8] [-fig9] [-checksum] [-sfipcc]
+//	paperbench [-packets N] [-fig7] [-table1] [-stages] [-fig8] [-fig9] [-checksum] [-sfipcc]
 //
 // With no selection flags, everything runs (the full Figure 8/9 pass
 // over 200,000 packets takes a few minutes of simulation).
@@ -32,6 +32,7 @@ func main() {
 	packets := flag.Int("packets", bench.TraceSize, "trace length for Figures 8 and 9")
 	fig7 := flag.Bool("fig7", false, "Figure 7: PCC binary layout")
 	table1 := flag.Bool("table1", false, "Table 1: proof size and validation cost")
+	stages := flag.Bool("stages", false, "Table 1 split: validation cost by pipeline stage")
 	fig8 := flag.Bool("fig8", false, "Figure 8: per-packet run time")
 	fig9 := flag.Bool("fig9", false, "Figure 9: startup-cost amortization")
 	checksum := flag.Bool("checksum", false, "§4 checksum-loop experiment")
@@ -40,7 +41,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "validation pipeline: proof cache + concurrent batch install")
 	flag.Parse()
 
-	all := !(*fig7 || *table1 || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline)
+	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline)
 
 	if all || *fig7 {
 		cert, err := bench.Fig7()
@@ -55,6 +56,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatTable1(rows))
+	}
+	if all || *stages {
+		rows, err := bench.Stages()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatStages(rows))
 	}
 	if all || *fig8 {
 		rows, err := bench.Fig8(*packets)

@@ -15,7 +15,9 @@
 // the simulated kernel and installs them all through its concurrent
 // validation pipeline, then installs them a second time to show the
 // proof cache: the warm pass skips VC generation and LF checking
-// entirely.
+// entirely. The cold pass prints a per-file stage table (parse, LF
+// signature, VC generation, LF checking, WCET) from the kernel's
+// telemetry trace.
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pktgen"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -151,9 +154,13 @@ func main() {
 
 // batchInstall pushes every binary through the kernel's concurrent
 // validation pipeline twice: a cold pass that proof-checks each one,
-// and a warm pass served from the content-addressed proof cache.
+// and a warm pass served from the content-addressed proof cache. A
+// telemetry recorder rides along, so the cold pass also yields a
+// per-file stage table showing where each binary's one-time cost went.
 func batchInstall(files []string) {
 	k := kernel.New()
+	rec := telemetry.New()
+	k.SetRecorder(rec)
 	var reqs []kernel.InstallRequest
 	for _, file := range files {
 		data, err := os.ReadFile(file)
@@ -173,6 +180,7 @@ func batchInstall(files []string) {
 		}
 	}
 	cold := time.Since(start)
+	printStageTable(rec, reqs)
 
 	start = time.Now()
 	for _, err := range k.InstallFilterBatch(reqs) {
@@ -187,4 +195,41 @@ func batchInstall(files []string) {
 		cold, st.ValidationMicros/1000, st.QueueWaitMicros)
 	fmt.Printf("  warm batch: %v — proof cache: %d hits / %d misses\n",
 		warm, st.CacheHits, st.CacheMisses)
+}
+
+// printStageTable renders the cold pass's per-file validation-stage
+// breakdown from the telemetry trace (µs per stage, one row per file).
+func printStageTable(rec *telemetry.Recorder, reqs []kernel.InstallRequest) {
+	stages := []string{
+		telemetry.StageParse, telemetry.StageLFSig, telemetry.StageVCGen,
+		telemetry.StageLFCheck, telemetry.StageWCET,
+	}
+	byFile := map[string]map[string]float64{} // file -> stage -> µs
+	for _, e := range rec.Trace().Events() {
+		for _, s := range stages {
+			if e.Stage == s {
+				if byFile[e.Detail] == nil {
+					byFile[e.Detail] = map[string]float64{}
+				}
+				byFile[e.Detail][s] += float64(e.DurNanos) / 1e3
+			}
+		}
+	}
+	fmt.Printf("\nvalidation cost by stage (µs):\n")
+	fmt.Printf("%-24s %8s %8s %8s %8s %8s %9s\n",
+		"file", "parse", "lfsig", "vcgen", "lfcheck", "wcet", "total")
+	for _, r := range reqs {
+		st, ok := byFile[r.Owner]
+		if !ok {
+			continue // rejected before the stage breakdown
+		}
+		var total float64
+		for _, s := range stages {
+			total += st[s]
+		}
+		fmt.Printf("%-24s %8.0f %8.0f %8.0f %8.0f %8.0f %9.0f\n", r.Owner,
+			st[telemetry.StageParse], st[telemetry.StageLFSig], st[telemetry.StageVCGen],
+			st[telemetry.StageLFCheck], st[telemetry.StageWCET], total)
+	}
+	fmt.Println()
 }

@@ -9,6 +9,12 @@
 // Usage:
 //
 //	pccmon [-packets N] [-pcap trace.pcap] [-filter name=file.pcc]...
+//	       [-telemetry [-slowest N] [-trace-out spans.jsonl]]
+//
+// With -telemetry, a telemetry recorder is attached to the kernel for
+// the whole run and the report ends with per-stage latency summaries,
+// the slowest validations, and the Prometheus-style metrics
+// exposition page (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/pktgen"
+	"repro/internal/telemetry"
 
 	pcc "repro"
 )
@@ -34,6 +41,9 @@ func main() {
 	pcapFile := flag.String("pcap", "", "replay a pcap capture instead of the generator")
 	seed := flag.Uint64("seed", 1996, "synthetic trace seed")
 	budget := flag.Int64("budget", 0, "per-packet worst-case cycle budget enforced at install (0 = off)")
+	telem := flag.Bool("telemetry", false, "attach a telemetry recorder; dump the metrics exposition page and slowest validations")
+	slowest := flag.Int("slowest", 5, "with -telemetry, how many slowest validations to list")
+	traceOut := flag.String("trace-out", "", "with -telemetry, write the span trace as JSON-lines to a file")
 	extra := map[string]string{}
 	flag.Func("filter", "additional filter as name=file.pcc (repeatable)", func(s string) error {
 		name, file, ok := strings.Cut(s, "=")
@@ -46,6 +56,11 @@ func main() {
 	flag.Parse()
 
 	k := kernel.New()
+	var rec *telemetry.Recorder
+	if *telem {
+		rec = telemetry.New()
+		k.SetRecorder(rec)
+	}
 	if *budget > 0 {
 		k.SetCycleBudget(kernel.CycleBudget(*budget))
 		fmt.Printf("cycle budget: %d cycles/packet (static WCET enforced at install)\n", *budget)
@@ -124,4 +139,69 @@ func main() {
 	fmt.Printf("validation pipeline: %d batch(es), queue wait %.0f µs; "+
 		"proof cache %d hits / %d misses / %d evictions\n",
 		st.BatchInstalls, st.QueueWaitMicros, st.CacheHits, st.CacheMisses, st.CacheEvictions)
+
+	if rec != nil {
+		reportTelemetry(rec, *slowest, *traceOut)
+	}
+}
+
+// reportTelemetry dumps the telemetry surfaces: stage latency
+// summaries, the top-N slowest validations from the span trace, the
+// Prometheus-style exposition page, and (optionally) the raw trace as
+// JSON-lines.
+func reportTelemetry(rec *telemetry.Recorder, slowest int, traceOut string) {
+	fmt.Printf("\n== stage latencies (p50 / p90 / p99, µs) ==\n")
+	for _, stage := range telemetry.Stages {
+		h := rec.StageHistogram(stage)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%-12s %9.1f %9.1f %9.1f   (%d observations)\n", stage,
+			h.Quantile(0.50)*1e6, h.Quantile(0.90)*1e6, h.Quantile(0.99)*1e6, h.Count())
+	}
+
+	type val struct {
+		owner string
+		dur   float64 // µs
+		err   string
+	}
+	var vals []val
+	for _, e := range rec.Trace().Events() {
+		if e.Stage == telemetry.StageValidate {
+			vals = append(vals, val{e.Detail, float64(e.DurNanos) / 1e3, e.Err})
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].dur > vals[j].dur })
+	if len(vals) > slowest {
+		vals = vals[:slowest]
+	}
+	fmt.Printf("\n== %d slowest validations ==\n", len(vals))
+	for _, v := range vals {
+		verdict := "ok"
+		if v.err != "" {
+			verdict = "REJECTED: " + v.err
+		}
+		fmt.Printf("%-14s %9.1f µs  %s\n", v.owner, v.dur, verdict)
+	}
+
+	fmt.Printf("\n== metrics exposition ==\n")
+	if err := rec.WritePrometheus(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.Trace().WriteJSONL(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		tr := rec.Trace()
+		fmt.Printf("\nwrote %d spans to %s (%d recorded, %d dropped by the ring)\n",
+			len(tr.Events()), traceOut, tr.Appended(), tr.Dropped())
+	}
 }

@@ -103,16 +103,17 @@ func (c *proofCache) recordMiss() {
 }
 
 // put records a successful validation, evicting the least recently
-// used entry when over capacity.
-func (c *proofCache) put(slot *cacheSlot) *cacheSlot {
+// used entries when over capacity; evicted reports how many (so the
+// caller can feed telemetry without re-taking the cache lock).
+func (c *proofCache) put(slot *cacheSlot) (kept *cacheSlot, evicted int64) {
 	if c == nil || c.max <= 0 {
-		return slot
+		return slot, 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[slot.key]; ok {
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheSlot)
+		return el.Value.(*cacheSlot), 0
 	}
 	c.entries[slot.key] = c.order.PushFront(slot)
 	for c.order.Len() > c.max {
@@ -120,8 +121,9 @@ func (c *proofCache) put(slot *cacheSlot) *cacheSlot {
 		delete(c.entries, back.Value.(*cacheSlot).key)
 		c.order.Remove(back)
 		c.evictions++
+		evicted++
 	}
-	return slot
+	return slot, evicted
 }
 
 // counters snapshots the accounting.

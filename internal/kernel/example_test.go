@@ -1,0 +1,37 @@
+package kernel
+
+import (
+	"fmt"
+	"log"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/policy"
+)
+
+// ExampleKernel_Stats shows the snapshot contract: counters read after
+// the kernel has quiesced (no installs or deliveries in flight) obey
+// the at-rest invariants — here, one cold install that missed the
+// proof cache and one warm re-install served from it. While work is in
+// flight the same snapshot is only approximate; see Stats.
+func ExampleKernel_Stats() {
+	cert, err := pcc.Certify(filters.SrcFilter1, policy.PacketFilter(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := New()
+	if err := k.InstallFilter("example", cert.Binary); err != nil {
+		log.Fatal(err)
+	}
+	if err := k.InstallFilter("example", cert.Binary); err != nil {
+		log.Fatal(err)
+	}
+	st := k.Stats()
+	fmt.Printf("validations=%d rejections=%d\n", st.Validations, st.Rejections)
+	fmt.Printf("cache hits=%d misses=%d\n", st.CacheHits, st.CacheMisses)
+	fmt.Printf("proof checking skipped on re-install: %v\n", st.CacheHits == 1)
+	// Output:
+	// validations=2 rejections=0
+	// cache hits=1 misses=1
+	// proof checking skipped on re-install: true
+}

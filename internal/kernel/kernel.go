@@ -29,9 +29,16 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pktgen"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
-// Stats aggregates kernel accounting.
+// Stats is an approximate, lock-free snapshot of the kernel
+// accounting (see the Stats method for the exact contract): each field
+// is read atomically, but the snapshot as a whole is not a consistent
+// cut while installs or deliveries are in flight. For exact
+// cross-counter invariants, quiesce the kernel first; for stage-level
+// latency attribution, attach a telemetry.Recorder (SetRecorder)
+// instead of polling Stats.
 type Stats struct {
 	// Validations and Rejections count install attempts.
 	Validations int
@@ -102,6 +109,13 @@ type Kernel struct {
 
 	cache *proofCache
 	stats counters
+
+	// tel is the optional telemetry sink (telemetry.go); nil means
+	// every instrumentation point is a no-op costing one atomic load.
+	tel atomic.Pointer[telem]
+	// statePool recycles packet-delivery machine states so dispatch
+	// does not allocate a fresh memory image per packet per filter.
+	statePool sync.Pool
 }
 
 // New creates a kernel publishing the standard policies, with a proof
@@ -124,6 +138,7 @@ func NewWithCacheSize(size int) *Kernel {
 	}
 	k.filterKeyer = pcc.NewKeyer(k.filterPolicy)
 	k.resourceKeyer = pcc.NewKeyer(k.resourcePolicy)
+	k.statePool.New = func() any { return newPacketEnv() }
 	return k
 }
 
@@ -152,10 +167,12 @@ func (k *Kernel) SetCycleBudget(b CycleBudget) {
 // and from then on validates binaries naming it — only after proving
 // that its own packet-filter guarantees cover the proposal.
 func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
+	span := k.tel.Load().span(telemetry.StageNegotiate, proposed.Name)
 	k.mu.RLock()
 	base := k.filterPolicy
 	k.mu.RUnlock()
 	if err := pcc.NegotiatePolicy(base, proposed); err != nil {
+		span.End(err)
 		return err
 	}
 	k.mu.Lock()
@@ -166,6 +183,7 @@ func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
 	}
 	k.negotiated[proposed.Name] = proposed
 	k.negotiatedKeyers[proposed.Name] = pcc.NewKeyer(proposed)
+	span.End(nil)
 	return nil
 }
 
@@ -176,7 +194,7 @@ func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
 // kernel lock (and is skipped entirely on a proof-cache hit); only the
 // final commit of the validated extension is serialized.
 func (k *Kernel) InstallFilter(owner string, binary []byte) error {
-	slot, err := k.validateFilter(binary)
+	slot, err := k.validateFilter(owner, binary)
 	return k.commitFilter(owner, slot, err)
 }
 
@@ -194,9 +212,13 @@ func newCacheSlot(key cacheKey, ext *pcc.Extension) *cacheSlot {
 // lookup, then full PCC validation against the published packet-filter
 // policy with fallback to any negotiated policy the binary names. At
 // most one cache hit or miss is recorded per install attempt, however
-// many candidate policies are probed.
-func (k *Kernel) validateFilter(binary []byte) (*cacheSlot, error) {
+// many candidate policies are probed. With a recorder attached, the
+// attempt is traced as a validate span with cacheprobe /
+// parse / lfsig / vcgen / lfcheck / wcet children.
+func (k *Kernel) validateFilter(owner string, binary []byte) (*cacheSlot, error) {
 	k.stats.validations.Add(1)
+	tel := k.tel.Load()
+	span := tel.span(telemetry.StageValidate, owner)
 	type candidate struct {
 		pol *policy.Policy
 		key cacheKey
@@ -209,16 +231,21 @@ func (k *Kernel) validateFilter(binary []byte) (*cacheSlot, error) {
 	}
 	k.mu.RUnlock()
 
+	probeStart := time.Now()
 	for _, c := range cands {
 		if slot := k.cache.lookup(c.key); slot != nil {
 			k.cache.recordHit()
+			tel.probe(span, probeStart, true)
+			span.End(nil)
 			return slot, nil
 		}
 	}
 	k.cache.recordMiss()
+	tel.probe(span, probeStart, false)
 
 	lastErr := fmt.Errorf("kernel: no policy matches")
 	for i, c := range cands {
+		valStart := time.Now()
 		ext, stats, err := pcc.Validate(binary, c.pol)
 		if err != nil {
 			if i == 0 {
@@ -227,8 +254,16 @@ func (k *Kernel) validateFilter(binary []byte) (*cacheSlot, error) {
 			continue
 		}
 		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
-		return k.cache.put(newCacheSlot(c.key, ext)), nil
+		tel.validationStages(span, owner, valStart, stats)
+		wcetStart := time.Now()
+		slot := newCacheSlot(c.key, ext)
+		tel.wcet(span, owner, wcetStart, slot.wcetErr)
+		slot, evicted := k.cache.put(slot)
+		tel.evicted(evicted)
+		span.End(nil)
+		return slot, nil
 	}
+	span.End(lastErr)
 	return nil, lastErr
 }
 
@@ -236,30 +271,40 @@ func (k *Kernel) validateFilter(binary []byte) (*cacheSlot, error) {
 // comparison (the WCET itself was computed lock-free at validation
 // time) and table update.
 func (k *Kernel) commitFilter(owner string, slot *cacheSlot, verr error) error {
+	tel := k.tel.Load()
 	if verr != nil {
 		k.stats.rejections.Add(1)
+		tel.outcome(false)
 		return fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
 	}
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if k.budget > 0 {
-		if slot.wcetErr != nil {
-			k.stats.rejections.Add(1)
-			return fmt.Errorf("kernel: filter for %q has no static cost bound: %w", owner, slot.wcetErr)
+	span := tel.span(telemetry.StageCommit, owner)
+	err := func() error {
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		if k.budget > 0 {
+			if slot.wcetErr != nil {
+				return fmt.Errorf("kernel: filter for %q has no static cost bound: %w", owner, slot.wcetErr)
+			}
+			if slot.wcet > int64(k.budget) {
+				return fmt.Errorf("kernel: filter for %q exceeds the cycle budget: %d > %d",
+					owner, slot.wcet, k.budget)
+			}
 		}
-		if slot.wcet > int64(k.budget) {
-			k.stats.rejections.Add(1)
-			return fmt.Errorf("kernel: filter for %q exceeds the cycle budget: %d > %d",
-				owner, slot.wcet, k.budget)
+		ctr := k.accepts[owner]
+		if ctr == nil {
+			ctr = new(atomic.Int64)
+			k.accepts[owner] = ctr
 		}
+		k.filters[owner] = &installed{ext: slot.ext, accepts: ctr}
+		tel.setFilters(len(k.filters))
+		return nil
+	}()
+	if err != nil {
+		k.stats.rejections.Add(1)
 	}
-	ctr := k.accepts[owner]
-	if ctr == nil {
-		ctr = new(atomic.Int64)
-		k.accepts[owner] = ctr
-	}
-	k.filters[owner] = &installed{ext: slot.ext, accepts: ctr}
-	return nil
+	tel.outcome(err == nil)
+	span.End(err)
+	return err
 }
 
 // UninstallFilter removes an owner's filter.
@@ -267,6 +312,7 @@ func (k *Kernel) UninstallFilter(owner string) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	delete(k.filters, owner)
+	k.tel.Load().setFilters(len(k.filters))
 }
 
 // Owners lists owners with installed filters, sorted.
@@ -281,22 +327,85 @@ func (k *Kernel) Owners() []string {
 	return out
 }
 
+// packetBase/scratchBase lay out the per-delivery address space; a
+// pooled packet region may grow up to the gap between them
+// (maxPooledPacket) without overlapping scratch.
+const (
+	packetBase      = 0x10000
+	scratchBase     = 0x20000
+	maxPooledPacket = scratchBase - packetBase
+)
+
+// packetEnv is a reusable delivery environment: one memory image
+// (packet + scratch regions) and one machine state, recycled through
+// the kernel's statePool so dispatch allocates nothing per packet.
+type packetEnv struct {
+	state   machine.State
+	pkt     *machine.Region
+	scratch *machine.Region
+}
+
+func newPacketEnv() *packetEnv {
+	mem := machine.NewMemory()
+	pkt := machine.NewRegion("packet", packetBase, 2048, false)
+	scratch := machine.NewRegion("scratch", scratchBase, policy.ScratchLen, true)
+	mem.MustAddRegion(pkt)
+	mem.MustAddRegion(scratch)
+	return &packetEnv{state: machine.State{Mem: mem}, pkt: pkt, scratch: scratch}
+}
+
+// reset re-establishes the packet-filter precondition between filters:
+// zeroed registers and scratch (each filter must observe the same
+// fresh state a dedicated allocation would have given it — scratch
+// contents must not leak between filters), packet pointer/length in
+// the convention registers. The packet region itself is read-only to
+// the extension and is loaded once per delivery, not per filter.
+func (e *packetEnv) reset(pktLen int) {
+	for i := range e.state.R {
+		e.state.R[i] = 0
+	}
+	e.state.PC = 0
+	e.scratch.SetBytes(nil) // zero the whole scratch region
+	e.state.R[policy.RegPacket] = packetBase
+	e.state.R[policy.RegLen] = uint64(pktLen)
+	e.state.R[policy.RegScratch] = scratchBase
+}
+
 // DeliverPacket runs every installed filter over the packet (with no
 // run-time checks — they are validated) and returns the owners that
 // accepted it. It holds the kernel lock only in read mode, so
 // deliveries proceed concurrently with each other and wait at most for
-// an install's short commit section — never for a validation.
+// an install's short commit section — never for a validation. The
+// delivery machine state comes from a sync.Pool: one packet copy per
+// delivery, a register/scratch wipe per filter, no allocation.
 func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
+	tel := k.tel.Load()
+	span := tel.span(telemetry.StageDispatch, "")
+	env := k.statePool.Get().(*packetEnv)
+	defer k.statePool.Put(env)
+	usePool := len(pkt.Data) <= maxPooledPacket
+	if usePool {
+		env.pkt.Resize(len(pkt.Data))
+		env.pkt.SetBytes(pkt.Data)
+	}
 	k.mu.RLock()
 	defer k.mu.RUnlock()
 	k.stats.packets.Add(1)
+	tel.packet()
 	var accepted []string
 	for owner, f := range k.filters {
-		state := k.packetState(pkt)
+		var state *machine.State
+		if usePool {
+			env.reset(len(pkt.Data))
+			state = &env.state
+		} else {
+			state = k.packetState(pkt) // oversized packet: fall back to a fresh image
+		}
 		res, err := machine.Interp(f.ext.Prog, state, machine.Unchecked, &machine.DEC21064, 1<<20)
 		if err != nil {
 			// A validated extension cannot fault when the kernel meets
 			// the precondition; if it does, the kernel is broken.
+			span.End(err)
 			return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", owner, err)
 		}
 		k.stats.extensionCycles.Add(res.Cycles)
@@ -306,22 +415,24 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 		}
 	}
 	sort.Strings(accepted)
+	span.End(nil)
 	return accepted, nil
 }
 
-// packetState builds the precondition-satisfying machine state for one
-// delivery. (A real kernel reuses buffers; allocation noise is not
-// part of the modeled cycle costs.)
+// packetState builds a freshly allocated precondition-satisfying
+// machine state for one delivery: the fallback for packets too large
+// for the pooled layout, and the baseline the state-pool benchmark
+// (BenchmarkDeliverPacketState) measures against.
 func (k *Kernel) packetState(pkt pktgen.Packet) *machine.State {
 	mem := machine.NewMemory()
-	pr := machine.NewRegion("packet", 0x10000, len(pkt.Data), false)
+	pr := machine.NewRegion("packet", packetBase, len(pkt.Data), false)
 	pr.SetBytes(pkt.Data)
 	mem.MustAddRegion(pr)
-	mem.MustAddRegion(machine.NewRegion("scratch", 0x20000, policy.ScratchLen, true))
+	mem.MustAddRegion(machine.NewRegion("scratch", scratchBase, policy.ScratchLen, true))
 	s := &machine.State{Mem: mem}
-	s.R[policy.RegPacket] = 0x10000
+	s.R[policy.RegPacket] = packetBase
 	s.R[policy.RegLen] = uint64(len(pkt.Data))
-	s.R[policy.RegScratch] = 0x20000
+	s.R[policy.RegScratch] = scratchBase
 	return s
 }
 
@@ -348,27 +459,48 @@ func (k *Kernel) CreateTable(pid int, tag, data uint64) {
 }
 
 // InstallHandler validates and installs a resource-access handler for
-// a process. Like InstallFilter, validation runs lock-free and is
-// memoized by the proof cache.
+// a process. Like InstallFilter, validation runs lock-free, is
+// memoized by the proof cache, and is traced when a recorder is
+// attached.
 func (k *Kernel) InstallHandler(pid int, binary []byte) error {
 	k.stats.validations.Add(1)
+	tel := k.tel.Load()
+	var owner string
+	if tel != nil {
+		owner = fmt.Sprintf("pid-%d", pid)
+	}
+	span := tel.span(telemetry.StageValidate, owner)
 	key := k.resourceKeyer.Key(binary)
+	probeStart := time.Now()
 	slot := k.cache.lookup(key)
 	if slot != nil {
 		k.cache.recordHit()
+		tel.probe(span, probeStart, true)
 	} else {
 		k.cache.recordMiss()
+		tel.probe(span, probeStart, false)
+		valStart := time.Now()
 		ext, stats, err := pcc.Validate(binary, k.resourcePolicy)
 		if err != nil {
 			k.stats.rejections.Add(1)
+			tel.outcome(false)
+			span.End(err)
 			return fmt.Errorf("kernel: handler for pid %d rejected: %w", pid, err)
 		}
 		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
-		slot = k.cache.put(newCacheSlot(key, ext))
+		tel.validationStages(span, owner, valStart, stats)
+		wcetStart := time.Now()
+		fresh := newCacheSlot(key, ext)
+		tel.wcet(span, owner, wcetStart, fresh.wcetErr)
+		var evicted int64
+		slot, evicted = k.cache.put(fresh)
+		tel.evicted(evicted)
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.handlers[pid] = slot.ext
+	tel.outcome(true)
+	span.End(nil)
 	return nil
 }
 

@@ -57,7 +57,7 @@ func (k *Kernel) InstallFilterBatch(reqs []InstallRequest) []error {
 				// Queue wait: how long the request sat before a
 				// validator picked it up.
 				k.stats.queueWaitNanos.Add(time.Since(start).Nanoseconds())
-				slots[i], verrs[i] = k.validateFilter(reqs[i].Binary)
+				slots[i], verrs[i] = k.validateFilter(reqs[i].Owner, reqs[i].Binary)
 			}
 		}()
 	}

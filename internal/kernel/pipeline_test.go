@@ -387,7 +387,7 @@ func TestWCETComputedAtValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := New() // no budget configured, yet the bound is precomputed
-	slot, verr := k.validateFilter(cert.Binary)
+	slot, verr := k.validateFilter("fits", cert.Binary)
 	if verr != nil {
 		t.Fatal(verr)
 	}

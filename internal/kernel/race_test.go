@@ -1,0 +1,8 @@
+//go:build race
+
+package kernel
+
+// raceEnabled reports whether the race detector is compiled in.
+// Allocation-count assertions skip under -race: the detector makes
+// sync.Pool drop Puts at random, so pooled paths allocate.
+const raceEnabled = true

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/filters"
 	"repro/internal/pktgen"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 )
 
 const handlerSrc = `
@@ -26,10 +28,17 @@ L1:     RET
 // uninstalls, packet dispatch, handler invocation, and all the
 // introspection calls — and must be clean under `go test -race`. It
 // is the pipeline's memory-safety gate: the RWMutex split plus atomic
-// accounting must never trade linearizability for throughput.
+// accounting must never trade linearizability for throughput. The
+// whole workload runs with a live telemetry recorder attached (and
+// concurrently scraped), so the lock-free span/metric paths are under
+// the same gate; after quiescing, the telemetry totals must agree
+// exactly with the kernel's own counters — no lost events beyond the
+// ring buffer's explicit drop accounting.
 func TestKernelStressRace(t *testing.T) {
 	bins := certAll(t)
 	k := New()
+	rec := telemetry.NewWith(telemetry.Options{TraceCapacity: 512})
+	k.SetRecorder(rec)
 	handlerCert, err := pcc.Certify(handlerSrc, k.ResourcePolicy(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +141,7 @@ func TestKernelStressRace(t *testing.T) {
 			}
 		}
 	}()
-	// 2 introspection readers.
+	// 2 introspection readers, doubling as telemetry scrapers.
 	for g := 0; g < 2; g++ {
 		wg.Add(1)
 		go func() {
@@ -144,6 +153,13 @@ func TestKernelStressRace(t *testing.T) {
 				if st.Rejections > st.Validations {
 					fail("impossible stats: %+v", st)
 					return
+				}
+				if i%8 == 0 {
+					if err := rec.WritePrometheus(io.Discard); err != nil {
+						fail("scrape: %v", err)
+						return
+					}
+					rec.Trace().Events()
 				}
 			}
 		}()
@@ -165,6 +181,46 @@ func TestKernelStressRace(t *testing.T) {
 	}
 	if st.Packets != 2*iters*len(pkts) {
 		t.Errorf("packets = %d, want %d", st.Packets, 2*iters*len(pkts))
+	}
+
+	// Telemetry must agree exactly with the kernel accounting once
+	// quiesced: every install attempt produced one validate-histogram
+	// observation and one outcome count, every delivery one dispatch
+	// observation, and every span exactly one trace append (lost only
+	// to explicit ring drops).
+	get := func(name string) int64 { return rec.Counter(name).Value() }
+	if n := rec.StageHistogram(telemetry.StageValidate).Count(); n != int64(st.Validations) {
+		t.Errorf("validate histogram = %d, validations = %d", n, st.Validations)
+	}
+	if n := rec.StageHistogram(telemetry.StageDispatch).Count(); n != int64(st.Packets) {
+		t.Errorf("dispatch histogram = %d, packets = %d", n, st.Packets)
+	}
+	if got := get(MetricInstalled) + get(MetricRejected); got != int64(st.Validations) {
+		t.Errorf("outcome counters = %d, validations = %d", got, st.Validations)
+	}
+	if got := get(MetricRejected); got != int64(st.Rejections) {
+		t.Errorf("rejected counter = %d, rejections = %d", got, st.Rejections)
+	}
+	if got := get(MetricCacheHits); got != int64(st.CacheHits) {
+		t.Errorf("cache-hit counter = %d, stats = %d", got, st.CacheHits)
+	}
+	if got := get(MetricCacheMisses); got != int64(st.CacheMisses) {
+		t.Errorf("cache-miss counter = %d, stats = %d", got, st.CacheMisses)
+	}
+	if got := get(MetricPackets); got != int64(st.Packets) {
+		t.Errorf("packet counter = %d, stats = %d", got, st.Packets)
+	}
+	var histTotal int64
+	for _, stage := range telemetry.Stages {
+		histTotal += rec.StageHistogram(stage).Count()
+	}
+	tr := rec.Trace()
+	if histTotal != tr.Appended() {
+		t.Errorf("stage histogram totals = %d, spans appended = %d", histTotal, tr.Appended())
+	}
+	if int64(len(tr.Events()))+tr.Dropped() != tr.Appended() {
+		t.Errorf("ring (%d) + dropped (%d) != appended (%d)",
+			len(tr.Events()), tr.Dropped(), tr.Appended())
 	}
 }
 

@@ -42,6 +42,24 @@ func NewRegion(name string, base uint64, size int, writable bool) *Region {
 // Size returns the padded size of the region in bytes.
 func (r *Region) Size() int { return len(r.data) }
 
+// Resize sets the region's visible size to size bytes (padded up to a
+// multiple of 8 like NewRegion), reusing the backing array when it is
+// large enough — how a kernel recycles one packet buffer across
+// deliveries instead of allocating per packet. Contents are
+// unspecified after a resize; callers repopulate with SetBytes (which
+// zeroes any tail).
+func (r *Region) Resize(size int) {
+	if size < 0 {
+		panic("machine: negative region size")
+	}
+	padded := (size + 7) &^ 7
+	if padded <= cap(r.data) {
+		r.data = r.data[:padded]
+		return
+	}
+	r.data = make([]byte, padded)
+}
+
 // Bytes exposes the region's backing storage (e.g. to copy in a packet).
 func (r *Region) Bytes() []byte { return r.data }
 

@@ -1,0 +1,174 @@
+// Exposition: a Prometheus-style text page and a JSON snapshot over
+// everything a Recorder holds. Reads take the registration lock only
+// long enough to list the instruments; the values themselves are
+// atomic snapshots, so scraping never stalls the pipeline.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// HistogramSnapshot is one histogram in a Snapshot.
+type HistogramSnapshot struct {
+	Count      int64         `json:"count"`
+	SumSeconds float64       `json:"sum_seconds"`
+	P50        float64       `json:"p50"`
+	P90        float64       `json:"p90"`
+	P99        float64       `json:"p99"`
+	Buckets    []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one cumulative-style histogram bucket (Le in seconds;
+// the +Inf bucket has Le = 0 and Inf = true).
+type BucketCount struct {
+	Le    float64 `json:"le,omitempty"`
+	Inf   bool    `json:"inf,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time JSON-friendly view of a Recorder.
+type Snapshot struct {
+	UptimeSeconds float64                      `json:"uptime_seconds"`
+	Counters      map[string]int64             `json:"counters,omitempty"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	TraceAppended int64                        `json:"trace_appended"`
+	TraceDropped  int64                        `json:"trace_dropped"`
+}
+
+func snapHistogram(h *Histogram, withBuckets bool) HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:      h.Count(),
+		SumSeconds: h.Sum().Seconds(),
+		P50:        h.Quantile(0.50),
+		P90:        h.Quantile(0.90),
+		P99:        h.Quantile(0.99),
+	}
+	if withBuckets {
+		counts := h.BucketCounts()
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			b := BucketCount{Count: cum}
+			if i < len(h.bounds) {
+				b.Le = h.bounds[i]
+			} else {
+				b.Inf = true
+			}
+			s.Buckets = append(s.Buckets, b)
+		}
+	}
+	return s
+}
+
+// histogramSet lists every histogram with a stable, sorted name set:
+// the built-in stage histograms plus any dynamically registered ones.
+func (r *Recorder) histogramSet() map[string]*Histogram {
+	out := make(map[string]*Histogram, len(r.stageHists)+len(r.hists))
+	for stage, h := range r.stageHists {
+		out["pcc_stage_"+stage+"_seconds"] = h
+	}
+	r.mu.RLock()
+	for name, h := range r.hists {
+		out[name] = h
+	}
+	r.mu.RUnlock()
+	return out
+}
+
+// Snapshot captures the recorder's current state. Individual values
+// are read atomically; the snapshot as a whole is not a consistent
+// cut while the pipeline is running (same contract as kernel.Stats).
+func (r *Recorder) Snapshot(withBuckets bool) Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Counters:      map[string]int64{},
+		Gauges:        map[string]int64{},
+		Histograms:    map[string]HistogramSnapshot{},
+		TraceAppended: r.trace.Appended(),
+		TraceDropped:  r.trace.Dropped(),
+	}
+	r.mu.RLock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	r.mu.RUnlock()
+	for name, h := range r.histogramSet() {
+		s.Histograms[name] = snapHistogram(h, withBuckets)
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot (with buckets) as indented JSON.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot(true))
+}
+
+// fmtFloat renders a float the way Prometheus text format expects.
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WritePrometheus writes a Prometheus-style text exposition page:
+// every counter and gauge as a single sample, every histogram as
+// cumulative _bucket{le=...} samples plus _sum and _count, and the
+// tracer's own accounting as pcc_trace_events_total /
+// pcc_trace_dropped_total. Metric families are sorted by name so the
+// page is diff-stable.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type line struct{ name, text string }
+	var lines []line
+
+	r.mu.RLock()
+	for name, c := range r.counters {
+		lines = append(lines, line{name, fmt.Sprintf("# TYPE %s counter\n%s %d\n", name, name, c.Value())})
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, line{name, fmt.Sprintf("# TYPE %s gauge\n%s %d\n", name, name, g.Value())})
+	}
+	r.mu.RUnlock()
+
+	lines = append(lines,
+		line{"pcc_trace_events_total", fmt.Sprintf("# TYPE pcc_trace_events_total counter\npcc_trace_events_total %d\n", r.trace.Appended())},
+		line{"pcc_trace_dropped_total", fmt.Sprintf("# TYPE pcc_trace_dropped_total counter\npcc_trace_dropped_total %d\n", r.trace.Dropped())},
+	)
+
+	for name, h := range r.histogramSet() {
+		text := fmt.Sprintf("# TYPE %s histogram\n", name)
+		counts := h.BucketCounts()
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = fmtFloat(h.bounds[i])
+			}
+			text += fmt.Sprintf("%s_bucket{le=%q} %d\n", name, le, cum)
+		}
+		text += fmt.Sprintf("%s_sum %s\n", name, fmtFloat(h.Sum().Seconds()))
+		text += fmt.Sprintf("%s_count %d\n", name, cum)
+		lines = append(lines, line{name, text})
+	}
+
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Metric primitives: monotonic counters, gauges, and fixed-bucket
+// latency histograms. Everything on the observation path is a single
+// atomic operation — no locks, no allocation — so instrumented code
+// stays race-clean and cheap enough to leave on under load. All
+// methods tolerate a nil receiver and do nothing, which is how the
+// kernel's "no recorder configured" path stays zero-cost without
+// branching at every call site.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (callers must keep counters monotonic; deltas are not
+// checked).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a value that can go up and down (e.g. installed filters).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultLatencyBounds are the histogram bucket upper bounds in
+// seconds: a 1-2-5 ladder from 1 µs to 10 s, wide enough for a cache
+// hit (~µs) and a cold multi-ms proof check on the same axis. An
+// implicit +Inf bucket catches the rest.
+var DefaultLatencyBounds = []float64{
+	1e-6, 2e-6, 5e-6,
+	1e-5, 2e-5, 5e-5,
+	1e-4, 2e-4, 5e-4,
+	1e-3, 2e-3, 5e-3,
+	1e-2, 2e-2, 5e-2,
+	0.1, 0.2, 0.5,
+	1, 2, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observations are two
+// atomic adds plus a binary search over the (immutable) bounds; counts
+// and the running sum are exact, quantiles are bucket-interpolated
+// estimates.
+type Histogram struct {
+	bounds   []float64 // ascending upper bounds, seconds; +Inf implicit
+	buckets  []atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// bounds (seconds); nil means DefaultLatencyBounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBounds
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	// Binary search for the first bound >= s.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNanos.Load())
+}
+
+// Bounds returns the bucket upper bounds (seconds, +Inf implicit).
+// Callers must not modify the returned slice.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts snapshots the per-bucket counts (last entry is the
+// +Inf bucket). The snapshot is per-bucket atomic, not cross-bucket
+// consistent; under concurrent observation the buckets may momentarily
+// sum to less than a Count() taken afterwards.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds by linear
+// interpolation inside the bucket where the rank falls. Returns 0 for
+// an empty histogram; observations beyond the last bound report the
+// last finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.BucketCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		frac := (rank - float64(prev)) / float64(c)
+		if math.IsNaN(frac) || frac < 0 {
+			frac = 0
+		} else if frac >= 1 {
+			return upper
+		}
+		return lower + frac*(upper-lower)
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -152,11 +152,26 @@ func CertifyProgram(prog []alpha.Instr, pol *policy.Policy, invariants map[int]l
 }
 
 // ValidationStats reports the one-time cost of validating a PCC binary
-// (Table 1 of the paper).
+// (Table 1 of the paper), broken down by pipeline stage so a consumer
+// can attribute where the cost went — the breakdown the kernel's
+// telemetry recorder exports as child spans and per-stage latency
+// histograms (internal/telemetry, docs/OBSERVABILITY.md).
 type ValidationStats struct {
 	// Time is the wall-clock validation time (parse + VC generation +
 	// LF typechecking).
 	Time time.Duration
+	// Stage breakdown. The stages sum to within bookkeeping noise of
+	// Time:
+	//
+	//	Parse    — binary unmarshal + native code + invariant decoding
+	//	SigCheck — LF signature construction and rule-set fingerprint
+	//	           comparison
+	//	VCGen    — safety-predicate generation + LF encoding
+	//	Check    — LF typechecking of the enclosed proof
+	Parse    time.Duration
+	SigCheck time.Duration
+	VCGen    time.Duration
+	Check    time.Duration
 	// CheckSteps counts LF inference steps.
 	CheckSteps int
 	// HeapBytes approximates the heap cost of validation.
@@ -182,6 +197,7 @@ func Validate(binary []byte, pol *policy.Policy) (*Extension, *ValidationStats, 
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
+	stats := &ValidationStats{BinarySize: len(binary)}
 
 	bin, err := pccbin.Unmarshal(binary)
 	if err != nil {
@@ -191,10 +207,17 @@ func Validate(binary []byte, pol *policy.Policy) (*Extension, *ValidationStats, 
 		return nil, nil, fmt.Errorf("pcc: binary certifies policy %q, consumer published %q",
 			bin.PolicyName, pol.Name)
 	}
-	if got, want := bin.SigHash, signatureFor(pol).Fingerprint(); got != want {
+	stats.Parse = time.Since(start)
+
+	mark := time.Now()
+	sig := signatureFor(pol)
+	if got, want := bin.SigHash, sig.Fingerprint(); got != want {
 		return nil, nil, fmt.Errorf(
 			"pcc: binary built against rule set %#x, consumer publishes %#x", got, want)
 	}
+	stats.SigCheck = time.Since(mark)
+
+	mark = time.Now()
 	prog, err := alpha.Decode(bin.Code)
 	if err != nil {
 		return nil, nil, err
@@ -203,29 +226,31 @@ func Validate(binary []byte, pol *policy.Policy) (*Extension, *ValidationStats, 
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.Parse += time.Since(mark)
+
+	mark = time.Now()
 	gen, err := vcgen.Gen(prog, pol.Pre, pol.Post, invariants)
 	if err != nil {
 		return nil, nil, err
 	}
-	checker := lf.NewChecker(signatureFor(pol))
 	spT, err := lf.EncodePred(gen.SP)
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.VCGen = time.Since(mark)
+
+	mark = time.Now()
+	checker := lf.NewChecker(sig)
 	if err := checker.Check(bin.Proof, lf.App{F: lf.Konst{Name: lf.CPf}, X: spT}); err != nil {
 		return nil, nil, fmt.Errorf("pcc: proof validation failed: %w", err)
 	}
+	stats.Check = time.Since(mark)
 
-	elapsed := time.Since(start)
+	stats.Time = time.Since(start)
 	runtime.ReadMemStats(&after)
-	heap := after.TotalAlloc - before.TotalAlloc
-	return &Extension{Prog: prog, Policy: pol},
-		&ValidationStats{
-			Time:       elapsed,
-			CheckSteps: checker.Steps,
-			HeapBytes:  heap,
-			BinarySize: len(binary),
-		}, nil
+	stats.HeapBytes = after.TotalAlloc - before.TotalAlloc
+	stats.CheckSteps = checker.Steps
+	return &Extension{Prog: prog, Policy: pol}, stats, nil
 }
 
 // ValidationKey returns the content-addressed memoization key for

@@ -258,6 +258,37 @@ func TestUncertifiedCodeWouldCrashKernel(t *testing.T) {
 	}
 }
 
+// TestValidationStageBreakdown checks the per-stage cost split that
+// the telemetry layer exports: stages are non-negative, the expensive
+// stages are actually measured, and they account for the total within
+// bookkeeping noise.
+func TestValidationStageBreakdown(t *testing.T) {
+	pol := policy.PacketFilter()
+	cert, err := Certify(filters.Source(filters.Filter4), pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := Validate(cert.Binary, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VCGen <= 0 || stats.Check <= 0 {
+		t.Errorf("vcgen = %v, check = %v; want both > 0", stats.VCGen, stats.Check)
+	}
+	if stats.Parse < 0 || stats.SigCheck < 0 {
+		t.Errorf("parse = %v, sigcheck = %v; want both >= 0", stats.Parse, stats.SigCheck)
+	}
+	sum := stats.Parse + stats.SigCheck + stats.VCGen + stats.Check
+	if sum > stats.Time {
+		t.Errorf("stage sum %v exceeds total %v", sum, stats.Time)
+	}
+	// The four stages are the whole pipeline; anything else is clock
+	// overhead between marks, which must stay small.
+	if slack := stats.Time - sum; slack > stats.Time/2 {
+		t.Errorf("unattributed time %v is more than half of total %v", slack, stats.Time)
+	}
+}
+
 func TestCertifyDeterministic(t *testing.T) {
 	// Identical inputs must yield byte-identical binaries (so the
 	// fingerprinted artifact is reproducible).

@@ -1,8 +1,9 @@
 #!/bin/sh
 # verify.sh — the one entry point future PRs run before shipping:
 # build, vet, the full test suite under the race detector (the
-# concurrent validation pipeline must stay -race clean), and a smoke
-# pass over the seed fuzz corpora.
+# concurrent validation pipeline must stay -race clean), a smoke pass
+# over the seed fuzz corpora, and a telemetry smoke that checks the
+# metrics exposition contract pccmon -telemetry promises.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,10 +13,41 @@ go build ./...
 echo '== go vet ./...'
 go vet ./...
 
+# The telemetry and kernel packages lean on sync/atomic and carry
+# lock-free invariants; run the atomic and copylocks analyzers on them
+# explicitly (the shadow analyzer lives in an external module, so it is
+# not part of this gate).
+echo '== go vet -atomic -copylocks (telemetry, kernel)'
+go vet -atomic -copylocks ./internal/telemetry/ ./internal/kernel/
+
 echo '== go test -race ./...'
 go test -race ./...
 
 echo '== fuzz corpora smoke (go test -run=Fuzz -fuzztime=10s)'
 go test -run=Fuzz -fuzztime=10s ./...
+
+echo '== telemetry smoke (pccmon -telemetry exposition contract)'
+out=$(go run ./cmd/pccmon -packets 2000 -telemetry)
+for metric in \
+	pcc_install_installed_total \
+	pcc_install_rejected_total \
+	pcc_cache_hits_total \
+	pcc_cache_misses_total \
+	pcc_cache_evictions_total \
+	pcc_packets_total \
+	pcc_filters_installed \
+	pcc_stage_vcgen_seconds_count \
+	pcc_stage_lfcheck_seconds_count \
+	pcc_stage_wcet_seconds_count \
+	pcc_stage_commit_seconds_count \
+	pcc_stage_dispatch_seconds_count \
+	pcc_trace_events_total \
+	pcc_trace_dropped_total
+do
+	if ! printf '%s' "$out" | grep -q "$metric"; then
+		echo "telemetry smoke: missing metric $metric" >&2
+		exit 1
+	fi
+done
 
 echo 'verify: OK'
