@@ -6,6 +6,7 @@
 // Usage:
 //
 //	paperbench [-packets N] [-fig7] [-table1] [-stages] [-fig8] [-fig9] [-checksum] [-sfipcc]
+//	paperbench -json [-packets N]   # write BENCH_<timestamp>.json
 //
 // With no selection flags, everything runs (the full Figure 8/9 pass
 // over 200,000 packets takes a few minutes of simulation).
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/alpha"
 	"repro/internal/bench"
@@ -39,7 +41,29 @@ func main() {
 	sfipcc := flag.Bool("sfipcc", false, "§3.1 PCC-for-SFI hybrid experiment")
 	ablation := flag.Bool("ablation", false, "design-choice ablations (proof encoding, cost-model sensitivity)")
 	pipeline := flag.Bool("pipeline", false, "validation pipeline: proof cache + concurrent batch install")
+	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_<timestamp>.json and exit")
 	flag.Parse()
+
+	if *jsonOut {
+		now := time.Now()
+		rep, err := bench.BuildReport(*packets, now)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := bench.ReportFilename(now)
+		f, err := os.Create(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d-packet trace)\n", name, *packets)
+		return
+	}
 
 	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline)
 

@@ -10,6 +10,7 @@
 //
 //	pccmon [-packets N] [-pcap trace.pcap] [-filter name=file.pcc]...
 //	       [-telemetry [-slowest N] [-trace-out spans.jsonl]]
+//	       [-serve :6060 [-pps N] [-audit-out audit.jsonl]]
 //
 // With -telemetry, a telemetry recorder is attached to the kernel for
 // the whole run and the report ends with per-stage latency summaries,
@@ -44,6 +45,9 @@ func main() {
 	telem := flag.Bool("telemetry", false, "attach a telemetry recorder; dump the metrics exposition page and slowest validations")
 	slowest := flag.Int("slowest", 5, "with -telemetry, how many slowest validations to list")
 	traceOut := flag.String("trace-out", "", "with -telemetry, write the span trace as JSON-lines to a file")
+	serve := flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :6060) instead of a one-shot report")
+	pps := flag.Int("pps", 2000, "with -serve, synthetic traffic rate in packets/second")
+	auditOut := flag.String("audit-out", "", "with -serve, write the JSON audit log to a file instead of stderr")
 	extra := map[string]string{}
 	flag.Func("filter", "additional filter as name=file.pcc (repeatable)", func(s string) error {
 		name, file, ok := strings.Cut(s, "=")
@@ -54,6 +58,13 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+
+	if *serve != "" {
+		if err := runServe(*serve, *auditOut, *budget, *seed, *pps, extra); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	k := kernel.New()
 	var rec *telemetry.Recorder

@@ -1,0 +1,264 @@
+// Live observability surface: `pccmon -serve ADDR` boots the kernel
+// with telemetry, audit logging, and cycle profiling all attached,
+// keeps a synthetic packet stream flowing through the installed
+// filters, and serves the monitoring endpoints over HTTP:
+//
+//	/healthz              liveness: 200 once filters are installed
+//	/metrics              Prometheus text exposition (telemetry recorder)
+//	/debug/vars           JSON snapshot: kernel stats, traffic, telemetry
+//	/debug/pprof/*        the host Go runtime's own profiles
+//	/debug/pprof/filters  pprof-compatible *simulated* profile: cycles
+//	                      per Alpha instruction across installed filters
+//	/profile/             index of profiled filters
+//	/profile/{filter}     annotated disassembly with cycle attribution
+//
+// The process runs until SIGINT/SIGTERM and then shuts the listener
+// down gracefully. Every install/reject decision made while serving
+// is written to the structured audit log (JSON lines on stderr, or
+// -audit-out FILE).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/pktgen"
+	"repro/internal/telemetry"
+)
+
+// monitor bundles the served kernel with its recorder and the
+// synthetic-traffic counters the endpoints report.
+type monitor struct {
+	k     *kernel.Kernel
+	rec   *telemetry.Recorder
+	start time.Time
+
+	packets atomic.Int64 // synthetic packets delivered
+	bytes   atomic.Int64
+	ready   atomic.Bool // filters installed; /healthz gates on this
+}
+
+// bootMonitor builds a kernel with the full observability stack
+// attached (telemetry recorder, audit logger, cycle profiler) and
+// installs the paper filters plus any user-supplied binaries.
+func bootMonitor(auditLog *slog.Logger, budget int64, extra map[string]string) (*monitor, error) {
+	m := &monitor{k: kernel.New(), rec: telemetry.New(), start: time.Now()}
+	m.k.SetRecorder(m.rec)
+	m.k.SetAuditLog(auditLog)
+	m.k.SetProfiling(true)
+	if budget > 0 {
+		m.k.SetCycleBudget(kernel.CycleBudget(budget))
+	}
+
+	var reqs []kernel.InstallRequest
+	for _, f := range filters.All {
+		cert, err := pcc.Certify(filters.Source(f), m.k.FilterPolicy(), nil)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, kernel.InstallRequest{Owner: f.String(), Binary: cert.Binary})
+	}
+	for name, file := range extra {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, kernel.InstallRequest{Owner: name, Binary: data})
+	}
+	for i, err := range m.k.InstallFilterBatch(reqs) {
+		if err != nil {
+			return nil, fmt.Errorf("install %q: %w", reqs[i].Owner, err)
+		}
+	}
+	m.ready.Store(true)
+	return m, nil
+}
+
+// pump delivers an endless synthetic trace through the kernel at
+// roughly pps packets/second until ctx is cancelled, so the live
+// endpoints always have fresh traffic behind them.
+func (m *monitor) pump(ctx context.Context, seed uint64, pps int) {
+	const tick = 20 * time.Millisecond
+	batch := pps / int(time.Second/tick)
+	if batch < 1 {
+		batch = 1
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for gen := 0; ; gen++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		pkts := pktgen.Generate(batch, pktgen.Config{Seed: seed + uint64(gen)})
+		for _, p := range pkts {
+			if _, err := m.k.DeliverPacket(p); err != nil {
+				// Validated filters cannot fault; if one does the
+				// monitor is broken and should say so loudly.
+				log.Printf("deliver: %v", err)
+				return
+			}
+			m.packets.Add(1)
+			m.bytes.Add(int64(p.Len()))
+		}
+	}
+}
+
+// mux wires the endpoints. Split out from serve() so tests can mount
+// it on an httptest server.
+func (m *monitor) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", m.handleHealthz)
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/debug/vars", m.handleVars)
+	mux.HandleFunc("/profile/", m.handleProfile)
+	// Host-process profiles from the Go runtime, plus the simulated
+	// filter profile alongside them (the monitor observes two machines:
+	// the host Go process and the modeled DEC 21064).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/pprof/filters", m.handleFilterProfile)
+	return mux
+}
+
+func (m *monitor) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if !m.ready.Load() {
+		http.Error(w, "filters not installed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok: %d filters, %d packets delivered, up %s\n",
+		len(m.k.Owners()), m.packets.Load(), time.Since(m.start).Round(time.Second))
+}
+
+func (m *monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := m.rec.WritePrometheus(w); err != nil {
+		log.Printf("metrics: %v", err)
+	}
+}
+
+// handleVars serves the expvar-style JSON snapshot: kernel stats, the
+// synthetic traffic counters, and the telemetry snapshot in one
+// document.
+func (m *monitor) handleVars(w http.ResponseWriter, _ *http.Request) {
+	st := m.k.Stats()
+	doc := map[string]any{
+		"uptime_seconds":   time.Since(m.start).Seconds(),
+		"kernel":           st,
+		"owners":           m.k.Owners(),
+		"accepts":          m.k.Accepts(),
+		"traffic_packets":  m.packets.Load(),
+		"traffic_bytes":    m.bytes.Load(),
+		"extension_micros": machine.Micros(st.ExtensionCycles),
+		"telemetry":        m.rec.Snapshot(false),
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Printf("vars: %v", err)
+	}
+}
+
+// handleProfile serves annotated cycle listings: /profile/ indexes
+// the profiled filters, /profile/{name} renders one filter's
+// disassembly with per-PC and per-block cycle attribution.
+func (m *monitor) handleProfile(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/profile/")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if name == "" {
+		snaps := m.k.FilterProfiles()
+		fmt.Fprintf(w, "%d profiled filters (cycle totals are lifetime sums):\n", len(snaps))
+		sort.Slice(snaps, func(i, j int) bool {
+			return snaps[i].TotalCycles() > snaps[j].TotalCycles()
+		})
+		for _, s := range snaps {
+			fmt.Fprintf(w, "  %-14s %12d cycles  %8d runs   /profile/%s\n",
+				s.Owner, s.TotalCycles(), s.Profile.Runs, s.Owner)
+		}
+		return
+	}
+	snap, ok := m.k.FilterProfile(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no profiled filter %q", name), http.StatusNotFound)
+		return
+	}
+	io.WriteString(w, snap.AnnotatedListing())
+}
+
+// handleFilterProfile serves the simulated-machine pprof profile:
+// cycles and visits per Alpha instruction, readable by `go tool
+// pprof http://host/debug/pprof/filters`.
+func (m *monitor) handleFilterProfile(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="filters.pb.gz"`)
+	if err := m.k.WriteFilterProfile(w); err != nil {
+		log.Printf("filter profile: %v", err)
+	}
+}
+
+// runServe is the -serve entry point: boot, pump traffic, serve until
+// SIGINT/SIGTERM, then drain the listener gracefully.
+func runServe(addr string, auditOut string, budget int64, seed uint64, pps int, extra map[string]string) error {
+	auditW := io.Writer(os.Stderr)
+	if auditOut != "" {
+		f, err := os.Create(auditOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		auditW = f
+	}
+	m, err := bootMonitor(slog.New(slog.NewJSONHandler(auditW, nil)), budget, extra)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go m.pump(ctx, seed, pps)
+
+	srv := &http.Server{Addr: addr, Handler: m.mux()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (%d filters, ~%d pps synthetic traffic)",
+		addr, len(m.k.Owners()), pps)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

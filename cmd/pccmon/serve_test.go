@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootTestMonitor boots the full observability stack into an httptest
+// server, with the audit log captured in a buffer.
+func bootTestMonitor(t *testing.T) (*monitor, *httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	var audit bytes.Buffer
+	m, err := bootMonitor(slog.New(slog.NewJSONHandler(&audit, nil)), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.mux())
+	t.Cleanup(srv.Close)
+	return m, srv, &audit
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndpoints drives a little traffic through a served monitor
+// and checks every endpoint answers with plausible content.
+func TestServeEndpoints(t *testing.T) {
+	m, srv, audit := bootTestMonitor(t)
+
+	// A short bounded pump instead of the endless background one.
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	m.pump(ctx, 42, 5000)
+	if m.packets.Load() == 0 {
+		t.Fatal("pump delivered no packets")
+	}
+
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok:") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body = get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, want := range []string{"pcc_packets_total", "pcc_install_installed_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, srv.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if doc["traffic_packets"].(float64) <= 0 || doc["kernel"] == nil || doc["telemetry"] == nil {
+		t.Fatalf("/debug/vars implausible: %v", doc)
+	}
+
+	code, body = get(t, srv.URL+"/profile/")
+	if code != http.StatusOK || !strings.Contains(body, "/profile/Filter 1") {
+		t.Fatalf("/profile/ index: %d %q", code, body)
+	}
+	code, body = get(t, srv.URL+"/profile/Filter 1")
+	if code != http.StatusOK || !strings.Contains(body, "RET") || !strings.Contains(body, "cycles") {
+		t.Fatalf("/profile/Filter 1: %d %q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/profile/nonesuch"); code != http.StatusNotFound {
+		t.Fatalf("/profile/nonesuch: %d, want 404", code)
+	}
+
+	// The simulated-filter pprof endpoint must serve a valid gzipped
+	// profile naming the filter PCs.
+	resp, err := http.Get(srv.URL + "/debug/pprof/filters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatalf("/debug/pprof/filters not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte("@pc0")) || !bytes.Contains(raw, []byte("cycles")) {
+		t.Fatal("/debug/pprof/filters profile names no filter PCs")
+	}
+
+	// Host-Go pprof is mounted alongside.
+	if code, _ := get(t, srv.URL+"/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+
+	// Boot-time installs were audited.
+	if !strings.Contains(audit.String(), `"event":"install"`) ||
+		!strings.Contains(audit.String(), `"verdict":"installed"`) {
+		t.Fatalf("boot installs not audited:\n%s", audit.String())
+	}
+}
+
+// TestServeHealthzGate: before installs complete /healthz must fail.
+func TestServeHealthzGate(t *testing.T) {
+	m, srv, _ := bootTestMonitor(t)
+	m.ready.Store(false)
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unready /healthz: %d, want 503", code)
+	}
+	m.ready.Store(true)
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Fatal("ready /healthz not 200")
+	}
+}

@@ -231,6 +231,17 @@ func Program(prog []Instr) string {
 	return out
 }
 
+// AnnotatedProgram pretty-prints a whole program with instruction
+// indexes, prefixing each line with annot(pc) — the hook the cycle
+// profiler uses to put per-instruction costs beside the disassembly.
+func AnnotatedProgram(prog []Instr, annot func(pc int) string) string {
+	out := ""
+	for pc, ins := range prog {
+		out += fmt.Sprintf("%s  %3d: %s\n", annot(pc), pc, ins)
+	}
+	return out
+}
+
 // Listing renders a program as re-assemblable source: one instruction
 // per line, branch targets in the absolute "@N" form the assembler
 // accepts. Assemble(Listing(p)) reproduces p exactly.

@@ -1,0 +1,165 @@
+// Machine-readable benchmark output: `paperbench -json` serializes
+// the paper's tables into one BENCH_<timestamp>.json document so the
+// perf trajectory is trackable across commits — every duration in
+// integer nanoseconds, every modeled quantity in DEC 21064 cycles,
+// and the validation cost split by pipeline stage.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// ReportSchema versions the JSON layout; bump on incompatible change.
+const ReportSchema = 1
+
+// Table1JSON is one Table 1 row with durations in nanoseconds.
+type Table1JSON struct {
+	Filter       string  `json:"filter"`
+	Instructions int     `json:"instructions"`
+	BinaryBytes  int     `json:"binary_bytes"`
+	ProofBytes   int     `json:"proof_bytes"`
+	CodeBytes    int     `json:"code_bytes"`
+	ValidationNs int64   `json:"validation_ns"`
+	HeapKB       float64 `json:"heap_kb"`
+}
+
+// StageJSON is one validation-cost row split by pipeline stage.
+type StageJSON struct {
+	Filter  string `json:"filter"`
+	ParseNs int64  `json:"parse_ns"`
+	SigNs   int64  `json:"lfsig_ns"`
+	VCGenNs int64  `json:"vcgen_ns"`
+	CheckNs int64  `json:"lfcheck_ns"`
+	WCETNs  int64  `json:"wcet_ns"`
+	TotalNs int64  `json:"total_ns"`
+}
+
+// Fig8JSON is one Figure 8 row: modeled per-packet cost per approach,
+// both in microseconds (the paper's axis) and DEC 21064 cycles.
+type Fig8JSON struct {
+	Filter         string             `json:"filter"`
+	MicrosPerPkt   map[string]float64 `json:"micros_per_packet"`
+	CyclesPerPkt   map[string]float64 `json:"cycles_per_packet"`
+	AcceptedOfPkts string             `json:"accepted"`
+}
+
+// ChecksumJSON is the §4 loop experiment.
+type ChecksumJSON struct {
+	Instructions int     `json:"instructions"`
+	LoopInstrs   int     `json:"loop_instructions"`
+	BinaryBytes  int     `json:"binary_bytes"`
+	ValidationNs int64   `json:"validation_ns"`
+	SpeedupVsC   float64 `json:"speedup_vs_c"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Schema    int           `json:"schema"`
+	Timestamp string        `json:"timestamp"` // RFC 3339, UTC
+	GoVersion string        `json:"go_version"`
+	Packets   int           `json:"packets"`
+	Table1    []Table1JSON  `json:"table1"`
+	Stages    []StageJSON   `json:"stages"`
+	Fig8      []Fig8JSON    `json:"fig8"`
+	Checksum  *ChecksumJSON `json:"checksum,omitempty"`
+}
+
+// cyclesPerMicro converts the paper's microsecond axis back to cycles
+// on the modeled 175-MHz Alpha.
+const cyclesPerMicro = 175.0
+
+// BuildReport runs Table 1, the stage split, Figure 8 over an
+// n-packet trace, and the checksum experiment, and assembles the
+// document. now is injected so runs are reproducible in tests.
+func BuildReport(n int, now time.Time) (*Report, error) {
+	rep := &Report{
+		Schema:    ReportSchema,
+		Timestamp: now.UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Packets:   n,
+	}
+
+	t1, err := Table1()
+	if err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	for _, r := range t1 {
+		rep.Table1 = append(rep.Table1, Table1JSON{
+			Filter:       r.Filter.String(),
+			Instructions: r.Instructions,
+			BinaryBytes:  r.BinarySize,
+			ProofBytes:   r.ProofBytes,
+			CodeBytes:    r.CodeBytes,
+			ValidationNs: r.Validation.Nanoseconds(),
+			HeapKB:       r.HeapKB,
+		})
+	}
+
+	st, err := Stages()
+	if err != nil {
+		return nil, fmt.Errorf("stages: %w", err)
+	}
+	for _, r := range st {
+		rep.Stages = append(rep.Stages, StageJSON{
+			Filter:  r.Filter.String(),
+			ParseNs: r.Parse.Nanoseconds(),
+			SigNs:   r.SigCheck.Nanoseconds(),
+			VCGenNs: r.VCGen.Nanoseconds(),
+			CheckNs: r.Check.Nanoseconds(),
+			WCETNs:  r.WCET.Nanoseconds(),
+			TotalNs: r.Total.Nanoseconds(),
+		})
+	}
+
+	f8, err := Fig8(n)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	for _, r := range f8 {
+		row := Fig8JSON{
+			Filter:         r.Filter.String(),
+			MicrosPerPkt:   map[string]float64{},
+			CyclesPerPkt:   map[string]float64{},
+			AcceptedOfPkts: fmt.Sprintf("%d/%d", r.Accepted, n),
+		}
+		for _, a := range Approaches {
+			row.MicrosPerPkt[a.String()] = r.Micros[a]
+			row.CyclesPerPkt[a.String()] = r.Micros[a] * cyclesPerMicro
+		}
+		rep.Fig8 = append(rep.Fig8, row)
+	}
+
+	cn := n
+	if cn > 2000 {
+		cn = 2000
+	}
+	cs, err := Checksum(cn)
+	if err != nil {
+		return nil, fmt.Errorf("checksum: %w", err)
+	}
+	rep.Checksum = &ChecksumJSON{
+		Instructions: cs.Instructions,
+		LoopInstrs:   cs.LoopInstrs,
+		BinaryBytes:  cs.BinarySize,
+		ValidationNs: cs.Validation.Nanoseconds(),
+		SpeedupVsC:   cs.SpeedupVsC,
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReportFilename names the output document: BENCH_<UTC timestamp>.json,
+// sortable and collision-free at second granularity.
+func ReportFilename(now time.Time) string {
+	return "BENCH_" + now.UTC().Format("20060102T150405Z") + ".json"
+}

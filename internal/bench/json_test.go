@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestBuildReport runs the whole -json path over a short trace and
+// checks the document round-trips with plausible contents: every
+// filter present, nanosecond stage splits that sum near the total,
+// and cycle figures consistent with the microsecond axis.
+func TestBuildReport(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	rep, err := BuildReport(40, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema || rep.Packets != 40 || rep.Timestamp != "2026-08-06T12:00:00Z" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Table1) != 4 || len(rep.Stages) != 4 || len(rep.Fig8) != 4 || rep.Checksum == nil {
+		t.Fatalf("incomplete report: %d/%d/%d table1/stages/fig8 rows", len(rep.Table1), len(rep.Stages), len(rep.Fig8))
+	}
+	for _, r := range rep.Table1 {
+		if r.ValidationNs <= 0 || r.BinaryBytes <= 0 || r.Instructions <= 0 {
+			t.Errorf("implausible table1 row: %+v", r)
+		}
+	}
+	for _, r := range rep.Stages {
+		stages := r.ParseNs + r.SigNs + r.VCGenNs + r.CheckNs + r.WCETNs
+		if stages <= 0 || r.TotalNs < stages/2 {
+			t.Errorf("implausible stage split: %+v", r)
+		}
+	}
+	for _, r := range rep.Fig8 {
+		pccUs, ok := r.MicrosPerPkt["PCC"]
+		if !ok || pccUs <= 0 {
+			t.Errorf("fig8 row missing PCC micros: %+v", r)
+		}
+		if got := r.CyclesPerPkt["PCC"]; got != pccUs*cyclesPerMicro {
+			t.Errorf("cycles/micros inconsistent: %v vs %v", got, pccUs)
+		}
+	}
+	if rep.Checksum.SpeedupVsC <= 1 {
+		t.Errorf("checksum speedup %.2f, want > 1", rep.Checksum.SpeedupVsC)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Fig8[0].Filter != rep.Fig8[0].Filter {
+		t.Fatal("round-trip lost rows")
+	}
+
+	if got, want := ReportFilename(now), "BENCH_20260806T120000Z.json"; got != want {
+		t.Fatalf("ReportFilename = %q, want %q", got, want)
+	}
+}

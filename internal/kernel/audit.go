@@ -1,0 +1,199 @@
+// Structured audit trail. Every security-relevant kernel decision —
+// policy negotiation, filter/handler install or rejection, proof-cache
+// eviction, uninstall — is recorded through a log/slog.Logger with
+// enough context to reconstruct the decision from the log alone: the
+// policy's content digest, the binary's SHA-256 and size, the VC size
+// and LF check steps, the per-stage validation durations, the static
+// WCET, and — when a proof fails to check — the first failing LF
+// subterm the checker rejected.
+//
+// Like the telemetry recorder, the sink hangs off an atomic pointer
+// and every hook tolerates the disabled state, so a kernel without an
+// audit log pays one atomic load per decision and nothing on the
+// dispatch path (dispatch is deliberately not audited: millions of
+// packets per second belong in metrics, not logs).
+package kernel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"log/slog"
+	"time"
+
+	pcc "repro"
+	"repro/internal/lf"
+	"repro/internal/policy"
+)
+
+// auditor wraps the configured logger. A nil *auditor is the disabled
+// state.
+type auditor struct {
+	log *slog.Logger
+}
+
+// SetAuditLog attaches a structured audit logger to the kernel (nil
+// detaches). The swap is atomic and safe while installs are in
+// flight.
+func (k *Kernel) SetAuditLog(l *slog.Logger) {
+	if l == nil {
+		k.audit.Store(nil)
+		return
+	}
+	k.audit.Store(&auditor{log: l})
+}
+
+// AuditLog returns the attached audit logger, or nil.
+func (k *Kernel) AuditLog() *slog.Logger {
+	a := k.audit.Load()
+	if a == nil {
+		return nil
+	}
+	return a.log
+}
+
+// validationAudit carries the forensic context of one validation
+// attempt from the lock-free validation stage to the commit section,
+// where the final verdict is known and the install record is written.
+type validationAudit struct {
+	owner      string
+	kind       string // "filter" or "handler"
+	binSHA     string // hex SHA-256 of the binary bytes
+	binBytes   int
+	policyName string
+	policyDig  string // hex SHA-256 content digest of the policy
+	cacheHit   bool
+	stats      *pcc.ValidationStats // nil on cache hit or parse-level failure
+	started    time.Time
+}
+
+// newValidationAudit starts an audit record for one install attempt.
+// Returns nil when auditing is disabled, and every later hook
+// tolerates that.
+func (a *auditor) newValidationAudit(kind, owner string, binary []byte) *validationAudit {
+	if a == nil {
+		return nil
+	}
+	sum := sha256.Sum256(binary)
+	return &validationAudit{
+		owner:    owner,
+		kind:     kind,
+		binSHA:   hex.EncodeToString(sum[:]),
+		binBytes: len(binary),
+		started:  time.Now(),
+	}
+}
+
+// setPolicy records which policy the verdict was reached under.
+func (va *validationAudit) setPolicy(pol *policy.Policy) {
+	if va == nil || pol == nil {
+		return
+	}
+	dig := pol.Digest()
+	va.policyName = pol.Name
+	va.policyDig = hex.EncodeToString(dig[:])
+}
+
+// setStats attaches the stage breakdown of a full (non-cached)
+// validation.
+func (va *validationAudit) setStats(st *pcc.ValidationStats) {
+	if va == nil {
+		return
+	}
+	va.stats = st
+}
+
+// setCacheHit marks the attempt as served from the proof cache.
+func (va *validationAudit) setCacheHit() {
+	if va == nil {
+		return
+	}
+	va.cacheHit = true
+}
+
+// install writes the final install record: one line per decision,
+// Info for installs, Warn for rejections.
+func (a *auditor) install(va *validationAudit, slot *cacheSlot, err error) {
+	if a == nil || va == nil {
+		return
+	}
+	cache := "miss"
+	if va.cacheHit {
+		cache = "hit"
+	}
+	attrs := []any{
+		slog.String("event", "install"),
+		slog.String("kind", va.kind),
+		slog.String("owner", va.owner),
+		slog.String("policy", va.policyName),
+		slog.String("policy_digest", va.policyDig),
+		slog.String("binary_sha256", va.binSHA),
+		slog.Int("binary_bytes", va.binBytes),
+		slog.String("cache", cache),
+		slog.Duration("decision_time", time.Since(va.started)),
+	}
+	if st := va.stats; st != nil {
+		attrs = append(attrs,
+			slog.Int("vc_nodes", st.VCNodes),
+			slog.Int("check_steps", st.CheckSteps),
+			slog.Int64("parse_us", st.Parse.Microseconds()),
+			slog.Int64("lfsig_us", st.SigCheck.Microseconds()),
+			slog.Int64("vcgen_us", st.VCGen.Microseconds()),
+			slog.Int64("lfcheck_us", st.Check.Microseconds()),
+		)
+	}
+	if slot != nil && slot.wcetErr == nil {
+		attrs = append(attrs, slog.Int64("wcet_cycles", slot.wcet))
+	}
+	if err == nil {
+		attrs = append(attrs, slog.String("verdict", "installed"))
+		a.log.Info("pcc install", attrs...)
+		return
+	}
+	attrs = append(attrs,
+		slog.String("verdict", "rejected"),
+		slog.String("error", err.Error()),
+	)
+	// On a proof-check failure, surface the first failing LF subterm:
+	// the exact point in the proof the checker rejected.
+	var te *lf.TypeError
+	if errors.As(err, &te) && te.Subterm != "" {
+		attrs = append(attrs, slog.String("lf_failing_subterm", te.Subterm))
+	}
+	a.log.Warn("pcc install", attrs...)
+}
+
+// negotiate records a §4 policy-negotiation verdict.
+func (a *auditor) negotiate(pol *policy.Policy, err error) {
+	if a == nil {
+		return
+	}
+	dig := pol.Digest()
+	attrs := []any{
+		slog.String("event", "negotiate"),
+		slog.String("policy", pol.Name),
+		slog.String("policy_digest", hex.EncodeToString(dig[:])),
+	}
+	if err == nil {
+		a.log.Info("pcc negotiate", append(attrs, slog.String("verdict", "accepted"))...)
+		return
+	}
+	a.log.Warn("pcc negotiate", append(attrs,
+		slog.String("verdict", "rejected"), slog.String("error", err.Error()))...)
+}
+
+// evict records proof-cache evictions caused by one install.
+func (a *auditor) evict(n int64) {
+	if a == nil || n == 0 {
+		return
+	}
+	a.log.Info("pcc cache evict", slog.String("event", "evict"), slog.Int64("entries", n))
+}
+
+// uninstall records a filter removal.
+func (a *auditor) uninstall(owner string) {
+	if a == nil {
+		return
+	}
+	a.log.Info("pcc uninstall", slog.String("event", "uninstall"), slog.String("owner", owner))
+}

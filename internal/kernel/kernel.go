@@ -78,10 +78,12 @@ type counters struct {
 
 // installed is one live packet filter. The accepts counter is shared
 // with the kernel's persistent per-owner table so dispatch can bump it
-// under the read lock.
+// under the read lock. prof is the cycle-attribution accumulator,
+// non-nil only once profiling has been enabled (profile.go).
 type installed struct {
 	ext     *pcc.Extension
 	accepts *atomic.Int64
+	prof    *filterProfile
 }
 
 // Kernel is a simulated extensible kernel.
@@ -113,6 +115,10 @@ type Kernel struct {
 	// tel is the optional telemetry sink (telemetry.go); nil means
 	// every instrumentation point is a no-op costing one atomic load.
 	tel atomic.Pointer[telem]
+	// audit is the optional structured audit sink (audit.go).
+	audit atomic.Pointer[auditor]
+	// profiling selects the profiled dispatch path (profile.go).
+	profiling atomic.Bool
 	// statePool recycles packet-delivery machine states so dispatch
 	// does not allocate a fresh memory image per packet per filter.
 	statePool sync.Pool
@@ -168,10 +174,12 @@ func (k *Kernel) SetCycleBudget(b CycleBudget) {
 // that its own packet-filter guarantees cover the proposal.
 func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
 	span := k.tel.Load().span(telemetry.StageNegotiate, proposed.Name)
+	aud := k.audit.Load()
 	k.mu.RLock()
 	base := k.filterPolicy
 	k.mu.RUnlock()
 	if err := pcc.NegotiatePolicy(base, proposed); err != nil {
+		aud.negotiate(proposed, err)
 		span.End(err)
 		return err
 	}
@@ -183,6 +191,7 @@ func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
 	}
 	k.negotiated[proposed.Name] = proposed
 	k.negotiatedKeyers[proposed.Name] = pcc.NewKeyer(proposed)
+	aud.negotiate(proposed, nil)
 	span.End(nil)
 	return nil
 }
@@ -194,8 +203,8 @@ func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
 // kernel lock (and is skipped entirely on a proof-cache hit); only the
 // final commit of the validated extension is serialized.
 func (k *Kernel) InstallFilter(owner string, binary []byte) error {
-	slot, err := k.validateFilter(owner, binary)
-	return k.commitFilter(owner, slot, err)
+	slot, va, err := k.validateFilter(owner, binary)
+	return k.commitFilter(owner, slot, va, err)
 }
 
 // newCacheSlot derives everything an install commit will need from a
@@ -214,11 +223,14 @@ func newCacheSlot(key cacheKey, ext *pcc.Extension) *cacheSlot {
 // most one cache hit or miss is recorded per install attempt, however
 // many candidate policies are probed. With a recorder attached, the
 // attempt is traced as a validate span with cacheprobe /
-// parse / lfsig / vcgen / lfcheck / wcet children.
-func (k *Kernel) validateFilter(owner string, binary []byte) (*cacheSlot, error) {
+// parse / lfsig / vcgen / lfcheck / wcet children; with an audit log
+// attached, the forensic context of the attempt rides along to the
+// commit in the returned validationAudit (nil when auditing is off).
+func (k *Kernel) validateFilter(owner string, binary []byte) (*cacheSlot, *validationAudit, error) {
 	k.stats.validations.Add(1)
 	tel := k.tel.Load()
 	span := tel.span(telemetry.StageValidate, owner)
+	va := k.audit.Load().newValidationAudit("filter", owner, binary)
 	type candidate struct {
 		pol *policy.Policy
 		key cacheKey
@@ -230,14 +242,17 @@ func (k *Kernel) validateFilter(owner string, binary []byte) (*cacheSlot, error)
 		cands = append(cands, candidate{p, k.negotiatedKeyers[name].Key(binary)})
 	}
 	k.mu.RUnlock()
+	va.setPolicy(cands[0].pol)
 
 	probeStart := time.Now()
 	for _, c := range cands {
 		if slot := k.cache.lookup(c.key); slot != nil {
 			k.cache.recordHit()
+			va.setCacheHit()
+			va.setPolicy(c.pol)
 			tel.probe(span, probeStart, true)
 			span.End(nil)
-			return slot, nil
+			return slot, va, nil
 		}
 	}
 	k.cache.recordMiss()
@@ -255,27 +270,34 @@ func (k *Kernel) validateFilter(owner string, binary []byte) (*cacheSlot, error)
 		}
 		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
 		tel.validationStages(span, owner, valStart, stats)
+		va.setPolicy(c.pol)
+		va.setStats(stats)
 		wcetStart := time.Now()
 		slot := newCacheSlot(c.key, ext)
 		tel.wcet(span, owner, wcetStart, slot.wcetErr)
 		slot, evicted := k.cache.put(slot)
 		tel.evicted(evicted)
+		k.audit.Load().evict(evicted)
 		span.End(nil)
-		return slot, nil
+		return slot, va, nil
 	}
 	span.End(lastErr)
-	return nil, lastErr
+	return nil, va, lastErr
 }
 
 // commitFilter is the short serial section of an install: budget
 // comparison (the WCET itself was computed lock-free at validation
-// time) and table update.
-func (k *Kernel) commitFilter(owner string, slot *cacheSlot, verr error) error {
+// time) and table update. The final verdict — including budget
+// rejections — is written to the audit log here, so every install
+// attempt produces exactly one install record.
+func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit, verr error) error {
 	tel := k.tel.Load()
 	if verr != nil {
 		k.stats.rejections.Add(1)
 		tel.outcome(false)
-		return fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
+		err := fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
+		k.audit.Load().install(va, slot, err)
+		return err
 	}
 	span := tel.span(telemetry.StageCommit, owner)
 	err := func() error {
@@ -295,7 +317,11 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, verr error) error {
 			ctr = new(atomic.Int64)
 			k.accepts[owner] = ctr
 		}
-		k.filters[owner] = &installed{ext: slot.ext, accepts: ctr}
+		ins := &installed{ext: slot.ext, accepts: ctr}
+		if k.profiling.Load() {
+			ins.prof = newFilterProfile(slot.ext.Prog)
+		}
+		k.filters[owner] = ins
 		tel.setFilters(len(k.filters))
 		return nil
 	}()
@@ -303,6 +329,7 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, verr error) error {
 		k.stats.rejections.Add(1)
 	}
 	tel.outcome(err == nil)
+	k.audit.Load().install(va, slot, err)
 	span.End(err)
 	return err
 }
@@ -311,6 +338,9 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, verr error) error {
 func (k *Kernel) UninstallFilter(owner string) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if _, had := k.filters[owner]; had {
+		k.audit.Load().uninstall(owner)
+	}
 	delete(k.filters, owner)
 	k.tel.Load().setFilters(len(k.filters))
 }
@@ -388,6 +418,7 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 		env.pkt.Resize(len(pkt.Data))
 		env.pkt.SetBytes(pkt.Data)
 	}
+	profiling := k.profiling.Load()
 	k.mu.RLock()
 	defer k.mu.RUnlock()
 	k.stats.packets.Add(1)
@@ -401,7 +432,13 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 		} else {
 			state = k.packetState(pkt) // oversized packet: fall back to a fresh image
 		}
-		res, err := machine.Interp(f.ext.Prog, state, machine.Unchecked, &machine.DEC21064, 1<<20)
+		var res machine.Result
+		var err error
+		if profiling && f.prof != nil {
+			res, err = f.prof.run(state, 1<<20)
+		} else {
+			res, err = machine.Interp(f.ext.Prog, state, machine.Unchecked, &machine.DEC21064, 1<<20)
+		}
 		if err != nil {
 			// A validated extension cannot fault when the kernel meets
 			// the precondition; if it does, the kernel is broken.
@@ -409,10 +446,12 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 			return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", owner, err)
 		}
 		k.stats.extensionCycles.Add(res.Cycles)
-		if res.Ret != 0 {
+		ok := res.Ret != 0
+		if ok {
 			accepted = append(accepted, owner)
 			f.accepts.Add(1)
 		}
+		tel.filterRun(owner, res.Cycles, ok)
 	}
 	sort.Strings(accepted)
 	span.End(nil)
@@ -466,15 +505,18 @@ func (k *Kernel) InstallHandler(pid int, binary []byte) error {
 	k.stats.validations.Add(1)
 	tel := k.tel.Load()
 	var owner string
-	if tel != nil {
+	if tel != nil || k.audit.Load() != nil {
 		owner = fmt.Sprintf("pid-%d", pid)
 	}
 	span := tel.span(telemetry.StageValidate, owner)
+	va := k.audit.Load().newValidationAudit("handler", owner, binary)
+	va.setPolicy(k.resourcePolicy)
 	key := k.resourceKeyer.Key(binary)
 	probeStart := time.Now()
 	slot := k.cache.lookup(key)
 	if slot != nil {
 		k.cache.recordHit()
+		va.setCacheHit()
 		tel.probe(span, probeStart, true)
 	} else {
 		k.cache.recordMiss()
@@ -485,21 +527,26 @@ func (k *Kernel) InstallHandler(pid int, binary []byte) error {
 			k.stats.rejections.Add(1)
 			tel.outcome(false)
 			span.End(err)
-			return fmt.Errorf("kernel: handler for pid %d rejected: %w", pid, err)
+			werr := fmt.Errorf("kernel: handler for pid %d rejected: %w", pid, err)
+			k.audit.Load().install(va, nil, werr)
+			return werr
 		}
 		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
 		tel.validationStages(span, owner, valStart, stats)
+		va.setStats(stats)
 		wcetStart := time.Now()
 		fresh := newCacheSlot(key, ext)
 		tel.wcet(span, owner, wcetStart, fresh.wcetErr)
 		var evicted int64
 		slot, evicted = k.cache.put(fresh)
 		tel.evicted(evicted)
+		k.audit.Load().evict(evicted)
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	k.handlers[pid] = slot.ext
 	tel.outcome(true)
+	k.audit.Load().install(va, slot, nil)
 	span.End(nil)
 	return nil
 }

@@ -37,6 +37,7 @@ func (k *Kernel) InstallFilterBatch(reqs []InstallRequest) []error {
 	k.stats.batchInstalls.Add(1)
 
 	slots := make([]*cacheSlot, n)
+	vas := make([]*validationAudit, n)
 	verrs := make([]error, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -57,14 +58,14 @@ func (k *Kernel) InstallFilterBatch(reqs []InstallRequest) []error {
 				// Queue wait: how long the request sat before a
 				// validator picked it up.
 				k.stats.queueWaitNanos.Add(time.Since(start).Nanoseconds())
-				slots[i], verrs[i] = k.validateFilter(reqs[i].Owner, reqs[i].Binary)
+				slots[i], vas[i], verrs[i] = k.validateFilter(reqs[i].Owner, reqs[i].Binary)
 			}
 		}()
 	}
 	wg.Wait()
 
 	for i := range reqs {
-		errs[i] = k.commitFilter(reqs[i].Owner, slots[i], verrs[i])
+		errs[i] = k.commitFilter(reqs[i].Owner, slots[i], vas[i], verrs[i])
 	}
 	return errs
 }

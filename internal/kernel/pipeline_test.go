@@ -387,7 +387,7 @@ func TestWCETComputedAtValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := New() // no budget configured, yet the bound is precomputed
-	slot, verr := k.validateFilter("fits", cert.Binary)
+	slot, _, verr := k.validateFilter("fits", cert.Binary)
 	if verr != nil {
 		t.Fatal(verr)
 	}
@@ -395,11 +395,11 @@ func TestWCETComputedAtValidation(t *testing.T) {
 		t.Fatalf("wcet not precomputed at validation: wcet=%d err=%v", slot.wcet, slot.wcetErr)
 	}
 	k.SetCycleBudget(CycleBudget(slot.wcet))
-	if err := k.commitFilter("fits", slot, nil); err != nil {
+	if err := k.commitFilter("fits", slot, nil, nil); err != nil {
 		t.Fatalf("filter at exactly the budget rejected: %v", err)
 	}
 	k.SetCycleBudget(CycleBudget(slot.wcet - 1))
-	if err := k.commitFilter("over", slot, nil); err == nil {
+	if err := k.commitFilter("over", slot, nil, nil); err == nil {
 		t.Fatal("over-budget filter committed")
 	}
 }

@@ -1,0 +1,185 @@
+// Per-filter cycle profiling. With profiling enabled, every delivery
+// runs each filter through the profiled interpreter instantiation
+// (machine.InterpProfiled) into a pooled scratch profile, then merges
+// the scratch atomically into the filter's accumulator — so concurrent
+// deliveries profile race-free while the interpreter's inner loop
+// stays two plain adds per retired instruction. With profiling off,
+// dispatch takes the exact pre-profiler path (one extra atomic.Bool
+// load per delivery), keeping the nil-recorder DeliverPacket at zero
+// allocations per packet.
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/alpha"
+	"repro/internal/machine"
+	"repro/internal/pprofenc"
+)
+
+// filterProfile is the shared accumulator for one installed filter:
+// per-PC cycles and visits as atomics (merged into by concurrent
+// deliveries), plus a pool of scratch machine.Profiles sized to the
+// filter's program.
+type filterProfile struct {
+	prog    []alpha.Instr
+	cycles  []atomic.Int64
+	visits  []atomic.Int64
+	runs    atomic.Int64
+	scratch sync.Pool
+}
+
+func newFilterProfile(prog []alpha.Instr) *filterProfile {
+	fp := &filterProfile{
+		prog:   prog,
+		cycles: make([]atomic.Int64, len(prog)),
+		visits: make([]atomic.Int64, len(prog)),
+	}
+	fp.scratch.New = func() any { return machine.NewProfile(len(prog)) }
+	return fp
+}
+
+// run executes prog on state through the profiled interpreter and
+// folds the attribution into the accumulator.
+func (fp *filterProfile) run(state *machine.State, fuel int) (machine.Result, error) {
+	p := fp.scratch.Get().(*machine.Profile)
+	res, err := machine.InterpProfiled(fp.prog, state, machine.Unchecked, &machine.DEC21064, fuel, p)
+	for i := range p.Cycles {
+		if c := p.Cycles[i]; c != 0 {
+			fp.cycles[i].Add(c)
+		}
+		if v := p.Visits[i]; v != 0 {
+			fp.visits[i].Add(v)
+		}
+	}
+	fp.runs.Add(1)
+	p.Reset()
+	fp.scratch.Put(p)
+	return res, err
+}
+
+// snapshot captures the accumulator as a plain machine.Profile.
+func (fp *filterProfile) snapshot() *machine.Profile {
+	p := machine.NewProfile(len(fp.prog))
+	for i := range fp.cycles {
+		p.Cycles[i] = fp.cycles[i].Load()
+		p.Visits[i] = fp.visits[i].Load()
+	}
+	p.Runs = fp.runs.Load()
+	return p
+}
+
+// SetProfiling enables or disables cycle attribution on the dispatch
+// path. Enabling attaches an accumulator to every installed filter
+// (and to filters installed afterwards); accumulated counts survive
+// toggling off and back on, but not reinstalling the filter.
+func (k *Kernel) SetProfiling(on bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if on {
+		for _, f := range k.filters {
+			if f.prof == nil {
+				f.prof = newFilterProfile(f.ext.Prog)
+			}
+		}
+	}
+	k.profiling.Store(on)
+}
+
+// Profiling reports whether cycle attribution is enabled.
+func (k *Kernel) Profiling() bool { return k.profiling.Load() }
+
+// FilterProfileSnapshot is a point-in-time copy of one filter's cycle
+// attribution. Each counter is read atomically; under concurrent
+// delivery the snapshot is approximate the same way Stats is.
+type FilterProfileSnapshot struct {
+	Owner   string
+	Prog    []alpha.Instr
+	Profile *machine.Profile
+}
+
+// TotalCycles sums the attributed cycles.
+func (s *FilterProfileSnapshot) TotalCycles() int64 { return s.Profile.TotalCycles() }
+
+// AnnotatedListing renders the filter's disassembly with cycles and
+// visit counts beside each instruction plus the basic-block rollup.
+func (s *FilterProfileSnapshot) AnnotatedListing() string {
+	return fmt.Sprintf("filter %q: %d runs, %d cycles attributed\n%s",
+		s.Owner, s.Profile.Runs, s.Profile.TotalCycles(),
+		s.Profile.AnnotatedListing(s.Prog))
+}
+
+// FilterProfile returns the cycle profile of one installed filter, or
+// false if the owner has no filter or profiling was never enabled for
+// it.
+func (k *Kernel) FilterProfile(owner string) (*FilterProfileSnapshot, bool) {
+	k.mu.RLock()
+	f := k.filters[owner]
+	k.mu.RUnlock()
+	if f == nil || f.prof == nil {
+		return nil, false
+	}
+	return &FilterProfileSnapshot{Owner: owner, Prog: f.prof.prog, Profile: f.prof.snapshot()}, true
+}
+
+// FilterProfiles returns the profiles of all profiled filters, sorted
+// by owner.
+func (k *Kernel) FilterProfiles() []*FilterProfileSnapshot {
+	k.mu.RLock()
+	profs := make(map[string]*filterProfile, len(k.filters))
+	for owner, f := range k.filters {
+		if f.prof != nil {
+			profs[owner] = f.prof
+		}
+	}
+	k.mu.RUnlock()
+	owners := make([]string, 0, len(profs))
+	for o := range profs {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	out := make([]*FilterProfileSnapshot, 0, len(owners))
+	for _, o := range owners {
+		fp := profs[o]
+		out = append(out, &FilterProfileSnapshot{Owner: o, Prog: fp.prog, Profile: fp.snapshot()})
+	}
+	return out
+}
+
+// WriteFilterProfile exports the cycle profiles of every profiled
+// filter as one pprof-compatible profile: each executed PC becomes a
+// leaf frame carrying the disassembled instruction, stacked under a
+// root frame per filter, with visit and cycle sample values (cycles
+// last, so it is pprof's default sample index). `go tool pprof -top`
+// then ranks simulated instructions by cycles, and the flamegraph
+// view nests them under their filter.
+func (k *Kernel) WriteFilterProfile(w io.Writer) error {
+	snaps := k.FilterProfiles()
+	b := pprofenc.NewBuilder([2]string{"visits", "count"}, [2]string{"cycles", "count"})
+	b.PeriodType = [2]string{"cycles", "count"}
+	b.Period = 1
+	b.Comments = append(b.Comments,
+		"simulated DEC 21064 cycles attributed per Alpha instruction (repro PCC kernel)")
+	for _, s := range snaps {
+		root := pprofenc.Frame{Function: s.Owner, File: s.Owner}
+		for pc, ins := range s.Prog {
+			if pc >= len(s.Profile.Visits) || s.Profile.Visits[pc] == 0 {
+				continue
+			}
+			leaf := pprofenc.Frame{
+				Function: fmt.Sprintf("%s@pc%d: %s", s.Owner, pc, ins),
+				File:     s.Owner,
+				Line:     int64(pc + 1),
+			}
+			if err := b.AddSample([]pprofenc.Frame{leaf, root},
+				[]int64{s.Profile.Visits[pc], s.Profile.Cycles[pc]}); err != nil {
+				return err
+			}
+		}
+	}
+	return b.Write(w)
+}

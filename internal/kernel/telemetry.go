@@ -25,6 +25,10 @@ const (
 	MetricCacheEvictions = "pcc_cache_evictions_total"
 	MetricPackets        = "pcc_packets_total"
 	MetricFiltersGauge   = "pcc_filters_installed"
+	// Per-filter families, labeled by the installing owner (an
+	// untrusted string — the exposition escapes it).
+	MetricFilterAccepts = "pcc_filter_accepts_total"
+	MetricFilterCycles  = "pcc_filter_cycles_total"
 )
 
 // telem bundles a recorder with its pre-registered instruments so hot
@@ -134,6 +138,20 @@ func (t *telem) packet() {
 		return
 	}
 	t.packets.Inc()
+}
+
+// filterRun attributes one filter execution: cycles always, plus the
+// per-filter accept counter when the filter matched. Registration is
+// amortized — after the first packet both lookups are read-locked map
+// hits with no allocation.
+func (t *telem) filterRun(owner string, cycles int64, accepted bool) {
+	if t == nil {
+		return
+	}
+	t.rec.LabeledCounter(MetricFilterCycles, "filter", owner).Add(cycles)
+	if accepted {
+		t.rec.LabeledCounter(MetricFilterAccepts, "filter", owner).Inc()
+	}
 }
 
 // setFilters publishes the installed-filter count gauge.

@@ -340,3 +340,55 @@ func BenchmarkDeliverWithRecorder(b *testing.B) {
 		}
 	})
 }
+
+// TestPerFilterLabeledCounters: dispatch with a recorder attached
+// feeds the per-filter labeled families, the counts agree with the
+// kernel's own accounting, and a hostile owner name (quotes,
+// backslash, newline) still yields a parseable exposition page.
+func TestPerFilterLabeledCounters(t *testing.T) {
+	bins := certAll(t)
+	k := New()
+	rec := telemetry.New()
+	k.SetRecorder(rec)
+	hostile := "evil\"name\\with\nnewline"
+	if err := k.InstallFilter(hostile, bins[filters.Filter1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.InstallFilter("plain", bins[filters.Filter2]); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pktgen.Generate(200, pktgen.Config{Seed: 9}) {
+		if _, err := k.DeliverPacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := rec.Snapshot(false)
+	accepts := k.Accepts()
+	for owner, want := range accepts {
+		if got := snap.Labeled[MetricFilterAccepts][owner]; got != int64(want) {
+			t.Errorf("%q: labeled accepts %d, kernel says %d", owner, got, want)
+		}
+	}
+	var cycles int64
+	for _, c := range snap.Labeled[MetricFilterCycles] {
+		cycles += c
+	}
+	if cycles != k.Stats().ExtensionCycles {
+		t.Errorf("labeled cycles %d, kernel charged %d", cycles, k.Stats().ExtensionCycles)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	if !strings.Contains(page, `{filter="evil\"name\\with\nnewline"}`) {
+		t.Fatalf("hostile owner not escaped on the exposition page:\n%s", page)
+	}
+	for _, ln := range strings.Split(page, "\n") {
+		if strings.ContainsRune(ln, '\r') {
+			t.Fatalf("raw control character leaked into exposition line %q", ln)
+		}
+	}
+}

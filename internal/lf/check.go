@@ -8,14 +8,35 @@ import (
 )
 
 // TypeError reports an LF typechecking failure — i.e., an invalid
-// safety proof.
-type TypeError struct{ Msg string }
+// safety proof. Subterm, when set, renders the first (innermost)
+// subterm the checker rejected, so a consumer's audit log can record
+// forensically *where* in the proof the failure happened, not just
+// that it did.
+type TypeError struct {
+	Msg     string
+	Subterm string
+}
 
 // Error implements the error interface.
 func (e *TypeError) Error() string { return "lf: " + e.Msg }
 
 func typeErr(format string, args ...interface{}) error {
-	return &TypeError{fmt.Sprintf(format, args...)}
+	return &TypeError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// subtermRenderLimit bounds the rendered failing subterm: enough to
+// locate the failure, short enough for one log record.
+const subtermRenderLimit = 256
+
+// typeErrAt is typeErr carrying the failing subterm. Errors propagate
+// outward unchanged through the recursion, so the recorded subterm is
+// the innermost point of failure.
+func typeErrAt(at Term, format string, args ...interface{}) error {
+	s := fmt.Sprint(at)
+	if len(s) > subtermRenderLimit {
+		s = s[:subtermRenderLimit] + "..."
+	}
+	return &TypeError{Msg: fmt.Sprintf(format, args...), Subterm: s}
 }
 
 // Checker validates LF objects against the published signature. It is
@@ -39,7 +60,7 @@ func (c *Checker) Check(term, want Term) error {
 		return err
 	}
 	if !Equal(Normalize(got), Normalize(want)) {
-		return typeErr("type mismatch:\n  inferred %s\n  expected %s", got, want)
+		return typeErrAt(term, "type mismatch:\n  inferred %s\n  expected %s", got, want)
 	}
 	return nil
 }
@@ -57,16 +78,16 @@ func (c *Checker) infer(t Term, env []Term) (Term, error) {
 		if t == SType {
 			return SKind, nil
 		}
-		return nil, typeErr("the sort 'kind' has no classifier")
+		return nil, typeErrAt(t, "the sort 'kind' has no classifier")
 	case Konst:
 		ty, ok := c.Sig.Lookup(t.Name)
 		if !ok {
-			return nil, typeErr("unknown constant %q", t.Name)
+			return nil, typeErrAt(t, "unknown constant %q", t.Name)
 		}
 		return ty, nil
 	case Bound:
 		if t.Idx < 0 || t.Idx >= len(env) {
-			return nil, typeErr("unbound variable #%d", t.Idx)
+			return nil, typeErrAt(t, "unbound variable #%d", t.Idx)
 		}
 		return shift(env[t.Idx], t.Idx+1, 0), nil
 	case Lit:
@@ -81,7 +102,7 @@ func (c *Checker) infer(t Term, env []Term) (Term, error) {
 		}
 		srt, ok := Normalize(s).(Sort)
 		if !ok {
-			return nil, typeErr("Pi body is not a type or kind: %s", t.B)
+			return nil, typeErrAt(t.B, "Pi body is not a type or kind: %s", t.B)
 		}
 		return srt, nil
 	case Lam:
@@ -100,14 +121,14 @@ func (c *Checker) infer(t Term, env []Term) (Term, error) {
 		}
 		pi, ok := Normalize(fTy).(Pi)
 		if !ok {
-			return nil, typeErr("application of non-function: %s : %s", t.F, fTy)
+			return nil, typeErrAt(t, "application of non-function: %s : %s", t.F, fTy)
 		}
 		aTy, err := c.infer(t.X, env)
 		if err != nil {
 			return nil, err
 		}
 		if !Equal(Normalize(aTy), Normalize(pi.A)) {
-			return nil, typeErr("argument type mismatch:\n  got %s\n  want %s", aTy, pi.A)
+			return nil, typeErrAt(t.X, "argument type mismatch:\n  got %s\n  want %s", aTy, pi.A)
 		}
 		if err := c.checkPrimitive(t); err != nil {
 			return nil, err
@@ -127,7 +148,7 @@ func (c *Checker) checkIsType(a Term, env []Term) error {
 	if srt, ok := Normalize(s).(Sort); ok && (srt == SType || srt == SKind) {
 		return nil
 	}
-	return typeErr("not a type: %s", a)
+	return typeErrAt(a, "not a type: %s", a)
 }
 
 func push(env []Term, a Term) []Term {
@@ -150,26 +171,26 @@ func (c *Checker) checkPrimitive(app App) error {
 	case k.Name == CGr && len(args) == 1:
 		p, err := DecodePred(args[0])
 		if err != nil {
-			return typeErr("gr: %v", err)
+			return typeErrAt(app, "gr: %v", err)
 		}
 		v, ground := logic.EvalPred(p, map[string]uint64{})
 		if !ground {
-			return typeErr("gr applied to non-ground predicate %s", p)
+			return typeErrAt(app, "gr applied to non-ground predicate %s", p)
 		}
 		if !v {
-			return typeErr("gr applied to false predicate %s", p)
+			return typeErrAt(app, "gr applied to false predicate %s", p)
 		}
 	case k.Name == CNrm && len(args) == 2:
 		p, err := DecodePred(args[0])
 		if err != nil {
-			return typeErr("nrm: %v", err)
+			return typeErrAt(app, "nrm: %v", err)
 		}
 		q, err := DecodePred(args[1])
 		if err != nil {
 			return typeErr("nrm: %v", err)
 		}
 		if !logic.AlphaEqual(logic.NormPred(p), logic.NormPred(q)) {
-			return typeErr("nrm applied to non-convertible predicates:\n  %s\n  %s", p, q)
+			return typeErrAt(app, "nrm applied to non-convertible predicates:\n  %s\n  %s", p, q)
 		}
 	}
 	return nil

@@ -90,12 +90,40 @@ type Tracer func(pc int, ins alpha.Instr, s *State)
 // exhaustion. The cost model cm may be nil, in which case cycles are
 // not accounted.
 func Interp(prog []alpha.Instr, s *State, mode Mode, cm *CostModel, fuel int) (Result, error) {
-	return InterpTraced(prog, s, mode, cm, fuel, nil)
+	return interp(prog, s, mode, cm, fuel, nil, noProfile{})
 }
 
 // InterpTraced is Interp with a per-instruction observer, used by the
 // loader's -trace mode and by debugging tools.
 func InterpTraced(prog []alpha.Instr, s *State, mode Mode, cm *CostModel, fuel int, trace Tracer) (Result, error) {
+	return interp(prog, s, mode, cm, fuel, trace, noProfile{})
+}
+
+// InterpProfiled is Interp with per-PC cycle and visit attribution into
+// prof (which must have been built for a program at least as long as
+// prog; see NewProfile). The profiled interpreter is a separate
+// compile-time instantiation of the same loop, so the unprofiled
+// Interp path carries no profiler branch, pointer test, or allocation.
+func InterpProfiled(prog []alpha.Instr, s *State, mode Mode, cm *CostModel, fuel int, prof *Profile) (Result, error) {
+	return interp(prog, s, mode, cm, fuel, nil, prof)
+}
+
+// profSink receives per-retired-instruction attribution. It is a type
+// parameter of interp, not an interface field, so the selection between
+// the no-op sink and a live *Profile happens at compile time: interp
+// is instantiated once with noProfile (whose note inlines to nothing —
+// the Interp/InterpTraced path) and once with *Profile (the
+// InterpProfiled path).
+type profSink interface {
+	note(pc int, cycles int64)
+}
+
+// noProfile is the zero-cost sink the unprofiled instantiation uses.
+type noProfile struct{}
+
+func (noProfile) note(int, int64) {}
+
+func interp[P profSink](prog []alpha.Instr, s *State, mode Mode, cm *CostModel, fuel int, trace Tracer, prof P) (Result, error) {
 	var res Result
 	for {
 		if s.PC == len(prog) {
@@ -156,18 +184,24 @@ func InterpTraced(prog []alpha.Instr, s *State, mode Mode, cm *CostModel, fuel i
 				taken = true
 			}
 		case alpha.RET:
+			var c int64
 			if cm != nil {
-				res.Cycles += int64(cm.Ret)
+				c = int64(cm.Ret)
 			}
+			res.Cycles += c
+			prof.note(s.PC, c)
 			res.Ret = s.R[0]
 			return res, nil
 		default:
 			return res, &ExecError{s.PC, ins, fmt.Errorf("illegal instruction"), false}
 		}
 
+		var c int64
 		if cm != nil {
-			res.Cycles += int64(cm.cost(ins, taken))
+			c = int64(cm.cost(ins, taken))
 		}
+		res.Cycles += c
+		prof.note(s.PC, c)
 		if taken {
 			s.PC = ins.Target
 		} else {

@@ -1,0 +1,170 @@
+// Cycle-attribution profiler for simulated extension code. The
+// paper's data-plane argument (Figure 8, Table 2) is a per-packet
+// cycle count; a Profile breaks that count down to where it is spent —
+// per PC and per basic block — so a filter's cost can be read beside
+// its disassembly or rendered as a flamegraph (internal/pprofenc).
+//
+// A Profile is plain (non-atomic) storage: it belongs to exactly one
+// execution at a time. Concurrent consumers (the kernel's per-filter
+// accumulators) run each delivery into a private scratch Profile and
+// merge the result atomically on their side — the interpreter's hot
+// loop stays two plain adds per retired instruction.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alpha"
+)
+
+// Profile accumulates per-PC execution counts and simulated cycles for
+// one program. The zero Profile is unusable; build one with NewProfile
+// sized to the program it will observe.
+type Profile struct {
+	// Cycles[pc] is the simulated cycles retired at pc; Visits[pc] is
+	// how many times pc retired an instruction.
+	Cycles []int64
+	Visits []int64
+	// Runs counts completed executions merged into this profile.
+	Runs int64
+}
+
+// NewProfile builds a profile for a program of n instructions.
+func NewProfile(n int) *Profile {
+	return &Profile{Cycles: make([]int64, n), Visits: make([]int64, n)}
+}
+
+// note implements profSink: attribute one retired instruction.
+func (p *Profile) note(pc int, cycles int64) {
+	if pc < len(p.Cycles) {
+		p.Cycles[pc] += cycles
+		p.Visits[pc]++
+	}
+}
+
+// Reset zeroes the profile for reuse without reallocating.
+func (p *Profile) Reset() {
+	for i := range p.Cycles {
+		p.Cycles[i] = 0
+		p.Visits[i] = 0
+	}
+	p.Runs = 0
+}
+
+// Merge folds other into p (slices must be the same length).
+func (p *Profile) Merge(other *Profile) {
+	for i := range other.Cycles {
+		p.Cycles[i] += other.Cycles[i]
+		p.Visits[i] += other.Visits[i]
+	}
+	p.Runs += other.Runs
+}
+
+// TotalCycles sums the attributed cycles over all PCs.
+func (p *Profile) TotalCycles() int64 {
+	var total int64
+	for _, c := range p.Cycles {
+		total += c
+	}
+	return total
+}
+
+// TotalVisits sums the retired-instruction count over all PCs.
+func (p *Profile) TotalVisits() int64 {
+	var total int64
+	for _, v := range p.Visits {
+		total += v
+	}
+	return total
+}
+
+// Block is one basic block of a profiled program with its aggregated
+// cost: instructions [Start, End), entered Visits times (the leader's
+// visit count), costing Cycles simulated cycles in total.
+type Block struct {
+	Start, End int
+	Cycles     int64
+	Visits     int64
+}
+
+// BlockLeaders computes the basic-block leader set of a program: the
+// entry PC, every branch target, and every instruction following a
+// branch or RET.
+func BlockLeaders(prog []alpha.Instr) []int {
+	leader := make([]bool, len(prog)+1)
+	if len(prog) > 0 {
+		leader[0] = true
+	}
+	for pc, ins := range prog {
+		switch ins.Op.Class() {
+		case alpha.ClassBranch:
+			if ins.Target >= 0 && ins.Target <= len(prog) {
+				leader[ins.Target] = true
+			}
+			leader[pc+1] = true
+		case alpha.ClassRet:
+			leader[pc+1] = true
+		}
+	}
+	var out []int
+	for pc := 0; pc < len(prog); pc++ {
+		if leader[pc] {
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+// Blocks aggregates the profile over prog's basic blocks, in program
+// order.
+func (p *Profile) Blocks(prog []alpha.Instr) []Block {
+	leaders := BlockLeaders(prog)
+	blocks := make([]Block, 0, len(leaders))
+	for i, start := range leaders {
+		end := len(prog)
+		if i+1 < len(leaders) {
+			end = leaders[i+1]
+		}
+		b := Block{Start: start, End: end}
+		if start < len(p.Visits) {
+			b.Visits = p.Visits[start]
+		}
+		for pc := start; pc < end && pc < len(p.Cycles); pc++ {
+			b.Cycles += p.Cycles[pc]
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+// AnnotatedListing renders prog as a disassembly listing with the
+// profile's cycles and visit counts beside each instruction, and a
+// per-basic-block summary — the "where did the packet's cycles go"
+// view of a filter.
+func (p *Profile) AnnotatedListing(prog []alpha.Instr) string {
+	total := p.TotalCycles()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s %10s %7s  %s\n", "cycles", "visits", "share", "instruction")
+	b.WriteString(alpha.AnnotatedProgram(prog, func(pc int) string {
+		var cyc, vis int64
+		if pc < len(p.Cycles) {
+			cyc, vis = p.Cycles[pc], p.Visits[pc]
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(cyc) / float64(total)
+		}
+		return fmt.Sprintf("%8d %10d %6.1f%%", cyc, vis, share)
+	}))
+	fmt.Fprintf(&b, "basic blocks (%d runs, %d cycles total):\n", p.Runs, total)
+	for _, blk := range p.Blocks(prog) {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(blk.Cycles) / float64(total)
+		}
+		fmt.Fprintf(&b, "  pc %3d..%-3d %10d cycles %10d entries %6.1f%%\n",
+			blk.Start, blk.End-1, blk.Cycles, blk.Visits, share)
+	}
+	return b.String()
+}

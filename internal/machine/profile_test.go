@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alpha"
+)
+
+// profProg assembles a small branchy program: r0 = 1 if the word at
+// 0(r1) is nonzero, else 0, via a taken/not-taken split.
+const profSrc = `
+        LDQ    r4, 0(r1)
+        BEQ    r4, zero
+        LDA    r0, 1(r31)
+        RET
+zero:   CLR    r0
+        RET
+`
+
+func assembleProf(t *testing.T) []alpha.Instr {
+	t.Helper()
+	asm, err := alpha.Assemble(profSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asm.Prog
+}
+
+func profState(word uint64) *State {
+	mem := NewMemory()
+	r := NewRegion("data", 0x1000, 8, false)
+	r.SetWord(0, word)
+	mem.MustAddRegion(r)
+	s := &State{Mem: mem}
+	s.R[1] = 0x1000
+	return s
+}
+
+// TestProfileMatchesInterp runs the same program profiled and
+// unprofiled and requires identical results plus exact cycle
+// attribution: the per-PC cycles must sum to the run's cycle total.
+func TestProfileMatchesInterp(t *testing.T) {
+	prog := assembleProf(t)
+	for _, word := range []uint64{0, 7} {
+		plain, err := Interp(prog, profState(word), Unchecked, &DEC21064, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := NewProfile(len(prog))
+		got, err := InterpProfiled(prog, profState(word), Unchecked, &DEC21064, 1000, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != plain {
+			t.Fatalf("word=%d: profiled result %+v, unprofiled %+v", word, got, plain)
+		}
+		if prof.TotalCycles() != plain.Cycles {
+			t.Errorf("word=%d: attributed %d cycles, run reported %d",
+				word, prof.TotalCycles(), plain.Cycles)
+		}
+		if prof.TotalVisits() != int64(plain.Steps) {
+			t.Errorf("word=%d: attributed %d visits, run retired %d",
+				word, prof.TotalVisits(), plain.Steps)
+		}
+	}
+}
+
+// TestProfilePerPC checks the attribution lands on the right PCs: the
+// taken path must touch the taken-side instructions and not the
+// fall-through side, and vice versa.
+func TestProfilePerPC(t *testing.T) {
+	prog := assembleProf(t)
+	prof := NewProfile(len(prog))
+	if _, err := InterpProfiled(prog, profState(7), Unchecked, &DEC21064, 1000, prof); err != nil {
+		t.Fatal(err)
+	}
+	// Nonzero word: BEQ not taken, so pc 2..3 (LDA/RET) execute and
+	// pc 4..5 (CLR/RET) do not.
+	for _, pc := range []int{0, 1, 2, 3} {
+		if prof.Visits[pc] != 1 {
+			t.Errorf("pc %d: visits %d, want 1", pc, prof.Visits[pc])
+		}
+	}
+	for _, pc := range []int{4, 5} {
+		if prof.Visits[pc] != 0 {
+			t.Errorf("pc %d: visits %d, want 0", pc, prof.Visits[pc])
+		}
+	}
+	if prof.Cycles[0] != int64(DEC21064.Load) {
+		t.Errorf("pc 0 (LDQ): %d cycles, want %d", prof.Cycles[0], DEC21064.Load)
+	}
+}
+
+// TestProfileMergeAndBlocks exercises accumulation across runs and the
+// basic-block rollup.
+func TestProfileMergeAndBlocks(t *testing.T) {
+	prog := assembleProf(t)
+	acc := NewProfile(len(prog))
+	var wantCycles int64
+	for _, word := range []uint64{0, 1, 2, 0} {
+		p := NewProfile(len(prog))
+		res, err := InterpProfiled(prog, profState(word), Unchecked, &DEC21064, 1000, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Runs = 1
+		wantCycles += res.Cycles
+		acc.Merge(p)
+	}
+	if acc.Runs != 4 {
+		t.Errorf("merged runs %d, want 4", acc.Runs)
+	}
+	if acc.TotalCycles() != wantCycles {
+		t.Errorf("merged cycles %d, want %d", acc.TotalCycles(), wantCycles)
+	}
+	blocks := acc.Blocks(prog)
+	// Leaders: 0 (entry), 2 (after BEQ), 4 (branch target / after RET).
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3: %+v", len(blocks), blocks)
+	}
+	if blocks[0].Start != 0 || blocks[0].End != 2 {
+		t.Errorf("block 0 spans %d..%d, want 0..2", blocks[0].Start, blocks[0].End)
+	}
+	if blocks[0].Visits != 4 {
+		t.Errorf("entry block visited %d times, want 4", blocks[0].Visits)
+	}
+	if blocks[1].Visits != 2 || blocks[2].Visits != 2 {
+		t.Errorf("split blocks visited %d/%d times, want 2/2",
+			blocks[1].Visits, blocks[2].Visits)
+	}
+	var blockSum int64
+	for _, b := range blocks {
+		blockSum += b.Cycles
+	}
+	if blockSum != acc.TotalCycles() {
+		t.Errorf("block cycles sum to %d, profile total %d", blockSum, acc.TotalCycles())
+	}
+	listing := acc.AnnotatedListing(prog)
+	if !strings.Contains(listing, "basic blocks") || !strings.Contains(listing, "LDQ") {
+		t.Errorf("annotated listing missing expected content:\n%s", listing)
+	}
+}
+
+// TestUnprofiledInterpNoAllocs pins the compile-time selection: the
+// plain Interp instantiation must not allocate per run even after the
+// profiler was added to the loop.
+func TestUnprofiledInterpNoAllocs(t *testing.T) {
+	prog := assembleProf(t)
+	s := profState(7)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.PC = 0
+		s.R[1] = 0x1000
+		if _, err := Interp(prog, s, Unchecked, &DEC21064, 1000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Interp allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,261 @@
+// Package pprofenc writes pprof-compatible profiles (the gzipped
+// profile.proto format that `go tool pprof` consumes) without any
+// protobuf dependency: the subset of the message the profiler needs —
+// string table, value types, functions, locations with line info, and
+// samples — is encoded by hand with the standard varint/length-
+// delimited wire format.
+//
+// The kernel uses it to export cycle profiles of *simulated* Alpha
+// filter code: each program counter of a filter becomes a Location
+// whose Function carries the disassembled instruction, so
+// `go tool pprof -top` ranks instructions by simulated cycles and the
+// flamegraph view nests them under the filter they belong to.
+package pprofenc
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Frame is one entry of a sample's symbolic stack, leaf first.
+type Frame struct {
+	// Function is the frame's display name (pprof aggregates by it).
+	Function string
+	// File and Line locate the frame in its "source" — for simulated
+	// code, the filter name and instruction index.
+	File string
+	Line int64
+}
+
+// Builder accumulates samples and writes a profile. Not safe for
+// concurrent use.
+type Builder struct {
+	strings map[string]int64
+	strs    []string
+
+	// sampleTypes are {type, unit} pairs, e.g. {"cycles", "count"}.
+	sampleTypes [][2]string
+
+	funcs   map[Frame]uint64 // keyed by (Function, File) with Line=0
+	funcTab []frameFunc
+	locs    map[Frame]uint64
+	locTab  []frameLoc
+
+	samples []sample
+
+	// PeriodType/Period, optional profile-wide metadata.
+	PeriodType [2]string
+	Period     int64
+	// Comments are free-form strings attached to the profile.
+	Comments []string
+}
+
+type frameFunc struct {
+	name, file int64
+}
+
+type frameLoc struct {
+	funcID uint64
+	line   int64
+}
+
+type sample struct {
+	locIDs []uint64
+	values []int64
+}
+
+// NewBuilder starts a profile with the given sample value types (at
+// least one, e.g. {"cycles", "count"}).
+func NewBuilder(sampleTypes ...[2]string) *Builder {
+	b := &Builder{
+		strings:     map[string]int64{"": 0},
+		strs:        []string{""},
+		sampleTypes: sampleTypes,
+		funcs:       map[Frame]uint64{},
+		locs:        map[Frame]uint64{},
+	}
+	return b
+}
+
+func (b *Builder) str(s string) int64 {
+	if id, ok := b.strings[s]; ok {
+		return id
+	}
+	id := int64(len(b.strs))
+	b.strings[s] = id
+	b.strs = append(b.strs, s)
+	return id
+}
+
+func (b *Builder) funcID(f Frame) uint64 {
+	key := Frame{Function: f.Function, File: f.File}
+	if id, ok := b.funcs[key]; ok {
+		return id
+	}
+	b.funcTab = append(b.funcTab, frameFunc{name: b.str(f.Function), file: b.str(f.File)})
+	id := uint64(len(b.funcTab)) // IDs are 1-based
+	b.funcs[key] = id
+	return id
+}
+
+func (b *Builder) locID(f Frame) uint64 {
+	if id, ok := b.locs[f]; ok {
+		return id
+	}
+	b.locTab = append(b.locTab, frameLoc{funcID: b.funcID(f), line: f.Line})
+	id := uint64(len(b.locTab)) // IDs are 1-based
+	b.locs[f] = id
+	return id
+}
+
+// AddSample appends one sample: a symbolic stack (leaf first) with one
+// value per sample type. Frames and values are interned/copied, so the
+// caller may reuse its slices.
+func (b *Builder) AddSample(stack []Frame, values []int64) error {
+	if len(values) != len(b.sampleTypes) {
+		return fmt.Errorf("pprofenc: sample has %d values, profile declares %d types",
+			len(values), len(b.sampleTypes))
+	}
+	s := sample{locIDs: make([]uint64, len(stack)), values: append([]int64(nil), values...)}
+	for i, f := range stack {
+		s.locIDs[i] = b.locID(f)
+	}
+	b.samples = append(b.samples, s)
+	return nil
+}
+
+// --- protobuf wire encoding ------------------------------------------
+
+// msg is a protobuf message under construction.
+type msg struct{ buf []byte }
+
+func (m *msg) varint(v uint64) {
+	for v >= 0x80 {
+		m.buf = append(m.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	m.buf = append(m.buf, byte(v))
+}
+
+// tag emits a field key. wire type 0 = varint, 2 = length-delimited.
+func (m *msg) tag(field int, wire int) { m.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (m *msg) int64Field(field int, v int64) {
+	if v == 0 {
+		return
+	}
+	m.tag(field, 0)
+	m.varint(uint64(v))
+}
+
+func (m *msg) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	m.tag(field, 0)
+	m.varint(v)
+}
+
+func (m *msg) bytesField(field int, b []byte) {
+	m.tag(field, 2)
+	m.varint(uint64(len(b)))
+	m.buf = append(m.buf, b...)
+}
+
+func (m *msg) stringField(field int, s string) { m.bytesField(field, []byte(s)) }
+
+// packedInts emits repeated integers in packed encoding (proto3
+// default for repeated scalars).
+func (m *msg) packedInts(field int, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	var inner msg
+	for _, v := range vals {
+		inner.varint(v)
+	}
+	m.bytesField(field, inner.buf)
+}
+
+func (m *msg) packedInt64s(field int, vals []int64) {
+	u := make([]uint64, len(vals))
+	for i, v := range vals {
+		u[i] = uint64(v)
+	}
+	m.packedInts(field, u)
+}
+
+// valueType encodes a ValueType message: type (field 1) and unit
+// (field 2), both string-table indexes.
+func valueType(typ, unit int64) []byte {
+	var m msg
+	m.int64Field(1, typ)
+	m.int64Field(2, unit)
+	return m.buf
+}
+
+// Write encodes the profile, gzips it (pprof expects gzip), and
+// writes it to w.
+func (b *Builder) Write(w io.Writer) error {
+	var p msg
+
+	// sample_type (field 1).
+	for _, st := range b.sampleTypes {
+		p.bytesField(1, valueType(b.str(st[0]), b.str(st[1])))
+	}
+	// sample (field 2).
+	for _, s := range b.samples {
+		var m msg
+		m.packedInts(1, s.locIDs)
+		m.packedInt64s(2, s.values)
+		p.bytesField(2, m.buf)
+	}
+	// location (field 4).
+	for i, l := range b.locTab {
+		var line msg
+		line.uint64Field(1, l.funcID)
+		line.int64Field(2, l.line)
+		var m msg
+		m.uint64Field(1, uint64(i+1)) // id
+		m.bytesField(4, line.buf)
+		p.bytesField(4, m.buf)
+	}
+	// function (field 5).
+	for i, f := range b.funcTab {
+		var m msg
+		m.uint64Field(1, uint64(i+1)) // id
+		m.int64Field(2, f.name)
+		m.int64Field(3, f.name) // system_name
+		m.int64Field(4, f.file)
+		p.bytesField(5, m.buf)
+	}
+	// Comments must be interned before the string table is emitted.
+	var comments []int64
+	for _, c := range b.Comments {
+		comments = append(comments, b.str(c))
+	}
+	var periodType []byte
+	if b.PeriodType != ([2]string{}) {
+		periodType = valueType(b.str(b.PeriodType[0]), b.str(b.PeriodType[1]))
+	}
+	// string_table (field 6).
+	for _, s := range b.strs {
+		p.stringField(6, s)
+	}
+	// period_type (field 11) and period (field 12).
+	if periodType != nil {
+		p.bytesField(11, periodType)
+	}
+	p.int64Field(12, b.Period)
+	// comment (field 13).
+	for _, c := range comments {
+		p.int64Field(13, c)
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.buf); err != nil {
+		return err
+	}
+	return gz.Close()
+}

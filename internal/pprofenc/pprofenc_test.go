@@ -1,0 +1,166 @@
+package pprofenc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func buildTestProfile(t *testing.T) *Builder {
+	t.Helper()
+	b := NewBuilder([2]string{"visits", "count"}, [2]string{"cycles", "count"})
+	b.PeriodType = [2]string{"cycles", "count"}
+	b.Period = 1
+	b.Comments = append(b.Comments, "simulated DEC 21064 cycles")
+	root := Frame{Function: "Filter 1", File: "Filter 1"}
+	for pc, ins := range []string{"LDQ r4, 8(r1)", "SLL r4, 16, r4", "RET"} {
+		leaf := Frame{
+			Function: fmt.Sprintf("pc%d: %s", pc, ins),
+			File:     "Filter 1",
+			Line:     int64(pc + 1),
+		}
+		if err := b.AddSample([]Frame{leaf, root}, []int64{100, int64(100 * (pc + 1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+// decodeTop is a tiny wire-format reader for the outer Profile
+// message: enough to pull out the string table and count samples,
+// locations, and functions, so the encoding is checked without
+// shelling out.
+func decodeTop(t *testing.T, raw []byte) (strs []string, samples, locs, funcs int) {
+	t.Helper()
+	for len(raw) > 0 {
+		var key uint64
+		var n int
+		key, n = uvarint(raw)
+		if n <= 0 {
+			t.Fatal("bad varint in profile")
+		}
+		raw = raw[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			_, n = uvarint(raw)
+			raw = raw[n:]
+		case 2:
+			l, n := uvarint(raw)
+			raw = raw[n:]
+			body := raw[:l]
+			raw = raw[l:]
+			switch field {
+			case 2:
+				samples++
+			case 4:
+				locs++
+			case 5:
+				funcs++
+			case 6:
+				strs = append(strs, string(body))
+			}
+		default:
+			t.Fatalf("unexpected wire type %d", wire)
+		}
+	}
+	return
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+func TestEncodeDecode(t *testing.T) {
+	b := buildTestProfile(t)
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strs, samples, locs, funcs := decodeTop(t, raw)
+	if len(strs) == 0 || strs[0] != "" {
+		t.Fatalf("string table must start with the empty string, got %q", strs)
+	}
+	if samples != 3 {
+		t.Errorf("encoded %d samples, want 3", samples)
+	}
+	if locs != 4 { // 3 leaves + 1 shared root
+		t.Errorf("encoded %d locations, want 4", locs)
+	}
+	if funcs != 4 {
+		t.Errorf("encoded %d functions, want 4", funcs)
+	}
+	joined := strings.Join(strs, "\n")
+	for _, want := range []string{"cycles", "visits", "Filter 1", "pc0: LDQ r4, 8(r1)", "simulated DEC 21064 cycles"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("string table missing %q", want)
+		}
+	}
+}
+
+// TestGoToolPprofTop is the compatibility gate: `go tool pprof -top`
+// must read the profile and attribute every sampled cycle to the
+// simulated PCs (the ISSUE's >= 95%% acceptance bar; exact attribution
+// gives 100%%).
+func TestGoToolPprofTop(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	b := buildTestProfile(t)
+	path := filepath.Join(t.TempDir(), "filters.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("go", "tool", "pprof", "-top", "-sample_index=cycles", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof failed: %v\n%s", err, out)
+	}
+	// Flat cycle counts: 100 + 200 + 300 = 600, all on pc frames.
+	var flatOnPCs int64
+	re := regexp.MustCompile(`^\s*(\d+)\s`)
+	for _, line := range strings.Split(string(out), "\n") {
+		if !strings.Contains(line, "pc") {
+			continue
+		}
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, _ := strconv.ParseInt(m[1], 10, 64)
+		flatOnPCs += v
+	}
+	if flatOnPCs < 570 { // >= 95% of 600
+		t.Errorf("pprof -top attributes %d of 600 cycles to filter PCs (want >= 570)\n%s",
+			flatOnPCs, out)
+	}
+}

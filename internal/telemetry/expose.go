@@ -37,8 +37,11 @@ type Snapshot struct {
 	Counters      map[string]int64             `json:"counters,omitempty"`
 	Gauges        map[string]int64             `json:"gauges,omitempty"`
 	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
-	TraceAppended int64                        `json:"trace_appended"`
-	TraceDropped  int64                        `json:"trace_dropped"`
+	// Labeled maps family -> label value -> count for labeled counter
+	// families (the label key is part of the family's registration).
+	Labeled       map[string]map[string]int64 `json:"labeled,omitempty"`
+	TraceAppended int64                       `json:"trace_appended"`
+	TraceDropped  int64                       `json:"trace_dropped"`
 }
 
 func snapHistogram(h *Histogram, withBuckets bool) HistogramSnapshot {
@@ -103,6 +106,16 @@ func (r *Recorder) Snapshot(withBuckets bool) Snapshot {
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
 	}
+	if len(r.labeled) > 0 {
+		s.Labeled = map[string]map[string]int64{}
+		for fam, lf := range r.labeled {
+			vals := make(map[string]int64, len(lf.vals))
+			for v, c := range lf.vals {
+				vals[v] = c.Value()
+			}
+			s.Labeled[fam] = vals
+		}
+	}
 	r.mu.RUnlock()
 	for name, h := range r.histogramSet() {
 		s.Histograms[name] = snapHistogram(h, withBuckets)
@@ -139,6 +152,20 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	}
 	for name, g := range r.gauges {
 		lines = append(lines, line{name, fmt.Sprintf("# TYPE %s gauge\n%s %d\n", name, name, g.Value())})
+	}
+	for fam, lf := range r.labeled {
+		vals := make([]string, 0, len(lf.vals))
+		for v := range lf.vals {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		text := fmt.Sprintf("# TYPE %s counter\n", fam)
+		for _, v := range vals {
+			// Label values are untrusted (filter owner names); escape
+			// them so the page stays parseable.
+			text += fmt.Sprintf("%s{%s=\"%s\"} %d\n", fam, lf.key, EscapeLabelValue(v), lf.vals[v].Value())
+		}
+		lines = append(lines, line{fam, text})
 	}
 	r.mu.RUnlock()
 

@@ -89,6 +89,7 @@ type Recorder struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	labeled  map[string]*labeledFamily
 }
 
 // New builds a Recorder with default options.
@@ -104,6 +105,7 @@ func NewWith(o Options) *Recorder {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		hists:      map[string]*Histogram{},
+		labeled:    map[string]*labeledFamily{},
 	}
 	for _, s := range Stages {
 		r.stageHists[s] = NewHistogram(o.Buckets)

@@ -174,6 +174,10 @@ type ValidationStats struct {
 	Check    time.Duration
 	// CheckSteps counts LF inference steps.
 	CheckSteps int
+	// VCNodes is the size (in LF term nodes) of the recomputed safety
+	// predicate the proof was checked against — the "VC size" an audit
+	// trail records per install decision.
+	VCNodes int
 	// HeapBytes approximates the heap cost of validation.
 	HeapBytes uint64
 	// BinarySize is the total PCC binary size in bytes.
@@ -238,6 +242,7 @@ func Validate(binary []byte, pol *policy.Policy) (*Extension, *ValidationStats, 
 		return nil, nil, err
 	}
 	stats.VCGen = time.Since(mark)
+	stats.VCNodes = lf.Size(spT)
 
 	mark = time.Now()
 	checker := lf.NewChecker(sig)

@@ -13,12 +13,14 @@ go build ./...
 echo '== go vet ./...'
 go vet ./...
 
-# The telemetry and kernel packages lean on sync/atomic and carry
-# lock-free invariants; run the atomic and copylocks analyzers on them
-# explicitly (the shadow analyzer lives in an external module, so it is
-# not part of this gate).
-echo '== go vet -atomic -copylocks (telemetry, kernel)'
-go vet -atomic -copylocks ./internal/telemetry/ ./internal/kernel/
+# The telemetry, kernel, and machine packages lean on sync/atomic and
+# carry lock-free invariants (the profiler hot path merges pooled
+# scratch profiles into per-filter atomic accumulators); run the
+# atomic and copylocks analyzers on them explicitly (the shadow
+# analyzer lives in an external module, so it is not part of this
+# gate).
+echo '== go vet -atomic -copylocks (telemetry, kernel, machine)'
+go vet -atomic -copylocks ./internal/telemetry/ ./internal/kernel/ ./internal/machine/
 
 echo '== go test -race ./...'
 go test -race ./...
@@ -49,5 +51,40 @@ do
 		exit 1
 	fi
 done
+
+echo '== serve smoke (pccmon -serve endpoints)'
+go build -o /tmp/pccmon.verify ./cmd/pccmon
+/tmp/pccmon.verify -serve 127.0.0.1:16996 -pps 500 -audit-out /tmp/pccmon.audit.jsonl &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+# Wait for the listener, then hit the surfaces.
+ok=
+for _ in $(seq 1 50); do
+	if curl -fsS http://127.0.0.1:16996/healthz >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+if [ -z "$ok" ]; then
+	echo "serve smoke: /healthz never came up" >&2
+	exit 1
+fi
+curl -fsS http://127.0.0.1:16996/metrics | grep -c pcc_filter_cycles_total >/dev/null ||
+	{ echo "serve smoke: /metrics missing per-filter cycles" >&2; exit 1; }
+curl -fsS 'http://127.0.0.1:16996/profile/Filter%201' | grep -c RET >/dev/null ||
+	{ echo "serve smoke: /profile/Filter 1 has no listing" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16996/debug/vars | grep -c traffic_packets >/dev/null ||
+	{ echo "serve smoke: /debug/vars missing traffic counters" >&2; exit 1; }
+# Graceful shutdown: SIGTERM must end the process with exit 0.
+kill "$serve_pid"
+if ! wait "$serve_pid"; then
+	echo "serve smoke: pccmon -serve did not exit cleanly" >&2
+	exit 1
+fi
+trap - EXIT
+grep -q '"event":"install"' /tmp/pccmon.audit.jsonl ||
+	{ echo "serve smoke: audit log recorded no installs" >&2; exit 1; }
+rm -f /tmp/pccmon.verify /tmp/pccmon.audit.jsonl
 
 echo 'verify: OK'
