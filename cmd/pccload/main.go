@@ -4,12 +4,21 @@
 //
 // Usage:
 //
-//	pccload [-policy packet-filter/v1] [-run] [-packets N] filter.pcc...
+//	pccload [-policy packet-filter/v1] [-run] [-packets N] [-deadline D] filter.pcc...
+//	pccload -chaos N [-chaos-seed S]
 //
 // With -run and the packet-filter policy, the extension is executed
 // over a synthetic trace and the accept rate reported; with the
 // resource-access policy, it is invoked on a sample kernel table
-// entry.
+// entry. With -deadline, validation runs under a context deadline and
+// an expired deadline is a typed rejection, not a hang.
+//
+// With -chaos, pccload runs the internal/chaos fault-injection harness
+// instead of loading binaries: it certifies the paper corpus, derives
+// N adversarial mutants (bit-flips, truncations, section swaps, proof
+// grafts, resource bombs), validates each one, and exits nonzero if
+// any mutant escapes a panic past the validator or validates without
+// being provably safe.
 //
 // Given several binaries (packet-filter policy only), pccload boots
 // the simulated kernel and installs them all through its concurrent
@@ -21,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +40,7 @@ import (
 
 	pcc "repro"
 	"repro/internal/alpha"
+	"repro/internal/chaos"
 	"repro/internal/filters"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -47,15 +58,31 @@ func main() {
 	packets := flag.Int("packets", 10000, "trace length for -run")
 	pcapFile := flag.String("pcap", "", "replay packets from a pcap capture instead of the generator")
 	trace := flag.Bool("trace", false, "print an instruction trace of the first packet's execution")
+	deadline := flag.Duration("deadline", 0, "validation deadline (0 = none)")
+	chaosTrials := flag.Int("chaos", 0, "run the fault-injection harness for N trials and exit (takes no binary arguments)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "RNG seed for -chaos; identical seeds replay identically")
 	flag.Parse()
+	if *chaosTrials > 0 {
+		if flag.NArg() != 0 {
+			log.Fatal("-chaos certifies its own corpus and takes no binary arguments")
+		}
+		runChaos(*chaosTrials, *chaosSeed)
+		return
+	}
 	if flag.NArg() < 1 {
 		log.Fatal("expected at least one PCC binary")
+	}
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
 	}
 	if flag.NArg() > 1 {
 		if *polFile != "" || *polName != "packet-filter/v1" {
 			log.Fatal("batch mode installs against the kernel's packet-filter policy only")
 		}
-		batchInstall(flag.Args())
+		batchInstall(ctx, flag.Args())
 		return
 	}
 
@@ -75,7 +102,7 @@ func main() {
 	} else if pol, err = policy.ByName(*polName); err != nil {
 		log.Fatal(err)
 	}
-	ext, stats, err := pcc.Validate(data, pol)
+	ext, stats, err := pcc.ValidateCtx(ctx, data, pol, nil)
 	if err != nil {
 		log.Fatalf("REJECTED: %v", err)
 	}
@@ -152,12 +179,34 @@ func main() {
 	}
 }
 
+// runChaos is the -chaos entry point: certify the paper corpus, derive
+// trials adversarial mutants, validate every one, and report. The step
+// budget is lowered from the default so hand-crafted proof bombs die
+// in milliseconds instead of minutes — every legitimate base checks in
+// well under 11k steps, so the margin is still generous.
+func runChaos(trials int, seed int64) {
+	bases, err := chaos.PaperBases()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lim := pcc.DefaultLimits()
+	lim.MaxCheckSteps = 50_000
+	start := time.Now()
+	rep := chaos.Run(bases, chaos.ValidateTarget(&lim), chaos.Config{Seed: seed, Trials: trials})
+	fmt.Print(rep)
+	fmt.Printf("  elapsed %v\n", time.Since(start))
+	if !rep.Ok() {
+		log.Fatalf("chaos: %d invariant violation(s)", len(rep.Violations))
+	}
+	fmt.Println("chaos: invariants held (no escaped panics, no unsound accepts)")
+}
+
 // batchInstall pushes every binary through the kernel's concurrent
 // validation pipeline twice: a cold pass that proof-checks each one,
 // and a warm pass served from the content-addressed proof cache. A
 // telemetry recorder rides along, so the cold pass also yields a
 // per-file stage table showing where each binary's one-time cost went.
-func batchInstall(files []string) {
+func batchInstall(ctx context.Context, files []string) {
 	k := kernel.New()
 	rec := telemetry.New()
 	k.SetRecorder(rec)
@@ -171,7 +220,7 @@ func batchInstall(files []string) {
 	}
 	start := time.Now()
 	rejected := 0
-	for i, err := range k.InstallFilterBatch(reqs) {
+	for i, err := range k.InstallFilterBatchCtx(ctx, reqs) {
 		if err != nil {
 			rejected++
 			fmt.Printf("REJECTED %s: %v\n", reqs[i].Owner, err)

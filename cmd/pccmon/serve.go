@@ -64,6 +64,11 @@ func bootMonitor(auditLog *slog.Logger, budget int64, extra map[string]string) (
 	m.k.SetRecorder(m.rec)
 	m.k.SetAuditLog(auditLog)
 	m.k.SetProfiling(true)
+	// A served kernel faces untrusted producers: repeated rejections
+	// embargo the offending owner with exponential backoff. The embargo
+	// set is visible in /debug/vars ("quarantined") and as the
+	// pcc_quarantined_owners gauge in /metrics.
+	m.k.SetQuarantine(kernel.QuarantineConfig{Threshold: 3, Base: time.Second, Max: 5 * time.Minute})
 	if budget > 0 {
 		m.k.SetCycleBudget(kernel.CycleBudget(budget))
 	}
@@ -172,6 +177,7 @@ func (m *monitor) handleVars(w http.ResponseWriter, _ *http.Request) {
 		"accepts":          m.k.Accepts(),
 		"traffic_packets":  m.packets.Load(),
 		"traffic_bytes":    m.bytes.Load(),
+		"quarantined":      m.k.Quarantined(),
 		"extension_micros": machine.Micros(st.ExtensionCycles),
 		"telemetry":        m.rec.Snapshot(false),
 	}

@@ -64,7 +64,8 @@ func TestServeEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/metrics: %d", code)
 	}
-	for _, want := range []string{"pcc_packets_total", "pcc_install_installed_total"} {
+	for _, want := range []string{"pcc_packets_total", "pcc_install_installed_total",
+		"pcc_quarantined_owners"} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %s:\n%s", want, body)
 		}
@@ -80,6 +81,23 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if doc["traffic_packets"].(float64) <= 0 || doc["kernel"] == nil || doc["telemetry"] == nil {
 		t.Fatalf("/debug/vars implausible: %v", doc)
+	}
+	if _, ok := doc["quarantined"]; !ok {
+		t.Fatalf("/debug/vars missing quarantined set: %v", doc)
+	}
+
+	// A producer spamming garbage gets embargoed, and the embargo shows
+	// up on both observability surfaces.
+	for i := 0; i < 3; i++ {
+		if err := m.k.InstallFilter("spammer", []byte("not a pcc binary")); err == nil {
+			t.Fatal("garbage installed")
+		}
+	}
+	if _, body = get(t, srv.URL+"/debug/vars"); !strings.Contains(body, "spammer") {
+		t.Fatalf("/debug/vars does not show the quarantined owner:\n%s", body)
+	}
+	if _, body = get(t, srv.URL+"/metrics"); !strings.Contains(body, "pcc_quarantined_owners 1") {
+		t.Fatalf("/metrics gauge did not rise:\n%s", body)
 	}
 
 	code, body = get(t, srv.URL+"/profile/")

@@ -152,6 +152,7 @@ func (a *auditor) install(va *validationAudit, slot *cacheSlot, err error) {
 	}
 	attrs = append(attrs,
 		slog.String("verdict", "rejected"),
+		slog.String("reject_reason", installRejectReason(err)),
 		slog.String("error", err.Error()),
 	)
 	// On a proof-check failure, surface the first failing LF subterm:
@@ -160,7 +161,30 @@ func (a *auditor) install(va *validationAudit, slot *cacheSlot, err error) {
 	if errors.As(err, &te) && te.Subterm != "" {
 		attrs = append(attrs, slog.String("lf_failing_subterm", te.Subterm))
 	}
+	// On a contained panic, surface the stage and the panic value —
+	// the forensic trail for a crash-grade bug an adversarial blob
+	// found in the validator.
+	var pe *pcc.PanicError
+	if errors.As(err, &pe) {
+		attrs = append(attrs,
+			slog.String("panic_stage", pe.Stage),
+			slog.String("panic_value", pe.Value),
+		)
+	}
 	a.log.Warn("pcc install", attrs...)
+}
+
+// quarantine records the start (or extension) of a producer embargo.
+func (a *auditor) quarantine(qe *QuarantineError) {
+	if a == nil {
+		return
+	}
+	a.log.Warn("pcc quarantine",
+		slog.String("event", "quarantine"),
+		slog.String("owner", qe.Owner),
+		slog.Time("until", qe.Until),
+		slog.Int("strikes", qe.Strikes),
+	)
 }
 
 // negotiate records a §4 policy-negotiation verdict.

@@ -19,6 +19,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -119,6 +120,14 @@ type Kernel struct {
 	audit atomic.Pointer[auditor]
 	// profiling selects the profiled dispatch path (profile.go).
 	profiling atomic.Bool
+	// Adversarial-hardening configuration (robust.go): validation
+	// resource budgets, admission gate, and producer quarantine. All
+	// nil/disabled by default.
+	limits  atomic.Pointer[pcc.Limits]
+	admit   atomic.Pointer[admitGate]
+	quarCfg atomic.Pointer[QuarantineConfig]
+	quarMu  sync.Mutex
+	quar    map[string]*quarState
 	// statePool recycles packet-delivery machine states so dispatch
 	// does not allocate a fresh memory image per packet per filter.
 	statePool sync.Pool
@@ -203,17 +212,23 @@ func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
 // kernel lock (and is skipped entirely on a proof-cache hit); only the
 // final commit of the validated extension is serialized.
 func (k *Kernel) InstallFilter(owner string, binary []byte) error {
-	slot, va, err := k.validateFilter(owner, binary)
-	return k.commitFilter(owner, slot, va, err)
+	return k.InstallFilterCtx(context.Background(), owner, binary)
 }
 
 // newCacheSlot derives everything an install commit will need from a
 // freshly validated extension — today the static worst-case cost
 // bound — so the commit section never does per-extension analysis
-// under the kernel write lock. Slots are immutable once built.
+// under the kernel write lock. Slots are immutable once built. The
+// WCET pass runs inside a recover fence: it analyzes untrusted code,
+// and a panic there must reject the one binary, not crash the kernel.
 func newCacheSlot(key cacheKey, ext *pcc.Extension) *cacheSlot {
 	slot := &cacheSlot{key: key, ext: ext}
-	slot.wcet, slot.wcetErr = machine.DEC21064.MaxCost(ext.Prog)
+	if perr := pcc.Fence("wcet", func() error {
+		slot.wcet, slot.wcetErr = machine.DEC21064.MaxCost(ext.Prog)
+		return nil
+	}); perr != nil {
+		slot.wcetErr = perr
+	}
 	return slot
 }
 
@@ -226,11 +241,23 @@ func newCacheSlot(key cacheKey, ext *pcc.Extension) *cacheSlot {
 // parse / lfsig / vcgen / lfcheck / wcet children; with an audit log
 // attached, the forensic context of the attempt rides along to the
 // commit in the returned validationAudit (nil when auditing is off).
-func (k *Kernel) validateFilter(owner string, binary []byte) (*cacheSlot, *validationAudit, error) {
+func (k *Kernel) validateFilter(ctx context.Context, owner string, binary []byte) (*cacheSlot, *validationAudit, error) {
 	k.stats.validations.Add(1)
 	tel := k.tel.Load()
 	span := tel.span(telemetry.StageValidate, owner)
 	va := k.audit.Load().newValidationAudit("filter", owner, binary)
+	// An expired context or a live embargo rejects before any byte of
+	// the binary is examined — in particular before the cache probe, so
+	// a canceled install cannot be served (and committed) from a hit.
+	if err := ctx.Err(); err != nil {
+		err = fmt.Errorf("kernel: install aborted: %w", err)
+		span.End(err)
+		return nil, va, err
+	}
+	if qerr := k.quarantineCheck(owner); qerr != nil {
+		span.End(qerr)
+		return nil, va, qerr
+	}
 	type candidate struct {
 		pol *policy.Policy
 		key cacheKey
@@ -261,7 +288,7 @@ func (k *Kernel) validateFilter(owner string, binary []byte) (*cacheSlot, *valid
 	lastErr := fmt.Errorf("kernel: no policy matches")
 	for i, c := range cands {
 		valStart := time.Now()
-		ext, stats, err := pcc.Validate(binary, c.pol)
+		ext, stats, err := pcc.ValidateCtx(ctx, binary, c.pol, k.limits.Load())
 		if err != nil {
 			if i == 0 {
 				lastErr = err // the published policy's verdict leads
@@ -294,7 +321,10 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 	tel := k.tel.Load()
 	if verr != nil {
 		k.stats.rejections.Add(1)
+		reason := installRejectReason(verr)
 		tel.outcome(false)
+		tel.reject(reason)
+		k.noteRejection(owner, reason)
 		err := fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
 		k.audit.Load().install(va, slot, err)
 		return err
@@ -308,8 +338,11 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 				return fmt.Errorf("kernel: filter for %q has no static cost bound: %w", owner, slot.wcetErr)
 			}
 			if slot.wcet > int64(k.budget) {
-				return fmt.Errorf("kernel: filter for %q exceeds the cycle budget: %d > %d",
-					owner, slot.wcet, k.budget)
+				// A typed resource-limit error, so the rejection lands in
+				// the "limit" reason bucket alongside the validation-time
+				// budgets.
+				return fmt.Errorf("kernel: filter for %q exceeds the cycle budget: %w", owner,
+					&pcc.ResourceLimitError{Axis: "cycle_budget", Actual: slot.wcet, Max: int64(k.budget)})
 			}
 		}
 		ctr := k.accepts[owner]
@@ -327,6 +360,10 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 	}()
 	if err != nil {
 		k.stats.rejections.Add(1)
+		tel.reject(installRejectReason(err))
+		k.noteRejection(owner, installRejectReason(err))
+	} else {
+		k.noteSuccess(owner)
 	}
 	tel.outcome(err == nil)
 	k.audit.Load().install(va, slot, err)
@@ -522,10 +559,11 @@ func (k *Kernel) InstallHandler(pid int, binary []byte) error {
 		k.cache.recordMiss()
 		tel.probe(span, probeStart, false)
 		valStart := time.Now()
-		ext, stats, err := pcc.Validate(binary, k.resourcePolicy)
+		ext, stats, err := pcc.ValidateCtx(context.Background(), binary, k.resourcePolicy, k.limits.Load())
 		if err != nil {
 			k.stats.rejections.Add(1)
 			tel.outcome(false)
+			tel.reject(pcc.RejectReason(err))
 			span.End(err)
 			werr := fmt.Errorf("kernel: handler for pid %d rejected: %w", pid, err)
 			k.audit.Load().install(va, nil, werr)

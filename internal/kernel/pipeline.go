@@ -11,6 +11,8 @@
 package kernel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,6 +31,18 @@ type InstallRequest struct {
 // name the same owner, the later one wins, as it would installing
 // serially.
 func (k *Kernel) InstallFilterBatch(reqs []InstallRequest) []error {
+	return k.InstallFilterBatchCtx(context.Background(), reqs)
+}
+
+// InstallFilterBatchCtx is InstallFilterBatch under a context. When
+// the context expires mid-batch, the worker pool drains cleanly: every
+// not-yet-validated request short-circuits to a deadline-classed
+// rejection (no proof checking), in-flight validations are interrupted
+// within a bounded number of checker steps, and every request still
+// flows through the commit section, so errs[i] is always populated and
+// the audit log and counters reconcile (no phantom installs, one
+// verdict per request).
+func (k *Kernel) InstallFilterBatchCtx(ctx context.Context, reqs []InstallRequest) []error {
 	n := len(reqs)
 	errs := make([]error, n)
 	if n == 0 {
@@ -55,10 +69,17 @@ func (k *Kernel) InstallFilterBatch(reqs []InstallRequest) []error {
 				if i >= n {
 					return
 				}
+				if err := ctx.Err(); err != nil {
+					// Drain: account the attempt, skip the work.
+					k.stats.validations.Add(1)
+					vas[i] = k.audit.Load().newValidationAudit("filter", reqs[i].Owner, reqs[i].Binary)
+					verrs[i] = fmt.Errorf("kernel: install aborted: %w", err)
+					continue
+				}
 				// Queue wait: how long the request sat before a
 				// validator picked it up.
 				k.stats.queueWaitNanos.Add(time.Since(start).Nanoseconds())
-				slots[i], vas[i], verrs[i] = k.validateFilter(reqs[i].Owner, reqs[i].Binary)
+				slots[i], vas[i], verrs[i] = k.validateFilter(ctx, reqs[i].Owner, reqs[i].Binary)
 			}
 		}()
 	}

@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -387,7 +388,7 @@ func TestWCETComputedAtValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := New() // no budget configured, yet the bound is precomputed
-	slot, _, verr := k.validateFilter("fits", cert.Binary)
+	slot, _, verr := k.validateFilter(context.Background(), "fits", cert.Binary)
 	if verr != nil {
 		t.Fatal(verr)
 	}

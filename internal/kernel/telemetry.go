@@ -29,6 +29,11 @@ const (
 	// untrusted string — the exposition escapes it).
 	MetricFilterAccepts = "pcc_filter_accepts_total"
 	MetricFilterCycles  = "pcc_filter_cycles_total"
+	// Robustness metrics (robust.go): rejections classified by reason
+	// (limit, deadline, panic, proof, quarantine, queue_full) and the
+	// count of currently embargoed producers.
+	MetricRejects         = "pcc_rejects_total"
+	MetricQuarantineGauge = "pcc_quarantined_owners"
 )
 
 // telem bundles a recorder with its pre-registered instruments so hot
@@ -43,6 +48,7 @@ type telem struct {
 	cacheEvictions *telemetry.Counter
 	packets        *telemetry.Counter
 	filters        *telemetry.Gauge
+	quarantined    *telemetry.Gauge
 }
 
 func newTelem(rec *telemetry.Recorder) *telem {
@@ -55,6 +61,7 @@ func newTelem(rec *telemetry.Recorder) *telem {
 		cacheEvictions: rec.Counter(MetricCacheEvictions),
 		packets:        rec.Counter(MetricPackets),
 		filters:        rec.Gauge(MetricFiltersGauge),
+		quarantined:    rec.Gauge(MetricQuarantineGauge),
 	}
 }
 
@@ -130,6 +137,24 @@ func (t *telem) outcome(ok bool) {
 	} else {
 		t.rejected.Inc()
 	}
+}
+
+// reject classifies one rejection into the pcc_rejects_total family.
+// The reason string is kernel-controlled vocabulary, never attacker
+// bytes, but the exposition escapes label values regardless.
+func (t *telem) reject(reason string) {
+	if t == nil || reason == "" {
+		return
+	}
+	t.rec.LabeledCounter(MetricRejects, "reason", reason).Inc()
+}
+
+// setQuarantined publishes the embargoed-producer count gauge.
+func (t *telem) setQuarantined(n int) {
+	if t == nil {
+		return
+	}
+	t.quarantined.Set(int64(n))
 }
 
 // packet counts one delivered packet.

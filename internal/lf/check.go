@@ -1,11 +1,43 @@
 package lf
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"repro/internal/logic"
 )
+
+// ErrLimit is the sentinel all checker resource-budget errors match
+// via errors.Is. A limit error means the checker refused to spend more
+// resources on the term, not that the term was proven ill-typed — the
+// distinction a consumer's reject-reason accounting relies on.
+var ErrLimit = errors.New("lf: resource limit exceeded")
+
+// LimitError reports an exhausted checker budget (depth, step fuel, or
+// an interrupt such as a deadline).
+type LimitError struct {
+	// Axis is "term_depth", "check_steps", or "interrupt".
+	Axis string
+	// Max is the configured budget (0 for interrupts).
+	Max int
+	// Err carries the interrupt cause, when Axis is "interrupt".
+	Err error
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("lf: check interrupted: %v", e.Err)
+	}
+	return fmt.Sprintf("lf: %s limit exceeded (max %d)", e.Axis, e.Max)
+}
+
+// Is makes errors.Is(err, ErrLimit) match.
+func (e *LimitError) Is(target error) bool { return target == ErrLimit }
+
+// Unwrap exposes the interrupt cause.
+func (e *LimitError) Unwrap() error { return e.Err }
 
 // TypeError reports an LF typechecking failure — i.e., an invalid
 // safety proof. Subterm, when set, renders the first (innermost)
@@ -47,7 +79,29 @@ type Checker struct {
 	// Steps counts inference steps, reported for the validation-cost
 	// experiments.
 	Steps int
+	// MaxSteps, when positive, is the checker's step fuel: checking
+	// aborts with a LimitError once Steps exceeds it. Proof terms
+	// arrive DAG-encoded and expand to trees during checking, so a
+	// small binary can demand exponential checking work — fuel, not
+	// input size, is what bounds the checker against such bombs.
+	MaxSteps int
+	// MaxDepth, when positive, bounds the checker's recursion depth
+	// over the term. A hostile deeply nested term then yields a
+	// LimitError instead of exhausting the goroutine stack.
+	MaxDepth int
+	// Interrupt, when non-nil, is polled every interruptStride steps;
+	// a non-nil return aborts checking with a LimitError wrapping it.
+	// Consumers use it to thread context cancellation into a check
+	// already in flight.
+	Interrupt func() error
+	// depth is the current infer recursion depth.
+	depth int
 }
+
+// interruptStride is how many inference steps pass between Interrupt
+// polls: frequent enough that a deadline stops a runaway check within
+// microseconds, rare enough to stay off the per-step fast path.
+const interruptStride = 1024
 
 // NewChecker returns a checker over the given signature.
 func NewChecker(sig *Signature) *Checker { return &Checker{Sig: sig} }
@@ -73,6 +127,19 @@ func (c *Checker) Infer(term Term) (Term, error) { return c.infer(term, nil) }
 // own binder's depth: lookup shifts by idx+1).
 func (c *Checker) infer(t Term, env []Term) (Term, error) {
 	c.Steps++
+	if c.MaxSteps > 0 && c.Steps > c.MaxSteps {
+		return nil, &LimitError{Axis: "check_steps", Max: c.MaxSteps}
+	}
+	if c.Interrupt != nil && c.Steps%interruptStride == 0 {
+		if err := c.Interrupt(); err != nil {
+			return nil, &LimitError{Axis: "interrupt", Err: err}
+		}
+	}
+	c.depth++
+	defer func() { c.depth-- }()
+	if c.MaxDepth > 0 && c.depth > c.MaxDepth {
+		return nil, &LimitError{Axis: "term_depth", Max: c.MaxDepth}
+	}
 	switch t := t.(type) {
 	case Sort:
 		if t == SType {

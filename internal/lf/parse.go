@@ -32,9 +32,16 @@ func ParseTerm(src string) (Term, error) {
 }
 
 type termParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds parser recursion: textual LF input is as
+// untrusted as the binary encoding, and a long run of '(' would
+// otherwise exhaust the stack. Matches the binary decoder's default
+// term-depth budget.
+const maxParseDepth = 4096
 
 func (p *termParser) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("lf: parse at %d: %s", p.pos, fmt.Sprintf(format, args...))
@@ -59,6 +66,11 @@ func (p *termParser) peek() byte {
 }
 
 func (p *termParser) term() (Term, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, p.errf("term deeper than %d levels", maxParseDepth)
+	}
 	p.ws()
 	switch c := p.peek(); {
 	case c == '(':

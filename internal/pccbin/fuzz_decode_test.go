@@ -1,0 +1,92 @@
+package pccbin
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/lf"
+)
+
+// fuzzDecodeLimits are deliberately tight so hand-crafted resource
+// bombs in the input die fast and the fuzzer spends its budget on the
+// parser, not the bombs.
+var fuzzDecodeLimits = Limits{MaxTermNodes: 1 << 16, MaxTermDepth: 256}
+
+// fuzzSeedBinary builds a binary exercising every wire section: policy
+// name, code, a two-entry invariant table, a symbol table, and a
+// DAG-shared proof.
+func fuzzSeedBinary() *Binary {
+	andTT := lf.Apply(lf.Konst{Name: lf.CAnd}, lf.Konst{Name: lf.CTT}, lf.Konst{Name: lf.CTT})
+	return &Binary{
+		PolicyName: "packet-filter/v1",
+		SigHash:    0xDEADBEEF,
+		Code:       []byte{0x0c, 0x21, 0x7f, 0x20, 0x01, 0x80, 0xfa, 0x6b},
+		Invariants: []Invariant{
+			{PC: 2, Pred: andTT},
+			{PC: 5, Pred: lf.Konst{Name: lf.CTT}},
+		},
+		Proof: lf.Apply(lf.Konst{Name: lf.CAndI},
+			lf.Konst{Name: lf.CTT}, lf.Konst{Name: lf.CTT},
+			lf.Konst{Name: lf.CTrueI}, lf.Konst{Name: lf.CTrueI}),
+	}
+}
+
+// FuzzDecodeBinary is the native fuzz target for the full
+// untrusted-input decode path under resource limits: whatever bytes
+// arrive, UnmarshalWithLimits must return a verdict (never panic),
+// limit rejections must carry their typed LimitError detail, and
+// anything accepted must decode its invariant table cleanly or reject
+// it with a typed error, then survive a marshal/re-parse round trip
+// unchanged. Seed corpus: testdata/fuzz/FuzzDecodeBinary.
+func FuzzDecodeBinary(f *testing.F) {
+	data, _, err := fuzzSeedBinary().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/3] ^= 0x40
+	f.Add(flip)
+	f.Add([]byte("PCC1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		bin, err := UnmarshalWithLimits(in, fuzzDecodeLimits)
+		if err != nil {
+			var le *LimitError
+			if errors.Is(err, ErrLimit) && !errors.As(err, &le) {
+				t.Fatalf("limit rejection without LimitError detail: %v", err)
+			}
+			return
+		}
+		// Invariant terms that decode as wire data may still not be
+		// state predicates; that is a clean rejection — the call only
+		// must not panic (the harness fence would catch it as a crash).
+		if preds, err := bin.DecodeInvariants(); err == nil && len(preds) != len(bin.Invariants) {
+			// Duplicate PCs collapse in the map; anything else is a bug.
+			seen := map[int]bool{}
+			for _, inv := range bin.Invariants {
+				seen[inv.PC] = true
+			}
+			if len(preds) != len(seen) {
+				t.Fatalf("DecodeInvariants dropped entries: %d preds from %d invariants", len(preds), len(bin.Invariants))
+			}
+		}
+		out, _, err := bin.Marshal()
+		if err != nil {
+			t.Fatalf("accepted binary does not re-marshal: %v", err)
+		}
+		again, err := UnmarshalWithLimits(out, fuzzDecodeLimits)
+		if err != nil {
+			t.Fatalf("re-marshaled binary does not re-parse: %v", err)
+		}
+		if again.PolicyName != bin.PolicyName || again.SigHash != bin.SigHash ||
+			!bytes.Equal(again.Code, bin.Code) ||
+			len(again.Invariants) != len(bin.Invariants) ||
+			!lf.Equal(again.Proof, bin.Proof) {
+			t.Fatal("marshal/re-parse round trip changed the binary")
+		}
+	})
+}

@@ -11,12 +11,44 @@ package pccbin
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/lf"
 	"repro/internal/logic"
 )
+
+// ErrLimit is the sentinel all decode resource-budget rejections match
+// via errors.Is: the input blew a configured parsing budget (term
+// nodes or nesting depth), as opposed to being structurally malformed.
+var ErrLimit = errors.New("pccbin: resource limit exceeded")
+
+// LimitError is a typed decode-budget rejection.
+type LimitError struct {
+	// Axis is "term_nodes" or "term_depth".
+	Axis string
+	// Max is the exhausted budget.
+	Max int
+}
+
+// Error implements the error interface.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("pccbin: %s limit exceeded (max %d)", e.Axis, e.Max)
+}
+
+// Is makes errors.Is(err, ErrLimit) match.
+func (e *LimitError) Is(target error) bool { return target == ErrLimit }
+
+// Limits bounds the term decoder. Zero fields fall back to the
+// package defaults (maxTermNodes, maxTermDepth).
+type Limits struct {
+	// MaxTermNodes bounds total decoded LF nodes across the invariant
+	// table and the proof.
+	MaxTermNodes int
+	// MaxTermDepth bounds term nesting while decoding.
+	MaxTermDepth int
+}
 
 // Magic identifies PCC binaries.
 var Magic = [4]byte{'P', 'C', 'C', '1'}
@@ -48,6 +80,12 @@ type Binary struct {
 	Symbols []string
 	// Proof is the LF proof term of the program's safety predicate.
 	Proof lf.Term
+	// ProofBytes is the encoded size of the proof section, recorded by
+	// Unmarshal so a consumer can enforce a certificate-size budget
+	// (certificate size is the checking cost an attacker can most
+	// directly inflate). Not meaningful on producer-built Binaries
+	// until they round-trip through Marshal/Unmarshal.
+	ProofBytes int
 }
 
 // Layout reports the byte layout of a marshaled binary, mirroring
@@ -238,22 +276,24 @@ const maxTermDepth = 4096
 // termReader mirrors termWriter: it assigns post-order indexes to the
 // terms it decodes and resolves back-references against them.
 type termReader struct {
-	r      *reader
-	syms   []string
-	table  []lf.Term
-	budget int
-	depth  int
+	r        *reader
+	syms     []string
+	table    []lf.Term
+	budget   int
+	maxNodes int
+	maxDepth int
+	depth    int
 }
 
 func (tr *termReader) read() (lf.Term, error) {
 	tr.budget--
 	if tr.budget < 0 {
-		return nil, fmt.Errorf("pccbin: proof term too large")
+		return nil, &LimitError{Axis: "term_nodes", Max: tr.maxNodes}
 	}
 	tr.depth++
 	defer func() { tr.depth-- }()
-	if tr.depth > maxTermDepth {
-		return nil, fmt.Errorf("pccbin: proof term deeper than %d levels", maxTermDepth)
+	if tr.depth > tr.maxDepth {
+		return nil, &LimitError{Axis: "term_depth", Max: tr.maxDepth}
 	}
 	tag, err := tr.r.u8()
 	if err != nil {
@@ -408,9 +448,24 @@ func (b *Binary) Marshal() ([]byte, Layout, error) {
 	return w.Bytes(), lay, nil
 }
 
-// Unmarshal parses a PCC binary. It is deliberately paranoid: PCC
-// binaries come from untrusted producers.
+// Unmarshal parses a PCC binary under the default decode limits. It
+// is deliberately paranoid: PCC binaries come from untrusted
+// producers.
 func Unmarshal(data []byte) (*Binary, error) {
+	return UnmarshalWithLimits(data, Limits{})
+}
+
+// UnmarshalWithLimits parses a PCC binary with caller-supplied decode
+// budgets (zero fields use the package defaults). Budget violations
+// are typed LimitErrors matching ErrLimit, so a consumer can count
+// them separately from structural malformation.
+func UnmarshalWithLimits(data []byte, lim Limits) (*Binary, error) {
+	if lim.MaxTermNodes <= 0 {
+		lim.MaxTermNodes = maxTermNodes
+	}
+	if lim.MaxTermDepth <= 0 {
+		lim.MaxTermDepth = maxTermDepth
+	}
 	r := &reader{buf: data}
 	magic, err := r.bytes(4)
 	if err != nil || !bytes.Equal(magic, Magic[:]) {
@@ -472,7 +527,12 @@ func Unmarshal(data []byte) (*Binary, error) {
 	if nInv > 1<<16 {
 		return nil, fmt.Errorf("pccbin: absurd invariant count %d", nInv)
 	}
-	tr := &termReader{r: r, syms: b.Symbols, budget: maxTermNodes}
+	tr := &termReader{
+		r: r, syms: b.Symbols,
+		budget:   lim.MaxTermNodes,
+		maxNodes: lim.MaxTermNodes,
+		maxDepth: lim.MaxTermDepth,
+	}
 	for i := uint64(0); i < nInv; i++ {
 		pc, err := r.uvarint()
 		if err != nil {
@@ -488,11 +548,13 @@ func Unmarshal(data []byte) (*Binary, error) {
 		b.Invariants = append(b.Invariants, Invariant{PC: int(pc), Pred: pred})
 	}
 
+	proofStart := r.pos
 	proof, err := tr.read()
 	if err != nil {
 		return nil, err
 	}
 	b.Proof = proof
+	b.ProofBytes = r.pos - proofStart
 	if r.pos != len(data) {
 		return nil, fmt.Errorf("pccbin: %d trailing bytes", len(data)-r.pos)
 	}

@@ -17,7 +17,9 @@
 package pcc
 
 import (
+	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -196,60 +198,172 @@ type Extension struct {
 // Validate parses a PCC binary, recomputes the safety predicate of the
 // enclosed native code under the published policy, and typechecks the
 // enclosed proof. On success the returned Extension is safe to execute
-// in the kernel's address space.
+// in the kernel's address space. Validation runs under DefaultLimits
+// and no deadline; consumers wanting explicit budgets or cancellation
+// use ValidateCtx.
 func Validate(binary []byte, pol *policy.Policy) (*Extension, *ValidationStats, error) {
+	return ValidateCtx(context.Background(), binary, pol, nil)
+}
+
+// fenced runs one validation stage inside a recover fence, converting
+// a panic — typically tripped by adversarial bytes exercising a bug —
+// into a structured PanicError rejection instead of taking down the
+// consumer. The stage name and panic value survive into the audit
+// trail.
+func fenced(stage string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Stage: stage, Value: fmt.Sprint(r), Stack: string(buf)}
+		}
+	}()
+	return f()
+}
+
+// asLimitErr maps the lower layers' typed budget errors (pccbin, lf)
+// into the public ResourceLimitError so errors.Is(err,
+// ErrResourceLimit) works across the whole stack. Checker interrupts
+// carrying a context cause pass through unchanged — an expired
+// deadline is a deadline, not a limit.
+func asLimitErr(err error) error {
+	var ble *pccbin.LimitError
+	if errors.As(err, &ble) {
+		return &ResourceLimitError{Axis: ble.Axis, Max: int64(ble.Max), Err: err}
+	}
+	var lle *lf.LimitError
+	if errors.As(err, &lle) && lle.Err == nil {
+		return &ResourceLimitError{Axis: lle.Axis, Max: int64(lle.Max), Err: err}
+	}
+	return err
+}
+
+// ValidateCtx is Validate with a context and explicit resource
+// budgets: the adversarial-input hardening layer of the consumer. An
+// already-expired context rejects before any byte of the binary is
+// parsed (in particular, without running the proof checker);
+// cancellation mid-check is honored within a bounded number of
+// inference steps. lim == nil means DefaultLimits; a zero field in
+// *lim means no budget on that axis. Every stage runs inside a
+// recover fence, so a panic provoked by hostile bytes surfaces as a
+// *PanicError rejection rather than a crash.
+func ValidateCtx(ctx context.Context, binary []byte, pol *policy.Policy, lim *Limits) (*Extension, *ValidationStats, error) {
+	limits := DefaultLimits()
+	if lim != nil {
+		limits = *lim
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("pcc: validation aborted: %w", err)
+	}
+	if limits.MaxBinaryBytes > 0 && len(binary) > limits.MaxBinaryBytes {
+		return nil, nil, &ResourceLimitError{
+			Axis: "binary_bytes", Actual: int64(len(binary)), Max: int64(limits.MaxBinaryBytes)}
+	}
+
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	stats := &ValidationStats{BinarySize: len(binary)}
 
-	bin, err := pccbin.Unmarshal(binary)
-	if err != nil {
-		return nil, nil, err
-	}
-	if bin.PolicyName != pol.Name {
-		return nil, nil, fmt.Errorf("pcc: binary certifies policy %q, consumer published %q",
-			bin.PolicyName, pol.Name)
-	}
-	stats.Parse = time.Since(start)
+	// Stage 1: decode — binary unmarshal (with term budgets), policy
+	// and rule-set checks, native code and invariant decoding.
+	var (
+		bin        *pccbin.Binary
+		sig        *lf.Signature
+		prog       []alpha.Instr
+		invariants map[int]logic.Pred
+	)
+	err := fenced("decode", func() error {
+		var err error
+		bin, err = pccbin.UnmarshalWithLimits(binary, pccbin.Limits{
+			MaxTermNodes: limits.MaxTermNodes,
+			MaxTermDepth: limits.MaxTermDepth,
+		})
+		if err != nil {
+			return asLimitErr(err)
+		}
+		if limits.MaxProofBytes > 0 && bin.ProofBytes > limits.MaxProofBytes {
+			return &ResourceLimitError{
+				Axis: "proof_bytes", Actual: int64(bin.ProofBytes), Max: int64(limits.MaxProofBytes)}
+		}
+		if bin.PolicyName != pol.Name {
+			return fmt.Errorf("pcc: binary certifies policy %q, consumer published %q",
+				bin.PolicyName, pol.Name)
+		}
+		stats.Parse = time.Since(start)
 
-	mark := time.Now()
-	sig := signatureFor(pol)
-	if got, want := bin.SigHash, sig.Fingerprint(); got != want {
-		return nil, nil, fmt.Errorf(
-			"pcc: binary built against rule set %#x, consumer publishes %#x", got, want)
-	}
-	stats.SigCheck = time.Since(mark)
+		mark := time.Now()
+		sig = signatureFor(pol)
+		if got, want := bin.SigHash, sig.Fingerprint(); got != want {
+			return fmt.Errorf(
+				"pcc: binary built against rule set %#x, consumer publishes %#x", got, want)
+		}
+		stats.SigCheck = time.Since(mark)
 
-	mark = time.Now()
-	prog, err := alpha.Decode(bin.Code)
+		mark = time.Now()
+		if prog, err = alpha.Decode(bin.Code); err != nil {
+			return err
+		}
+		if invariants, err = bin.DecodeInvariants(); err != nil {
+			return err
+		}
+		stats.Parse += time.Since(mark)
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	invariants, err := bin.DecodeInvariants()
-	if err != nil {
-		return nil, nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("pcc: validation aborted: %w", err)
 	}
-	stats.Parse += time.Since(mark)
 
-	mark = time.Now()
-	gen, err := vcgen.Gen(prog, pol.Pre, pol.Post, invariants)
+	// Stage 2: VC generation — recompute the safety predicate from the
+	// shipped code alone and bound its size (the code is untrusted, so
+	// the VC's size is attacker-influenced even though the generator is
+	// ours).
+	var spT lf.Term
+	err = fenced("vcgen", func() error {
+		mark := time.Now()
+		gen, err := vcgen.Gen(prog, pol.Pre, pol.Post, invariants)
+		if err != nil {
+			return err
+		}
+		if spT, err = lf.EncodePred(gen.SP); err != nil {
+			return err
+		}
+		stats.VCGen = time.Since(mark)
+		stats.VCNodes = lf.Size(spT)
+		if limits.MaxVCNodes > 0 && stats.VCNodes > limits.MaxVCNodes {
+			return &ResourceLimitError{
+				Axis: "vc_nodes", Actual: int64(stats.VCNodes), Max: int64(limits.MaxVCNodes)}
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	spT, err := lf.EncodePred(gen.SP)
-	if err != nil {
-		return nil, nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("pcc: validation aborted: %w", err)
 	}
-	stats.VCGen = time.Since(mark)
-	stats.VCNodes = lf.Size(spT)
 
-	mark = time.Now()
-	checker := lf.NewChecker(sig)
-	if err := checker.Check(bin.Proof, lf.App{F: lf.Konst{Name: lf.CPf}, X: spT}); err != nil {
-		return nil, nil, fmt.Errorf("pcc: proof validation failed: %w", err)
+	// Stage 3: LF typechecking of the enclosed proof, under step fuel,
+	// depth budget, and the context's cancellation.
+	var checker *lf.Checker
+	err = fenced("lfcheck", func() error {
+		mark := time.Now()
+		checker = lf.NewChecker(sig)
+		checker.MaxSteps = limits.MaxCheckSteps
+		checker.MaxDepth = limits.MaxTermDepth
+		checker.Interrupt = ctx.Err
+		if err := checker.Check(bin.Proof, lf.App{F: lf.Konst{Name: lf.CPf}, X: spT}); err != nil {
+			return fmt.Errorf("pcc: proof validation failed: %w", asLimitErr(err))
+		}
+		stats.Check = time.Since(mark)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	stats.Check = time.Since(mark)
 
 	stats.Time = time.Since(start)
 	runtime.ReadMemStats(&after)

@@ -1,0 +1,163 @@
+package pcc_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/logic"
+	"repro/internal/policy"
+)
+
+// certifiedFilter certifies one paper filter for the hardening tests.
+func certifiedFilter(t *testing.T) ([]byte, *policy.Policy) {
+	t.Helper()
+	pol := pcc.PacketFilterPolicy()
+	cert, err := pcc.Certify(filters.SrcFilter2, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cert.Binary, pol
+}
+
+// TestValidateCtxExpiredContext: an already-expired context must
+// reject before the proof checker runs — no stats, a deadline-classed
+// error, and (crucially) no time spent checking.
+func TestValidateCtxExpiredContext(t *testing.T) {
+	bin, pol := certifiedFilter(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	ext, stats, err := pcc.ValidateCtx(ctx, bin, pol, nil)
+	if err == nil {
+		t.Fatal("expired context validated")
+	}
+	if ext != nil || stats != nil {
+		t.Fatal("expired context returned a result")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded in chain, got %v", err)
+	}
+	if got := pcc.RejectReason(err); got != "deadline" {
+		t.Fatalf("RejectReason = %q, want deadline", got)
+	}
+}
+
+// TestValidateCtxCanceledContext: cancellation is honored the same
+// way.
+func TestValidateCtxCanceledContext(t *testing.T) {
+	bin, pol := certifiedFilter(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := pcc.ValidateCtx(ctx, bin, pol, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+}
+
+// TestValidateCtxBinaryBytesLimit: the very first budget checked is
+// the whole-binary size.
+func TestValidateCtxBinaryBytesLimit(t *testing.T) {
+	bin, pol := certifiedFilter(t)
+	lim := pcc.DefaultLimits()
+	lim.MaxBinaryBytes = 16
+	_, _, err := pcc.ValidateCtx(context.Background(), bin, pol, &lim)
+	if !errors.Is(err, pcc.ErrResourceLimit) {
+		t.Fatalf("want ErrResourceLimit, got %v", err)
+	}
+	var rle *pcc.ResourceLimitError
+	if !errors.As(err, &rle) || rle.Axis != "binary_bytes" {
+		t.Fatalf("want binary_bytes axis, got %v", err)
+	}
+	if got := pcc.RejectReason(err); got != "limit" {
+		t.Fatalf("RejectReason = %q, want limit", got)
+	}
+}
+
+// TestValidateCtxProofBytesLimit: a certificate-size budget smaller
+// than the real proof rejects with a typed limit error.
+func TestValidateCtxProofBytesLimit(t *testing.T) {
+	bin, pol := certifiedFilter(t)
+	lim := pcc.DefaultLimits()
+	lim.MaxProofBytes = 8
+	_, _, err := pcc.ValidateCtx(context.Background(), bin, pol, &lim)
+	var rle *pcc.ResourceLimitError
+	if !errors.As(err, &rle) || rle.Axis != "proof_bytes" {
+		t.Fatalf("want proof_bytes limit, got %v", err)
+	}
+}
+
+// TestValidateCtxCheckStepsLimit: starving the checker's step fuel
+// turns a valid binary into a limit rejection — and the error says
+// limit, not invalid proof.
+func TestValidateCtxCheckStepsLimit(t *testing.T) {
+	bin, pol := certifiedFilter(t)
+	lim := pcc.DefaultLimits()
+	lim.MaxCheckSteps = 10
+	_, _, err := pcc.ValidateCtx(context.Background(), bin, pol, &lim)
+	if !errors.Is(err, pcc.ErrResourceLimit) {
+		t.Fatalf("want ErrResourceLimit, got %v", err)
+	}
+	if got := pcc.RejectReason(err); got != "limit" {
+		t.Fatalf("RejectReason = %q, want limit", got)
+	}
+}
+
+// TestValidateCtxTermDepthLimit: a depth budget below the proof's real
+// nesting rejects at decode time as a typed limit.
+func TestValidateCtxTermDepthLimit(t *testing.T) {
+	bin, pol := certifiedFilter(t)
+	lim := pcc.DefaultLimits()
+	lim.MaxTermDepth = 2
+	_, _, err := pcc.ValidateCtx(context.Background(), bin, pol, &lim)
+	var rle *pcc.ResourceLimitError
+	if !errors.As(err, &rle) || rle.Axis != "term_depth" {
+		t.Fatalf("want term_depth limit, got %v", err)
+	}
+}
+
+// TestDefaultLimitsAcceptPaperWorkloads: the default budgets must be
+// invisible to every legitimate workload — the four paper filters and
+// the looping IP checksum validate with unchanged verdicts, and
+// Validate (which uses DefaultLimits) agrees with an unlimited
+// ValidateCtx.
+func TestDefaultLimitsAcceptPaperWorkloads(t *testing.T) {
+	pol := pcc.PacketFilterPolicy()
+	check := func(name string, bin []byte, p *policy.Policy) {
+		t.Helper()
+		if _, _, err := pcc.Validate(bin, p); err != nil {
+			t.Fatalf("%s: default limits rejected a legitimate binary: %v", name, err)
+		}
+		none := pcc.Limits{} // all axes unlimited
+		if _, _, err := pcc.ValidateCtx(context.Background(), bin, p, &none); err != nil {
+			t.Fatalf("%s: unlimited validation rejected: %v", name, err)
+		}
+	}
+	for _, f := range filters.All {
+		cert, err := pcc.Certify(filters.Source(f), pol, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		check(f.String(), cert.Binary, pol)
+	}
+	ckCert, err := pcc.Certify(filters.SrcChecksum, pol,
+		map[string]logic.Pred{"loop": filters.ChecksumInvariant()})
+	if err != nil {
+		t.Fatalf("checksum: %v", err)
+	}
+	check("checksum", ckCert.Binary, pol)
+}
+
+// TestPanicErrorRendering: the structured panic rejection carries the
+// stage and value.
+func TestPanicErrorRendering(t *testing.T) {
+	e := &pcc.PanicError{Stage: "decode", Value: "boom"}
+	if !strings.Contains(e.Error(), "decode") || !strings.Contains(e.Error(), "boom") {
+		t.Fatalf("unhelpful panic error: %v", e)
+	}
+	if got := pcc.RejectReason(e); got != "panic" {
+		t.Fatalf("RejectReason = %q, want panic", got)
+	}
+}

@@ -25,8 +25,15 @@ go vet -atomic -copylocks ./internal/telemetry/ ./internal/kernel/ ./internal/ma
 echo '== go test -race ./...'
 go test -race ./...
 
-echo '== fuzz corpora smoke (go test -run=Fuzz -fuzztime=10s)'
-go test -run=Fuzz -fuzztime=10s ./...
+echo '== fuzz corpora smoke (seed corpora replay)'
+go test -run=Fuzz ./...
+
+# Engage the native fuzzing engine briefly on the two untrusted-input
+# parsers (one package per -fuzz invocation; -run='^$' skips the unit
+# tests already covered above).
+echo '== native fuzz smoke (5s per target)'
+go test -fuzz=FuzzDecodeBinary -fuzztime=5s -run='^$' ./internal/pccbin/
+go test -fuzz=FuzzLFParse -fuzztime=5s -run='^$' ./internal/lf/
 
 echo '== telemetry smoke (pccmon -telemetry exposition contract)'
 out=$(go run ./cmd/pccmon -packets 2000 -telemetry)
@@ -72,6 +79,10 @@ if [ -z "$ok" ]; then
 fi
 curl -fsS http://127.0.0.1:16996/metrics | grep -c pcc_filter_cycles_total >/dev/null ||
 	{ echo "serve smoke: /metrics missing per-filter cycles" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16996/metrics | grep -c pcc_quarantined_owners >/dev/null ||
+	{ echo "serve smoke: /metrics missing quarantine gauge" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16996/debug/vars | grep -c quarantined >/dev/null ||
+	{ echo "serve smoke: /debug/vars missing quarantined set" >&2; exit 1; }
 curl -fsS 'http://127.0.0.1:16996/profile/Filter%201' | grep -c RET >/dev/null ||
 	{ echo "serve smoke: /profile/Filter 1 has no listing" >&2; exit 1; }
 curl -fsS http://127.0.0.1:16996/debug/vars | grep -c traffic_packets >/dev/null ||
@@ -86,5 +97,27 @@ trap - EXIT
 grep -q '"event":"install"' /tmp/pccmon.audit.jsonl ||
 	{ echo "serve smoke: audit log recorded no installs" >&2; exit 1; }
 rm -f /tmp/pccmon.verify /tmp/pccmon.audit.jsonl
+
+# Adversarial smoke: 2,000 mutated binaries through the validator must
+# produce zero escaped panics and zero unsound accepts (the 10,000-trial
+# version runs under -race in the test suite above; this one proves the
+# operator-facing entry point works).
+echo '== chaos smoke (pccload -chaos 2000)'
+go run ./cmd/pccload -chaos 2000 -chaos-seed 1996
+
+# Deadline smoke: a validation under an already-expired deadline must be
+# a typed rejection — fast, no proof checking, no hang.
+echo '== deadline smoke (pccload -deadline 1ns)'
+go run ./cmd/pccasm -builtin filter4 -o /tmp/verify.f4.pcc >/dev/null
+if out=$(go run ./cmd/pccload -deadline 1ns /tmp/verify.f4.pcc 2>&1); then
+	echo "deadline smoke: expired deadline did not reject: $out" >&2
+	exit 1
+fi
+printf '%s' "$out" | grep -q 'deadline' ||
+	{ echo "deadline smoke: rejection not deadline-classed: $out" >&2; exit 1; }
+# The same binary with no deadline still validates (the gate rejects on
+# time, not on content).
+go run ./cmd/pccload /tmp/verify.f4.pcc >/dev/null
+rm -f /tmp/verify.f4.pcc
 
 echo 'verify: OK'
