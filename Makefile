@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race verify bench paperbench
+.PHONY: build test race verify bench paperbench benchcheck
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,8 @@ bench:
 
 paperbench:
 	$(GO) run ./cmd/paperbench
+
+# Dispatch-performance regression gate. Opt-in from verify with
+# BENCHCHECK=1 make verify (it re-measures, so it is not free).
+benchcheck:
+	sh scripts/benchcheck.sh

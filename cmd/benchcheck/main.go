@@ -1,0 +1,139 @@
+// Command benchcheck is the dispatch-performance regression gate: it
+// reads one or more BENCH_<timestamp>.json reports (paperbench -json)
+// and fails if the compiled backend has regressed below the
+// interpreter — the whole point of install-time compilation — or if
+// the headline batch-compiled speedup has fallen under a floor.
+//
+// Usage:
+//
+//	benchcheck [-min-speedup X] [BENCH_file.json ...]
+//
+// With no file arguments, the newest BENCH_*.json in the current
+// directory is checked. The checks are deliberately about ordering
+// and ratios, not absolute nanoseconds, so the gate is portable
+// across hosts of different speeds:
+//
+//   - the report carries a dispatch section (schema ≥ 2);
+//   - for every dispatch shape measured under both backends, the
+//     compiled backend's packets/sec is at least the interpreter's;
+//   - the recorded dispatch_speedup (batch-compiled over
+//     single-interpreted) meets -min-speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	minSpeedup := flag.Float64("min-speedup", 1.0,
+		"minimum dispatch_speedup (batch-compiled over single-interpreted packets/sec)")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		newest, err := newestReport(".")
+		if err != nil {
+			log.Fatal(err)
+		}
+		files = []string{newest}
+	}
+
+	failures := 0
+	for _, file := range files {
+		for _, msg := range checkFile(file, *minSpeedup) {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %s: %s\n", file, msg)
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d check(s) failed", failures)
+	}
+	fmt.Printf("benchcheck: OK (%d report(s))\n", len(files))
+}
+
+// newestReport finds the lexicographically last BENCH_*.json in dir —
+// the filenames embed a UTC timestamp, so last sorts newest.
+func newestReport(dir string) (string, error) {
+	names, err := listReports(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json in %s (run paperbench -json first)", dir)
+	}
+	return names[len(names)-1], nil
+}
+
+func listReports(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && len(n) > 6 && n[:6] == "BENCH_" && n[len(n)-5:] == ".json" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// checkFile returns the list of failed-check messages for one report.
+func checkFile(file string, minSpeedup float64) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return []string{fmt.Sprintf("not a benchmark report: %v", err)}
+	}
+
+	var msgs []string
+	if rep.Schema < 2 {
+		return []string{fmt.Sprintf("schema %d predates the dispatch section (need ≥ 2)", rep.Schema)}
+	}
+	if len(rep.Dispatch) == 0 {
+		return []string{"dispatch section is empty"}
+	}
+
+	// Per-shape ordering: compiled must not be slower than interp.
+	pps := map[string]map[string]float64{} // shape -> backend -> pps
+	for _, d := range rep.Dispatch {
+		if pps[d.Shape] == nil {
+			pps[d.Shape] = map[string]float64{}
+		}
+		pps[d.Shape][d.Backend] = d.PPS
+	}
+	shapes := make([]string, 0, len(pps))
+	for s := range pps {
+		shapes = append(shapes, s)
+	}
+	sort.Strings(shapes)
+	for _, s := range shapes {
+		interp, okI := pps[s]["interp"]
+		compiled, okC := pps[s]["compiled"]
+		if okI && okC && compiled < interp {
+			msgs = append(msgs, fmt.Sprintf(
+				"shape %s: compiled backend slower than interpreter (%.0f vs %.0f packets/sec)",
+				s, compiled, interp))
+		}
+	}
+
+	if rep.DispatchSpeedup < minSpeedup {
+		msgs = append(msgs, fmt.Sprintf(
+			"dispatch_speedup %.2fx below floor %.2fx", rep.DispatchSpeedup, minSpeedup))
+	}
+	return msgs
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	paperbench [-packets N] [-fig7] [-table1] [-stages] [-fig8] [-fig9] [-checksum] [-sfipcc]
+//	paperbench -dispatch [-backend interp|compiled]   # backend × shape throughput matrix
 //	paperbench -json [-packets N]   # write BENCH_<timestamp>.json
 //
 // With no selection flags, everything runs (the full Figure 8/9 pass
@@ -41,6 +42,8 @@ func main() {
 	sfipcc := flag.Bool("sfipcc", false, "§3.1 PCC-for-SFI hybrid experiment")
 	ablation := flag.Bool("ablation", false, "design-choice ablations (proof encoding, cost-model sensitivity)")
 	pipeline := flag.Bool("pipeline", false, "validation pipeline: proof cache + concurrent batch install")
+	dispatch := flag.Bool("dispatch", false, "dispatch throughput: backend × shape matrix (host wall-clock)")
+	backend := flag.String("backend", "", "restrict -dispatch to one backend: interp or compiled (default both)")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_<timestamp>.json and exit")
 	flag.Parse()
 
@@ -65,7 +68,7 @@ func main() {
 		return
 	}
 
-	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline)
+	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch)
 
 	if all || *fig7 {
 		cert, err := bench.Fig7()
@@ -133,6 +136,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatPipeline(res))
+	}
+	if all || *dispatch {
+		n := *packets
+		if n > 50000 {
+			n = 50000 // host wall-clock; enough packets for a stable rate
+		}
+		rows, err := bench.DispatchBackends(n, *backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatDispatch(rows))
 	}
 	if all || *ablation {
 		rows, err := bench.EncodingAblation()

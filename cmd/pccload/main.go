@@ -6,6 +6,7 @@
 //
 //	pccload [-policy packet-filter/v1] [-run] [-packets N] [-deadline D] filter.pcc...
 //	pccload -chaos N [-chaos-seed S]
+//	pccload -diff-backends N
 //
 // With -run and the packet-filter policy, the extension is executed
 // over a synthetic trace and the accept rate reported; with the
@@ -19,6 +20,14 @@
 // grafts, resource bombs), validates each one, and exits nonzero if
 // any mutant escapes a panic past the validator or validates without
 // being provably safe.
+//
+// With -diff-backends, pccload certifies the paper filter corpus,
+// installs it into two kernels — one per dispatch backend — and
+// delivers an N-packet trace through both (per-packet on the
+// interpreter, vectorized on the compiled backend), cross-checking
+// every verdict against the pure-Go reference semantics. Any
+// divergence exits nonzero: the operator-facing version of the
+// backend-differential test suite.
 //
 // Given several binaries (packet-filter policy only), pccload boots
 // the simulated kernel and installs them all through its concurrent
@@ -61,12 +70,21 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "validation deadline (0 = none)")
 	chaosTrials := flag.Int("chaos", 0, "run the fault-injection harness for N trials and exit (takes no binary arguments)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "RNG seed for -chaos; identical seeds replay identically")
+	backend := flag.String("backend", "", "dispatch backend for batch installs: interp or compiled (default kernel default)")
+	diffBackends := flag.Int("diff-backends", 0, "cross-check both dispatch backends over an N-packet trace and exit (takes no binary arguments)")
 	flag.Parse()
 	if *chaosTrials > 0 {
 		if flag.NArg() != 0 {
 			log.Fatal("-chaos certifies its own corpus and takes no binary arguments")
 		}
 		runChaos(*chaosTrials, *chaosSeed)
+		return
+	}
+	if *diffBackends > 0 {
+		if flag.NArg() != 0 {
+			log.Fatal("-diff-backends certifies its own corpus and takes no binary arguments")
+		}
+		runDiffBackends(*diffBackends)
 		return
 	}
 	if flag.NArg() < 1 {
@@ -82,7 +100,7 @@ func main() {
 		if *polFile != "" || *polName != "packet-filter/v1" {
 			log.Fatal("batch mode installs against the kernel's packet-filter policy only")
 		}
-		batchInstall(ctx, flag.Args())
+		batchInstall(ctx, flag.Args(), *backend)
 		return
 	}
 
@@ -201,13 +219,109 @@ func runChaos(trials int, seed int64) {
 	fmt.Println("chaos: invariants held (no escaped panics, no unsound accepts)")
 }
 
+// runDiffBackends is the -diff-backends entry point: the paper corpus
+// installed into one kernel per backend, an n-packet trace delivered
+// through both (per-packet interpreted, vectorized compiled), every
+// verdict cross-checked against the reference semantics. Exits nonzero
+// on the first divergence.
+func runDiffBackends(n int) {
+	kinterp := kernel.New()
+	kcomp := kernel.New()
+	if err := kcomp.SetBackend(kernel.BackendCompiled); err != nil {
+		log.Fatal(err)
+	}
+	owners := make(map[filters.Filter]string, len(filters.All))
+	for _, f := range filters.All {
+		owner := fmt.Sprintf("proc-%d", f)
+		owners[f] = owner
+		cert, err := pcc.Certify(filters.Source(f), kinterp.FilterPolicy(), nil)
+		if err != nil {
+			log.Fatalf("%v: %v", f, err)
+		}
+		for _, k := range []*kernel.Kernel{kinterp, kcomp} {
+			if err := k.InstallFilter(owner, cert.Binary); err != nil {
+				log.Fatalf("%v: %v", f, err)
+			}
+		}
+	}
+
+	pkts := pktgen.Generate(n, pktgen.Config{Seed: 1996})
+	raw := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		raw[i] = p.Data
+	}
+	divergences := 0
+	report := func(pi int, kind string, got, want []string) {
+		divergences++
+		if divergences <= 10 {
+			fmt.Printf("DIVERGENCE packet %d (%s): got %v, reference says %v\n",
+				pi, kind, got, want)
+		}
+	}
+	start := time.Now()
+	for lo := 0; lo < len(raw); lo += 1024 {
+		hi := lo + 1024
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		batch, err := kcomp.DeliverPackets(raw[lo:hi])
+		if err != nil {
+			log.Fatalf("compiled dispatch fault: %v", err)
+		}
+		for i, data := range raw[lo:hi] {
+			single, err := kinterp.DeliverPacket(pktgen.Packet{Data: data})
+			if err != nil {
+				log.Fatalf("interpreted dispatch fault: %v", err)
+			}
+			var want []string
+			for _, f := range filters.All {
+				if filters.Reference(f, data) {
+					want = append(want, owners[f])
+				}
+			}
+			if !equalStrings(single, want) {
+				report(lo+i, "interp/single", single, want)
+			}
+			if !equalStrings(batch[i], want) {
+				report(lo+i, "compiled/batch", batch[i], want)
+			}
+		}
+	}
+	if divergences > 0 {
+		log.Fatalf("diff-backends: %d divergence(s) over %d packets", divergences, len(pkts))
+	}
+	fmt.Printf("diff-backends: %d packets × %d filters, both backends match the reference semantics (%v)\n",
+		len(pkts), len(filters.All), time.Since(start).Round(time.Millisecond))
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // batchInstall pushes every binary through the kernel's concurrent
 // validation pipeline twice: a cold pass that proof-checks each one,
 // and a warm pass served from the content-addressed proof cache. A
 // telemetry recorder rides along, so the cold pass also yields a
 // per-file stage table showing where each binary's one-time cost went.
-func batchInstall(ctx context.Context, files []string) {
+func batchInstall(ctx context.Context, files []string, backend string) {
 	k := kernel.New()
+	if backend != "" {
+		b, err := kernel.ParseBackend(backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := k.SetBackend(b); err != nil {
+			log.Fatal(err)
+		}
+	}
 	rec := telemetry.New()
 	k.SetRecorder(rec)
 	var reqs []kernel.InstallRequest

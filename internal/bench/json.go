@@ -14,7 +14,8 @@ import (
 )
 
 // ReportSchema versions the JSON layout; bump on incompatible change.
-const ReportSchema = 1
+// 2: added the dispatch section (backend × shape throughput matrix).
+const ReportSchema = 2
 
 // Table1JSON is one Table 1 row with durations in nanoseconds.
 type Table1JSON struct {
@@ -56,16 +57,34 @@ type ChecksumJSON struct {
 	SpeedupVsC   float64 `json:"speedup_vs_c"`
 }
 
+// DispatchJSON is one row of the dispatch-throughput matrix: host
+// wall-clock cost of kernel dispatch under one backend × shape
+// configuration (see dispatch.go).
+type DispatchJSON struct {
+	Backend     string  `json:"backend"` // interp | compiled
+	Shape       string  `json:"shape"`   // single | batch<N>
+	Packets     int     `json:"packets"`
+	Filters     int     `json:"filters"`
+	WallNs      int64   `json:"wall_ns"`
+	NsPerPacket float64 `json:"ns_per_packet"`
+	PPS         float64 `json:"packets_per_sec"`
+	Accepted    int     `json:"accepted"`
+}
+
 // Report is the whole document.
 type Report struct {
-	Schema    int           `json:"schema"`
-	Timestamp string        `json:"timestamp"` // RFC 3339, UTC
-	GoVersion string        `json:"go_version"`
-	Packets   int           `json:"packets"`
-	Table1    []Table1JSON  `json:"table1"`
-	Stages    []StageJSON   `json:"stages"`
-	Fig8      []Fig8JSON    `json:"fig8"`
-	Checksum  *ChecksumJSON `json:"checksum,omitempty"`
+	Schema    int            `json:"schema"`
+	Timestamp string         `json:"timestamp"` // RFC 3339, UTC
+	GoVersion string         `json:"go_version"`
+	Packets   int            `json:"packets"`
+	Table1    []Table1JSON   `json:"table1"`
+	Stages    []StageJSON    `json:"stages"`
+	Fig8      []Fig8JSON     `json:"fig8"`
+	Checksum  *ChecksumJSON  `json:"checksum,omitempty"`
+	Dispatch  []DispatchJSON `json:"dispatch"`
+	// DispatchSpeedup is the headline batch-compiled over
+	// single-interpreted packets/sec ratio.
+	DispatchSpeedup float64 `json:"dispatch_speedup"`
 }
 
 // cyclesPerMicro converts the paper's microsecond axis back to cycles
@@ -148,6 +167,32 @@ func BuildReport(n int, now time.Time) (*Report, error) {
 		ValidationNs: cs.Validation.Nanoseconds(),
 		SpeedupVsC:   cs.SpeedupVsC,
 	}
+
+	dn := n
+	if dn > 50000 {
+		dn = 50000 // host-wall-clock measurement; 50k packets is stable
+	}
+	disp, err := Dispatch(dn)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	for _, r := range disp {
+		shape := "single"
+		if r.Batch {
+			shape = fmt.Sprintf("batch%d", DispatchBatchSize)
+		}
+		rep.Dispatch = append(rep.Dispatch, DispatchJSON{
+			Backend:     r.Backend,
+			Shape:       shape,
+			Packets:     r.Packets,
+			Filters:     r.Filters,
+			WallNs:      r.Wall.Nanoseconds(),
+			NsPerPacket: r.NsPerPacket(),
+			PPS:         r.PPS(),
+			Accepted:    r.Accepted,
+		})
+	}
+	rep.DispatchSpeedup = DispatchSpeedup(disp)
 	return rep, nil
 }
 

@@ -46,6 +46,25 @@ func TestBuildReport(t *testing.T) {
 	if rep.Checksum.SpeedupVsC <= 1 {
 		t.Errorf("checksum speedup %.2f, want > 1", rep.Checksum.SpeedupVsC)
 	}
+	if len(rep.Dispatch) != 4 {
+		t.Fatalf("dispatch matrix has %d rows, want 4", len(rep.Dispatch))
+	}
+	for _, r := range rep.Dispatch {
+		if r.Packets != 40 || r.Filters != 4 || r.WallNs <= 0 || r.PPS <= 0 {
+			t.Errorf("implausible dispatch row: %+v", r)
+		}
+		if (r.Backend != "interp" && r.Backend != "compiled") ||
+			(r.Shape != "single" && r.Shape != "batch1024") {
+			t.Errorf("unexpected dispatch configuration: %+v", r)
+		}
+	}
+	// Accept counts are cross-checked inside Dispatch; here just pin
+	// that all four configurations agree with each other.
+	for _, r := range rep.Dispatch[1:] {
+		if r.Accepted != rep.Dispatch[0].Accepted {
+			t.Errorf("dispatch accepts diverge: %+v vs %+v", r, rep.Dispatch[0])
+		}
+	}
 
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {

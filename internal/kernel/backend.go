@@ -1,0 +1,158 @@
+// Execution-backend selection. The kernel can run validated filters
+// on either of two backends with identical observable behavior:
+//
+//   - BackendInterp: the reference interpreter (machine.Interp), also
+//     the only path with per-PC cycle attribution (profile.go).
+//   - BackendCompiled: threaded code (machine.Compile), built once per
+//     validated binary at install time — after the proof check — and
+//     memoized on the proof-cache slot, so a fleet re-installing one
+//     binary compiles it once the same way it proof-checks it once.
+//
+// The interpreter stays authoritative: profiling runs always take it,
+// the differential suites compare against it, and disabling the
+// compiled backend is a one-call rollback (SetBackend retrofits every
+// installed filter in either direction).
+package kernel
+
+import (
+	"context"
+	"fmt"
+
+	pcc "repro"
+	"repro/internal/machine"
+)
+
+// Backend selects how dispatch executes validated filters.
+type Backend int32
+
+// The available execution backends.
+const (
+	// BackendInterp dispatches through the reference interpreter.
+	BackendInterp Backend = iota
+	// BackendCompiled dispatches through install-time-compiled
+	// threaded code.
+	BackendCompiled
+)
+
+// String returns the flag-friendly backend name.
+func (b Backend) String() string {
+	switch b {
+	case BackendInterp:
+		return "interp"
+	case BackendCompiled:
+		return "compiled"
+	}
+	return fmt.Sprintf("backend(%d)", int32(b))
+}
+
+// ParseBackend converts a flag value to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "interp", "interpreter":
+		return BackendInterp, nil
+	case "compiled", "compile":
+		return BackendCompiled, nil
+	}
+	return 0, fmt.Errorf("kernel: unknown backend %q (want interp or compiled)", s)
+}
+
+// compiledForm returns the slot's memoized threaded-code translation,
+// compiling on first use. Compilation analyzes untrusted (though
+// validated) code, so it runs inside a recover fence like the WCET
+// pass: a panic rejects the one binary, never crashes the kernel.
+func (s *cacheSlot) compiledForm() (*machine.Compiled, error) {
+	s.compileOnce.Do(func() {
+		if perr := pcc.Fence("compile", func() error {
+			s.compiled, s.compileErr = machine.Compile(s.ext.Prog, &machine.DEC21064)
+			return nil
+		}); perr != nil {
+			s.compileErr = perr
+		}
+	})
+	return s.compiled, s.compileErr
+}
+
+// Backend returns the kernel's current default execution backend.
+func (k *Kernel) Backend() Backend { return Backend(k.backend.Load()) }
+
+// SetBackend switches the default backend for future installs AND
+// retrofits every installed filter: switching to BackendCompiled
+// compiles each installed program (an error on any filter aborts the
+// switch with nothing changed); switching to BackendInterp drops the
+// compiled forms, an immediate rollback path. Dispatches in flight
+// observe the table atomically under the kernel lock.
+func (k *Kernel) SetBackend(b Backend) error {
+	if b != BackendInterp && b != BackendCompiled {
+		return fmt.Errorf("kernel: unknown backend %d", b)
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if b == BackendCompiled {
+		fresh := make(map[string]*machine.Compiled, len(k.filters))
+		for owner, f := range k.filters {
+			if f.compiled != nil {
+				continue
+			}
+			var c *machine.Compiled
+			var cerr error
+			if perr := pcc.Fence("compile", func() error {
+				c, cerr = machine.Compile(f.ext.Prog, &machine.DEC21064)
+				return nil
+			}); perr != nil {
+				cerr = perr
+			}
+			if cerr != nil {
+				return fmt.Errorf("kernel: compiling filter for %q: %w", owner, cerr)
+			}
+			fresh[owner] = c
+		}
+		for owner, c := range fresh {
+			k.filters[owner].compiled = c
+		}
+	} else {
+		for _, f := range k.filters {
+			f.compiled = nil
+		}
+	}
+	k.backend.Store(int32(b))
+	return nil
+}
+
+// InstallFilterWithBackend is InstallFilterCtx with an explicit
+// per-install backend choice that overrides the kernel default for
+// this one filter.
+func (k *Kernel) InstallFilterWithBackend(ctx context.Context, owner string, binary []byte, b Backend) error {
+	if b != BackendInterp && b != BackendCompiled {
+		return fmt.Errorf("kernel: unknown backend %d", b)
+	}
+	if gate := k.admit.Load(); gate != nil {
+		if !gate.tryAcquire() {
+			k.stats.validations.Add(1)
+			va := k.audit.Load().newValidationAudit("filter", owner, binary)
+			return k.commitFilter(owner, nil, va,
+				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, b)
+		}
+		defer gate.release()
+	}
+	slot, va, err := k.validateFilter(ctx, owner, binary)
+	return k.commitFilter(owner, slot, va, err, b)
+}
+
+// runInstalled executes one installed filter on a prepared state with
+// the dispatch budget, choosing profiled interpretation, threaded
+// code, or the plain interpreter. wrote reports whether the run may
+// have written scratch memory (threaded code knows statically; the
+// interpreter paths conservatively report true), which lets pooled
+// dispatch skip the next scratch wipe.
+func runInstalled(f *installed, state *machine.State, profiling bool) (res machine.Result, wrote bool, err error) {
+	if profiling && f.prof != nil {
+		res, err = f.prof.run(state, dispatchFuel)
+		return res, true, err
+	}
+	if c := f.compiled; c != nil {
+		res, err = c.Run(state, machine.Unchecked, dispatchFuel)
+		return res, c.WritesMemory(), err
+	}
+	res, err = machine.Interp(f.ext.Prog, state, machine.Unchecked, &machine.DEC21064, dispatchFuel)
+	return res, true, err
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	pcc "repro"
+	"repro/internal/machine"
 )
 
 // cacheKey is pcc.ValidationKey's output: SHA-256 of binary + policy
@@ -44,7 +45,8 @@ type proofCache struct {
 
 // cacheSlot is one validated extension plus everything derived purely
 // from it. Slots are immutable after construction (newCacheSlot in
-// kernel.go), so readers need no lock.
+// kernel.go) — the threaded-code form below is the one lazily derived
+// field, write-once behind its sync.Once — so readers need no lock.
 type cacheSlot struct {
 	key cacheKey
 	ext *pcc.Extension
@@ -53,6 +55,13 @@ type cacheSlot struct {
 	// exists (e.g. a loop), in which case budgeted installs reject.
 	wcet    int64
 	wcetErr error
+	// compiled is the memoized threaded-code translation of ext.Prog,
+	// built on the first BackendCompiled install that commits this
+	// slot (compiledForm in backend.go). Cache hits reuse it, so a
+	// re-install compiles as rarely as it proof-checks.
+	compileOnce sync.Once
+	compiled    *machine.Compiled
+	compileErr  error
 }
 
 func newProofCache(max int) *proofCache {

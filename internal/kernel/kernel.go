@@ -20,6 +20,7 @@ package kernel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	pcc "repro"
+	"repro/internal/alpha"
 	"repro/internal/machine"
 	"repro/internal/pktgen"
 	"repro/internal/policy"
@@ -80,11 +82,14 @@ type counters struct {
 // installed is one live packet filter. The accepts counter is shared
 // with the kernel's persistent per-owner table so dispatch can bump it
 // under the read lock. prof is the cycle-attribution accumulator,
-// non-nil only once profiling has been enabled (profile.go).
+// non-nil only once profiling has been enabled (profile.go). compiled
+// is the threaded-code form, non-nil only when the filter was
+// installed under (or retrofitted to) BackendCompiled (backend.go).
 type installed struct {
-	ext     *pcc.Extension
-	accepts *atomic.Int64
-	prof    *filterProfile
+	ext      *pcc.Extension
+	accepts  *atomic.Int64
+	prof     *filterProfile
+	compiled *machine.Compiled
 }
 
 // Kernel is a simulated extensible kernel.
@@ -120,6 +125,10 @@ type Kernel struct {
 	audit atomic.Pointer[auditor]
 	// profiling selects the profiled dispatch path (profile.go).
 	profiling atomic.Bool
+	// backend is the default execution backend (backend.go), read on
+	// install commits; dispatch never consults it — each filter slot
+	// carries its own compiled form or not.
+	backend atomic.Int32
 	// Adversarial-hardening configuration (robust.go): validation
 	// resource budgets, admission gate, and producer quarantine. All
 	// nil/disabled by default.
@@ -316,8 +325,12 @@ func (k *Kernel) validateFilter(ctx context.Context, owner string, binary []byte
 // comparison (the WCET itself was computed lock-free at validation
 // time) and table update. The final verdict — including budget
 // rejections — is written to the audit log here, so every install
-// attempt produces exactly one install record.
-func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit, verr error) error {
+// attempt produces exactly one install record. Under BackendCompiled
+// the threaded-code form is obtained (memoized on the slot) before
+// the lock is taken, so compilation — like validation — never runs
+// under the kernel write lock, and a filter that somehow fails to
+// compile is rejected rather than silently interpreted.
+func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit, verr error, be Backend) error {
 	tel := k.tel.Load()
 	if verr != nil {
 		k.stats.rejections.Add(1)
@@ -328,6 +341,22 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 		err := fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
 		k.audit.Load().install(va, slot, err)
 		return err
+	}
+	var compiled *machine.Compiled
+	if be == BackendCompiled {
+		var cerr error
+		compiled, cerr = slot.compiledForm()
+		if cerr != nil {
+			verr = fmt.Errorf("backend compile: %w", cerr)
+			k.stats.rejections.Add(1)
+			reason := installRejectReason(verr)
+			tel.outcome(false)
+			tel.reject(reason)
+			k.noteRejection(owner, reason)
+			err := fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
+			k.audit.Load().install(va, slot, err)
+			return err
+		}
 	}
 	span := tel.span(telemetry.StageCommit, owner)
 	err := func() error {
@@ -350,7 +379,7 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 			ctr = new(atomic.Int64)
 			k.accepts[owner] = ctr
 		}
-		ins := &installed{ext: slot.ext, accepts: ctr}
+		ins := &installed{ext: slot.ext, accepts: ctr, compiled: compiled}
 		if k.profiling.Load() {
 			ins.prof = newFilterProfile(slot.ext.Prog)
 		}
@@ -403,39 +432,186 @@ const (
 	maxPooledPacket = scratchBase - packetBase
 )
 
+// dispatchFuel is the per-filter step budget on the dispatch path. A
+// validated filter never gets near it; it is the kernel's last-resort
+// bound should validation ever be wrong about termination.
+const dispatchFuel = 1 << 20
+
 // packetEnv is a reusable delivery environment: one memory image
 // (packet + scratch regions) and one machine state, recycled through
 // the kernel's statePool so dispatch allocates nothing per packet.
+// dirtyScratch tracks whether the last run could have written the
+// scratch region: compiled filters report store-freedom statically
+// (machine.Compiled.WritesMemory), and a store-free run lets the next
+// reset skip the scratch wipe.
 type packetEnv struct {
-	state   machine.State
-	pkt     *machine.Region
-	scratch *machine.Region
+	state        machine.State
+	pkt          *machine.Region
+	tail         *machine.Region
+	scratch      *machine.Region
+	dirtyScratch bool
+	// pktBuf is the environment's own packet backing storage, used
+	// when the packet must be copied in (single-packet dispatch).
+	// Vectorized dispatch instead aliases the packet region straight
+	// onto the caller's buffer (see setPacketAlias), with the tail
+	// region covering an unaligned final word.
+	pktBuf []byte
+	// tailSrc, when non-nil, is the aliased packet whose unaligned
+	// final word has not been copied into the tail region yet. The
+	// copy is deferred until a filter actually touches the tail (see
+	// materializeTail): filters read packet headers, so eagerly
+	// copying the last few bytes would drag the packet's final cache
+	// line in from memory on every delivery for bytes almost never
+	// read.
+	tailSrc []byte
+	// Pooled per-batch scratch for DeliverPackets (owner offsets,
+	// accepting-slot indices, and per-filter accumulators), so a
+	// batch allocates only its result.
+	offs    []int32
+	aidx    []uint16
+	slots   []fslot
+	cycles  []int64
+	accepts []int64
 }
 
 func newPacketEnv() *packetEnv {
 	mem := machine.NewMemory()
 	pkt := machine.NewRegion("packet", packetBase, 2048, false)
+	// The tail region is empty (matching nothing) except during
+	// zero-copy dispatch of a packet whose length is not a multiple
+	// of 8; an empty region never overlaps anything.
+	tail := machine.NewRegion("packet-tail", packetBase, 0, false)
 	scratch := machine.NewRegion("scratch", scratchBase, policy.ScratchLen, true)
 	mem.MustAddRegion(pkt)
+	mem.MustAddRegion(tail)
 	mem.MustAddRegion(scratch)
-	return &packetEnv{state: machine.State{Mem: mem}, pkt: pkt, scratch: scratch}
+	e := &packetEnv{state: machine.State{Mem: mem}, pkt: pkt, tail: tail, scratch: scratch}
+	e.pktBuf = pkt.Bytes()
+	return e
+}
+
+// setPacketCopy loads the packet into the environment's own backing
+// storage (copy + zero padding to a whole word), the reference layout
+// for pooled dispatch. It always re-aliases the packet region onto the
+// owned buffer, undoing any zero-copy alias a previous batch left.
+func (e *packetEnv) setPacketCopy(data []byte) {
+	padded := (len(data) + 7) &^ 7
+	if cap(e.pktBuf) < padded {
+		e.pktBuf = make([]byte, padded)
+	}
+	buf := e.pktBuf[:padded]
+	n := copy(buf, data)
+	for i := n; i < padded; i++ {
+		buf[i] = 0
+	}
+	e.pkt.AliasBytes(buf)
+	e.tail.Resize(0)
+	e.tailSrc = nil
+}
+
+// releasePacket drops any zero-copy alias so a pooled environment
+// never pins a caller's packet buffer while idle in the pool.
+func (e *packetEnv) releasePacket() {
+	e.pkt.AliasBytes(e.pktBuf[:0])
+	e.tail.Resize(0)
+	e.tailSrc = nil
+}
+
+// setPacketAlias maps the packet region directly onto the caller's
+// buffer — no copy — leaving only an unaligned final word (at most 7
+// bytes plus zero padding) to copy into the tail region. The visible
+// address space is byte-identical to setPacketCopy: same words at the
+// same addresses, zero padding to the word boundary, unmapped beyond.
+// The caller's buffer must stay unmodified for the duration of the
+// run; the packet and tail regions are read-only, so validated filters
+// cannot write through the alias.
+func (e *packetEnv) setPacketAlias(data []byte) {
+	floor := len(data) &^ 7
+	e.pkt.AliasBytes(data[:floor])
+	e.tail.Base = uint64(packetBase) + uint64(floor)
+	e.tail.Clear()
+	if len(data)-floor > 0 {
+		e.tailSrc = data
+	} else {
+		e.tailSrc = nil
+	}
+}
+
+// materializeTail copies the pending unaligned final word into the
+// tail region, making the address space byte-identical to
+// setPacketCopy. Called when a filter faults on the tail word (see
+// tailFault); after it runs, the retried filter — and every later
+// filter on the same packet — sees the mapped, zero-padded tail.
+func (e *packetEnv) materializeTail() {
+	floor := len(e.tailSrc) &^ 7
+	e.tail.Resize(len(e.tailSrc) - floor)
+	e.tail.SetBytes(e.tailSrc[floor:])
+	e.tailSrc = nil
+}
+
+// tailFault reports whether err is a fault that only happened because
+// the tail word has not been materialized yet: an unmapped-address
+// fault inside the tail region's one-word window while a copy is
+// pending. Every other fault — unaligned access anywhere, any access
+// past the padded length, a write that would hit the read-only tail —
+// produces the same error the eager-copy layout would have.
+func (e *packetEnv) tailFault(err error) bool {
+	if e.tailSrc == nil {
+		return false
+	}
+	var mf *machine.MemFault
+	if !errors.As(err, &mf) {
+		return false
+	}
+	return mf.Kind == machine.FaultUnmapped && mf.Addr >= e.tail.Base && mf.Addr < e.tail.Base+8
 }
 
 // reset re-establishes the packet-filter precondition between filters:
-// zeroed registers and scratch (each filter must observe the same
-// fresh state a dedicated allocation would have given it — scratch
-// contents must not leak between filters), packet pointer/length in
-// the convention registers. The packet region itself is read-only to
-// the extension and is loaded once per delivery, not per filter.
+// zeroed registers, packet pointer/length in the convention registers.
+// Scratch hygiene is the caller's half of the contract: dispatch loops
+// check dirtyScratch and call wipeScratch before each reset, so each
+// filter observes the same fresh state a dedicated allocation would
+// have given it (scratch contents must not leak between filters).
+// Keeping that branch out of reset leaves it inside the inlining
+// budget of the dispatch loops. The packet region itself is read-only
+// to the extension and is loaded once per delivery, not per filter.
 func (e *packetEnv) reset(pktLen int) {
-	for i := range e.state.R {
-		e.state.R[i] = 0
+	e.state.R = [alpha.NumRegs]uint64{
+		policy.RegPacket:  packetBase,
+		policy.RegLen:     uint64(pktLen),
+		policy.RegScratch: scratchBase,
 	}
 	e.state.PC = 0
-	e.scratch.SetBytes(nil) // zero the whole scratch region
+}
+
+// presetRegs is the register set reset establishes with non-stale
+// values: the zeroed return register and the three convention
+// registers. A filter whose LiveInRegs set is inside presetRegs
+// provably cannot observe any other register, so dispatch may use
+// resetLite for it.
+const presetRegs = 1<<0 | 1<<policy.RegPacket | 1<<policy.RegLen | 1<<policy.RegScratch
+
+// resetLite is reset for filters proven (by install-time liveness
+// analysis, machine.Compiled.LiveInRegs) to read only the preset
+// registers before writing anything else: it skips the full register
+// wipe, writing just the four presets. Observable behavior is
+// identical to reset for such filters — the skipped registers' stale
+// values are provably dead. Like reset, it relies on the caller for
+// the dirty-scratch wipe.
+func (e *packetEnv) resetLite(pktLen int) {
+	e.state.R[0] = 0
 	e.state.R[policy.RegPacket] = packetBase
 	e.state.R[policy.RegLen] = uint64(pktLen)
 	e.state.R[policy.RegScratch] = scratchBase
+	e.state.PC = 0
+}
+
+// wipeScratch zeroes the scratch region, out of line so the common
+// clean-scratch reset stays small enough to inline into the dispatch
+// loops.
+func (e *packetEnv) wipeScratch() {
+	e.scratch.SetBytes(nil) // zero the whole scratch region
+	e.dirtyScratch = false
 }
 
 // DeliverPacket runs every installed filter over the packet (with no
@@ -452,8 +628,7 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 	defer k.statePool.Put(env)
 	usePool := len(pkt.Data) <= maxPooledPacket
 	if usePool {
-		env.pkt.Resize(len(pkt.Data))
-		env.pkt.SetBytes(pkt.Data)
+		env.setPacketCopy(pkt.Data)
 	}
 	profiling := k.profiling.Load()
 	k.mu.RLock()
@@ -464,17 +639,17 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 	for owner, f := range k.filters {
 		var state *machine.State
 		if usePool {
+			if env.dirtyScratch {
+				env.wipeScratch()
+			}
 			env.reset(len(pkt.Data))
 			state = &env.state
 		} else {
 			state = k.packetState(pkt) // oversized packet: fall back to a fresh image
 		}
-		var res machine.Result
-		var err error
-		if profiling && f.prof != nil {
-			res, err = f.prof.run(state, 1<<20)
-		} else {
-			res, err = machine.Interp(f.ext.Prog, state, machine.Unchecked, &machine.DEC21064, 1<<20)
+		res, wrote, err := runInstalled(f, state, profiling)
+		if usePool && wrote {
+			env.dirtyScratch = true
 		}
 		if err != nil {
 			// A validated extension cannot fault when the kernel meets
@@ -504,11 +679,18 @@ func (k *Kernel) packetState(pkt pktgen.Packet) *machine.State {
 	pr := machine.NewRegion("packet", packetBase, len(pkt.Data), false)
 	pr.SetBytes(pkt.Data)
 	mem.MustAddRegion(pr)
-	mem.MustAddRegion(machine.NewRegion("scratch", scratchBase, policy.ScratchLen, true))
+	// An oversized packet spills past the pooled layout's scratch base;
+	// relocate scratch above the packet end. Filters reach scratch only
+	// through R[RegScratch], so its absolute base is free to move.
+	sb := uint64(scratchBase)
+	if end := uint64(packetBase) + uint64(len(pkt.Data)); end > sb {
+		sb = (end + 7) &^ 7
+	}
+	mem.MustAddRegion(machine.NewRegion("scratch", sb, policy.ScratchLen, true))
 	s := &machine.State{Mem: mem}
 	s.R[policy.RegPacket] = packetBase
 	s.R[policy.RegLen] = uint64(len(pkt.Data))
-	s.R[policy.RegScratch] = scratchBase
+	s.R[policy.RegScratch] = sb
 	return s
 }
 

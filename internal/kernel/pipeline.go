@@ -85,8 +85,9 @@ func (k *Kernel) InstallFilterBatchCtx(ctx context.Context, reqs []InstallReques
 	}
 	wg.Wait()
 
+	be := k.Backend()
 	for i := range reqs {
-		errs[i] = k.commitFilter(reqs[i].Owner, slots[i], vas[i], verrs[i])
+		errs[i] = k.commitFilter(reqs[i].Owner, slots[i], vas[i], verrs[i], be)
 	}
 	return errs
 }

@@ -280,10 +280,10 @@ func (k *Kernel) InstallFilterCtx(ctx context.Context, owner string, binary []by
 			k.stats.validations.Add(1)
 			va := k.audit.Load().newValidationAudit("filter", owner, binary)
 			return k.commitFilter(owner, nil, va,
-				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter})
+				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, k.Backend())
 		}
 		defer gate.release()
 	}
 	slot, va, err := k.validateFilter(ctx, owner, binary)
-	return k.commitFilter(owner, slot, va, err)
+	return k.commitFilter(owner, slot, va, err, k.Backend())
 }

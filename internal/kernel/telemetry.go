@@ -165,6 +165,14 @@ func (t *telem) packet() {
 	t.packets.Inc()
 }
 
+// packetBatch counts a whole delivered batch in one add.
+func (t *telem) packetBatch(n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.packets.Add(n)
+}
+
 // filterRun attributes one filter execution: cycles always, plus the
 // per-filter accept counter when the filter matched. Registration is
 // amortized — after the first packet both lookups are read-locked map
@@ -176,6 +184,21 @@ func (t *telem) filterRun(owner string, cycles int64, accepted bool) {
 	t.rec.LabeledCounter(MetricFilterCycles, "filter", owner).Add(cycles)
 	if accepted {
 		t.rec.LabeledCounter(MetricFilterAccepts, "filter", owner).Inc()
+	}
+}
+
+// filterRunBatch attributes a whole batch of one filter's executions:
+// two labeled-counter lookups per filter per batch instead of per
+// packet.
+func (t *telem) filterRunBatch(owner string, cycles, accepts int64) {
+	if t == nil {
+		return
+	}
+	if cycles != 0 {
+		t.rec.LabeledCounter(MetricFilterCycles, "filter", owner).Add(cycles)
+	}
+	if accepts != 0 {
+		t.rec.LabeledCounter(MetricFilterAccepts, "filter", owner).Add(accepts)
 	}
 }
 

@@ -1,0 +1,269 @@
+// Backend-differential suite: the compiled backend must be
+// observationally identical to the interpreter on every corpus we can
+// get our hands on — the paper's four filters and the looping
+// IP-checksum filter, machine-generated programs over generated
+// traffic, and every chaos-harness mutant the validator accepts
+// (byte-identical re-accepts and safe variants alike). The package is
+// external (machine_test) because the corpora live in packages that
+// themselves import machine.
+package machine_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	pcc "repro"
+	"repro/internal/alpha"
+	"repro/internal/chaos"
+	"repro/internal/filters"
+	"repro/internal/machine"
+	"repro/internal/pktgen"
+	"repro/internal/policy"
+)
+
+const diffFuel = 1 << 20
+
+// diffOnPacket runs prog over one packet through both backends and
+// fails on any observable difference: Result, error, registers, final
+// PC, scratch memory.
+func diffOnPacket(t *testing.T, label string, prog []alpha.Instr, c *machine.Compiled, pkt []byte, mode machine.Mode) {
+	t.Helper()
+	env := filters.Env{}
+	si := env.NewState(pkt)
+	resI, errI := machine.Interp(prog, si, mode, &machine.DEC21064, diffFuel)
+	sc := env.NewState(pkt)
+	resC, errC := c.Run(sc, mode, diffFuel)
+
+	if (errI == nil) != (errC == nil) || (errI != nil && !reflect.DeepEqual(errI, errC)) {
+		t.Fatalf("%s (mode %v): errors diverge: interp=%v compiled=%v\n%s",
+			label, mode, errI, errC, alpha.Program(prog))
+	}
+	if resI != resC {
+		t.Fatalf("%s (mode %v): results diverge: interp=%+v compiled=%+v\n%s",
+			label, mode, resI, resC, alpha.Program(prog))
+	}
+	if si.R != sc.R {
+		t.Fatalf("%s (mode %v): register files diverge\n%s", label, mode, alpha.Program(prog))
+	}
+	if si.PC != sc.PC {
+		t.Fatalf("%s (mode %v): final PCs diverge: interp=%d compiled=%d",
+			label, mode, si.PC, sc.PC)
+	}
+	bi := si.Mem.Region("scratch").Bytes()
+	bc := sc.Mem.Region("scratch").Bytes()
+	for i := range bi {
+		if bi[i] != bc[i] {
+			t.Fatalf("%s (mode %v): scratch memory diverges at byte %d", label, mode, i)
+		}
+	}
+}
+
+// paperPrograms is the full paper corpus: the four filters plus the
+// looping IP-checksum filter (the only base exercising backward
+// branches and scratch stores on real certified code).
+func paperPrograms(t *testing.T) map[string][]alpha.Instr {
+	t.Helper()
+	progs := map[string][]alpha.Instr{}
+	for _, f := range filters.All {
+		progs[f.String()] = filters.Prog(f)
+	}
+	progs["checksum"] = alpha.MustAssemble(filters.SrcChecksum).Prog
+	return progs
+}
+
+func TestBackendEquivalencePaperCorpus(t *testing.T) {
+	trace := pktgen.Generate(2000, pktgen.Config{Seed: 1996})
+	for name, prog := range paperPrograms(t) {
+		c, err := machine.Compile(prog, &machine.DEC21064)
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", name, err)
+		}
+		if c.Len() != len(prog) {
+			t.Fatalf("%s: compiled length %d != %d", name, c.Len(), len(prog))
+		}
+		for _, p := range trace {
+			diffOnPacket(t, name, prog, c, p.Data, machine.Unchecked)
+		}
+		// The checked abstract machine must agree too (spot-checked on
+		// a slice of the trace; Unchecked above is the dispatch mode).
+		for _, p := range trace[:200] {
+			diffOnPacket(t, name, prog, c, p.Data, machine.Checked)
+		}
+	}
+}
+
+// randFilterProgram machine-generates a random packet-filter-shaped
+// program: loads from the packet and scratch areas (mostly in-bounds,
+// sometimes wild to exercise fault parity), scratch stores, ALU ops on
+// the working registers, forward branches, and a final RET. Every
+// program passes alpha.Validate, so every program must compile.
+func randFilterProgram(r *rand.Rand) []alpha.Instr {
+	var prog []alpha.Instr
+	n := 3 + r.Intn(24)
+	for i := 0; i < n; i++ {
+		switch r.Intn(10) {
+		case 0, 1, 2:
+			ins := alpha.Instr{Op: alpha.LDQ, Ra: alpha.Reg(r.Intn(alpha.NumRegs)),
+				Rb: policy.RegPacket, Disp: int16(8 * r.Intn(8))}
+			if r.Intn(8) == 0 {
+				ins.Disp = int16(r.Intn(1 << 14)) // wild: often unmapped/unaligned
+			}
+			prog = append(prog, ins)
+		case 3:
+			prog = append(prog, alpha.Instr{Op: alpha.LDQ, Ra: alpha.Reg(r.Intn(alpha.NumRegs)),
+				Rb: policy.RegScratch, Disp: int16(8 * r.Intn(policy.ScratchLen/8))})
+		case 4:
+			prog = append(prog, alpha.Instr{Op: alpha.STQ, Ra: alpha.Reg(r.Intn(alpha.NumRegs)),
+				Rb: policy.RegScratch, Disp: int16(8 * r.Intn(policy.ScratchLen/8))})
+		case 5:
+			prog = append(prog, alpha.Instr{Op: alpha.Op(int(alpha.BEQ) + r.Intn(4)),
+				Ra: alpha.Reg(r.Intn(alpha.NumRegs)), Target: -1})
+		case 6:
+			prog = append(prog, alpha.Instr{Op: alpha.LDA, Ra: alpha.Reg(r.Intn(alpha.NumRegs)),
+				Rb: alpha.RegZero, Disp: int16(r.Intn(4096) - 2048)})
+		default:
+			ops := []alpha.Op{alpha.ADDQ, alpha.SUBQ, alpha.MULQ, alpha.AND, alpha.BIS,
+				alpha.XOR, alpha.SLL, alpha.SRL, alpha.CMPEQ, alpha.CMPULT, alpha.CMPULE}
+			ins := alpha.Instr{Op: ops[r.Intn(len(ops))],
+				Ra: alpha.Reg(r.Intn(alpha.NumRegs)), Rc: alpha.Reg(r.Intn(alpha.NumRegs))}
+			if r.Intn(6) == 0 {
+				ins.Ra = alpha.RegZero // exercise the zero-register fold
+			}
+			if r.Intn(2) == 0 {
+				ins.HasLit = true
+				ins.Lit = uint8(r.Intn(256))
+			} else {
+				ins.Rb = alpha.Reg(r.Intn(alpha.NumRegs))
+				if r.Intn(6) == 0 {
+					ins.Rb = alpha.RegZero
+				}
+			}
+			prog = append(prog, ins)
+		}
+	}
+	prog = append(prog, alpha.Instr{Op: alpha.RET})
+	for pc := range prog {
+		if prog[pc].Op.Class() == alpha.ClassBranch && prog[pc].Target == -1 {
+			prog[pc].Target = pc + 1 + r.Intn(len(prog)-pc)
+		}
+	}
+	return prog
+}
+
+func TestBackendEquivalenceGeneratedFilters(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	gen := pktgen.New(pktgen.Config{Seed: 7})
+	for trial := 0; trial < 1500; trial++ {
+		prog := randFilterProgram(r)
+		c, err := machine.Compile(prog, &machine.DEC21064)
+		if err != nil {
+			t.Fatalf("trial %d: Compile rejected a Validate-clean program: %v\n%s",
+				trial, err, alpha.Program(prog))
+		}
+		for i := 0; i < 4; i++ {
+			pkt := gen.Next().Data
+			diffOnPacket(t, "generated", prog, c, pkt, machine.Unchecked)
+			diffOnPacket(t, "generated", prog, c, pkt, machine.Checked)
+		}
+	}
+}
+
+// TestBackendEquivalenceChaosAccepts feeds chaos-harness mutants
+// through the validator and, for every accepted one (byte-identical
+// re-accepts and SafeVariantAccepts both), requires backend agreement
+// over generated traffic. The unmutated bases are always included so
+// the corpus is never empty even on a run where every mutant is
+// rejected.
+func TestBackendEquivalenceChaosAccepts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos mutant corpus is slow")
+	}
+	bases, err := chaos.PaperBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := pcc.DefaultLimits()
+	lim.MaxCheckSteps = 50_000
+
+	type accepted struct {
+		label string
+		prog  []alpha.Instr
+	}
+	var corpus []accepted
+	for _, b := range bases {
+		ext, _, verr := pcc.ValidateCtx(t.Context(), b.Binary, b.Policy, &lim)
+		if verr != nil {
+			t.Fatalf("base %s failed validation: %v", b.Name, verr)
+		}
+		corpus = append(corpus, accepted{"base:" + b.Name, ext.Prog})
+	}
+	r := rand.New(rand.NewSource(1996))
+	muts := chaos.Mutators()
+	safeVariants := 0
+	for trial := 0; trial < 400; trial++ {
+		base := bases[r.Intn(len(bases))]
+		m := muts[r.Intn(len(muts))]
+		mutant := m.Fn(r, base)
+		ext, _, verr := pcc.ValidateCtx(t.Context(), mutant, base.Policy, &lim)
+		if verr != nil {
+			continue // rejected mutants have no execution to compare
+		}
+		corpus = append(corpus, accepted{"mutant:" + m.Name + ":" + base.Name, ext.Prog})
+		safeVariants++
+	}
+	t.Logf("chaos corpus: %d programs (%d accepted mutants)", len(corpus), safeVariants)
+
+	trace := pktgen.Generate(300, pktgen.Config{Seed: 3})
+	for _, a := range corpus {
+		c, cerr := machine.Compile(a.prog, &machine.DEC21064)
+		if cerr != nil {
+			t.Fatalf("%s: validated program failed to compile: %v", a.label, cerr)
+		}
+		for _, p := range trace {
+			diffOnPacket(t, a.label, a.prog, c, p.Data, machine.Unchecked)
+		}
+	}
+}
+
+// TestCompiledConcurrentRuns hammers one Compiled program from many
+// goroutines with distinct states — the dispatch-path sharing model —
+// and cross-checks each result against a private interpreter run.
+// Meaningful under -race.
+func TestCompiledConcurrentRuns(t *testing.T) {
+	prog := filters.Prog(filters.Filter4)
+	c, err := machine.Compile(prog, &machine.DEC21064)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(seed uint64) {
+			gen := pktgen.New(pktgen.Config{Seed: seed})
+			env := filters.Env{}
+			for i := 0; i < 500; i++ {
+				pkt := gen.Next().Data
+				sc := env.NewState(pkt)
+				resC, errC := c.Run(sc, machine.Unchecked, diffFuel)
+				si := env.NewState(pkt)
+				resI, errI := machine.Interp(prog, si, machine.Unchecked, &machine.DEC21064, diffFuel)
+				if resC != resI || (errC == nil) != (errI == nil) {
+					done <- &mismatchError{resI, resC}
+					return
+				}
+			}
+			done <- nil
+		}(uint64(g + 1))
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type mismatchError struct{ interp, compiled machine.Result }
+
+func (e *mismatchError) Error() string {
+	return "concurrent run diverged between backends"
+}

@@ -1,0 +1,306 @@
+package machine
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/alpha"
+)
+
+// assertSameRun executes prog through the interpreter and the compiled
+// backend from identical states and requires every observable to
+// match: Result, error (including fault identity and Wild
+// classification), register file, final PC, and memory contents.
+func assertSameRun(t *testing.T, prog []alpha.Instr, mkState func() *State, mode Mode, cm *CostModel, fuel int) {
+	t.Helper()
+	c, err := Compile(prog, cm)
+	if err != nil {
+		t.Fatalf("Compile: %v\n%s", err, alpha.Program(prog))
+	}
+	si := mkState()
+	resI, errI := Interp(prog, si, mode, cm, fuel)
+	sc := mkState()
+	resC, errC := c.Run(sc, mode, fuel)
+
+	if (errI == nil) != (errC == nil) || (errI != nil && !reflect.DeepEqual(errI, errC)) {
+		t.Fatalf("errors differ (mode %v, fuel %d): interp=%v compiled=%v\n%s",
+			mode, fuel, errI, errC, alpha.Program(prog))
+	}
+	if resI != resC {
+		t.Fatalf("results differ (mode %v, fuel %d): interp=%+v compiled=%+v\n%s",
+			mode, fuel, resI, resC, alpha.Program(prog))
+	}
+	if si.R != sc.R {
+		t.Fatalf("register files differ (mode %v, fuel %d)\n%s", mode, fuel, alpha.Program(prog))
+	}
+	if si.PC != sc.PC {
+		t.Fatalf("final PCs differ (mode %v, fuel %d): interp=%d compiled=%d\n%s",
+			mode, fuel, si.PC, sc.PC, alpha.Program(prog))
+	}
+	for _, name := range []string{"buf", "pkt", "scratch"} {
+		ri, rc := si.Mem.Region(name), sc.Mem.Region(name)
+		if ri == nil || rc == nil {
+			continue
+		}
+		bi, bc := ri.Bytes(), rc.Bytes()
+		for i := range bi {
+			if bi[i] != bc[i] {
+				t.Fatalf("region %q differs at byte %d (mode %v, fuel %d)\n%s",
+					name, i, mode, fuel, alpha.Program(prog))
+			}
+		}
+	}
+}
+
+func TestCompiledMatchesInterpConfined(t *testing.T) {
+	r := rand.New(rand.NewSource(1996))
+	for trial := 0; trial < 2000; trial++ {
+		prog := randConfinedProgram(r)
+		seed := r.Int63()
+		mk := func() *State { return confinedState(rand.New(rand.NewSource(seed))) }
+		assertSameRun(t, prog, mk, Checked, &DEC21064, 10000)
+		assertSameRun(t, prog, mk, Unchecked, &DEC21064, 10000)
+	}
+}
+
+// randWildProgram is randConfinedProgram without the confinement: base
+// registers and displacements are arbitrary, so runs routinely fault
+// with every MemFault kind — the fault-attribution parity diet.
+func randWildProgram(r *rand.Rand) []alpha.Instr {
+	prog := randConfinedProgram(r)
+	for pc := range prog {
+		switch prog[pc].Op {
+		case alpha.LDQ, alpha.STQ:
+			prog[pc].Rb = alpha.Reg(r.Intn(alpha.NumRegs))
+			prog[pc].Disp = int16(r.Intn(1 << 12))
+		}
+	}
+	return prog
+}
+
+func TestCompiledMatchesInterpOnFaults(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		prog := randWildProgram(r)
+		seed := r.Int63()
+		mk := func() *State { return confinedState(rand.New(rand.NewSource(seed))) }
+		assertSameRun(t, prog, mk, Checked, &DEC21064, 10000)
+		assertSameRun(t, prog, mk, Unchecked, &DEC21064, 10000)
+	}
+}
+
+// TestCompiledFuelEdges sweeps the fuel budget through every value up
+// to just past the full run length, pinning the exact ErrFuel point,
+// the reported Steps/Cycles at exhaustion, and the PC left behind.
+func TestCompiledFuelEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		prog := randConfinedProgram(r)
+		seed := r.Int63()
+		mk := func() *State { return confinedState(rand.New(rand.NewSource(seed))) }
+
+		s := mk()
+		full, err := Interp(prog, s, Checked, &DEC21064, 10000)
+		if err != nil {
+			continue
+		}
+		for fuel := 0; fuel <= full.Steps+1; fuel++ {
+			assertSameRun(t, prog, mk, Checked, &DEC21064, fuel)
+		}
+	}
+}
+
+func TestCompiledEmptyProgram(t *testing.T) {
+	c, err := Compile(nil, &DEC21064)
+	if err != nil {
+		t.Fatalf("Compile(nil): %v", err)
+	}
+	s := &State{Mem: NewMemory()}
+	s.R[0] = 77
+	res, err := c.Run(s, Checked, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Falling off the end — even with zero fuel — is a return of r0,
+	// retiring nothing, exactly as the interpreter treats PC == len.
+	if res.Ret != 77 || res.Steps != 0 || res.Cycles != 0 || s.PC != 0 {
+		t.Fatalf("empty program: got %+v, PC %d", res, s.PC)
+	}
+}
+
+func TestCompiledBranchToEnd(t *testing.T) {
+	// BR @1 on a 1-instruction program targets one past the end — the
+	// VC generator's convention — and must return like a fall-off.
+	prog := []alpha.Instr{{Op: alpha.BR, Target: 1}}
+	mk := func() *State {
+		s := &State{Mem: NewMemory()}
+		s.R[0] = 5
+		return s
+	}
+	assertSameRun(t, prog, mk, Checked, &DEC21064, 10)
+	c, _ := Compile(prog, &DEC21064)
+	s := mk()
+	res, err := c.Run(s, Checked, 10)
+	if err != nil || res.Ret != 5 || res.Steps != 1 || res.Cycles != int64(DEC21064.BranchTaken) {
+		t.Fatalf("branch to end: res=%+v err=%v", res, err)
+	}
+	if s.PC != len(prog) {
+		t.Fatalf("branch to end: PC=%d want %d", s.PC, len(prog))
+	}
+}
+
+func TestCompiledZeroRegisterFolding(t *testing.T) {
+	// r31 reads fold to zero, r31 conditions fold to constant jumps;
+	// behavior must still match the interpreter instruction for
+	// instruction.
+	prog := []alpha.Instr{
+		{Op: alpha.ADDQ, Ra: alpha.RegZero, Rb: 2, Rc: 0},     // r0 = r2
+		{Op: alpha.BNE, Ra: alpha.RegZero, Target: 4},         // never taken
+		{Op: alpha.BEQ, Ra: alpha.RegZero, Target: 4},         // always taken
+		{Op: alpha.LDA, Ra: 0, Rb: alpha.RegZero, Disp: -1},   // skipped
+		{Op: alpha.ADDQ, Ra: 0, HasLit: true, Lit: 3, Rc: 0},  // r0 += 3
+		{Op: alpha.SUBQ, Ra: 0, Rb: alpha.RegZero, Rc: 1},     // r1 = r0 - 0
+		{Op: alpha.STQ, Ra: alpha.RegZero, Rb: 3, Disp: 0},    // store zero
+		{Op: alpha.RET},
+	}
+	mk := func() *State {
+		mem := NewMemory()
+		mem.MustAddRegion(NewRegion("buf", 0x8000, 16, true))
+		s := &State{Mem: mem}
+		s.R[2] = 39
+		s.R[3] = 0x8000
+		return s
+	}
+	assertSameRun(t, prog, mk, Checked, &DEC21064, 100)
+	c, _ := Compile(prog, &DEC21064)
+	s := mk()
+	res, err := c.Run(s, Checked, 100)
+	if err != nil || res.Ret != 42 || s.R[1] != 42 {
+		t.Fatalf("folding run: res=%+v err=%v r1=%d", res, err, s.R[1])
+	}
+}
+
+func TestCompiledNilCostModel(t *testing.T) {
+	prog := []alpha.Instr{
+		{Op: alpha.LDA, Ra: 0, Rb: alpha.RegZero, Disp: 9},
+		{Op: alpha.RET},
+	}
+	mk := func() *State { return &State{Mem: NewMemory()} }
+	assertSameRun(t, prog, mk, Checked, nil, 100)
+	c, _ := Compile(prog, nil)
+	res, err := c.Run(mk(), Checked, 100)
+	if err != nil || res.Cycles != 0 || res.Ret != 9 {
+		t.Fatalf("nil cost model: res=%+v err=%v", res, err)
+	}
+}
+
+func TestCompiledMidPCEntry(t *testing.T) {
+	prog := []alpha.Instr{
+		{Op: alpha.LDA, Ra: 0, Rb: alpha.RegZero, Disp: 1},
+		{Op: alpha.LDA, Ra: 0, Rb: alpha.RegZero, Disp: 2},
+		{Op: alpha.RET},
+	}
+	c, err := Compile(prog, &DEC21064)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pc := 0; pc <= len(prog); pc++ {
+		si := &State{Mem: NewMemory(), PC: pc}
+		sc := &State{Mem: NewMemory(), PC: pc}
+		resI, errI := Interp(prog, si, Checked, &DEC21064, 100)
+		resC, errC := c.Run(sc, Checked, 100)
+		if resI != resC || (errI == nil) != (errC == nil) {
+			t.Fatalf("entry pc %d: interp=%+v/%v compiled=%+v/%v", pc, resI, errI, resC, errC)
+		}
+	}
+	// Out-of-range entry must surface the interpreter's pc-range error.
+	s := &State{Mem: NewMemory(), PC: -1}
+	if _, err := c.Run(s, Checked, 100); err == nil {
+		t.Fatal("negative entry PC did not fault")
+	}
+}
+
+func TestCompileRejectsMalformedPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []alpha.Instr
+	}{
+		{"unknown op", []alpha.Instr{{Op: alpha.Op(200)}, {Op: alpha.RET}}},
+		{"invalid op zero", []alpha.Instr{{Op: alpha.OpInvalid}, {Op: alpha.RET}}},
+		{"r31 destination", []alpha.Instr{
+			{Op: alpha.ADDQ, Ra: 0, Rb: 0, Rc: alpha.RegZero}, {Op: alpha.RET}}},
+		{"register out of range", []alpha.Instr{
+			{Op: alpha.ADDQ, Ra: 20, Rb: 0, Rc: 0}, {Op: alpha.RET}}},
+		{"branch target out of range", []alpha.Instr{
+			{Op: alpha.BR, Target: 5}, {Op: alpha.RET}}},
+	}
+	for _, tc := range cases {
+		if _, err := Compile(tc.prog, &DEC21064); err == nil {
+			t.Errorf("%s: Compile accepted\n%s", tc.name, alpha.Program(tc.prog))
+		}
+	}
+}
+
+func TestCompiledWritesMemory(t *testing.T) {
+	noStore := []alpha.Instr{
+		{Op: alpha.LDQ, Ra: 0, Rb: 1, Disp: 0},
+		{Op: alpha.RET},
+	}
+	c, err := Compile(noStore, &DEC21064)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WritesMemory() {
+		t.Error("load-only program reported WritesMemory")
+	}
+	withStore := append([]alpha.Instr{
+		{Op: alpha.STQ, Ra: 0, Rb: 3, Disp: 0},
+	}, noStore...)
+	c, err = Compile(withStore, &DEC21064)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.WritesMemory() {
+		t.Error("program with STQ did not report WritesMemory")
+	}
+}
+
+func TestCompiledFuelSentinel(t *testing.T) {
+	prog := []alpha.Instr{
+		{Op: alpha.LDA, Ra: 0, Rb: alpha.RegZero, Disp: 1},
+		{Op: alpha.RET},
+	}
+	c, _ := Compile(prog, &DEC21064)
+	_, err := c.Run(&State{Mem: NewMemory()}, Checked, 1)
+	if !errors.Is(err, ErrFuel) {
+		t.Fatalf("want ErrFuel, got %v", err)
+	}
+}
+
+func TestCompileBlockStructure(t *testing.T) {
+	// Two blocks of straight-line code joined by a conditional, plus
+	// the RET block and the virtual exit.
+	prog := []alpha.Instr{
+		{Op: alpha.LDA, Ra: 0, Rb: alpha.RegZero, Disp: 1}, // block 0
+		{Op: alpha.BEQ, Ra: 0, Target: 4},
+		{Op: alpha.ADDQ, Ra: 0, HasLit: true, Lit: 1, Rc: 0}, // block 1
+		{Op: alpha.RET},
+		{Op: alpha.RET}, // block 2 (branch target)
+	}
+	c, err := Compile(prog, &DEC21064)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != len(prog) {
+		t.Errorf("Len() = %d, want %d", c.Len(), len(prog))
+	}
+	// blocks: [0..1], [2..3], [4], exit
+	if c.NumBlocks() != 4 {
+		t.Errorf("NumBlocks() = %d, want 4", c.NumBlocks())
+	}
+	if len(c.Prog()) != len(prog) {
+		t.Errorf("Prog() length = %d, want %d", len(c.Prog()), len(prog))
+	}
+}

@@ -1,0 +1,76 @@
+package machine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/alpha"
+	"repro/internal/filters"
+	"repro/internal/machine"
+)
+
+// FuzzCompiledDispatch fuzzes (program, packet) pairs through both
+// execution backends and fails on any observable divergence. The
+// program arrives as genuine Alpha machine words — the same decoder
+// surface a PCC binary's code section crosses — so the fuzzer explores
+// the full encodable instruction space, not just what our generators
+// think of. A modest fuel keeps adversarial backward-branch loops
+// cheap while still covering the ErrFuel boundary.
+func FuzzCompiledDispatch(f *testing.F) {
+	for _, flt := range filters.All {
+		code, err := alpha.Encode(filters.Prog(flt))
+		if err != nil {
+			f.Fatal(err)
+		}
+		pkt := make([]byte, 64)
+		pkt[12], pkt[13] = 0x08, 0x00
+		f.Add(code, pkt)
+	}
+	if code, err := alpha.Encode(alpha.MustAssemble(filters.SrcChecksum).Prog); err == nil {
+		f.Add(code, make([]byte, 64))
+	}
+
+	f.Fuzz(func(t *testing.T, code, pkt []byte) {
+		prog, err := alpha.Decode(code)
+		if err != nil || len(prog) == 0 || len(prog) > 512 {
+			t.Skip()
+		}
+		if len(pkt) > 4096 {
+			pkt = pkt[:4096]
+		}
+		c, err := machine.Compile(prog, &machine.DEC21064)
+		if err != nil {
+			// Statically malformed: the install path never executes it
+			// on either backend.
+			t.Skip()
+		}
+		const fuel = 1 << 14
+		env := filters.Env{}
+		for _, mode := range []machine.Mode{machine.Checked, machine.Unchecked} {
+			si := env.NewState(pkt)
+			resI, errI := machine.Interp(prog, si, mode, &machine.DEC21064, fuel)
+			sc := env.NewState(pkt)
+			resC, errC := c.Run(sc, mode, fuel)
+
+			if (errI == nil) != (errC == nil) || (errI != nil && !reflect.DeepEqual(errI, errC)) {
+				t.Fatalf("mode %v: errors diverge: interp=%v compiled=%v\n%s",
+					mode, errI, errC, alpha.Program(prog))
+			}
+			if resI != resC {
+				t.Fatalf("mode %v: results diverge: interp=%+v compiled=%+v\n%s",
+					mode, resI, resC, alpha.Program(prog))
+			}
+			if si.R != sc.R || si.PC != sc.PC {
+				t.Fatalf("mode %v: machine state diverges\n%s", mode, alpha.Program(prog))
+			}
+			bi := si.Mem.Region("scratch").Bytes()
+			bc := sc.Mem.Region("scratch").Bytes()
+			for i := range bi {
+				if bi[i] != bc[i] {
+					t.Fatalf("mode %v: scratch diverges at byte %d\n%s",
+						mode, i, alpha.Program(prog))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/alpha"
+)
+
+// liveIn assembles src and returns the compiled liveness mask.
+func liveIn(t *testing.T, src string) uint32 {
+	t.Helper()
+	a := alpha.MustAssemble(src)
+	c, err := Compile(a.Prog, &DEC21064)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return c.LiveInRegs()
+}
+
+func TestLiveInRegs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want uint32
+	}{
+		{
+			// r4 is read (as a load base) before anything writes it.
+			name: "read before write",
+			src: `
+				LDQ r1, 0(r4)
+				RET
+			`,
+			want: 1<<4 | 1<<0, // r4, plus r0 read by RET
+		},
+		{
+			// r1 is written before the read, so only r0 (RET) is live-in.
+			name: "write kills read",
+			src: `
+				ADDQ r31, 7, r1
+				ADDQ r1, 1, r2
+				RET
+			`,
+			want: 1 << 0,
+		},
+		{
+			// The read of r1 happens on only one path, but liveness is
+			// may-read: it must still be in the mask. r2 feeds the
+			// branch itself.
+			name: "read on one branch",
+			src: `
+				BEQ r2, skip
+				ADDQ r1, 1, r0
+				RET
+			skip:
+				ADDQ r31, 0, r0
+				RET
+			`,
+			want: 1<<1 | 1<<2,
+		},
+		{
+			// r0 written on every path before RET: RET's read is dead.
+			name: "ret covered by writes",
+			src: `
+				ADDQ r31, 1, r0
+				RET
+			`,
+			want: 0,
+		},
+		{
+			// r31 reads never count (it is architecturally zero).
+			name: "rzero exempt",
+			src: `
+				ADDQ r31, r31, r0
+				RET
+			`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := liveIn(t, tc.src); got != tc.want {
+				t.Errorf("LiveInRegs = %#b, want %#b", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLiveInRegsEmptyProgram: a program that falls off the end
+// immediately returns r0, which nothing wrote.
+func TestLiveInRegsEmptyProgram(t *testing.T) {
+	c, err := Compile(nil, &DEC21064)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got := c.LiveInRegs(); got != 1<<0 {
+		t.Errorf("LiveInRegs = %#b, want %#b", got, uint32(1))
+	}
+}

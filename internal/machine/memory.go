@@ -63,6 +63,28 @@ func (r *Region) Resize(size int) {
 // Bytes exposes the region's backing storage (e.g. to copy in a packet).
 func (r *Region) Bytes() []byte { return r.data }
 
+// AliasBytes points the region at caller-owned backing storage without
+// copying — zero-copy dispatch maps a read-only region directly onto a
+// packet buffer. len(b) must be a multiple of 8 (an unaligned tail
+// needs its own region with copied, padded backing); the caller
+// promises b stays unmodified while aliased. The alias persists until
+// the next AliasBytes (Resize may keep the aliased array, so callers
+// that mix the two must re-alias owned storage first).
+func (r *Region) AliasBytes(b []byte) {
+	if len(b)%8 != 0 {
+		// Constant message (no formatting): the inliner charges a bare
+		// panic almost nothing, keeping AliasBytes inlinable into the
+		// dispatch hot loops.
+		panic("machine: AliasBytes length not a multiple of 8")
+	}
+	r.data = b
+}
+
+// Clear sets the region's visible size to zero (it matches no
+// address) without touching the backing storage: Resize(0), minus the
+// sizing logic, small enough to inline.
+func (r *Region) Clear() { r.data = r.data[:0] }
+
 // SetBytes copies b into the start of the region.
 func (r *Region) SetBytes(b []byte) {
 	if len(b) > len(r.data) {
@@ -89,8 +111,13 @@ func (r *Region) SetWord(off int, v uint64) {
 }
 
 // Memory is the machine's memory: a set of non-overlapping regions.
+// Like State, a Memory belongs to one goroutine at a time: lookups
+// maintain a last-hit cache (extensions touch the packet region many
+// times in a row, the scratch region occasionally), so even read-only
+// sharing across goroutines would race.
 type Memory struct {
 	regions []*Region
+	last    *Region // most recently hit region (single-goroutine cache)
 }
 
 // NewMemory creates an empty memory.
@@ -125,8 +152,12 @@ func (m *Memory) Region(name string) *Region {
 }
 
 func (m *Memory) find(addr uint64) *Region {
+	if r := m.last; r != nil && r.contains(addr) {
+		return r
+	}
 	for _, r := range m.regions {
 		if r.contains(addr) {
+			m.last = r
 			return r
 		}
 	}

@@ -48,13 +48,16 @@ const (
 	StageCommit = "commit"
 	// StageDispatch is one DeliverPacket pass over installed filters.
 	StageDispatch = "dispatch"
+	// StageDispatchBatch is one DeliverPackets pass: a whole packet
+	// vector through every installed filter under a single span.
+	StageDispatchBatch = "dispatch_batch"
 )
 
 // Stages lists every built-in pipeline stage, in pipeline order.
 var Stages = []string{
 	StageNegotiate, StageValidate, StageCacheProbe, StageParse,
 	StageVCGen, StageLFSig, StageLFCheck, StageWCET, StageCommit,
-	StageDispatch,
+	StageDispatch, StageDispatchBatch,
 }
 
 // Options configures a Recorder.

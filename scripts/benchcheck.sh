@@ -1,0 +1,35 @@
+#!/bin/sh
+# benchcheck.sh — dispatch-performance regression gate (opt-in:
+# BENCHCHECK=1 make verify, or run directly). Two passes:
+#
+#   1. the newest committed BENCH_*.json must satisfy the gate — the
+#      recorded perf trajectory never regresses silently;
+#   2. a fresh paperbench -json measurement on this host must too —
+#      the current tree still delivers a compiled backend that beats
+#      the interpreter on every shape.
+#
+# The fresh pass uses a relaxed speedup floor (host wall-clock on a
+# loaded or frequency-scaled machine is noisy; the per-shape
+# compiled-not-slower-than-interp ordering is the hard invariant).
+set -eu
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP_COMMITTED=${MIN_SPEEDUP_COMMITTED:-5.0}
+MIN_SPEEDUP_FRESH=${MIN_SPEEDUP_FRESH:-2.0}
+
+echo '== benchcheck: committed baseline'
+committed=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+if [ -z "$committed" ]; then
+	echo "benchcheck: no committed BENCH_*.json baseline" >&2
+	exit 1
+fi
+go run ./cmd/benchcheck -min-speedup "$MIN_SPEEDUP_COMMITTED" "$committed"
+
+echo '== benchcheck: fresh measurement (paperbench -json, 20k packets)'
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/paperbench" ./cmd/paperbench
+go build -o "$tmp/benchcheck" ./cmd/benchcheck
+(cd "$tmp" && ./paperbench -json -packets 20000 && ./benchcheck -min-speedup "$MIN_SPEEDUP_FRESH")
+
+echo 'benchcheck: OK'

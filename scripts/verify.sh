@@ -29,11 +29,14 @@ echo '== fuzz corpora smoke (seed corpora replay)'
 go test -run=Fuzz ./...
 
 # Engage the native fuzzing engine briefly on the two untrusted-input
-# parsers (one package per -fuzz invocation; -run='^$' skips the unit
-# tests already covered above).
+# parsers and on the backend-differential target (random programs
+# through interpreter and compiled backend must agree; one package per
+# -fuzz invocation; -run='^$' skips the unit tests already covered
+# above).
 echo '== native fuzz smoke (5s per target)'
 go test -fuzz=FuzzDecodeBinary -fuzztime=5s -run='^$' ./internal/pccbin/
 go test -fuzz=FuzzLFParse -fuzztime=5s -run='^$' ./internal/lf/
+go test -fuzz=FuzzCompiledDispatch -fuzztime=5s -run='^$' ./internal/machine/
 
 echo '== telemetry smoke (pccmon -telemetry exposition contract)'
 out=$(go run ./cmd/pccmon -packets 2000 -telemetry)
@@ -119,5 +122,18 @@ printf '%s' "$out" | grep -q 'deadline' ||
 # time, not on content).
 go run ./cmd/pccload /tmp/verify.f4.pcc >/dev/null
 rm -f /tmp/verify.f4.pcc
+
+# Backend-differential smoke: the paper corpus through both dispatch
+# backends over a 1,000-packet trace, every verdict cross-checked
+# against the reference semantics. Exits nonzero on any divergence.
+echo '== backend differential smoke (pccload -diff-backends 1000)'
+go run ./cmd/pccload -diff-backends 1000
+
+# Dispatch-performance regression gate, opt-in (it re-measures host
+# wall-clock throughput, which takes a minute and wants a quiet host).
+if [ "${BENCHCHECK:-0}" = "1" ]; then
+	echo '== bench regression gate (BENCHCHECK=1)'
+	sh scripts/benchcheck.sh
+fi
 
 echo 'verify: OK'
