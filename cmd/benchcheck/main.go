@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchcheck [-min-speedup X] [BENCH_file.json ...]
+//	benchcheck [-min-speedup X] [-max-profiling-overhead P] [BENCH_file.json ...]
 //
 // With no file arguments, the newest BENCH_*.json in the current
 // directory is checked. The checks are deliberately about ordering
@@ -17,7 +17,10 @@
 //   - for every dispatch shape measured under both backends, the
 //     compiled backend's packets/sec is at least the interpreter's;
 //   - the recorded dispatch_speedup (batch-compiled over
-//     single-interpreted) meets -min-speedup.
+//     single-interpreted) meets -min-speedup;
+//   - for schema ≥ 3 reports, the recorded profiling_overhead_pct
+//     (compiled throughput lost to always-on per-block profiling)
+//     stays under -max-profiling-overhead.
 package main
 
 import (
@@ -36,6 +39,8 @@ func main() {
 	log.SetPrefix("benchcheck: ")
 	minSpeedup := flag.Float64("min-speedup", 1.0,
 		"minimum dispatch_speedup (batch-compiled over single-interpreted packets/sec)")
+	maxProfOverhead := flag.Float64("max-profiling-overhead", 15.0,
+		"maximum profiling_overhead_pct for schema ≥ 3 reports (percent of compiled throughput)")
 	flag.Parse()
 
 	files := flag.Args()
@@ -49,7 +54,7 @@ func main() {
 
 	failures := 0
 	for _, file := range files {
-		for _, msg := range checkFile(file, *minSpeedup) {
+		for _, msg := range checkFile(file, *minSpeedup, *maxProfOverhead) {
 			failures++
 			fmt.Fprintf(os.Stderr, "FAIL %s: %s\n", file, msg)
 		}
@@ -90,7 +95,7 @@ func listReports(dir string) ([]string, error) {
 }
 
 // checkFile returns the list of failed-check messages for one report.
-func checkFile(file string, minSpeedup float64) []string {
+func checkFile(file string, minSpeedup, maxProfOverhead float64) []string {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return []string{err.Error()}
@@ -134,6 +139,18 @@ func checkFile(file string, minSpeedup float64) []string {
 	if rep.DispatchSpeedup < minSpeedup {
 		msgs = append(msgs, fmt.Sprintf(
 			"dispatch_speedup %.2fx below floor %.2fx", rep.DispatchSpeedup, minSpeedup))
+	}
+
+	// Schema 3 added the observability section: always-on compiled
+	// profiling must stay within the overhead budget.
+	if rep.Schema >= 3 {
+		if len(rep.Observability) == 0 {
+			msgs = append(msgs, "observability section is empty (schema ≥ 3 requires it)")
+		} else if rep.ProfilingOverheadPct > maxProfOverhead {
+			msgs = append(msgs, fmt.Sprintf(
+				"profiling_overhead_pct %.1f%% above ceiling %.1f%%",
+				rep.ProfilingOverheadPct, maxProfOverhead))
+		}
 	}
 	return msgs
 }

@@ -7,6 +7,7 @@
 //
 //	paperbench [-packets N] [-fig7] [-table1] [-stages] [-fig8] [-fig9] [-checksum] [-sfipcc]
 //	paperbench -dispatch [-backend interp|compiled]   # backend × shape throughput matrix
+//	paperbench -observability                         # instrumentation overhead matrix
 //	paperbench -json [-packets N]   # write BENCH_<timestamp>.json
 //
 // With no selection flags, everything runs (the full Figure 8/9 pass
@@ -44,6 +45,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "validation pipeline: proof cache + concurrent batch install")
 	dispatch := flag.Bool("dispatch", false, "dispatch throughput: backend × shape matrix (host wall-clock)")
 	backend := flag.String("backend", "", "restrict -dispatch to one backend: interp or compiled (default both)")
+	observability := flag.Bool("observability", false, "observability overhead: dispatch throughput with profiling/observers toggled")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_<timestamp>.json and exit")
 	flag.Parse()
 
@@ -68,7 +70,7 @@ func main() {
 		return
 	}
 
-	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch)
+	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch || *observability)
 
 	if all || *fig7 {
 		cert, err := bench.Fig7()
@@ -147,6 +149,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatDispatch(rows))
+	}
+	if all || *observability {
+		n := *packets
+		if n > 50000 {
+			n = 50000 // host wall-clock; enough packets for a stable rate
+		}
+		rows, err := bench.Observability(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatObservability(rows))
 	}
 	if all || *ablation {
 		rows, err := bench.EncodingAblation()

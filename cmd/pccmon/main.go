@@ -9,6 +9,7 @@
 // Usage:
 //
 //	pccmon [-packets N] [-pcap trace.pcap] [-filter name=file.pcc]...
+//	       [-backend interp|compiled] [-flightrecorder]
 //	       [-telemetry [-slowest N] [-trace-out spans.jsonl]]
 //	       [-serve :6060 [-pps N] [-audit-out audit.jsonl]]
 //
@@ -25,6 +26,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/filters"
 	"repro/internal/kernel"
@@ -43,6 +45,8 @@ func main() {
 	seed := flag.Uint64("seed", 1996, "synthetic trace seed")
 	budget := flag.Int64("budget", 0, "per-packet worst-case cycle budget enforced at install (0 = off)")
 	telem := flag.Bool("telemetry", false, "attach a telemetry recorder; dump the metrics exposition page and slowest validations")
+	backendFlag := flag.String("backend", "interp", "execution backend for installed filters (interp or compiled)")
+	flightRec := flag.Bool("flightrecorder", false, "attach a dispatch flight recorder; dump the anomaly ring after the run")
 	slowest := flag.Int("slowest", 5, "with -telemetry, how many slowest validations to list")
 	traceOut := flag.String("trace-out", "", "with -telemetry, write the span trace as JSON-lines to a file")
 	serve := flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :6060) instead of a one-shot report")
@@ -71,6 +75,18 @@ func main() {
 	if *telem {
 		rec = telemetry.New()
 		k.SetRecorder(rec)
+	}
+	var fr *telemetry.FlightRecorder
+	if *flightRec {
+		fr = telemetry.NewFlightRecorder(0)
+		k.SetFlightRecorder(fr)
+	}
+	be, err := kernel.ParseBackend(*backendFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.SetBackend(be); err != nil {
+		log.Fatal(err)
 	}
 	if *budget > 0 {
 		k.SetCycleBudget(kernel.CycleBudget(*budget))
@@ -153,6 +169,28 @@ func main() {
 
 	if rec != nil {
 		reportTelemetry(rec, *slowest, *traceOut)
+	}
+	if fr != nil {
+		reportFlightRecorder(fr)
+	}
+}
+
+// reportFlightRecorder dumps the anomaly ring: a human-readable event
+// line per retained event, oldest first, plus the ring accounting.
+// With nothing abnormal in the run the timeline is just the config
+// changes — which is itself the finding.
+func reportFlightRecorder(fr *telemetry.FlightRecorder) {
+	evs := fr.Events()
+	fmt.Printf("\n== flight recorder (%d events retained, %d recorded, %d dropped) ==\n",
+		len(evs), fr.Appended(), fr.Dropped())
+	for _, e := range evs {
+		owner := e.Owner
+		if owner == "" {
+			owner = "-"
+		}
+		fmt.Printf("%6d  %s  %-18s %-14s %s\n", e.Seq,
+			time.Unix(0, e.TimeUnixNanos).Format("15:04:05.000000"),
+			e.Kind, owner, e.Detail)
 	}
 }
 

@@ -3,14 +3,16 @@
 // keeps a synthetic packet stream flowing through the installed
 // filters, and serves the monitoring endpoints over HTTP:
 //
-//	/healthz              liveness: 200 once filters are installed
-//	/metrics              Prometheus text exposition (telemetry recorder)
-//	/debug/vars           JSON snapshot: kernel stats, traffic, telemetry
-//	/debug/pprof/*        the host Go runtime's own profiles
-//	/debug/pprof/filters  pprof-compatible *simulated* profile: cycles
-//	                      per Alpha instruction across installed filters
-//	/profile/             index of profiled filters
-//	/profile/{filter}     annotated disassembly with cycle attribution
+//	/healthz               liveness: 200 once filters are installed
+//	/metrics               Prometheus text exposition (telemetry recorder)
+//	/debug/vars            JSON snapshot: kernel stats, traffic, telemetry
+//	/debug/flightrecorder  JSON ring of the last dispatch anomalies and
+//	                       config changes, oldest first
+//	/debug/pprof/*         the host Go runtime's own profiles
+//	/debug/pprof/filters   pprof-compatible *simulated* profile: cycles
+//	                       per Alpha instruction across installed filters
+//	/profile/              index of profiled filters
+//	/profile/{filter}      annotated disassembly with cycle attribution
 //
 // The process runs until SIGINT/SIGTERM and then shuts the listener
 // down gracefully. Every install/reject decision made while serving
@@ -49,6 +51,7 @@ import (
 type monitor struct {
 	k     *kernel.Kernel
 	rec   *telemetry.Recorder
+	fr    *telemetry.FlightRecorder
 	start time.Time
 
 	packets atomic.Int64 // synthetic packets delivered
@@ -57,12 +60,28 @@ type monitor struct {
 }
 
 // bootMonitor builds a kernel with the full observability stack
-// attached (telemetry recorder, audit logger, cycle profiler) and
-// installs the paper filters plus any user-supplied binaries.
+// attached (telemetry recorder, audit logger, flight recorder, cycle
+// profiler, compiled backend) and installs the paper filters plus any
+// user-supplied binaries.
 func bootMonitor(auditLog *slog.Logger, budget int64, extra map[string]string) (*monitor, error) {
-	m := &monitor{k: kernel.New(), rec: telemetry.New(), start: time.Now()}
+	m := &monitor{
+		k:     kernel.New(),
+		rec:   telemetry.New(),
+		fr:    telemetry.NewFlightRecorder(0),
+		start: time.Now(),
+	}
 	m.k.SetRecorder(m.rec)
 	m.k.SetAuditLog(auditLog)
+	// The flight recorder attaches before the posture changes below so
+	// its timeline starts with the boot configuration.
+	m.k.SetFlightRecorder(m.fr)
+	// Serve on the compiled backend with profiling attached: profiled
+	// threaded code is the always-on production posture this monitor
+	// demonstrates (profiling no longer reroutes dispatch to the
+	// interpreter).
+	if err := m.k.SetBackend(kernel.BackendCompiled); err != nil {
+		return nil, err
+	}
 	m.k.SetProfiling(true)
 	// A served kernel faces untrusted producers: repeated rejections
 	// embargo the offending owner with exponential backoff. The embargo
@@ -99,7 +118,9 @@ func bootMonitor(auditLog *slog.Logger, budget int64, extra map[string]string) (
 
 // pump delivers an endless synthetic trace through the kernel at
 // roughly pps packets/second until ctx is cancelled, so the live
-// endpoints always have fresh traffic behind them.
+// endpoints always have fresh traffic behind them. Each tick goes
+// through the vectorized batch path, the one production dispatch uses
+// — and the one that feeds the per-filter latency histograms.
 func (m *monitor) pump(ctx context.Context, seed uint64, pps int) {
 	const tick = 20 * time.Millisecond
 	batch := pps / int(time.Second/tick)
@@ -108,6 +129,7 @@ func (m *monitor) pump(ctx context.Context, seed uint64, pps int) {
 	}
 	t := time.NewTicker(tick)
 	defer t.Stop()
+	raw := make([][]byte, 0, batch)
 	for gen := 0; ; gen++ {
 		select {
 		case <-ctx.Done():
@@ -115,16 +137,20 @@ func (m *monitor) pump(ctx context.Context, seed uint64, pps int) {
 		case <-t.C:
 		}
 		pkts := pktgen.Generate(batch, pktgen.Config{Seed: seed + uint64(gen)})
+		raw = raw[:0]
+		var bytes int64
 		for _, p := range pkts {
-			if _, err := m.k.DeliverPacket(p); err != nil {
-				// Validated filters cannot fault; if one does the
-				// monitor is broken and should say so loudly.
-				log.Printf("deliver: %v", err)
-				return
-			}
-			m.packets.Add(1)
-			m.bytes.Add(int64(p.Len()))
+			raw = append(raw, p.Data)
+			bytes += int64(p.Len())
 		}
+		if _, err := m.k.DeliverPackets(raw); err != nil {
+			// Validated filters cannot fault; if one does the
+			// monitor is broken and should say so loudly.
+			log.Printf("deliver: %v", err)
+			return
+		}
+		m.packets.Add(int64(len(raw)))
+		m.bytes.Add(bytes)
 	}
 }
 
@@ -135,6 +161,7 @@ func (m *monitor) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", m.handleHealthz)
 	mux.HandleFunc("/metrics", m.handleMetrics)
 	mux.HandleFunc("/debug/vars", m.handleVars)
+	mux.HandleFunc("/debug/flightrecorder", m.handleFlightRecorder)
 	mux.HandleFunc("/profile/", m.handleProfile)
 	// Host-process profiles from the Go runtime, plus the simulated
 	// filter profile alongside them (the monitor observes two machines:
@@ -180,6 +207,10 @@ func (m *monitor) handleVars(w http.ResponseWriter, _ *http.Request) {
 		"quarantined":      m.k.Quarantined(),
 		"extension_micros": machine.Micros(st.ExtensionCycles),
 		"telemetry":        m.rec.Snapshot(false),
+		"flight_recorder": map[string]int64{
+			"appended": m.fr.Appended(),
+			"dropped":  m.fr.Dropped(),
+		},
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
@@ -213,6 +244,16 @@ func (m *monitor) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	io.WriteString(w, snap.AnnotatedListing())
+}
+
+// handleFlightRecorder serves the dispatch flight recorder's ring as
+// one JSON document: capacity, appended/dropped accounting, and the
+// retained anomaly events oldest first.
+func (m *monitor) handleFlightRecorder(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := m.fr.WriteJSON(w); err != nil {
+		log.Printf("flight recorder: %v", err)
+	}
 }
 
 // handleFilterProfile serves the simulated-machine pprof profile:

@@ -100,6 +100,43 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("/metrics gauge did not rise:\n%s", body)
 	}
 
+	// Batch dispatch feeds the per-owner latency family.
+	if _, body = get(t, srv.URL+"/metrics"); !strings.Contains(body, `pcc_filter_run_seconds_bucket{filter="Filter 1"`) {
+		t.Fatalf("/metrics missing per-filter latency family:\n%s", body)
+	}
+
+	// The flight recorder saw the boot config changes and the embargo.
+	code, body = get(t, srv.URL+"/debug/flightrecorder")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder: %d", code)
+	}
+	var flight struct {
+		Capacity int `json:"capacity"`
+		Appended int `json:"appended"`
+		Events   []struct {
+			Kind  string `json:"kind"`
+			Owner string `json:"owner"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &flight); err != nil {
+		t.Fatalf("/debug/flightrecorder not JSON: %v\n%s", err, body)
+	}
+	if flight.Capacity <= 0 || flight.Appended == 0 {
+		t.Fatalf("flight recorder empty: %+v", flight)
+	}
+	kinds := map[string]bool{}
+	for _, e := range flight.Events {
+		kinds[e.Kind] = true
+	}
+	if !kinds["config_change"] || !kinds["quarantine"] {
+		t.Fatalf("flight recorder missing boot config / quarantine events: %+v", flight.Events)
+	}
+
+	// Config changes are audited too.
+	if !strings.Contains(audit.String(), `"event":"config"`) {
+		t.Fatalf("boot config changes not audited:\n%s", audit.String())
+	}
+
 	code, body = get(t, srv.URL+"/profile/")
 	if code != http.StatusOK || !strings.Contains(body, "/profile/Filter 1") {
 		t.Fatalf("/profile/ index: %d %q", code, body)

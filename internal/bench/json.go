@@ -15,7 +15,9 @@ import (
 
 // ReportSchema versions the JSON layout; bump on incompatible change.
 // 2: added the dispatch section (backend × shape throughput matrix).
-const ReportSchema = 2
+// 3: added the observability section (instrumentation overhead matrix
+// and the headline profiling_overhead_pct).
+const ReportSchema = 3
 
 // Table1JSON is one Table 1 row with durations in nanoseconds.
 type Table1JSON struct {
@@ -71,6 +73,22 @@ type DispatchJSON struct {
 	Accepted    int     `json:"accepted"`
 }
 
+// ObservabilityJSON is one row of the instrumentation-overhead
+// matrix: vectorized-dispatch throughput with profiling and the
+// telemetry observers toggled (see observability.go).
+type ObservabilityJSON struct {
+	Config      string  `json:"config"`  // e.g. compiled+prof
+	Backend     string  `json:"backend"` // interp | compiled
+	Profiling   bool    `json:"profiling"`
+	Observers   bool    `json:"observers"` // recorder + flight recorder
+	Packets     int     `json:"packets"`
+	Filters     int     `json:"filters"`
+	WallNs      int64   `json:"wall_ns"`
+	NsPerPacket float64 `json:"ns_per_packet"`
+	PPS         float64 `json:"packets_per_sec"`
+	Accepted    int     `json:"accepted"`
+}
+
 // Report is the whole document.
 type Report struct {
 	Schema    int            `json:"schema"`
@@ -85,6 +103,11 @@ type Report struct {
 	// DispatchSpeedup is the headline batch-compiled over
 	// single-interpreted packets/sec ratio.
 	DispatchSpeedup float64 `json:"dispatch_speedup"`
+	// Observability is the instrumentation-overhead matrix;
+	// ProfilingOverheadPct is its headline: the percentage of
+	// unprofiled compiled throughput lost to per-block profiling.
+	Observability        []ObservabilityJSON `json:"observability"`
+	ProfilingOverheadPct float64             `json:"profiling_overhead_pct"`
 }
 
 // cyclesPerMicro converts the paper's microsecond axis back to cycles
@@ -193,6 +216,26 @@ func BuildReport(n int, now time.Time) (*Report, error) {
 		})
 	}
 	rep.DispatchSpeedup = DispatchSpeedup(disp)
+
+	obs, err := Observability(dn)
+	if err != nil {
+		return nil, fmt.Errorf("observability: %w", err)
+	}
+	for _, r := range obs {
+		rep.Observability = append(rep.Observability, ObservabilityJSON{
+			Config:      r.Config(),
+			Backend:     r.Backend,
+			Profiling:   r.Profiling,
+			Observers:   r.Observers,
+			Packets:     r.Packets,
+			Filters:     r.Filters,
+			WallNs:      r.Wall.Nanoseconds(),
+			NsPerPacket: r.NsPerPacket(),
+			PPS:         r.PPS(),
+			Accepted:    r.Accepted,
+		})
+	}
+	rep.ProfilingOverheadPct = ProfilingOverheadPct(obs)
 	return rep, nil
 }
 

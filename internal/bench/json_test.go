@@ -66,6 +66,24 @@ func TestBuildReport(t *testing.T) {
 		}
 	}
 
+	// Schema 3: the observability matrix with the fully observed
+	// posture last, verdicts agreeing across every instrumentation.
+	if len(rep.Observability) != 5 {
+		t.Fatalf("observability matrix has %d rows, want 5", len(rep.Observability))
+	}
+	for _, r := range rep.Observability {
+		if r.Packets != 40 || r.Filters != 4 || r.WallNs <= 0 || r.PPS <= 0 {
+			t.Errorf("implausible observability row: %+v", r)
+		}
+		if r.Accepted != rep.Observability[0].Accepted {
+			t.Errorf("observability accepts diverge: %+v vs %+v", r, rep.Observability[0])
+		}
+	}
+	last := rep.Observability[4]
+	if last.Config != "compiled+prof+obs" || !last.Observers || !last.Profiling {
+		t.Errorf("fully observed posture missing or mislabeled: %+v", last)
+	}
+
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,210 @@
+// Observability overhead: what always-on profiling and telemetry cost
+// on the dispatch hot path. The repo's claim is that compiled-backend
+// profiling is cheap enough to leave on in production — per-block
+// counters batched in the threaded-code runner, expanded and merged
+// once per batch — instead of rerouting dispatch to the interpreter.
+// This benchmark measures that claim: vectorized dispatch throughput
+// across backend × profiling configurations, plus the fully
+// instrumented posture (profiling + telemetry recorder + flight
+// recorder, the `pccmon -serve` boot state). Every configuration's
+// verdicts are cross-checked against the pure-Go reference, so a
+// number from a diverging instrumented backend can never be reported.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/kernel"
+	"repro/internal/telemetry"
+)
+
+// ObservabilityRow is one instrumentation configuration's measured
+// vectorized-dispatch throughput.
+type ObservabilityRow struct {
+	Backend   string // "interp" | "compiled"
+	Profiling bool   // per-block cycle profiling enabled
+	Observers bool   // telemetry recorder + flight recorder attached
+	Packets   int
+	Filters   int
+	Wall      time.Duration
+	Accepted  int
+}
+
+// Config names the configuration for display and JSON.
+func (r ObservabilityRow) Config() string {
+	s := r.Backend
+	if r.Profiling {
+		s += "+prof"
+	} else {
+		s += "+plain"
+	}
+	if r.Observers {
+		s += "+obs"
+	}
+	return s
+}
+
+// NsPerPacket is the measured host cost of dispatching one packet
+// through all installed filters under this configuration.
+func (r ObservabilityRow) NsPerPacket() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.Wall.Nanoseconds()) / float64(r.Packets)
+}
+
+// PPS is the measured host packets-per-second throughput.
+func (r ObservabilityRow) PPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Packets) / r.Wall.Seconds()
+}
+
+// observabilityConfigs is the measurement matrix in display order:
+// each backend plain then profiled, the fully observed posture last.
+var observabilityConfigs = []struct {
+	backend   kernel.Backend
+	profiling bool
+	observers bool
+}{
+	{kernel.BackendInterp, false, false},
+	{kernel.BackendInterp, true, false},
+	{kernel.BackendCompiled, false, false},
+	{kernel.BackendCompiled, true, false},
+	{kernel.BackendCompiled, true, true},
+}
+
+// Observability measures vectorized dispatch throughput across the
+// instrumentation matrix over an n-packet trace with the four paper
+// filters installed through the full certify→validate path. Rounds
+// are interleaved across configurations (DispatchTrials of them) and
+// each configuration's best is reported, same as Dispatch.
+func Observability(n int) ([]ObservabilityRow, error) {
+	pkts := Trace(n)
+	raw := make([][]byte, len(pkts))
+	for i, p := range pkts {
+		raw[i] = p.Data
+	}
+
+	// Reference verdict census: every configuration must reproduce it.
+	wantAccepts := 0
+	for _, p := range pkts {
+		for _, f := range filters.All {
+			if filters.Reference(f, p.Data) {
+				wantAccepts++
+			}
+		}
+	}
+
+	kernels := make([]*kernel.Kernel, len(observabilityConfigs))
+	for ci, cfg := range observabilityConfigs {
+		k := kernel.New()
+		if cfg.observers {
+			k.SetRecorder(telemetry.New())
+			k.SetFlightRecorder(telemetry.NewFlightRecorder(0))
+		}
+		if err := k.SetBackend(cfg.backend); err != nil {
+			return nil, err
+		}
+		for _, f := range filters.All {
+			cert, err := pcc.Certify(filters.Source(f), k.FilterPolicy(), nil)
+			if err != nil {
+				return nil, fmt.Errorf("%v: %w", f, err)
+			}
+			if err := k.InstallFilter(fmt.Sprintf("proc-%d", f), cert.Binary); err != nil {
+				return nil, fmt.Errorf("%v: %w", f, err)
+			}
+		}
+		// Profiling goes on after install so the accumulators exist
+		// before the first timed round, as they would in production.
+		k.SetProfiling(cfg.profiling)
+		kernels[ci] = k
+	}
+
+	rows := make([]ObservabilityRow, len(observabilityConfigs))
+	for trial := 0; trial < DispatchTrials; trial++ {
+		for ci, cfg := range observabilityConfigs {
+			runtime.GC()
+
+			k := kernels[ci]
+			accepted := 0
+			start := time.Now()
+			for lo := 0; lo < len(raw); lo += DispatchBatchSize {
+				hi := lo + DispatchBatchSize
+				if hi > len(raw) {
+					hi = len(raw)
+				}
+				out, err := k.DeliverPackets(raw[lo:hi])
+				if err != nil {
+					return nil, err
+				}
+				for _, acc := range out {
+					accepted += len(acc)
+				}
+			}
+			wall := time.Since(start)
+
+			if accepted != wantAccepts {
+				return nil, fmt.Errorf("observability %s: %d accepts, reference says %d",
+					rows[ci].Config(), accepted, wantAccepts)
+			}
+			if trial == 0 || wall < rows[ci].Wall {
+				rows[ci] = ObservabilityRow{
+					Backend:   cfg.backend.String(),
+					Profiling: cfg.profiling,
+					Observers: cfg.observers,
+					Packets:   len(pkts),
+					Filters:   len(filters.All),
+					Wall:      wall,
+					Accepted:  accepted,
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ProfilingOverheadPct is the headline number: the throughput lost to
+// per-block profiling on the compiled backend, as a percentage of the
+// unprofiled compiled rate. Zero when either row is missing.
+func ProfilingOverheadPct(rows []ObservabilityRow) float64 {
+	var plain, prof float64
+	for _, r := range rows {
+		if r.Backend != "compiled" || r.Observers {
+			continue
+		}
+		if r.Profiling {
+			prof = r.PPS()
+		} else {
+			plain = r.PPS()
+		}
+	}
+	if plain <= 0 || prof <= 0 {
+		return 0
+	}
+	return (plain - prof) / plain * 100
+}
+
+// FormatObservability renders the instrumentation matrix with the
+// headline profiling-overhead percentage.
+func FormatObservability(rows []ObservabilityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Observability overhead: batch%d dispatch under instrumentation (%d filters)\n",
+		DispatchBatchSize, len(filters.All))
+	fmt.Fprintf(&b, "%-20s %10s %12s %14s %10s\n",
+		"config", "packets", "ns/packet", "packets/sec", "accepts")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %10d %12.1f %14.0f %10d\n",
+			r.Config(), r.Packets, r.NsPerPacket(), r.PPS(), r.Accepted)
+	}
+	if pct := ProfilingOverheadPct(rows); pct != 0 {
+		fmt.Fprintf(&b, "compiled profiling overhead: %.1f%% of unprofiled compiled throughput\n", pct)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProfilingOverheadPct pins the headline arithmetic on synthetic
+// rows: overhead is the profiled-compiled throughput shortfall as a
+// percentage of the unprofiled compiled rate, ignoring the observed
+// posture and the interpreter rows.
+func TestProfilingOverheadPct(t *testing.T) {
+	rows := []ObservabilityRow{
+		{Backend: "interp", Profiling: false, Packets: 1000, Wall: 10 * time.Millisecond},
+		{Backend: "interp", Profiling: true, Packets: 1000, Wall: 20 * time.Millisecond},
+		{Backend: "compiled", Profiling: false, Packets: 1000, Wall: 1 * time.Millisecond},
+		{Backend: "compiled", Profiling: true, Packets: 1000, Wall: 1100 * time.Microsecond},
+		{Backend: "compiled", Profiling: true, Observers: true, Packets: 1000, Wall: 5 * time.Millisecond},
+	}
+	got := ProfilingOverheadPct(rows)
+	// plain = 1e6 pps, prof = 1e6/1.1 pps → (1 - 1/1.1)*100 ≈ 9.09%.
+	if got < 9.0 || got > 9.2 {
+		t.Fatalf("ProfilingOverheadPct = %.3f, want ≈ 9.09", got)
+	}
+	// Missing either compiled row: no number rather than a wrong one.
+	if pct := ProfilingOverheadPct(rows[:3]); pct != 0 {
+		t.Fatalf("overhead without a profiled row = %.3f, want 0", pct)
+	}
+
+	text := FormatObservability(rows)
+	for _, want := range []string{"interp+plain", "interp+prof", "compiled+plain",
+		"compiled+prof", "compiled+prof+obs", "profiling overhead"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatObservability missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestObservabilityMeasures runs the real matrix over a tiny trace:
+// all five configurations must dispatch, agree with the reference
+// verdicts (checked inside Observability), and report positive walls.
+func TestObservabilityMeasures(t *testing.T) {
+	rows, err := Observability(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Wall <= 0 || r.Packets != 64 || r.PPS() <= 0 {
+			t.Errorf("implausible row: %+v", r)
+		}
+		if r.Accepted != rows[0].Accepted {
+			t.Errorf("verdicts diverge across instrumentation: %+v vs %+v", r, rows[0])
+		}
+	}
+}

@@ -187,6 +187,22 @@ func (a *auditor) quarantine(qe *QuarantineError) {
 	)
 }
 
+// configChange records an operator changing the kernel's posture:
+// backend, profiling, validation limits, quarantine policy. The old
+// and new values make the log a self-contained timeline of what the
+// kernel was running with at any moment.
+func (a *auditor) configChange(setting, oldVal, newVal string) {
+	if a == nil {
+		return
+	}
+	a.log.Info("pcc config",
+		slog.String("event", "config"),
+		slog.String("setting", setting),
+		slog.String("old", oldVal),
+		slog.String("new", newVal),
+	)
+}
+
 // negotiate records a §4 policy-negotiation verdict.
 func (a *auditor) negotiate(pol *policy.Policy, err error) {
 	if a == nil {

@@ -1,17 +1,20 @@
 // Execution-backend selection. The kernel can run validated filters
 // on either of two backends with identical observable behavior:
 //
-//   - BackendInterp: the reference interpreter (machine.Interp), also
-//     the only path with per-PC cycle attribution (profile.go).
+//   - BackendInterp: the reference interpreter (machine.Interp).
 //   - BackendCompiled: threaded code (machine.Compile), built once per
 //     validated binary at install time — after the proof check — and
 //     memoized on the proof-cache slot, so a fleet re-installing one
 //     binary compiles it once the same way it proof-checks it once.
 //
-// The interpreter stays authoritative: profiling runs always take it,
-// the differential suites compare against it, and disabling the
-// compiled backend is a one-call rollback (SetBackend retrofits every
-// installed filter in either direction).
+// Both backends carry per-PC cycle attribution (profile.go): the
+// interpreter through machine.InterpProfiled, threaded code through
+// machine.Compiled.RunProfiled, with bit-identical attribution — so
+// enabling profiling never changes which backend dispatches. The
+// interpreter stays authoritative: the differential suites compare
+// against it, and disabling the compiled backend is a one-call
+// rollback (SetBackend retrofits every installed filter in either
+// direction).
 package kernel
 
 import (
@@ -87,6 +90,7 @@ func (k *Kernel) SetBackend(b Backend) error {
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	old := Backend(k.backend.Load())
 	if b == BackendCompiled {
 		fresh := make(map[string]*machine.Compiled, len(k.filters))
 		for owner, f := range k.filters {
@@ -115,6 +119,7 @@ func (k *Kernel) SetBackend(b Backend) error {
 		}
 	}
 	k.backend.Store(int32(b))
+	k.configChange("backend", old.String(), b.String())
 	return nil
 }
 
@@ -139,13 +144,19 @@ func (k *Kernel) InstallFilterWithBackend(ctx context.Context, owner string, bin
 }
 
 // runInstalled executes one installed filter on a prepared state with
-// the dispatch budget, choosing profiled interpretation, threaded
-// code, or the plain interpreter. wrote reports whether the run may
+// the dispatch budget. The filter's own backend decides how it runs —
+// threaded code when a compiled form is attached, the interpreter
+// otherwise — and profiling layers attribution onto whichever backend
+// the filter has, never rerouting it. wrote reports whether the run may
 // have written scratch memory (threaded code knows statically; the
 // interpreter paths conservatively report true), which lets pooled
 // dispatch skip the next scratch wipe.
 func runInstalled(f *installed, state *machine.State, profiling bool) (res machine.Result, wrote bool, err error) {
 	if profiling && f.prof != nil {
+		if c := f.compiled; c != nil {
+			res, err = f.prof.runCompiled(c, state, dispatchFuel)
+			return res, c.WritesMemory(), err
+		}
 		res, err = f.prof.run(state, dispatchFuel)
 		return res, true, err
 	}

@@ -12,6 +12,8 @@ package kernel
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/pktgen"
@@ -19,18 +21,28 @@ import (
 )
 
 // prefetchSink keeps the software-prefetch loads in DeliverPackets
-// observable so the compiler cannot eliminate them.
-var prefetchSink byte
+// observable so the compiler cannot eliminate them. Atomic because
+// concurrent batches all store to it (the value is meaningless; only
+// the store's existence matters).
+var prefetchSink atomic.Uint32
 
 // fslot is one filter in the batch snapshot, pre-sorted by owner so
 // per-packet accept lists come out sorted for free. c caches the
-// filter's compiled form (nil when absent or when profiling forces
-// the interpreter), hoisting the backend decision out of the
-// per-(packet, filter) loop.
+// filter's compiled form (nil when absent), hoisting the backend
+// decision out of the per-(packet, filter) loop.
 type fslot struct {
 	owner string
 	f     *installed
 	c     *machine.Compiled
+	// bp accumulates per-block profile counts for the whole batch when
+	// the filter profiles on the compiled backend; the per-PC expansion
+	// and atomic merge happen once per batch in flush. runs counts the
+	// profiled executions fed into bp since the snapshot.
+	bp   *machine.BlockProfile
+	runs int64
+	// hist is the filter's per-owner dispatch-latency histogram
+	// (pcc_filter_run_seconds{filter=owner}), nil with no recorder.
+	hist *telemetry.Histogram
 	// lite: the compiled form's liveness analysis proved the filter
 	// reads only the preset registers, so the cheap between-runs
 	// resetLite suffices.
@@ -60,14 +72,24 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 	// sorting accepted owners once per packet. The snapshot and the
 	// per-filter accumulators live in the pooled environment, so a
 	// batch's only allocation is its result.
+	wantCompiled := Backend(k.backend.Load()) == BackendCompiled
 	slots := env.slots[:0]
 	for owner, f := range k.filters {
 		c := f.compiled
-		if profiling {
-			c = nil
+		sl := fslot{owner: owner, f: f, c: c}
+		sl.lite = c != nil && c.LiveInRegs()&^presetRegs == 0
+		if profiling && f.prof != nil && c != nil {
+			// Compiled profiling: one pooled BlockProfile accumulates
+			// the whole batch; flush expands and merges it once.
+			sl.bp = f.prof.getBlockScratch(c)
 		}
-		lite := c != nil && c.LiveInRegs()&^presetRegs == 0
-		slots = append(slots, fslot{owner, f, c, lite})
+		sl.hist = tel.filterHist(owner)
+		if c == nil && wantCompiled {
+			// The kernel's default backend is compiled but this filter
+			// has no compiled form — it will dispatch interpreted.
+			k.flight(telemetry.FlightBackendFallback, owner, "no compiled form; dispatching interpreted")
+		}
+		slots = append(slots, sl)
 	}
 	for i := 1; i < len(slots); i++ {
 		for j := i; j > 0 && slots[j].owner < slots[j-1].owner; j-- {
@@ -100,6 +122,12 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 				sl.f.accepts.Add(accepts[i])
 			}
 			tel.filterRunBatch(sl.owner, cycles[i], accepts[i])
+			if sl.bp != nil {
+				// One expansion + atomic merge per filter per batch;
+				// the pooled environment must not pin the scratch.
+				sl.f.prof.flushBlocks(sl.bp, sl.runs)
+				slots[i].bp = nil
+			}
 		}
 	}
 
@@ -124,14 +152,28 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 	// worth of DRAM latency per ~10 packets; issued one at a time from
 	// inside the dispatch loop each would serialize against the filter
 	// runs. The batch's header lines (64 KiB) stay cache-resident for
-	// the dispatch loop below.
+	// the dispatch loop below. Under profiling the sweep also touches
+	// each unaligned packet's final byte: eager tail materialization
+	// (below) will read that line, and overlapping its miss here keeps
+	// it off the per-packet critical path.
 	var sink byte
-	for _, p := range pkts {
-		if len(p) > 0 {
-			sink += p[0]
+	if profiling {
+		for _, p := range pkts {
+			if len(p) > 0 {
+				sink += p[0]
+				if len(p)&7 != 0 {
+					sink += p[len(p)-1]
+				}
+			}
+		}
+	} else {
+		for _, p := range pkts {
+			if len(p) > 0 {
+				sink += p[0]
+			}
 		}
 	}
-	prefetchSink = sink
+	prefetchSink.Store(uint32(sink))
 
 	for pi, data := range pkts {
 		usePool := len(data) <= maxPooledPacket
@@ -139,6 +181,15 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 			// Zero-copy: the packet region aliases the caller's bytes
 			// for the duration of this packet's runs.
 			env.setPacketAlias(data)
+			if profiling && env.tailSrc != nil {
+				// Under profiling, materialize the tail word eagerly: a
+				// tail-fault retry would attribute the aborted run's
+				// retired prefix a second time, skewing the counts the
+				// differential suite holds bit-exact.
+				env.materializeTail()
+			}
+		} else {
+			k.flight(telemetry.FlightOversizePacket, "", fmt.Sprintf("len=%d", len(data)))
 		}
 		for si := range slots {
 			f := slots[si].f
@@ -156,12 +207,22 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 			} else {
 				state = k.packetState(pktgen.Packet{Data: data})
 			}
+			h := slots[si].hist
+			var t0 time.Time
+			if h != nil {
+				t0 = time.Now()
+			}
 			var res machine.Result
 			var err error
 			// runInstalled, unrolled so the backend branch and the
 			// dirty-scratch decision stay out of the per-op path.
 			if c := slots[si].c; c != nil {
-				res, err = c.Run(state, machine.Unchecked, dispatchFuel)
+				if bp := slots[si].bp; bp != nil {
+					res, err = c.RunProfiled(state, machine.Unchecked, dispatchFuel, bp)
+					slots[si].runs++
+				} else {
+					res, err = c.Run(state, machine.Unchecked, dispatchFuel)
+				}
 				if usePool && c.WritesMemory() {
 					env.dirtyScratch = true
 				}
@@ -190,7 +251,11 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 					env.dirtyScratch = true
 				}
 			}
+			if h != nil {
+				h.Observe(time.Since(t0))
+			}
 			if err != nil {
+				k.flight(dispatchFaultKind(err), slots[si].owner, err.Error())
 				flush()
 				span.End(err)
 				return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", slots[si].owner, err)

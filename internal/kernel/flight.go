@@ -1,0 +1,57 @@
+// Flight-recorder plumbing: the kernel-side hooks feeding the
+// telemetry.FlightRecorder anomaly ring. Metrics say how often;
+// the audit log says what was decided at install time; the flight
+// recorder says what went wrong on the dispatch path just now, with
+// owner identity and wall timestamps. Recording is lock-free and the
+// happy path never calls it, so it is safe to leave attached in
+// production.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/telemetry"
+)
+
+// SetFlightRecorder attaches a dispatch flight recorder to the kernel
+// (nil detaches). The swap is atomic and safe while deliveries are in
+// flight; anomalies observe either the old or the new ring.
+func (k *Kernel) SetFlightRecorder(fr *telemetry.FlightRecorder) {
+	k.flightRec.Store(fr)
+}
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (k *Kernel) FlightRecorder() *telemetry.FlightRecorder {
+	return k.flightRec.Load()
+}
+
+// flight records one anomaly; a nil recorder makes it a no-op.
+func (k *Kernel) flight(kind, owner, detail string) {
+	k.flightRec.Load().Record(kind, owner, detail)
+}
+
+// dispatchFaultKind classifies a dispatch-path execution error into a
+// flight-event kind: fuel exhaustion (the budget caught a runaway),
+// memory fault, or any other fault.
+func dispatchFaultKind(err error) string {
+	if errors.Is(err, machine.ErrFuel) {
+		return telemetry.FlightFuelExhausted
+	}
+	var mf *machine.MemFault
+	if errors.As(err, &mf) {
+		return telemetry.FlightMemoryFault
+	}
+	return telemetry.FlightDispatchFault
+}
+
+// configChange records a kernel posture change in both durable sinks:
+// a structured audit line (the forensic record of who ran with what
+// settings) and a flight event (the "what changed just before the
+// page" timeline). Same-value sets are still recorded — an operator
+// re-asserting a setting is itself a fact worth keeping.
+func (k *Kernel) configChange(setting, oldVal, newVal string) {
+	k.audit.Load().configChange(setting, oldVal, newVal)
+	k.flight(telemetry.FlightConfigChange, "", fmt.Sprintf("%s: %s -> %s", setting, oldVal, newVal))
+}

@@ -123,6 +123,11 @@ type Kernel struct {
 	tel atomic.Pointer[telem]
 	// audit is the optional structured audit sink (audit.go).
 	audit atomic.Pointer[auditor]
+	// flightRec is the optional dispatch flight recorder: a lock-free
+	// ring of the last N anomalies (faults, fuel exhaustion, oversize
+	// fallbacks, backend fallbacks, quarantine trips, config changes).
+	// nil means anomalies cost one atomic load each.
+	flightRec atomic.Pointer[telemetry.FlightRecorder]
 	// profiling selects the profiled dispatch path (profile.go).
 	profiling atomic.Bool
 	// backend is the default execution backend (backend.go), read on
@@ -543,9 +548,22 @@ func (e *packetEnv) setPacketAlias(data []byte) {
 // tailFault); after it runs, the retried filter — and every later
 // filter on the same packet — sees the mapped, zero-padded tail.
 func (e *packetEnv) materializeTail() {
-	floor := len(e.tailSrc) &^ 7
-	e.tail.Resize(len(e.tailSrc) - floor)
-	e.tail.SetBytes(e.tailSrc[floor:])
+	src := e.tailSrc
+	floor := len(src) &^ 7
+	e.tail.Resize(len(src) - floor)
+	// At most 7 bytes plus zero padding into the region's one word: an
+	// explicit byte loop beats the general SetBytes (memmove + bounds
+	// machinery) on the profiled dispatch path, where every unaligned
+	// packet materializes its tail eagerly.
+	dst := e.tail.Bytes()
+	tb := src[floor:]
+	i := 0
+	for ; i < len(tb); i++ {
+		dst[i] = tb[i]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = 0
+	}
 	e.tailSrc = nil
 }
 
@@ -629,6 +647,8 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 	usePool := len(pkt.Data) <= maxPooledPacket
 	if usePool {
 		env.setPacketCopy(pkt.Data)
+	} else {
+		k.flight(telemetry.FlightOversizePacket, "", fmt.Sprintf("len=%d", len(pkt.Data)))
 	}
 	profiling := k.profiling.Load()
 	k.mu.RLock()
@@ -654,6 +674,7 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 		if err != nil {
 			// A validated extension cannot fault when the kernel meets
 			// the precondition; if it does, the kernel is broken.
+			k.flight(dispatchFaultKind(err), owner, err.Error())
 			span.End(err)
 			return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", owner, err)
 		}

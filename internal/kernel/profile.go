@@ -1,12 +1,18 @@
 // Per-filter cycle profiling. With profiling enabled, every delivery
-// runs each filter through the profiled interpreter instantiation
-// (machine.InterpProfiled) into a pooled scratch profile, then merges
-// the scratch atomically into the filter's accumulator — so concurrent
-// deliveries profile race-free while the interpreter's inner loop
-// stays two plain adds per retired instruction. With profiling off,
-// dispatch takes the exact pre-profiler path (one extra atomic.Bool
-// load per delivery), keeping the nil-recorder DeliverPacket at zero
-// allocations per packet.
+// attributes cycles per PC into the filter's shared accumulator —
+// race-free under concurrent delivery because the merge is atomic and
+// the attribution itself happens in pooled per-delivery scratch.
+//
+// Both backends profile natively. The interpreter path runs the
+// profiled instantiation (machine.InterpProfiled) into a pooled
+// machine.Profile. The compiled path keeps dispatching threaded code:
+// machine.Compiled.RunProfiled counts basic-block completions into a
+// pooled machine.BlockProfile (two plain adds per completed block, not
+// per instruction) and the per-PC expansion is deferred to the merge,
+// so profiling the compiled backend costs a few percent, not a fall
+// back to interpretation. With profiling off, dispatch takes the exact
+// pre-profiler path (one extra atomic.Bool load per delivery), keeping
+// the nil-recorder DeliverPacket at zero allocations per packet.
 package kernel
 
 import (
@@ -26,11 +32,17 @@ import (
 // deliveries), plus a pool of scratch machine.Profiles sized to the
 // filter's program.
 type filterProfile struct {
-	prog    []alpha.Instr
-	cycles  []atomic.Int64
-	visits  []atomic.Int64
-	runs    atomic.Int64
-	scratch sync.Pool
+	prog   []alpha.Instr
+	cycles []atomic.Int64
+	visits []atomic.Int64
+	runs   atomic.Int64
+	// scratch pools per-delivery machine.Profiles (interpreter path);
+	// blockScratch pools machine.BlockProfiles (compiled path). A
+	// pooled BlockProfile is bound to one *machine.Compiled, so users
+	// validate with BlockProfile.For and rebuild when the filter was
+	// retrofitted to a different compiled form.
+	scratch      sync.Pool
+	blockScratch sync.Pool
 }
 
 func newFilterProfile(prog []alpha.Instr) *filterProfile {
@@ -48,6 +60,15 @@ func newFilterProfile(prog []alpha.Instr) *filterProfile {
 func (fp *filterProfile) run(state *machine.State, fuel int) (machine.Result, error) {
 	p := fp.scratch.Get().(*machine.Profile)
 	res, err := machine.InterpProfiled(fp.prog, state, machine.Unchecked, &machine.DEC21064, fuel, p)
+	fp.merge(p, 1)
+	p.Reset()
+	fp.scratch.Put(p)
+	return res, err
+}
+
+// merge folds a scratch profile's nonzero entries into the atomic
+// accumulator and counts runs completed runs.
+func (fp *filterProfile) merge(p *machine.Profile, runs int64) {
 	for i := range p.Cycles {
 		if c := p.Cycles[i]; c != 0 {
 			fp.cycles[i].Add(c)
@@ -56,9 +77,43 @@ func (fp *filterProfile) run(state *machine.State, fuel int) (machine.Result, er
 			fp.visits[i].Add(v)
 		}
 	}
-	fp.runs.Add(1)
+	fp.runs.Add(runs)
+}
+
+// getBlockScratch returns a pooled BlockProfile bound to c, building a
+// fresh one when the pool is empty or holds a profile for a stale
+// compiled form (the filter was retrofitted by SetBackend since the
+// profile was pooled).
+func (fp *filterProfile) getBlockScratch(c *machine.Compiled) *machine.BlockProfile {
+	if bp, _ := fp.blockScratch.Get().(*machine.BlockProfile); bp != nil && bp.For(c) {
+		return bp
+	}
+	return machine.NewBlockProfile(c)
+}
+
+// flushBlocks expands a BlockProfile's per-block counts to per-PC
+// attribution, merges it into the accumulator, and returns the scratch
+// to the pool. runs is how many RunProfiled calls fed bp since the
+// last flush (faulted runs count, matching the interpreter path's
+// unconditional runs increment).
+func (fp *filterProfile) flushBlocks(bp *machine.BlockProfile, runs int64) {
+	p := fp.scratch.Get().(*machine.Profile)
+	bp.AddTo(p)
+	fp.merge(p, runs)
 	p.Reset()
 	fp.scratch.Put(p)
+	bp.Reset()
+	fp.blockScratch.Put(bp)
+}
+
+// runCompiled executes the threaded-code form with per-block profiling
+// and folds the attribution into the accumulator — the single-delivery
+// analogue of run. Batch dispatch instead keeps one BlockProfile per
+// filter for the whole batch and flushes once (batch.go).
+func (fp *filterProfile) runCompiled(c *machine.Compiled, state *machine.State, fuel int) (machine.Result, error) {
+	bp := fp.getBlockScratch(c)
+	res, err := c.RunProfiled(state, machine.Unchecked, fuel, bp)
+	fp.flushBlocks(bp, 1)
 	return res, err
 }
 
@@ -87,7 +142,8 @@ func (k *Kernel) SetProfiling(on bool) {
 			}
 		}
 	}
-	k.profiling.Store(on)
+	old := k.profiling.Swap(on)
+	k.configChange("profiling", fmt.Sprintf("%t", old), fmt.Sprintf("%t", on))
 }
 
 // Profiling reports whether cycle attribution is enabled.

@@ -29,12 +29,17 @@ import (
 	"time"
 
 	pcc "repro"
+	"repro/internal/telemetry"
 )
 
 // SetLimits configures the resource budgets every subsequent
 // validation runs under. The zero Limits value means "no budget on any
 // axis"; an unset kernel validates under pcc.DefaultLimits.
-func (k *Kernel) SetLimits(lim pcc.Limits) { k.limits.Store(&lim) }
+func (k *Kernel) SetLimits(lim pcc.Limits) {
+	old := k.Limits()
+	k.limits.Store(&lim)
+	k.configChange("limits", fmt.Sprintf("%+v", old), fmt.Sprintf("%+v", lim))
+}
 
 // Limits returns the configured validation budgets (DefaultLimits when
 // never set).
@@ -144,15 +149,21 @@ type quarState struct {
 // SetQuarantine configures producer quarantine; a Threshold <= 0
 // disables it and clears all strike records.
 func (k *Kernel) SetQuarantine(cfg QuarantineConfig) {
+	oldCfg := "disabled"
+	if old := k.quarCfg.Load(); old != nil {
+		oldCfg = fmt.Sprintf("%+v", *old)
+	}
 	if cfg.Threshold <= 0 {
 		k.quarCfg.Store(nil)
 		k.quarMu.Lock()
 		k.quar = nil
 		k.quarMu.Unlock()
 		k.tel.Load().setQuarantined(0)
+		k.configChange("quarantine", oldCfg, "disabled")
 		return
 	}
 	k.quarCfg.Store(&cfg)
+	k.configChange("quarantine", oldCfg, fmt.Sprintf("%+v", cfg))
 	// Publish the gauge immediately (normally zero) so a scrape sees
 	// the series as soon as quarantine is enabled, not after the first
 	// embargo.
@@ -235,6 +246,8 @@ func (k *Kernel) noteRejection(owner, reason string) {
 	k.tel.Load().setQuarantined(n)
 	if embargo != nil {
 		k.audit.Load().quarantine(embargo)
+		k.flight(telemetry.FlightQuarantine, owner,
+			fmt.Sprintf("strikes=%d until=%s", embargo.Strikes, embargo.Until.Format(time.RFC3339Nano)))
 	}
 }
 

@@ -29,6 +29,10 @@ const (
 	// untrusted string — the exposition escapes it).
 	MetricFilterAccepts = "pcc_filter_accepts_total"
 	MetricFilterCycles  = "pcc_filter_cycles_total"
+	// MetricFilterLatency is the per-owner dispatch-latency histogram
+	// family (batch path), on the sub-µs log-scale dispatch buckets so
+	// tail latency per filter is readable, not one giant first bucket.
+	MetricFilterLatency = "pcc_filter_run_seconds"
 	// Robustness metrics (robust.go): rejections classified by reason
 	// (limit, deadline, panic, proof, quarantine, queue_full) and the
 	// count of currently embargoed producers.
@@ -185,6 +189,16 @@ func (t *telem) filterRun(owner string, cycles int64, accepted bool) {
 	if accepted {
 		t.rec.LabeledCounter(MetricFilterAccepts, "filter", owner).Inc()
 	}
+}
+
+// filterHist returns the per-owner dispatch-latency histogram, nil
+// when telemetry is off. Batch dispatch looks it up once per filter
+// per batch and observes per run with no further locking.
+func (t *telem) filterHist(owner string) *telemetry.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.rec.LabeledHistogram(MetricFilterLatency, "filter", owner, telemetry.DispatchLatencyBounds)
 }
 
 // filterRunBatch attributes a whole batch of one filter's executions:

@@ -17,9 +17,11 @@
 // backend-differential tests (compile_differential_test.go and the
 // kernel-level suite) pin across the paper corpus, machine-generated
 // programs, and chaos-accepted mutants. The interpreter remains the
-// reference oracle and the profiling path; compilation is a pure
-// dispatch-speed backend selected at install time, after the proof
-// check has succeeded.
+// reference oracle; compilation is a pure dispatch-speed backend
+// selected at install time, after the proof check has succeeded.
+// Profiling runs natively on both backends: RunProfiled counts
+// retired basic blocks (see blockprofile.go) and expands them to the
+// interpreter's exact per-PC attribution at flush time.
 package machine
 
 import (
@@ -37,13 +39,13 @@ type opFunc func(s *State) error
 // Micro-op kinds. Destination registers are never r31 (alpha.Validate
 // rejects it), so u.ra/u.rc index the register file directly.
 const (
-	uCall uint8 = iota // generic fallback: run u.fn
-	uLDQ               // R[ra] = mem[R[rb]+imm]
-	uLDQa              // R[ra] = mem[imm]          (base r31: absolute)
-	uSTQ               // mem[R[rb]+imm] = R[ra]
-	uLDA               // R[ra] = R[rb] + imm
-	uLDAc              // R[ra] = imm               (base r31: constant)
-	uADDQl             // R[rc] = R[ra] + imm       ...literal operate forms
+	uCall  uint8 = iota // generic fallback: run u.fn
+	uLDQ                // R[ra] = mem[R[rb]+imm]
+	uLDQa               // R[ra] = mem[imm]          (base r31: absolute)
+	uSTQ                // mem[R[rb]+imm] = R[ra]
+	uLDA                // R[ra] = R[rb] + imm
+	uLDAc               // R[ra] = imm               (base r31: constant)
+	uADDQl              // R[rc] = R[ra] + imm       ...literal operate forms
 	uSUBQl
 	uMULQl
 	uANDl
@@ -685,6 +687,33 @@ func (c *Compiled) Run(s *State, mode Mode, fuel int) (Result, error) {
 		// dispatch path; the reference interpreter is the semantics.
 		return Interp(c.prog, s, mode, c.cm, fuel)
 	}
+	return crun(c, s, mode, fuel, noSink{})
+}
+
+// RunProfiled is Run with per-block profile accumulation into bp,
+// which must have been built for this Compiled (NewBlockProfile).
+// Execution semantics are identical to Run; the attribution recorded
+// in bp, once expanded by BlockProfile.AddTo, is identical to what
+// InterpProfiled would have recorded for the same run — including
+// partial attribution on faults and fuel exhaustion. The per-run cost
+// over Run is one counter increment per retired basic block; the
+// per-PC expansion is deferred to AddTo.
+func (c *Compiled) RunProfiled(s *State, mode Mode, fuel int, bp *BlockProfile) (Result, error) {
+	if !bp.For(c) {
+		panic("machine: RunProfiled: BlockProfile built for a different Compiled")
+	}
+	if s.PC != 0 {
+		return InterpProfiled(c.prog, s, mode, c.cm, fuel, bp.part)
+	}
+	return crun(c, s, mode, fuel, bp)
+}
+
+// crun is the shared block runner behind Run and RunProfiled. The
+// sink is a compile-time instantiation choice: noSink for the
+// unprofiled path (its empty inlined methods make profiling cost
+// nothing when off, pinned by a benchmark and an AllocsPerRun test),
+// *BlockProfile for the profiled one.
+func crun[S blockSink](c *Compiled, s *State, mode Mode, fuel int, sink S) (Result, error) {
 	// Steps and cycles live in locals so the hot loop touches no
 	// struct fields; the Result is assembled once at each exit.
 	var steps int
@@ -694,15 +723,16 @@ func (c *Compiled) Run(s *State, mode Mode, fuel int) (Result, error) {
 	// carries no per-op fault check.
 	var fu *fuop
 	var fault error
+	var b *block
 	blocks := c.blocks
 	bi := 0
 	for {
-		b := &blocks[bi]
+		b = &blocks[bi]
 		if steps+b.fsteps > fuel {
 			// Fuel could run out inside this block: take the unfused
 			// slow path, which checks fuel before every retired
 			// instruction exactly like the interpreter.
-			nsteps, ncycles, nbi, res, done, err := c.runSlow(s, b, mode, fuel, steps, cycles)
+			nsteps, ncycles, nbi, res, done, err := crunSlow(c, s, b, mode, fuel, steps, cycles, sink)
 			if done {
 				return res, err
 			}
@@ -827,6 +857,11 @@ func (c *Compiled) Run(s *State, mode Mode, fuel int) (Result, error) {
 		}
 		steps += len(b.ops)
 		cycles += b.bodyCost
+		// The whole block is now guaranteed to retire (terminators
+		// cannot fault and the fuel check covered them), so each exit
+		// below makes exactly one sink call attributing body and
+		// terminator at once — condBlock for conditional blocks (the
+		// edge rides along), fullBlock for everything else.
 		if b.ep == epCondCmp {
 			// Fused compare-and-branch: evaluate the compare once as a
 			// bool, store its value to the condition register, and
@@ -850,6 +885,10 @@ func (c *Compiled) Run(s *State, mode Mode, fuel int) (Result, error) {
 			}
 			s.R[cm.rc] = b2i(t)
 			steps++
+			// The branch-taken edge in program terms: the edges were
+			// pre-normalized to the compare's truth value, so recover
+			// takenness from the branch sense (condNE takes on true).
+			sink.condBlock(bi, t == (b.condKind == condNE))
 			if t {
 				cycles += b.cTrue
 				bi = b.tTrue
@@ -882,10 +921,12 @@ func (c *Compiled) Run(s *State, mode Mode, fuel int) (Result, error) {
 		}
 		switch b.kind {
 		case blockFall:
+			sink.fullBlock(bi)
 			bi = b.next
 		case blockJump:
 			steps++
 			cycles += b.costTaken
+			sink.fullBlock(bi)
 			bi = b.taken
 		case blockCond:
 			steps++
@@ -910,6 +951,7 @@ func (c *Compiled) Run(s *State, mode Mode, fuel int) (Result, error) {
 					take = int64(s.R[b.condRa]) < 0
 				}
 			}
+			sink.condBlock(bi, take)
 			if take {
 				cycles += b.costTaken
 				bi = b.taken
@@ -920,9 +962,11 @@ func (c *Compiled) Run(s *State, mode Mode, fuel int) (Result, error) {
 		case blockRet:
 			steps++
 			cycles += b.costTaken
+			sink.fullBlock(bi)
 			s.PC = int(b.termPC)
 			return Result{Ret: s.R[0], Steps: steps, Cycles: cycles}, nil
 		case blockExit:
+			sink.fullBlock(bi)
 			s.PC = len(c.prog)
 			return Result{Ret: s.R[0], Steps: steps, Cycles: cycles}, nil
 		}
@@ -932,20 +976,25 @@ fail:
 	// fusion group, so the pre-group step/cycle prefixes recorded at
 	// compile time give the exact interpreter-visible cursor: the
 	// faulting instruction retires (one step) but contributes no
-	// cycles.
+	// cycles — and, like the interpreter's, gets no profile
+	// attribution; only the ops retired before the group do.
 	pc := int(fu.pc)
 	s.PC = pc
 	steps += int(fu.stepsAt) + 1
 	cycles += fu.costAt
+	sink.partial(bi, fu.stepsAt)
 	return Result{Steps: steps, Cycles: cycles}, execFault(pc, c.prog[pc], fault, mode)
 }
 
-// runSlow executes one block with the interpreter's per-instruction
+// crunSlow executes one block with the interpreter's per-instruction
 // fuel discipline, over the unfused op list (fuel may run out between
 // the ops of a fused pair, and the state at that point must match the
 // interpreter's exactly). It returns either the updated execution
 // cursor (done=false) or the program's final Result (done=true).
-func (c *Compiled) runSlow(s *State, b *block, mode Mode, fuel, steps int, cycles int64) (int, int64, int, Result, bool, error) {
+// Profile attribution here is per-op (sink.note), mirroring the
+// interpreter: an op is noted only after it retires successfully, so
+// a faulting op and a fuel-exhausted cursor attribute nothing.
+func crunSlow[S blockSink](c *Compiled, s *State, b *block, mode Mode, fuel, steps int, cycles int64, sink S) (int, int64, int, Result, bool, error) {
 	for i := range b.ops {
 		if steps >= fuel {
 			s.PC = int(b.pcs[i])
@@ -958,6 +1007,7 @@ func (c *Compiled) runSlow(s *State, b *block, mode Mode, fuel, steps int, cycle
 			return 0, 0, 0, Result{Steps: steps, Cycles: cycles}, true, execFault(pc, c.prog[pc], err, mode)
 		}
 		cycles += b.costs[i]
+		sink.note(b.pcs[i], b.costs[i])
 	}
 	switch b.kind {
 	case blockFall:
@@ -969,6 +1019,7 @@ func (c *Compiled) runSlow(s *State, b *block, mode Mode, fuel, steps int, cycle
 		}
 		steps++
 		cycles += b.costTaken
+		sink.note(b.termPC, b.costTaken)
 		return steps, cycles, b.taken, Result{}, false, nil
 	case blockCond:
 		if steps >= fuel {
@@ -989,9 +1040,11 @@ func (c *Compiled) runSlow(s *State, b *block, mode Mode, fuel, steps int, cycle
 		}
 		if take {
 			cycles += b.costTaken
+			sink.note(b.termPC, b.costTaken)
 			return steps, cycles, b.taken, Result{}, false, nil
 		}
 		cycles += b.costNot
+		sink.note(b.termPC, b.costNot)
 		return steps, cycles, b.next, Result{}, false, nil
 	case blockRet:
 		if steps >= fuel {
@@ -1000,6 +1053,7 @@ func (c *Compiled) runSlow(s *State, b *block, mode Mode, fuel, steps int, cycle
 		}
 		steps++
 		cycles += b.costTaken
+		sink.note(b.termPC, b.costTaken)
 		s.PC = int(b.termPC)
 		return 0, 0, 0, Result{Ret: s.R[0], Steps: steps, Cycles: cycles}, true, nil
 	default: // blockExit

@@ -156,13 +156,13 @@ func TestCompiledZeroRegisterFolding(t *testing.T) {
 	// behavior must still match the interpreter instruction for
 	// instruction.
 	prog := []alpha.Instr{
-		{Op: alpha.ADDQ, Ra: alpha.RegZero, Rb: 2, Rc: 0},     // r0 = r2
-		{Op: alpha.BNE, Ra: alpha.RegZero, Target: 4},         // never taken
-		{Op: alpha.BEQ, Ra: alpha.RegZero, Target: 4},         // always taken
-		{Op: alpha.LDA, Ra: 0, Rb: alpha.RegZero, Disp: -1},   // skipped
-		{Op: alpha.ADDQ, Ra: 0, HasLit: true, Lit: 3, Rc: 0},  // r0 += 3
-		{Op: alpha.SUBQ, Ra: 0, Rb: alpha.RegZero, Rc: 1},     // r1 = r0 - 0
-		{Op: alpha.STQ, Ra: alpha.RegZero, Rb: 3, Disp: 0},    // store zero
+		{Op: alpha.ADDQ, Ra: alpha.RegZero, Rb: 2, Rc: 0},    // r0 = r2
+		{Op: alpha.BNE, Ra: alpha.RegZero, Target: 4},        // never taken
+		{Op: alpha.BEQ, Ra: alpha.RegZero, Target: 4},        // always taken
+		{Op: alpha.LDA, Ra: 0, Rb: alpha.RegZero, Disp: -1},  // skipped
+		{Op: alpha.ADDQ, Ra: 0, HasLit: true, Lit: 3, Rc: 0}, // r0 += 3
+		{Op: alpha.SUBQ, Ra: 0, Rb: alpha.RegZero, Rc: 1},    // r1 = r0 - 0
+		{Op: alpha.STQ, Ra: alpha.RegZero, Rb: 3, Disp: 0},   // store zero
 		{Op: alpha.RET},
 	}
 	mk := func() *State {

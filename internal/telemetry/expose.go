@@ -39,9 +39,12 @@ type Snapshot struct {
 	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	// Labeled maps family -> label value -> count for labeled counter
 	// families (the label key is part of the family's registration).
-	Labeled       map[string]map[string]int64 `json:"labeled,omitempty"`
-	TraceAppended int64                       `json:"trace_appended"`
-	TraceDropped  int64                       `json:"trace_dropped"`
+	Labeled map[string]map[string]int64 `json:"labeled,omitempty"`
+	// LabeledHistograms maps family -> label value -> histogram for
+	// labeled histogram families (e.g. per-filter dispatch latency).
+	LabeledHistograms map[string]map[string]HistogramSnapshot `json:"labeled_histograms,omitempty"`
+	TraceAppended     int64                                   `json:"trace_appended"`
+	TraceDropped      int64                                   `json:"trace_dropped"`
 }
 
 func snapHistogram(h *Histogram, withBuckets bool) HistogramSnapshot {
@@ -116,6 +119,16 @@ func (r *Recorder) Snapshot(withBuckets bool) Snapshot {
 			s.Labeled[fam] = vals
 		}
 	}
+	if len(r.labeledHists) > 0 {
+		s.LabeledHistograms = map[string]map[string]HistogramSnapshot{}
+		for fam, lf := range r.labeledHists {
+			vals := make(map[string]HistogramSnapshot, len(lf.vals))
+			for v, h := range lf.vals {
+				vals[v] = snapHistogram(h, withBuckets)
+			}
+			s.LabeledHistograms[fam] = vals
+		}
+	}
 	r.mu.RUnlock()
 	for name, h := range r.histogramSet() {
 		s.Histograms[name] = snapHistogram(h, withBuckets)
@@ -164,6 +177,31 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			// Label values are untrusted (filter owner names); escape
 			// them so the page stays parseable.
 			text += fmt.Sprintf("%s{%s=\"%s\"} %d\n", fam, lf.key, EscapeLabelValue(v), lf.vals[v].Value())
+		}
+		lines = append(lines, line{fam, text})
+	}
+	for fam, lf := range r.labeledHists {
+		vals := make([]string, 0, len(lf.vals))
+		for v := range lf.vals {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		text := fmt.Sprintf("# TYPE %s histogram\n", fam)
+		for _, v := range vals {
+			h := lf.vals[v]
+			ev := EscapeLabelValue(v)
+			counts := h.BucketCounts()
+			var cum int64
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < len(h.bounds) {
+					le = fmtFloat(h.bounds[i])
+				}
+				text += fmt.Sprintf("%s_bucket{%s=\"%s\",le=%q} %d\n", fam, lf.key, ev, le, cum)
+			}
+			text += fmt.Sprintf("%s_sum{%s=\"%s\"} %s\n", fam, lf.key, ev, fmtFloat(h.Sum().Seconds()))
+			text += fmt.Sprintf("%s_count{%s=\"%s\"} %d\n", fam, lf.key, ev, cum)
 		}
 		lines = append(lines, line{fam, text})
 	}

@@ -1,0 +1,170 @@
+// Dispatch flight recorder: a fixed-capacity lock-free ring of the
+// last N anomalies the kernel saw — fuel exhaustion, memory faults,
+// oversize-packet fallbacks, backend fallbacks, quarantine trips, and
+// security/performance-posture config changes. The span tracer answers
+// "where did the microseconds go"; the flight recorder answers "what
+// went wrong just before the page" with filter/owner identity and wall
+// timestamps, cheap enough to leave on in production (anomalies are
+// rare; the happy path never touches it).
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Flight-event kinds. Detail carries the specifics (error text, old
+// and new config values, sizes).
+const (
+	// FlightFuelExhausted: a filter ran out of dispatch fuel (runaway
+	// loop caught by the budget, not by a check — there are none).
+	FlightFuelExhausted = "fuel_exhausted"
+	// FlightMemoryFault: a filter faulted on a memory access at
+	// dispatch time (only possible for unvalidated test filters or a
+	// broken proof checker; always worth a look).
+	FlightMemoryFault = "memory_fault"
+	// FlightDispatchFault: any other dispatch-time execution fault.
+	FlightDispatchFault = "dispatch_fault"
+	// FlightOversizePacket: a packet exceeded the pooled arena and took
+	// the allocating fallback path.
+	FlightOversizePacket = "oversize_fallback"
+	// FlightBackendFallback: the kernel's backend is compiled but a
+	// filter had no compiled form, so it dispatched interpreted.
+	FlightBackendFallback = "backend_fallback"
+	// FlightQuarantine: an owner tripped the rejection threshold and
+	// entered install embargo.
+	FlightQuarantine = "quarantine"
+	// FlightConfigChange: SetBackend/SetProfiling/SetLimits/
+	// SetQuarantine changed the kernel's posture.
+	FlightConfigChange = "config_change"
+)
+
+// FlightEvent is one recorded anomaly.
+type FlightEvent struct {
+	// Seq is the event's global sequence number (monotonic from 0);
+	// gaps at the low end mean the ring wrapped.
+	Seq uint64 `json:"seq"`
+	// TimeUnixNanos is the wall-clock timestamp.
+	TimeUnixNanos int64 `json:"time_unix_ns"`
+	// Kind is one of the Flight* constants.
+	Kind string `json:"kind"`
+	// Owner is the filter/owner identity, when the anomaly has one.
+	Owner string `json:"owner,omitempty"`
+	// Detail is free-form specifics.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultFlightCapacity is the ring size used when capacity <= 0.
+const DefaultFlightCapacity = 256
+
+// FlightRecorder is the anomaly ring. Appends are lock-free (one
+// atomic counter claims a slot, one atomic pointer store publishes),
+// so recording from the dispatch path never blocks; when full, the
+// oldest events are overwritten. A nil *FlightRecorder is a valid
+// no-op sink.
+type FlightRecorder struct {
+	slots []atomic.Pointer[FlightEvent]
+	next  atomic.Uint64
+}
+
+// NewFlightRecorder builds a ring holding up to capacity events.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FlightEvent], capacity)}
+}
+
+// Record appends one anomaly, stamped now.
+func (f *FlightRecorder) Record(kind, owner, detail string) {
+	if f == nil {
+		return
+	}
+	e := &FlightEvent{
+		TimeUnixNanos: time.Now().UnixNano(),
+		Kind:          kind,
+		Owner:         owner,
+		Detail:        detail,
+	}
+	e.Seq = f.next.Add(1) - 1
+	f.slots[e.Seq%uint64(len(f.slots))].Store(e)
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Appended returns the total number of events ever recorded.
+func (f *FlightRecorder) Appended() int64 {
+	if f == nil {
+		return 0
+	}
+	return int64(f.next.Load())
+}
+
+// Dropped returns how many events have been overwritten by ring wrap.
+func (f *FlightRecorder) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	n := f.Appended() - int64(len(f.slots))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Events snapshots the ring's current contents, oldest first. Each
+// slot is read atomically; a concurrent append may replace a slot
+// mid-snapshot, so the result is a consistent set of real events but
+// not a point-in-time cut.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if e := f.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	// Seq order == record order; slots wrap, so sort by Seq.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Seq > out[j].Seq; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// flightSnapshot is the JSON document WriteJSON emits (and the serve
+// endpoint exposes).
+type flightSnapshot struct {
+	Capacity int           `json:"capacity"`
+	Appended int64         `json:"appended"`
+	Dropped  int64         `json:"dropped"`
+	Events   []FlightEvent `json:"events"`
+}
+
+// WriteJSON writes the ring state as one indented JSON document:
+// {"capacity", "appended", "dropped", "events": [...oldest first]}.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	snap := flightSnapshot{
+		Capacity: f.Cap(),
+		Appended: f.Appended(),
+		Dropped:  f.Dropped(),
+		Events:   f.Events(),
+	}
+	if snap.Events == nil {
+		snap.Events = []FlightEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

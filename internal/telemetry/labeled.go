@@ -48,6 +48,52 @@ func (r *Recorder) LabeledCounter(family, labelKey, labelValue string) *Counter 
 	return c
 }
 
+// labeledHistFamily is one histogram family keyed by the values of a
+// single label (e.g. pcc_filter_run_seconds{filter=...}).
+type labeledHistFamily struct {
+	key    string
+	bounds []float64 // fixed at family registration
+	vals   map[string]*Histogram
+}
+
+// LabeledHistogram returns the histogram for one (family, labelValue)
+// pair, registering the family on first use. bounds (nil means the
+// recorder's default) is fixed by the first registration so every
+// member of a family exposes the same buckets; later calls reuse it.
+// Returns nil (a valid no-op histogram) for a nil recorder. Hot paths
+// must cache the returned pointer — the lookup takes the registration
+// lock.
+func (r *Recorder) LabeledHistogram(family, labelKey, labelValue string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	lf := r.labeledHists[family]
+	var h *Histogram
+	if lf != nil {
+		h = lf.vals[labelValue]
+	}
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lf = r.labeledHists[family]
+	if lf == nil {
+		if bounds == nil {
+			bounds = r.bounds
+		}
+		lf = &labeledHistFamily{key: labelKey, bounds: bounds, vals: map[string]*Histogram{}}
+		r.labeledHists[family] = lf
+	}
+	if h = lf.vals[labelValue]; h == nil {
+		h = NewHistogram(lf.bounds)
+		lf.vals[labelValue] = h
+	}
+	return h
+}
+
 // labelEscaper implements the Prometheus text exposition escaping for
 // label values: backslash, double quote, and line feed.
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)

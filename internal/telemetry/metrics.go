@@ -81,6 +81,34 @@ var DefaultLatencyBounds = []float64{
 	1, 2, 5, 10,
 }
 
+// LogBounds builds a log-scale 1-2-5 bucket ladder covering [lo, hi]
+// (seconds): every value m*10^e with m in {1, 2, 5} that falls inside
+// the range, ascending. The implicit +Inf bucket catches the rest, so
+// hi only bounds the resolution, not the observable range.
+func LogBounds(lo, hi float64) []float64 {
+	var out []float64
+	const eps = 1e-9
+	for e := math.Floor(math.Log10(lo)); ; e++ {
+		base := math.Pow(10, e)
+		for _, m := range [3]float64{1, 2, 5} {
+			v := m * base
+			if v < lo*(1-eps) {
+				continue
+			}
+			if v > hi*(1+eps) {
+				return out
+			}
+			out = append(out, v)
+		}
+	}
+}
+
+// DispatchLatencyBounds is the dispatch-stage ladder: compiled filter
+// runs retire in ~100 ns, far below DefaultLatencyBounds' 1 µs floor,
+// so the dispatch and per-filter histograms resolve from 50 ns up to
+// 50 ms (a whole stuck batch still lands in a finite bucket).
+var DispatchLatencyBounds = LogBounds(50e-9, 0.05)
+
 // Histogram is a fixed-bucket latency histogram. Observations are two
 // atomic adds plus a binary search over the (immutable) bounds; counts
 // and the running sum are exact, quantiles are bucket-interpolated

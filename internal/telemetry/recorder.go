@@ -88,11 +88,12 @@ type Recorder struct {
 	// by name). The lock guards registration only; the returned
 	// instruments are lock-free. Callers on hot paths cache the
 	// pointers.
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	labeled  map[string]*labeledFamily
+	mu           sync.RWMutex
+	counters     map[string]*Counter
+	gauges       map[string]*Gauge
+	hists        map[string]*Histogram
+	labeled      map[string]*labeledFamily
+	labeledHists map[string]*labeledHistFamily
 }
 
 // New builds a Recorder with default options.
@@ -101,17 +102,26 @@ func New() *Recorder { return NewWith(Options{}) }
 // NewWith builds a Recorder with the given options.
 func NewWith(o Options) *Recorder {
 	r := &Recorder{
-		start:      time.Now(),
-		trace:      newTrace(o.TraceCapacity),
-		stageHists: make(map[string]*Histogram, len(Stages)),
-		bounds:     o.Buckets,
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		hists:      map[string]*Histogram{},
-		labeled:    map[string]*labeledFamily{},
+		start:        time.Now(),
+		trace:        newTrace(o.TraceCapacity),
+		stageHists:   make(map[string]*Histogram, len(Stages)),
+		bounds:       o.Buckets,
+		counters:     map[string]*Counter{},
+		gauges:       map[string]*Gauge{},
+		hists:        map[string]*Histogram{},
+		labeled:      map[string]*labeledFamily{},
+		labeledHists: map[string]*labeledHistFamily{},
 	}
 	for _, s := range Stages {
-		r.stageHists[s] = NewHistogram(o.Buckets)
+		b := o.Buckets
+		if b == nil && (s == StageDispatch || s == StageDispatchBatch) {
+			// Dispatch retires in nanoseconds, not microseconds: without
+			// sub-µs buckets every observation lands in the first bucket
+			// and the quantiles are fiction. Explicit Buckets still win
+			// for all stages.
+			b = DispatchLatencyBounds
+		}
+		r.stageHists[s] = NewHistogram(b)
 	}
 	return r
 }

@@ -90,6 +90,18 @@ curl -fsS 'http://127.0.0.1:16996/profile/Filter%201' | grep -c RET >/dev/null |
 	{ echo "serve smoke: /profile/Filter 1 has no listing" >&2; exit 1; }
 curl -fsS http://127.0.0.1:16996/debug/vars | grep -c traffic_packets >/dev/null ||
 	{ echo "serve smoke: /debug/vars missing traffic counters" >&2; exit 1; }
+# Always-on hot-path observability: the batch dispatcher feeds the
+# per-owner latency family with log-scale sub-µs buckets, and the
+# flight recorder serves its anomaly ring (at minimum the boot config
+# changes) as JSON.
+curl -fsS http://127.0.0.1:16996/metrics | grep -c pcc_filter_run_seconds_bucket >/dev/null ||
+	{ echo "serve smoke: /metrics missing per-filter latency family" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16996/metrics | grep -c 'pcc_stage_dispatch_batch_seconds_bucket{le="5e-08"' >/dev/null ||
+	{ echo "serve smoke: /metrics dispatch-batch histogram has no sub-µs buckets" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16996/debug/flightrecorder | grep -c '"events"' >/dev/null ||
+	{ echo "serve smoke: /debug/flightrecorder serves no events document" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16996/debug/flightrecorder | grep -c config_change >/dev/null ||
+	{ echo "serve smoke: flight recorder missing boot config changes" >&2; exit 1; }
 # Graceful shutdown: SIGTERM must end the process with exit 0.
 kill "$serve_pid"
 if ! wait "$serve_pid"; then
@@ -99,6 +111,8 @@ fi
 trap - EXIT
 grep -q '"event":"install"' /tmp/pccmon.audit.jsonl ||
 	{ echo "serve smoke: audit log recorded no installs" >&2; exit 1; }
+grep -q '"event":"config"' /tmp/pccmon.audit.jsonl ||
+	{ echo "serve smoke: audit log recorded no config changes" >&2; exit 1; }
 rm -f /tmp/pccmon.verify /tmp/pccmon.audit.jsonl
 
 # Adversarial smoke: 2,000 mutated binaries through the validator must
