@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	benchcheck [-min-speedup X] [-max-profiling-overhead P] [BENCH_file.json ...]
+//	benchcheck [-min-speedup X] [-max-profiling-overhead P]
+//	           [-min-parallel-speedup S] [BENCH_file.json ...]
 //
 // With no file arguments, the newest BENCH_*.json in the current
 // directory is checked. The checks are deliberately about ordering
@@ -20,7 +21,20 @@
 //     single-interpreted) meets -min-speedup;
 //   - for schema ≥ 3 reports, the recorded profiling_overhead_pct
 //     (compiled throughput lost to always-on per-block profiling)
-//     stays under -max-profiling-overhead.
+//     stays under -max-profiling-overhead;
+//   - for schema ≥ 4 reports, the recorded parallel_speedup (the
+//     widest rung of the lock-free multi-goroutine dispatch ladder
+//     over one goroutine) meets the core-aware floor derived from
+//     -min-parallel-speedup.
+//
+// The parallel floor is core-aware because the report records the
+// GOMAXPROCS the ladder ran under: the achievable ceiling on a host
+// with C cores is min(goroutines, C), so the effective floor is
+// min(-min-parallel-speedup, 0.85 × min(widest rung, C)). On an
+// 8-core host the default demands a real 3x; on a single-core host
+// it degrades to ~0.85 — "adding goroutines must not regress
+// throughput", which is exactly the property a lock convoy would
+// break — rather than demanding physically impossible parallelism.
 package main
 
 import (
@@ -41,6 +55,8 @@ func main() {
 		"minimum dispatch_speedup (batch-compiled over single-interpreted packets/sec)")
 	maxProfOverhead := flag.Float64("max-profiling-overhead", 15.0,
 		"maximum profiling_overhead_pct for schema ≥ 3 reports (percent of compiled throughput)")
+	minParallel := flag.Float64("min-parallel-speedup", 3.0,
+		"minimum parallel_speedup for schema ≥ 4 reports, capped by the report's recorded core budget (see doc)")
 	flag.Parse()
 
 	files := flag.Args()
@@ -54,7 +70,7 @@ func main() {
 
 	failures := 0
 	for _, file := range files {
-		for _, msg := range checkFile(file, *minSpeedup, *maxProfOverhead) {
+		for _, msg := range checkFile(file, *minSpeedup, *maxProfOverhead, *minParallel) {
 			failures++
 			fmt.Fprintf(os.Stderr, "FAIL %s: %s\n", file, msg)
 		}
@@ -95,7 +111,7 @@ func listReports(dir string) ([]string, error) {
 }
 
 // checkFile returns the list of failed-check messages for one report.
-func checkFile(file string, minSpeedup, maxProfOverhead float64) []string {
+func checkFile(file string, minSpeedup, maxProfOverhead, minParallel float64) []string {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return []string{err.Error()}
@@ -152,5 +168,46 @@ func checkFile(file string, minSpeedup, maxProfOverhead float64) []string {
 				rep.ProfilingOverheadPct, maxProfOverhead))
 		}
 	}
+
+	// Schema 4 added the lock-free scaling ladder: the widest rung must
+	// beat one goroutine by the core-aware floor.
+	if rep.Schema >= 4 {
+		if len(rep.DispatchScaling) == 0 {
+			msgs = append(msgs, "dispatch_scaling section is empty (schema ≥ 4 requires it)")
+		} else if rep.GOMAXPROCS < 1 {
+			msgs = append(msgs, fmt.Sprintf("gomaxprocs %d is implausible", rep.GOMAXPROCS))
+		} else {
+			widest := 0
+			for _, r := range rep.DispatchScaling {
+				if r.Goroutines > widest {
+					widest = r.Goroutines
+				}
+			}
+			floor := parallelFloor(minParallel, widest, rep.GOMAXPROCS)
+			if rep.ParallelSpeedup < floor {
+				msgs = append(msgs, fmt.Sprintf(
+					"parallel_speedup %.2fx below floor %.2fx (flag %.2fx, %d goroutines, gomaxprocs %d)",
+					rep.ParallelSpeedup, floor, minParallel, widest, rep.GOMAXPROCS))
+			}
+		}
+	}
 	return msgs
+}
+
+// parallelFloor is the effective parallel-speedup floor: the flag
+// value, capped at 85% of the physically achievable ceiling
+// min(goroutines, cores). The cap is what keeps the gate honest on
+// narrow hosts — a single-core runner cannot show 3x parallelism, but
+// it CAN show a lock convoy (speedup well below 1), which the capped
+// floor of 0.85 still catches.
+func parallelFloor(flag float64, goroutines, cores int) float64 {
+	ceiling := goroutines
+	if cores < ceiling {
+		ceiling = cores
+	}
+	capped := 0.85 * float64(ceiling)
+	if capped < flag {
+		return capped
+	}
+	return flag
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestParallelFloor(t *testing.T) {
+	cases := []struct {
+		flag             float64
+		goroutines, cpus int
+		want             float64
+	}{
+		{3.0, 8, 8, 3.0},  // wide host: the flag binds
+		{3.0, 8, 16, 3.0}, // more cores than goroutines: still the flag
+		{3.0, 8, 1, 0.85}, // single core: no-convoy floor
+		{3.0, 8, 2, 1.7},  // two cores: 85% of 2
+		{3.0, 4, 8, 3.0},  // ladder narrower than the host
+		{0.5, 8, 1, 0.5},  // flag below the cap: flag binds
+	}
+	for _, c := range cases {
+		if got := parallelFloor(c.flag, c.goroutines, c.cpus); got != c.want {
+			t.Errorf("parallelFloor(%v, %d, %d) = %v, want %v",
+				c.flag, c.goroutines, c.cpus, got, c.want)
+		}
+	}
+}
+
+// writeReport drops a minimal passing schema-4 report into dir and
+// returns its path; the mutate hook lets each case break one field.
+func writeReport(t *testing.T, dir string, mutate func(*bench.Report)) string {
+	t.Helper()
+	rep := &bench.Report{
+		Schema: bench.ReportSchema,
+		Dispatch: []bench.DispatchJSON{
+			{Backend: "interp", Shape: "single", PPS: 100},
+			{Backend: "compiled", Shape: "single", PPS: 500},
+			{Backend: "interp", Shape: "batch1024", PPS: 200},
+			{Backend: "compiled", Shape: "batch1024", PPS: 900},
+		},
+		DispatchSpeedup: 9.0,
+		Observability: []bench.ObservabilityJSON{
+			{Config: "compiled", PPS: 900},
+		},
+		ProfilingOverheadPct: 5,
+		DispatchScaling: []bench.ScalingJSON{
+			{Goroutines: 1, PPS: 900},
+			{Goroutines: 8, PPS: 3100},
+		},
+		ParallelSpeedup: 3.4,
+		GOMAXPROCS:      8,
+	}
+	if mutate != nil {
+		mutate(rep)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_20260807T000000Z.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckFileParallelGate(t *testing.T) {
+	t.Run("passes", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), nil)
+		if msgs := checkFile(path, 1.0, 15.0, 3.0); len(msgs) != 0 {
+			t.Fatalf("unexpected failures: %v", msgs)
+		}
+	})
+	t.Run("slow ladder fails on a wide host", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.ParallelSpeedup = 1.1 // 8 cores available: a convoy
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "parallel_speedup") {
+			t.Fatalf("want one parallel_speedup failure, got %v", msgs)
+		}
+	})
+	t.Run("same ratio passes on a single core", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.ParallelSpeedup = 1.1
+			r.GOMAXPROCS = 1 // floor degrades to 0.85
+		})
+		if msgs := checkFile(path, 1.0, 15.0, 3.0); len(msgs) != 0 {
+			t.Fatalf("unexpected failures: %v", msgs)
+		}
+	})
+	t.Run("convoy fails even on a single core", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.ParallelSpeedup = 0.4
+			r.GOMAXPROCS = 1
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "parallel_speedup") {
+			t.Fatalf("want one parallel_speedup failure, got %v", msgs)
+		}
+	})
+	t.Run("schema 4 requires the section", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.DispatchScaling = nil
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "dispatch_scaling") {
+			t.Fatalf("want one dispatch_scaling failure, got %v", msgs)
+		}
+	})
+	t.Run("older schema skips the gate", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.Schema = 3
+			r.DispatchScaling = nil
+			r.ParallelSpeedup = 0
+			r.GOMAXPROCS = 0
+		})
+		if msgs := checkFile(path, 1.0, 15.0, 3.0); len(msgs) != 0 {
+			t.Fatalf("unexpected failures: %v", msgs)
+		}
+	})
+}

@@ -8,6 +8,7 @@
 //	paperbench [-packets N] [-fig7] [-table1] [-stages] [-fig8] [-fig9] [-checksum] [-sfipcc]
 //	paperbench -dispatch [-backend interp|compiled]   # backend × shape throughput matrix
 //	paperbench -observability                         # instrumentation overhead matrix
+//	paperbench -scaling                               # multi-goroutine dispatch-scaling ladder
 //	paperbench -json [-packets N]   # write BENCH_<timestamp>.json
 //
 // With no selection flags, everything runs (the full Figure 8/9 pass
@@ -46,6 +47,7 @@ func main() {
 	dispatch := flag.Bool("dispatch", false, "dispatch throughput: backend × shape matrix (host wall-clock)")
 	backend := flag.String("backend", "", "restrict -dispatch to one backend: interp or compiled (default both)")
 	observability := flag.Bool("observability", false, "observability overhead: dispatch throughput with profiling/observers toggled")
+	scaling := flag.Bool("scaling", false, "dispatch scaling: multi-goroutine throughput over one shared lock-free kernel")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_<timestamp>.json and exit")
 	flag.Parse()
 
@@ -70,7 +72,7 @@ func main() {
 		return
 	}
 
-	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch || *observability)
+	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch || *observability || *scaling)
 
 	if all || *fig7 {
 		cert, err := bench.Fig7()
@@ -160,6 +162,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatObservability(rows))
+	}
+	if all || *scaling {
+		n := *packets
+		if n > 50000 {
+			n = 50000 // host wall-clock; enough packets for a stable rate
+		}
+		rows, err := bench.DispatchScaling(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatScaling(rows))
 	}
 	if all || *ablation {
 		rows, err := bench.EncodingAblation()

@@ -7,6 +7,7 @@
 //	pccload [-policy packet-filter/v1] [-run] [-packets N] [-deadline D] filter.pcc...
 //	pccload -chaos N [-chaos-seed S]
 //	pccload -diff-backends N
+//	pccload -scale G [-packets N]
 //
 // With -run and the packet-filter policy, the extension is executed
 // over a synthetic trace and the accept rate reported; with the
@@ -29,6 +30,13 @@
 // divergence exits nonzero: the operator-facing version of the
 // backend-differential test suite.
 //
+// With -scale, pccload certifies the paper corpus into one kernel on
+// the compiled backend and delivers the trace through it with G
+// concurrent goroutines sharing the lock-free filter table, verifying
+// the total accept census against the reference semantics and
+// reporting aggregate throughput — the operator-facing version of the
+// dispatch-scaling benchmark.
+//
 // Given several binaries (packet-filter policy only), pccload boots
 // the simulated kernel and installs them all through its concurrent
 // validation pipeline, then installs them a second time to show the
@@ -45,6 +53,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	pcc "repro"
@@ -72,6 +82,7 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "RNG seed for -chaos; identical seeds replay identically")
 	backend := flag.String("backend", "", "dispatch backend for batch installs: interp or compiled (default kernel default)")
 	diffBackends := flag.Int("diff-backends", 0, "cross-check both dispatch backends over an N-packet trace and exit (takes no binary arguments)")
+	scale := flag.Int("scale", 0, "deliver the trace through one shared compiled kernel with G concurrent goroutines and exit (takes no binary arguments)")
 	flag.Parse()
 	if *chaosTrials > 0 {
 		if flag.NArg() != 0 {
@@ -85,6 +96,13 @@ func main() {
 			log.Fatal("-diff-backends certifies its own corpus and takes no binary arguments")
 		}
 		runDiffBackends(*diffBackends)
+		return
+	}
+	if *scale > 0 {
+		if flag.NArg() != 0 {
+			log.Fatal("-scale certifies its own corpus and takes no binary arguments")
+		}
+		runScale(*scale, *packets)
 		return
 	}
 	if flag.NArg() < 1 {
@@ -292,6 +310,88 @@ func runDiffBackends(n int) {
 	}
 	fmt.Printf("diff-backends: %d packets × %d filters, both backends match the reference semantics (%v)\n",
 		len(pkts), len(filters.All), time.Since(start).Round(time.Millisecond))
+}
+
+// runScale is the -scale entry point: the paper corpus in one kernel
+// on the compiled backend, the trace delivered by g goroutines pulling
+// 1024-packet batches off a shared queue — all of them reading the
+// same lock-free filter-table snapshot. The total accept census must
+// match the reference semantics exactly; a torn snapshot or a lost
+// shard increment shows up as a census mismatch and a nonzero exit.
+func runScale(g, n int) {
+	k := kernel.New()
+	if err := k.SetBackend(kernel.BackendCompiled); err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range filters.All {
+		cert, err := pcc.Certify(filters.Source(f), k.FilterPolicy(), nil)
+		if err != nil {
+			log.Fatalf("%v: %v", f, err)
+		}
+		if err := k.InstallFilter(fmt.Sprintf("proc-%d", f), cert.Binary); err != nil {
+			log.Fatalf("%v: %v", f, err)
+		}
+	}
+
+	pkts := pktgen.Generate(n, pktgen.Config{Seed: 1996})
+	raw := make([][]byte, len(pkts))
+	wantAccepts := 0
+	for i, p := range pkts {
+		raw[i] = p.Data
+		for _, f := range filters.All {
+			if filters.Reference(f, p.Data) {
+				wantAccepts++
+			}
+		}
+	}
+	var batches [][][]byte
+	for lo := 0; lo < len(raw); lo += 1024 {
+		hi := lo + 1024
+		if hi > len(raw) {
+			hi = len(raw)
+		}
+		batches = append(batches, raw[lo:hi])
+	}
+
+	var next, accepted atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var acc int64
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(batches) {
+					break
+				}
+				out, err := k.DeliverPackets(batches[i])
+				if err != nil {
+					log.Fatalf("dispatch fault: %v", err)
+				}
+				for _, row := range out {
+					acc += int64(len(row))
+				}
+			}
+			accepted.Add(acc)
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if int(accepted.Load()) != wantAccepts {
+		log.Fatalf("scale: %d accepts over %d packets, reference says %d — snapshot or counter bug",
+			accepted.Load(), len(pkts), wantAccepts)
+	}
+	st := k.Stats()
+	if st.Packets != len(pkts) {
+		log.Fatalf("scale: kernel counted %d packets, delivered %d — lost shard increments", st.Packets, len(pkts))
+	}
+	fmt.Printf("scale: %d packets × %d filters via %d goroutines (GOMAXPROCS=%d): "+
+		"%.0f packets/sec aggregate, accept census matches the reference (%d)\n",
+		len(pkts), len(filters.All), g, runtime.GOMAXPROCS(0),
+		float64(len(pkts))/wall.Seconds(), wantAccepts)
 }
 
 func equalStrings(a, b []string) bool {

@@ -11,7 +11,7 @@
 //	pccmon [-packets N] [-pcap trace.pcap] [-filter name=file.pcc]...
 //	       [-backend interp|compiled] [-flightrecorder]
 //	       [-telemetry [-slowest N] [-trace-out spans.jsonl]]
-//	       [-serve :6060 [-pps N] [-audit-out audit.jsonl]]
+//	       [-serve :6060 [-pps N] [-audit-out audit.jsonl] [-tenants a,b]]
 //
 // With -telemetry, a telemetry recorder is attached to the kernel for
 // the whole run and the report ends with per-stage latency summaries,
@@ -52,6 +52,7 @@ func main() {
 	serve := flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :6060) instead of a one-shot report")
 	pps := flag.Int("pps", 2000, "with -serve, synthetic traffic rate in packets/second")
 	auditOut := flag.String("audit-out", "", "with -serve, write the JSON audit log to a file instead of stderr")
+	tenantsFlag := flag.String("tenants", "", "with -serve, comma-separated tenant names, one isolated kernel each (default a single tenant \"default\")")
 	extra := map[string]string{}
 	flag.Func("filter", "additional filter as name=file.pcc (repeatable)", func(s string) error {
 		name, file, ok := strings.Cut(s, "=")
@@ -64,7 +65,13 @@ func main() {
 	flag.Parse()
 
 	if *serve != "" {
-		if err := runServe(*serve, *auditOut, *budget, *seed, *pps, extra); err != nil {
+		var tenants []string
+		for _, name := range strings.Split(*tenantsFlag, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				tenants = append(tenants, name)
+			}
+		}
+		if err := runServe(*serve, *auditOut, *budget, *seed, *pps, extra, tenants); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,6 +1,7 @@
-// Live observability surface: `pccmon -serve ADDR` boots the kernel
-// with telemetry, audit logging, and cycle profiling all attached,
-// keeps a synthetic packet stream flowing through the installed
+// Live observability surface: `pccmon -serve ADDR` boots one kernel
+// per tenant (-tenants a,b,…; default a single tenant "default") with
+// telemetry, audit logging, and cycle profiling all attached, keeps a
+// synthetic packet stream flowing through each tenant's installed
 // filters, and serves the monitoring endpoints over HTTP:
 //
 //	/healthz               liveness: 200 once filters are installed
@@ -13,11 +14,22 @@
 //	                       per Alpha instruction across installed filters
 //	/profile/              index of profiled filters
 //	/profile/{filter}      annotated disassembly with cycle attribution
+//	/tenants               JSON index of the hosted tenants
+//	/t/{name}/…            any of the per-tenant endpoints above, routed
+//	                       to that tenant's kernel, recorder, and flight
+//	                       recorder (e.g. /t/alpha/metrics)
+//
+// The bare paths serve the default tenant (the first -tenants name),
+// so single-tenant deployments and their dashboards keep working
+// unchanged. Tenant isolation is the kernel registry's: each tenant
+// has its own filter table, sharded statistics, telemetry recorder,
+// and flight recorder, so one tenant's churn never moves another's
+// metrics (see docs/OBSERVABILITY.md).
 //
 // The process runs until SIGINT/SIGTERM and then shuts the listener
 // down gracefully. Every install/reject decision made while serving
 // is written to the structured audit log (JSON lines on stderr, or
-// -audit-out FILE).
+// -audit-out FILE), tagged with its tenant.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -46,9 +59,11 @@ import (
 	"repro/internal/telemetry"
 )
 
-// monitor bundles the served kernel with its recorder and the
+// monitor is one tenant's serving state: its kernel (with recorder
+// and flight recorder attached via the registry) plus the
 // synthetic-traffic counters the endpoints report.
 type monitor struct {
+	name  string
 	k     *kernel.Kernel
 	rec   *telemetry.Recorder
 	fr    *telemetry.FlightRecorder
@@ -59,22 +74,60 @@ type monitor struct {
 	ready   atomic.Bool // filters installed; /healthz gates on this
 }
 
-// bootMonitor builds a kernel with the full observability stack
-// attached (telemetry recorder, audit logger, flight recorder, cycle
-// profiler, compiled backend) and installs the paper filters plus any
-// user-supplied binaries.
-func bootMonitor(auditLog *slog.Logger, budget int64, extra map[string]string) (*monitor, error) {
+// server hosts the tenant set: the kernel registry that owns the
+// isolated kernels, and one monitor per tenant in -tenants order (the
+// first is the default the bare legacy paths serve).
+type server struct {
+	reg *kernel.Registry
+	ts  []*monitor
+}
+
+func (s *server) def() *monitor { return s.ts[0] }
+
+func (s *server) tenant(name string) (*monitor, bool) {
+	for _, m := range s.ts {
+		if m.name == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// bootServer builds one fully observed kernel per tenant name (default
+// a single "default" tenant) through the kernel registry and installs
+// the paper filters plus any user-supplied binaries into each.
+func bootServer(auditLog *slog.Logger, budget int64, extra map[string]string, tenants []string) (*server, error) {
+	if len(tenants) == 0 {
+		tenants = []string{"default"}
+	}
+	s := &server{reg: kernel.NewRegistry()}
+	for _, name := range tenants {
+		m, err := bootTenant(s.reg, name, auditLog, budget, extra)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", name, err)
+		}
+		s.ts = append(s.ts, m)
+	}
+	return s, nil
+}
+
+// bootTenant creates one registry tenant and brings its kernel to the
+// serving posture: audit logger tagged with the tenant, compiled
+// backend, cycle profiling, quarantine, optional cycle budget, and
+// the filter set installed.
+func bootTenant(reg *kernel.Registry, name string, auditLog *slog.Logger, budget int64, extra map[string]string) (*monitor, error) {
+	tn, err := reg.Create(name)
+	if err != nil {
+		return nil, err
+	}
 	m := &monitor{
-		k:     kernel.New(),
-		rec:   telemetry.New(),
-		fr:    telemetry.NewFlightRecorder(0),
+		name:  name,
+		k:     tn.Kernel,
+		rec:   tn.Rec,
+		fr:    tn.Flight,
 		start: time.Now(),
 	}
-	m.k.SetRecorder(m.rec)
-	m.k.SetAuditLog(auditLog)
-	// The flight recorder attaches before the posture changes below so
-	// its timeline starts with the boot configuration.
-	m.k.SetFlightRecorder(m.fr)
+	m.k.SetAuditLog(auditLog.With("tenant", name))
 	// Serve on the compiled backend with profiling attached: profiled
 	// threaded code is the always-on production posture this monitor
 	// demonstrates (profiling no longer reroutes dispatch to the
@@ -154,15 +207,35 @@ func (m *monitor) pump(ctx context.Context, seed uint64, pps int) {
 	}
 }
 
+// pump drives every tenant's synthetic stream concurrently — one
+// pump goroutine per tenant, seeds offset so the tenants see
+// different traffic — and returns when ctx is cancelled.
+func (s *server) pump(ctx context.Context, seed uint64, pps int) {
+	var wg sync.WaitGroup
+	for i, m := range s.ts {
+		wg.Add(1)
+		go func(i int, m *monitor) {
+			defer wg.Done()
+			m.pump(ctx, seed+uint64(i)*1009, pps)
+		}(i, m)
+	}
+	wg.Wait()
+}
+
 // mux wires the endpoints. Split out from serve() so tests can mount
-// it on an httptest server.
-func (m *monitor) mux() *http.ServeMux {
+// it on an httptest server. The bare paths serve the default tenant;
+// /t/{name}/… routes the same surface per tenant; /tenants indexes
+// them.
+func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", m.handleHealthz)
-	mux.HandleFunc("/metrics", m.handleMetrics)
-	mux.HandleFunc("/debug/vars", m.handleVars)
-	mux.HandleFunc("/debug/flightrecorder", m.handleFlightRecorder)
-	mux.HandleFunc("/profile/", m.handleProfile)
+	d := s.def()
+	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/debug/vars", d.handleVars)
+	mux.HandleFunc("/debug/flightrecorder", d.handleFlightRecorder)
+	mux.HandleFunc("/profile/", d.handleProfile)
+	mux.HandleFunc("/tenants", s.handleTenants)
+	mux.HandleFunc("/t/", s.handleTenantRoute)
 	// Host-process profiles from the Go runtime, plus the simulated
 	// filter profile alongside them (the monitor observes two machines:
 	// the host Go process and the modeled DEC 21064).
@@ -171,8 +244,64 @@ func (m *monitor) mux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/debug/pprof/filters", m.handleFilterProfile)
+	mux.HandleFunc("/debug/pprof/filters", d.handleFilterProfile)
 	return mux
+}
+
+// handleTenants serves the tenant index: every hosted tenant with its
+// routing prefix and headline counters, in serving order.
+func (s *server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		Name    string `json:"name"`
+		Prefix  string `json:"prefix"`
+		Filters int    `json:"filters"`
+		Packets int64  `json:"traffic_packets"`
+		Ready   bool   `json:"ready"`
+	}
+	rows := make([]row, 0, len(s.ts))
+	for _, m := range s.ts {
+		rows = append(rows, row{
+			Name:    m.name,
+			Prefix:  "/t/" + m.name + "/",
+			Filters: len(m.k.Owners()),
+			Packets: m.packets.Load(),
+			Ready:   m.ready.Load(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"default": s.def().name, "tenants": rows}); err != nil {
+		log.Printf("tenants: %v", err)
+	}
+}
+
+// handleTenantRoute dispatches /t/{name}/{endpoint} to that tenant's
+// handlers — the same surface the bare paths expose for the default
+// tenant.
+func (s *server) handleTenantRoute(w http.ResponseWriter, r *http.Request) {
+	name, sub, _ := strings.Cut(strings.TrimPrefix(r.URL.Path, "/t/"), "/")
+	m, ok := s.tenant(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no tenant %q (see /tenants)", name), http.StatusNotFound)
+		return
+	}
+	switch {
+	case sub == "healthz":
+		m.handleHealthz(w, r)
+	case sub == "metrics":
+		m.handleMetrics(w, r)
+	case sub == "debug/vars":
+		m.handleVars(w, r)
+	case sub == "debug/flightrecorder":
+		m.handleFlightRecorder(w, r)
+	case sub == "debug/pprof/filters":
+		m.handleFilterProfile(w, r)
+	case sub == "profile" || strings.HasPrefix(sub, "profile/"):
+		m.profilePage(w, strings.TrimPrefix(strings.TrimPrefix(sub, "profile"), "/"))
+	default:
+		http.Error(w, fmt.Sprintf("no endpoint %q for tenant %q", sub, name), http.StatusNotFound)
+	}
 }
 
 func (m *monitor) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -198,6 +327,7 @@ func (m *monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (m *monitor) handleVars(w http.ResponseWriter, _ *http.Request) {
 	st := m.k.Stats()
 	doc := map[string]any{
+		"tenant":           m.name,
 		"uptime_seconds":   time.Since(m.start).Seconds(),
 		"kernel":           st,
 		"owners":           m.k.Owners(),
@@ -224,7 +354,12 @@ func (m *monitor) handleVars(w http.ResponseWriter, _ *http.Request) {
 // the profiled filters, /profile/{name} renders one filter's
 // disassembly with per-PC and per-block cycle attribution.
 func (m *monitor) handleProfile(w http.ResponseWriter, r *http.Request) {
-	name := strings.TrimPrefix(r.URL.Path, "/profile/")
+	m.profilePage(w, strings.TrimPrefix(r.URL.Path, "/profile/"))
+}
+
+// profilePage renders the profile index ("" name) or one filter's
+// annotated listing; shared between the bare and /t/{name}/ routes.
+func (m *monitor) profilePage(w http.ResponseWriter, name string) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if name == "" {
 		snaps := m.k.FilterProfiles()
@@ -267,9 +402,10 @@ func (m *monitor) handleFilterProfile(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// runServe is the -serve entry point: boot, pump traffic, serve until
-// SIGINT/SIGTERM, then drain the listener gracefully.
-func runServe(addr string, auditOut string, budget int64, seed uint64, pps int, extra map[string]string) error {
+// runServe is the -serve entry point: boot every tenant, pump traffic
+// through each, serve until SIGINT/SIGTERM, then drain the listener
+// gracefully.
+func runServe(addr string, auditOut string, budget int64, seed uint64, pps int, extra map[string]string, tenants []string) error {
 	auditW := io.Writer(os.Stderr)
 	if auditOut != "" {
 		f, err := os.Create(auditOut)
@@ -279,19 +415,19 @@ func runServe(addr string, auditOut string, budget int64, seed uint64, pps int, 
 		defer f.Close()
 		auditW = f
 	}
-	m, err := bootMonitor(slog.New(slog.NewJSONHandler(auditW, nil)), budget, extra)
+	s, err := bootServer(slog.New(slog.NewJSONHandler(auditW, nil)), budget, extra, tenants)
 	if err != nil {
 		return err
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	go m.pump(ctx, seed, pps)
+	go s.pump(ctx, seed, pps)
 
-	srv := &http.Server{Addr: addr, Handler: m.mux()}
+	srv := &http.Server{Addr: addr, Handler: s.mux()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s (%d filters, ~%d pps synthetic traffic)",
-		addr, len(m.k.Owners()), pps)
+	log.Printf("serving on %s (%d tenant(s): %s; %d filters each, ~%d pps synthetic traffic per tenant)",
+		addr, len(s.ts), strings.Join(s.reg.Names(), ", "), len(s.def().k.Owners()), pps)
 
 	select {
 	case err := <-errc:

@@ -15,17 +15,19 @@ import (
 )
 
 // bootTestMonitor boots the full observability stack into an httptest
-// server, with the audit log captured in a buffer.
-func bootTestMonitor(t *testing.T) (*monitor, *httptest.Server, *bytes.Buffer) {
+// server, with the audit log captured in a buffer. With no tenant
+// names it hosts the single "default" tenant, whose monitor is
+// returned (the one the bare legacy paths serve).
+func bootTestMonitor(t *testing.T, tenants ...string) (*monitor, *httptest.Server, *bytes.Buffer) {
 	t.Helper()
 	var audit bytes.Buffer
-	m, err := bootMonitor(slog.New(slog.NewJSONHandler(&audit, nil)), 0, nil)
+	s, err := bootServer(slog.New(slog.NewJSONHandler(&audit, nil)), 0, nil, tenants)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(m.mux())
+	srv := httptest.NewServer(s.mux())
 	t.Cleanup(srv.Close)
-	return m, srv, &audit
+	return s.def(), srv, &audit
 }
 
 func get(t *testing.T, url string) (int, string) {
@@ -177,6 +179,137 @@ func TestServeEndpoints(t *testing.T) {
 	if !strings.Contains(audit.String(), `"event":"install"`) ||
 		!strings.Contains(audit.String(), `"verdict":"installed"`) {
 		t.Fatalf("boot installs not audited:\n%s", audit.String())
+	}
+}
+
+// TestServeMultiTenant boots two tenants and checks the per-tenant
+// routing and kernel isolation end to end over HTTP: traffic pumped
+// into one tenant moves only that tenant's counters, each /t/{name}/
+// surface reports its own kernel, and the audit stream tags every
+// record with its tenant.
+func TestServeMultiTenant(t *testing.T) {
+	var audit bytes.Buffer
+	s, err := bootServer(slog.New(slog.NewJSONHandler(&audit, nil)), 0, nil, []string{"alpha", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.mux())
+	t.Cleanup(srv.Close)
+	alpha, ok := s.tenant("alpha")
+	if !ok {
+		t.Fatal("no alpha tenant")
+	}
+	beta, ok := s.tenant("beta")
+	if !ok {
+		t.Fatal("no beta tenant")
+	}
+
+	code, body := get(t, srv.URL+"/tenants")
+	if code != http.StatusOK {
+		t.Fatalf("/tenants: %d", code)
+	}
+	var index struct {
+		Default string `json:"default"`
+		Tenants []struct {
+			Name    string `json:"name"`
+			Prefix  string `json:"prefix"`
+			Filters int    `json:"filters"`
+			Ready   bool   `json:"ready"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal([]byte(body), &index); err != nil {
+		t.Fatalf("/tenants not JSON: %v\n%s", err, body)
+	}
+	if index.Default != "alpha" || len(index.Tenants) != 2 ||
+		index.Tenants[0].Name != "alpha" || index.Tenants[1].Prefix != "/t/beta/" ||
+		index.Tenants[0].Filters == 0 || !index.Tenants[1].Ready {
+		t.Fatalf("/tenants implausible: %+v", index)
+	}
+
+	// Pump traffic into alpha only: isolation means beta's kernel and
+	// traffic counters must not move.
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	alpha.pump(ctx, 42, 5000)
+	if alpha.packets.Load() == 0 {
+		t.Fatal("pump delivered no packets to alpha")
+	}
+	if beta.packets.Load() != 0 {
+		t.Fatal("alpha's pump leaked traffic-counter increments into beta")
+	}
+
+	vars := func(tenant string) map[string]any {
+		code, body := get(t, srv.URL+"/t/"+tenant+"/debug/vars")
+		if code != http.StatusOK {
+			t.Fatalf("/t/%s/debug/vars: %d", tenant, code)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("/t/%s/debug/vars not JSON: %v", tenant, err)
+		}
+		return doc
+	}
+	av, bv := vars("alpha"), vars("beta")
+	if av["tenant"] != "alpha" || bv["tenant"] != "beta" {
+		t.Fatalf("tenant tags wrong: %v / %v", av["tenant"], bv["tenant"])
+	}
+	// Exact reconciliation within one tenant: the pump counts a batch
+	// only after DeliverPackets returns, so the kernel's packet total
+	// must be at least the traffic counter — and beta's must be zero.
+	akp := av["kernel"].(map[string]any)["Packets"].(float64)
+	atp := av["traffic_packets"].(float64)
+	if atp <= 0 || akp < atp {
+		t.Fatalf("alpha kernel/traffic reconciliation: kernel %v < traffic %v", akp, atp)
+	}
+	if bkp := bv["kernel"].(map[string]any)["Packets"].(float64); bkp != 0 {
+		t.Fatalf("beta kernel dispatched %v packets without traffic", bkp)
+	}
+
+	// Per-tenant metrics expositions: alpha's counter moved, beta's
+	// families exist but sit at zero.
+	if _, body = get(t, srv.URL+"/t/alpha/metrics"); !strings.Contains(body, "pcc_packets_total") {
+		t.Fatalf("/t/alpha/metrics missing pcc_packets_total:\n%s", body)
+	}
+	if !strings.Contains(body, "pcc_filter_run_seconds_bucket") {
+		t.Fatalf("/t/alpha/metrics missing the per-filter latency family:\n%s", body)
+	}
+	if _, body = get(t, srv.URL+"/t/beta/metrics"); !strings.Contains(body, "pcc_packets_total 0") {
+		t.Fatalf("/t/beta/metrics packet counter moved without traffic:\n%s", body)
+	}
+
+	// The bare legacy surface is the default tenant.
+	if _, body = get(t, srv.URL+"/debug/vars"); !strings.Contains(body, `"tenant": "alpha"`) {
+		t.Fatalf("bare /debug/vars is not the default tenant:\n%s", body)
+	}
+
+	// Per-tenant healthz, flight recorder, and profile routing.
+	if code, body = get(t, srv.URL+"/t/beta/healthz"); code != http.StatusOK || !strings.Contains(body, "ok:") {
+		t.Fatalf("/t/beta/healthz: %d %q", code, body)
+	}
+	if code, body = get(t, srv.URL+"/t/beta/debug/flightrecorder"); code != http.StatusOK || !strings.Contains(body, "config_change") {
+		t.Fatalf("/t/beta/debug/flightrecorder: %d %q", code, body)
+	}
+	if code, body = get(t, srv.URL+"/t/alpha/profile/"); code != http.StatusOK || !strings.Contains(body, "/profile/Filter 1") {
+		t.Fatalf("/t/alpha/profile/ index: %d %q", code, body)
+	}
+	if code, body = get(t, srv.URL+"/t/alpha/profile/Filter 1"); code != http.StatusOK || !strings.Contains(body, "cycles") {
+		t.Fatalf("/t/alpha/profile/Filter 1: %d %q", code, body)
+	}
+
+	// Unknown tenants and endpoints 404 rather than falling through to
+	// another tenant's data.
+	if code, _ = get(t, srv.URL+"/t/nope/metrics"); code != http.StatusNotFound {
+		t.Fatalf("/t/nope/metrics: %d, want 404", code)
+	}
+	if code, _ = get(t, srv.URL+"/t/alpha/bogus"); code != http.StatusNotFound {
+		t.Fatalf("/t/alpha/bogus: %d, want 404", code)
+	}
+
+	// Every audit record carries its tenant; both tenants booted.
+	for _, want := range []string{`"tenant":"alpha"`, `"tenant":"beta"`} {
+		if !strings.Contains(audit.String(), want) {
+			t.Fatalf("audit log missing %s:\n%s", want, audit.String())
+		}
 	}
 }
 

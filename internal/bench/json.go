@@ -17,7 +17,11 @@ import (
 // 2: added the dispatch section (backend × shape throughput matrix).
 // 3: added the observability section (instrumentation overhead matrix
 // and the headline profiling_overhead_pct).
-const ReportSchema = 3
+// 4: added the dispatch_scaling section (multi-goroutine throughput
+// ladder over one shared lock-free kernel), its headline
+// parallel_speedup, and gomaxprocs — the core count the speedup was
+// measured under, without which the ratio is uninterpretable.
+const ReportSchema = 4
 
 // Table1JSON is one Table 1 row with durations in nanoseconds.
 type Table1JSON struct {
@@ -89,6 +93,19 @@ type ObservabilityJSON struct {
 	Accepted    int     `json:"accepted"`
 }
 
+// ScalingJSON is one rung of the multi-goroutine dispatch-scaling
+// ladder: aggregate throughput of G goroutines sharing one kernel's
+// lock-free filter table (see scaling.go).
+type ScalingJSON struct {
+	Goroutines  int     `json:"goroutines"`
+	Packets     int     `json:"packets"`
+	Filters     int     `json:"filters"`
+	WallNs      int64   `json:"wall_ns"`
+	NsPerPacket float64 `json:"ns_per_packet"`
+	PPS         float64 `json:"packets_per_sec"`
+	Accepted    int     `json:"accepted"`
+}
+
 // Report is the whole document.
 type Report struct {
 	Schema    int            `json:"schema"`
@@ -108,6 +125,13 @@ type Report struct {
 	// unprofiled compiled throughput lost to per-block profiling.
 	Observability        []ObservabilityJSON `json:"observability"`
 	ProfilingOverheadPct float64             `json:"profiling_overhead_pct"`
+	// DispatchScaling is the multi-goroutine throughput ladder;
+	// ParallelSpeedup is its headline (widest rung over one
+	// goroutine) and GOMAXPROCS the core budget it ran under — the
+	// achievable ceiling is min(goroutines, GOMAXPROCS).
+	DispatchScaling []ScalingJSON `json:"dispatch_scaling"`
+	ParallelSpeedup float64       `json:"parallel_speedup"`
+	GOMAXPROCS      int           `json:"gomaxprocs"`
 }
 
 // cyclesPerMicro converts the paper's microsecond axis back to cycles
@@ -236,6 +260,24 @@ func BuildReport(n int, now time.Time) (*Report, error) {
 		})
 	}
 	rep.ProfilingOverheadPct = ProfilingOverheadPct(obs)
+
+	sc, err := DispatchScaling(dn)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch scaling: %w", err)
+	}
+	for _, r := range sc {
+		rep.DispatchScaling = append(rep.DispatchScaling, ScalingJSON{
+			Goroutines:  r.Goroutines,
+			Packets:     r.Packets,
+			Filters:     r.Filters,
+			WallNs:      r.Wall.Nanoseconds(),
+			NsPerPacket: r.NsPerPacket(),
+			PPS:         r.PPS(),
+			Accepted:    r.Accepted,
+		})
+	}
+	rep.ParallelSpeedup = ParallelSpeedup(sc)
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	return rep, nil
 }
 

@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -82,6 +83,26 @@ func TestBuildReport(t *testing.T) {
 	last := rep.Observability[4]
 	if last.Config != "compiled+prof+obs" || !last.Observers || !last.Profiling {
 		t.Errorf("fully observed posture missing or mislabeled: %+v", last)
+	}
+
+	// Schema 4: the multi-goroutine scaling ladder over one shared
+	// lock-free kernel, with the core budget recorded beside it.
+	if len(rep.DispatchScaling) != len(ScalingGoroutines) {
+		t.Fatalf("dispatch_scaling has %d rungs, want %d", len(rep.DispatchScaling), len(ScalingGoroutines))
+	}
+	for i, r := range rep.DispatchScaling {
+		if r.Goroutines != ScalingGoroutines[i] || r.Packets != 40 || r.Filters != 4 || r.WallNs <= 0 || r.PPS <= 0 {
+			t.Errorf("implausible scaling rung: %+v", r)
+		}
+		if r.Accepted != rep.DispatchScaling[0].Accepted {
+			t.Errorf("scaling accepts diverge: %+v vs %+v", r, rep.DispatchScaling[0])
+		}
+	}
+	if rep.ParallelSpeedup <= 0 {
+		t.Errorf("parallel_speedup = %v, want > 0", rep.ParallelSpeedup)
+	}
+	if rep.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("gomaxprocs = %d, want %d", rep.GOMAXPROCS, runtime.GOMAXPROCS(0))
 	}
 
 	var buf bytes.Buffer

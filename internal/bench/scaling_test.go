@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDispatchScaling runs the ladder over a short trace and checks
+// shape and internal consistency; the verdict census is cross-checked
+// inside DispatchScaling itself, so an error return is the real gate.
+func TestDispatchScaling(t *testing.T) {
+	rows, err := DispatchScaling(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ScalingGoroutines) {
+		t.Fatalf("%d rungs, want %d", len(rows), len(ScalingGoroutines))
+	}
+	for i, r := range rows {
+		if r.Goroutines != ScalingGoroutines[i] {
+			t.Errorf("rung %d: goroutines = %d, want %d", i, r.Goroutines, ScalingGoroutines[i])
+		}
+		if r.Packets != 400 || r.Wall <= 0 || r.PPS() <= 0 || r.NsPerPacket() <= 0 {
+			t.Errorf("implausible rung: %+v", r)
+		}
+		if r.Accepted != rows[0].Accepted {
+			t.Errorf("accepts diverge across rungs: %+v vs %+v", r, rows[0])
+		}
+	}
+	if s := ParallelSpeedup(rows); s <= 0 {
+		t.Errorf("ParallelSpeedup = %v, want > 0", s)
+	}
+	out := FormatScaling(rows)
+	for _, want := range []string{"goroutines", "GOMAXPROCS", "packets/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatScaling output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestParallelSpeedupEdges pins the degenerate inputs.
+func TestParallelSpeedupEdges(t *testing.T) {
+	if s := ParallelSpeedup(nil); s != 0 {
+		t.Errorf("ParallelSpeedup(nil) = %v, want 0", s)
+	}
+	rows := []ScalingRow{
+		{Goroutines: 1, Packets: 100, Wall: 200},
+		{Goroutines: 8, Packets: 100, Wall: 50},
+	}
+	if s := ParallelSpeedup(rows); s < 3.99 || s > 4.01 {
+		t.Errorf("ParallelSpeedup = %v, want 4.0", s)
+	}
+}

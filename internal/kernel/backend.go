@@ -82,8 +82,13 @@ func (k *Kernel) Backend() Backend { return Backend(k.backend.Load()) }
 // retrofits every installed filter: switching to BackendCompiled
 // compiles each installed program (an error on any filter aborts the
 // switch with nothing changed); switching to BackendInterp drops the
-// compiled forms, an immediate rollback path. Dispatches in flight
-// observe the table atomically under the kernel lock.
+// compiled forms, an immediate rollback path. Installed filters are
+// immutable once published, so the retrofit is copy-on-write: each
+// changed filter is replaced by a clone sharing its accept counter
+// and profile accumulator, the new snapshot is published atomically,
+// and the replaced originals are retired past in-flight deliveries —
+// a dispatch in flight finishes entirely on the backend it started
+// with.
 func (k *Kernel) SetBackend(b Backend) error {
 	if b != BackendInterp && b != BackendCompiled {
 		return fmt.Errorf("kernel: unknown backend %d", b)
@@ -91,9 +96,14 @@ func (k *Kernel) SetBackend(b Backend) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	old := Backend(k.backend.Load())
+	t := k.table.Load()
+	var nt *filterTable
+	var replaced []*installed
 	if b == BackendCompiled {
-		fresh := make(map[string]*machine.Compiled, len(k.filters))
-		for owner, f := range k.filters {
+		// Two passes so a compile failure aborts with nothing changed.
+		fresh := make(map[string]*machine.Compiled, len(t.slots))
+		for i := range t.slots {
+			owner, f := t.slots[i].owner, t.slots[i].f
 			if f.compiled != nil {
 				continue
 			}
@@ -110,13 +120,27 @@ func (k *Kernel) SetBackend(b Backend) error {
 			}
 			fresh[owner] = c
 		}
-		for owner, c := range fresh {
-			k.filters[owner].compiled = c
-		}
+		nt, replaced = t.mapped(func(owner string, f *installed) *installed {
+			c, ok := fresh[owner]
+			if !ok {
+				return f
+			}
+			nf := *f
+			nf.compiled = c
+			return &nf
+		})
 	} else {
-		for _, f := range k.filters {
-			f.compiled = nil
-		}
+		nt, replaced = t.mapped(func(owner string, f *installed) *installed {
+			if f.compiled == nil {
+				return f
+			}
+			nf := *f
+			nf.compiled = nil
+			return &nf
+		})
+	}
+	if nt != t {
+		k.publishLocked(nt, replaced...)
 	}
 	k.backend.Store(int32(b))
 	k.configChange("backend", old.String(), b.String())

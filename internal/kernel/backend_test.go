@@ -138,11 +138,10 @@ func TestSetBackendRetrofit(t *testing.T) {
 	k := New()
 	installPaperFilters(t, k)
 	compiledCount := func() int {
-		k.mu.RLock()
-		defer k.mu.RUnlock()
 		n := 0
-		for _, f := range k.filters {
-			if f.compiled != nil {
+		tb := k.table.Load()
+		for i := range tb.slots {
+			if tb.slots[i].c != nil {
 				n++
 			}
 		}
@@ -190,9 +189,8 @@ func TestInstallFilterWithBackend(t *testing.T) {
 	if err := k.InstallFilterWithBackend(ctx, "i", certFilter(t, k, filters.Filter2), BackendInterp); err != nil {
 		t.Fatal(err)
 	}
-	k.mu.RLock()
-	cc, ci := k.filters["c"].compiled, k.filters["i"].compiled
-	k.mu.RUnlock()
+	tb := k.table.Load()
+	cc, ci := tb.slots[tb.index["c"]].c, tb.slots[tb.index["i"]].c
 	if cc == nil {
 		t.Fatal("per-install compiled override did not compile")
 	}
@@ -211,9 +209,8 @@ func TestInstallFilterWithBackend(t *testing.T) {
 	if err := k.InstallFilterWithBackend(ctx, "b", bin, BackendCompiled); err != nil {
 		t.Fatal(err)
 	}
-	k.mu.RLock()
-	ca, cb := k.filters["a"].compiled, k.filters["b"].compiled
-	k.mu.RUnlock()
+	tb = k.table.Load()
+	ca, cb := tb.slots[tb.index["a"]].c, tb.slots[tb.index["b"]].c
 	if ca == nil || ca != cb {
 		t.Fatal("compiled form not shared via the proof-cache slot")
 	}

@@ -1,13 +1,16 @@
 // Vectorized packet dispatch. DeliverPacket pays fixed costs per
-// packet that have nothing to do with filter execution: a read-lock
-// acquisition, a telemetry span, a pool round-trip, a map iteration, a
-// sort of the accepted owners, and one labeled-counter lookup per
-// filter run. DeliverPackets amortizes all of them across a packet
-// vector — one lock, one span, one pooled environment, one sorted
-// filter snapshot, per-filter counters accumulated locally and flushed
-// once — which is where the compiled backend's per-run win stops being
-// hidden behind dispatch overhead (see EXPERIMENTS.md for the measured
-// combined speedup).
+// packet that have nothing to do with filter execution: an epoch pin,
+// a telemetry span, a pool round-trip, and one labeled-counter lookup
+// per filter run. DeliverPackets amortizes all of them across a packet
+// vector — one pin, one span, one pooled environment, one snapshot
+// load, per-filter counters accumulated locally and flushed once —
+// which is where the compiled backend's per-run win stops being hidden
+// behind dispatch overhead (see EXPERIMENTS.md for the measured
+// combined speedup). Like DeliverPacket it takes NO lock: the filter
+// set is the immutable published snapshot (table.go), already sorted
+// by owner, so the whole batch sees one consistent table and the
+// verdict rows come out in the same order len(pkts) DeliverPacket
+// calls would produce.
 package kernel
 
 import (
@@ -26,37 +29,15 @@ import (
 // the store's existence matters).
 var prefetchSink atomic.Uint32
 
-// fslot is one filter in the batch snapshot, pre-sorted by owner so
-// per-packet accept lists come out sorted for free. c caches the
-// filter's compiled form (nil when absent), hoisting the backend
-// decision out of the per-(packet, filter) loop.
-type fslot struct {
-	owner string
-	f     *installed
-	c     *machine.Compiled
-	// bp accumulates per-block profile counts for the whole batch when
-	// the filter profiles on the compiled backend; the per-PC expansion
-	// and atomic merge happen once per batch in flush. runs counts the
-	// profiled executions fed into bp since the snapshot.
-	bp   *machine.BlockProfile
-	runs int64
-	// hist is the filter's per-owner dispatch-latency histogram
-	// (pcc_filter_run_seconds{filter=owner}), nil with no recorder.
-	hist *telemetry.Histogram
-	// lite: the compiled form's liveness analysis proved the filter
-	// reads only the preset registers, so the cheap between-runs
-	// resetLite suffices.
-	lite bool
-}
-
 // DeliverPackets runs every installed filter over each packet of the
 // vector and returns, per packet, the owners that accepted it — the
 // same verdicts len(pkts) DeliverPacket calls would have produced,
-// under a single lock acquisition and a single telemetry span
-// (StageDispatchBatch). Like DeliverPacket, it holds the kernel lock
-// only in read mode; a fault in a validated filter aborts the batch
-// with an error after flushing the accounting of the runs already
-// done.
+// under a single epoch pin and a single telemetry span
+// (StageDispatchBatch). The snapshot is fixed for the whole batch: a
+// filter installed or uninstalled mid-batch is either visible to
+// every packet of the batch or to none. A fault in a validated filter
+// aborts the batch with an error after flushing the accounting of the
+// runs already done.
 func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 	tel := k.tel.Load()
 	span := tel.span(telemetry.StageDispatchBatch, "")
@@ -65,69 +46,71 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 	defer env.releasePacket()
 	profiling := k.profiling.Load()
 
-	k.mu.RLock()
-	defer k.mu.RUnlock()
+	// Pin an epoch and load the snapshot: the batch's entire view of
+	// the filter set, pre-sorted by owner. The pin keeps a concurrently
+	// retired snapshot (and its compiled programs) alive until the
+	// batch finishes.
+	rec := k.epochs.pin(int(env.shard))
+	defer rec.unpin()
+	t := k.table.Load()
+	slots := t.slots
 
-	// Snapshot the filter table sorted once per batch instead of
-	// sorting accepted owners once per packet. The snapshot and the
-	// per-filter accumulators live in the pooled environment, so a
-	// batch's only allocation is its result.
+	// Per-filter batch state lives in pooled arrays parallel to the
+	// snapshot's slots (the snapshot itself is immutable and shared):
+	// cycle/accept accumulators flushed to the sharded counters once,
+	// block-profile scratch flushed once, latency histograms resolved
+	// once instead of per run.
 	wantCompiled := Backend(k.backend.Load()) == BackendCompiled
-	slots := env.slots[:0]
-	for owner, f := range k.filters {
-		c := f.compiled
-		sl := fslot{owner: owner, f: f, c: c}
-		sl.lite = c != nil && c.LiveInRegs()&^presetRegs == 0
-		if profiling && f.prof != nil && c != nil {
-			// Compiled profiling: one pooled BlockProfile accumulates
-			// the whole batch; flush expands and merges it once.
-			sl.bp = f.prof.getBlockScratch(c)
-		}
-		sl.hist = tel.filterHist(owner)
-		if c == nil && wantCompiled {
-			// The kernel's default backend is compiled but this filter
-			// has no compiled form — it will dispatch interpreted.
-			k.flight(telemetry.FlightBackendFallback, owner, "no compiled form; dispatching interpreted")
-		}
-		slots = append(slots, sl)
-	}
-	for i := 1; i < len(slots); i++ {
-		for j := i; j > 0 && slots[j].owner < slots[j-1].owner; j-- {
-			slots[j], slots[j-1] = slots[j-1], slots[j]
-		}
-	}
-	env.slots = slots
-
-	// Per-filter accumulators, flushed to the shared counters and the
-	// telemetry families once per batch.
 	if cap(env.cycles) < len(slots) {
 		env.cycles = make([]int64, len(slots))
 		env.accepts = make([]int64, len(slots))
+		env.runs = make([]int64, len(slots))
+		env.bps = make([]*machine.BlockProfile, len(slots))
+		env.hists = make([]*telemetry.Histogram, len(slots))
 	}
 	cycles := env.cycles[:len(slots)]
 	accepts := env.accepts[:len(slots)]
-	for i := range cycles {
+	runs := env.runs[:len(slots)]
+	bps := env.bps[:len(slots)]
+	hists := env.hists[:len(slots)]
+	for i := range slots {
 		cycles[i] = 0
 		accepts[i] = 0
+		runs[i] = 0
+		if profiling && slots[i].f.prof != nil && slots[i].c != nil {
+			// Compiled profiling: one pooled BlockProfile accumulates
+			// the whole batch; flush expands and merges it once.
+			bps[i] = slots[i].f.prof.getBlockScratch(slots[i].c)
+		} else {
+			bps[i] = nil
+		}
+		hists[i] = tel.filterHist(slots[i].owner)
+		if slots[i].c == nil && wantCompiled {
+			// The kernel's default backend is compiled but this filter
+			// has no compiled form — it will dispatch interpreted.
+			k.flight(telemetry.FlightBackendFallback, slots[i].owner, "no compiled form; dispatching interpreted")
+		}
 	}
 	var totalCycles int64
 	var delivered int64
 
 	flush := func() {
-		k.stats.packets.Add(delivered)
-		k.stats.extensionCycles.Add(totalCycles)
+		sh := &k.stats.shards[env.shard]
+		sh.packets.Add(delivered)
+		sh.cycles.Add(totalCycles)
 		tel.packetBatch(delivered)
-		for i, sl := range slots {
+		for i := range slots {
 			if accepts[i] != 0 {
-				sl.f.accepts.Add(accepts[i])
+				slots[i].f.accepts.add(int(env.shard), accepts[i])
 			}
-			tel.filterRunBatch(sl.owner, cycles[i], accepts[i])
-			if sl.bp != nil {
+			tel.filterRunBatch(slots[i].owner, cycles[i], accepts[i])
+			if bps[i] != nil {
 				// One expansion + atomic merge per filter per batch;
 				// the pooled environment must not pin the scratch.
-				sl.f.prof.flushBlocks(sl.bp, sl.runs)
-				slots[i].bp = nil
+				slots[i].f.prof.flushBlocks(bps[i], runs[i])
+				bps[i] = nil
 			}
+			hists[i] = nil // don't pin histograms while pooled
 		}
 	}
 
@@ -137,7 +120,7 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 	// are materialized once at the end. Slot indices are pointer-free,
 	// so the hot loop's bookkeeping triggers no write barriers and the
 	// arena recycles through the pool. Owners land in sorted order
-	// because the slots are sorted.
+	// because the snapshot's slots are sorted.
 	if cap(env.offs) < len(pkts)+1 {
 		env.offs = make([]int32, len(pkts)+1)
 	}
@@ -207,7 +190,7 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 			} else {
 				state = k.packetState(pktgen.Packet{Data: data})
 			}
-			h := slots[si].hist
+			h := hists[si]
 			var t0 time.Time
 			if h != nil {
 				t0 = time.Now()
@@ -217,9 +200,9 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 			// runInstalled, unrolled so the backend branch and the
 			// dirty-scratch decision stay out of the per-op path.
 			if c := slots[si].c; c != nil {
-				if bp := slots[si].bp; bp != nil {
+				if bp := bps[si]; bp != nil {
 					res, err = c.RunProfiled(state, machine.Unchecked, dispatchFuel, bp)
-					slots[si].runs++
+					runs[si]++
 				} else {
 					res, err = c.Run(state, machine.Unchecked, dispatchFuel)
 				}

@@ -1,0 +1,201 @@
+// Epoch-based reclamation for the lock-free dispatch path. The kernel
+// publishes its filter table as an immutable snapshot behind an
+// atomic.Pointer (table.go); writers replace the pointer and must not
+// free the old snapshot — or the compiled programs it references —
+// while a dispatch that loaded it is still running. This file is the
+// grace-period machinery that makes the "free" side safe without ever
+// making the reader side wait.
+//
+// Readers pin: they advertise the current global epoch in a reader
+// record (one atomic store), load the table, dispatch, and store zero
+// to unpin. Writers retire: they bump the global epoch, tag the
+// retired objects with it, and free an object only once every reader
+// record is either quiescent or pinned at an epoch >= the object's —
+// such a reader pinned after the bump, and the table swap is ordered
+// before the bump, so it cannot hold the retired snapshot.
+//
+// The correctness argument leans on Go's sequentially consistent
+// atomics. Writer order: store new table, then Add the epoch, then
+// scan the reader records. Reader order: store the epoch into its
+// record, then load the table. If the writer's scan observes a record
+// as zero, the reader's record store is later than the scan in the
+// total order, so its table load is later than the table store and
+// sees the new snapshot; if the scan observes an epoch >= the retire
+// epoch, the reader loaded the global counter after the bump, which is
+// after the swap. Either way the retired snapshot is unreachable from
+// that reader. A record observed at an older epoch blocks reclamation
+// (conservatively — the pin may predate the swap), which is the only
+// case that defers a free.
+//
+// Freed objects are POISONED, not merely dropped: the retirement
+// callbacks write nil over exactly the fields dispatch reads (the
+// table's slots, an installed filter's compiled program). The writes
+// are deliberately plain, so if the grace period is ever wrong the
+// race detector — which the full test suite runs under — flags the
+// poison write racing the dispatch read instead of the bug surfacing
+// as a once-a-month wrong verdict.
+package kernel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLine is the assumed cache-line size for padding out the shared
+// slots concurrent dispatchers write (reader records, counter shards).
+// 64 bytes covers amd64 and most arm64 parts; on 128-byte-line hosts
+// two slots share a line, which costs throughput, never correctness.
+const cacheLine = 64
+
+// epochRecord is one reader's pin slot. Zero means quiescent; nonzero
+// is the global epoch the reader observed when it pinned. Records are
+// claimed by CAS, so any goroutine — a pooled dispatch environment or
+// a metrics scrape — can pin without registration. Padded so two
+// concurrently pinning readers never share a cache line.
+type epochRecord struct {
+	e atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// unpin marks the record quiescent and releases the claim.
+func (r *epochRecord) unpin() { r.e.Store(0) }
+
+// retiredItem is one object awaiting its grace period: free runs once
+// no reader can still hold a snapshot that references the object.
+type retiredItem struct {
+	epoch uint64
+	free  func()
+}
+
+// epochs is the reclamation domain: a global epoch counter, a
+// grow-only set of reader records, and the retired list. The mutex
+// serializes writers (retire, reclaim, record growth); readers only
+// CAS records and never take it, except to grow the record set when
+// every record is simultaneously claimed.
+type epochs struct {
+	global atomic.Uint64
+	recs   atomic.Pointer[[]*epochRecord]
+
+	mu      sync.Mutex
+	retired []retiredItem
+}
+
+// initialEpochRecords sizes the starting record set; pin grows it
+// (doubling) in the rare case more goroutines dispatch simultaneously
+// than there are records.
+const initialEpochRecords = 16
+
+func newEpochs() *epochs {
+	e := &epochs{}
+	e.global.Store(1) // epoch 0 is reserved for "quiescent"
+	recs := make([]*epochRecord, initialEpochRecords)
+	for i := range recs {
+		recs[i] = new(epochRecord)
+	}
+	e.recs.Store(&recs)
+	return e
+}
+
+// pin claims a reader record and advertises the current global epoch
+// in it. hint spreads concurrent readers across the record set so the
+// first probe usually succeeds; any hint value is valid. The caller
+// must unpin the returned record when done with the snapshot.
+func (e *epochs) pin(hint int) *epochRecord {
+	for {
+		recs := *e.recs.Load()
+		n := len(recs)
+		for i := 0; i < n; i++ {
+			r := recs[(hint+i)%n]
+			if r.e.Load() == 0 && r.e.CompareAndSwap(0, e.global.Load()) {
+				return r
+			}
+		}
+		e.grow(n)
+	}
+}
+
+// grow doubles the record set if it still has the observed size (a
+// concurrent grower may have beaten us, in which case pin just
+// rescans). Records are never removed: a stale slice held by a
+// concurrent pin scan stays a valid prefix of the new one.
+func (e *epochs) grow(seen int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := *e.recs.Load()
+	if len(cur) != seen {
+		return
+	}
+	next := make([]*epochRecord, 2*len(cur))
+	copy(next, cur)
+	for i := len(cur); i < len(next); i++ {
+		next[i] = new(epochRecord)
+	}
+	e.recs.Store(&next)
+}
+
+// retire queues free callbacks for objects a writer just unpublished,
+// tagged with a freshly bumped epoch, then attempts reclamation. The
+// swap that unpublished the objects must happen before this call.
+func (e *epochs) retire(frees ...func()) {
+	if len(frees) == 0 {
+		return
+	}
+	e.mu.Lock()
+	ep := e.global.Add(1)
+	for _, fn := range frees {
+		e.retired = append(e.retired, retiredItem{epoch: ep, free: fn})
+	}
+	e.mu.Unlock()
+	e.reclaim()
+}
+
+// reclaim frees every retired item whose grace period has elapsed: all
+// reader records are quiescent or pinned at an epoch >= the item's.
+func (e *epochs) reclaim() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.retired) == 0 {
+		return
+	}
+	// Oldest pinned epoch; MaxUint64 when every record is quiescent.
+	oldest := uint64(math.MaxUint64)
+	for _, r := range *e.recs.Load() {
+		if v := r.e.Load(); v != 0 && v < oldest {
+			oldest = v
+		}
+	}
+	kept := e.retired[:0]
+	for _, it := range e.retired {
+		if it.epoch <= oldest {
+			it.free()
+		} else {
+			kept = append(kept, it)
+		}
+	}
+	// Drop freed closures from the tail so they are collectible.
+	tail := e.retired[len(kept):]
+	for i := range tail {
+		tail[i] = retiredItem{}
+	}
+	e.retired = kept
+}
+
+// drain blocks until every retired object has been freed, yielding to
+// let in-flight readers unpin. Writers keep retiring concurrently, so
+// under sustained churn this waits for a momentarily empty list — the
+// callers (tests, operators reconciling exact counters) quiesce their
+// own load first.
+func (e *epochs) drain() {
+	for {
+		e.reclaim()
+		e.mu.Lock()
+		n := len(e.retired)
+		e.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+}

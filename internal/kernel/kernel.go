@@ -13,16 +13,19 @@
 //
 // Installation is a two-stage pipeline (pipeline.go): an expensive
 // validation stage that runs lock-free (memoized by the proof cache,
-// cache.go) and a short commit section under the kernel lock. Dispatch
-// takes the lock in read mode, so packet delivery proceeds in parallel
-// with other deliveries and is never blocked behind a proof check.
+// cache.go) and a short commit section under the kernel's writer
+// mutex. Dispatch takes NO lock at all: the installed-filter set is
+// published as an immutable snapshot behind an atomic pointer
+// (table.go), deliveries pin an epoch and load it once (epoch.go),
+// and the hot counters are sharded per dispatch environment
+// (shard.go) — so packet delivery never waits, not even for an
+// install's commit section. See DESIGN.md, "Concurrency model".
 package kernel
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,11 +40,11 @@ import (
 
 // Stats is an approximate, lock-free snapshot of the kernel
 // accounting (see the Stats method for the exact contract): each field
-// is read atomically, but the snapshot as a whole is not a consistent
-// cut while installs or deliveries are in flight. For exact
-// cross-counter invariants, quiesce the kernel first; for stage-level
-// latency attribution, attach a telemetry.Recorder (SetRecorder)
-// instead of polling Stats.
+// is aggregated from atomic counters at scrape time, but the snapshot
+// as a whole is not a consistent cut while installs or deliveries are
+// in flight. For exact cross-counter invariants, quiesce the kernel
+// first; for stage-level latency attribution, attach a
+// telemetry.Recorder (SetRecorder) instead of polling Stats.
 type Stats struct {
 	// Validations and Rejections count install attempts.
 	Validations int
@@ -68,36 +71,60 @@ type Stats struct {
 }
 
 // counters is the lock-free backing store for Stats (cache counters
-// live in the proofCache).
+// live in the proofCache). The install-side counters are single
+// atomics — installs are not the hot path; the dispatch-side packet
+// and cycle counters are sharded per dispatch environment (shard.go)
+// and summed at scrape time.
 type counters struct {
 	validations     atomic.Int64
 	rejections      atomic.Int64
 	validationNanos atomic.Int64
-	packets         atomic.Int64
-	extensionCycles atomic.Int64
 	batchInstalls   atomic.Int64
 	queueWaitNanos  atomic.Int64
+	shards          []dispatchShard
 }
 
-// installed is one live packet filter. The accepts counter is shared
-// with the kernel's persistent per-owner table so dispatch can bump it
-// under the read lock. prof is the cycle-attribution accumulator,
+// packets sums the sharded delivery counter.
+func (c *counters) packets() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].packets.Load()
+	}
+	return sum
+}
+
+// extensionCycles sums the sharded cycle counter.
+func (c *counters) extensionCycles() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].cycles.Load()
+	}
+	return sum
+}
+
+// installed is one live packet filter. Immutable once published in a
+// filterTable snapshot: retrofits (SetBackend, SetProfiling) replace
+// the struct rather than mutating it, and the replaced one is retired
+// through the epoch domain. The accepts counter is shared with the
+// snapshot's persistent per-owner table so accounting survives
+// uninstall/reinstall. prof is the cycle-attribution accumulator,
 // non-nil only once profiling has been enabled (profile.go). compiled
 // is the threaded-code form, non-nil only when the filter was
 // installed under (or retrofitted to) BackendCompiled (backend.go).
 type installed struct {
 	ext      *pcc.Extension
-	accepts  *atomic.Int64
+	accepts  *ownerCounter
 	prof     *filterProfile
 	compiled *machine.Compiled
 }
 
 // Kernel is a simulated extensible kernel.
 type Kernel struct {
-	// mu guards the installation tables below. Writers (install
-	// commits, uninstalls, negotiation) hold it briefly; dispatch and
-	// introspection take it in read mode. Validation itself never
-	// holds it.
+	// mu guards the control plane: filter-table publication (writers
+	// serialize their copy-on-write builds), handler/table maps,
+	// budget, and negotiation. Dispatch NEVER takes it — deliveries
+	// read the table snapshot lock-free. Validation never holds it
+	// either.
 	mu sync.RWMutex
 
 	filterPolicy   *policy.Policy
@@ -107,9 +134,13 @@ type Kernel struct {
 	filterKeyer   *pcc.Keyer
 	resourceKeyer *pcc.Keyer
 
-	filters          map[string]*installed
-	accepts          map[string]*atomic.Int64 // persists across uninstall
-	handlers         map[int]*pcc.Extension   // pid -> resource-access handler
+	// table is the published installed-filter snapshot (table.go);
+	// epochs is the grace-period domain that defers freeing retired
+	// snapshots and filters past in-flight deliveries (epoch.go).
+	table  atomic.Pointer[filterTable]
+	epochs *epochs
+
+	handlers         map[int]*pcc.Extension // pid -> resource-access handler
 	tables           map[int]*machine.Region
 	budget           CycleBudget
 	negotiated       map[string]*policy.Policy
@@ -117,6 +148,10 @@ type Kernel struct {
 
 	cache *proofCache
 	stats counters
+	// envSeq assigns counter shards to dispatch environments
+	// round-robin; shardMask is len(stats.shards)-1.
+	envSeq    atomic.Uint32
+	shardMask uint32
 
 	// tel is the optional telemetry sink (telemetry.go); nil means
 	// every instrumentation point is a no-op costing one atomic load.
@@ -159,15 +194,22 @@ func NewWithCacheSize(size int) *Kernel {
 	k := &Kernel{
 		filterPolicy:   policy.PacketFilter(),
 		resourcePolicy: policy.ResourceAccess(),
-		filters:        map[string]*installed{},
-		accepts:        map[string]*atomic.Int64{},
 		handlers:       map[int]*pcc.Extension{},
 		tables:         map[int]*machine.Region{},
 		cache:          newProofCache(size),
+		epochs:         newEpochs(),
 	}
+	k.table.Store(newFilterTable())
+	n := numShards()
+	k.stats.shards = make([]dispatchShard, n)
+	k.shardMask = uint32(n - 1)
 	k.filterKeyer = pcc.NewKeyer(k.filterPolicy)
 	k.resourceKeyer = pcc.NewKeyer(k.resourcePolicy)
-	k.statePool.New = func() any { return newPacketEnv() }
+	k.statePool.New = func() any {
+		e := newPacketEnv()
+		e.shard = k.envSeq.Add(1) & k.shardMask
+		return e
+	}
 	return k
 }
 
@@ -379,17 +421,26 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 					&pcc.ResourceLimitError{Axis: "cycle_budget", Actual: slot.wcet, Max: int64(k.budget)})
 			}
 		}
-		ctr := k.accepts[owner]
+		// Copy-on-write publication: build the replacement snapshot,
+		// swap the pointer, retire the old snapshot (and a replaced
+		// filter) past in-flight deliveries. The persistent per-owner
+		// accept counter is carried over or minted here.
+		t := k.table.Load()
+		ctr := t.accepts[owner]
 		if ctr == nil {
-			ctr = new(atomic.Int64)
-			k.accepts[owner] = ctr
+			ctr = newOwnerCounter(len(k.stats.shards))
 		}
 		ins := &installed{ext: slot.ext, accepts: ctr, compiled: compiled}
 		if k.profiling.Load() {
 			ins.prof = newFilterProfile(slot.ext.Prog)
 		}
-		k.filters[owner] = ins
-		tel.setFilters(len(k.filters))
+		nt := t.withFilter(owner, ins)
+		var retired []*installed
+		if i, ok := t.index[owner]; ok {
+			retired = append(retired, t.slots[i].f)
+		}
+		k.publishLocked(nt, retired...)
+		tel.setFilters(len(nt.slots))
 		return nil
 	}()
 	if err != nil {
@@ -405,26 +456,32 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 	return err
 }
 
-// UninstallFilter removes an owner's filter.
+// UninstallFilter removes an owner's filter. The removed filter and
+// the superseded snapshot are retired, not freed: an in-flight
+// delivery that loaded the old snapshot finishes against it.
 func (k *Kernel) UninstallFilter(owner string) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	if _, had := k.filters[owner]; had {
-		k.audit.Load().uninstall(owner)
+	t := k.table.Load()
+	nt, removed := t.withoutFilter(owner)
+	if removed == nil {
+		return
 	}
-	delete(k.filters, owner)
-	k.tel.Load().setFilters(len(k.filters))
+	k.audit.Load().uninstall(owner)
+	k.publishLocked(nt, removed)
+	k.tel.Load().setFilters(len(nt.slots))
 }
 
-// Owners lists owners with installed filters, sorted.
+// Owners lists owners with installed filters, sorted. Lock-free: it
+// reads the published snapshot, whose slots are already sorted.
 func (k *Kernel) Owners() []string {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	out := make([]string, 0, len(k.filters))
-	for o := range k.filters {
-		out = append(out, o)
+	rec := k.epochs.pin(0)
+	defer rec.unpin()
+	t := k.table.Load()
+	out := make([]string, len(t.slots))
+	for i := range t.slots {
+		out[i] = t.slots[i].owner
 	}
-	sort.Strings(out)
 	return out
 }
 
@@ -469,14 +526,20 @@ type packetEnv struct {
 	// line in from memory on every delivery for bytes almost never
 	// read.
 	tailSrc []byte
+	// shard is the environment's assigned slot in the kernel's sharded
+	// dispatch counters (shard.go), fixed at creation. sync.Pool's
+	// per-P caching gives the assignment natural processor affinity.
+	shard uint32
 	// Pooled per-batch scratch for DeliverPackets (owner offsets,
-	// accepting-slot indices, and per-filter accumulators), so a
-	// batch allocates only its result.
+	// accepting-slot indices, and per-filter accumulators parallel to
+	// the snapshot's slots), so a batch allocates only its result.
 	offs    []int32
 	aidx    []uint16
-	slots   []fslot
 	cycles  []int64
 	accepts []int64
+	runs    []int64
+	bps     []*machine.BlockProfile
+	hists   []*telemetry.Histogram
 }
 
 func newPacketEnv() *packetEnv {
@@ -634,11 +697,14 @@ func (e *packetEnv) wipeScratch() {
 
 // DeliverPacket runs every installed filter over the packet (with no
 // run-time checks — they are validated) and returns the owners that
-// accepted it. It holds the kernel lock only in read mode, so
-// deliveries proceed concurrently with each other and wait at most for
-// an install's short commit section — never for a validation. The
-// delivery machine state comes from a sync.Pool: one packet copy per
-// delivery, a register/scratch wipe per filter, no allocation.
+// accepted it. The dispatch path acquires NO lock: it pins an epoch,
+// loads the published filter snapshot once, and iterates its
+// pre-sorted slots — so the accept list comes out sorted with no
+// per-call sort, deliveries proceed concurrently with each other AND
+// with install commits, and a concurrently retired filter stays alive
+// until this delivery unpins. The delivery machine state comes from a
+// sync.Pool: one packet copy per delivery, a register/scratch wipe
+// per filter, no allocation.
 func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 	tel := k.tel.Load()
 	span := tel.span(telemetry.StageDispatch, "")
@@ -651,12 +717,16 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 		k.flight(telemetry.FlightOversizePacket, "", fmt.Sprintf("len=%d", len(pkt.Data)))
 	}
 	profiling := k.profiling.Load()
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	k.stats.packets.Add(1)
+	rec := k.epochs.pin(int(env.shard))
+	defer rec.unpin()
+	t := k.table.Load()
+	sh := &k.stats.shards[env.shard]
+	sh.packets.Add(1)
 	tel.packet()
 	var accepted []string
-	for owner, f := range k.filters {
+	var cycles int64
+	for i := range t.slots {
+		owner, f := t.slots[i].owner, t.slots[i].f
 		var state *machine.State
 		if usePool {
 			if env.dirtyScratch {
@@ -674,19 +744,20 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 		if err != nil {
 			// A validated extension cannot fault when the kernel meets
 			// the precondition; if it does, the kernel is broken.
+			sh.cycles.Add(cycles)
 			k.flight(dispatchFaultKind(err), owner, err.Error())
 			span.End(err)
 			return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", owner, err)
 		}
-		k.stats.extensionCycles.Add(res.Cycles)
+		cycles += res.Cycles
 		ok := res.Ret != 0
 		if ok {
 			accepted = append(accepted, owner)
-			f.accepts.Add(1)
+			f.accepts.add(int(env.shard), 1)
 		}
 		tel.filterRun(owner, res.Cycles, ok)
 	}
-	sort.Strings(accepted)
+	sh.cycles.Add(cycles)
 	span.End(nil)
 	return accepted, nil
 }
@@ -715,13 +786,18 @@ func (k *Kernel) packetState(pkt pktgen.Packet) *machine.State {
 	return s
 }
 
-// Accepts returns the per-owner accept counters.
+// Accepts returns the per-owner accept counters (including owners
+// whose filter has since been uninstalled). Lock-free: it reads the
+// published snapshot's persistent counter table and sums each
+// counter's shards; every count is attributed to exactly one shard,
+// so nothing is lost across concurrent deliveries or table swaps.
 func (k *Kernel) Accepts() map[string]int {
-	k.mu.RLock()
-	defer k.mu.RUnlock()
-	out := make(map[string]int, len(k.accepts))
-	for o, n := range k.accepts {
-		out[o] = int(n.Load())
+	rec := k.epochs.pin(0)
+	defer rec.unpin()
+	t := k.table.Load()
+	out := make(map[string]int, len(t.accepts))
+	for o, c := range t.accepts {
+		out[o] = int(c.total())
 	}
 	return out
 }
@@ -814,7 +890,8 @@ func (k *Kernel) InvokeHandler(pid int) error {
 	if err != nil {
 		return fmt.Errorf("kernel: validated handler for pid %d faulted: %w", pid, err)
 	}
-	k.stats.extensionCycles.Add(res.Cycles)
+	// Handlers run under the write lock (cold path); shard 0 is fine.
+	k.stats.shards[0].cycles.Add(res.Cycles)
 	return nil
 }
 
@@ -829,21 +906,31 @@ func (k *Kernel) Table(pid int) (tag, data uint64, ok bool) {
 	return r.Word(0), r.Word(8), true
 }
 
-// Stats returns a snapshot of the kernel accounting. Each counter is
-// read atomically, but the snapshot as a whole takes no global lock:
-// while installs are in flight, counters that move together at rest
-// may be momentarily inconsistent (e.g. a Validation counted whose
-// hit, miss, or rejection is not yet recorded). Callers wanting exact
-// cross-counter invariants must quiesce the kernel first, as the tests
-// do; monitoring readers should treat the snapshot as approximate.
+// Stats returns a snapshot of the kernel accounting, aggregated on
+// scrape: the hot dispatch counters (Packets, ExtensionCycles, and
+// the per-owner accepts behind Accepts) are sharded per dispatch
+// environment and summed here, so a delivery's increment costs one
+// uncontended atomic add and a scrape costs one pass over the shards.
+// The aggregation contract: every increment lands in exactly one
+// shard, so no increment is ever lost — in particular not across a
+// filter-table swap, since the shards live outside the swapped
+// snapshot — and each counter is monotone across successive calls
+// (each shard is non-decreasing, so the sum is). The snapshot as a
+// whole still takes no lock: while installs or deliveries are in
+// flight, counters that move together at rest may be momentarily
+// inconsistent (e.g. a Validation counted whose hit, miss, or
+// rejection is not yet recorded; a Packet counted whose cycles are
+// not). Callers wanting exact cross-counter invariants must quiesce
+// the kernel first, as the tests do; monitoring readers should treat
+// the snapshot as approximate but never regressing.
 func (k *Kernel) Stats() Stats {
 	hits, misses, evictions := k.cache.counters()
 	return Stats{
 		Validations:      int(k.stats.validations.Load()),
 		Rejections:       int(k.stats.rejections.Load()),
 		ValidationMicros: float64(k.stats.validationNanos.Load()) / float64(time.Microsecond),
-		Packets:          int(k.stats.packets.Load()),
-		ExtensionCycles:  k.stats.extensionCycles.Load(),
+		Packets:          int(k.stats.packets()),
+		ExtensionCycles:  k.stats.extensionCycles(),
 		CacheHits:        int(hits),
 		CacheMisses:      int(misses),
 		CacheEvictions:   int(evictions),

@@ -8,7 +8,6 @@ import (
 	"reflect"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
 	"time"
 
@@ -36,9 +35,8 @@ func TestProfiledCompiledKernelDifferential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, o := range owners {
-		kc.mu.RLock()
-		compiled := kc.filters[o].compiled != nil
-		kc.mu.RUnlock()
+		tb := kc.table.Load()
+		compiled := tb.slots[tb.index[o]].c != nil
 		if !compiled {
 			t.Fatalf("%q lost its compiled form under profiling", o)
 		}
@@ -265,16 +263,17 @@ func TestConfigChangeEvents(t *testing.T) {
 	}
 }
 
-// injectFilter installs a program into the dispatch table directly,
-// bypassing validation — the only way to make dispatch fault, which
-// validated filters cannot.
+// injectFilter publishes a program into the dispatch snapshot
+// directly, bypassing validation — the only way to make dispatch
+// fault, which validated filters cannot. It goes through the same
+// copy-on-write publication as a real commit.
 func injectFilter(k *Kernel, owner, src string) {
 	prog := alpha.MustAssemble(src).Prog
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	ctr := new(atomic.Int64)
-	k.accepts[owner] = ctr
-	k.filters[owner] = &installed{ext: &pcc.Extension{Prog: prog}, accepts: ctr}
+	ctr := newOwnerCounter(len(k.stats.shards))
+	ins := &installed{ext: &pcc.Extension{Prog: prog}, accepts: ctr}
+	k.publishLocked(k.table.Load().withFilter(owner, ins))
 }
 
 // TestFlightRecorderDispatchAnomalies: oversize fallbacks, memory

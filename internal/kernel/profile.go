@@ -18,7 +18,6 @@ package kernel
 import (
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -132,14 +131,25 @@ func (fp *filterProfile) snapshot() *machine.Profile {
 // path. Enabling attaches an accumulator to every installed filter
 // (and to filters installed afterwards); accumulated counts survive
 // toggling off and back on, but not reinstalling the filter.
+// Installed filters are immutable once published, so attaching is
+// copy-on-write: filters lacking an accumulator are replaced by
+// clones that carry one (sharing the accept counter), published as a
+// new snapshot, with the originals retired past in-flight deliveries.
 func (k *Kernel) SetProfiling(on bool) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if on {
-		for _, f := range k.filters {
-			if f.prof == nil {
-				f.prof = newFilterProfile(f.ext.Prog)
+		t := k.table.Load()
+		nt, replaced := t.mapped(func(owner string, f *installed) *installed {
+			if f.prof != nil {
+				return f
 			}
+			nf := *f
+			nf.prof = newFilterProfile(f.ext.Prog)
+			return &nf
+		})
+		if nt != t {
+			k.publishLocked(nt, replaced...)
 		}
 	}
 	old := k.profiling.Swap(on)
@@ -171,37 +181,41 @@ func (s *FilterProfileSnapshot) AnnotatedListing() string {
 
 // FilterProfile returns the cycle profile of one installed filter, or
 // false if the owner has no filter or profiling was never enabled for
-// it.
+// it. Lock-free: it reads the published snapshot under an epoch pin
+// (the profiling merge never waits on installs, and vice versa).
 func (k *Kernel) FilterProfile(owner string) (*FilterProfileSnapshot, bool) {
-	k.mu.RLock()
-	f := k.filters[owner]
-	k.mu.RUnlock()
-	if f == nil || f.prof == nil {
+	rec := k.epochs.pin(0)
+	t := k.table.Load()
+	var fp *filterProfile
+	if i, ok := t.index[owner]; ok {
+		fp = t.slots[i].f.prof
+	}
+	rec.unpin()
+	if fp == nil {
 		return nil, false
 	}
-	return &FilterProfileSnapshot{Owner: owner, Prog: f.prof.prog, Profile: f.prof.snapshot()}, true
+	return &FilterProfileSnapshot{Owner: owner, Prog: fp.prog, Profile: fp.snapshot()}, true
 }
 
 // FilterProfiles returns the profiles of all profiled filters, sorted
-// by owner.
+// by owner (the snapshot's slot order). Lock-free like FilterProfile.
 func (k *Kernel) FilterProfiles() []*FilterProfileSnapshot {
-	k.mu.RLock()
-	profs := make(map[string]*filterProfile, len(k.filters))
-	for owner, f := range k.filters {
-		if f.prof != nil {
-			profs[owner] = f.prof
+	rec := k.epochs.pin(0)
+	t := k.table.Load()
+	type prof struct {
+		owner string
+		fp    *filterProfile
+	}
+	profs := make([]prof, 0, len(t.slots))
+	for i := range t.slots {
+		if fp := t.slots[i].f.prof; fp != nil {
+			profs = append(profs, prof{t.slots[i].owner, fp})
 		}
 	}
-	k.mu.RUnlock()
-	owners := make([]string, 0, len(profs))
-	for o := range profs {
-		owners = append(owners, o)
-	}
-	sort.Strings(owners)
-	out := make([]*FilterProfileSnapshot, 0, len(owners))
-	for _, o := range owners {
-		fp := profs[o]
-		out = append(out, &FilterProfileSnapshot{Owner: o, Prog: fp.prog, Profile: fp.snapshot()})
+	rec.unpin()
+	out := make([]*FilterProfileSnapshot, 0, len(profs))
+	for _, p := range profs {
+		out = append(out, &FilterProfileSnapshot{Owner: p.owner, Prog: p.fp.prog, Profile: p.fp.snapshot()})
 	}
 	return out
 }

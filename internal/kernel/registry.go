@@ -1,0 +1,114 @@
+// Multi-tenant kernel registry. One process can host several isolated
+// kernels — one per tenant — each with its own filter table, sharded
+// statistics, telemetry recorder, and dispatch flight recorder.
+// Isolation is structural: tenants share no counters and no filter
+// table, so one tenant's install churn, quarantine state, or traffic
+// mix cannot perturb another's metrics or verdicts. The registry is
+// only a name→tenant directory; the hot path never touches it —
+// callers resolve a tenant once and dispatch against its kernel
+// directly, on that kernel's lock-free snapshot path.
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Tenant is one isolated kernel with its observability surfaces
+// attached. The fields are wired together at Create time (the recorder
+// and flight recorder are already attached to the kernel) and never
+// reassigned, so they may be read without holding the registry lock.
+type Tenant struct {
+	Name   string
+	Kernel *Kernel
+	Rec    *telemetry.Recorder
+	Flight *telemetry.FlightRecorder
+}
+
+// Registry is a concurrency-safe directory of tenants. The lock guards
+// only the directory map — never dispatch, which goes straight at a
+// resolved Tenant's kernel.
+type Registry struct {
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+}
+
+// NewRegistry returns an empty tenant directory.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]*Tenant)}
+}
+
+// Create boots a fresh kernel for name with a telemetry recorder and
+// flight recorder attached, and registers it. The tenant comes up on
+// the interpreter backend with no filters; callers configure backend,
+// budget, and quarantine posture on t.Kernel before installing.
+func (r *Registry) Create(name string) (*Tenant, error) {
+	if name == "" {
+		return nil, fmt.Errorf("tenant name must be non-empty")
+	}
+	t := &Tenant{
+		Name:   name,
+		Kernel: New(),
+		Rec:    telemetry.New(),
+		Flight: telemetry.NewFlightRecorder(0),
+	}
+	t.Kernel.SetRecorder(t.Rec)
+	t.Kernel.SetFlightRecorder(t.Flight)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tenants[name]; dup {
+		return nil, fmt.Errorf("tenant %q already exists", name)
+	}
+	r.tenants[name] = t
+	return t, nil
+}
+
+// Get resolves a tenant by name.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tenants[name]
+	return t, ok
+}
+
+// Remove unregisters a tenant and quiesces its kernel so every
+// retired filter-table snapshot is reclaimed. Reports whether the
+// tenant existed. In-flight dispatches against the removed tenant's
+// kernel finish normally — removal only drops the directory entry.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	delete(r.tenants, name)
+	r.mu.Unlock()
+	if ok {
+		t.Kernel.Quiesce()
+	}
+	return ok
+}
+
+// Names returns the registered tenant names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.tenants))
+	for n := range r.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tenants returns the registered tenants sorted by name.
+func (r *Registry) Tenants() []*Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ts := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Name < ts[j].Name })
+	return ts
+}

@@ -1,0 +1,79 @@
+// Sharded hot-path counters. With dispatch lock-free (epoch.go,
+// table.go), the next scaling wall is the counters every delivery
+// bumps: a single atomic.Int64 for packets, cycles, and per-owner
+// accepts turns into one cache line ping-ponging between every
+// dispatching core. Each counter therefore becomes an array of padded
+// per-shard slots: a dispatch environment is assigned a shard at
+// creation (round-robin, and sync.Pool's per-P caching gives
+// environments natural processor affinity), increments touch only that
+// shard's line, and scrapes sum the shards.
+//
+// Aggregation contract: every increment lands in exactly one shard
+// slot with an atomic add, so a scrape-time sum loses nothing — not
+// across concurrent deliveries, and not across a filter-table swap
+// (the counters live outside the swapped snapshot; see Stats for the
+// documented semantics). Each slot is monotonically non-decreasing, so
+// successive sums are monotone even while deliveries are in flight.
+package kernel
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// dispatchShard is one shard of the kernel-wide delivery counters:
+// packets delivered and simulated cycles spent inside extensions.
+// Padded to a cache line so adjacent shards never false-share.
+type dispatchShard struct {
+	packets atomic.Int64
+	cycles  atomic.Int64
+	_       [cacheLine - 16]byte
+}
+
+// numShards picks the shard count for this process: a power of two
+// (so environment assignment is a mask) comfortably above GOMAXPROCS,
+// keeping shards uncontended even when goroutines outnumber
+// processors. Bounded so per-owner counters stay small.
+func numShards() int {
+	want := 4 * runtime.GOMAXPROCS(0)
+	if want < 8 {
+		want = 8
+	}
+	if want > 256 {
+		want = 256
+	}
+	n := 1
+	for n < want {
+		n <<= 1
+	}
+	return n
+}
+
+// padInt64 is a cache-line-padded atomic counter slot.
+type padInt64 struct {
+	v atomic.Int64
+	_ [cacheLine - 8]byte
+}
+
+// ownerCounter is a sharded per-owner accept counter. Like the old
+// single atomic it persists across uninstall/reinstall: the filter
+// table's accepts map (table.go) carries it from snapshot to snapshot.
+type ownerCounter struct {
+	shards []padInt64
+}
+
+func newOwnerCounter(n int) *ownerCounter {
+	return &ownerCounter{shards: make([]padInt64, n)}
+}
+
+// add folds n accepts into the given shard.
+func (c *ownerCounter) add(shard int, n int64) { c.shards[shard].v.Add(n) }
+
+// total sums the shards; monotone across calls (shards only grow).
+func (c *ownerCounter) total() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}

@@ -241,18 +241,17 @@ func TestPooledStateMatchesFresh(t *testing.T) {
 		}
 		// Reference: run each filter on a fresh state.
 		var want []string
-		k.mu.RLock()
-		for owner, f := range k.filters {
+		tb := k.table.Load()
+		for i := range tb.slots {
+			owner, f := tb.slots[i].owner, tb.slots[i].f
 			res, err := f.ext.Run(k.packetState(p), 1<<20)
 			if err != nil {
-				k.mu.RUnlock()
 				t.Fatal(err)
 			}
 			if res.Ret != 0 {
 				want = append(want, owner)
 			}
 		}
-		k.mu.RUnlock()
 		if len(got) != len(want) {
 			t.Fatalf("packet %d: pooled verdicts %v, fresh %v", i, got, want)
 		}
@@ -284,15 +283,14 @@ func BenchmarkDeliverPacketState(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			k.mu.RLock()
-			for owner, f := range k.filters {
-				res, err := f.ext.Run(k.packetState(pkt), 1<<20)
+			tb := k.table.Load()
+			for si := range tb.slots {
+				res, err := tb.slots[si].f.ext.Run(k.packetState(pkt), 1<<20)
 				if err != nil {
-					b.Fatalf("%s: %v", owner, err)
+					b.Fatalf("%s: %v", tb.slots[si].owner, err)
 				}
 				_ = res
 			}
-			k.mu.RUnlock()
 		}
 	})
 	b.Run("pooled", func(b *testing.B) {

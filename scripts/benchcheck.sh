@@ -22,6 +22,12 @@ MIN_SPEEDUP_FRESH=${MIN_SPEEDUP_FRESH:-2.0}
 # host noise.
 MAX_PROF_OVERHEAD_COMMITTED=${MAX_PROF_OVERHEAD_COMMITTED:-15.0}
 MAX_PROF_OVERHEAD_FRESH=${MAX_PROF_OVERHEAD_FRESH:-30.0}
+# Multi-goroutine scaling floors (schema ≥ 4 reports): benchcheck caps
+# the effective floor at 85% of min(goroutines, report's gomaxprocs),
+# so 3.0 demands real parallelism on wide hosts and degrades to the
+# no-lock-convoy check (~0.85) on single-core runners.
+MIN_PARALLEL_COMMITTED=${MIN_PARALLEL_COMMITTED:-3.0}
+MIN_PARALLEL_FRESH=${MIN_PARALLEL_FRESH:-3.0}
 
 echo '== benchcheck: committed baseline'
 committed=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
@@ -30,7 +36,8 @@ if [ -z "$committed" ]; then
 	exit 1
 fi
 go run ./cmd/benchcheck -min-speedup "$MIN_SPEEDUP_COMMITTED" \
-	-max-profiling-overhead "$MAX_PROF_OVERHEAD_COMMITTED" "$committed"
+	-max-profiling-overhead "$MAX_PROF_OVERHEAD_COMMITTED" \
+	-min-parallel-speedup "$MIN_PARALLEL_COMMITTED" "$committed"
 
 echo '== benchcheck: fresh measurement (paperbench -json, 20k packets)'
 tmp=$(mktemp -d)
@@ -39,6 +46,7 @@ go build -o "$tmp/paperbench" ./cmd/paperbench
 go build -o "$tmp/benchcheck" ./cmd/benchcheck
 (cd "$tmp" && ./paperbench -json -packets 20000 &&
 	./benchcheck -min-speedup "$MIN_SPEEDUP_FRESH" \
-		-max-profiling-overhead "$MAX_PROF_OVERHEAD_FRESH")
+		-max-profiling-overhead "$MAX_PROF_OVERHEAD_FRESH" \
+		-min-parallel-speedup "$MIN_PARALLEL_FRESH")
 
 echo 'benchcheck: OK'

@@ -25,6 +25,13 @@ go vet -atomic -copylocks ./internal/telemetry/ ./internal/kernel/ ./internal/ma
 echo '== go test -race ./...'
 go test -race ./...
 
+# The kernel's dispatch path is lock-free (epoch-pinned snapshot
+# reads, per-shard counters); rerun its suite under the race detector
+# at 1 and 4 schedulers so the torn-snapshot and reclamation tests see
+# both a serialized and a genuinely parallel interleaving.
+echo '== go test -race -cpu=1,4 ./internal/kernel/'
+go test -race -cpu=1,4 ./internal/kernel/
+
 echo '== fuzz corpora smoke (seed corpora replay)'
 go test -run=Fuzz ./...
 
@@ -113,7 +120,66 @@ grep -q '"event":"install"' /tmp/pccmon.audit.jsonl ||
 	{ echo "serve smoke: audit log recorded no installs" >&2; exit 1; }
 grep -q '"event":"config"' /tmp/pccmon.audit.jsonl ||
 	{ echo "serve smoke: audit log recorded no config changes" >&2; exit 1; }
-rm -f /tmp/pccmon.verify /tmp/pccmon.audit.jsonl
+rm -f /tmp/pccmon.audit.jsonl
+
+# Multi-tenant serve smoke: two isolated kernels behind one listener,
+# per-tenant routing under /t/{name}/, the /tenants index, the legacy
+# bare paths still serving the default tenant, and per-tenant packet
+# accounting that reconciles (the pump counts a batch only after the
+# kernel delivered it, so kernel packets ≥ traffic packets, per
+# tenant).
+echo '== multi-tenant serve smoke (pccmon -serve -tenants alpha,beta)'
+/tmp/pccmon.verify -serve 127.0.0.1:16997 -pps 500 -tenants alpha,beta \
+	-audit-out /tmp/pccmon.mt.audit.jsonl &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+ok=
+for _ in $(seq 1 50); do
+	if curl -fsS http://127.0.0.1:16997/healthz >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "multi-tenant smoke: /healthz never came up" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16997/tenants | grep -q '"default": "alpha"' ||
+	{ echo "multi-tenant smoke: /tenants missing the default marker" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16997/tenants | grep -q '"/t/beta/"' ||
+	{ echo "multi-tenant smoke: /tenants missing beta's prefix" >&2; exit 1; }
+# Wait for both pumps to move traffic, then reconcile alpha's counters
+# from one /t/alpha/debug/vars document.
+tp=0
+for _ in $(seq 1 50); do
+	vars=$(curl -fsS http://127.0.0.1:16997/t/alpha/debug/vars)
+	tp=$(printf '%s' "$vars" | grep -m1 '"traffic_packets"' | tr -dc 0-9)
+	[ "${tp:-0}" -gt 0 ] && break
+	sleep 0.1
+done
+[ "${tp:-0}" -gt 0 ] || { echo "multi-tenant smoke: alpha's pump moved no traffic" >&2; exit 1; }
+kp=$(printf '%s' "$vars" | grep -m1 '"Packets"' | tr -dc 0-9)
+[ "${kp:-0}" -ge "$tp" ] ||
+	{ echo "multi-tenant smoke: alpha kernel packets $kp < traffic $tp" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16997/t/beta/debug/vars | grep -q '"tenant": "beta"' ||
+	{ echo "multi-tenant smoke: /t/beta/debug/vars not tagged beta" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16997/t/beta/metrics | grep -q pcc_filter_run_seconds_bucket ||
+	{ echo "multi-tenant smoke: /t/beta/metrics missing the latency family" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16997/debug/vars | grep -q '"tenant": "alpha"' ||
+	{ echo "multi-tenant smoke: bare /debug/vars is not the default tenant" >&2; exit 1; }
+if curl -fsS http://127.0.0.1:16997/t/nope/healthz >/dev/null 2>&1; then
+	echo "multi-tenant smoke: unknown tenant did not 404" >&2
+	exit 1
+fi
+kill "$serve_pid"
+if ! wait "$serve_pid"; then
+	echo "multi-tenant smoke: pccmon -serve did not exit cleanly" >&2
+	exit 1
+fi
+trap - EXIT
+grep -q '"tenant":"alpha"' /tmp/pccmon.mt.audit.jsonl ||
+	{ echo "multi-tenant smoke: audit log has no alpha-tagged records" >&2; exit 1; }
+grep -q '"tenant":"beta"' /tmp/pccmon.mt.audit.jsonl ||
+	{ echo "multi-tenant smoke: audit log has no beta-tagged records" >&2; exit 1; }
+rm -f /tmp/pccmon.verify /tmp/pccmon.mt.audit.jsonl
 
 # Adversarial smoke: 2,000 mutated binaries through the validator must
 # produce zero escaped panics and zero unsound accepts (the 10,000-trial
@@ -142,6 +208,12 @@ rm -f /tmp/verify.f4.pcc
 # against the reference semantics. Exits nonzero on any divergence.
 echo '== backend differential smoke (pccload -diff-backends 1000)'
 go run ./cmd/pccload -diff-backends 1000
+
+# Scaling smoke: 8 goroutines sharing one lock-free kernel; the accept
+# census must match the reference semantics exactly (a torn snapshot
+# or a lost shard increment exits nonzero).
+echo '== dispatch scaling smoke (pccload -scale 8)'
+go run ./cmd/pccload -scale 8 -packets 20000
 
 # Dispatch-performance regression gate, opt-in (it re-measures host
 # wall-clock throughput, which takes a minute and wants a quiet host).
