@@ -7,7 +7,8 @@
 // Usage:
 //
 //	benchcheck [-min-speedup X] [-max-profiling-overhead P]
-//	           [-min-parallel-speedup S] [BENCH_file.json ...]
+//	           [-min-parallel-speedup S] [-max-window-overhead W]
+//	           [BENCH_file.json ...]
 //
 // With no file arguments, the newest BENCH_*.json in the current
 // directory is checked. The checks are deliberately about ordering
@@ -25,7 +26,14 @@
 //   - for schema ≥ 4 reports, the recorded parallel_speedup (the
 //     widest rung of the lock-free multi-goroutine dispatch ladder
 //     over one goroutine) meets the core-aware floor derived from
-//     -min-parallel-speedup.
+//     -min-parallel-speedup;
+//   - for schema ≥ 5 reports, the cert_cost section is present with
+//     plausible per-filter sizes (nonzero proof bytes and VC nodes —
+//     the proof-size baseline must not silently vanish), the
+//     observability matrix includes the windowed configuration, and
+//     the recorded window_overhead_pct (throughput lost to the
+//     sliding-window recorder layer relative to the plain-recorder
+//     observed posture) stays under -max-window-overhead.
 //
 // The parallel floor is core-aware because the report records the
 // GOMAXPROCS the ladder ran under: the achievable ceiling on a host
@@ -57,6 +65,8 @@ func main() {
 		"maximum profiling_overhead_pct for schema ≥ 3 reports (percent of compiled throughput)")
 	minParallel := flag.Float64("min-parallel-speedup", 3.0,
 		"minimum parallel_speedup for schema ≥ 4 reports, capped by the report's recorded core budget (see doc)")
+	maxWinOverhead := flag.Float64("max-window-overhead", 20.0,
+		"maximum window_overhead_pct for schema ≥ 5 reports (percent of plain-recorder observed throughput)")
 	flag.Parse()
 
 	files := flag.Args()
@@ -70,7 +80,7 @@ func main() {
 
 	failures := 0
 	for _, file := range files {
-		for _, msg := range checkFile(file, *minSpeedup, *maxProfOverhead, *minParallel) {
+		for _, msg := range checkFile(file, *minSpeedup, *maxProfOverhead, *minParallel, *maxWinOverhead) {
 			failures++
 			fmt.Fprintf(os.Stderr, "FAIL %s: %s\n", file, msg)
 		}
@@ -111,7 +121,7 @@ func listReports(dir string) ([]string, error) {
 }
 
 // checkFile returns the list of failed-check messages for one report.
-func checkFile(file string, minSpeedup, maxProfOverhead, minParallel float64) []string {
+func checkFile(file string, minSpeedup, maxProfOverhead, minParallel, maxWinOverhead float64) []string {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return []string{err.Error()}
@@ -189,6 +199,34 @@ func checkFile(file string, minSpeedup, maxProfOverhead, minParallel float64) []
 					"parallel_speedup %.2fx below floor %.2fx (flag %.2fx, %d goroutines, gomaxprocs %d)",
 					rep.ParallelSpeedup, floor, minParallel, widest, rep.GOMAXPROCS))
 			}
+		}
+	}
+
+	// Schema 5 added the certificate-cost baseline and the windowed
+	// observability configuration.
+	if rep.Schema >= 5 {
+		if len(rep.CertCost) == 0 {
+			msgs = append(msgs, "cert_cost section is empty (schema ≥ 5 requires it)")
+		}
+		for _, c := range rep.CertCost {
+			if c.ProofBytes <= 0 || c.VCNodes <= 0 {
+				msgs = append(msgs, fmt.Sprintf(
+					"cert_cost %s: implausible sizes (proof_bytes %d, vc_nodes %d)",
+					c.Filter, c.ProofBytes, c.VCNodes))
+			}
+		}
+		windowed := false
+		for _, o := range rep.Observability {
+			if o.Windowed {
+				windowed = true
+			}
+		}
+		if !windowed {
+			msgs = append(msgs, "observability matrix lacks the windowed configuration (schema ≥ 5 requires it)")
+		} else if rep.WindowOverheadPct > maxWinOverhead {
+			msgs = append(msgs, fmt.Sprintf(
+				"window_overhead_pct %.1f%% above ceiling %.1f%%",
+				rep.WindowOverheadPct, maxWinOverhead))
 		}
 	}
 	return msgs

@@ -31,7 +31,7 @@ func TestParallelFloor(t *testing.T) {
 	}
 }
 
-// writeReport drops a minimal passing schema-4 report into dir and
+// writeReport drops a minimal passing schema-5 report into dir and
 // returns its path; the mutate hook lets each case break one field.
 func writeReport(t *testing.T, dir string, mutate func(*bench.Report)) string {
 	t.Helper()
@@ -44,10 +44,15 @@ func writeReport(t *testing.T, dir string, mutate func(*bench.Report)) string {
 			{Backend: "compiled", Shape: "batch1024", PPS: 900},
 		},
 		DispatchSpeedup: 9.0,
+		CertCost: []bench.CertCostJSON{
+			{Filter: "Filter 1", CodeBytes: 64, ProofBytes: 300, ProofNodes: 400, VCNodes: 120, CheckSteps: 500},
+		},
 		Observability: []bench.ObservabilityJSON{
-			{Config: "compiled", PPS: 900},
+			{Config: "compiled+prof+obs", PPS: 900, Observers: true},
+			{Config: "compiled+prof+obs+win", PPS: 880, Observers: true, Windowed: true},
 		},
 		ProfilingOverheadPct: 5,
+		WindowOverheadPct:    2.2,
 		DispatchScaling: []bench.ScalingJSON{
 			{Goroutines: 1, PPS: 900},
 			{Goroutines: 8, PPS: 3100},
@@ -72,7 +77,7 @@ func writeReport(t *testing.T, dir string, mutate func(*bench.Report)) string {
 func TestCheckFileParallelGate(t *testing.T) {
 	t.Run("passes", func(t *testing.T) {
 		path := writeReport(t, t.TempDir(), nil)
-		if msgs := checkFile(path, 1.0, 15.0, 3.0); len(msgs) != 0 {
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0); len(msgs) != 0 {
 			t.Fatalf("unexpected failures: %v", msgs)
 		}
 	})
@@ -80,7 +85,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.ParallelSpeedup = 1.1 // 8 cores available: a convoy
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "parallel_speedup") {
 			t.Fatalf("want one parallel_speedup failure, got %v", msgs)
 		}
@@ -90,7 +95,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 			r.ParallelSpeedup = 1.1
 			r.GOMAXPROCS = 1 // floor degrades to 0.85
 		})
-		if msgs := checkFile(path, 1.0, 15.0, 3.0); len(msgs) != 0 {
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0); len(msgs) != 0 {
 			t.Fatalf("unexpected failures: %v", msgs)
 		}
 	})
@@ -99,7 +104,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 			r.ParallelSpeedup = 0.4
 			r.GOMAXPROCS = 1
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "parallel_speedup") {
 			t.Fatalf("want one parallel_speedup failure, got %v", msgs)
 		}
@@ -108,7 +113,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.DispatchScaling = nil
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "dispatch_scaling") {
 			t.Fatalf("want one dispatch_scaling failure, got %v", msgs)
 		}
@@ -120,7 +125,54 @@ func TestCheckFileParallelGate(t *testing.T) {
 			r.ParallelSpeedup = 0
 			r.GOMAXPROCS = 0
 		})
-		if msgs := checkFile(path, 1.0, 15.0, 3.0); len(msgs) != 0 {
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0); len(msgs) != 0 {
+			t.Fatalf("unexpected failures: %v", msgs)
+		}
+	})
+}
+
+func TestCheckFileSchema5Gate(t *testing.T) {
+	t.Run("missing cert_cost fails", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.CertCost = nil
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "cert_cost") {
+			t.Fatalf("want one cert_cost failure, got %v", msgs)
+		}
+	})
+	t.Run("vanished proof sizes fail", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.CertCost[0].ProofBytes = 0
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "implausible sizes") {
+			t.Fatalf("want one implausible-sizes failure, got %v", msgs)
+		}
+	})
+	t.Run("missing windowed config fails", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.Observability = r.Observability[:1] // drop the +win row
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "windowed configuration") {
+			t.Fatalf("want one windowed-configuration failure, got %v", msgs)
+		}
+	})
+	t.Run("window overhead above ceiling fails", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.WindowOverheadPct = 45.0
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "window_overhead_pct") {
+			t.Fatalf("want one window_overhead_pct failure, got %v", msgs)
+		}
+	})
+	t.Run("negative overhead is noise, passes", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.WindowOverheadPct = -1.5 // windowed run measured faster
+		})
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0); len(msgs) != 0 {
 			t.Fatalf("unexpected failures: %v", msgs)
 		}
 	})

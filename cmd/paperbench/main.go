@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	paperbench [-packets N] [-fig7] [-table1] [-stages] [-fig8] [-fig9] [-checksum] [-sfipcc]
+//	paperbench [-packets N] [-fig7] [-table1] [-stages] [-certcost] [-fig8] [-fig9] [-checksum] [-sfipcc]
 //	paperbench -dispatch [-backend interp|compiled]   # backend × shape throughput matrix
 //	paperbench -observability                         # instrumentation overhead matrix
 //	paperbench -scaling                               # multi-goroutine dispatch-scaling ladder
@@ -47,6 +47,7 @@ func main() {
 	dispatch := flag.Bool("dispatch", false, "dispatch throughput: backend × shape matrix (host wall-clock)")
 	backend := flag.String("backend", "", "restrict -dispatch to one backend: interp or compiled (default both)")
 	observability := flag.Bool("observability", false, "observability overhead: dispatch throughput with profiling/observers toggled")
+	certcost := flag.Bool("certcost", false, "certificate cost: proof bytes/nodes and VC nodes per filter")
 	scaling := flag.Bool("scaling", false, "dispatch scaling: multi-goroutine throughput over one shared lock-free kernel")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_<timestamp>.json and exit")
 	flag.Parse()
@@ -72,7 +73,7 @@ func main() {
 		return
 	}
 
-	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch || *observability || *scaling)
+	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch || *observability || *scaling || *certcost)
 
 	if all || *fig7 {
 		cert, err := bench.Fig7()
@@ -94,6 +95,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatStages(rows))
+	}
+	if all || *certcost {
+		rows, err := bench.CertCost()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatCertCost(rows))
 	}
 	if all || *fig8 {
 		rows, err := bench.Fig8(*packets)

@@ -43,7 +43,9 @@ func main() {
 	fmt.Printf("  code:        %d bytes (%d instructions)\n", len(bin.Code), len(bin.Code)/4)
 	fmt.Printf("  symbols:     %d\n", len(bin.Symbols))
 	fmt.Printf("  invariants:  %d\n", len(bin.Invariants))
-	fmt.Printf("  proof:       %d LF nodes\n", lf.Size(bin.Proof))
+	// Bounded walk: the dump target is an untrusted file, and a
+	// hash-consed DAG proof expands exponentially under traversal.
+	fmt.Printf("  proof:       %d LF nodes\n", lf.SizeBounded(bin.Proof, 1<<22))
 
 	if *showCode {
 		prog, err := alpha.Decode(bin.Code)

@@ -461,14 +461,20 @@ func batchInstall(ctx context.Context, files []string, backend string) {
 }
 
 // printStageTable renders the cold pass's per-file validation-stage
-// breakdown from the telemetry trace (µs per stage, one row per file).
+// breakdown from the telemetry trace (µs per stage, one row per file),
+// with each install's correlation EventID — the key that joins the row
+// to its audit record and any flight events in offline dumps.
 func printStageTable(rec *telemetry.Recorder, reqs []kernel.InstallRequest) {
 	stages := []string{
 		telemetry.StageParse, telemetry.StageLFSig, telemetry.StageVCGen,
 		telemetry.StageLFCheck, telemetry.StageWCET,
 	}
 	byFile := map[string]map[string]float64{} // file -> stage -> µs
+	eidByFile := map[string]uint64{}          // file -> correlation EventID
 	for _, e := range rec.Trace().Events() {
+		if e.Stage == telemetry.StageValidate {
+			eidByFile[e.Detail] = e.Event
+		}
 		for _, s := range stages {
 			if e.Stage == s {
 				if byFile[e.Detail] == nil {
@@ -479,8 +485,8 @@ func printStageTable(rec *telemetry.Recorder, reqs []kernel.InstallRequest) {
 		}
 	}
 	fmt.Printf("\nvalidation cost by stage (µs):\n")
-	fmt.Printf("%-24s %8s %8s %8s %8s %8s %9s\n",
-		"file", "parse", "lfsig", "vcgen", "lfcheck", "wcet", "total")
+	fmt.Printf("%-24s %8s %8s %8s %8s %8s %9s  %s\n",
+		"file", "parse", "lfsig", "vcgen", "lfcheck", "wcet", "total", "event")
 	for _, r := range reqs {
 		st, ok := byFile[r.Owner]
 		if !ok {
@@ -490,9 +496,9 @@ func printStageTable(rec *telemetry.Recorder, reqs []kernel.InstallRequest) {
 		for _, s := range stages {
 			total += st[s]
 		}
-		fmt.Printf("%-24s %8.0f %8.0f %8.0f %8.0f %8.0f %9.0f\n", r.Owner,
+		fmt.Printf("%-24s %8.0f %8.0f %8.0f %8.0f %8.0f %9.0f  %d\n", r.Owner,
 			st[telemetry.StageParse], st[telemetry.StageLFSig], st[telemetry.StageVCGen],
-			st[telemetry.StageLFCheck], st[telemetry.StageWCET], total)
+			st[telemetry.StageLFCheck], st[telemetry.StageWCET], total, eidByFile[r.Owner])
 	}
 	fmt.Println()
 }

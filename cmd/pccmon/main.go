@@ -12,6 +12,7 @@
 //	       [-backend interp|compiled] [-flightrecorder]
 //	       [-telemetry [-slowest N] [-trace-out spans.jsonl]]
 //	       [-serve :6060 [-pps N] [-audit-out audit.jsonl] [-tenants a,b]]
+//	       [-watch URL [-watch-interval 2s] [-watch-count N]]
 //
 // With -telemetry, a telemetry recorder is attached to the kernel for
 // the whole run and the report ends with per-stage latency summaries,
@@ -53,6 +54,9 @@ func main() {
 	pps := flag.Int("pps", 2000, "with -serve, synthetic traffic rate in packets/second")
 	auditOut := flag.String("audit-out", "", "with -serve, write the JSON audit log to a file instead of stderr")
 	tenantsFlag := flag.String("tenants", "", "with -serve, comma-separated tenant names, one isolated kernel each (default a single tenant \"default\")")
+	watch := flag.String("watch", "", "poll a serving monitor's /debug/vars URL and print live windowed rates (installs/s, packets/s, rejects, p99 by owner)")
+	watchInterval := flag.Duration("watch-interval", 2*time.Second, "with -watch, polling interval")
+	watchCount := flag.Int("watch-count", 0, "with -watch, number of refreshes before exiting (0 = forever)")
 	extra := map[string]string{}
 	flag.Func("filter", "additional filter as name=file.pcc (repeatable)", func(s string) error {
 		name, file, ok := strings.Cut(s, "=")
@@ -63,6 +67,13 @@ func main() {
 		return nil
 	})
 	flag.Parse()
+
+	if *watch != "" {
+		if err := runWatch(*watch, *watchInterval, *watchCount); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *serve != "" {
 		var tenants []string

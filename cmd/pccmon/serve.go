@@ -9,6 +9,9 @@
 //	/debug/vars            JSON snapshot: kernel stats, traffic, telemetry
 //	/debug/flightrecorder  JSON ring of the last dispatch anomalies and
 //	                       config changes, oldest first
+//	/debug/timeline        correlated event timeline: spans, audit
+//	                       records, and flight events joined on the
+//	                       shared EventID (?id=&owner=&stage=&kind=&since=)
 //	/debug/pprof/*         the host Go runtime's own profiles
 //	/debug/pprof/filters   pprof-compatible *simulated* profile: cycles
 //	                       per Alpha instruction across installed filters
@@ -45,6 +48,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,6 +71,7 @@ type monitor struct {
 	k     *kernel.Kernel
 	rec   *telemetry.Recorder
 	fr    *telemetry.FlightRecorder
+	ar    *telemetry.AuditRing
 	start time.Time
 
 	packets atomic.Int64 // synthetic packets delivered
@@ -125,9 +130,13 @@ func bootTenant(reg *kernel.Registry, name string, auditLog *slog.Logger, budget
 		k:     tn.Kernel,
 		rec:   tn.Rec,
 		fr:    tn.Flight,
+		ar:    tn.Audit,
 		start: time.Now(),
 	}
-	m.k.SetAuditLog(auditLog.With("tenant", name))
+	// Tee audit records through the tenant's ring on their way to the
+	// durable sink, so /debug/timeline can join recent install decisions
+	// against spans and flight events without re-parsing log files.
+	m.k.SetAuditLog(slog.New(m.ar.Handler(auditLog.Handler())).With("tenant", name))
 	// Serve on the compiled backend with profiling attached: profiled
 	// threaded code is the always-on production posture this monitor
 	// demonstrates (profiling no longer reroutes dispatch to the
@@ -233,6 +242,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/debug/vars", d.handleVars)
 	mux.HandleFunc("/debug/flightrecorder", d.handleFlightRecorder)
+	mux.HandleFunc("/debug/timeline", d.handleTimeline)
 	mux.HandleFunc("/profile/", d.handleProfile)
 	mux.HandleFunc("/tenants", s.handleTenants)
 	mux.HandleFunc("/t/", s.handleTenantRoute)
@@ -295,6 +305,8 @@ func (s *server) handleTenantRoute(w http.ResponseWriter, r *http.Request) {
 		m.handleVars(w, r)
 	case sub == "debug/flightrecorder":
 		m.handleFlightRecorder(w, r)
+	case sub == "debug/timeline":
+		m.handleTimeline(w, r)
 	case sub == "debug/pprof/filters":
 		m.handleFilterProfile(w, r)
 	case sub == "profile" || strings.HasPrefix(sub, "profile/"):
@@ -388,6 +400,49 @@ func (m *monitor) handleFlightRecorder(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if err := m.fr.WriteJSON(w); err != nil {
 		log.Printf("flight recorder: %v", err)
+	}
+}
+
+// handleTimeline serves the correlated event timeline: spans from the
+// telemetry trace ring, audit records from the tenant's audit ring, and
+// flight events from the flight recorder, joined and filtered by the
+// query parameters:
+//
+//	id=N        only records carrying correlation EventID N
+//	owner=S     only records for owner/detail S
+//	stage=S     only spans of pipeline stage S
+//	kind=S      only audit records / flight events of kind S
+//	since=DUR   only records newer than now-DUR (Go duration, e.g. 30s)
+//
+// With id= the response is the full causal story of one kernel
+// operation across all three rings.
+func (m *monitor) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	q := telemetry.TimelineQuery{
+		Owner: r.URL.Query().Get("owner"),
+		Stage: r.URL.Query().Get("stage"),
+		Kind:  r.URL.Query().Get("kind"),
+	}
+	if ids := r.URL.Query().Get("id"); ids != "" {
+		id, err := strconv.ParseUint(ids, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad id %q: %v", ids, err), http.StatusBadRequest)
+			return
+		}
+		q.Event = id
+	}
+	if ss := r.URL.Query().Get("since"); ss != "" {
+		d, err := time.ParseDuration(ss)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad since %q: %v (want a Go duration like 30s)", ss, err), http.StatusBadRequest)
+			return
+		}
+		q.SinceUnixNanos = time.Now().Add(-d).UnixNano()
+	}
+	tl := telemetry.BuildTimeline(m.rec, m.ar, m.fr, q)
+	tl.Tenant = m.name
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if err := tl.WriteJSON(w); err != nil {
+		log.Printf("timeline: %v", err)
 	}
 }
 

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	tracegen -n 200000 -seed 1996 -o trace.pcap
+//	tracegen -n 200000 -seed 1996 -o trace.pcap [-export DIR]
+//
+// With -export DIR, the trace is additionally replayed through an
+// instrumented kernel and the three correlated observability streams
+// (span JSONL, audit-record JSONL, flight-recorder snapshot) are
+// written into DIR, joinable offline on the shared EventID.
 package main
 
 import (
@@ -24,9 +29,19 @@ func main() {
 	seed := flag.Uint64("seed", 1996, "trace seed")
 	out := flag.String("o", "trace.pcap", "output pcap file")
 	ipShare := flag.Int("ip", 0, "IPv4 share in per-mille (0 = default 800)")
+	export := flag.String("export", "", "also replay the trace through an instrumented kernel and write the correlated observability streams (spans.jsonl, audit.jsonl, flight.json) into this directory")
 	flag.Parse()
 
 	pkts := pktgen.Generate(*n, pktgen.Config{Seed: *seed, IPPerMille: *ipShare})
+	if *export != "" {
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		if err := exportStreams(*export, pkts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exported correlated streams (spans.jsonl, audit.jsonl, flight.json) to %s\n", *export)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)

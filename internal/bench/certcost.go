@@ -1,0 +1,81 @@
+// Certificate cost: the size of the safety evidence itself, per paper
+// filter — proof bytes on the wire, decoded proof term nodes, and the
+// recomputed VC's node count. This is the baseline that proof-size
+// engineering (ACC-style certificate compression, see PAPERS.md) must
+// regress against: validation *time* already has a trajectory in the
+// stages section, this gives certificate *size* one too. The same
+// numbers stream live from the kernel as the pcc_proof_bytes /
+// pcc_vc_nodes value histograms recorded at each install.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/policy"
+)
+
+// CertCostRow is one filter's certificate cost, from a full
+// certify→validate round trip.
+type CertCostRow struct {
+	Filter     filters.Filter
+	CodeBytes  int // native code section, bytes
+	ProofBytes int // encoded proof section, bytes
+	ProofNodes int // decoded proof term, LF nodes
+	VCNodes    int // recomputed safety predicate, LF nodes
+	CheckSteps int // LF inference steps to check the proof
+}
+
+// ProofPerCode is the certificate's wire overhead relative to the code
+// it certifies — the paper's "proof/code" ratio, the number ACC-style
+// compression wants below 1.
+func (r CertCostRow) ProofPerCode() float64 {
+	if r.CodeBytes == 0 {
+		return 0
+	}
+	return float64(r.ProofBytes) / float64(r.CodeBytes)
+}
+
+// CertCost certifies and validates the four paper filters and reports
+// each certificate's size metrics. Sizes are deterministic (no timing),
+// so one validation per filter suffices.
+func CertCost() ([]CertCostRow, error) {
+	pol := policy.PacketFilter()
+	rows := make([]CertCostRow, 0, len(filters.All))
+	for _, f := range filters.All {
+		cert, err := pcc.Certify(filters.Source(f), pol, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", f, err)
+		}
+		_, stats, err := pcc.Validate(cert.Binary, pol)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", f, err)
+		}
+		rows = append(rows, CertCostRow{
+			Filter:     f,
+			CodeBytes:  cert.Layout.CodeLen,
+			ProofBytes: stats.ProofBytes,
+			ProofNodes: stats.ProofNodes,
+			VCNodes:    stats.VCNodes,
+			CheckSteps: stats.CheckSteps,
+		})
+	}
+	return rows, nil
+}
+
+// FormatCertCost renders the certificate-cost table.
+func FormatCertCost(rows []CertCostRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Certificate cost: size of the safety evidence per filter\n")
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s %10s %12s %12s\n",
+		"", "code (B)", "proof (B)", "proof/code", "VC nodes", "proof nodes", "check steps")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10d %12d %11.1fx %10d %12d %12d\n",
+			r.Filter, r.CodeBytes, r.ProofBytes, r.ProofPerCode(),
+			r.VCNodes, r.ProofNodes, r.CheckSteps)
+	}
+	fmt.Fprintf(&b, "(live counterparts: pcc_proof_bytes / pcc_vc_nodes value histograms per install)\n")
+	return b.String()
+}

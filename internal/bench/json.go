@@ -21,7 +21,12 @@ import (
 // ladder over one shared lock-free kernel), its headline
 // parallel_speedup, and gomaxprocs — the core count the speedup was
 // measured under, without which the ratio is uninterpretable.
-const ReportSchema = 4
+// 5: added the cert_cost section (per-filter certificate size: proof
+// bytes/nodes, VC nodes, check steps — the proof-size baseline), the
+// windowed observability configuration (compiled+prof+obs+win, a
+// `windowed` flag on observability rows), and its headline
+// window_overhead_pct.
+const ReportSchema = 5
 
 // Table1JSON is one Table 1 row with durations in nanoseconds.
 type Table1JSON struct {
@@ -77,6 +82,18 @@ type DispatchJSON struct {
 	Accepted    int     `json:"accepted"`
 }
 
+// CertCostJSON is one filter's certificate-cost row: the size of the
+// safety evidence itself (see certcost.go).
+type CertCostJSON struct {
+	Filter       string  `json:"filter"`
+	CodeBytes    int     `json:"code_bytes"`
+	ProofBytes   int     `json:"proof_bytes"`
+	ProofNodes   int     `json:"proof_nodes"`
+	VCNodes      int     `json:"vc_nodes"`
+	CheckSteps   int     `json:"check_steps"`
+	ProofPerCode float64 `json:"proof_per_code"`
+}
+
 // ObservabilityJSON is one row of the instrumentation-overhead
 // matrix: vectorized-dispatch throughput with profiling and the
 // telemetry observers toggled (see observability.go).
@@ -85,6 +102,7 @@ type ObservabilityJSON struct {
 	Backend     string  `json:"backend"` // interp | compiled
 	Profiling   bool    `json:"profiling"`
 	Observers   bool    `json:"observers"` // recorder + flight recorder
+	Windowed    bool    `json:"windowed"`  // sliding-window recorder layer
 	Packets     int     `json:"packets"`
 	Filters     int     `json:"filters"`
 	WallNs      int64   `json:"wall_ns"`
@@ -120,11 +138,18 @@ type Report struct {
 	// DispatchSpeedup is the headline batch-compiled over
 	// single-interpreted packets/sec ratio.
 	DispatchSpeedup float64 `json:"dispatch_speedup"`
+	// CertCost is the per-filter certificate-size table — the
+	// proof-size baseline future certificate compression regresses
+	// against.
+	CertCost []CertCostJSON `json:"cert_cost"`
 	// Observability is the instrumentation-overhead matrix;
 	// ProfilingOverheadPct is its headline: the percentage of
-	// unprofiled compiled throughput lost to per-block profiling.
+	// unprofiled compiled throughput lost to per-block profiling;
+	// WindowOverheadPct the analogous cost of the sliding-window
+	// recorder layer relative to the plain-recorder observed posture.
 	Observability        []ObservabilityJSON `json:"observability"`
 	ProfilingOverheadPct float64             `json:"profiling_overhead_pct"`
+	WindowOverheadPct    float64             `json:"window_overhead_pct"`
 	// DispatchScaling is the multi-goroutine throughput ladder;
 	// ParallelSpeedup is its headline (widest rung over one
 	// goroutine) and GOMAXPROCS the core budget it ran under — the
@@ -241,6 +266,22 @@ func BuildReport(n int, now time.Time) (*Report, error) {
 	}
 	rep.DispatchSpeedup = DispatchSpeedup(disp)
 
+	cc, err := CertCost()
+	if err != nil {
+		return nil, fmt.Errorf("cert cost: %w", err)
+	}
+	for _, r := range cc {
+		rep.CertCost = append(rep.CertCost, CertCostJSON{
+			Filter:       r.Filter.String(),
+			CodeBytes:    r.CodeBytes,
+			ProofBytes:   r.ProofBytes,
+			ProofNodes:   r.ProofNodes,
+			VCNodes:      r.VCNodes,
+			CheckSteps:   r.CheckSteps,
+			ProofPerCode: r.ProofPerCode(),
+		})
+	}
+
 	obs, err := Observability(dn)
 	if err != nil {
 		return nil, fmt.Errorf("observability: %w", err)
@@ -251,6 +292,7 @@ func BuildReport(n int, now time.Time) (*Report, error) {
 			Backend:     r.Backend,
 			Profiling:   r.Profiling,
 			Observers:   r.Observers,
+			Windowed:    r.Windowed,
 			Packets:     r.Packets,
 			Filters:     r.Filters,
 			WallNs:      r.Wall.Nanoseconds(),
@@ -260,6 +302,7 @@ func BuildReport(n int, now time.Time) (*Report, error) {
 		})
 	}
 	rep.ProfilingOverheadPct = ProfilingOverheadPct(obs)
+	rep.WindowOverheadPct = WindowOverheadPct(obs)
 
 	sc, err := DispatchScaling(dn)
 	if err != nil {

@@ -67,10 +67,11 @@ func TestBuildReport(t *testing.T) {
 		}
 	}
 
-	// Schema 3: the observability matrix with the fully observed
-	// posture last, verdicts agreeing across every instrumentation.
-	if len(rep.Observability) != 5 {
-		t.Fatalf("observability matrix has %d rows, want 5", len(rep.Observability))
+	// Schema 3 (grown by schema 5): the observability matrix with the
+	// fully observed postures last, verdicts agreeing across every
+	// instrumentation.
+	if len(rep.Observability) != 6 {
+		t.Fatalf("observability matrix has %d rows, want 6", len(rep.Observability))
 	}
 	for _, r := range rep.Observability {
 		if r.Packets != 40 || r.Filters != 4 || r.WallNs <= 0 || r.PPS <= 0 {
@@ -80,9 +81,29 @@ func TestBuildReport(t *testing.T) {
 			t.Errorf("observability accepts diverge: %+v vs %+v", r, rep.Observability[0])
 		}
 	}
-	last := rep.Observability[4]
-	if last.Config != "compiled+prof+obs" || !last.Observers || !last.Profiling {
-		t.Errorf("fully observed posture missing or mislabeled: %+v", last)
+	obs := rep.Observability[4]
+	if obs.Config != "compiled+prof+obs" || !obs.Observers || !obs.Profiling || obs.Windowed {
+		t.Errorf("fully observed posture missing or mislabeled: %+v", obs)
+	}
+	win := rep.Observability[5]
+	if win.Config != "compiled+prof+obs+win" || !win.Observers || !win.Windowed {
+		t.Errorf("windowed posture missing or mislabeled: %+v", win)
+	}
+
+	// Schema 5: the certificate-cost baseline.
+	if len(rep.CertCost) != 4 {
+		t.Fatalf("cert_cost has %d rows, want 4", len(rep.CertCost))
+	}
+	for i, c := range rep.CertCost {
+		if c.ProofBytes <= 0 || c.ProofNodes <= 0 || c.VCNodes <= 0 || c.CheckSteps <= 0 || c.CodeBytes <= 0 {
+			t.Errorf("implausible cert_cost row: %+v", c)
+		}
+		if c.Filter != rep.Table1[i].Filter {
+			t.Errorf("cert_cost filter order diverges from table1: %q vs %q", c.Filter, rep.Table1[i].Filter)
+		}
+		if c.ProofBytes != rep.Table1[i].ProofBytes {
+			t.Errorf("cert_cost proof bytes disagree with table1: %d vs %d", c.ProofBytes, rep.Table1[i].ProofBytes)
+		}
 	}
 
 	// Schema 4: the multi-goroutine scaling ladder over one shared

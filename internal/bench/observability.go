@@ -29,6 +29,7 @@ type ObservabilityRow struct {
 	Backend   string // "interp" | "compiled"
 	Profiling bool   // per-block cycle profiling enabled
 	Observers bool   // telemetry recorder + flight recorder attached
+	Windowed  bool   // recorder carries the sliding-window layer
 	Packets   int
 	Filters   int
 	Wall      time.Duration
@@ -45,6 +46,9 @@ func (r ObservabilityRow) Config() string {
 	}
 	if r.Observers {
 		s += "+obs"
+	}
+	if r.Windowed {
+		s += "+win"
 	}
 	return s
 }
@@ -72,12 +76,14 @@ var observabilityConfigs = []struct {
 	backend   kernel.Backend
 	profiling bool
 	observers bool
+	windowed  bool
 }{
-	{kernel.BackendInterp, false, false},
-	{kernel.BackendInterp, true, false},
-	{kernel.BackendCompiled, false, false},
-	{kernel.BackendCompiled, true, false},
-	{kernel.BackendCompiled, true, true},
+	{kernel.BackendInterp, false, false, false},
+	{kernel.BackendInterp, true, false, false},
+	{kernel.BackendCompiled, false, false, false},
+	{kernel.BackendCompiled, true, false, false},
+	{kernel.BackendCompiled, true, true, false},
+	{kernel.BackendCompiled, true, true, true},
 }
 
 // Observability measures vectorized dispatch throughput across the
@@ -106,7 +112,13 @@ func Observability(n int) ([]ObservabilityRow, error) {
 	for ci, cfg := range observabilityConfigs {
 		k := kernel.New()
 		if cfg.observers {
-			k.SetRecorder(telemetry.New())
+			if cfg.windowed {
+				k.SetRecorder(telemetry.NewWith(telemetry.Options{
+					Window: &telemetry.WindowOptions{},
+				}))
+			} else {
+				k.SetRecorder(telemetry.New())
+			}
 			k.SetFlightRecorder(telemetry.NewFlightRecorder(0))
 		}
 		if err := k.SetBackend(cfg.backend); err != nil {
@@ -159,6 +171,7 @@ func Observability(n int) ([]ObservabilityRow, error) {
 					Backend:   cfg.backend.String(),
 					Profiling: cfg.profiling,
 					Observers: cfg.observers,
+					Windowed:  cfg.windowed,
 					Packets:   len(pkts),
 					Filters:   len(filters.All),
 					Wall:      wall,
@@ -191,6 +204,30 @@ func ProfilingOverheadPct(rows []ObservabilityRow) float64 {
 	return (plain - prof) / plain * 100
 }
 
+// WindowOverheadPct is the sliding-window layer's headline: the
+// throughput lost to windowed recording relative to the same fully
+// observed posture with a plain (cumulative-only) recorder, as a
+// percentage. Zero when either row is missing. Negative values (the
+// windowed run measured faster, pure noise at these costs) are
+// reported as-is; gates should clamp at zero.
+func WindowOverheadPct(rows []ObservabilityRow) float64 {
+	var plain, win float64
+	for _, r := range rows {
+		if !r.Observers {
+			continue
+		}
+		if r.Windowed {
+			win = r.PPS()
+		} else {
+			plain = r.PPS()
+		}
+	}
+	if plain <= 0 || win <= 0 {
+		return 0
+	}
+	return (plain - win) / plain * 100
+}
+
 // FormatObservability renders the instrumentation matrix with the
 // headline profiling-overhead percentage.
 func FormatObservability(rows []ObservabilityRow) string {
@@ -205,6 +242,9 @@ func FormatObservability(rows []ObservabilityRow) string {
 	}
 	if pct := ProfilingOverheadPct(rows); pct != 0 {
 		fmt.Fprintf(&b, "compiled profiling overhead: %.1f%% of unprofiled compiled throughput\n", pct)
+	}
+	if pct := WindowOverheadPct(rows); pct != 0 {
+		fmt.Fprintf(&b, "windowed recording overhead: %.1f%% of plain-recorder observed throughput\n", pct)
 	}
 	return b.String()
 }

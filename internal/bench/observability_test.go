@@ -17,6 +17,7 @@ func TestProfilingOverheadPct(t *testing.T) {
 		{Backend: "compiled", Profiling: false, Packets: 1000, Wall: 1 * time.Millisecond},
 		{Backend: "compiled", Profiling: true, Packets: 1000, Wall: 1100 * time.Microsecond},
 		{Backend: "compiled", Profiling: true, Observers: true, Packets: 1000, Wall: 5 * time.Millisecond},
+		{Backend: "compiled", Profiling: true, Observers: true, Windowed: true, Packets: 1000, Wall: 5500 * time.Microsecond},
 	}
 	got := ProfilingOverheadPct(rows)
 	// plain = 1e6 pps, prof = 1e6/1.1 pps → (1 - 1/1.1)*100 ≈ 9.09%.
@@ -28,9 +29,20 @@ func TestProfilingOverheadPct(t *testing.T) {
 		t.Fatalf("overhead without a profiled row = %.3f, want 0", pct)
 	}
 
+	// Windowed overhead compares the two observed postures: 5 ms plain
+	// vs 5.5 ms windowed → (1 - 1/1.1)*100 ≈ 9.09% again.
+	winGot := WindowOverheadPct(rows)
+	if winGot < 9.0 || winGot > 9.2 {
+		t.Fatalf("WindowOverheadPct = %.3f, want ≈ 9.09", winGot)
+	}
+	if pct := WindowOverheadPct(rows[:5]); pct != 0 {
+		t.Fatalf("window overhead without a windowed row = %.3f, want 0", pct)
+	}
+
 	text := FormatObservability(rows)
 	for _, want := range []string{"interp+plain", "interp+prof", "compiled+plain",
-		"compiled+prof", "compiled+prof+obs", "profiling overhead"} {
+		"compiled+prof", "compiled+prof+obs", "compiled+prof+obs+win",
+		"profiling overhead", "windowed recording overhead"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("FormatObservability missing %q:\n%s", want, text)
 		}
@@ -38,15 +50,18 @@ func TestProfilingOverheadPct(t *testing.T) {
 }
 
 // TestObservabilityMeasures runs the real matrix over a tiny trace:
-// all five configurations must dispatch, agree with the reference
+// all six configurations must dispatch, agree with the reference
 // verdicts (checked inside Observability), and report positive walls.
 func TestObservabilityMeasures(t *testing.T) {
 	rows, err := Observability(64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("%d rows, want 5", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	if last := rows[len(rows)-1]; !last.Windowed || !last.Observers {
+		t.Fatalf("last row must be the windowed posture: %+v", last)
 	}
 	for _, r := range rows {
 		if r.Wall <= 0 || r.Packets != 64 || r.PPS() <= 0 {

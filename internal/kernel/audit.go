@@ -56,6 +56,7 @@ func (k *Kernel) AuditLog() *slog.Logger {
 // attempt from the lock-free validation stage to the commit section,
 // where the final verdict is known and the install record is written.
 type validationAudit struct {
+	event      uint64 // correlation EventID shared with spans and flight events
 	owner      string
 	kind       string // "filter" or "handler"
 	binSHA     string // hex SHA-256 of the binary bytes
@@ -70,12 +71,13 @@ type validationAudit struct {
 // newValidationAudit starts an audit record for one install attempt.
 // Returns nil when auditing is disabled, and every later hook
 // tolerates that.
-func (a *auditor) newValidationAudit(kind, owner string, binary []byte) *validationAudit {
+func (a *auditor) newValidationAudit(kind, owner string, binary []byte, eid uint64) *validationAudit {
 	if a == nil {
 		return nil
 	}
 	sum := sha256.Sum256(binary)
 	return &validationAudit{
+		event:    eid,
 		owner:    owner,
 		kind:     kind,
 		binSHA:   hex.EncodeToString(sum[:]),
@@ -123,6 +125,7 @@ func (a *auditor) install(va *validationAudit, slot *cacheSlot, err error) {
 	}
 	attrs := []any{
 		slog.String("event", "install"),
+		slog.Uint64("event_id", va.event),
 		slog.String("kind", va.kind),
 		slog.String("owner", va.owner),
 		slog.String("policy", va.policyName),
@@ -175,12 +178,13 @@ func (a *auditor) install(va *validationAudit, slot *cacheSlot, err error) {
 }
 
 // quarantine records the start (or extension) of a producer embargo.
-func (a *auditor) quarantine(qe *QuarantineError) {
+func (a *auditor) quarantine(qe *QuarantineError, eid uint64) {
 	if a == nil {
 		return
 	}
 	a.log.Warn("pcc quarantine",
 		slog.String("event", "quarantine"),
+		slog.Uint64("event_id", eid),
 		slog.String("owner", qe.Owner),
 		slog.Time("until", qe.Until),
 		slog.Int("strikes", qe.Strikes),
@@ -191,12 +195,13 @@ func (a *auditor) quarantine(qe *QuarantineError) {
 // backend, profiling, validation limits, quarantine policy. The old
 // and new values make the log a self-contained timeline of what the
 // kernel was running with at any moment.
-func (a *auditor) configChange(setting, oldVal, newVal string) {
+func (a *auditor) configChange(setting, oldVal, newVal string, eid uint64) {
 	if a == nil {
 		return
 	}
 	a.log.Info("pcc config",
 		slog.String("event", "config"),
+		slog.Uint64("event_id", eid),
 		slog.String("setting", setting),
 		slog.String("old", oldVal),
 		slog.String("new", newVal),
@@ -204,13 +209,14 @@ func (a *auditor) configChange(setting, oldVal, newVal string) {
 }
 
 // negotiate records a §4 policy-negotiation verdict.
-func (a *auditor) negotiate(pol *policy.Policy, err error) {
+func (a *auditor) negotiate(pol *policy.Policy, eid uint64, err error) {
 	if a == nil {
 		return
 	}
 	dig := pol.Digest()
 	attrs := []any{
 		slog.String("event", "negotiate"),
+		slog.Uint64("event_id", eid),
 		slog.String("policy", pol.Name),
 		slog.String("policy_digest", hex.EncodeToString(dig[:])),
 	}
@@ -223,17 +229,19 @@ func (a *auditor) negotiate(pol *policy.Policy, err error) {
 }
 
 // evict records proof-cache evictions caused by one install.
-func (a *auditor) evict(n int64) {
+func (a *auditor) evict(n int64, eid uint64) {
 	if a == nil || n == 0 {
 		return
 	}
-	a.log.Info("pcc cache evict", slog.String("event", "evict"), slog.Int64("entries", n))
+	a.log.Info("pcc cache evict", slog.String("event", "evict"),
+		slog.Uint64("event_id", eid), slog.Int64("entries", n))
 }
 
 // uninstall records a filter removal.
-func (a *auditor) uninstall(owner string) {
+func (a *auditor) uninstall(owner string, eid uint64) {
 	if a == nil {
 		return
 	}
-	a.log.Info("pcc uninstall", slog.String("event", "uninstall"), slog.String("owner", owner))
+	a.log.Info("pcc uninstall", slog.String("event", "uninstall"),
+		slog.Uint64("event_id", eid), slog.String("owner", owner))
 }

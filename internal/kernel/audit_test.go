@@ -200,7 +200,7 @@ func TestAuditDisabledZeroOverhead(t *testing.T) {
 		t.Fatal("fresh kernel has an audit logger")
 	}
 	var a *auditor
-	va := a.newValidationAudit("filter", "x", nil)
+	va := a.newValidationAudit("filter", "x", nil, 5)
 	if va != nil {
 		t.Fatal("disabled auditor produced a record")
 	}
@@ -209,6 +209,6 @@ func TestAuditDisabledZeroOverhead(t *testing.T) {
 	va.setStats(nil)
 	va.setCacheHit()
 	a.install(va, nil, nil)
-	a.evict(3)
-	a.uninstall("x")
+	a.evict(3, 7)
+	a.uninstall("x", 8)
 }

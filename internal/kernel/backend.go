@@ -154,17 +154,18 @@ func (k *Kernel) InstallFilterWithBackend(ctx context.Context, owner string, bin
 	if b != BackendInterp && b != BackendCompiled {
 		return fmt.Errorf("kernel: unknown backend %d", b)
 	}
+	eid := k.nextEvent(k.tel.Load())
 	if gate := k.admit.Load(); gate != nil {
 		if !gate.tryAcquire() {
 			k.stats.validations.Add(1)
-			va := k.audit.Load().newValidationAudit("filter", owner, binary)
+			va := k.audit.Load().newValidationAudit("filter", owner, binary, eid)
 			return k.commitFilter(owner, nil, va,
-				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, b)
+				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, b, eid)
 		}
 		defer gate.release()
 	}
-	slot, va, err := k.validateFilter(ctx, owner, binary)
-	return k.commitFilter(owner, slot, va, err, b)
+	slot, va, err := k.validateFilter(ctx, owner, binary, eid)
+	return k.commitFilter(owner, slot, va, err, b, eid)
 }
 
 // runInstalled executes one installed filter on a prepared state with

@@ -40,7 +40,8 @@ var prefetchSink atomic.Uint32
 // runs already done.
 func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 	tel := k.tel.Load()
-	span := tel.span(telemetry.StageDispatchBatch, "")
+	eid := k.nextEvent(tel)
+	span := tel.span(telemetry.StageDispatchBatch, "", eid)
 	env := k.statePool.Get().(*packetEnv)
 	defer k.statePool.Put(env)
 	defer env.releasePacket()
@@ -88,7 +89,7 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 		if slots[i].c == nil && wantCompiled {
 			// The kernel's default backend is compiled but this filter
 			// has no compiled form — it will dispatch interpreted.
-			k.flight(telemetry.FlightBackendFallback, slots[i].owner, "no compiled form; dispatching interpreted")
+			k.flight(telemetry.FlightBackendFallback, slots[i].owner, "no compiled form; dispatching interpreted", eid)
 		}
 	}
 	var totalCycles int64
@@ -172,7 +173,7 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 				env.materializeTail()
 			}
 		} else {
-			k.flight(telemetry.FlightOversizePacket, "", fmt.Sprintf("len=%d", len(data)))
+			k.flight(telemetry.FlightOversizePacket, "", fmt.Sprintf("len=%d", len(data)), eid)
 		}
 		for si := range slots {
 			f := slots[si].f
@@ -235,10 +236,10 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 				}
 			}
 			if h != nil {
-				h.Observe(time.Since(t0))
+				h.ObserveSinceEID(t0, eid)
 			}
 			if err != nil {
-				k.flight(dispatchFaultKind(err), slots[si].owner, err.Error())
+				k.flight(dispatchFaultKind(err), slots[si].owner, err.Error(), eid)
 				flush()
 				span.End(err)
 				return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", slots[si].owner, err)

@@ -10,6 +10,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/machine"
 	"repro/internal/telemetry"
@@ -27,9 +28,10 @@ func (k *Kernel) FlightRecorder() *telemetry.FlightRecorder {
 	return k.flightRec.Load()
 }
 
-// flight records one anomaly; a nil recorder makes it a no-op.
-func (k *Kernel) flight(kind, owner, detail string) {
-	k.flightRec.Load().Record(kind, owner, detail)
+// flight records one anomaly, tagged with the operation's correlation
+// EventID; a nil recorder makes it a no-op.
+func (k *Kernel) flight(kind, owner, detail string, eid uint64) {
+	k.flightRec.Load().RecordEvent(kind, owner, detail, eid)
 }
 
 // dispatchFaultKind classifies a dispatch-path execution error into a
@@ -52,6 +54,14 @@ func dispatchFaultKind(err error) string {
 // page" timeline). Same-value sets are still recorded — an operator
 // re-asserting a setting is itself a fact worth keeping.
 func (k *Kernel) configChange(setting, oldVal, newVal string) {
-	k.audit.Load().configChange(setting, oldVal, newVal)
-	k.flight(telemetry.FlightConfigChange, "", fmt.Sprintf("%s: %s -> %s", setting, oldVal, newVal))
+	tel := k.tel.Load()
+	eid := k.nextEvent(tel)
+	start := time.Now()
+	k.audit.Load().configChange(setting, oldVal, newVal, eid)
+	k.flight(telemetry.FlightConfigChange, "", fmt.Sprintf("%s: %s -> %s", setting, oldVal, newVal), eid)
+	if tel != nil {
+		// A config span puts the EventID in the span ring too, so one ID
+		// joins all three streams for posture changes.
+		tel.rec.RecordSpan(telemetry.StageConfig, setting, 0, eid, start, time.Since(start), nil)
+	}
 }

@@ -153,6 +153,14 @@ type Kernel struct {
 	envSeq    atomic.Uint32
 	shardMask uint32
 
+	// events allocates the kernel's correlation EventIDs: one per
+	// negotiate, install attempt, handler install, uninstall, config
+	// change, packet delivery, and dispatch batch. Spans, audit
+	// records, and flight events produced by the same operation all
+	// carry the same EventID, which is what /debug/timeline joins on.
+	// Tenant-scoped: a Registry seeds each kernel with a disjoint base
+	// (SeedEventBase) so IDs identify their tenant.
+	events atomic.Uint64
 	// tel is the optional telemetry sink (telemetry.go); nil means
 	// every instrumentation point is a no-op costing one atomic load.
 	tel atomic.Pointer[telem]
@@ -213,6 +221,25 @@ func NewWithCacheSize(size int) *Kernel {
 	return k
 }
 
+// nextEvent allocates the correlation EventID for one kernel
+// operation, or 0 when no observer — telemetry recorder, audit sink,
+// or flight recorder — is attached, so the unobserved path pays the
+// loads it already paid and no shared-counter write. tel is the
+// already-loaded telemetry bundle (callers on instrumented paths load
+// it first).
+func (k *Kernel) nextEvent(tel *telem) uint64 {
+	if tel == nil && k.audit.Load() == nil && k.flightRec.Load() == nil {
+		return 0
+	}
+	return k.events.Add(1)
+}
+
+// SeedEventBase sets the starting point of the kernel's EventID
+// counter. A multi-tenant registry seeds each kernel with a disjoint
+// base so an EventID identifies its tenant; call before the kernel
+// observes traffic.
+func (k *Kernel) SeedEventBase(base uint64) { k.events.Store(base) }
+
 // FilterPolicy returns the published packet-filter policy (Figure 1:
 // the consumer "defines and publicizes a safety policy").
 func (k *Kernel) FilterPolicy() *policy.Policy { return k.filterPolicy }
@@ -238,13 +265,15 @@ func (k *Kernel) SetCycleBudget(b CycleBudget) {
 // and from then on validates binaries naming it — only after proving
 // that its own packet-filter guarantees cover the proposal.
 func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
-	span := k.tel.Load().span(telemetry.StageNegotiate, proposed.Name)
+	tel := k.tel.Load()
+	eid := k.nextEvent(tel)
+	span := tel.span(telemetry.StageNegotiate, proposed.Name, eid)
 	aud := k.audit.Load()
 	k.mu.RLock()
 	base := k.filterPolicy
 	k.mu.RUnlock()
 	if err := pcc.NegotiatePolicy(base, proposed); err != nil {
-		aud.negotiate(proposed, err)
+		aud.negotiate(proposed, eid, err)
 		span.End(err)
 		return err
 	}
@@ -256,7 +285,7 @@ func (k *Kernel) NegotiateFilterPolicy(proposed *policy.Policy) error {
 	}
 	k.negotiated[proposed.Name] = proposed
 	k.negotiatedKeyers[proposed.Name] = pcc.NewKeyer(proposed)
-	aud.negotiate(proposed, nil)
+	aud.negotiate(proposed, eid, nil)
 	span.End(nil)
 	return nil
 }
@@ -297,11 +326,11 @@ func newCacheSlot(key cacheKey, ext *pcc.Extension) *cacheSlot {
 // parse / lfsig / vcgen / lfcheck / wcet children; with an audit log
 // attached, the forensic context of the attempt rides along to the
 // commit in the returned validationAudit (nil when auditing is off).
-func (k *Kernel) validateFilter(ctx context.Context, owner string, binary []byte) (*cacheSlot, *validationAudit, error) {
+func (k *Kernel) validateFilter(ctx context.Context, owner string, binary []byte, eid uint64) (*cacheSlot, *validationAudit, error) {
 	k.stats.validations.Add(1)
 	tel := k.tel.Load()
-	span := tel.span(telemetry.StageValidate, owner)
-	va := k.audit.Load().newValidationAudit("filter", owner, binary)
+	span := tel.span(telemetry.StageValidate, owner, eid)
+	va := k.audit.Load().newValidationAudit("filter", owner, binary, eid)
 	// An expired context or a live embargo rejects before any byte of
 	// the binary is examined — in particular before the cache probe, so
 	// a canceled install cannot be served (and committed) from a hit.
@@ -353,6 +382,7 @@ func (k *Kernel) validateFilter(ctx context.Context, owner string, binary []byte
 		}
 		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
 		tel.validationStages(span, owner, valStart, stats)
+		tel.certCost(stats, eid)
 		va.setPolicy(c.pol)
 		va.setStats(stats)
 		wcetStart := time.Now()
@@ -360,7 +390,7 @@ func (k *Kernel) validateFilter(ctx context.Context, owner string, binary []byte
 		tel.wcet(span, owner, wcetStart, slot.wcetErr)
 		slot, evicted := k.cache.put(slot)
 		tel.evicted(evicted)
-		k.audit.Load().evict(evicted)
+		k.audit.Load().evict(evicted, eid)
 		span.End(nil)
 		return slot, va, nil
 	}
@@ -377,14 +407,14 @@ func (k *Kernel) validateFilter(ctx context.Context, owner string, binary []byte
 // the lock is taken, so compilation — like validation — never runs
 // under the kernel write lock, and a filter that somehow fails to
 // compile is rejected rather than silently interpreted.
-func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit, verr error, be Backend) error {
+func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit, verr error, be Backend, eid uint64) error {
 	tel := k.tel.Load()
 	if verr != nil {
 		k.stats.rejections.Add(1)
 		reason := installRejectReason(verr)
 		tel.outcome(false)
 		tel.reject(reason)
-		k.noteRejection(owner, reason)
+		k.noteRejection(owner, reason, eid)
 		err := fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
 		k.audit.Load().install(va, slot, err)
 		return err
@@ -399,13 +429,13 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 			reason := installRejectReason(verr)
 			tel.outcome(false)
 			tel.reject(reason)
-			k.noteRejection(owner, reason)
+			k.noteRejection(owner, reason, eid)
 			err := fmt.Errorf("kernel: filter for %q rejected: %w", owner, verr)
 			k.audit.Load().install(va, slot, err)
 			return err
 		}
 	}
-	span := tel.span(telemetry.StageCommit, owner)
+	span := tel.span(telemetry.StageCommit, owner, eid)
 	err := func() error {
 		k.mu.Lock()
 		defer k.mu.Unlock()
@@ -446,7 +476,7 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 	if err != nil {
 		k.stats.rejections.Add(1)
 		tel.reject(installRejectReason(err))
-		k.noteRejection(owner, installRejectReason(err))
+		k.noteRejection(owner, installRejectReason(err), eid)
 	} else {
 		k.noteSuccess(owner)
 	}
@@ -467,7 +497,7 @@ func (k *Kernel) UninstallFilter(owner string) {
 	if removed == nil {
 		return
 	}
-	k.audit.Load().uninstall(owner)
+	k.audit.Load().uninstall(owner, k.nextEvent(k.tel.Load()))
 	k.publishLocked(nt, removed)
 	k.tel.Load().setFilters(len(nt.slots))
 }
@@ -707,14 +737,15 @@ func (e *packetEnv) wipeScratch() {
 // per filter, no allocation.
 func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 	tel := k.tel.Load()
-	span := tel.span(telemetry.StageDispatch, "")
+	eid := k.nextEvent(tel)
+	span := tel.span(telemetry.StageDispatch, "", eid)
 	env := k.statePool.Get().(*packetEnv)
 	defer k.statePool.Put(env)
 	usePool := len(pkt.Data) <= maxPooledPacket
 	if usePool {
 		env.setPacketCopy(pkt.Data)
 	} else {
-		k.flight(telemetry.FlightOversizePacket, "", fmt.Sprintf("len=%d", len(pkt.Data)))
+		k.flight(telemetry.FlightOversizePacket, "", fmt.Sprintf("len=%d", len(pkt.Data)), eid)
 	}
 	profiling := k.profiling.Load()
 	rec := k.epochs.pin(int(env.shard))
@@ -745,7 +776,7 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 			// A validated extension cannot fault when the kernel meets
 			// the precondition; if it does, the kernel is broken.
 			sh.cycles.Add(cycles)
-			k.flight(dispatchFaultKind(err), owner, err.Error())
+			k.flight(dispatchFaultKind(err), owner, err.Error(), eid)
 			span.End(err)
 			return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", owner, err)
 		}
@@ -820,12 +851,13 @@ func (k *Kernel) CreateTable(pid int, tag, data uint64) {
 func (k *Kernel) InstallHandler(pid int, binary []byte) error {
 	k.stats.validations.Add(1)
 	tel := k.tel.Load()
+	eid := k.nextEvent(tel)
 	var owner string
 	if tel != nil || k.audit.Load() != nil {
 		owner = fmt.Sprintf("pid-%d", pid)
 	}
-	span := tel.span(telemetry.StageValidate, owner)
-	va := k.audit.Load().newValidationAudit("handler", owner, binary)
+	span := tel.span(telemetry.StageValidate, owner, eid)
+	va := k.audit.Load().newValidationAudit("handler", owner, binary, eid)
 	va.setPolicy(k.resourcePolicy)
 	key := k.resourceKeyer.Key(binary)
 	probeStart := time.Now()
@@ -850,6 +882,7 @@ func (k *Kernel) InstallHandler(pid int, binary []byte) error {
 		}
 		k.stats.validationNanos.Add(stats.Time.Nanoseconds())
 		tel.validationStages(span, owner, valStart, stats)
+		tel.certCost(stats, eid)
 		va.setStats(stats)
 		wcetStart := time.Now()
 		fresh := newCacheSlot(key, ext)
@@ -857,7 +890,7 @@ func (k *Kernel) InstallHandler(pid int, binary []byte) error {
 		var evicted int64
 		slot, evicted = k.cache.put(fresh)
 		tel.evicted(evicted)
-		k.audit.Load().evict(evicted)
+		k.audit.Load().evict(evicted, eid)
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()

@@ -53,6 +53,10 @@ func (k *Kernel) InstallFilterBatchCtx(ctx context.Context, reqs []InstallReques
 	slots := make([]*cacheSlot, n)
 	vas := make([]*validationAudit, n)
 	verrs := make([]error, n)
+	// One correlation EventID per request, allocated by the worker that
+	// picks the request up, so each install's spans, audit record, and
+	// flight events share an ID even when validations interleave.
+	eids := make([]uint64, n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -69,17 +73,18 @@ func (k *Kernel) InstallFilterBatchCtx(ctx context.Context, reqs []InstallReques
 				if i >= n {
 					return
 				}
+				eids[i] = k.nextEvent(k.tel.Load())
 				if err := ctx.Err(); err != nil {
 					// Drain: account the attempt, skip the work.
 					k.stats.validations.Add(1)
-					vas[i] = k.audit.Load().newValidationAudit("filter", reqs[i].Owner, reqs[i].Binary)
+					vas[i] = k.audit.Load().newValidationAudit("filter", reqs[i].Owner, reqs[i].Binary, eids[i])
 					verrs[i] = fmt.Errorf("kernel: install aborted: %w", err)
 					continue
 				}
 				// Queue wait: how long the request sat before a
 				// validator picked it up.
 				k.stats.queueWaitNanos.Add(time.Since(start).Nanoseconds())
-				slots[i], vas[i], verrs[i] = k.validateFilter(ctx, reqs[i].Owner, reqs[i].Binary)
+				slots[i], vas[i], verrs[i] = k.validateFilter(ctx, reqs[i].Owner, reqs[i].Binary, eids[i])
 			}
 		}()
 	}
@@ -87,7 +92,7 @@ func (k *Kernel) InstallFilterBatchCtx(ctx context.Context, reqs []InstallReques
 
 	be := k.Backend()
 	for i := range reqs {
-		errs[i] = k.commitFilter(reqs[i].Owner, slots[i], vas[i], verrs[i], be)
+		errs[i] = k.commitFilter(reqs[i].Owner, slots[i], vas[i], verrs[i], be, eids[i])
 	}
 	return errs
 }

@@ -388,7 +388,7 @@ func TestWCETComputedAtValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := New() // no budget configured, yet the bound is precomputed
-	slot, _, verr := k.validateFilter(context.Background(), "fits", cert.Binary)
+	slot, _, verr := k.validateFilter(context.Background(), "fits", cert.Binary, 0)
 	if verr != nil {
 		t.Fatal(verr)
 	}
@@ -396,11 +396,11 @@ func TestWCETComputedAtValidation(t *testing.T) {
 		t.Fatalf("wcet not precomputed at validation: wcet=%d err=%v", slot.wcet, slot.wcetErr)
 	}
 	k.SetCycleBudget(CycleBudget(slot.wcet))
-	if err := k.commitFilter("fits", slot, nil, nil, BackendInterp); err != nil {
+	if err := k.commitFilter("fits", slot, nil, nil, BackendInterp, 0); err != nil {
 		t.Fatalf("filter at exactly the budget rejected: %v", err)
 	}
 	k.SetCycleBudget(CycleBudget(slot.wcet - 1))
-	if err := k.commitFilter("over", slot, nil, nil, BackendInterp); err == nil {
+	if err := k.commitFilter("over", slot, nil, nil, BackendInterp, 0); err == nil {
 		t.Fatal("over-budget filter committed")
 	}
 }

@@ -11,6 +11,7 @@ package kernel
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -21,11 +22,26 @@ import (
 // attached. The fields are wired together at Create time (the recorder
 // and flight recorder are already attached to the kernel) and never
 // reassigned, so they may be read without holding the registry lock.
+// Audit is the tenant's queryable audit-record ring; callers wiring
+// their own audit logger should tee through Audit.Handler so
+// /debug/timeline keeps seeing install decisions.
 type Tenant struct {
 	Name   string
 	Kernel *Kernel
 	Rec    *telemetry.Recorder
 	Flight *telemetry.FlightRecorder
+	Audit  *telemetry.AuditRing
+}
+
+// eventBase derives the tenant's EventID starting point from its name:
+// a 20-bit FNV-1a hash shifted above the low 32 bits. IDs from
+// different tenants land in disjoint ranges (until a tenant performs
+// 2^32 operations), so a leaked or logged EventID identifies its
+// tenant, and every ID stays below 2^53 — exact in JSON numbers.
+func eventBase(name string) uint64 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return uint64(h.Sum32()&0xFFFFF) << 32
 }
 
 // Registry is a concurrency-safe directory of tenants. The lock guards
@@ -52,11 +68,16 @@ func (r *Registry) Create(name string) (*Tenant, error) {
 	t := &Tenant{
 		Name:   name,
 		Kernel: New(),
-		Rec:    telemetry.New(),
+		// Windowed recorder: registry tenants serve live endpoints, so
+		// they get recent rates and windowed quantiles, not just
+		// since-boot cumulatives.
+		Rec:    telemetry.NewWith(telemetry.Options{Window: &telemetry.WindowOptions{}}),
 		Flight: telemetry.NewFlightRecorder(0),
+		Audit:  telemetry.NewAuditRing(0),
 	}
 	t.Kernel.SetRecorder(t.Rec)
 	t.Kernel.SetFlightRecorder(t.Flight)
+	t.Kernel.SeedEventBase(eventBase(name))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.tenants[name]; dup {

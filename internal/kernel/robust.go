@@ -220,7 +220,7 @@ func (k *Kernel) quarantineCheck(owner string) error {
 // owner's binary did not cause — an embargo already in force, a full
 // admission queue — do not count, or a single embargo would extend
 // itself forever.
-func (k *Kernel) noteRejection(owner, reason string) {
+func (k *Kernel) noteRejection(owner, reason string, eid uint64) {
 	cfg := k.quarCfg.Load()
 	if cfg == nil || reason == "quarantine" || reason == "queue_full" {
 		return
@@ -245,9 +245,9 @@ func (k *Kernel) noteRejection(owner, reason string) {
 	k.quarMu.Unlock()
 	k.tel.Load().setQuarantined(n)
 	if embargo != nil {
-		k.audit.Load().quarantine(embargo)
+		k.audit.Load().quarantine(embargo, eid)
 		k.flight(telemetry.FlightQuarantine, owner,
-			fmt.Sprintf("strikes=%d until=%s", embargo.Strikes, embargo.Until.Format(time.RFC3339Nano)))
+			fmt.Sprintf("strikes=%d until=%s", embargo.Strikes, embargo.Until.Format(time.RFC3339Nano)), eid)
 	}
 }
 
@@ -288,15 +288,16 @@ func installRejectReason(err error) string {
 // immediately with a *QueueFullError. Both outcomes are ordinary
 // rejections: audited, counted, and classified by reason.
 func (k *Kernel) InstallFilterCtx(ctx context.Context, owner string, binary []byte) error {
+	eid := k.nextEvent(k.tel.Load())
 	if gate := k.admit.Load(); gate != nil {
 		if !gate.tryAcquire() {
 			k.stats.validations.Add(1)
-			va := k.audit.Load().newValidationAudit("filter", owner, binary)
+			va := k.audit.Load().newValidationAudit("filter", owner, binary, eid)
 			return k.commitFilter(owner, nil, va,
-				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, k.Backend())
+				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, k.Backend(), eid)
 		}
 		defer gate.release()
 	}
-	slot, va, err := k.validateFilter(ctx, owner, binary)
-	return k.commitFilter(owner, slot, va, err, k.Backend())
+	slot, va, err := k.validateFilter(ctx, owner, binary, eid)
+	return k.commitFilter(owner, slot, va, err, k.Backend(), eid)
 }

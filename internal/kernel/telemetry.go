@@ -38,7 +38,20 @@ const (
 	// count of currently embargoed producers.
 	MetricRejects         = "pcc_rejects_total"
 	MetricQuarantineGauge = "pcc_quarantined_owners"
+	// Certificate-cost value histograms (raw units, not seconds): the
+	// proof's size on the wire in bytes and the generated VC's term
+	// size in LF nodes, observed once per full (non-cached) successful
+	// validation. This is the baseline proof-size engineering will
+	// regress against.
+	MetricProofBytes = "pcc_proof_bytes"
+	MetricVCNodes    = "pcc_vc_nodes"
 )
+
+// certSizeBounds is the bucket ladder for the certificate-cost value
+// histograms: a 1-2-5 ladder from 8 to ~1M raw units (bytes or
+// nodes), wide enough for a trivial accept proof and a proof bomb on
+// the same axis.
+var certSizeBounds = telemetry.LogBounds(8, 1<<20)
 
 // telem bundles a recorder with its pre-registered instruments so hot
 // paths never take the recorder's registration lock. A nil *telem is
@@ -69,12 +82,13 @@ func newTelem(rec *telemetry.Recorder) *telem {
 	}
 }
 
-// span opens a root span for a stage (no-op Span when disabled).
-func (t *telem) span(stage, detail string) telemetry.Span {
+// span opens a root span for a stage, carrying the operation's
+// correlation EventID (no-op Span when disabled).
+func (t *telem) span(stage, detail string, eid uint64) telemetry.Span {
 	if t == nil {
 		return telemetry.Span{}
 	}
-	return t.rec.StartSpan(stage, detail)
+	return t.rec.StartSpanEvent(stage, detail, eid)
 }
 
 // probe records the cache-probe child span and the hit/miss counter.
@@ -89,7 +103,7 @@ func (t *telem) probe(parent telemetry.Span, start time.Time, hit bool) {
 		ctr = t.cacheHits
 	}
 	ctr.Inc()
-	t.rec.RecordSpan(telemetry.StageCacheProbe, verdict, parent.ID(), start, time.Since(start), nil)
+	t.rec.RecordSpan(telemetry.StageCacheProbe, verdict, parent.ID(), parent.Event(), start, time.Since(start), nil)
 }
 
 // validationStages replays pcc.Validate's stage breakdown as child
@@ -100,6 +114,7 @@ func (t *telem) validationStages(parent telemetry.Span, owner string, start time
 		return
 	}
 	id := parent.ID()
+	eid := parent.Event()
 	cur := start
 	for _, stage := range []struct {
 		name string
@@ -110,7 +125,7 @@ func (t *telem) validationStages(parent telemetry.Span, owner string, start time
 		{telemetry.StageVCGen, st.VCGen},
 		{telemetry.StageLFCheck, st.Check},
 	} {
-		t.rec.RecordSpan(stage.name, owner, id, cur, stage.dur, nil)
+		t.rec.RecordSpan(stage.name, owner, id, eid, cur, stage.dur, nil)
 		cur = cur.Add(stage.dur)
 	}
 }
@@ -120,7 +135,18 @@ func (t *telem) wcet(parent telemetry.Span, owner string, start time.Time, err e
 	if t == nil {
 		return
 	}
-	t.rec.RecordSpan(telemetry.StageWCET, owner, parent.ID(), start, time.Since(start), err)
+	t.rec.RecordSpan(telemetry.StageWCET, owner, parent.ID(), parent.Event(), start, time.Since(start), err)
+}
+
+// certCost records the certificate-cost value histograms for one full
+// (non-cached) successful validation, with the install's EventID as
+// the bucket exemplar.
+func (t *telem) certCost(st *pcc.ValidationStats, eid uint64) {
+	if t == nil || st == nil {
+		return
+	}
+	t.rec.ValueHistogram(MetricProofBytes, certSizeBounds).ObserveValueEID(float64(st.ProofBytes), eid)
+	t.rec.ValueHistogram(MetricVCNodes, certSizeBounds).ObserveValueEID(float64(st.VCNodes), eid)
 }
 
 // evicted bumps the eviction counter by n.

@@ -95,3 +95,26 @@ func TestParseTermDepthLimit(t *testing.T) {
 		t.Fatalf("want depth error, got %v", err)
 	}
 }
+
+// TestSizeBounded: a hash-consed DAG expands to an exponential tree
+// under traversal; the bounded walk must stop at the cap in time
+// proportional to the cap, not the tree. (Unbounded Size on this term
+// would walk 2^61-1 nodes.)
+func TestSizeBounded(t *testing.T) {
+	leaf := Term(Konst{Name: "x"})
+	d := leaf
+	for i := 0; i < 60; i++ {
+		d = App{F: d, X: d} // each level doubles the tree
+	}
+	if got := SizeBounded(d, 1000); got != 1000 {
+		t.Fatalf("SizeBounded(bomb, 1000) = %d, want the cap", got)
+	}
+	// Small trees are counted exactly, and max <= 0 means unbounded.
+	small := App{F: App{F: leaf, X: leaf}, X: leaf}
+	if got, want := SizeBounded(small, 1<<20), Size(small); got != want {
+		t.Fatalf("SizeBounded(small) = %d, want %d", got, want)
+	}
+	if got, want := SizeBounded(small, 0), Size(small); got != want {
+		t.Fatalf("SizeBounded(small, 0) = %d, want %d", got, want)
+	}
+}

@@ -207,7 +207,10 @@ func Equal(a, b Term) bool {
 	panic(fmt.Sprintf("lf: unknown term %T", a))
 }
 
-// Size returns the number of nodes in t.
+// Size returns the number of nodes in t. The walk follows the term's
+// tree shape: on a hash-consed DAG the count is the expanded tree
+// size, which can be exponential in the number of distinct nodes —
+// never call Size on an untrusted term; use SizeBounded.
 func Size(t Term) int {
 	switch t := t.(type) {
 	case Sort, Konst, Bound, Lit:
@@ -220,4 +223,35 @@ func Size(t Term) int {
 		return 1 + Size(t.F) + Size(t.X)
 	}
 	panic(fmt.Sprintf("lf: unknown term %T", t))
+}
+
+// SizeBounded returns the number of nodes in t, counting at most max
+// (max <= 0 means unbounded, i.e. plain Size). Decoded proof terms are
+// hash-consed DAGs from untrusted producers, and DAGs expand to trees
+// under traversal: a few dozen wire nodes can encode a tree of 2^60
+// nodes, so an unbounded walk is an exponential-time bomb. Consumers
+// recording size as a statistic cap the walk and accept the floor
+// value.
+func SizeBounded(t Term, max int) int {
+	n := 0
+	var walk func(Term)
+	walk = func(t Term) {
+		if max > 0 && n >= max {
+			return
+		}
+		n++
+		switch t := t.(type) {
+		case Pi:
+			walk(t.A)
+			walk(t.B)
+		case Lam:
+			walk(t.A)
+			walk(t.M)
+		case App:
+			walk(t.F)
+			walk(t.X)
+		}
+	}
+	walk(t)
+	return n
 }

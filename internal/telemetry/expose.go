@@ -13,22 +13,34 @@ import (
 	"time"
 )
 
-// HistogramSnapshot is one histogram in a Snapshot.
+// HistogramSnapshot is one histogram in a Snapshot. SumSeconds holds
+// raw units (bytes, nodes) when Raw is true. The Window* fields are
+// present only on recorders built with Options.Window: rate and
+// quantiles over roughly the last window span instead of
+// since-process-start.
 type HistogramSnapshot struct {
 	Count      int64         `json:"count"`
 	SumSeconds float64       `json:"sum_seconds"`
+	Raw        bool          `json:"raw,omitempty"`
 	P50        float64       `json:"p50"`
 	P90        float64       `json:"p90"`
 	P99        float64       `json:"p99"`
+	WindowRate float64       `json:"window_rate,omitempty"`
+	WindowP50  float64       `json:"window_p50,omitempty"`
+	WindowP99  float64       `json:"window_p99,omitempty"`
 	Buckets    []BucketCount `json:"buckets,omitempty"`
 }
 
 // BucketCount is one cumulative-style histogram bucket (Le in seconds;
-// the +Inf bucket has Le = 0 and Inf = true).
+// the +Inf bucket has Le = 0 and Inf = true). Exemplar is the
+// correlation EventID of the most recent observation that landed in
+// this bucket (0 = none): the handle that joins a fat bucket back to
+// its span tree, audit record, and flight events via /debug/timeline.
 type BucketCount struct {
-	Le    float64 `json:"le,omitempty"`
-	Inf   bool    `json:"inf,omitempty"`
-	Count int64   `json:"count"`
+	Le       float64 `json:"le,omitempty"`
+	Inf      bool    `json:"inf,omitempty"`
+	Count    int64   `json:"count"`
+	Exemplar uint64  `json:"exemplar,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-friendly view of a Recorder.
@@ -43,24 +55,37 @@ type Snapshot struct {
 	// LabeledHistograms maps family -> label value -> histogram for
 	// labeled histogram families (e.g. per-filter dispatch latency).
 	LabeledHistograms map[string]map[string]HistogramSnapshot `json:"labeled_histograms,omitempty"`
-	TraceAppended     int64                                   `json:"trace_appended"`
-	TraceDropped      int64                                   `json:"trace_dropped"`
+	// Rates maps counter name -> events/sec over the sliding window;
+	// LabeledRates is the same per label value. Present only on
+	// recorders built with Options.Window.
+	Rates         map[string]float64            `json:"rates,omitempty"`
+	LabeledRates  map[string]map[string]float64 `json:"labeled_rates,omitempty"`
+	TraceAppended int64                         `json:"trace_appended"`
+	TraceDropped  int64                         `json:"trace_dropped"`
 }
 
 func snapHistogram(h *Histogram, withBuckets bool) HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count:      h.Count(),
-		SumSeconds: h.Sum().Seconds(),
+		SumSeconds: h.SumValue(),
+		Raw:        h.Raw(),
 		P50:        h.Quantile(0.50),
 		P90:        h.Quantile(0.90),
 		P99:        h.Quantile(0.99),
 	}
+	if h.win != nil {
+		st, p50, p99 := h.WindowStat()
+		s.WindowRate = st.Rate
+		s.WindowP50 = p50
+		s.WindowP99 = p99
+	}
 	if withBuckets {
 		counts := h.BucketCounts()
+		ex := h.Exemplars()
 		var cum int64
 		for i, c := range counts {
 			cum += c
-			b := BucketCount{Count: cum}
+			b := BucketCount{Count: cum, Exemplar: ex[i]}
 			if i < len(h.bounds) {
 				b.Le = h.bounds[i]
 			} else {
@@ -102,9 +127,17 @@ func (r *Recorder) Snapshot(withBuckets bool) Snapshot {
 		TraceAppended: r.trace.Appended(),
 		TraceDropped:  r.trace.Dropped(),
 	}
+	windowed := r.winOpts != nil
+	if windowed {
+		s.Rates = map[string]float64{}
+		s.LabeledRates = map[string]map[string]float64{}
+	}
 	r.mu.RLock()
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
+		if windowed {
+			s.Rates[name] = c.Window().Stat().Rate
+		}
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
@@ -113,10 +146,20 @@ func (r *Recorder) Snapshot(withBuckets bool) Snapshot {
 		s.Labeled = map[string]map[string]int64{}
 		for fam, lf := range r.labeled {
 			vals := make(map[string]int64, len(lf.vals))
+			var rates map[string]float64
+			if windowed {
+				rates = make(map[string]float64, len(lf.vals))
+			}
 			for v, c := range lf.vals {
 				vals[v] = c.Value()
+				if windowed {
+					rates[v] = c.Window().Stat().Rate
+				}
 			}
 			s.Labeled[fam] = vals
+			if windowed {
+				s.LabeledRates[fam] = rates
+			}
 		}
 	}
 	if len(r.labeledHists) > 0 {
@@ -200,7 +243,7 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 				}
 				text += fmt.Sprintf("%s_bucket{%s=\"%s\",le=%q} %d\n", fam, lf.key, ev, le, cum)
 			}
-			text += fmt.Sprintf("%s_sum{%s=\"%s\"} %s\n", fam, lf.key, ev, fmtFloat(h.Sum().Seconds()))
+			text += fmt.Sprintf("%s_sum{%s=\"%s\"} %s\n", fam, lf.key, ev, fmtFloat(h.SumValue()))
 			text += fmt.Sprintf("%s_count{%s=\"%s\"} %d\n", fam, lf.key, ev, cum)
 		}
 		lines = append(lines, line{fam, text})
@@ -224,7 +267,7 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			}
 			text += fmt.Sprintf("%s_bucket{le=%q} %d\n", name, le, cum)
 		}
-		text += fmt.Sprintf("%s_sum %s\n", name, fmtFloat(h.Sum().Seconds()))
+		text += fmt.Sprintf("%s_sum %s\n", name, fmtFloat(h.SumValue()))
 		text += fmt.Sprintf("%s_count %d\n", name, cum)
 		lines = append(lines, line{name, text})
 	}

@@ -11,6 +11,7 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -54,6 +55,10 @@ type FlightEvent struct {
 	Owner string `json:"owner,omitempty"`
 	// Detail is free-form specifics.
 	Detail string `json:"detail,omitempty"`
+	// Event is the kernel-level correlation EventID shared with the
+	// span tree and audit record of the operation that hit the anomaly
+	// (0 = uncorrelated).
+	Event uint64 `json:"event,omitempty"`
 }
 
 // DefaultFlightCapacity is the ring size used when capacity <= 0.
@@ -79,6 +84,12 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 
 // Record appends one anomaly, stamped now.
 func (f *FlightRecorder) Record(kind, owner, detail string) {
+	f.RecordEvent(kind, owner, detail, 0)
+}
+
+// RecordEvent appends one anomaly correlated with the kernel EventID
+// event (0 = uncorrelated), stamped now.
+func (f *FlightRecorder) RecordEvent(kind, owner, detail string, event uint64) {
 	if f == nil {
 		return
 	}
@@ -87,6 +98,7 @@ func (f *FlightRecorder) Record(kind, owner, detail string) {
 		Kind:          kind,
 		Owner:         owner,
 		Detail:        detail,
+		Event:         event,
 	}
 	e.Seq = f.next.Add(1) - 1
 	f.slots[e.Seq%uint64(len(f.slots))].Store(e)
@@ -143,28 +155,51 @@ func (f *FlightRecorder) Events() []FlightEvent {
 	return out
 }
 
-// flightSnapshot is the JSON document WriteJSON emits (and the serve
-// endpoint exposes).
-type flightSnapshot struct {
+// FlightSnapshot is the JSON document WriteJSON emits (and the serve
+// endpoint exposes). The accounting invariant
+//
+//	Appended == len(Events) + Dropped
+//
+// holds exactly at every snapshot, even while appends race: Dropped
+// counts both ring-overwritten events and slots claimed by an
+// in-flight append but not yet published.
+type FlightSnapshot struct {
 	Capacity int           `json:"capacity"`
 	Appended int64         `json:"appended"`
 	Dropped  int64         `json:"dropped"`
 	Events   []FlightEvent `json:"events"`
 }
 
+// Snapshot captures a consistent view of the ring. The append counter
+// is read once, first; only events sequenced strictly below that read
+// are included, and Dropped is defined as the difference — so the
+// Appended == len(Events) + Dropped invariant holds by construction
+// regardless of concurrent appends, and every included Seq is unique
+// (distinct slots hold distinct residues mod capacity).
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	snap := FlightSnapshot{Capacity: f.Cap(), Events: []FlightEvent{}}
+	if f == nil {
+		return snap
+	}
+	a := int64(f.next.Load())
+	for i := range f.slots {
+		if e := f.slots[i].Load(); e != nil && int64(e.Seq) < a {
+			snap.Events = append(snap.Events, *e)
+		}
+	}
+	// Seq order == record order; slots wrap, so sort by Seq.
+	sort.Slice(snap.Events, func(i, j int) bool {
+		return snap.Events[i].Seq < snap.Events[j].Seq
+	})
+	snap.Appended = a
+	snap.Dropped = a - int64(len(snap.Events))
+	return snap
+}
+
 // WriteJSON writes the ring state as one indented JSON document:
 // {"capacity", "appended", "dropped", "events": [...oldest first]}.
 func (f *FlightRecorder) WriteJSON(w io.Writer) error {
-	snap := flightSnapshot{
-		Capacity: f.Cap(),
-		Appended: f.Appended(),
-		Dropped:  f.Dropped(),
-		Events:   f.Events(),
-	}
-	if snap.Events == nil {
-		snap.Events = []FlightEvent{}
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(snap)
+	return enc.Encode(f.Snapshot())
 }

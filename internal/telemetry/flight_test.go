@@ -189,3 +189,76 @@ func TestLabeledHistogramExposition(t *testing.T) {
 		t.Fatal("nil recorder must hand out nil histograms")
 	}
 }
+
+// TestFlightSnapshotInvariantUnderWrap is the satellite-2 hardening
+// test: WriteJSON/Snapshot racing concurrent appends across many full
+// ring wraps, asserting at every snapshot that
+//
+//	appended == len(events) + dropped
+//
+// holds exactly, that event Seqs are unique and ascending, and that
+// every event is fully formed (no torn slot reads). Run under -race.
+func TestFlightSnapshotInvariantUnderWrap(t *testing.T) {
+	const capacity = 8 // tiny ring: thousands of wraps per run
+	f := NewFlightRecorder(capacity)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.RecordEvent(FlightFuelExhausted, "owner", "detail", uint64(g*1_000_000+i+1))
+			}
+		}(g)
+	}
+
+	deadline := time.Now().Add(200 * time.Millisecond)
+	snapshots := 0
+	for time.Now().Before(deadline) {
+		snap := f.Snapshot()
+		snapshots++
+		if snap.Appended != int64(len(snap.Events))+snap.Dropped {
+			t.Fatalf("snapshot %d: appended %d != events %d + dropped %d",
+				snapshots, snap.Appended, len(snap.Events), snap.Dropped)
+		}
+		if snap.Capacity != capacity || len(snap.Events) > capacity {
+			t.Fatalf("snapshot %d: %d events in a %d ring", snapshots, len(snap.Events), snap.Capacity)
+		}
+		for i, e := range snap.Events {
+			if i > 0 && e.Seq <= snap.Events[i-1].Seq {
+				t.Fatalf("snapshot %d: Seq not strictly ascending at %d: %d then %d",
+					snapshots, i, snap.Events[i-1].Seq, e.Seq)
+			}
+			if int64(e.Seq) >= snap.Appended {
+				t.Fatalf("snapshot %d: event Seq %d beyond appended %d", snapshots, e.Seq, snap.Appended)
+			}
+			if e.Kind != FlightFuelExhausted || e.Owner != "owner" || e.Event == 0 || e.TimeUnixNanos == 0 {
+				t.Fatalf("snapshot %d: torn event %+v", snapshots, e)
+			}
+		}
+		// WriteJSON is the same snapshot through the encoder; it must
+		// stay well-formed mid-wrap too.
+		var buf bytes.Buffer
+		if err := f.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON under churn: %v", err)
+		}
+		var back FlightSnapshot
+		if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+			t.Fatalf("WriteJSON emitted invalid JSON under churn: %v", err)
+		}
+		if back.Appended != int64(len(back.Events))+back.Dropped {
+			t.Fatalf("decoded snapshot breaks the invariant: %+v", back)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if f.Dropped() == 0 {
+		t.Fatal("test never wrapped the ring; invariant not exercised")
+	}
+}

@@ -42,7 +42,7 @@ func (r *Recorder) LabeledCounter(family, labelKey, labelValue string) *Counter 
 		r.labeled[family] = lf
 	}
 	if c = lf.vals[labelValue]; c == nil {
-		c = &Counter{}
+		c = r.newCounter()
 		lf.vals[labelValue] = c
 	}
 	return c
@@ -88,7 +88,7 @@ func (r *Recorder) LabeledHistogram(family, labelKey, labelValue string, bounds 
 		r.labeledHists[family] = lf
 	}
 	if h = lf.vals[labelValue]; h == nil {
-		h = NewHistogram(lf.bounds)
+		h = r.newHist(lf.bounds)
 		lf.vals[labelValue] = h
 	}
 	return h

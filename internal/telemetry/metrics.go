@@ -13,9 +13,13 @@ import (
 	"time"
 )
 
-// Counter is a monotonically increasing counter.
+// Counter is a monotonically increasing counter. When built by a
+// Recorder with Options.Window set it also feeds a sliding window, so
+// the exposition can report a recent rate next to the cumulative
+// total.
 type Counter struct {
-	n atomic.Int64
+	n   atomic.Int64
+	win *Window
 }
 
 // Inc adds one.
@@ -28,6 +32,18 @@ func (c *Counter) Add(n int64) {
 		return
 	}
 	c.n.Add(n)
+	if c.win != nil {
+		c.win.add(time.Now().UnixNano(), -1, n, 0)
+	}
+}
+
+// Window returns the counter's sliding window (nil when windows are
+// off).
+func (c *Counter) Window() *Window {
+	if c == nil {
+		return nil
+	}
+	return c.win
 }
 
 // Value returns the current count.
@@ -113,11 +129,23 @@ var DispatchLatencyBounds = LogBounds(50e-9, 0.05)
 // atomic adds plus a binary search over the (immutable) bounds; counts
 // and the running sum are exact, quantiles are bucket-interpolated
 // estimates.
+//
+// Each bucket also retains an exemplar: the correlation EventID of the
+// most recent observation that landed in it (via ObserveEID), linking
+// a fat tail bucket directly to the span tree, audit record, and
+// flight-recorder events of the operation that produced it.
+//
+// A histogram built by NewValueHistogram measures raw units (bytes,
+// nodes) instead of seconds: bounds are raw units and the sum is the
+// raw total.
 type Histogram struct {
-	bounds   []float64 // ascending upper bounds, seconds; +Inf implicit
-	buckets  []atomic.Int64
-	count    atomic.Int64
-	sumNanos atomic.Int64
+	bounds    []float64 // ascending upper bounds, seconds (or raw units); +Inf implicit
+	buckets   []atomic.Int64
+	exemplars []atomic.Uint64 // last EventID seen per bucket; 0 = none
+	count     atomic.Int64
+	sum       atomic.Int64 // nanoseconds, or raw units in value mode
+	raw       bool
+	win       *Window
 }
 
 // NewHistogram builds a histogram over the given ascending bucket
@@ -127,8 +155,60 @@ func NewHistogram(bounds []float64) *Histogram {
 		bounds = DefaultLatencyBounds
 	}
 	return &Histogram{
-		bounds:  bounds,
-		buckets: make([]atomic.Int64, len(bounds)+1),
+		bounds:    bounds,
+		buckets:   make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// NewValueHistogram builds a histogram over raw units (proof bytes, VC
+// nodes): bounds are in those units and Sum accounting is the raw
+// total, not nanoseconds. Feed it with ObserveValue.
+func NewValueHistogram(bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	h.raw = true
+	return h
+}
+
+// bucketFor returns the index of the first bound >= v (binary search;
+// len(bounds) = the +Inf bucket).
+func (h *Histogram) bucketFor(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// observe is the single sink: v in bound units, sum in accounting
+// units (nanos or raw), eid the correlation EventID (0 = none).
+func (h *Histogram) observe(v float64, sum int64, eid uint64) {
+	h.observeAt(0, v, sum, eid)
+}
+
+// observeAt is observe with the wall clock already read: now is
+// UnixNanos for window attribution, or 0 to read the clock here (and
+// only when a window is attached — the cumulative path never pays for
+// it). Hot loops that already hold a time.Time pass it down so the
+// windowed path costs no extra clock read.
+func (h *Histogram) observeAt(now int64, v float64, sum int64, eid uint64) {
+	b := h.bucketFor(v)
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(sum)
+	if eid != 0 {
+		h.exemplars[b].Store(eid)
+	}
+	if h.win != nil {
+		if now == 0 {
+			now = time.Now().UnixNano()
+		}
+		h.win.add(now, b, 1, sum)
 	}
 }
 
@@ -137,20 +217,47 @@ func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
 	}
-	s := d.Seconds()
-	// Binary search for the first bound >= s.
-	lo, hi := 0, len(h.bounds)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if h.bounds[mid] < s {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	h.observe(d.Seconds(), d.Nanoseconds(), 0)
+}
+
+// ObserveEID records one duration tagged with the correlation EventID
+// that produced it; the landed bucket retains eid as its exemplar.
+func (h *Histogram) ObserveEID(d time.Duration, eid uint64) {
+	if h == nil {
+		return
 	}
-	h.buckets[lo].Add(1)
-	h.count.Add(1)
-	h.sumNanos.Add(d.Nanoseconds())
+	h.observe(d.Seconds(), d.Nanoseconds(), eid)
+}
+
+// ObserveSinceEID records the elapsed time since t0 with a correlation
+// EventID exemplar, reusing t0's already-read wall clock for window
+// attribution. The per-observation hot path in a windowed recorder
+// then pays zero extra clock reads over the unwindowed one: windows
+// are second-granularity, and a dispatch run lasts microseconds, so
+// stamping the observation at its start instead of its end never moves
+// it by more than one interval edge.
+func (h *Histogram) ObserveSinceEID(t0 time.Time, eid uint64) {
+	if h == nil {
+		return
+	}
+	d := time.Since(t0)
+	h.observeAt(t0.UnixNano(), d.Seconds(), d.Nanoseconds(), eid)
+}
+
+// ObserveValue records one raw-unit observation (value histograms).
+func (h *Histogram) ObserveValue(v float64) {
+	if h == nil {
+		return
+	}
+	h.observe(v, int64(v), 0)
+}
+
+// ObserveValueEID is ObserveValue with a correlation EventID exemplar.
+func (h *Histogram) ObserveValueEID(v float64, eid uint64) {
+	if h == nil {
+		return
+	}
+	h.observe(v, int64(v), eid)
 }
 
 // Count returns the number of observations.
@@ -161,17 +268,68 @@ func (h *Histogram) Count() int64 {
 	return h.count.Load()
 }
 
-// Sum returns the total of all observed durations.
+// Sum returns the total of all observed durations (zero for value
+// histograms; use SumValue there).
 func (h *Histogram) Sum() time.Duration {
+	if h == nil || h.raw {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// SumValue returns the histogram's total in exposition units: seconds
+// for latency histograms, raw units for value histograms.
+func (h *Histogram) SumValue() float64 {
 	if h == nil {
 		return 0
 	}
-	return time.Duration(h.sumNanos.Load())
+	if h.raw {
+		return float64(h.sum.Load())
+	}
+	return float64(h.sum.Load()) / 1e9
 }
+
+// Raw reports whether this is a value (raw-unit) histogram.
+func (h *Histogram) Raw() bool { return h != nil && h.raw }
 
 // Bounds returns the bucket upper bounds (seconds, +Inf implicit).
 // Callers must not modify the returned slice.
 func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Exemplars snapshots the per-bucket exemplar EventIDs (parallel to
+// BucketCounts; 0 = no correlated observation landed there yet).
+func (h *Histogram) Exemplars() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
+}
+
+// Window returns the histogram's sliding window (nil when windows are
+// off).
+func (h *Histogram) Window() *Window {
+	if h == nil {
+		return nil
+	}
+	return h.win
+}
+
+// WindowStat aggregates the sliding window: recent rate plus windowed
+// p50/p99 from the merged per-interval bucket counts. Returns zeroes
+// when windows are off.
+func (h *Histogram) WindowStat() (st WindowStat, p50, p99 float64) {
+	if h == nil || h.win == nil {
+		return WindowStat{}, 0, 0
+	}
+	st, merged := h.win.stat(time.Now().UnixNano(), len(h.buckets))
+	p50 = quantileFromCounts(h.bounds, merged, 0.50)
+	p99 = quantileFromCounts(h.bounds, merged, 0.99)
+	return st, p50, p99
+}
 
 // BucketCounts snapshots the per-bucket counts (last entry is the
 // +Inf bucket). The snapshot is per-bucket atomic, not cross-bucket
@@ -188,20 +346,25 @@ func (h *Histogram) BucketCounts() []int64 {
 	return out
 }
 
-// Quantile estimates the q-quantile (0 < q < 1) in seconds by linear
-// interpolation inside the bucket where the rank falls. Returns 0 for
-// an empty histogram; observations beyond the last bound report the
-// last finite bound.
+// Quantile estimates the q-quantile (0 < q < 1) in seconds (raw units
+// for value histograms) by linear interpolation inside the bucket
+// where the rank falls. Returns 0 for an empty histogram; observations
+// beyond the last bound report the last finite bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
 	}
-	counts := h.BucketCounts()
+	return quantileFromCounts(h.bounds, h.BucketCounts(), q)
+}
+
+// quantileFromCounts is the interpolation core shared by the
+// cumulative histogram and the sliding window's merged buckets.
+func quantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
 	var total int64
 	for _, c := range counts {
 		total += c
 	}
-	if total == 0 {
+	if total == 0 || len(bounds) == 0 {
 		return 0
 	}
 	rank := q * float64(total)
@@ -212,14 +375,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if float64(cum) < rank || c == 0 {
 			continue
 		}
-		if i >= len(h.bounds) {
-			return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1] // +Inf bucket: clamp
 		}
 		lower := 0.0
 		if i > 0 {
-			lower = h.bounds[i-1]
+			lower = bounds[i-1]
 		}
-		upper := h.bounds[i]
+		upper := bounds[i]
 		frac := (rank - float64(prev)) / float64(c)
 		if math.IsNaN(frac) || frac < 0 {
 			frac = 0
@@ -228,5 +391,5 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		return lower + frac*(upper-lower)
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }

@@ -51,13 +51,18 @@ const (
 	// StageDispatchBatch is one DeliverPackets pass: a whole packet
 	// vector through every installed filter under a single span.
 	StageDispatchBatch = "dispatch_batch"
+	// StageConfig is an operator posture change (SetBackend,
+	// SetProfiling, SetLimits, SetQuarantine). Config changes emit a
+	// span so their correlation EventID exists in all three streams —
+	// span ring, audit log, flight recorder.
+	StageConfig = "config"
 )
 
 // Stages lists every built-in pipeline stage, in pipeline order.
 var Stages = []string{
 	StageNegotiate, StageValidate, StageCacheProbe, StageParse,
 	StageVCGen, StageLFSig, StageLFCheck, StageWCET, StageCommit,
-	StageDispatch, StageDispatchBatch,
+	StageDispatch, StageDispatchBatch, StageConfig,
 }
 
 // Options configures a Recorder.
@@ -68,6 +73,11 @@ type Options struct {
 	// Buckets are the stage-histogram bucket bounds in seconds; nil
 	// means DefaultLatencyBounds.
 	Buckets []float64
+	// Window, when non-nil, attaches a sliding window (see window.go)
+	// to every counter and histogram the recorder builds, enabling
+	// recent rates and windowed quantiles in the snapshot. Nil (the
+	// default) keeps the cumulative-only behavior and its cost profile.
+	Window *WindowOptions
 }
 
 // Recorder is the telemetry sink: one per kernel (or benchmark run).
@@ -83,6 +93,7 @@ type Recorder struct {
 	// reads it without a lock.
 	stageHists map[string]*Histogram
 	bounds     []float64
+	winOpts    *WindowOptions
 
 	// Dynamically registered metrics (Counter/Gauge/Histogram lookups
 	// by name). The lock guards registration only; the returned
@@ -106,6 +117,7 @@ func NewWith(o Options) *Recorder {
 		trace:        newTrace(o.TraceCapacity),
 		stageHists:   make(map[string]*Histogram, len(Stages)),
 		bounds:       o.Buckets,
+		winOpts:      o.Window,
 		counters:     map[string]*Counter{},
 		gauges:       map[string]*Gauge{},
 		hists:        map[string]*Histogram{},
@@ -121,9 +133,29 @@ func NewWith(o Options) *Recorder {
 			// for all stages.
 			b = DispatchLatencyBounds
 		}
-		r.stageHists[s] = NewHistogram(b)
+		r.stageHists[s] = r.newHist(b)
 	}
 	return r
+}
+
+// newHist builds a latency histogram, attaching a sliding window when
+// the recorder was configured with one.
+func (r *Recorder) newHist(bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	if r.winOpts != nil {
+		h.win = newWindow(*r.winOpts, len(h.buckets))
+	}
+	return h
+}
+
+// newCounter builds a counter, attaching a sliding window when the
+// recorder was configured with one.
+func (r *Recorder) newCounter() *Counter {
+	c := &Counter{}
+	if r.winOpts != nil {
+		c.win = newWindow(*r.winOpts, 0)
+	}
+	return c
 }
 
 // Trace returns the span ring (nil for a nil recorder).
@@ -149,7 +181,7 @@ func (r *Recorder) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if c = r.counters[name]; c == nil {
-		c = &Counter{}
+		c = r.newCounter()
 		r.counters[name] = c
 	}
 	return c
@@ -191,7 +223,31 @@ func (r *Recorder) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.hists[name]; h == nil {
-		h = NewHistogram(r.bounds)
+		h = r.newHist(r.bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// ValueHistogram returns the named raw-unit histogram (proof bytes, VC
+// nodes — bounds in those units, sum the raw total), registering it on
+// first use with the given bounds. The first registration fixes the
+// bounds; later calls reuse the instrument. Returns nil (a valid no-op
+// histogram) for a nil recorder.
+func (r *Recorder) ValueHistogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewValueHistogram(bounds)
 		r.hists[name] = h
 	}
 	return h
@@ -215,28 +271,40 @@ type Span struct {
 	detail string
 	parent uint64
 	id     uint64
+	event  uint64
 	start  time.Time
 }
 
 // StartSpan opens a root span for a pipeline stage. detail is
 // free-form context (e.g. the installing owner).
 func (r *Recorder) StartSpan(stage, detail string) Span {
+	return r.StartSpanEvent(stage, detail, 0)
+}
+
+// StartSpanEvent opens a root span carrying the kernel-level
+// correlation EventID event (0 = uncorrelated); children inherit it.
+func (r *Recorder) StartSpanEvent(stage, detail string, event uint64) Span {
 	if r == nil {
 		return Span{}
 	}
-	return Span{rec: r, stage: stage, detail: detail, id: r.ids.Add(1), start: time.Now()}
+	return Span{rec: r, stage: stage, detail: detail, id: r.ids.Add(1), event: event, start: time.Now()}
 }
 
-// Child opens a sub-span of s for a nested stage.
+// Child opens a sub-span of s for a nested stage; it inherits s's
+// correlation EventID.
 func (s Span) Child(stage string) Span {
 	if s.rec == nil {
 		return Span{}
 	}
-	return Span{rec: s.rec, stage: stage, detail: s.detail, parent: s.id, id: s.rec.ids.Add(1), start: time.Now()}
+	return Span{rec: s.rec, stage: stage, detail: s.detail, parent: s.id, id: s.rec.ids.Add(1), event: s.event, start: time.Now()}
 }
 
 // ID returns the span's identifier (0 for a no-op span).
 func (s Span) ID() uint64 { return s.id }
+
+// Event returns the span's correlation EventID (0 for a no-op or
+// uncorrelated span).
+func (s Span) Event() uint64 { return s.event }
 
 // End completes the span: it appends one trace event and observes the
 // stage's latency histogram. err, when non-nil, is recorded on the
@@ -251,13 +319,14 @@ func (s Span) End(err error) {
 // RecordSpan records an externally measured span — a stage whose
 // duration was clocked by code that does not hold a Recorder (e.g.
 // pcc.Validate's stage breakdown) — and returns its span ID. parent
-// may be 0 for a root span.
-func (r *Recorder) RecordSpan(stage, detail string, parent uint64, start time.Time, dur time.Duration, err error) uint64 {
+// may be 0 for a root span; event is the correlation EventID (0 =
+// uncorrelated).
+func (r *Recorder) RecordSpan(stage, detail string, parent, event uint64, start time.Time, dur time.Duration, err error) uint64 {
 	if r == nil {
 		return 0
 	}
 	id := r.ids.Add(1)
-	r.finish(Span{rec: r, stage: stage, detail: detail, parent: parent, id: id, start: start}, dur, err)
+	r.finish(Span{rec: r, stage: stage, detail: detail, parent: parent, id: id, event: event, start: start}, dur, err)
 	return id
 }
 
@@ -269,6 +338,7 @@ func (r *Recorder) finish(s Span, dur time.Duration, err error) {
 	e := &Event{
 		ID:         s.id,
 		Parent:     s.parent,
+		Event:      s.event,
 		Stage:      s.stage,
 		Detail:     s.detail,
 		StartNanos: s.start.Sub(r.start).Nanoseconds(),
@@ -279,8 +349,17 @@ func (r *Recorder) finish(s Span, dur time.Duration, err error) {
 	}
 	r.trace.add(e)
 	if h := r.stageHists[s.stage]; h != nil {
-		h.Observe(dur)
+		h.ObserveEID(dur, s.event)
 	} else {
-		r.Histogram("pcc_stage_" + s.stage + "_seconds").Observe(dur)
+		r.Histogram("pcc_stage_"+s.stage+"_seconds").ObserveEID(dur, s.event)
 	}
+}
+
+// StartTime returns the recorder's creation time — the wall-clock
+// origin of every event's StartNanos (zero time for a nil recorder).
+func (r *Recorder) StartTime() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.start
 }

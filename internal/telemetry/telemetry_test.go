@@ -34,7 +34,7 @@ func TestNilInstrumentsAreNoOps(t *testing.T) {
 	sp := r.StartSpan(StageValidate, "owner")
 	sp.Child(StageParse).End(nil)
 	sp.End(errors.New("boom"))
-	if id := r.RecordSpan(StageWCET, "", 0, time.Now(), time.Millisecond, nil); id != 0 {
+	if id := r.RecordSpan(StageWCET, "", 0, 0, time.Now(), time.Millisecond, nil); id != 0 {
 		t.Errorf("nil RecordSpan id = %d, want 0", id)
 	}
 	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
@@ -89,7 +89,7 @@ func TestSpanTreeAndStageHistograms(t *testing.T) {
 	child := root.Child(StageVCGen)
 	child.End(nil)
 	root.End(nil)
-	r.RecordSpan(StageWCET, "alice", root.ID(), time.Now(), 3*time.Millisecond, nil)
+	r.RecordSpan(StageWCET, "alice", root.ID(), 0, time.Now(), 3*time.Millisecond, nil)
 
 	events := r.Trace().Events()
 	if len(events) != 3 {
@@ -128,7 +128,7 @@ func TestSpanErrorRecorded(t *testing.T) {
 func TestTraceRingWrapAndDropAccounting(t *testing.T) {
 	r := NewWith(Options{TraceCapacity: 8})
 	for i := 0; i < 20; i++ {
-		r.RecordSpan(StageDispatch, "", 0, time.Now(), time.Microsecond, nil)
+		r.RecordSpan(StageDispatch, "", 0, 0, time.Now(), time.Microsecond, nil)
 	}
 	tr := r.Trace()
 	if tr.Appended() != 20 {

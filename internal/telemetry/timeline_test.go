@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"testing"
+	"time"
+)
+
+// timelineFixture builds the three rings with two correlated
+// operations: event 10 (owner alice: span + audit + flight) and event
+// 20 (owner bob: span + audit).
+func timelineFixture() (*Recorder, *AuditRing, *FlightRecorder) {
+	rec := New()
+	rec.StartSpanEvent(StageValidate, "alice", 10).End(nil)
+	rec.StartSpanEvent(StageCommit, "alice", 10).End(nil)
+	rec.StartSpanEvent(StageValidate, "bob", 20).End(nil)
+
+	ring := NewAuditRing(0)
+	log := slog.New(ring.Handler(nil))
+	log.Info("pcc install", slog.String("event", "install"), slog.String("owner", "alice"), slog.Uint64("event_id", 10))
+	log.Info("pcc install", slog.String("event", "install"), slog.String("owner", "bob"), slog.Uint64("event_id", 20))
+
+	fr := NewFlightRecorder(0)
+	fr.RecordEvent(FlightQuarantine, "alice", "strikes=3", 10)
+	return rec, ring, fr
+}
+
+// TestTimelineJoinByEvent: one EventID pulls its records from all
+// three streams and nothing else.
+func TestTimelineJoinByEvent(t *testing.T) {
+	rec, ring, fr := timelineFixture()
+	tl := BuildTimeline(rec, ring, fr, TimelineQuery{Event: 10})
+	if len(tl.Spans) != 2 || len(tl.Audit) != 1 || len(tl.Flight) != 1 {
+		t.Fatalf("join on 10: %d spans / %d audit / %d flight, want 2/1/1",
+			len(tl.Spans), len(tl.Audit), len(tl.Flight))
+	}
+	for _, s := range tl.Spans {
+		if s.Event.Event != 10 || s.Detail != "alice" {
+			t.Fatalf("span leaked into the join: %+v", s)
+		}
+	}
+	if tl.Audit[0].Event != 10 || tl.Flight[0].Event != 10 {
+		t.Fatalf("audit/flight not keyed by 10: %+v %+v", tl.Audit[0], tl.Flight[0])
+	}
+	// Spans carry wall-clock time derived from the recorder origin.
+	now := time.Now().UnixNano()
+	for _, s := range tl.Spans {
+		if s.TimeUnixNanos <= 0 || now-s.TimeUnixNanos > int64(time.Minute) {
+			t.Fatalf("span wall time implausible: %d", s.TimeUnixNanos)
+		}
+	}
+}
+
+// TestTimelineFilters: owner, stage, kind, and since each narrow
+// their stream.
+func TestTimelineFilters(t *testing.T) {
+	rec, ring, fr := timelineFixture()
+
+	tl := BuildTimeline(rec, ring, fr, TimelineQuery{Owner: "bob"})
+	if len(tl.Spans) != 1 || len(tl.Audit) != 1 || len(tl.Flight) != 0 {
+		t.Fatalf("owner=bob: %d/%d/%d, want 1/1/0", len(tl.Spans), len(tl.Audit), len(tl.Flight))
+	}
+
+	tl = BuildTimeline(rec, ring, fr, TimelineQuery{Stage: StageCommit})
+	if len(tl.Spans) != 1 || tl.Spans[0].Stage != StageCommit {
+		t.Fatalf("stage filter: %+v", tl.Spans)
+	}
+
+	tl = BuildTimeline(rec, ring, fr, TimelineQuery{Kind: FlightQuarantine})
+	if len(tl.Flight) != 1 || len(tl.Audit) != 0 {
+		t.Fatalf("kind filter: %d flight / %d audit, want 1/0", len(tl.Flight), len(tl.Audit))
+	}
+
+	tl = BuildTimeline(rec, ring, fr, TimelineQuery{SinceUnixNanos: time.Now().Add(time.Hour).UnixNano()})
+	if len(tl.Spans)+len(tl.Audit)+len(tl.Flight) != 0 {
+		t.Fatalf("future since must exclude everything: %+v", tl)
+	}
+}
+
+// TestTimelineNilRings: any combination of nil sources yields an
+// empty (not nil) document, and WriteJSON emits arrays.
+func TestTimelineNilRings(t *testing.T) {
+	tl := BuildTimeline(nil, nil, nil, TimelineQuery{})
+	if tl.Spans == nil || tl.Audit == nil || tl.Flight == nil {
+		t.Fatal("empty timeline must keep non-nil streams")
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Timeline
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("timeline JSON round trip: %v\n%s", err, buf.String())
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"spans": []`)) {
+		t.Fatalf("streams must serialize as [], got %s", buf.String())
+	}
+}

@@ -22,6 +22,12 @@ type Event struct {
 	// enclosing span (0 = root).
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
+	// Event is the kernel-level correlation EventID shared with the
+	// audit record and any flight-recorder events produced by the same
+	// operation (0 = uncorrelated). Span IDs are per-recorder and
+	// per-span; EventIDs are per-kernel and per-operation, so one
+	// install or dispatch batch yields one EventID across many spans.
+	Event uint64 `json:"event,omitempty"`
 	// Stage is the pipeline stage name (see Stages).
 	Stage string `json:"stage"`
 	// Detail is free-form context: the owner of an install, the name

@@ -180,6 +180,13 @@ type ValidationStats struct {
 	// predicate the proof was checked against — the "VC size" an audit
 	// trail records per install decision.
 	VCNodes int
+	// ProofBytes is the encoded size of the binary's proof section —
+	// the certificate's cost on the wire, the number proof-size
+	// engineering (ACC-style certificate compression) must shrink.
+	ProofBytes int
+	// ProofNodes is the size (in LF term nodes) of the decoded proof
+	// term, the in-memory counterpart of ProofBytes.
+	ProofNodes int
 	// HeapBytes approximates the heap cost of validation.
 	HeapBytes uint64
 	// BinarySize is the total PCC binary size in bytes.
@@ -291,6 +298,18 @@ func ValidateCtx(ctx context.Context, binary []byte, pol *policy.Policy, lim *Li
 				bin.PolicyName, pol.Name)
 		}
 		stats.Parse = time.Since(start)
+		stats.ProofBytes = bin.ProofBytes
+		// ProofNodes is a statistic, not a gate, but the proof is a
+		// hash-consed DAG from an untrusted producer and DAGs expand to
+		// trees under traversal — an unbounded walk is exponential in
+		// wire bytes. Cap the walk at the term-node budget and accept
+		// the floor on a bomb (the checker's step fuel rejects it
+		// anyway).
+		nodeCap := limits.MaxTermNodes
+		if nodeCap <= 0 {
+			nodeCap = DefaultLimits().MaxTermNodes
+		}
+		stats.ProofNodes = lf.SizeBounded(bin.Proof, nodeCap)
 
 		mark := time.Now()
 		sig = signatureFor(pol)

@@ -28,6 +28,13 @@ MAX_PROF_OVERHEAD_FRESH=${MAX_PROF_OVERHEAD_FRESH:-30.0}
 # no-lock-convoy check (~0.85) on single-core runners.
 MIN_PARALLEL_COMMITTED=${MIN_PARALLEL_COMMITTED:-3.0}
 MIN_PARALLEL_FRESH=${MIN_PARALLEL_FRESH:-3.0}
+# Sliding-window recorder overhead ceilings (percent of the
+# plain-recorder observed posture's throughput, schema ≥ 5 reports):
+# the window layer is a handful of atomics per observation, so the
+# committed baseline holds a tight budget; the fresh pass gets
+# headroom for host noise.
+MAX_WINDOW_OVERHEAD_COMMITTED=${MAX_WINDOW_OVERHEAD_COMMITTED:-20.0}
+MAX_WINDOW_OVERHEAD_FRESH=${MAX_WINDOW_OVERHEAD_FRESH:-35.0}
 
 echo '== benchcheck: committed baseline'
 committed=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
@@ -37,7 +44,8 @@ if [ -z "$committed" ]; then
 fi
 go run ./cmd/benchcheck -min-speedup "$MIN_SPEEDUP_COMMITTED" \
 	-max-profiling-overhead "$MAX_PROF_OVERHEAD_COMMITTED" \
-	-min-parallel-speedup "$MIN_PARALLEL_COMMITTED" "$committed"
+	-min-parallel-speedup "$MIN_PARALLEL_COMMITTED" \
+	-max-window-overhead "$MAX_WINDOW_OVERHEAD_COMMITTED" "$committed"
 
 echo '== benchcheck: fresh measurement (paperbench -json, 20k packets)'
 tmp=$(mktemp -d)
@@ -47,6 +55,7 @@ go build -o "$tmp/benchcheck" ./cmd/benchcheck
 (cd "$tmp" && ./paperbench -json -packets 20000 &&
 	./benchcheck -min-speedup "$MIN_SPEEDUP_FRESH" \
 		-max-profiling-overhead "$MAX_PROF_OVERHEAD_FRESH" \
-		-min-parallel-speedup "$MIN_PARALLEL_FRESH")
+		-min-parallel-speedup "$MIN_PARALLEL_FRESH" \
+		-max-window-overhead "$MAX_WINDOW_OVERHEAD_FRESH")
 
 echo 'benchcheck: OK'

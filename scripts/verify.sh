@@ -169,6 +169,36 @@ if curl -fsS http://127.0.0.1:16997/t/nope/healthz >/dev/null 2>&1; then
 	echo "multi-tenant smoke: unknown tenant did not 404" >&2
 	exit 1
 fi
+# Correlated timeline: the three observability streams join on one
+# EventID. The boot SetBackend config change lands in all three by
+# construction (a config span, a "config" audit record, and a
+# "config_change" flight event on the same ID), so pull its EventID
+# from alpha's stage-filtered timeline and ask for everything about
+# that one ID.
+eid=$(curl -fsS 'http://127.0.0.1:16997/t/alpha/debug/timeline?stage=config&kind=config_change' |
+	sed -n 's/.*"event": \([0-9][0-9]*\),*$/\1/p' | head -n 1)
+[ "${eid:-0}" -gt 0 ] ||
+	{ echo "timeline smoke: no config-change EventID in alpha's timeline" >&2; exit 1; }
+joined=$(curl -fsS "http://127.0.0.1:16997/t/alpha/debug/timeline?id=$eid")
+printf '%s' "$joined" | grep -q '"stage": "config"' ||
+	{ echo "timeline smoke: id=$eid join has no config span" >&2; exit 1; }
+printf '%s' "$joined" | grep -q '"kind": "config"' ||
+	{ echo "timeline smoke: id=$eid join has no config audit record" >&2; exit 1; }
+printf '%s' "$joined" | grep -q '"kind": "config_change"' ||
+	{ echo "timeline smoke: id=$eid join has no config_change flight event" >&2; exit 1; }
+# Tenant isolation: beta's timeline must know nothing about alpha's ID.
+curl -fsS "http://127.0.0.1:16997/t/beta/debug/timeline?id=$eid" |
+	grep -q '"event": '"$eid" &&
+	{ echo "timeline smoke: alpha's EventID $eid leaked into beta's timeline" >&2; exit 1; }
+# Live watch: two bounded refreshes of the server-side windowed rates.
+/tmp/pccmon.verify -watch 127.0.0.1:16997/t/alpha -watch-interval 200ms -watch-count 2 \
+	>/tmp/pccmon.watch.out ||
+	{ echo "watch smoke: pccmon -watch failed" >&2; exit 1; }
+grep -q 'packets/s' /tmp/pccmon.watch.out ||
+	{ echo "watch smoke: no windowed rates in the output" >&2; exit 1; }
+grep -q 'tenant alpha' /tmp/pccmon.watch.out ||
+	{ echo "watch smoke: output not tagged with the tenant" >&2; exit 1; }
+rm -f /tmp/pccmon.watch.out
 kill "$serve_pid"
 if ! wait "$serve_pid"; then
 	echo "multi-tenant smoke: pccmon -serve did not exit cleanly" >&2
