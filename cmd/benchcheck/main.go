@@ -8,6 +8,7 @@
 //
 //	benchcheck [-min-speedup X] [-max-profiling-overhead P]
 //	           [-min-parallel-speedup S] [-max-window-overhead W]
+//	           [-min-warm-recovery-speedup R]
 //	           [BENCH_file.json ...]
 //
 // With no file arguments, the newest BENCH_*.json in the current
@@ -33,7 +34,12 @@
 //     observability matrix includes the windowed configuration, and
 //     the recorded window_overhead_pct (throughput lost to the
 //     sliding-window recorder layer relative to the plain-recorder
-//     observed posture) stays under -max-window-overhead.
+//     observed posture) stays under -max-window-overhead;
+//   - for schema ≥ 6 reports, the recovery section is present with
+//     both the cold and warm configurations replaying the full
+//     journal losslessly, and the recorded warm_recovery_speedup
+//     (warm records/sec over cold — the proof cache's contribution
+//     to reboot time) meets -min-warm-recovery-speedup.
 //
 // The parallel floor is core-aware because the report records the
 // GOMAXPROCS the ladder ran under: the achievable ceiling on a host
@@ -67,6 +73,8 @@ func main() {
 		"minimum parallel_speedup for schema ≥ 4 reports, capped by the report's recorded core budget (see doc)")
 	maxWinOverhead := flag.Float64("max-window-overhead", 20.0,
 		"maximum window_overhead_pct for schema ≥ 5 reports (percent of plain-recorder observed throughput)")
+	minWarmRecovery := flag.Float64("min-warm-recovery-speedup", 5.0,
+		"minimum warm_recovery_speedup for schema ≥ 6 reports (warm journal-replay records/sec over cold)")
 	flag.Parse()
 
 	files := flag.Args()
@@ -80,7 +88,7 @@ func main() {
 
 	failures := 0
 	for _, file := range files {
-		for _, msg := range checkFile(file, *minSpeedup, *maxProfOverhead, *minParallel, *maxWinOverhead) {
+		for _, msg := range checkFile(file, *minSpeedup, *maxProfOverhead, *minParallel, *maxWinOverhead, *minWarmRecovery) {
 			failures++
 			fmt.Fprintf(os.Stderr, "FAIL %s: %s\n", file, msg)
 		}
@@ -121,7 +129,7 @@ func listReports(dir string) ([]string, error) {
 }
 
 // checkFile returns the list of failed-check messages for one report.
-func checkFile(file string, minSpeedup, maxProfOverhead, minParallel, maxWinOverhead float64) []string {
+func checkFile(file string, minSpeedup, maxProfOverhead, minParallel, maxWinOverhead, minWarmRecovery float64) []string {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		return []string{err.Error()}
@@ -227,6 +235,29 @@ func checkFile(file string, minSpeedup, maxProfOverhead, minParallel, maxWinOver
 			msgs = append(msgs, fmt.Sprintf(
 				"window_overhead_pct %.1f%% above ceiling %.1f%%",
 				rep.WindowOverheadPct, maxWinOverhead))
+		}
+	}
+
+	// Schema 6 added verified recovery: both cache configurations must
+	// have replayed the whole journal, and the warm replay must beat the
+	// cold one by the floor — the proof cache is the mechanism that
+	// keeps reboot time bounded, so losing it is a regression.
+	if rep.Schema >= 6 {
+		seen := map[string]bool{}
+		for _, r := range rep.Recovery {
+			seen[r.Config] = true
+			if r.Restored != r.Records || r.Records <= 0 {
+				msgs = append(msgs, fmt.Sprintf(
+					"recovery %s: restored %d of %d records — the benchmark journal must replay losslessly",
+					r.Config, r.Restored, r.Records))
+			}
+		}
+		if !seen["cold"] || !seen["warm"] {
+			msgs = append(msgs, "recovery section lacks the cold/warm pair (schema ≥ 6 requires both)")
+		} else if rep.WarmRecoverySpeedup < minWarmRecovery {
+			msgs = append(msgs, fmt.Sprintf(
+				"warm_recovery_speedup %.2fx below floor %.2fx",
+				rep.WarmRecoverySpeedup, minWarmRecovery))
 		}
 	}
 	return msgs

@@ -31,8 +31,8 @@ func TestParallelFloor(t *testing.T) {
 	}
 }
 
-// writeReport drops a minimal passing schema-5 report into dir and
-// returns its path; the mutate hook lets each case break one field.
+// writeReport drops a minimal passing current-schema report into dir
+// and returns its path; the mutate hook lets each case break one field.
 func writeReport(t *testing.T, dir string, mutate func(*bench.Report)) string {
 	t.Helper()
 	rep := &bench.Report{
@@ -59,6 +59,11 @@ func writeReport(t *testing.T, dir string, mutate func(*bench.Report)) string {
 		},
 		ParallelSpeedup: 3.4,
 		GOMAXPROCS:      8,
+		Recovery: []bench.RecoveryJSON{
+			{Config: "cold", Records: 200, Restored: 200, RecordsPerSec: 230},
+			{Config: "warm", Records: 200, Restored: 200, RecordsPerSec: 9000},
+		},
+		WarmRecoverySpeedup: 39.1,
 	}
 	if mutate != nil {
 		mutate(rep)
@@ -77,7 +82,7 @@ func writeReport(t *testing.T, dir string, mutate func(*bench.Report)) string {
 func TestCheckFileParallelGate(t *testing.T) {
 	t.Run("passes", func(t *testing.T) {
 		path := writeReport(t, t.TempDir(), nil)
-		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0); len(msgs) != 0 {
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0); len(msgs) != 0 {
 			t.Fatalf("unexpected failures: %v", msgs)
 		}
 	})
@@ -85,7 +90,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.ParallelSpeedup = 1.1 // 8 cores available: a convoy
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "parallel_speedup") {
 			t.Fatalf("want one parallel_speedup failure, got %v", msgs)
 		}
@@ -95,7 +100,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 			r.ParallelSpeedup = 1.1
 			r.GOMAXPROCS = 1 // floor degrades to 0.85
 		})
-		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0); len(msgs) != 0 {
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0); len(msgs) != 0 {
 			t.Fatalf("unexpected failures: %v", msgs)
 		}
 	})
@@ -104,7 +109,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 			r.ParallelSpeedup = 0.4
 			r.GOMAXPROCS = 1
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "parallel_speedup") {
 			t.Fatalf("want one parallel_speedup failure, got %v", msgs)
 		}
@@ -113,7 +118,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.DispatchScaling = nil
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "dispatch_scaling") {
 			t.Fatalf("want one dispatch_scaling failure, got %v", msgs)
 		}
@@ -125,7 +130,7 @@ func TestCheckFileParallelGate(t *testing.T) {
 			r.ParallelSpeedup = 0
 			r.GOMAXPROCS = 0
 		})
-		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0); len(msgs) != 0 {
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0); len(msgs) != 0 {
 			t.Fatalf("unexpected failures: %v", msgs)
 		}
 	})
@@ -136,7 +141,7 @@ func TestCheckFileSchema5Gate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.CertCost = nil
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "cert_cost") {
 			t.Fatalf("want one cert_cost failure, got %v", msgs)
 		}
@@ -145,7 +150,7 @@ func TestCheckFileSchema5Gate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.CertCost[0].ProofBytes = 0
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "implausible sizes") {
 			t.Fatalf("want one implausible-sizes failure, got %v", msgs)
 		}
@@ -154,7 +159,7 @@ func TestCheckFileSchema5Gate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.Observability = r.Observability[:1] // drop the +win row
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "windowed configuration") {
 			t.Fatalf("want one windowed-configuration failure, got %v", msgs)
 		}
@@ -163,7 +168,7 @@ func TestCheckFileSchema5Gate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.WindowOverheadPct = 45.0
 		})
-		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0)
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
 		if len(msgs) != 1 || !strings.Contains(msgs[0], "window_overhead_pct") {
 			t.Fatalf("want one window_overhead_pct failure, got %v", msgs)
 		}
@@ -172,7 +177,47 @@ func TestCheckFileSchema5Gate(t *testing.T) {
 		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
 			r.WindowOverheadPct = -1.5 // windowed run measured faster
 		})
-		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0); len(msgs) != 0 {
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0); len(msgs) != 0 {
+			t.Fatalf("unexpected failures: %v", msgs)
+		}
+	})
+}
+
+func TestCheckFileSchema6Gate(t *testing.T) {
+	t.Run("missing recovery pair fails", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.Recovery = r.Recovery[:1] // drop the warm row
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "cold/warm pair") {
+			t.Fatalf("want one cold/warm-pair failure, got %v", msgs)
+		}
+	})
+	t.Run("lossy replay fails", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.Recovery[1].Restored = 180
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "losslessly") {
+			t.Fatalf("want one lossless-replay failure, got %v", msgs)
+		}
+	})
+	t.Run("slow warm replay fails", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.WarmRecoverySpeedup = 2.0
+		})
+		msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0)
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "warm_recovery_speedup") {
+			t.Fatalf("want one warm_recovery_speedup failure, got %v", msgs)
+		}
+	})
+	t.Run("schema 5 skips the gate", func(t *testing.T) {
+		path := writeReport(t, t.TempDir(), func(r *bench.Report) {
+			r.Schema = 5
+			r.Recovery = nil
+			r.WarmRecoverySpeedup = 0
+		})
+		if msgs := checkFile(path, 1.0, 15.0, 3.0, 20.0, 5.0); len(msgs) != 0 {
 			t.Fatalf("unexpected failures: %v", msgs)
 		}
 	})

@@ -9,6 +9,7 @@
 //	paperbench -dispatch [-backend interp|compiled]   # backend × shape throughput matrix
 //	paperbench -observability                         # instrumentation overhead matrix
 //	paperbench -scaling                               # multi-goroutine dispatch-scaling ladder
+//	paperbench -recovery                              # verified journal replay, cold vs warm proof cache
 //	paperbench -json [-packets N]   # write BENCH_<timestamp>.json
 //
 // With no selection flags, everything runs (the full Figure 8/9 pass
@@ -49,6 +50,7 @@ func main() {
 	observability := flag.Bool("observability", false, "observability overhead: dispatch throughput with profiling/observers toggled")
 	certcost := flag.Bool("certcost", false, "certificate cost: proof bytes/nodes and VC nodes per filter")
 	scaling := flag.Bool("scaling", false, "dispatch scaling: multi-goroutine throughput over one shared lock-free kernel")
+	recovery := flag.Bool("recovery", false, "verified recovery: journal replay through the proof pipeline, cold vs warm cache")
 	jsonOut := flag.Bool("json", false, "write machine-readable results to BENCH_<timestamp>.json and exit")
 	flag.Parse()
 
@@ -73,7 +75,7 @@ func main() {
 		return
 	}
 
-	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch || *observability || *scaling || *certcost)
+	all := !(*fig7 || *table1 || *stages || *fig8 || *fig9 || *checksum || *sfipcc || *ablation || *pipeline || *dispatch || *observability || *scaling || *certcost || *recovery)
 
 	if all || *fig7 {
 		cert, err := bench.Fig7()
@@ -181,6 +183,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(bench.FormatScaling(rows))
+	}
+	if all || *recovery {
+		rows, err := bench.Recovery(bench.RecoveryRecords)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bench.FormatRecovery(rows))
 	}
 	if all || *ablation {
 		rows, err := bench.EncodingAblation()

@@ -6,8 +6,11 @@
 //
 //	pccload [-policy packet-filter/v1] [-run] [-packets N] [-deadline D] filter.pcc...
 //	pccload -chaos N [-chaos-seed S]
+//	pccload -chaos-store N [-chaos-seed S]
 //	pccload -diff-backends N
 //	pccload -scale G [-packets N]
+//	pccload -install-url http://host:port [-owner NAME] filter.pcc...
+//	pccload -tamper-store DIR [-tamper-index N] [-tamper-at N]
 //
 // With -run and the packet-filter policy, the extension is executed
 // over a synthetic trace and the accept rate reported; with the
@@ -30,6 +33,24 @@
 // divergence exits nonzero: the operator-facing version of the
 // backend-differential test suite.
 //
+// With -chaos-store, pccload runs the durable-store chaos harness
+// instead: it seeds journals from certified installs, damages each one
+// (torn tails, truncations, CRC flips, proof bit rot, duplicated and
+// reordered frames), runs verified recovery over the wreckage, and
+// exits nonzero if recovery ever admits an unsound binary or loses an
+// intact acked install. A kill-during-commit sweep rides along,
+// cutting one journal at every frame boundary.
+//
+// With -install-url, pccload is the remote producer: each binary is
+// POSTed to a serving pccmon's /install endpoint (the owner defaults
+// to the file's base name). A 200 means the monitor journaled the
+// install durably before answering.
+//
+// With -tamper-store, pccload flips one proof byte inside a durable
+// store's journal (re-forging the frame CRC so only verified recovery
+// can catch it) — the operator-facing way to demonstrate that a
+// restored journal is re-proved, not trusted.
+//
 // With -scale, pccload certifies the paper corpus into one kernel on
 // the compiled backend and delivers the trace through it with G
 // concurrent goroutines sharing the lock-free filter table, verifying
@@ -47,12 +68,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +92,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pktgen"
 	"repro/internal/policy"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -79,7 +107,13 @@ func main() {
 	trace := flag.Bool("trace", false, "print an instruction trace of the first packet's execution")
 	deadline := flag.Duration("deadline", 0, "validation deadline (0 = none)")
 	chaosTrials := flag.Int("chaos", 0, "run the fault-injection harness for N trials and exit (takes no binary arguments)")
-	chaosSeed := flag.Int64("chaos-seed", 1, "RNG seed for -chaos; identical seeds replay identically")
+	chaosSeed := flag.Int64("chaos-seed", 1, "RNG seed for -chaos / -chaos-store; identical seeds replay identically")
+	chaosStore := flag.Int("chaos-store", 0, "run the durable-store chaos harness over N mutated journals plus a kill-during-commit sweep, and exit")
+	installURL := flag.String("install-url", "", "POST each binary to a serving pccmon at this base URL instead of validating locally")
+	owner := flag.String("owner", "", "with -install-url, the owner name (default: each file's base name)")
+	tamperStore := flag.String("tamper-store", "", "flip one proof byte in this durable store's journal (CRC re-forged) and exit")
+	tamperIndex := flag.Int("tamper-index", 0, "with -tamper-store, which install record to damage (0 = first)")
+	tamperAt := flag.Int("tamper-at", 10, "with -tamper-store, byte offset from the end of the binary to flip")
 	backend := flag.String("backend", "", "dispatch backend for batch installs: interp or compiled (default kernel default)")
 	diffBackends := flag.Int("diff-backends", 0, "cross-check both dispatch backends over an N-packet trace and exit (takes no binary arguments)")
 	scale := flag.Int("scale", 0, "deliver the trace through one shared compiled kernel with G concurrent goroutines and exit (takes no binary arguments)")
@@ -89,6 +123,29 @@ func main() {
 			log.Fatal("-chaos certifies its own corpus and takes no binary arguments")
 		}
 		runChaos(*chaosTrials, *chaosSeed)
+		return
+	}
+	if *chaosStore > 0 {
+		if flag.NArg() != 0 {
+			log.Fatal("-chaos-store certifies its own corpus and takes no binary arguments")
+		}
+		runChaosStore(*chaosStore, *chaosSeed)
+		return
+	}
+	if *tamperStore != "" {
+		victim, err := store.TamperBinaryByte(*tamperStore, *tamperIndex, *tamperAt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tampered: flipped one proof byte of %q in %s (frame CRC re-forged — only verified recovery can catch this)\n",
+			victim, *tamperStore)
+		return
+	}
+	if *installURL != "" {
+		if flag.NArg() < 1 {
+			log.Fatal("-install-url expects at least one PCC binary")
+		}
+		remoteInstall(*installURL, *owner, flag.Args())
 		return
 	}
 	if *diffBackends > 0 {
@@ -235,6 +292,84 @@ func runChaos(trials int, seed int64) {
 		log.Fatalf("chaos: %d invariant violation(s)", len(rep.Violations))
 	}
 	fmt.Println("chaos: invariants held (no escaped panics, no unsound accepts)")
+}
+
+// runChaosStore is the -chaos-store entry point: n mutated-journal
+// trials through the durable-store chaos harness, then a
+// kill-during-commit sweep over one journal. Exits nonzero on any
+// invariant violation: an unsound binary admitted by recovery, or an
+// intact acked install lost.
+func runChaosStore(n int, seed int64) {
+	bases, err := chaos.PaperBases()
+	if err != nil {
+		log.Fatal(err)
+	}
+	scratch, err := os.MkdirTemp("", "pcc-chaos-store-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(scratch)
+
+	start := time.Now()
+	rep := chaos.StoreRun(bases, scratch, chaos.StoreConfig{Seed: seed, Trials: n})
+	fmt.Print(rep)
+
+	cuts := n / 8
+	if cuts < 8 {
+		cuts = 8
+	}
+	sweep := chaos.StoreKillSweep(bases, scratch, 8, cuts, seed)
+	fmt.Printf("kill sweep: %d cut points (every frame boundary plus mid-frame), %d restores\n",
+		sweep.Trials, sweep.Restored)
+	for _, v := range sweep.Violations {
+		fmt.Printf("  VIOLATION trial %d (%s): %s\n", v.Trial, v.Mutator, v.Detail)
+	}
+	fmt.Printf("  elapsed %v\n", time.Since(start))
+	if !rep.Ok() || !sweep.Ok() {
+		log.Fatalf("chaos-store: %d invariant violation(s)",
+			len(rep.Violations)+len(sweep.Violations))
+	}
+	fmt.Printf("chaos-store: invariants held over %d damaged journals (no unsound accepts, no lost acked installs)\n",
+		rep.Trials+sweep.Trials)
+}
+
+// remoteInstall is the -install-url entry point: POST each binary to a
+// serving pccmon's /install endpoint. The serving side runs the whole
+// validation pipeline and, when a store is attached, journals the
+// install before answering — a 200 here is a durable ack.
+func remoteInstall(base, owner string, files []string) {
+	base = strings.TrimSuffix(base, "/")
+	failed := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := owner
+		if name == "" || len(files) > 1 {
+			name = strings.TrimSuffix(filepath.Base(file), ".pcc")
+		}
+		u := base + "/install?owner=" + url.QueryEscape(name)
+		resp, err := http.Post(u, "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			failed++
+			fmt.Printf("REJECTED %s as %q: %d %s\n", file, name, resp.StatusCode,
+				strings.TrimSpace(string(body)))
+			continue
+		}
+		fmt.Printf("INSTALLED %s as %q: %s\n", file, name, strings.TrimSpace(string(body)))
+	}
+	if failed > 0 {
+		log.Fatalf("install-url: %d of %d binaries rejected", failed, len(files))
+	}
 }
 
 // runDiffBackends is the -diff-backends entry point: the paper corpus

@@ -11,7 +11,8 @@
 //	pccmon [-packets N] [-pcap trace.pcap] [-filter name=file.pcc]...
 //	       [-backend interp|compiled] [-flightrecorder]
 //	       [-telemetry [-slowest N] [-trace-out spans.jsonl]]
-//	       [-serve :6060 [-pps N] [-audit-out audit.jsonl] [-tenants a,b]]
+//	       [-serve :6060 [-pps N] [-audit-out audit.jsonl] [-tenants a,b]
+//	                     [-store DIR]]
 //	       [-watch URL [-watch-interval 2s] [-watch-count N]]
 //
 // With -telemetry, a telemetry recorder is attached to the kernel for
@@ -53,6 +54,7 @@ func main() {
 	serve := flag.String("serve", "", "serve the live observability endpoints on this address (e.g. :6060) instead of a one-shot report")
 	pps := flag.Int("pps", 2000, "with -serve, synthetic traffic rate in packets/second")
 	auditOut := flag.String("audit-out", "", "with -serve, write the JSON audit log to a file instead of stderr")
+	storeDir := flag.String("store", "", "with -serve, durable filter store directory (one journal per tenant under it): installs ack only after the journal write, and boot recovers the journaled set through full re-validation")
 	tenantsFlag := flag.String("tenants", "", "with -serve, comma-separated tenant names, one isolated kernel each (default a single tenant \"default\")")
 	watch := flag.String("watch", "", "poll a serving monitor's /debug/vars URL and print live windowed rates (installs/s, packets/s, rejects, p99 by owner)")
 	watchInterval := flag.Duration("watch-interval", 2*time.Second, "with -watch, polling interval")
@@ -82,7 +84,7 @@ func main() {
 				tenants = append(tenants, name)
 			}
 		}
-		if err := runServe(*serve, *auditOut, *budget, *seed, *pps, extra, tenants); err != nil {
+		if err := runServe(*serve, *auditOut, *storeDir, *budget, *seed, *pps, extra, tenants); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -47,6 +47,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,6 +61,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/pktgen"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -101,13 +103,13 @@ func (s *server) tenant(name string) (*monitor, bool) {
 // bootServer builds one fully observed kernel per tenant name (default
 // a single "default" tenant) through the kernel registry and installs
 // the paper filters plus any user-supplied binaries into each.
-func bootServer(auditLog *slog.Logger, budget int64, extra map[string]string, tenants []string) (*server, error) {
+func bootServer(auditLog *slog.Logger, storeBase string, budget int64, extra map[string]string, tenants []string) (*server, error) {
 	if len(tenants) == 0 {
 		tenants = []string{"default"}
 	}
 	s := &server{reg: kernel.NewRegistry()}
 	for _, name := range tenants {
-		m, err := bootTenant(s.reg, name, auditLog, budget, extra)
+		m, err := bootTenant(s.reg, name, auditLog, storeBase, budget, extra)
 		if err != nil {
 			return nil, fmt.Errorf("tenant %q: %w", name, err)
 		}
@@ -120,7 +122,7 @@ func bootServer(auditLog *slog.Logger, budget int64, extra map[string]string, te
 // serving posture: audit logger tagged with the tenant, compiled
 // backend, cycle profiling, quarantine, optional cycle budget, and
 // the filter set installed.
-func bootTenant(reg *kernel.Registry, name string, auditLog *slog.Logger, budget int64, extra map[string]string) (*monitor, error) {
+func bootTenant(reg *kernel.Registry, name string, auditLog *slog.Logger, storeBase string, budget int64, extra map[string]string) (*monitor, error) {
 	tn, err := reg.Create(name)
 	if err != nil {
 		return nil, err
@@ -154,8 +156,35 @@ func bootTenant(reg *kernel.Registry, name string, auditLog *slog.Logger, budget
 		m.k.SetCycleBudget(kernel.CycleBudget(budget))
 	}
 
+	// Durability first: recover whatever a previous process journaled
+	// (every record re-proved through the full validation pipeline —
+	// the disk is just another untrusted producer), then leave the
+	// store attached so every install below, and every install the
+	// /install endpoint accepts later, acks only after its journal
+	// record is on disk.
+	if storeBase != "" {
+		rep, err := tn.AttachStore(context.Background(),
+			filepath.Join(storeBase, name), store.Options{CompactEvery: 512})
+		if err != nil {
+			return nil, fmt.Errorf("attach store: %w", err)
+		}
+		log.Printf("tenant %s: recovered %d filter(s) from %s in %s (%d skipped, %d stale, torn tail: %v)",
+			name, rep.Restored, tn.Store.Dir(), rep.Duration.Round(time.Millisecond),
+			len(rep.Skipped), rep.Stale, rep.TornTail)
+	}
+
+	// The default filter set tops up what recovery restored: an owner
+	// already recovered keeps its journaled binary (the journal, not
+	// this process's bootstrap, is the source of truth).
+	present := map[string]bool{}
+	for _, o := range m.k.Owners() {
+		present[o] = true
+	}
 	var reqs []kernel.InstallRequest
 	for _, f := range filters.All {
+		if present[f.String()] {
+			continue
+		}
 		cert, err := pcc.Certify(filters.Source(f), m.k.FilterPolicy(), nil)
 		if err != nil {
 			return nil, err
@@ -163,6 +192,9 @@ func bootTenant(reg *kernel.Registry, name string, auditLog *slog.Logger, budget
 		reqs = append(reqs, kernel.InstallRequest{Owner: f.String(), Binary: cert.Binary})
 	}
 	for name, file := range extra {
+		if present[name] {
+			continue
+		}
 		data, err := os.ReadFile(file)
 		if err != nil {
 			return nil, err
@@ -239,6 +271,7 @@ func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	d := s.def()
 	mux.HandleFunc("/healthz", d.handleHealthz)
+	mux.HandleFunc("/install", d.handleInstall)
 	mux.HandleFunc("/metrics", d.handleMetrics)
 	mux.HandleFunc("/debug/vars", d.handleVars)
 	mux.HandleFunc("/debug/flightrecorder", d.handleFlightRecorder)
@@ -299,6 +332,8 @@ func (s *server) handleTenantRoute(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case sub == "healthz":
 		m.handleHealthz(w, r)
+	case sub == "install":
+		m.handleInstall(w, r)
 	case sub == "metrics":
 		m.handleMetrics(w, r)
 	case sub == "debug/vars":
@@ -324,6 +359,44 @@ func (m *monitor) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "ok: %d filters, %d packets delivered, up %s\n",
 		len(m.k.Owners()), m.packets.Load(), time.Since(m.start).Round(time.Second))
+}
+
+// handleInstall accepts a PCC binary over POST (?owner=NAME, body =
+// the binary) and submits it to the tenant's kernel — the full
+// validation pipeline, quarantine posture, and, when a store is
+// attached, the write-ahead journal. A 200 response therefore means
+// the install is durable: the handler does not answer until the
+// journal append has fsynced. Rejections come back 422 with the
+// kernel's reason; the binary is never partially installed.
+func (m *monitor) handleInstall(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a PCC binary (?owner=NAME)", http.StatusMethodNotAllowed)
+		return
+	}
+	owner := r.URL.Query().Get("owner")
+	if owner == "" {
+		http.Error(w, "missing ?owner=NAME", http.StatusBadRequest)
+		return
+	}
+	binary, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(binary) == 0 {
+		http.Error(w, "empty binary", http.StatusBadRequest)
+		return
+	}
+	if err := m.k.InstallFilterCtx(r.Context(), owner, binary); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(map[string]any{
+		"installed": owner,
+		"filters":   len(m.k.Owners()),
+		"durable":   m.k.Store() != nil,
+	})
 }
 
 func (m *monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -460,7 +533,7 @@ func (m *monitor) handleFilterProfile(w http.ResponseWriter, _ *http.Request) {
 // runServe is the -serve entry point: boot every tenant, pump traffic
 // through each, serve until SIGINT/SIGTERM, then drain the listener
 // gracefully.
-func runServe(addr string, auditOut string, budget int64, seed uint64, pps int, extra map[string]string, tenants []string) error {
+func runServe(addr string, auditOut string, storeBase string, budget int64, seed uint64, pps int, extra map[string]string, tenants []string) error {
 	auditW := io.Writer(os.Stderr)
 	if auditOut != "" {
 		f, err := os.Create(auditOut)
@@ -470,7 +543,7 @@ func runServe(addr string, auditOut string, budget int64, seed uint64, pps int, 
 		defer f.Close()
 		auditW = f
 	}
-	s, err := bootServer(slog.New(slog.NewJSONHandler(auditW, nil)), budget, extra, tenants)
+	s, err := bootServer(slog.New(slog.NewJSONHandler(auditW, nil)), storeBase, budget, extra, tenants)
 	if err != nil {
 		return err
 	}
@@ -492,8 +565,16 @@ func runServe(addr string, auditOut string, budget int64, seed uint64, pps int, 
 	log.Printf("signal received; draining")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	// Shutdown ordering is the durability contract: Shutdown returns
+	// only after every in-flight handler — including /install calls
+	// whose journal appends are mid-fsync — has finished, and only then
+	// do the stores close. An install the client saw acked is on disk;
+	// an install cut off by the drain was never acked.
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return err
+	}
+	if err := s.reg.CloseStores(); err != nil {
+		return fmt.Errorf("close stores: %w", err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

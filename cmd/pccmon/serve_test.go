@@ -5,13 +5,20 @@ import (
 	"compress/gzip"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	pcc "repro"
+	"repro/internal/filters"
+	"repro/internal/store"
 )
 
 // bootTestMonitor boots the full observability stack into an httptest
@@ -21,7 +28,7 @@ import (
 func bootTestMonitor(t *testing.T, tenants ...string) (*monitor, *httptest.Server, *bytes.Buffer) {
 	t.Helper()
 	var audit bytes.Buffer
-	s, err := bootServer(slog.New(slog.NewJSONHandler(&audit, nil)), 0, nil, tenants)
+	s, err := bootServer(slog.New(slog.NewJSONHandler(&audit, nil)), "", 0, nil, tenants)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +196,7 @@ func TestServeEndpoints(t *testing.T) {
 // record with its tenant.
 func TestServeMultiTenant(t *testing.T) {
 	var audit bytes.Buffer
-	s, err := bootServer(slog.New(slog.NewJSONHandler(&audit, nil)), 0, nil, []string{"alpha", "beta"})
+	s, err := bootServer(slog.New(slog.NewJSONHandler(&audit, nil)), "", 0, nil, []string{"alpha", "beta"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,5 +330,255 @@ func TestServeHealthzGate(t *testing.T) {
 	m.ready.Store(true)
 	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
 		t.Fatal("ready /healthz not 200")
+	}
+}
+
+// postInstall drives the /install endpoint: POST the binary under the
+// owner name, returning status code and body.
+func postInstall(t *testing.T, srvURL, owner string, binary []byte) (int, string) {
+	t.Helper()
+	resp, err := http.Post(srvURL+"/install?owner="+url.QueryEscape(owner),
+		"application/octet-stream", bytes.NewReader(binary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// journalRecords reads the tenant's journal straight off disk (the
+// server's store handle stays open — the journal is an append-only
+// file, so a concurrent read sees exactly the committed prefix).
+func journalRecords(dir string) []store.Record {
+	recs, _ := store.ReplayDir(dir)
+	return recs
+}
+
+// TestServeInstallDurable pins the serving durability contract end to
+// end: a 200 from /install means the record is already journaled on
+// disk (ack-implies-durable), a rejected binary is never journaled, the
+// drain-then-close shutdown ordering can never produce an acked but
+// unjournaled install, and a reboot from the same directory restores
+// exactly what was acked.
+func TestServeInstallDurable(t *testing.T) {
+	base := t.TempDir()
+	var audit bytes.Buffer
+	s, err := bootServer(slog.New(slog.NewJSONHandler(&audit, nil)), base, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.mux())
+	m := s.def()
+	dir := filepath.Join(base, "default")
+
+	// Boot journaled the default filter set.
+	boot := journalRecords(dir)
+	if len(boot) != len(filters.All) {
+		t.Fatalf("boot journaled %d records, want %d", len(boot), len(filters.All))
+	}
+
+	cert, err := pcc.Certify(filters.Source(filters.All[0]), m.k.FilterPolicy(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := postInstall(t, srv.URL, "probe", cert.Binary)
+	if code != http.StatusOK {
+		t.Fatalf("/install: %d %q", code, body)
+	}
+	var ack struct {
+		Installed string `json:"installed"`
+		Durable   bool   `json:"durable"`
+	}
+	if err := json.Unmarshal([]byte(body), &ack); err != nil {
+		t.Fatalf("/install ack not JSON: %v %q", err, body)
+	}
+	if ack.Installed != "probe" || !ack.Durable {
+		t.Fatalf("/install ack implausible: %+v", ack)
+	}
+
+	// The pin: at ack time — before any shutdown — the record is
+	// already fsynced into the journal, byte for byte.
+	var found bool
+	for _, r := range journalRecords(dir) {
+		if r.Kind == store.KindInstall && r.Owner == "probe" {
+			found = true
+			if !bytes.Equal(r.Binary, cert.Binary) {
+				t.Fatal("journaled binary differs from the acked one")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("acked install not in the journal — ack before durability")
+	}
+
+	// A rejected binary gets a 422 and never touches the journal.
+	if code, _ := postInstall(t, srv.URL, "evil", []byte("not a pcc binary")); code != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage install: %d, want 422", code)
+	}
+	for _, r := range journalRecords(dir) {
+		if r.Owner == "evil" {
+			t.Fatal("rejected install was journaled")
+		}
+	}
+	if !strings.Contains(audit.String(), `"event":"install"`) {
+		t.Fatalf("installs not audited:\n%s", audit.String())
+	}
+
+	// runServe's shutdown ordering: drain the listener, then close the
+	// stores. After the close an install cannot ack — the journal append
+	// fails and the kernel refuses to publish, so the client can never
+	// hold a 200 for a record that is not on disk.
+	srv.Close()
+	if err := s.reg.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.k.InstallFilter("late", cert.Binary); err == nil {
+		t.Fatal("install acked after the store closed")
+	}
+	for _, o := range m.k.Owners() {
+		if o == "late" {
+			t.Fatal("unjournalable install was published")
+		}
+	}
+
+	// Reboot from the same directory: the acked install is restored
+	// and nothing is re-journaled (the journal, not the bootstrap, is
+	// the source of truth).
+	before := len(journalRecords(dir))
+	s2, err := bootServer(slog.New(slog.NewJSONHandler(io.Discard, nil)), base, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.reg.CloseStores()
+	var restored bool
+	for _, o := range s2.def().k.Owners() {
+		if o == "probe" {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Fatalf("acked install lost across reboot: %v", s2.def().k.Owners())
+	}
+	if after := len(journalRecords(dir)); after != before {
+		t.Fatalf("reboot re-journaled recovered filters: %d -> %d records", before, after)
+	}
+}
+
+// TestServeTimelineRecoveryJoin boots a store-backed tenant over a
+// journal with one bit-rotted proof and follows the rejection through
+// the public HTTP surface: the flight recorder names the skip, and
+// /debug/timeline?id= joins the same EventID across spans, audit
+// records, and flight events — the full causal story of the skip.
+func TestServeTimelineRecoveryJoin(t *testing.T) {
+	base := t.TempDir()
+	discard := slog.New(slog.NewJSONHandler(io.Discard, nil))
+	s, err := bootServer(discard, base, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.reg.CloseStores(); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(base, "default")
+	if _, err := store.TamperBinaryByte(dir, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	var audit bytes.Buffer
+	s2, err := bootServer(slog.New(slog.NewJSONHandler(&audit, nil)), base, 0, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.reg.CloseStores()
+	srv := httptest.NewServer(s2.mux())
+	t.Cleanup(srv.Close)
+
+	// The tampered record was refused and the refusal audited as a
+	// recovery rejection.
+	if got, want := len(s2.def().k.Owners()), len(filters.All); got != want {
+		t.Fatalf("recovered %d filters, want %d (bit rot restored? %v)",
+			got, want, s2.def().k.Owners())
+	}
+	if !strings.Contains(audit.String(), `"event":"recovery_skip"`) {
+		t.Fatalf("recovery skip not audited:\n%s", audit.String())
+	}
+
+	// Find the skip's EventID on the flight recorder surface...
+	code, body := get(t, srv.URL+"/debug/flightrecorder")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder: %d", code)
+	}
+	var flight struct {
+		Events []struct {
+			Kind  string `json:"kind"`
+			Event uint64 `json:"event"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &flight); err != nil {
+		t.Fatal(err)
+	}
+	var eid uint64
+	for _, e := range flight.Events {
+		if e.Kind == "recovery_skip" {
+			eid = e.Event
+		}
+	}
+	if eid == 0 {
+		t.Fatalf("no recovery_skip flight event: %s", body)
+	}
+
+	// ...and pull its full causal story from /debug/timeline: the
+	// validate span that killed the proof, the audit records, and the
+	// flight event, all joined on the one EventID.
+	code, body = get(t, srv.URL+fmt.Sprintf("/debug/timeline?id=%d", eid))
+	if code != http.StatusOK {
+		t.Fatalf("/debug/timeline: %d", code)
+	}
+	var tl struct {
+		Tenant string `json:"tenant"`
+		Spans  []struct {
+			Stage string `json:"stage"`
+			Err   string `json:"err"`
+		} `json:"spans"`
+		Audit []struct {
+			Kind  string            `json:"kind"`
+			Attrs map[string]string `json:"attrs"`
+		} `json:"audit"`
+		Flight []struct {
+			Kind string `json:"kind"`
+		} `json:"flight"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("/debug/timeline not JSON: %v\n%s", err, body)
+	}
+	if tl.Tenant != "default" {
+		t.Fatalf("timeline tenant %q", tl.Tenant)
+	}
+	var sawValidate, sawSkip, sawReason, sawFlight bool
+	for _, sp := range tl.Spans {
+		if sp.Stage == "validate" && sp.Err != "" {
+			sawValidate = true
+		}
+	}
+	for _, a := range tl.Audit {
+		if a.Kind == "recovery_skip" {
+			sawSkip = true
+		}
+		if a.Kind == "install" && a.Attrs["reject_reason"] == "recovery" {
+			sawReason = true
+		}
+	}
+	for _, f := range tl.Flight {
+		if f.Kind == "recovery_skip" {
+			sawFlight = true
+		}
+	}
+	if !sawValidate || !sawSkip || !sawReason || !sawFlight {
+		t.Fatalf("timeline join incomplete (validate span %v, recovery_skip audit %v, reject_reason %v, flight %v):\n%s",
+			sawValidate, sawSkip, sawReason, sawFlight, body)
 	}
 }

@@ -26,7 +26,10 @@ import (
 // windowed observability configuration (compiled+prof+obs+win, a
 // `windowed` flag on observability rows), and its headline
 // window_overhead_pct.
-const ReportSchema = 5
+// 6: added the recovery section (verified journal replay, cold vs
+// warm proof cache: records/sec and per-record p99) and its headline
+// warm_recovery_speedup.
+const ReportSchema = 6
 
 // Table1JSON is one Table 1 row with durations in nanoseconds.
 type Table1JSON struct {
@@ -111,6 +114,19 @@ type ObservabilityJSON struct {
 	Accepted    int     `json:"accepted"`
 }
 
+// RecoveryJSON is one verified-recovery configuration: journal replay
+// rate with the proof cache disabled (cold) or enabled (warm), plus
+// the per-record restore-latency tail (see recovery.go).
+type RecoveryJSON struct {
+	Config        string  `json:"config"` // cold | warm
+	Records       int     `json:"records"`
+	Distinct      int     `json:"distinct_binaries"`
+	Restored      int     `json:"restored"`
+	WallNs        int64   `json:"wall_ns"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	P99Ns         int64   `json:"p99_ns"`
+}
+
 // ScalingJSON is one rung of the multi-goroutine dispatch-scaling
 // ladder: aggregate throughput of G goroutines sharing one kernel's
 // lock-free filter table (see scaling.go).
@@ -157,6 +173,11 @@ type Report struct {
 	DispatchScaling []ScalingJSON `json:"dispatch_scaling"`
 	ParallelSpeedup float64       `json:"parallel_speedup"`
 	GOMAXPROCS      int           `json:"gomaxprocs"`
+	// Recovery is the verified-recovery matrix (cold vs warm journal
+	// replay); WarmRecoverySpeedup is its headline: warm records/sec
+	// over cold — the proof cache's contribution to reboot time.
+	Recovery            []RecoveryJSON `json:"recovery"`
+	WarmRecoverySpeedup float64        `json:"warm_recovery_speedup"`
 }
 
 // cyclesPerMicro converts the paper's microsecond axis back to cycles
@@ -321,6 +342,23 @@ func BuildReport(n int, now time.Time) (*Report, error) {
 	}
 	rep.ParallelSpeedup = ParallelSpeedup(sc)
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	rc, err := Recovery(RecoveryRecords)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	for _, r := range rc {
+		rep.Recovery = append(rep.Recovery, RecoveryJSON{
+			Config:        r.Config,
+			Records:       r.Records,
+			Distinct:      r.Distinct,
+			Restored:      r.Restored,
+			WallNs:        r.Wall.Nanoseconds(),
+			RecordsPerSec: r.RecordsPerSec(),
+			P99Ns:         r.P99.Nanoseconds(),
+		})
+	}
+	rep.WarmRecoverySpeedup = WarmRecoverySpeedup(rc)
 	return rep, nil
 }
 

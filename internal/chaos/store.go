@@ -1,0 +1,512 @@
+// Store chaos: fault injection for the durability journal and its
+// verified recovery. The validation-path harness (chaos.go) attacks
+// the kernel through the front door — hostile binaries submitted for
+// install. This file attacks through the floor: journals that were
+// written correctly and then damaged at rest (torn tails, truncation,
+// bit rot, CRC-consistent proof tampering, duplicated and reordered
+// frames) or cut mid-append by a crash. The invariants recovery must
+// uphold against every such journal:
+//
+//  1. No unsound accept: a recovered kernel holds only extensions that
+//     prove safe NOW. A mutated record either fails recovery or — when
+//     the mutation lands on bytes the proof never depended on — yields
+//     a program the reference validator independently re-certifies and
+//     checked execution cannot fault (the same adjudication vetAccept
+//     applies on the validation path).
+//  2. No lost acked durable install: every record the damaged journal
+//     still frames intact, with its original bytes, restores. Damage
+//     to one record never takes down its neighbors.
+//  3. Recovery always terminates with a report: skips are data, not
+//     errors; Recover returns non-nil only for environmental failure.
+//
+// Deterministic per seed, like the validation harness. Backs the store
+// chaos tests (store_chaos_test.go) and `pccload -chaos-store`.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	pcc "repro"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// StoreMutator damages a store directory in place. Fn returns a
+// one-line description of what it did (for violation replay).
+type StoreMutator struct {
+	Name string
+	Fn   func(rng *rand.Rand, dir string) (string, error)
+}
+
+// StoreMutators returns the full store-mutation repertoire.
+func StoreMutators() []StoreMutator {
+	return []StoreMutator{
+		{"torn_tail", tornTail},
+		{"truncate", truncateJournal},
+		{"crc_flip", crcFlip},
+		{"proof_flip", proofFlip},
+		{"duplicate", duplicateFrame},
+		{"reorder", reorderFrames},
+	}
+}
+
+// journalBytes loads the raw journal image and its frame map.
+func journalBytes(dir string) ([]byte, []store.Frame, error) {
+	data, err := os.ReadFile(filepath.Join(dir, store.JournalName))
+	if err != nil {
+		return nil, nil, err
+	}
+	frames, _, err := store.ScanJournal(data)
+	return data, frames, err
+}
+
+func writeJournal(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, store.JournalName), data, 0o644)
+}
+
+// tornTail appends garbage after the last frame: either raw noise or a
+// plausible frame header promising bytes that never made it to disk —
+// the two shapes a crash mid-append leaves.
+func tornTail(rng *rand.Rand, dir string) (string, error) {
+	data, _, err := journalBytes(dir)
+	if err != nil {
+		return "", err
+	}
+	var tail []byte
+	if rng.Intn(2) == 0 {
+		tail = make([]byte, 1+rng.Intn(32))
+		rng.Read(tail)
+	} else {
+		tail = make([]byte, 8+rng.Intn(16))
+		binary.LittleEndian.PutUint32(tail[0:4], uint32(64+rng.Intn(4096)))
+	}
+	return fmt.Sprintf("appended %d garbage bytes", len(tail)),
+		writeJournal(dir, append(data, tail...))
+}
+
+// truncateJournal cuts the file at a uniformly random offset past the
+// magic — mid-frame, mid-header, or exactly on a boundary.
+func truncateJournal(rng *rand.Rand, dir string) (string, error) {
+	data, _, err := journalBytes(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(data) <= 8 {
+		return "empty journal", nil
+	}
+	cut := 8 + rng.Intn(len(data)-8)
+	return fmt.Sprintf("truncated at %d/%d", cut, len(data)),
+		writeJournal(dir, data[:cut])
+}
+
+// crcFlip flips one payload bit WITHOUT fixing the checksum: classic
+// at-rest bit rot the framing layer must classify.
+func crcFlip(rng *rand.Rand, dir string) (string, error) {
+	data, frames, err := journalBytes(dir)
+	if err != nil || len(frames) == 0 {
+		return "no frames", err
+	}
+	fr := frames[rng.Intn(len(frames))]
+	off := fr.PayloadOff + rng.Intn(fr.End-fr.PayloadOff)
+	data[off] ^= 1 << rng.Intn(8)
+	return fmt.Sprintf("flipped bit at %d (frame %d..%d)", off, fr.Off, fr.End),
+		writeJournal(dir, data)
+}
+
+// proofFlip flips one bit inside a record's binary and FORGES the
+// checksum — the framing layer vouches for the corruption, so only the
+// proof checker stands between the rotten record and the kernel.
+func proofFlip(rng *rand.Rand, dir string) (string, error) {
+	_, frames, err := journalBytes(dir)
+	if err != nil || len(frames) == 0 {
+		return "no frames", err
+	}
+	idx := rng.Intn(len(frames))
+	at := rng.Intn(256)
+	owner, err := store.TamperBinaryByte(dir, idx, at)
+	if err != nil {
+		// The record at idx may be too small or not an install; that
+		// trial degenerates to a no-op, which is fine.
+		return fmt.Sprintf("tamper declined: %v", err), nil
+	}
+	return fmt.Sprintf("flipped proof bit of %q (record %d, %d from end)", owner, idx, at), nil
+}
+
+// duplicateFrame re-appends a copy of an existing frame: a replayed
+// sequence number the ordering check must kill.
+func duplicateFrame(rng *rand.Rand, dir string) (string, error) {
+	data, frames, err := journalBytes(dir)
+	if err != nil || len(frames) == 0 {
+		return "no frames", err
+	}
+	fr := frames[rng.Intn(len(frames))]
+	dup := append([]byte(nil), data[fr.Off:fr.End]...)
+	return fmt.Sprintf("duplicated frame %d..%d", fr.Off, fr.End),
+		writeJournal(dir, append(data, dup...))
+}
+
+// reorderFrames swaps two adjacent frames on disk, making the second's
+// sequence number arrive before the first's.
+func reorderFrames(rng *rand.Rand, dir string) (string, error) {
+	data, frames, err := journalBytes(dir)
+	if err != nil || len(frames) < 2 {
+		return "too few frames", err
+	}
+	i := rng.Intn(len(frames) - 1)
+	a, b := frames[i], frames[i+1]
+	out := append([]byte(nil), data[:a.Off]...)
+	out = append(out, data[b.Off:b.End]...)
+	out = append(out, data[a.Off:a.End]...)
+	out = append(out, data[b.End:]...)
+	return fmt.Sprintf("swapped frames %d and %d", i, i+1),
+		writeJournal(dir, out)
+}
+
+// StoreConfig parameterizes a store-chaos run.
+type StoreConfig struct {
+	// Seed fixes the journal contents and mutation stream.
+	Seed int64
+	// Trials is the number of damaged journals to recover.
+	Trials int
+	// Records is the number of installs journaled per trial (default 5).
+	Records int
+	// Mutators restricts the set (nil = all).
+	Mutators []StoreMutator
+}
+
+// StoreViolation is one broken recovery invariant.
+type StoreViolation struct {
+	Trial   int
+	Mutator string
+	Detail  string
+}
+
+// StoreReport summarizes a store-chaos run.
+type StoreReport struct {
+	Trials    int
+	ByMutator map[string]int
+	// Restored and Skipped total the per-trial recovery outcomes.
+	Restored int
+	Skipped  int
+	// SafeVariantAccepts counts restored binaries that differ from
+	// their acked bytes but survived reference re-validation and
+	// checked execution — mutations the proof provably never depended
+	// on.
+	SafeVariantAccepts int
+	Violations         []StoreViolation
+}
+
+// Ok reports whether every invariant held.
+func (r StoreReport) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders a one-screen summary.
+func (r StoreReport) String() string {
+	s := fmt.Sprintf("store chaos: %d trials, %d restored, %d skipped, %d safe variants, %d violations\n",
+		r.Trials, r.Restored, r.Skipped, r.SafeVariantAccepts, len(r.Violations))
+	for _, m := range StoreMutators() {
+		if n := r.ByMutator[m.Name]; n > 0 {
+			s += fmt.Sprintf("  mutator %-10s %6d trials\n", m.Name, n)
+		}
+	}
+	for _, v := range r.Violations {
+		s += fmt.Sprintf("  VIOLATION trial %d (%s): %s\n", v.Trial, v.Mutator, v.Detail)
+	}
+	return s
+}
+
+// foldLive replays a (possibly damaged) directory and folds the
+// decodable records to the live install set, last-wins — the framing
+// layer's ground truth of what the journal still holds.
+func foldLive(dir string) map[string][]byte {
+	recs, _ := store.ReplayDir(dir)
+	live := map[string][]byte{}
+	for _, r := range recs {
+		switch r.Kind {
+		case store.KindInstall:
+			live[r.Owner] = r.Binary
+		case store.KindUninstall:
+			delete(live, r.Owner)
+		}
+	}
+	return live
+}
+
+// StoreRun journals cfg.Records installs per trial, damages the
+// journal with one randomly chosen mutator, recovers a fresh kernel
+// from the wreckage, and checks the three invariants. The scratch
+// directories live under scratch (one subdirectory per trial, removed
+// on success).
+func StoreRun(bases []Base, scratch string, cfg StoreConfig) StoreReport {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	muts := cfg.Mutators
+	if len(muts) == 0 {
+		muts = StoreMutators()
+	}
+	nrec := cfg.Records
+	if nrec <= 0 {
+		nrec = 5
+	}
+	rep := StoreReport{Trials: cfg.Trials, ByMutator: map[string]int{}}
+	fail := func(trial int, mut, format string, args ...any) {
+		rep.Violations = append(rep.Violations, StoreViolation{
+			Trial: trial, Mutator: mut, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		m := muts[rng.Intn(len(muts))]
+		rep.ByMutator[m.Name]++
+		dir := filepath.Join(scratch, fmt.Sprintf("t%06d", trial))
+		acked, err := seedJournal(rng, dir, bases, nrec)
+		if err != nil {
+			fail(trial, m.Name, "seed journal: %v", err)
+			continue
+		}
+		detail, err := m.Fn(rng, dir)
+		if err != nil {
+			fail(trial, m.Name, "mutator: %v", err)
+			continue
+		}
+		if verr := verifyRecovery(rng, dir, bases, acked, &rep); verr != nil {
+			fail(trial, m.Name, "%s: %v", detail, verr)
+			continue
+		}
+		os.RemoveAll(dir)
+	}
+	return rep
+}
+
+// seedJournal writes nrec acked installs (random bases, the last few
+// owners reused so last-wins folding is exercised) and returns the
+// acked live set.
+func seedJournal(rng *rand.Rand, dir string, bases []Base, nrec int) (map[string][]byte, error) {
+	s, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	acked := map[string][]byte{}
+	for i := 0; i < nrec; i++ {
+		// A small owner space forces overwrites: the journal carries
+		// superseded records recovery must fold away.
+		owner := fmt.Sprintf("o-%d", rng.Intn(nrec*3/4+1))
+		bin := bases[rng.Intn(len(bases))].Binary
+		if _, err := s.Append(store.KindInstall, owner, bin); err != nil {
+			return nil, err
+		}
+		acked[owner] = bin
+	}
+	return acked, nil
+}
+
+// verifyRecovery recovers a fresh kernel from dir and checks the
+// invariants against the acked set and the post-damage framing truth.
+func verifyRecovery(rng *rand.Rand, dir string, bases []Base, acked map[string][]byte, rep *StoreReport) error {
+	// Framing truth AFTER damage, BEFORE Open (Open heals torn tails).
+	surviving := foldLive(dir)
+
+	s, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		return fmt.Errorf("re-open after damage: %w", err)
+	}
+	defer s.Close()
+	k := kernel.New()
+	krep, err := k.Recover(context.Background(), s)
+	if err != nil {
+		return fmt.Errorf("Recover returned environmental error: %w", err)
+	}
+	rep.Restored += krep.Restored
+	rep.Skipped += len(krep.Skipped)
+
+	restored := map[string]bool{}
+	for _, o := range k.Owners() {
+		restored[o] = true
+	}
+	// Invariant 1: nothing restores that the journal doesn't frame, and
+	// every restored binary must be either byte-identical to some
+	// certified base (damage can legitimately resurrect a superseded
+	// install — e.g. truncation cutting off the overwrite) or
+	// independently provably safe.
+	pol := policy.PacketFilter()
+	for o := range restored {
+		bin, framed := surviving[o]
+		if !framed {
+			return fmt.Errorf("owner %q restored but the damaged journal has no live record for it", o)
+		}
+		if isBaseBinary(bases, bin) {
+			continue
+		}
+		if verr := vetStoreAccept(rng, bin, pol); verr != nil {
+			return fmt.Errorf("UNSOUND ACCEPT of %q: %v", o, verr)
+		}
+		rep.SafeVariantAccepts++
+	}
+	// Invariant 2: every live record the damaged journal still frames
+	// with its original acked bytes must restore.
+	for o, bin := range surviving {
+		if bytes.Equal(bin, acked[o]) && !restored[o] {
+			return fmt.Errorf("acked install %q survived the damage intact but was not restored", o)
+		}
+	}
+	return nil
+}
+
+// isBaseBinary reports whether bin is byte-identical to one of the
+// certified bases — the trivially sound accept.
+func isBaseBinary(bases []Base, bin []byte) bool {
+	for _, b := range bases {
+		if bytes.Equal(b.Binary, bin) {
+			return true
+		}
+	}
+	return false
+}
+
+// vetStoreAccept adjudicates a restored binary that matches no
+// certified base: re-derive the verdict with the reference validator,
+// then execute it on the fully checked abstract machine over random
+// packets that MEET the policy precondition (≥ 64 bytes — the Safety
+// Theorem promises nothing below it), where any unsafe access faults.
+func vetStoreAccept(rng *rand.Rand, bin []byte, pol *policy.Policy) error {
+	ext, _, err := pcc.ValidateCtx(context.Background(), bin, pol, nil)
+	if err != nil {
+		return fmt.Errorf("recovery accepted a binary the reference validator rejects: %w", err)
+	}
+	const packetBase, scratchBase = 0x10000, 0x20000
+	for probe := 0; probe < 8; probe++ {
+		plen := 8 * (8 + rng.Intn(25)) // 64..256 bytes, word-aligned
+		pkt := machine.NewRegion("packet", packetBase, plen, false)
+		rng.Read(pkt.Bytes())
+		mem := machine.NewMemory()
+		mem.MustAddRegion(pkt)
+		mem.MustAddRegion(machine.NewRegion("scratch", scratchBase, policy.ScratchLen, true))
+		s := &machine.State{Mem: mem}
+		s.R[policy.RegPacket] = packetBase
+		s.R[policy.RegLen] = uint64(plen)
+		s.R[policy.RegScratch] = scratchBase
+		if _, err := ext.RunChecked(s, 1<<20); err != nil {
+			return fmt.Errorf("checked execution faulted on probe %d: %w", probe, err)
+		}
+	}
+	return nil
+}
+
+// StoreKillSweep is the kill-during-commit harness: one journal of
+// nrec installs, then for each of cuts crash points (every frame
+// boundary plus random mid-frame offsets) the journal prefix is copied
+// into a fresh directory and recovered. The crash-consistency
+// statement: recovery restores exactly the acked installs whose
+// records are fully on disk at the cut — a partially written record
+// vanishes, it never mangles the prefix.
+func StoreKillSweep(bases []Base, scratch string, nrec, cuts int, seed int64) StoreReport {
+	rng := rand.New(rand.NewSource(seed))
+	rep := StoreReport{ByMutator: map[string]int{"kill_sweep": 0}}
+	src := filepath.Join(scratch, "full")
+	if _, err := seedJournal(rng, src, bases, nrec); err != nil {
+		rep.Violations = append(rep.Violations, StoreViolation{Mutator: "kill_sweep",
+			Detail: fmt.Sprintf("seed journal: %v", err)})
+		return rep
+	}
+	data, frames, err := journalBytes(src)
+	if err != nil {
+		rep.Violations = append(rep.Violations, StoreViolation{Mutator: "kill_sweep",
+			Detail: fmt.Sprintf("scan journal: %v", err)})
+		return rep
+	}
+	// Crash points: every frame boundary (the clean cuts) and random
+	// offsets inside frames (the dirty ones).
+	offsets := []int{8}
+	for _, fr := range frames {
+		offsets = append(offsets, fr.End)
+	}
+	for len(offsets) < cuts && len(data) > 9 {
+		offsets = append(offsets, 9+rng.Intn(len(data)-9))
+	}
+	for trial, cut := range offsets {
+		rep.Trials++
+		rep.ByMutator["kill_sweep"]++
+		dir := filepath.Join(scratch, fmt.Sprintf("cut%06d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			rep.Violations = append(rep.Violations, StoreViolation{Trial: trial, Mutator: "kill_sweep",
+				Detail: err.Error()})
+			continue
+		}
+		if err := writeJournal(dir, data[:cut]); err != nil {
+			rep.Violations = append(rep.Violations, StoreViolation{Trial: trial, Mutator: "kill_sweep",
+				Detail: err.Error()})
+			continue
+		}
+		// The expected survivors: records whose frames end at or before
+		// the cut, folded last-wins.
+		want := map[string]bool{}
+		fold := map[string]bool{}
+		for _, fr := range frames {
+			if fr.End > cut {
+				break
+			}
+			if rec, err := store.DecodePayload(fr.Payload); err == nil {
+				switch rec.Kind {
+				case store.KindInstall:
+					fold[rec.Owner] = true
+				case store.KindUninstall:
+					delete(fold, rec.Owner)
+				}
+			}
+		}
+		for o := range fold {
+			want[o] = true
+		}
+		s, err := store.Open(dir, store.Options{NoSync: true})
+		if err != nil {
+			rep.Violations = append(rep.Violations, StoreViolation{Trial: trial, Mutator: "kill_sweep",
+				Detail: fmt.Sprintf("open at cut %d: %v", cut, err)})
+			continue
+		}
+		k := kernel.New()
+		krep, err := k.Recover(context.Background(), s)
+		if err != nil {
+			s.Close()
+			rep.Violations = append(rep.Violations, StoreViolation{Trial: trial, Mutator: "kill_sweep",
+				Detail: fmt.Sprintf("recover at cut %d: %v", cut, err)})
+			continue
+		}
+		rep.Restored += krep.Restored
+		rep.Skipped += len(krep.Skipped)
+		got := map[string]bool{}
+		for _, o := range k.Owners() {
+			got[o] = true
+		}
+		if len(got) != len(want) || !sameSet(got, want) {
+			rep.Violations = append(rep.Violations, StoreViolation{Trial: trial, Mutator: "kill_sweep",
+				Detail: fmt.Sprintf("cut %d: restored %v, want %v", cut, keys(got), keys(want))})
+			continue
+		}
+		s.Close()
+		os.RemoveAll(dir)
+	}
+	return rep
+}
+
+func sameSet(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return len(a) == len(b)
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package chaos
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestStoreChaosInvariants runs the mutator harness at test scale (the
+// ≥2,000-journal run lives in scripts/verify.sh via pccload): every
+// damaged journal recovers without an unsound accept or a lost intact
+// install, and the run terminates.
+func TestStoreChaosInvariants(t *testing.T) {
+	bases, err := PaperBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := 48
+	if testing.Short() {
+		trials = 12
+	}
+	rep := StoreRun(bases, t.TempDir(), StoreConfig{Seed: 1, Trials: trials})
+	if !rep.Ok() {
+		t.Fatal(rep.String())
+	}
+	if rep.Trials != trials {
+		t.Fatalf("ran %d trials, want %d", rep.Trials, trials)
+	}
+	if rep.Restored == 0 {
+		t.Fatal("no trial restored anything — the harness is not exercising recovery")
+	}
+	// Every mutator class must have run at this trial count.
+	for _, m := range StoreMutators() {
+		if rep.ByMutator[m.Name] == 0 {
+			t.Fatalf("mutator %s never ran: %v", m.Name, rep.ByMutator)
+		}
+	}
+}
+
+// TestStoreChaosEachMutator pins each mutator individually, so a
+// regression names the broken class instead of a lumped run.
+func TestStoreChaosEachMutator(t *testing.T) {
+	bases, err := PaperBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range StoreMutators() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			rep := StoreRun(bases, t.TempDir(), StoreConfig{
+				Seed: 7, Trials: 6, Mutators: []StoreMutator{m},
+			})
+			if !rep.Ok() {
+				t.Fatal(rep.String())
+			}
+		})
+	}
+}
+
+// TestStoreKillSweep cuts one journal at every frame boundary and a
+// spread of mid-frame offsets: recovery after each simulated
+// kill-during-commit restores exactly the fully-written prefix.
+func TestStoreKillSweep(t *testing.T) {
+	bases, err := PaperBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := 24
+	if testing.Short() {
+		cuts = 10
+	}
+	rep := StoreKillSweep(bases, t.TempDir(), 6, cuts, 3)
+	if !rep.Ok() {
+		t.Fatal(rep.String())
+	}
+	if rep.Trials < 7 { // 6 frame boundaries + the magic-only cut
+		t.Fatalf("sweep ran only %d cuts", rep.Trials)
+	}
+}
+
+// TestStoreMutatorsDamage sanity-checks that each mutator actually
+// changes the journal bytes (a silently no-op mutator would hollow out
+// the harness).
+func TestStoreMutatorsDamage(t *testing.T) {
+	bases, err := PaperBases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range StoreMutators() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			dir := t.TempDir()
+			if _, err := seedJournal(rng, dir, bases, 4); err != nil {
+				t.Fatal(err)
+			}
+			before, _, err := journalBytes(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			detail, err := m.Fn(rng, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after, _, _ := journalBytes(dir)
+			if string(before) == string(after) && !strings.Contains(detail, "declined") {
+				t.Fatalf("mutator left the journal untouched (%s)", detail)
+			}
+			// The store must still open over the wreckage.
+			s, err := store.Open(dir, store.Options{NoSync: true})
+			if err != nil {
+				t.Fatalf("Open over %s damage: %v", m.Name, err)
+			}
+			s.Close()
+		})
+	}
+}

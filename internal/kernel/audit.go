@@ -245,3 +245,70 @@ func (a *auditor) uninstall(owner string, eid uint64) {
 	a.log.Info("pcc uninstall", slog.String("event", "uninstall"),
 		slog.Uint64("event_id", eid), slog.String("owner", owner))
 }
+
+// storeError records a durability-store failure outside the install
+// path (install-path append failures land in the install record with
+// reject_reason=store).
+func (a *auditor) storeError(op, owner string, err error, eid uint64) {
+	if a == nil {
+		return
+	}
+	a.log.Error("pcc store",
+		slog.String("event", "store_error"),
+		slog.Uint64("event_id", eid),
+		slog.String("op", op),
+		slog.String("owner", owner),
+		slog.String("error", err.Error()),
+	)
+}
+
+// recoverySkip records one journal record recovery could not restore:
+// either the frame itself was corrupt (owner unknown, seq possibly
+// unknown) or the record decoded but its binary no longer proves safe.
+// The companion install record (reject_reason=recovery) carries the
+// full validation forensics; this line is the recovery-scoped summary
+// an operator greps for after a crash.
+func (a *auditor) recoverySkip(seq uint64, owner string, err error, eid uint64) {
+	if a == nil {
+		return
+	}
+	a.log.Warn("pcc recovery",
+		slog.String("event", "recovery_skip"),
+		slog.Uint64("event_id", eid),
+		slog.Uint64("seq", seq),
+		slog.String("owner", owner),
+		slog.String("error", err.Error()),
+	)
+}
+
+// recovered records the boot-time recovery summary.
+func (a *auditor) recovered(dir string, restored, skipped, stale int, torn bool, eid uint64) {
+	if a == nil {
+		return
+	}
+	a.log.Info("pcc recovery",
+		slog.String("event", "recovered"),
+		slog.Uint64("event_id", eid),
+		slog.String("dir", dir),
+		slog.Int("restored", restored),
+		slog.Int("skipped", skipped),
+		slog.Int("stale", stale),
+		slog.Bool("torn_tail", torn),
+	)
+}
+
+// breaker records a circuit-breaker state transition for one filter:
+// open (demoted to interpreter), halfopen (compiled on probation),
+// close (re-admitted), or escalate (uninstalled after MaxTrips).
+func (a *auditor) breaker(transition, owner string, trips int, detail string, eid uint64) {
+	if a == nil {
+		return
+	}
+	a.log.Warn("pcc breaker",
+		slog.String("event", "breaker_"+transition),
+		slog.Uint64("event_id", eid),
+		slog.String("owner", owner),
+		slog.Int("trips", trips),
+		slog.String("detail", detail),
+	)
+}

@@ -23,6 +23,7 @@ import (
 
 	pcc "repro"
 	"repro/internal/machine"
+	"repro/internal/store"
 )
 
 // Backend selects how dispatch executes validated filters.
@@ -143,6 +144,16 @@ func (k *Kernel) SetBackend(b Backend) error {
 		k.publishLocked(nt, replaced...)
 	}
 	k.backend.Store(int32(b))
+	// Journal the retrofit so recovery re-applies the backend choice
+	// before it re-installs filters. The switch itself already happened;
+	// an append failure is reported (audited) but does not undo it — the
+	// backend is a performance choice, not a safety property, so the
+	// worst a lost record costs is a post-recovery interpreter.
+	if st := k.wal.Load(); st != nil {
+		if _, jerr := st.Append(store.KindRetrofit, retrofitBackend, []byte(b.String())); jerr != nil {
+			k.audit.Load().storeError("retrofit", retrofitBackend, &StoreError{Op: "append", Err: jerr}, 0)
+		}
+	}
 	k.configChange("backend", old.String(), b.String())
 	return nil
 }
@@ -159,13 +170,13 @@ func (k *Kernel) InstallFilterWithBackend(ctx context.Context, owner string, bin
 		if !gate.tryAcquire() {
 			k.stats.validations.Add(1)
 			va := k.audit.Load().newValidationAudit("filter", owner, binary, eid)
-			return k.commitFilter(owner, nil, va,
-				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, b, eid)
+			return k.commitFilter(owner, binary, nil, va,
+				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, b, eid, true)
 		}
 		defer gate.release()
 	}
 	slot, va, err := k.validateFilter(ctx, owner, binary, eid)
-	return k.commitFilter(owner, slot, va, err, b, eid)
+	return k.commitFilter(owner, binary, slot, va, err, b, eid, true)
 }
 
 // runInstalled executes one installed filter on a prepared state with

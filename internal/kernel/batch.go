@@ -42,6 +42,12 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 	tel := k.tel.Load()
 	eid := k.nextEvent(tel)
 	span := tel.span(telemetry.StageDispatchBatch, "", eid)
+	supervised := k.brkArmed.Load() != 0
+	if supervised {
+		// Probe expired breakers before the snapshot load so a
+		// re-admitted compiled form is visible to this whole batch.
+		k.breakerTick(eid)
+	}
 	env := k.statePool.Get().(*packetEnv)
 	defer k.statePool.Put(env)
 	defer env.releasePacket()
@@ -239,7 +245,9 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 				h.ObserveSinceEID(t0, eid)
 			}
 			if err != nil {
-				k.flight(dispatchFaultKind(err), slots[si].owner, err.Error(), eid)
+				kind := dispatchFaultKind(err)
+				k.flight(kind, slots[si].owner, err.Error(), eid)
+				k.breakerFault(slots[si].owner, kind, eid)
 				flush()
 				span.End(err)
 				return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", slots[si].owner, err)
@@ -256,6 +264,13 @@ func (k *Kernel) DeliverPackets(pkts [][]byte) ([][]string, error) {
 	}
 	env.aidx = aidx[:0]
 	flush()
+	if supervised {
+		// The whole batch ran fault-free: one clean observation per
+		// filter (probation progress is per delivery, not per packet).
+		for si := range slots {
+			k.breakerClean(slots[si].owner, eid)
+		}
+	}
 	span.End(nil)
 
 	names := make([]string, len(aidx))

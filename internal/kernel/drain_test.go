@@ -1,4 +1,4 @@
-package kernel
+package kernel_test
 
 import (
 	"bytes"
@@ -14,6 +14,7 @@ import (
 	pcc "repro"
 	"repro/internal/chaos"
 	"repro/internal/filters"
+	"repro/internal/kernel"
 	"repro/internal/pktgen"
 	"repro/internal/policy"
 	"repro/internal/telemetry"
@@ -43,14 +44,14 @@ func TestBatchCtxMidFlightCancelDrains(t *testing.T) {
 		t.Fatal("dagbomb mutator missing")
 	}
 	rng := rand.New(rand.NewSource(99))
-	reqs := make([]InstallRequest, 16)
+	reqs := make([]kernel.InstallRequest, 16)
 	for i := range reqs {
 		// Distinct owners and distinct blobs: no later-wins collapsing,
 		// no proof-cache hits.
-		reqs[i] = InstallRequest{Owner: fmt.Sprintf("bomber-%d", i), Binary: bomb(rng, base)}
+		reqs[i] = kernel.InstallRequest{Owner: fmt.Sprintf("bomber-%d", i), Binary: bomb(rng, base)}
 	}
 
-	k := New()
+	k := kernel.New()
 	k.SetRecorder(telemetry.New())
 	lim := pcc.DefaultLimits()
 	lim.MaxCheckSteps = 1 << 24 // ~minutes of checking if never interrupted
@@ -98,7 +99,7 @@ func TestBatchCtxMidFlightCancelDrains(t *testing.T) {
 	if st.Validations != len(reqs) || st.Rejections != len(reqs) {
 		t.Fatalf("books off: validations=%d rejections=%d want %d each", st.Validations, st.Rejections, len(reqs))
 	}
-	if got := rejectCount(k, "deadline"); got != int64(deadlines) {
+	if got := k.Recorder().LabeledCounter(kernel.MetricRejects, "reason", "deadline").Value(); got != int64(deadlines) {
 		t.Fatalf("pcc_rejects_total{reason=deadline} = %d, want %d", got, deadlines)
 	}
 	// The pool must be gone: no lingering validation goroutines.
@@ -121,7 +122,7 @@ func TestHostileOwnerLabelEscaping(t *testing.T) {
 		t.Fatal(err)
 	}
 	hostile := "evil\"} 1\ninjected_metric{x=\"\\"
-	k := New()
+	k := kernel.New()
 	rec := telemetry.New()
 	k.SetRecorder(rec)
 	if err := k.InstallFilter(hostile, cert.Binary); err != nil {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/pktgen"
 	"repro/internal/policy"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -185,6 +186,21 @@ type Kernel struct {
 	quarCfg atomic.Pointer[QuarantineConfig]
 	quarMu  sync.Mutex
 	quar    map[string]*quarState
+	// wal is the optional durability store (store.go in this package;
+	// the on-disk format lives in internal/store). When attached,
+	// install/uninstall/retrofit commits journal through it before they
+	// publish — an acked install is on disk. nil (the default) keeps the
+	// kernel purely in-memory.
+	wal atomic.Pointer[store.Store]
+	// brk is the optional dispatch circuit-breaker supervisor
+	// (breaker.go): per-filter fault accounting that demotes a
+	// repeatedly faulting compiled filter to the interpreter and
+	// re-admits it only after backoff. brkArmed is the hot-path gate:
+	// dispatch consults the breaker only while it is nonzero.
+	brkCfg   atomic.Pointer[BreakerConfig]
+	brkMu    sync.Mutex
+	brk      map[string]*breakerState
+	brkArmed atomic.Int64
 	// statePool recycles packet-delivery machine states so dispatch
 	// does not allocate a fresh memory image per packet per filter.
 	statePool sync.Pool
@@ -400,14 +416,24 @@ func (k *Kernel) validateFilter(ctx context.Context, owner string, binary []byte
 
 // commitFilter is the short serial section of an install: budget
 // comparison (the WCET itself was computed lock-free at validation
-// time) and table update. The final verdict — including budget
-// rejections — is written to the audit log here, so every install
-// attempt produces exactly one install record. Under BackendCompiled
-// the threaded-code form is obtained (memoized on the slot) before
-// the lock is taken, so compilation — like validation — never runs
-// under the kernel write lock, and a filter that somehow fails to
-// compile is rejected rather than silently interpreted.
-func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit, verr error, be Backend, eid uint64) error {
+// time), journal append, and table update. The final verdict —
+// including budget rejections — is written to the audit log here, so
+// every install attempt produces exactly one install record. Under
+// BackendCompiled the threaded-code form is obtained (memoized on the
+// slot) before the lock is taken, so compilation — like validation —
+// never runs under the kernel write lock, and a filter that somehow
+// fails to compile is rejected rather than silently interpreted.
+//
+// When a store is attached and journal is true, the install is
+// journaled inside the commit section BEFORE the table swap: the
+// write-ahead discipline. A successful return therefore implies the
+// record is on disk (fsynced), and a failed append rejects the install
+// — the kernel never acks an install a crash could lose. journal is
+// false only on the recovery path, whose records are already in the
+// journal. binary is the exact accepted blob; it is what recovery will
+// re-validate, so it must be the bytes that were proof-checked, not a
+// derived form.
+func (k *Kernel) commitFilter(owner string, binary []byte, slot *cacheSlot, va *validationAudit, verr error, be Backend, eid uint64, journal bool) error {
 	tel := k.tel.Load()
 	if verr != nil {
 		k.stats.rejections.Add(1)
@@ -451,6 +477,18 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 					&pcc.ResourceLimitError{Axis: "cycle_budget", Actual: slot.wcet, Max: int64(k.budget)})
 			}
 		}
+		// Write-ahead: the journal append (with fsync) happens before
+		// the table swap, so the install is durable before it is
+		// visible. An append failure rejects the install — the caller
+		// never receives an ack for a record the disk does not hold.
+		if journal {
+			if st := k.wal.Load(); st != nil {
+				if _, jerr := st.Append(store.KindInstall, owner, binary); jerr != nil {
+					return fmt.Errorf("kernel: filter for %q not journaled: %w",
+						owner, &StoreError{Op: "append", Err: jerr})
+				}
+			}
+		}
 		// Copy-on-write publication: build the replacement snapshot,
 		// swap the pointer, retire the old snapshot (and a replaced
 		// filter) past in-flight deliveries. The persistent per-owner
@@ -479,6 +517,9 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 		k.noteRejection(owner, installRejectReason(err), eid)
 	} else {
 		k.noteSuccess(owner)
+		// A fresh install is a fresh binary: its breaker history, if
+		// any, belongs to the replaced filter.
+		k.breakerForget(owner)
 	}
 	tel.outcome(err == nil)
 	k.audit.Load().install(va, slot, err)
@@ -488,18 +529,31 @@ func (k *Kernel) commitFilter(owner string, slot *cacheSlot, va *validationAudit
 
 // UninstallFilter removes an owner's filter. The removed filter and
 // the superseded snapshot are retired, not freed: an in-flight
-// delivery that loaded the old snapshot finishes against it.
-func (k *Kernel) UninstallFilter(owner string) {
+// delivery that loaded the old snapshot finishes against it. With a
+// store attached the removal is journaled before it is published, same
+// write-ahead discipline as installs; a failed append aborts the
+// uninstall (the filter stays installed) so the disk never disagrees
+// with an acked removal.
+func (k *Kernel) UninstallFilter(owner string) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	t := k.table.Load()
 	nt, removed := t.withoutFilter(owner)
 	if removed == nil {
-		return
+		return nil
 	}
-	k.audit.Load().uninstall(owner, k.nextEvent(k.tel.Load()))
+	eid := k.nextEvent(k.tel.Load())
+	if st := k.wal.Load(); st != nil {
+		if _, jerr := st.Append(store.KindUninstall, owner, nil); jerr != nil {
+			serr := &StoreError{Op: "append", Err: jerr}
+			k.audit.Load().storeError("uninstall", owner, serr, eid)
+			return fmt.Errorf("kernel: uninstall of %q not journaled: %w", owner, serr)
+		}
+	}
+	k.audit.Load().uninstall(owner, eid)
 	k.publishLocked(nt, removed)
 	k.tel.Load().setFilters(len(nt.slots))
+	return nil
 }
 
 // Owners lists owners with installed filters, sorted. Lock-free: it
@@ -739,6 +793,10 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 	tel := k.tel.Load()
 	eid := k.nextEvent(tel)
 	span := tel.span(telemetry.StageDispatch, "", eid)
+	supervised := k.brkArmed.Load() != 0
+	if supervised {
+		k.breakerTick(eid)
+	}
 	env := k.statePool.Get().(*packetEnv)
 	defer k.statePool.Put(env)
 	usePool := len(pkt.Data) <= maxPooledPacket
@@ -776,7 +834,9 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 			// A validated extension cannot fault when the kernel meets
 			// the precondition; if it does, the kernel is broken.
 			sh.cycles.Add(cycles)
-			k.flight(dispatchFaultKind(err), owner, err.Error(), eid)
+			kind := dispatchFaultKind(err)
+			k.flight(kind, owner, err.Error(), eid)
+			k.breakerFault(owner, kind, eid)
 			span.End(err)
 			return nil, fmt.Errorf("kernel: validated filter %q faulted: %w", owner, err)
 		}
@@ -785,6 +845,9 @@ func (k *Kernel) DeliverPacket(pkt pktgen.Packet) ([]string, error) {
 		if ok {
 			accepted = append(accepted, owner)
 			f.accepts.add(int(env.shard), 1)
+		}
+		if supervised {
+			k.breakerClean(owner, eid)
 		}
 		tel.filterRun(owner, res.Cycles, ok)
 	}

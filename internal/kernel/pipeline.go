@@ -92,7 +92,7 @@ func (k *Kernel) InstallFilterBatchCtx(ctx context.Context, reqs []InstallReques
 
 	be := k.Backend()
 	for i := range reqs {
-		errs[i] = k.commitFilter(reqs[i].Owner, slots[i], vas[i], verrs[i], be, eids[i])
+		errs[i] = k.commitFilter(reqs[i].Owner, reqs[i].Binary, slots[i], vas[i], verrs[i], be, eids[i], true)
 	}
 	return errs
 }

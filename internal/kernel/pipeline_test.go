@@ -396,11 +396,11 @@ func TestWCETComputedAtValidation(t *testing.T) {
 		t.Fatalf("wcet not precomputed at validation: wcet=%d err=%v", slot.wcet, slot.wcetErr)
 	}
 	k.SetCycleBudget(CycleBudget(slot.wcet))
-	if err := k.commitFilter("fits", slot, nil, nil, BackendInterp, 0); err != nil {
+	if err := k.commitFilter("fits", cert.Binary, slot, nil, nil, BackendInterp, 0, true); err != nil {
 		t.Fatalf("filter at exactly the budget rejected: %v", err)
 	}
 	k.SetCycleBudget(CycleBudget(slot.wcet - 1))
-	if err := k.commitFilter("over", slot, nil, nil, BackendInterp, 0); err == nil {
+	if err := k.commitFilter("over", cert.Binary, slot, nil, nil, BackendInterp, 0, true); err == nil {
 		t.Fatal("over-budget filter committed")
 	}
 }

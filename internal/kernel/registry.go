@@ -10,11 +10,14 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
+	"path/filepath"
 	"sort"
 	"sync"
 
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -31,6 +34,47 @@ type Tenant struct {
 	Rec    *telemetry.Recorder
 	Flight *telemetry.FlightRecorder
 	Audit  *telemetry.AuditRing
+	// Store is the tenant's durability journal, non-nil only after
+	// AttachStore. Set during boot wiring, before the tenant serves
+	// traffic, so like the other fields it is read without the registry
+	// lock.
+	Store *store.Store
+}
+
+// AttachStore opens (creating if absent) the tenant's durable filter
+// store in dir, runs verified recovery on the tenant's kernel —
+// re-validating every journaled binary through the full proof-checking
+// pipeline — and leaves the store attached for write-ahead duty. Part
+// of boot wiring: call before the tenant serves traffic. The returned
+// report says what restored and what was skipped; the error return is
+// environmental (unreadable directory, canceled context) only.
+func (t *Tenant) AttachStore(ctx context.Context, dir string, opt store.Options) (*RecoveryReport, error) {
+	s, err := store.Open(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := t.Kernel.Recover(ctx, s)
+	if err != nil {
+		s.Close()
+		return rep, err
+	}
+	t.Store = s
+	return rep, nil
+}
+
+// CloseStore closes the tenant's store, if any. The closed store stays
+// attached to the kernel on purpose: a straggler install racing
+// shutdown fails its journal append (store.ErrClosed) and is rejected
+// rather than acked without durability — detaching instead would
+// silently downgrade late installs to ephemeral. Belongs in shutdown,
+// after the last in-flight install has committed.
+func (t *Tenant) CloseStore() error {
+	s := t.Store
+	if s == nil {
+		return nil
+	}
+	t.Store = nil
+	return s.Close()
 }
 
 // eventBase derives the tenant's EventID starting point from its name:
@@ -120,6 +164,37 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// AttachStores attaches one durable store per registered tenant, each
+// in its own subdirectory base/<tenant>, recovering each tenant's
+// kernel from its journal. Returns the per-tenant recovery reports; a
+// failure on one tenant aborts (stores already attached stay
+// attached, so a retry is safe).
+func (r *Registry) AttachStores(ctx context.Context, base string, opt store.Options) (map[string]*RecoveryReport, error) {
+	reports := make(map[string]*RecoveryReport)
+	for _, t := range r.Tenants() {
+		if t.Store != nil {
+			continue
+		}
+		rep, err := t.AttachStore(ctx, filepath.Join(base, t.Name), opt)
+		if err != nil {
+			return reports, fmt.Errorf("tenant %q: %w", t.Name, err)
+		}
+		reports[t.Name] = rep
+	}
+	return reports, nil
+}
+
+// CloseStores closes every tenant's store (shutdown path).
+func (r *Registry) CloseStores() error {
+	var first error
+	for _, t := range r.Tenants() {
+		if err := t.CloseStore(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Tenants returns the registered tenants sorted by name.

@@ -218,11 +218,12 @@ func (k *Kernel) quarantineCheck(owner string) error {
 
 // noteRejection records a strike against the owner. Rejections the
 // owner's binary did not cause — an embargo already in force, a full
-// admission queue — do not count, or a single embargo would extend
-// itself forever.
+// admission queue, a journal-append failure — do not count, or a
+// single embargo would extend itself forever (and a sick disk would
+// embargo innocent producers).
 func (k *Kernel) noteRejection(owner, reason string, eid uint64) {
 	cfg := k.quarCfg.Load()
-	if cfg == nil || reason == "quarantine" || reason == "queue_full" {
+	if cfg == nil || reason == "quarantine" || reason == "queue_full" || reason == "store" {
 		return
 	}
 	now := time.Now()
@@ -267,8 +268,18 @@ func (k *Kernel) noteSuccess(owner string) {
 // installRejectReason extends pcc.RejectReason with the kernel's own
 // rejection classes. The vocabulary is the label set of
 // pcc_rejects_total: limit, deadline, panic, proof, quarantine,
-// queue_full.
+// queue_full, recovery, store. Recovery is checked first: a replayed
+// record that fails validation wraps the underlying proof error, and
+// the boot-time bucket is the one operators alert on.
 func installRejectReason(err error) string {
+	var re *RecoveryError
+	if errors.As(err, &re) {
+		return "recovery"
+	}
+	var se *StoreError
+	if errors.As(err, &se) {
+		return "store"
+	}
 	var qe *QuarantineError
 	if errors.As(err, &qe) {
 		return "quarantine"
@@ -293,11 +304,11 @@ func (k *Kernel) InstallFilterCtx(ctx context.Context, owner string, binary []by
 		if !gate.tryAcquire() {
 			k.stats.validations.Add(1)
 			va := k.audit.Load().newValidationAudit("filter", owner, binary, eid)
-			return k.commitFilter(owner, nil, va,
-				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, k.Backend(), eid)
+			return k.commitFilter(owner, binary, nil, va,
+				&QueueFullError{Limit: gate.limit, RetryAfter: admissionRetryAfter}, k.Backend(), eid, true)
 		}
 		defer gate.release()
 	}
 	slot, va, err := k.validateFilter(ctx, owner, binary, eid)
-	return k.commitFilter(owner, slot, va, err, k.Backend(), eid)
+	return k.commitFilter(owner, binary, slot, va, err, k.Backend(), eid, true)
 }

@@ -38,6 +38,11 @@ const (
 	// count of currently embargoed producers.
 	MetricRejects         = "pcc_rejects_total"
 	MetricQuarantineGauge = "pcc_quarantined_owners"
+	// MetricBreakerState is the per-filter circuit-breaker state gauge
+	// family (breaker.go): 0 closed, 1 open (demoted to interpreter),
+	// 2 half-open (compiled on probation). Labeled by the owner — an
+	// untrusted string the exposition escapes.
+	MetricBreakerState = "pcc_breaker_state"
 	// Certificate-cost value histograms (raw units, not seconds): the
 	// proof's size on the wire in bytes and the generated VC's term
 	// size in LF nodes, observed once per full (non-cached) successful
@@ -177,6 +182,16 @@ func (t *telem) reject(reason string) {
 		return
 	}
 	t.rec.LabeledCounter(MetricRejects, "reason", reason).Inc()
+}
+
+// setBreakerState publishes one filter's breaker-state gauge (0
+// closed, 1 open, 2 half-open). Transitions are rare (fault-driven),
+// so the registration-lock lookup is fine here.
+func (t *telem) setBreakerState(owner string, state int) {
+	if t == nil {
+		return
+	}
+	t.rec.LabeledGauge(MetricBreakerState, "filter", owner).Set(int64(state))
 }
 
 // setQuarantined publishes the embargoed-producer count gauge.

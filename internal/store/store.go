@@ -1,0 +1,736 @@
+// Package store is the kernel's crash-consistent filter store: an
+// append-only, checksummed write-ahead journal of install/uninstall/
+// retrofit records, periodically compacted into a snapshot file.
+//
+// The durability contract mirrors the paper's trust argument. The
+// journal makes an install *durable* — Append returns only after the
+// record is framed, written, and fsynced, so a kernel that acks an
+// install after Append can never lose it to a crash — but it does NOT
+// make the record *trusted*. Disk is an untrusted producer exactly
+// like the network peer that shipped the binary in the first place: on
+// recovery every blob replayed from here goes back through the full
+// validation pipeline (parse, VCGen, LF proof check), and a bit-rotted
+// or tampered proof dies in the checker, not in a checksum comparison.
+// The CRCs below exist to classify corruption (and to keep a torn tail
+// from desynchronizing the frame stream), never to vouch for content.
+//
+// On-disk layout, one directory per kernel:
+//
+//	journal.pccj   8-byte magic, then frames
+//	snapshot.pccs  8-byte magic, 8-byte little-endian BaseSeq, then frames
+//
+// Each frame is [uint32 length][uint32 CRC32-Castagnoli][payload],
+// both little-endian, where payload is:
+//
+//	version byte (1) | kind byte | seq uvarint |
+//	owner length uvarint | owner bytes |
+//	binary length uvarint | binary bytes
+//
+// Sequence numbers are assigned monotonically by Append and enforced
+// strictly increasing on replay, so a duplicated or reordered frame
+// (hostile splice, partial copy) is skipped with a typed error rather
+// than replayed twice. A snapshot's BaseSeq records the highest
+// sequence folded into it; journal frames at or below BaseSeq are
+// stale leftovers of a crash between snapshot rename and journal
+// truncation and are skipped the same way.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Kind classifies one journal record.
+type Kind byte
+
+const (
+	// KindInstall records a validated filter install: owner + the exact
+	// PCC binary (code and proof) that was accepted.
+	KindInstall Kind = 1
+	// KindUninstall records a filter removal; the binary field is empty.
+	KindUninstall Kind = 2
+	// KindRetrofit records a kernel-wide configuration retrofit (today:
+	// the execution backend); owner names the setting, binary its value.
+	KindRetrofit Kind = 3
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInstall:
+		return "install"
+	case KindUninstall:
+		return "uninstall"
+	case KindRetrofit:
+		return "retrofit"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Record is one journal entry.
+type Record struct {
+	Kind   Kind
+	Seq    uint64
+	Owner  string
+	Binary []byte
+}
+
+// File names inside a store directory.
+const (
+	JournalName  = "journal.pccj"
+	SnapshotName = "snapshot.pccs"
+)
+
+var (
+	journalMagic  = [8]byte{'P', 'C', 'C', 'J', 'R', 'N', 'L', '1'}
+	snapshotMagic = [8]byte{'P', 'C', 'C', 'S', 'N', 'A', 'P', '1'}
+)
+
+const (
+	recordVersion = 1
+	frameHeader   = 8 // uint32 length + uint32 CRC
+	// maxRecordBytes bounds a single frame so a corrupt length field
+	// cannot make replay attempt a multi-gigabyte allocation.
+	maxRecordBytes = 64 << 20
+)
+
+// castagnoli is the CRC32-C table shared by framing and tooling.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum is the frame checksum over a payload (CRC32-Castagnoli).
+// Exported for fault-injection tooling that must forge frames which
+// pass framing and die in validation instead.
+func Checksum(payload []byte) uint32 { return crc32.Checksum(payload, castagnoli) }
+
+// ErrClosed reports an operation on a closed store. An Append that
+// fails with ErrClosed was never made durable: the caller must not ack
+// the install.
+var ErrClosed = errors.New("store: closed")
+
+// CorruptRecordError reports a frame whose checksum or payload
+// encoding failed; replay skips the frame and continues at the next.
+type CorruptRecordError struct {
+	File   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("store: corrupt record in %s at offset %d: %s", e.File, e.Offset, e.Reason)
+}
+
+// TornTailError reports an incomplete final frame — the expected
+// remnant of a crash mid-append. Everything before it replays; nothing
+// after it is trusted to be frame-aligned.
+type TornTailError struct {
+	File   string
+	Offset int64
+}
+
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("store: torn tail in %s at offset %d", e.File, e.Offset)
+}
+
+// OutOfOrderError reports a frame whose sequence number does not
+// strictly increase — a duplicated or reordered record; replay skips
+// it.
+type OutOfOrderError struct {
+	File   string
+	Offset int64
+	Seq    uint64
+	After  uint64
+}
+
+func (e *OutOfOrderError) Error() string {
+	return fmt.Sprintf("store: out-of-order record in %s at offset %d: seq %d after %d",
+		e.File, e.Offset, e.Seq, e.After)
+}
+
+// Options tunes a store.
+type Options struct {
+	// NoSync skips the fsync on every Append and Compact. Only for
+	// benchmarks and tests that simulate crashes by byte surgery; a
+	// production kernel must keep syncing on, or an acked install can
+	// die with the page cache.
+	NoSync bool
+	// CompactEvery triggers automatic compaction once the journal holds
+	// that many records beyond the snapshot; 0 means never (callers
+	// compact explicitly).
+	CompactEvery int
+}
+
+// Store is an open filter store. All methods are safe for concurrent
+// use; Append and Close serialize on one mutex, which is what gives
+// the shutdown ordering its guarantee — a Close cannot interleave with
+// an Append, so every Append that returned nil before Close was fully
+// framed and synced.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	opt     Options
+	journal *os.File
+	nextSeq uint64
+	// live counts journal records past the snapshot, for CompactEvery.
+	live   int
+	closed bool
+}
+
+// Open opens (creating if necessary) the store in dir. A torn final
+// frame in the journal — the signature of a crash mid-append — is
+// truncated away so new appends extend a frame-aligned file; interior
+// corruption is left in place for Replay to classify.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt}
+	jpath := filepath.Join(dir, JournalName)
+	f, err := os.OpenFile(jpath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat journal: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(journalMagic[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: init journal: %w", err)
+		}
+		if !opt.NoSync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: init journal: %w", err)
+			}
+		}
+	}
+	// Establish the next sequence number and the append position from
+	// what is actually on disk: the snapshot's base plus every decodable
+	// journal frame, corrupt or stale ones included (their seqs still
+	// reserve the number space).
+	base, snapRecs, _ := readSnapshot(dir)
+	maxSeq := base
+	for _, r := range snapRecs {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: read journal: %w", err)
+	}
+	frames, torn, err := ScanJournal(data)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	live := 0
+	end := int64(len(journalMagic))
+	for _, fr := range frames {
+		end = int64(fr.End)
+		if rec, err := DecodePayload(fr.Payload); err == nil {
+			if rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+			if rec.Seq > base {
+				live++
+			}
+		}
+	}
+	if torn {
+		// Drop the torn tail so the next append starts at a frame
+		// boundary instead of extending garbage.
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seek journal: %w", err)
+	}
+	s.journal = f
+	s.nextSeq = maxSeq + 1
+	s.live = live
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append frames, writes, and fsyncs one record, assigning its sequence
+// number. It returns only after the record is durable (unless the
+// store was opened NoSync); a nil error is the caller's license to ack
+// the operation. A CompactEvery threshold may fold the journal into
+// the snapshot on the way out; compaction failure is not an append
+// failure (the record is already durable).
+func (s *Store) Append(kind Kind, owner string, binary []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	seq := s.nextSeq
+	rec := Record{Kind: kind, Seq: seq, Owner: owner, Binary: binary}
+	if _, err := s.journal.Write(FrameRecord(rec)); err != nil {
+		return 0, fmt.Errorf("store: append: %w", err)
+	}
+	if !s.opt.NoSync {
+		if err := s.journal.Sync(); err != nil {
+			return 0, fmt.Errorf("store: append sync: %w", err)
+		}
+	}
+	s.nextSeq++
+	s.live++
+	if s.opt.CompactEvery > 0 && s.live >= s.opt.CompactEvery {
+		s.compactLocked() // best-effort; the append above is already durable
+	}
+	return seq, nil
+}
+
+// Compact folds the snapshot and journal into a fresh snapshot holding
+// only the live state (last install per owner not later uninstalled,
+// last retrofit per setting) and truncates the journal. Crash-safe:
+// the snapshot is written to a temp file, synced, and renamed before
+// the journal is touched, and BaseSeq dedupe makes a journal that
+// survives a crash after the rename harmless.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	recs, rep := replayDir(s.dir)
+	_ = rep // corruption is skipped here exactly as recovery would skip it
+	liveRecs := foldLive(recs)
+	var base uint64
+	for _, r := range recs {
+		if r.Seq > base {
+			base = r.Seq
+		}
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	tmpName := tmp.Name()
+	var buf []byte
+	buf = append(buf, snapshotMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, base)
+	for _, r := range liveRecs {
+		buf = append(buf, FrameRecord(r)...)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: compact write: %w", err)
+	}
+	if !s.opt.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return fmt.Errorf("store: compact sync: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: compact close: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, SnapshotName)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	if !s.opt.NoSync {
+		if d, err := os.Open(s.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	// The snapshot is durable; the journal's records are now stale
+	// (seq <= BaseSeq). Truncate back to the bare magic.
+	if err := s.journal.Truncate(int64(len(journalMagic))); err != nil {
+		return fmt.Errorf("store: compact truncate: %w", err)
+	}
+	if _, err := s.journal.Seek(0, 2); err != nil {
+		return fmt.Errorf("store: compact seek: %w", err)
+	}
+	if !s.opt.NoSync {
+		if err := s.journal.Sync(); err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+	}
+	s.live = 0
+	return nil
+}
+
+// foldLive reduces a replayed record stream to the state a recovery
+// would re-install: the last install per owner not followed by an
+// uninstall, plus the last retrofit per setting, ordered by sequence.
+func foldLive(recs []Record) []Record {
+	installs := map[string]Record{}
+	retrofits := map[string]Record{}
+	for _, r := range recs {
+		switch r.Kind {
+		case KindInstall:
+			installs[r.Owner] = r
+		case KindUninstall:
+			delete(installs, r.Owner)
+		case KindRetrofit:
+			retrofits[r.Owner] = r
+		}
+	}
+	out := make([]Record, 0, len(installs)+len(retrofits))
+	for _, r := range installs {
+		out = append(out, r)
+	}
+	for _, r := range retrofits {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// ReplayReport classifies what Replay skipped. Every skip carries its
+// typed error so recovery can audit each one individually.
+type ReplayReport struct {
+	// SnapshotRecords and JournalRecords count the frames decoded and
+	// delivered from each file.
+	SnapshotRecords int
+	JournalRecords  int
+	// Skipped holds one typed error (*CorruptRecordError,
+	// *OutOfOrderError) per skipped frame, in file order.
+	Skipped []error
+	// TornTail is non-nil when a file ended mid-frame; replay of that
+	// file stopped there.
+	TornTail *TornTailError
+	// Stale counts journal frames at or below the snapshot's BaseSeq —
+	// the benign leftovers of a crash between snapshot rename and
+	// journal truncation.
+	Stale int
+}
+
+// Replay reads the snapshot (if any) then the journal, returning every
+// decodable record in sequence order along with a report of what was
+// skipped and why. Replay never fails on content: corruption is
+// classified and skipped, and the caller re-validates every returned
+// binary anyway.
+func (s *Store) Replay() ([]Record, *ReplayReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, ErrClosed
+	}
+	recs, rep := replayDir(s.dir)
+	return recs, rep, nil
+}
+
+// ReplayDir replays a store directory without opening it for appends —
+// the read-only view recovery tooling and fault-injection harnesses
+// use.
+func ReplayDir(dir string) ([]Record, *ReplayReport) { return replayDir(dir) }
+
+func replayDir(dir string) ([]Record, *ReplayReport) {
+	rep := &ReplayReport{}
+	var out []Record
+	base, snapRecs, snapRep := readSnapshot(dir)
+	rep.SnapshotRecords = len(snapRecs)
+	rep.Skipped = append(rep.Skipped, snapRep.Skipped...)
+	if snapRep.TornTail != nil {
+		rep.TornTail = snapRep.TornTail
+	}
+	out = append(out, snapRecs...)
+
+	data, err := os.ReadFile(filepath.Join(dir, JournalName))
+	if err != nil {
+		return out, rep
+	}
+	frames, torn, err := ScanJournal(data)
+	if err != nil {
+		rep.Skipped = append(rep.Skipped,
+			&CorruptRecordError{File: JournalName, Offset: 0, Reason: err.Error()})
+		return out, rep
+	}
+	last := base
+	for _, r := range snapRecs {
+		if r.Seq > last {
+			last = r.Seq
+		}
+	}
+	for _, fr := range frames {
+		if !fr.CRCOK {
+			rep.Skipped = append(rep.Skipped,
+				&CorruptRecordError{File: JournalName, Offset: int64(fr.Off), Reason: "checksum mismatch"})
+			continue
+		}
+		rec, err := DecodePayload(fr.Payload)
+		if err != nil {
+			rep.Skipped = append(rep.Skipped,
+				&CorruptRecordError{File: JournalName, Offset: int64(fr.Off), Reason: err.Error()})
+			continue
+		}
+		if rec.Seq <= base {
+			rep.Stale++
+			continue
+		}
+		if rec.Seq <= last {
+			rep.Skipped = append(rep.Skipped,
+				&OutOfOrderError{File: JournalName, Offset: int64(fr.Off), Seq: rec.Seq, After: last})
+			continue
+		}
+		last = rec.Seq
+		rep.JournalRecords++
+		out = append(out, rec)
+	}
+	if torn {
+		off := int64(len(journalMagic))
+		if n := len(frames); n > 0 {
+			off = int64(frames[n-1].End)
+		}
+		rep.TornTail = &TornTailError{File: JournalName, Offset: off}
+	}
+	return out, rep
+}
+
+// readSnapshot decodes the snapshot file; a missing or unreadable
+// snapshot is an empty base (the journal alone is authoritative).
+func readSnapshot(dir string) (base uint64, recs []Record, rep ReplayReport) {
+	data, err := os.ReadFile(filepath.Join(dir, SnapshotName))
+	if err != nil {
+		return 0, nil, rep
+	}
+	if len(data) < len(snapshotMagic)+8 || [8]byte(data[:8]) != snapshotMagic {
+		rep.Skipped = append(rep.Skipped,
+			&CorruptRecordError{File: SnapshotName, Offset: 0, Reason: "bad magic or truncated header"})
+		return 0, nil, rep
+	}
+	base = binary.LittleEndian.Uint64(data[8:16])
+	frames, torn := scanFrames(data, 16)
+	var last uint64
+	for _, fr := range frames {
+		if !fr.CRCOK {
+			rep.Skipped = append(rep.Skipped,
+				&CorruptRecordError{File: SnapshotName, Offset: int64(fr.Off), Reason: "checksum mismatch"})
+			continue
+		}
+		rec, err := DecodePayload(fr.Payload)
+		if err != nil {
+			rep.Skipped = append(rep.Skipped,
+				&CorruptRecordError{File: SnapshotName, Offset: int64(fr.Off), Reason: err.Error()})
+			continue
+		}
+		if rec.Seq <= last {
+			rep.Skipped = append(rep.Skipped,
+				&OutOfOrderError{File: SnapshotName, Offset: int64(fr.Off), Seq: rec.Seq, After: last})
+			continue
+		}
+		last = rec.Seq
+		recs = append(recs, rec)
+	}
+	if torn {
+		off := int64(16)
+		if n := len(frames); n > 0 {
+			off = int64(frames[n-1].End)
+		}
+		rep.TornTail = &TornTailError{File: SnapshotName, Offset: off}
+	}
+	return base, recs, rep
+}
+
+// Close fsyncs and closes the journal. Because Close and Append share
+// the store mutex, Close serializes strictly after every in-flight
+// Append: an install acked before Close began is on disk, and an
+// Append arriving after Close fails with ErrClosed (so it is never
+// acked).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var serr error
+	if !s.opt.NoSync {
+		serr = s.journal.Sync()
+	}
+	cerr := s.journal.Close()
+	if serr != nil {
+		return fmt.Errorf("store: close sync: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: close: %w", cerr)
+	}
+	return nil
+}
+
+// --- framing -------------------------------------------------------
+
+// EncodePayload encodes one record's frame payload.
+func EncodePayload(r Record) []byte {
+	buf := make([]byte, 0, 2+binary.MaxVarintLen64*3+len(r.Owner)+len(r.Binary))
+	buf = append(buf, recordVersion, byte(r.Kind))
+	buf = binary.AppendUvarint(buf, r.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Owner)))
+	buf = append(buf, r.Owner...)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Binary)))
+	buf = append(buf, r.Binary...)
+	return buf
+}
+
+// DecodePayload decodes a frame payload back into a record.
+func DecodePayload(p []byte) (Record, error) {
+	var r Record
+	if len(p) < 2 {
+		return r, errors.New("short payload")
+	}
+	if p[0] != recordVersion {
+		return r, fmt.Errorf("unknown record version %d", p[0])
+	}
+	r.Kind = Kind(p[1])
+	if r.Kind != KindInstall && r.Kind != KindUninstall && r.Kind != KindRetrofit {
+		return r, fmt.Errorf("unknown record kind %d", p[1])
+	}
+	p = p[2:]
+	seq, n := binary.Uvarint(p)
+	if n <= 0 {
+		return r, errors.New("bad seq varint")
+	}
+	r.Seq = seq
+	p = p[n:]
+	olen, n := binary.Uvarint(p)
+	if n <= 0 || olen > uint64(len(p)-n) {
+		return r, errors.New("bad owner length")
+	}
+	p = p[n:]
+	r.Owner = string(p[:olen])
+	p = p[olen:]
+	blen, n := binary.Uvarint(p)
+	if n <= 0 || blen != uint64(len(p)-n) {
+		return r, errors.New("bad binary length")
+	}
+	r.Binary = append([]byte(nil), p[n:]...)
+	return r, nil
+}
+
+// FrameRecord encodes one record as a complete frame (header +
+// payload), ready to append to a journal.
+func FrameRecord(r Record) []byte {
+	payload := EncodePayload(r)
+	buf := make([]byte, frameHeader, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], Checksum(payload))
+	return append(buf, payload...)
+}
+
+// Frame locates one frame inside a raw journal or snapshot image:
+// byte offsets of the frame and its payload view, plus the checksum
+// verdict. Exported for the fault-injection harness, which mutates
+// journals at the byte level.
+type Frame struct {
+	Off        int // frame start (length field)
+	PayloadOff int
+	End        int // one past the frame's last byte
+	Payload    []byte
+	CRCOK      bool
+}
+
+// ScanJournal parses a raw journal image (including its magic header)
+// into frames. torn reports an incomplete final frame. An image whose
+// magic is wrong fails — nothing after an unrecognized header can be
+// trusted to be frame-aligned.
+func ScanJournal(data []byte) (frames []Frame, torn bool, err error) {
+	if len(data) < len(journalMagic) {
+		return nil, true, nil
+	}
+	if [8]byte(data[:8]) != journalMagic {
+		return nil, false, errors.New("store: bad journal magic")
+	}
+	frames, torn = scanFrames(data, len(journalMagic))
+	return frames, torn, nil
+}
+
+// scanFrames walks frames from off to the end of data. It stops (torn)
+// at a frame whose header or payload runs past the buffer or whose
+// declared length is implausible — beyond that point frame alignment
+// is unrecoverable.
+func scanFrames(data []byte, off int) (frames []Frame, torn bool) {
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return frames, true
+		}
+		ln := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if ln <= 0 || ln > maxRecordBytes || off+frameHeader+ln > len(data) {
+			return frames, true
+		}
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+frameHeader : off+frameHeader+ln]
+		frames = append(frames, Frame{
+			Off:        off,
+			PayloadOff: off + frameHeader,
+			End:        off + frameHeader + ln,
+			Payload:    payload,
+			CRCOK:      Checksum(payload) == want,
+		})
+		off += frameHeader + ln
+	}
+	return frames, false
+}
+
+// TamperBinaryByte flips one bit of the stored binary inside the
+// index-th decodable journal frame and recomputes the frame checksum,
+// then rewrites the journal in place. The result passes framing — the
+// corruption is only detectable by re-validating the proof, which is
+// the point: it models a hostile or bit-rotted disk whose controller
+// happily re-frames what it serves. at is an offset from the END of
+// the binary (0 = last byte, deep in the proof section of a PCC
+// binary). Returns the owner whose record was tampered.
+func TamperBinaryByte(dir string, index, at int) (string, error) {
+	jpath := filepath.Join(dir, JournalName)
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		return "", fmt.Errorf("store: tamper: %w", err)
+	}
+	frames, _, err := ScanJournal(data)
+	if err != nil {
+		return "", err
+	}
+	seen := 0
+	for _, fr := range frames {
+		if !fr.CRCOK {
+			continue
+		}
+		rec, derr := DecodePayload(fr.Payload)
+		if derr != nil || rec.Kind != KindInstall || len(rec.Binary) == 0 {
+			continue
+		}
+		if seen != index {
+			seen++
+			continue
+		}
+		// The binary occupies the payload's tail; flip a bit at `at`
+		// bytes from its end, then forge the checksum over the mutated
+		// payload.
+		if at < 0 || at >= len(rec.Binary) {
+			at = 0
+		}
+		pos := fr.End - 1 - at
+		data[pos] ^= 0x01
+		binary.LittleEndian.PutUint32(data[fr.Off+4:fr.Off+8], Checksum(data[fr.PayloadOff:fr.End]))
+		if err := os.WriteFile(jpath, data, 0o644); err != nil {
+			return "", fmt.Errorf("store: tamper: %w", err)
+		}
+		return rec.Owner, nil
+	}
+	return "", fmt.Errorf("store: tamper: no install record at index %d", index)
+}

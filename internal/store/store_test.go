@@ -1,0 +1,382 @@
+// Unit tests for the journal framing and crash-consistency contract:
+// round trips, torn-tail tolerance, checksum classification, duplicate
+// and reorder rejection, crash-safe compaction, and the Close/Append
+// ordering guarantee.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if _, err := s.Append(KindInstall, "alice", []byte("binary-a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(KindInstall, "bob", []byte("binary-b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(KindUninstall, "alice", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(KindRetrofit, "backend", []byte("compiled")); err != nil {
+		t.Fatal(err)
+	}
+	recs, rep, err := s.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || len(rep.Skipped) != 0 || rep.TornTail != nil {
+		t.Fatalf("replay: %d records, %d skips, torn=%v", len(recs), len(rep.Skipped), rep.TornTail)
+	}
+	want := []Record{
+		{KindInstall, 1, "alice", []byte("binary-a")},
+		{KindInstall, 2, "bob", []byte("binary-b")},
+		{KindUninstall, 3, "alice", nil},
+		{KindRetrofit, 4, "backend", []byte("compiled")},
+	}
+	for i, w := range want {
+		g := recs[i]
+		if g.Kind != w.Kind || g.Seq != w.Seq || g.Owner != w.Owner || !bytes.Equal(g.Binary, w.Binary) {
+			t.Errorf("record %d: got %+v want %+v", i, g, w)
+		}
+	}
+}
+
+// TestReopenContinuesSequence reopens a store and checks appends
+// continue the sequence instead of reusing numbers (reuse would make
+// replay's duplicate detection drop real records).
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	if _, err := s.Append(KindInstall, "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openT(t, dir)
+	seq, err := s2.Append(KindInstall, "b", []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("reopened append got seq %d, want 2", seq)
+	}
+}
+
+// TestTornTail simulates a crash mid-append: a journal ending in a
+// partial frame must replay everything before the tear, report it, and
+// accept appends after reopen.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Append(KindInstall, "a", []byte("aaaa"))
+	s.Append(KindInstall, "b", []byte("bbbb"))
+	s.Close()
+
+	jpath := filepath.Join(dir, JournalName)
+	data, _ := os.ReadFile(jpath)
+	full := len(data)
+	// Append half of another frame.
+	frame := FrameRecord(Record{Kind: KindInstall, Seq: 3, Owner: "c", Binary: []byte("cccc")})
+	if err := os.WriteFile(jpath, append(data, frame[:len(frame)/2]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, rep := ReplayDir(dir)
+	if len(recs) != 2 {
+		t.Fatalf("replay after tear: %d records, want 2", len(recs))
+	}
+	if rep.TornTail == nil {
+		t.Fatal("torn tail not reported")
+	}
+
+	// Reopen truncates the tear; the file is frame-aligned again and
+	// appends take the next unused seq.
+	s2 := openT(t, dir)
+	st, _ := os.Stat(jpath)
+	if st.Size() != int64(full) {
+		t.Fatalf("reopen left %d bytes, want %d", st.Size(), full)
+	}
+	seq, err := s2.Append(KindInstall, "c", []byte("cccc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("post-tear append got seq %d, want 3", seq)
+	}
+}
+
+// TestCorruptRecordSkipped flips a payload byte WITHOUT fixing the
+// checksum: replay must classify the frame as corrupt, skip it, and
+// keep the records around it.
+func TestCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Append(KindInstall, "a", []byte("aaaa"))
+	s.Append(KindInstall, "b", []byte("bbbb"))
+	s.Append(KindInstall, "c", []byte("cccc"))
+	s.Close()
+
+	jpath := filepath.Join(dir, JournalName)
+	data, _ := os.ReadFile(jpath)
+	frames, _, err := ScanJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frames[1].PayloadOff+3] ^= 0xFF
+	os.WriteFile(jpath, data, 0o644)
+
+	recs, rep := ReplayDir(dir)
+	if len(recs) != 2 || recs[0].Owner != "a" || recs[1].Owner != "c" {
+		t.Fatalf("replay around corruption: %+v", recs)
+	}
+	if len(rep.Skipped) != 1 {
+		t.Fatalf("skips: %v", rep.Skipped)
+	}
+	var ce *CorruptRecordError
+	if !errors.As(rep.Skipped[0], &ce) {
+		t.Fatalf("skip is %T, want *CorruptRecordError", rep.Skipped[0])
+	}
+}
+
+// TestDuplicateAndReorderSkipped splices a copied frame and a swapped
+// pair into the journal; strict sequence ordering must drop the
+// duplicate and the displaced earlier record.
+func TestDuplicateAndReorderSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Append(KindInstall, "a", []byte("aaaa"))
+	s.Append(KindInstall, "b", []byte("bbbb"))
+	s.Close()
+
+	jpath := filepath.Join(dir, JournalName)
+	data, _ := os.ReadFile(jpath)
+	frames, _, _ := ScanJournal(data)
+	dup := append([]byte(nil), data[frames[0].Off:frames[0].End]...)
+	os.WriteFile(jpath, append(data, dup...), 0o644)
+
+	recs, rep := ReplayDir(dir)
+	if len(recs) != 2 {
+		t.Fatalf("replay with duplicate: %d records, want 2", len(recs))
+	}
+	var oe *OutOfOrderError
+	if len(rep.Skipped) != 1 || !errors.As(rep.Skipped[0], &oe) {
+		t.Fatalf("skips: %v", rep.Skipped)
+	}
+
+	// Swap the two frames: seq 2 then seq 1 — the displaced seq-1 frame
+	// is dropped, seq 2 survives.
+	swapped := append([]byte(nil), data[:frames[0].Off]...)
+	swapped = append(swapped, data[frames[1].Off:frames[1].End]...)
+	swapped = append(swapped, data[frames[0].Off:frames[0].End]...)
+	os.WriteFile(jpath, swapped, 0o644)
+	recs, rep = ReplayDir(dir)
+	if len(recs) != 1 || recs[0].Owner != "b" {
+		t.Fatalf("replay with reorder: %+v", recs)
+	}
+	if len(rep.Skipped) != 1 {
+		t.Fatalf("skips: %v", rep.Skipped)
+	}
+}
+
+// TestCompaction folds installs/uninstalls into a snapshot and checks
+// the replayed state is unchanged, including after more appends.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Append(KindInstall, "a", []byte("a1"))
+	s.Append(KindInstall, "b", []byte("b1"))
+	s.Append(KindInstall, "a", []byte("a2")) // supersedes a1
+	s.Append(KindUninstall, "b", nil)
+	s.Append(KindRetrofit, "backend", []byte("compiled"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	recs, rep, err := s.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SnapshotRecords != 2 || rep.JournalRecords != 0 {
+		t.Fatalf("post-compact replay: %+v", rep)
+	}
+	if len(recs) != 2 || recs[0].Owner != "a" || string(recs[0].Binary) != "a2" ||
+		recs[1].Owner != "backend" {
+		t.Fatalf("compacted state: %+v", recs)
+	}
+	// New appends after compaction continue the sequence and replay on
+	// top of the snapshot.
+	if _, err := s.Append(KindInstall, "c", []byte("c1")); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _ = s.Replay()
+	if len(recs) != 3 || recs[2].Owner != "c" {
+		t.Fatalf("replay after post-compact append: %+v", recs)
+	}
+}
+
+// TestCrashBetweenSnapshotAndTruncate models the one crash window
+// inside Compact: snapshot renamed, journal not yet truncated. The
+// stale journal frames (seq <= BaseSeq) must be deduped, not replayed
+// twice.
+func TestCrashBetweenSnapshotAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Append(KindInstall, "a", []byte("a1"))
+	s.Append(KindInstall, "b", []byte("b1"))
+	s.Close()
+	jpath := filepath.Join(dir, JournalName)
+	preCompact, _ := os.ReadFile(jpath)
+
+	s2 := openT(t, dir)
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	// "Crash": the old journal contents come back.
+	os.WriteFile(jpath, preCompact, 0o644)
+
+	recs, rep := ReplayDir(dir)
+	if len(recs) != 2 {
+		t.Fatalf("replay after simulated crash: %+v", recs)
+	}
+	if rep.Stale != 2 {
+		t.Fatalf("stale count %d, want 2", rep.Stale)
+	}
+	if len(rep.Skipped) != 0 {
+		t.Fatalf("skips: %v", rep.Skipped)
+	}
+}
+
+// TestCloseOrdering pins the shutdown guarantee: Append after Close
+// fails with ErrClosed (so the caller cannot ack it), and everything
+// appended before Close replays.
+func TestCloseOrdering(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(KindInstall, "a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(KindInstall, "b", []byte("bbbb")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	recs, _ := ReplayDir(dir)
+	if len(recs) != 1 || recs[0].Owner != "a" {
+		t.Fatalf("replay: %+v", recs)
+	}
+}
+
+// TestAutoCompact checks the CompactEvery threshold folds the journal
+// in the background of Append.
+func TestAutoCompact(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{NoSync: true, CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(KindInstall, "a", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotName)); err != nil {
+		t.Fatalf("auto-compact did not write a snapshot: %v", err)
+	}
+	recs, rep, _ := s.Replay()
+	if len(recs) != 1 || recs[0].Binary[0] != 3 {
+		t.Fatalf("state after auto-compact: %+v (report %+v)", recs, rep)
+	}
+}
+
+// TestTamperBinaryByte checks the fault-injection helper produces a
+// journal that still frames cleanly (checksum forged) but whose
+// binary differs by exactly one bit.
+func TestTamperBinaryByte(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	orig := []byte("the proof bytes live at the end")
+	s.Append(KindInstall, "victim", orig)
+	s.Close()
+
+	owner, err := TamperBinaryByte(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != "victim" {
+		t.Fatalf("tampered owner %q", owner)
+	}
+	recs, rep := ReplayDir(dir)
+	if len(rep.Skipped) != 0 {
+		t.Fatalf("tampered frame did not pass framing: %v", rep.Skipped)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records: %+v", recs)
+	}
+	if bytes.Equal(recs[0].Binary, orig) {
+		t.Fatal("binary unchanged")
+	}
+	diff := 0
+	for i := range orig {
+		diff += popcount(orig[i] ^ recs[0].Binary[i])
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits differ, want 1", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// TestScanJournalBadMagic: a journal with a foreign header is rejected
+// outright rather than scanned for frames.
+func TestScanJournalBadMagic(t *testing.T) {
+	data := append([]byte("NOTMAGIC"), FrameRecord(Record{Kind: KindInstall, Seq: 1, Owner: "a"})...)
+	if _, _, err := ScanJournal(data); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// TestAbsurdLengthIsTear: a frame declaring a multi-gigabyte length
+// stops the scan (torn) instead of allocating.
+func TestAbsurdLengthIsTear(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Append(KindInstall, "a", []byte("aaaa"))
+	s.Close()
+	jpath := filepath.Join(dir, JournalName)
+	data, _ := os.ReadFile(jpath)
+	bad := make([]byte, 8)
+	binary.LittleEndian.PutUint32(bad[0:4], 0xFFFFFFF0)
+	os.WriteFile(jpath, append(data, bad...), 0o644)
+	recs, rep := ReplayDir(dir)
+	if len(recs) != 1 || rep.TornTail == nil {
+		t.Fatalf("recs=%d torn=%v", len(recs), rep.TornTail)
+	}
+}

@@ -40,6 +40,19 @@ const (
 	// FlightConfigChange: SetBackend/SetProfiling/SetLimits/
 	// SetQuarantine changed the kernel's posture.
 	FlightConfigChange = "config_change"
+	// FlightBreakerOpen: a filter's fault circuit breaker tripped — the
+	// compiled form was demoted to the interpreter pending backoff.
+	FlightBreakerOpen = "breaker_open"
+	// FlightBreakerHalfOpen: an open breaker's backoff elapsed and the
+	// filter was re-promoted to its compiled form on probation.
+	FlightBreakerHalfOpen = "breaker_halfopen"
+	// FlightBreakerClose: a half-open breaker survived its probation
+	// dispatches fault-free and closed.
+	FlightBreakerClose = "breaker_close"
+	// FlightRecoverySkip: boot-time recovery skipped a journal record —
+	// corrupt framing, out-of-order splice, or a blob the validation
+	// pipeline rejected (disk is an untrusted producer).
+	FlightRecoverySkip = "recovery_skip"
 )
 
 // FlightEvent is one recorded anomaly.

@@ -84,6 +84,59 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// TestLabeledGaugeExposition: labeled gauge families (breaker state)
+// expose one sample per label value under a gauge TYPE header, land in
+// the JSON snapshot, survive hostile label values, and keep gauge
+// identity across lookups (Set, not accumulate).
+func TestLabeledGaugeExposition(t *testing.T) {
+	r := New()
+	r.LabeledGauge("pcc_breaker_state", "filter", "b").Set(1)
+	r.LabeledGauge("pcc_breaker_state", "filter", "a").Set(2)
+	r.LabeledGauge("pcc_breaker_state", "filter", "a").Set(0)
+	hostile := `evil"}` + "\nfake_metric 1"
+	r.LabeledGauge("pcc_breaker_state", "filter", hostile).Set(1)
+	if got := r.LabeledGauge("pcc_breaker_state", "filter", "a").Value(); got != 0 {
+		t.Fatalf("gauge identity lost across lookups: %d", got)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		`pcc_breaker_state{filter="a"} 0`,
+		`pcc_breaker_state{filter="b"} 1`,
+		`pcc_breaker_state{filter="evil\"}\nfake_metric 1"} 1`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("exposition missing %q:\n%s", want, page)
+		}
+	}
+	if strings.Count(page, "# TYPE pcc_breaker_state gauge") != 1 {
+		t.Fatalf("family must have exactly one TYPE header:\n%s", page)
+	}
+	// The hostile owner must not have smuggled a fresh metric line onto
+	// the page: "fake_metric" may appear only inside a quoted label.
+	for _, ln := range strings.Split(page, "\n") {
+		if strings.HasPrefix(ln, "fake_metric") {
+			t.Fatalf("hostile label value escaped into a metric line: %q", ln)
+		}
+	}
+
+	snap := r.Snapshot(false)
+	if snap.LabeledGauges["pcc_breaker_state"]["b"] != 1 {
+		t.Fatalf("snapshot missing labeled gauges: %+v", snap.LabeledGauges)
+	}
+
+	var nr *Recorder
+	g := nr.LabeledGauge("f", "k", "v")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil recorder produced a live gauge")
+	}
+}
+
 func TestEscapeLabelValue(t *testing.T) {
 	for in, want := range map[string]string{
 		"plain":     "plain",

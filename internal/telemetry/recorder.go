@@ -56,13 +56,18 @@ const (
 	// span so their correlation EventID exists in all three streams —
 	// span ring, audit log, flight recorder.
 	StageConfig = "config"
+	// StageRecover is one boot-time store recovery pass: snapshot +
+	// journal replay with every blob re-run through the full validation
+	// pipeline. Individual records emit validate spans; the recover span
+	// brackets the whole pass.
+	StageRecover = "recover"
 )
 
 // Stages lists every built-in pipeline stage, in pipeline order.
 var Stages = []string{
 	StageNegotiate, StageValidate, StageCacheProbe, StageParse,
 	StageVCGen, StageLFSig, StageLFCheck, StageWCET, StageCommit,
-	StageDispatch, StageDispatchBatch, StageConfig,
+	StageDispatch, StageDispatchBatch, StageConfig, StageRecover,
 }
 
 // Options configures a Recorder.
@@ -99,12 +104,13 @@ type Recorder struct {
 	// by name). The lock guards registration only; the returned
 	// instruments are lock-free. Callers on hot paths cache the
 	// pointers.
-	mu           sync.RWMutex
-	counters     map[string]*Counter
-	gauges       map[string]*Gauge
-	hists        map[string]*Histogram
-	labeled      map[string]*labeledFamily
-	labeledHists map[string]*labeledHistFamily
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	hists         map[string]*Histogram
+	labeled       map[string]*labeledFamily
+	labeledHists  map[string]*labeledHistFamily
+	labeledGauges map[string]*labeledGaugeFamily
 }
 
 // New builds a Recorder with default options.
@@ -118,11 +124,12 @@ func NewWith(o Options) *Recorder {
 		stageHists:   make(map[string]*Histogram, len(Stages)),
 		bounds:       o.Buckets,
 		winOpts:      o.Window,
-		counters:     map[string]*Counter{},
-		gauges:       map[string]*Gauge{},
-		hists:        map[string]*Histogram{},
-		labeled:      map[string]*labeledFamily{},
-		labeledHists: map[string]*labeledHistFamily{},
+		counters:      map[string]*Counter{},
+		gauges:        map[string]*Gauge{},
+		hists:         map[string]*Histogram{},
+		labeled:       map[string]*labeledFamily{},
+		labeledHists:  map[string]*labeledHistFamily{},
+		labeledGauges: map[string]*labeledGaugeFamily{},
 	}
 	for _, s := range Stages {
 		b := o.Buckets

@@ -35,6 +35,12 @@ MIN_PARALLEL_FRESH=${MIN_PARALLEL_FRESH:-3.0}
 # headroom for host noise.
 MAX_WINDOW_OVERHEAD_COMMITTED=${MAX_WINDOW_OVERHEAD_COMMITTED:-20.0}
 MAX_WINDOW_OVERHEAD_FRESH=${MAX_WINDOW_OVERHEAD_FRESH:-35.0}
+# Verified-recovery floors (schema ≥ 6 reports): warm journal replay
+# (content-addressed proof cache) over cold replay. The measured ratio
+# is ~40x; 5.0 is the point below which the proof cache has stopped
+# doing its job during reboot.
+MIN_WARM_RECOVERY_COMMITTED=${MIN_WARM_RECOVERY_COMMITTED:-5.0}
+MIN_WARM_RECOVERY_FRESH=${MIN_WARM_RECOVERY_FRESH:-5.0}
 
 echo '== benchcheck: committed baseline'
 committed=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
@@ -45,7 +51,8 @@ fi
 go run ./cmd/benchcheck -min-speedup "$MIN_SPEEDUP_COMMITTED" \
 	-max-profiling-overhead "$MAX_PROF_OVERHEAD_COMMITTED" \
 	-min-parallel-speedup "$MIN_PARALLEL_COMMITTED" \
-	-max-window-overhead "$MAX_WINDOW_OVERHEAD_COMMITTED" "$committed"
+	-max-window-overhead "$MAX_WINDOW_OVERHEAD_COMMITTED" \
+	-min-warm-recovery-speedup "$MIN_WARM_RECOVERY_COMMITTED" "$committed"
 
 echo '== benchcheck: fresh measurement (paperbench -json, 20k packets)'
 tmp=$(mktemp -d)
@@ -56,6 +63,7 @@ go build -o "$tmp/benchcheck" ./cmd/benchcheck
 	./benchcheck -min-speedup "$MIN_SPEEDUP_FRESH" \
 		-max-profiling-overhead "$MAX_PROF_OVERHEAD_FRESH" \
 		-min-parallel-speedup "$MIN_PARALLEL_FRESH" \
-		-max-window-overhead "$MAX_WINDOW_OVERHEAD_FRESH")
+		-max-window-overhead "$MAX_WINDOW_OVERHEAD_FRESH" \
+		-min-warm-recovery-speedup "$MIN_WARM_RECOVERY_FRESH")
 
 echo 'benchcheck: OK'

@@ -211,12 +211,105 @@ grep -q '"tenant":"beta"' /tmp/pccmon.mt.audit.jsonl ||
 	{ echo "multi-tenant smoke: audit log has no beta-tagged records" >&2; exit 1; }
 rm -f /tmp/pccmon.verify /tmp/pccmon.mt.audit.jsonl
 
+# Crash-recovery smoke: the durability contract end to end through the
+# operator-facing binaries. Boot a serving monitor with a durable
+# store, install a filter over HTTP (the ack means the journal record
+# is fsynced), kill -9 the process, and reboot on the same store: the
+# install must come back — re-proved, not trusted. Then flip one proof
+# byte in its journal record on disk and reboot again: recovery must
+# refuse it and say so in the audit log.
+echo '== crash-recovery smoke (pccmon -serve -store, kill -9, reboot)'
+go build -o /tmp/pccmon.crash ./cmd/pccmon
+go build -o /tmp/pccload.crash ./cmd/pccload
+crashstore=$(mktemp -d)
+go run ./cmd/pccasm -builtin filter4 -o /tmp/verify.crash.pcc >/dev/null
+/tmp/pccmon.crash -serve 127.0.0.1:16998 -pps 200 -store "$crashstore" \
+	-audit-out /tmp/pccmon.crash.audit.jsonl &
+serve_pid=$!
+trap 'kill -9 "$serve_pid" 2>/dev/null || true; rm -rf "$crashstore"' EXIT
+ok=
+for _ in $(seq 1 50); do
+	if curl -fsS http://127.0.0.1:16998/healthz >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "crash smoke: /healthz never came up" >&2; exit 1; }
+/tmp/pccload.crash -install-url http://127.0.0.1:16998 -owner crashtest \
+	/tmp/verify.crash.pcc ||
+	{ echo "crash smoke: remote install failed" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16998/debug/vars | grep -q '"crashtest"' ||
+	{ echo "crash smoke: crashtest not in the owner set after install" >&2; exit 1; }
+# The ack above implies durability: a kill -9 right now must not lose it.
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+/tmp/pccmon.crash -serve 127.0.0.1:16998 -pps 200 -store "$crashstore" \
+	-audit-out /tmp/pccmon.crash.audit2.jsonl &
+serve_pid=$!
+ok=
+for _ in $(seq 1 50); do
+	if curl -fsS http://127.0.0.1:16998/healthz >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "crash smoke: reboot /healthz never came up" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16998/debug/vars | grep -q '"crashtest"' ||
+	{ echo "crash smoke: kill -9 lost the acked-durable install" >&2; exit 1; }
+# Graceful shutdown drains in-flight installs, then closes the store.
+kill "$serve_pid"
+if ! wait "$serve_pid"; then
+	echo "crash smoke: pccmon -serve did not exit cleanly" >&2
+	exit 1
+fi
+# The disk is untrusted: flip one proof byte of crashtest's journal
+# record (the 4 boot filters occupy records 0..3, so the remote
+# install is record 4) and forge the frame CRC so only re-validation
+# can catch it.
+/tmp/pccload.crash -tamper-store "$crashstore/default" -tamper-index 4 \
+	| grep -q crashtest ||
+	{ echo "crash smoke: tamper did not hit the crashtest record" >&2; exit 1; }
+/tmp/pccmon.crash -serve 127.0.0.1:16998 -pps 200 -store "$crashstore" \
+	-audit-out /tmp/pccmon.crash.audit3.jsonl &
+serve_pid=$!
+ok=
+for _ in $(seq 1 50); do
+	if curl -fsS http://127.0.0.1:16998/healthz >/dev/null 2>&1; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+done
+[ -n "$ok" ] || { echo "crash smoke: post-tamper /healthz never came up" >&2; exit 1; }
+curl -fsS http://127.0.0.1:16998/debug/vars | grep -q '"crashtest"' &&
+	{ echo "crash smoke: recovery admitted a tampered binary" >&2; exit 1; }
+kill "$serve_pid"
+if ! wait "$serve_pid"; then
+	echo "crash smoke: post-tamper pccmon -serve did not exit cleanly" >&2
+	exit 1
+fi
+trap - EXIT
+grep -q '"event":"recovery_skip"' /tmp/pccmon.crash.audit3.jsonl ||
+	{ echo "crash smoke: tampered record's skip was not audited" >&2; exit 1; }
+rm -rf "$crashstore"
+rm -f /tmp/pccmon.crash /tmp/pccload.crash /tmp/verify.crash.pcc \
+	/tmp/pccmon.crash.audit.jsonl /tmp/pccmon.crash.audit2.jsonl \
+	/tmp/pccmon.crash.audit3.jsonl
+
 # Adversarial smoke: 2,000 mutated binaries through the validator must
 # produce zero escaped panics and zero unsound accepts (the 10,000-trial
 # version runs under -race in the test suite above; this one proves the
 # operator-facing entry point works).
 echo '== chaos smoke (pccload -chaos 2000)'
 go run ./cmd/pccload -chaos 2000 -chaos-seed 1996
+
+# Store chaos smoke: 2,000 damaged journals (plus the kill-at-every-
+# frame-boundary sweep) through verified recovery must produce zero
+# unsound accepts, zero lost intact acked installs, and no hangs.
+echo '== store chaos smoke (pccload -chaos-store 2000)'
+go run ./cmd/pccload -chaos-store 2000 -chaos-seed 1996
 
 # Deadline smoke: a validation under an already-expired deadline must be
 # a typed rejection — fast, no proof checking, no hang.
