@@ -3,9 +3,10 @@
 // the kernel through the front door — hostile binaries submitted for
 // install. This file attacks through the floor: journals that were
 // written correctly and then damaged at rest (torn tails, truncation,
-// bit rot, CRC-consistent proof tampering, duplicated and reordered
-// frames) or cut mid-append by a crash. The invariants recovery must
-// uphold against every such journal:
+// header cuts and magic bit rot, payload bit rot, CRC-consistent proof
+// tampering, duplicated and reordered frames) or cut mid-append by a
+// crash. The invariants recovery must uphold against every such
+// journal:
 //
 //  1. No unsound accept: a recovered kernel holds only extensions that
 //     prove safe NOW. A mutated record either fails recovery or — when
@@ -51,6 +52,8 @@ func StoreMutators() []StoreMutator {
 	return []StoreMutator{
 		{"torn_tail", tornTail},
 		{"truncate", truncateJournal},
+		{"head_cut", headCut},
+		{"magic_flip", magicFlip},
 		{"crc_flip", crcFlip},
 		{"proof_flip", proofFlip},
 		{"duplicate", duplicateFrame},
@@ -105,6 +108,39 @@ func truncateJournal(rng *rand.Rand, dir string) (string, error) {
 	cut := 8 + rng.Intn(len(data)-8)
 	return fmt.Sprintf("truncated at %d/%d", cut, len(data)),
 		writeJournal(dir, data[:cut])
+}
+
+// headCut truncates the file strictly inside the 8-byte magic — the
+// on-disk state a crash during the very first header write leaves.
+// Every record is gone with the header; recovery must reset to an
+// empty store rather than brick on (or manufacture) a corrupt magic.
+func headCut(rng *rand.Rand, dir string) (string, error) {
+	data, _, err := journalBytes(dir)
+	if err != nil {
+		return "", err
+	}
+	cut := rng.Intn(8)
+	if cut > len(data) {
+		cut = len(data)
+	}
+	return fmt.Sprintf("cut header at %d/%d", cut, len(data)),
+		writeJournal(dir, data[:cut])
+}
+
+// magicFlip flips one bit inside the 8-byte magic, leaving every frame
+// intact: header-only rot must not cost a single acked record — the
+// frames' checksums vouch for alignment and Open repairs the header.
+func magicFlip(rng *rand.Rand, dir string) (string, error) {
+	data, _, err := journalBytes(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(data) < 8 {
+		return "short journal", nil
+	}
+	off := rng.Intn(8)
+	data[off] ^= 1 << rng.Intn(8)
+	return fmt.Sprintf("flipped magic bit at %d", off), writeJournal(dir, data)
 }
 
 // crcFlip flips one payload bit WITHOUT fixing the checksum: classic
@@ -420,9 +456,11 @@ func StoreKillSweep(bases []Base, scratch string, nrec, cuts int, seed int64) St
 			Detail: fmt.Sprintf("scan journal: %v", err)})
 		return rep
 	}
-	// Crash points: every frame boundary (the clean cuts) and random
-	// offsets inside frames (the dirty ones).
-	offsets := []int{8}
+	// Crash points: inside the 8-byte header (a kill during the very
+	// first write — nothing must survive, but the store must boot),
+	// every frame boundary (the clean cuts), and random offsets inside
+	// frames (the dirty ones).
+	offsets := []int{0, 4, 8}
 	for _, fr := range frames {
 		offsets = append(offsets, fr.End)
 	}

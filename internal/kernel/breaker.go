@@ -30,7 +30,11 @@
 // compiled form" hypothesis — the faults follow the filter, not the
 // backend — so the breaker escalates: the filter is uninstalled and
 // its owner embargoed under the kernel's quarantine config (when one
-// is set). Every transition is audited, flight-recorded
+// is set). An escalation whose uninstall cannot be journaled (sick
+// disk, store closed mid-shutdown) leaves the filter installed, so the
+// breaker holds open — demoted, armed, still probing — and retries the
+// escalation on the next probation fault. Every transition is audited,
+// flight-recorded
 // (breaker_open / breaker_halfopen / breaker_close), and published on
 // the pcc_breaker_state gauge, all joined on the EventID of the
 // delivery that drove the transition.
@@ -91,7 +95,7 @@ const (
 // breakerState is one filter's supervision record. Guarded by brkMu.
 type breakerState struct {
 	state  int
-	faults int       // faults in closed/half-open (reset by clean runs while armed)
+	faults int       // accumulated closed-state faults (never decay; see package comment)
 	clean  int       // consecutive clean deliveries in half-open
 	trips  int       // lifetime opens
 	until  time.Time // open: when the half-open probe is allowed
@@ -244,13 +248,12 @@ func (k *Kernel) breakerFault(owner, kind string, eid uint64) {
 		st.until = time.Now().Add(cfg.backoff(st.trips))
 	}
 	if escalate {
+		// Tentatively parked open (so a racing fault lands in the
+		// breakerOpen case instead of re-escalating); escalateBreaker
+		// resolves the terminal state once the uninstall's journal
+		// outcome is known.
 		st.state = breakerOpen
-		st.compiled = nil
-		st.until = time.Time{} // never probes again; the filter is gone
-		if st.armed {
-			st.armed = false
-			k.brkArmed.Add(-1)
-		}
+		st.until = time.Time{}
 	}
 	trips := st.trips
 	k.brkMu.Unlock()
@@ -283,14 +286,60 @@ func (k *Kernel) openBreaker(owner string, st *breakerState, cfg *BreakerConfig,
 // escalateBreaker retires a filter whose faults survived MaxTrips
 // demotion cycles: uninstall (journaled and audited like any other)
 // plus an owner embargo under the quarantine config, when one is set.
-// Called without brkMu held — UninstallFilter takes k.mu and the
-// embargo takes quarMu.
+// The uninstall can fail — a journal append against a sick or closed
+// store aborts it, and the filter stays installed — and then the
+// breaker must NOT stand down: the compiled form is demoted (the
+// closed-state escalation path never went through openBreaker) and the
+// record stays open and armed, so ticking, probation, and
+// re-escalation continue until an uninstall finally commits. Only a
+// committed uninstall is recorded as an escalation; a store failure is
+// audited as such, and the owner is not embargoed for a disk's
+// misbehavior. Called without brkMu held — UninstallFilter takes k.mu
+// and the embargo takes quarMu.
 func (k *Kernel) escalateBreaker(owner string, trips int, eid uint64) {
+	if uerr := k.UninstallFilter(owner); uerr != nil {
+		k.brkMu.Lock()
+		if st := k.brk[owner]; st != nil {
+			if c := k.demoteCompiled(owner); c != nil {
+				st.compiled = c
+			}
+			st.state = breakerOpen
+			st.faults = 0
+			st.clean = 0
+			if cfg := k.brkCfg.Load(); cfg != nil {
+				st.until = time.Now().Add(cfg.backoff(st.trips))
+			}
+			if !st.armed {
+				st.armed = true
+				k.brkArmed.Add(1)
+			}
+		}
+		k.brkMu.Unlock()
+		detail := fmt.Sprintf("trips=%d: uninstall failed, filter still installed, breaker held open: %v",
+			trips, uerr)
+		k.tel.Load().setBreakerState(owner, breakerOpen)
+		k.audit.Load().breaker("escalate_failed", owner, trips, detail, eid)
+		k.flight(telemetry.FlightBreakerOpen, owner, detail, eid)
+		return
+	}
+	// The filter is gone (journaled and audited by the uninstall); the
+	// supervision record becomes terminal: open, disarmed, never probing
+	// again.
+	k.brkMu.Lock()
+	if st := k.brk[owner]; st != nil {
+		st.state = breakerOpen
+		st.compiled = nil
+		st.until = time.Time{}
+		if st.armed {
+			st.armed = false
+			k.brkArmed.Add(-1)
+		}
+	}
+	k.brkMu.Unlock()
 	detail := fmt.Sprintf("trips=%d: uninstalled", trips)
 	k.audit.Load().breaker("escalate", owner, trips, detail, eid)
 	k.flight(telemetry.FlightBreakerOpen, owner, detail, eid)
 	k.tel.Load().setBreakerState(owner, breakerOpen)
-	_ = k.UninstallFilter(owner)
 	if qcfg := k.quarCfg.Load(); qcfg != nil {
 		now := time.Now()
 		k.quarMu.Lock()
@@ -344,8 +393,13 @@ func (k *Kernel) breakerTick(eid uint64) {
 }
 
 // breakerClean is the dispatch-path hook for a fault-free run (or
-// batch of runs) of one filter. Closed-state fault streaks reset;
-// half-open breakers count toward closing. Called only while armed.
+// batch of runs) of one filter: half-open breakers count it toward
+// closing. Closed-state faults are deliberately NOT reset here — they
+// accumulate until Threshold, as the package comment promises — both
+// because a validated filter faulting at all is anomalous, and because
+// this hook only runs while some breaker is armed, so any closed-state
+// decay would depend on whether an unrelated filter happens to be
+// open. Called only while armed.
 func (k *Kernel) breakerClean(owner string, eid uint64) {
 	cfg := k.brkCfg.Load()
 	if cfg == nil {
@@ -358,8 +412,6 @@ func (k *Kernel) breakerClean(owner string, eid uint64) {
 		return
 	}
 	switch st.state {
-	case breakerClosed:
-		st.faults = 0
 	case breakerHalfOpen:
 		st.clean++
 		if st.clean >= cfg.Threshold {

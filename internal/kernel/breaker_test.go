@@ -10,6 +10,7 @@ import (
 	"repro/internal/alpha"
 	"repro/internal/machine"
 	"repro/internal/pktgen"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -190,6 +191,101 @@ func TestBreakerEscalates(t *testing.T) {
 	}
 	if st := k.Breakers()["doomed"]; st != breakerOpen {
 		t.Fatalf("escalated breaker state %d, want open (terminal)", st)
+	}
+}
+
+// TestBreakerEscalateStoreFailureHoldsOpen: when the escalation
+// uninstall cannot be journaled (sick or closed store), the filter
+// stays installed — so supervision must NOT stand down. The compiled
+// form is demoted, the breaker stays open and armed, the owner is not
+// quarantined for a disk failure, and once the store trouble clears
+// the next probation fault re-escalates to a real uninstall.
+func TestBreakerEscalateStoreFailureHoldsOpen(t *testing.T) {
+	k := New()
+	wal, err := store.Open(t.TempDir(), store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal.Close() // the disk "dies": every append now fails
+	k.SetStore(wal)
+	k.SetQuarantine(QuarantineConfig{Threshold: 3, Base: time.Minute})
+	k.SetBreaker(BreakerConfig{Threshold: 1, Base: 10 * time.Millisecond, MaxTrips: 2})
+	injectFaultyCompiled(t, k, "doomed", condFaultSrc)
+
+	// Trip 1 opens; past backoff the probe faults — trip 2 escalates,
+	// but the uninstall's journal append fails.
+	if _, err := k.DeliverPacket(faultPkt); err == nil {
+		t.Fatal("faulting delivery returned no error")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if _, err := k.DeliverPacket(faultPkt); err == nil {
+		t.Fatal("faulting probe returned no error")
+	}
+	if got := k.Owners(); len(got) != 1 {
+		t.Fatalf("filter vanished despite failed uninstall: %v", got)
+	}
+	if compiledForm(k, "doomed") {
+		t.Fatal("compiled form still published after failed escalation")
+	}
+	if st := k.Breakers()["doomed"]; st != breakerOpen {
+		t.Fatalf("state %d after failed escalation, want open", st)
+	}
+	if k.brkArmed.Load() != 1 {
+		t.Fatalf("brkArmed = %d after failed escalation, want 1 (supervision must continue)",
+			k.brkArmed.Load())
+	}
+	if _, embargoed := k.Quarantined()["doomed"]; embargoed {
+		t.Fatal("owner quarantined for a store failure")
+	}
+
+	// The store trouble clears (here: detached); the next probation
+	// fault re-escalates, and this time the uninstall commits.
+	k.SetStore(nil)
+	time.Sleep(25 * time.Millisecond)
+	if _, err := k.DeliverPacket(faultPkt); err == nil {
+		t.Fatal("faulting probe returned no error")
+	}
+	if got := k.Owners(); len(got) != 0 {
+		t.Fatalf("re-escalation did not uninstall: %v", got)
+	}
+	if _, embargoed := k.Quarantined()["doomed"]; !embargoed {
+		t.Fatalf("re-escalated owner not quarantined: %v", k.Quarantined())
+	}
+	if k.brkArmed.Load() != 0 {
+		t.Fatalf("brkArmed = %d after terminal escalation, want 0", k.brkArmed.Load())
+	}
+}
+
+// TestBreakerClosedFaultsAccumulate: closed-state faults never decay —
+// whether clean deliveries interleave, and whether an unrelated
+// filter's breaker happens to be armed (which is what gates the clean
+// hook), the Threshold'th fault always trips the breaker.
+func TestBreakerClosedFaultsAccumulate(t *testing.T) {
+	k := New()
+	k.SetBreaker(BreakerConfig{Threshold: 3, Base: time.Minute})
+	injectFaultyCompiled(t, k, "flaky", condFaultSrc)
+
+	// Fault, then a clean streak, then fault again — twice. Without an
+	// armed breaker the clean hook never runs; with one it must not
+	// reset the count either. Either way the third fault trips.
+	for i := 0; i < 2; i++ {
+		if _, err := k.DeliverPacket(faultPkt); err == nil {
+			t.Fatal("faulting delivery returned no error")
+		}
+		for j := 0; j < 5; j++ {
+			if _, err := k.DeliverPacket(cleanPkt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := k.Breakers()["flaky"]; st != breakerClosed {
+			t.Fatalf("state %d after %d faults, want closed", st, i+1)
+		}
+	}
+	if _, err := k.DeliverPacket(faultPkt); err == nil {
+		t.Fatal("faulting delivery returned no error")
+	}
+	if st := k.Breakers()["flaky"]; st != breakerOpen {
+		t.Fatalf("state %d after Threshold accumulated faults, want open", st)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/filters"
 	"repro/internal/pktgen"
@@ -238,6 +239,52 @@ func TestRecoverRejectsTamperedProof(t *testing.T) {
 	}
 	if !spanJoined {
 		t.Fatalf("no validate span carries event %d", eid)
+	}
+}
+
+// TestRecoverySkipDoesNotQuarantine: a record that fails re-validation
+// during Recover means the journal's copy rotted, not that its owner
+// ever submitted an unsound binary — so with quarantine configured
+// (pccmon configures it before attaching the store), the skip must not
+// add strikes, and the owner's post-recovery reinstall of the genuine
+// binary must go straight through.
+func TestRecoverySkipDoesNotQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := certAll(t)
+	ka := New()
+	ka.SetStore(s)
+	if err := ka.InstallFilter("victim", bins[filters.Filter1]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := store.TamperBinaryByte(dir, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	kb := New()
+	// Threshold 1: a single strike would embargo immediately.
+	kb.SetQuarantine(QuarantineConfig{Threshold: 1, Base: time.Minute})
+	s2, err := store.Open(dir, store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rep, err := kb.Recover(context.Background(), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restored != 0 || len(rep.Skipped) != 1 {
+		t.Fatalf("restored %d / skipped %d, want 0/1", rep.Restored, len(rep.Skipped))
+	}
+	if _, embargoed := kb.Quarantined()["victim"]; embargoed {
+		t.Fatal("recovery skip embargoed the innocent owner")
+	}
+	if err := kb.InstallFilter("victim", bins[filters.Filter1]); err != nil {
+		t.Fatalf("post-recovery reinstall blocked: %v", err)
 	}
 }
 

@@ -218,12 +218,16 @@ func (k *Kernel) quarantineCheck(owner string) error {
 
 // noteRejection records a strike against the owner. Rejections the
 // owner's binary did not cause — an embargo already in force, a full
-// admission queue, a journal-append failure — do not count, or a
-// single embargo would extend itself forever (and a sick disk would
-// embargo innocent producers).
+// admission queue, a journal-append failure, a replayed record failing
+// re-validation during Recover — do not count, or a single embargo
+// would extend itself forever (and a sick or bit-rotted disk would
+// embargo innocent producers: a recovery skip means the journal's copy
+// rotted, not that the owner ever submitted an unsound binary, and a
+// strike here would block their post-recovery reinstall).
 func (k *Kernel) noteRejection(owner, reason string, eid uint64) {
 	cfg := k.quarCfg.Load()
-	if cfg == nil || reason == "quarantine" || reason == "queue_full" || reason == "store" {
+	if cfg == nil || reason == "quarantine" || reason == "queue_full" ||
+		reason == "store" || reason == "recovery" {
 		return
 	}
 	now := time.Now()

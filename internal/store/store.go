@@ -183,7 +183,12 @@ type Store struct {
 // Open opens (creating if necessary) the store in dir. A torn final
 // frame in the journal — the signature of a crash mid-append — is
 // truncated away so new appends extend a frame-aligned file; interior
-// corruption is left in place for Replay to classify.
+// corruption is left in place for Replay to classify. The 8-byte
+// header gets the same tolerance as any frame: a file cut inside the
+// magic (a crash during the very first write) or a header-only bit
+// flip is healed — rewritten in place when decodable frames follow,
+// reset to a bare magic when nothing decodable remains — never a
+// permanent boot failure.
 func Open(dir string, opt Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
@@ -227,10 +232,45 @@ func Open(dir string, opt Options) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: read journal: %w", err)
 	}
-	frames, torn, err := ScanJournal(data)
-	if err != nil {
-		f.Close()
-		return nil, err
+	var frames []Frame
+	var torn bool
+	switch {
+	case len(data) < len(journalMagic):
+		// A crash during the very first header write left a short file.
+		// Truncating UP to the magic length would extend it with zero
+		// bytes — a corrupt header that fails every later Open — and a
+		// partial magic cannot be hiding any frames, so reset to a bare,
+		// freshly written header instead.
+		if err := resetJournalHeader(f, dir, nil, opt); err != nil {
+			f.Close()
+			return nil, err
+		}
+	case [8]byte(data[:8]) != journalMagic:
+		// The header itself rotted. Frames still start at byte 8
+		// regardless of what the magic says, so if checksummed,
+		// decodable records follow, only the header is damaged: repair
+		// it in place and keep every acked record — the skip-and-continue
+		// policy applied to the journal's own header. A file with a
+		// foreign header AND nothing decodable behind it holds no acked
+		// state to lose; preserve it aside and start fresh.
+		if fr, tr, ok := salvageFrames(data); ok {
+			if _, err := f.WriteAt(journalMagic[:], 0); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("store: repair journal header: %w", err)
+			}
+			if !opt.NoSync {
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("store: repair journal header: %w", err)
+				}
+			}
+			frames, torn = fr, tr
+		} else if err := resetJournalHeader(f, dir, data, opt); err != nil {
+			f.Close()
+			return nil, err
+		}
+	default:
+		frames, torn = scanFrames(data, len(journalMagic))
 	}
 	live := 0
 	end := int64(len(journalMagic))
@@ -261,6 +301,50 @@ func Open(dir string, opt Options) (*Store, error) {
 	s.nextSeq = maxSeq + 1
 	s.live = live
 	return s, nil
+}
+
+// resetJournalHeader rewrites the journal as a bare magic header. Runs
+// only when the header region is damaged and no decodable frame
+// follows, so no acked record is lost. A non-empty prior image is
+// preserved as journal.pccj.bad for forensics (best-effort — the side
+// copy is diagnostics, not durability).
+func resetJournalHeader(f *os.File, dir string, data []byte, opt Options) error {
+	if len(data) > 0 {
+		_ = os.WriteFile(filepath.Join(dir, JournalName+".bad"), data, 0o644)
+	}
+	if err := f.Truncate(0); err != nil {
+		return fmt.Errorf("store: reset journal header: %w", err)
+	}
+	if _, err := f.WriteAt(journalMagic[:], 0); err != nil {
+		return fmt.Errorf("store: reset journal header: %w", err)
+	}
+	if !opt.NoSync {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("store: reset journal header: %w", err)
+		}
+	}
+	return nil
+}
+
+// salvageFrames scans frames past a damaged journal header. ok reports
+// whether at least one checksummed, decodable record was found — the
+// evidence that the bytes really are our journal with a rotted magic
+// (frame alignment after the fixed-width header does not depend on the
+// header's content) rather than some unrelated file.
+func salvageFrames(data []byte) (frames []Frame, torn bool, ok bool) {
+	if len(data) < len(journalMagic) {
+		return nil, false, false
+	}
+	frames, torn = scanFrames(data, len(journalMagic))
+	for _, fr := range frames {
+		if !fr.CRCOK {
+			continue
+		}
+		if _, err := DecodePayload(fr.Payload); err == nil {
+			return frames, torn, true
+		}
+	}
+	return nil, false, false
 }
 
 // Dir returns the store's directory.
@@ -458,9 +542,17 @@ func replayDir(dir string) ([]Record, *ReplayReport) {
 	}
 	frames, torn, err := ScanJournal(data)
 	if err != nil {
+		// Damaged header. Open repairs it (or resets an unrecognizable
+		// file); mirror its salvage here so the read-only view agrees:
+		// checksummed, decodable frames after the header still replay,
+		// and the header damage itself is reported as a skip.
 		rep.Skipped = append(rep.Skipped,
 			&CorruptRecordError{File: JournalName, Offset: 0, Reason: err.Error()})
-		return out, rep
+		fr, tr, ok := salvageFrames(data)
+		if !ok {
+			return out, rep
+		}
+		frames, torn = fr, tr
 	}
 	last := base
 	for _, r := range snapRecs {

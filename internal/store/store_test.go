@@ -354,6 +354,105 @@ func popcount(b byte) int {
 	return n
 }
 
+// TestOpenHealsPartialHeader: a crash during the very first header
+// write leaves a file shorter than the magic. Open must reset it to a
+// real header — NOT extend it with zero bytes into a corrupt magic
+// that fails every later Open — and the store must work normally from
+// there.
+func TestOpenHealsPartialHeader(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, JournalName)
+	if err := os.WriteFile(jpath, journalMagic[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir)
+	data, _ := os.ReadFile(jpath)
+	if len(data) != len(journalMagic) || [8]byte(data[:8]) != journalMagic {
+		t.Fatalf("header not healed: % x", data)
+	}
+	if _, err := s.Append(KindInstall, "a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := openT(t, dir)
+	recs, rep, err := s2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Owner != "a" || len(rep.Skipped) != 0 {
+		t.Fatalf("replay after heal: %+v (report %+v)", recs, rep)
+	}
+}
+
+// TestOpenRepairsRottenMagic: a bit flip inside the 8-byte header must
+// not cost a single acked record — frames still start at byte 8 and
+// their checksums vouch for alignment, so Open rewrites the header in
+// place and everything replays. The read-only ReplayDir view must
+// agree (salvaging the frames, reporting the header as a skip).
+func TestOpenRepairsRottenMagic(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir)
+	s.Append(KindInstall, "a", []byte("aaaa"))
+	s.Append(KindInstall, "b", []byte("bbbb"))
+	s.Close()
+	jpath := filepath.Join(dir, JournalName)
+	data, _ := os.ReadFile(jpath)
+	data[2] ^= 0x40
+	os.WriteFile(jpath, data, 0o644)
+
+	// Read-only salvage, before any Open heals the file on disk.
+	recs, rep := ReplayDir(dir)
+	if len(recs) != 2 || recs[0].Owner != "a" || recs[1].Owner != "b" {
+		t.Fatalf("ReplayDir salvage: %+v", recs)
+	}
+	if len(rep.Skipped) != 1 {
+		t.Fatalf("skips: %v", rep.Skipped)
+	}
+
+	s2 := openT(t, dir)
+	healed, _ := os.ReadFile(jpath)
+	if [8]byte(healed[:8]) != journalMagic {
+		t.Fatalf("header not repaired: % x", healed[:8])
+	}
+	recs2, rep2, err := s2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 2 || len(rep2.Skipped) != 0 {
+		t.Fatalf("replay after repair: %+v (report %+v)", recs2, rep2)
+	}
+	if seq, err := s2.Append(KindInstall, "c", []byte("cccc")); err != nil || seq != 3 {
+		t.Fatalf("append after repair: seq=%d err=%v", seq, err)
+	}
+}
+
+// TestOpenResetsForeignJournal: wrong magic and nothing decodable
+// behind it — there is no acked state to lose, so Open preserves the
+// bytes aside and starts a fresh journal rather than failing every
+// boot forever.
+func TestOpenResetsForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, JournalName)
+	garbage := append([]byte("NOTMAGIC"), bytes.Repeat([]byte{0xA5}, 40)...)
+	if err := os.WriteFile(jpath, garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir)
+	if _, err := s.Append(KindInstall, "a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	recs, rep, err := s.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Owner != "a" {
+		t.Fatalf("replay after reset: %+v (report %+v)", recs, rep)
+	}
+	if side, rerr := os.ReadFile(jpath + ".bad"); rerr != nil || !bytes.Equal(side, garbage) {
+		t.Fatalf("damaged journal not preserved aside: %v", rerr)
+	}
+}
+
 // TestScanJournalBadMagic: a journal with a foreign header is rejected
 // outright rather than scanned for frames.
 func TestScanJournalBadMagic(t *testing.T) {
